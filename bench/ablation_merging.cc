@@ -1,0 +1,68 @@
+// §V-F2 "Merging nodes": effect of the two merge mechanisms —
+// (a) numeric bucketing on CoronaCheck (paper: +0.04 MAP with 7 buckets),
+// (b) γ-threshold synonym merging with the pre-trained lexicon on IMDb
+//     (paper: +2.5% from merging name variants).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/corona.h"
+#include "datagen/imdb.h"
+#include "embed/pretrained_lexicon.h"
+
+using namespace tdmatch;  // NOLINT
+
+int main() {
+  std::printf("Ablation: node merging (§V-F2)\n");
+
+  // (a) Numeric bucketing on CoronaCheck.
+  {
+    datagen::CoronaOptions gen;
+    gen.num_countries = 15;
+    gen.num_months = 8;
+    gen.num_generated_claims = 120;
+    auto data = datagen::CoronaGenerator::Generate(gen);
+
+    core::TDmatchOptions off = bench::DataTaskOptions();
+    off.builder.bucket_numbers = false;
+    core::TDmatchOptions fd = bench::DataTaskOptions();
+    fd.builder.bucket_numbers = true;  // Freedman–Diaconis width
+    core::TDmatchOptions fixed7 = bench::DataTaskOptions();
+    fixed7.builder.bucket_numbers = true;
+    fixed7.builder.fixed_buckets = 7;
+
+    std::printf("\nCoronaCheck numeric bucketing (MAP@5):\n");
+    std::printf("  no bucketing       %.3f\n",
+                bench::MapAt5(data.scenario, off));
+    std::printf("  Freedman-Diaconis  %.3f\n",
+                bench::MapAt5(data.scenario, fd));
+    std::printf("  7 equal buckets    %.3f\n",
+                bench::MapAt5(data.scenario, fixed7));
+  }
+
+  // (b) Synonym/variant merging with the pre-trained lexicon on IMDb.
+  {
+    datagen::ImdbOptions gen;
+    gen.num_reviewed_movies = 30;
+    gen.num_distractor_movies = 40;
+    auto data = datagen::ImdbGenerator::Generate(gen);
+
+    embed::PretrainedLexicon lexicon;
+    TDM_CHECK(lexicon.Train(data.generic_corpus).ok());
+    const double gamma = lexicon.CalibrateGamma(data.synonym_pairs);
+    std::printf("\nIMDb synonym merging (calibrated gamma = %.2f):\n", gamma);
+
+    core::TDmatchOptions off = bench::DataTaskOptions();
+    std::printf("  no merging   %.3f\n", bench::MapAt5(data.scenario, off));
+    core::TDmatchOptions on = bench::DataTaskOptions();
+    on.use_synonym_merge = true;
+    on.gamma = gamma;
+    std::printf("  gamma merge  %.3f\n",
+                bench::MapAt5(data.scenario, on, nullptr, &lexicon));
+  }
+
+  std::printf(
+      "\nExpected shape: bucketing helps the numeric-heavy CoronaCheck;\n"
+      "gamma merging gives a small lift on IMDb (name variants).\n");
+  return 0;
+}

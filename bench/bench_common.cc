@@ -1,0 +1,146 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "datagen/audit.h"
+#include "datagen/claims.h"
+#include "datagen/corona.h"
+#include "datagen/imdb.h"
+#include "eval/metrics.h"
+#include "match/top_k.h"
+
+namespace tdmatch {
+namespace bench {
+
+core::TDmatchOptions DataTaskOptions() {
+  core::TDmatchOptions o;
+  o.walks.num_walks = 25;
+  o.walks.walk_length = 20;
+  o.walks.threads = 8;
+  o.w2v.dim = 64;
+  o.w2v.threads = 8;
+  o.w2v.epochs = 3;
+  // Frequency subsampling downweights hub nodes (ubiquitous terms) in the
+  // walks — the weighting mechanism of the paper's challenge 2.
+  o.w2v.subsample = 1e-3;
+  return o;
+}
+
+core::TDmatchOptions TextTaskOptions() {
+  core::TDmatchOptions o = core::TDmatchOptions::TextTaskDefaults();
+  o.walks.num_walks = 25;
+  o.walks.walk_length = 20;
+  o.walks.threads = 8;
+  o.w2v.dim = 64;
+  o.w2v.threads = 8;
+  o.w2v.epochs = 3;
+  o.w2v.subsample = 1e-3;
+  return o;
+}
+
+void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+LexiconBundle MakeLexicon(const datagen::GeneratedScenario& data) {
+  LexiconBundle out;
+  embed::PretrainedLexicon::Options o;
+  o.w2v.threads = 8;
+  o.w2v.epochs = 4;
+  out.lexicon = std::make_shared<embed::PretrainedLexicon>(o);
+  if (!data.generic_corpus.empty()) {
+    TDM_CHECK(out.lexicon->Train(data.generic_corpus).ok());
+    out.gamma = out.lexicon->CalibrateGamma(data.synonym_pairs);
+  }
+  return out;
+}
+
+void RunRankingTable(const std::string& title, const corpus::Scenario& s,
+                     std::vector<NamedMethod>* methods) {
+  PrintTitle(title);
+  std::printf("%s\n", core::Experiment::Header().c_str());
+  for (auto& nm : *methods) {
+    auto run = core::Experiment::Run(nm.method.get(), s);
+    if (!run.ok()) {
+      std::printf("%-10s  FAILED: %s\n", nm.name.c_str(),
+                  run.status().ToString().c_str());
+      continue;
+    }
+    auto report = core::Experiment::Report(nm.name, *run, s);
+    std::printf("%s\n", core::Experiment::FormatRow(report).c_str());
+  }
+}
+
+double MapAt5(const corpus::Scenario& s, const core::TDmatchOptions& options,
+              const kb::ExternalResource* resource,
+              const embed::PretrainedLexicon* lexicon) {
+  core::TDmatchMethod method("W-RW", options, resource, lexicon);
+  auto run = core::Experiment::Run(&method, s);
+  if (!run.ok()) {
+    std::printf("run failed: %s\n", run.status().ToString().c_str());
+    return 0.0;
+  }
+  return eval::RankingMetrics::MAPAtK(run->rankings, s.gold, 5);
+}
+
+std::vector<SweepScenario> MakeSweepScenarios() {
+  std::vector<SweepScenario> out;
+
+  {
+    datagen::ImdbOptions o;
+    o.num_reviewed_movies = 30;
+    o.num_distractor_movies = 40;
+    SweepScenario s;
+    s.name = "IMDb";
+    s.data = datagen::ImdbGenerator::Generate(o);
+    s.base_options = DataTaskOptions();
+    out.push_back(std::move(s));
+  }
+  {
+    datagen::CoronaOptions o;
+    o.num_countries = 15;
+    o.num_months = 8;
+    o.num_generated_claims = 120;
+    SweepScenario s;
+    s.name = "Coro.";
+    s.data = datagen::CoronaGenerator::Generate(o);
+    s.base_options = DataTaskOptions();
+    s.base_options.builder.bucket_numbers = true;
+    s.base_options.builder.fixed_buckets = 7;
+    out.push_back(std::move(s));
+  }
+  {
+    datagen::AuditOptions o;
+    o.num_concepts = 90;
+    o.num_documents = 150;
+    SweepScenario s;
+    s.name = "Audit";
+    s.data = datagen::AuditGenerator::Generate(o);
+    s.base_options = TextTaskOptions();
+    out.push_back(std::move(s));
+  }
+  {
+    datagen::ClaimsOptions o = datagen::ClaimsGenerator::PolitifactPreset();
+    o.num_facts = 700;
+    o.num_queries = 80;
+    SweepScenario s;
+    s.name = "Poli.";
+    s.data = datagen::ClaimsGenerator::Generate(o);
+    s.base_options = TextTaskOptions();
+    out.push_back(std::move(s));
+  }
+  {
+    datagen::ClaimsOptions o = datagen::ClaimsGenerator::SnopesPreset();
+    o.num_facts = 500;
+    o.num_queries = 80;
+    SweepScenario s;
+    s.name = "Snop.";
+    s.data = datagen::ClaimsGenerator::Generate(o);
+    s.base_options = TextTaskOptions();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace tdmatch

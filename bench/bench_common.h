@@ -1,0 +1,68 @@
+#ifndef TDMATCH_BENCH_BENCH_COMMON_H_
+#define TDMATCH_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/tdmatch.h"
+#include "datagen/generated.h"
+#include "match/method.h"
+
+namespace tdmatch {
+namespace bench {
+
+/// A named matching method owned by the bench harness.
+struct NamedMethod {
+  std::string name;
+  std::unique_ptr<match::MatchMethod> method;
+};
+
+/// TDmatch options tuned for bench scale (24-core box, seconds per run):
+/// text-to-data defaults (Skip-gram window 3).
+core::TDmatchOptions DataTaskOptions();
+
+/// Builds the scenario's "pre-trained" lexicon (trained on its generic
+/// corpus) and returns it with the calibrated γ; used to enable the §II-C
+/// synonym merging that is part of the default TDmatch pipeline.
+struct LexiconBundle {
+  std::shared_ptr<embed::PretrainedLexicon> lexicon;
+  double gamma = 0.57;
+};
+LexiconBundle MakeLexicon(const datagen::GeneratedScenario& data);
+
+/// Text-task variant (CBOW window 15).
+core::TDmatchOptions TextTaskOptions();
+
+/// Runs every method on the scenario and prints a paper-style block:
+///   Method  MRR  MAP@{1,5,20}  HasPositive@{1,5,20}
+void RunRankingTable(const std::string& title, const corpus::Scenario& s,
+                     std::vector<NamedMethod>* methods);
+
+/// Runs one TDmatch configuration and returns MAP@5 — the workhorse of the
+/// Fig. 6/7/9 and ablation sweeps.
+double MapAt5(const corpus::Scenario& s, const core::TDmatchOptions& options,
+              const kb::ExternalResource* resource = nullptr,
+              const embed::PretrainedLexicon* lexicon = nullptr);
+
+/// The five standard scenarios of the evaluation (IMDb, Corona, Audit,
+/// Politifact, Snopes), generated at reduced "sweep" scale for the
+/// parameter-sweep figures.
+struct SweepScenario {
+  std::string name;
+  datagen::GeneratedScenario data;
+  /// Task-appropriate base options (data vs text defaults; bucketing for
+  /// Corona).
+  core::TDmatchOptions base_options;
+};
+std::vector<SweepScenario> MakeSweepScenarios();
+
+/// Prints a Markdown-ish separator headline.
+void PrintTitle(const std::string& title);
+
+}  // namespace bench
+}  // namespace tdmatch
+
+#endif  // TDMATCH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,45 @@
+// Fig. 10: combining the graph embeddings with the pre-trained sentence
+// encoder — MAP@5 of W-RW alone vs the per-query average of W-RW and S-BE
+// scores, for all five scenarios.
+
+#include <cstdio>
+
+#include "baselines/sbe.h"
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "match/combine.h"
+#include "match/top_k.h"
+
+using namespace tdmatch;  // NOLINT
+
+int main() {
+  std::printf("Reproduction of Fig. 10 (combination with SentenceBERT)\n");
+  auto scenarios = bench::MakeSweepScenarios();
+
+  std::printf("\n%-10s  %-8s  %-10s\n", "Scenario", "W-RW", "W-RW&S-BE");
+  for (const auto& sc : scenarios) {
+    const corpus::Scenario& s = sc.data.scenario;
+    core::TDmatchMethod wrw("W-RW", sc.base_options);
+    auto wrw_run = core::Experiment::Run(&wrw, s);
+    baselines::HashSentenceEncoder sbe;
+    auto sbe_run = core::Experiment::Run(&sbe, s);
+    if (!wrw_run.ok() || !sbe_run.ok()) {
+      std::printf("%-10s  FAILED\n", sc.name.c_str());
+      continue;
+    }
+    core::MethodRun combined;
+    combined.rankings.resize(s.first.NumDocs());
+    for (size_t q = 0; q < s.first.NumDocs(); ++q) {
+      auto scores = match::ScoreCombiner::AverageNormalized(
+          wrw_run->scores[q], sbe_run->scores[q]);
+      combined.rankings[q] = match::TopK::FullRanking(scores);
+    }
+    std::printf("%-10s  %-8.3f  %-10.3f\n", sc.name.c_str(),
+                eval::RankingMetrics::MAPAtK(wrw_run->rankings, s.gold, 5),
+                eval::RankingMetrics::MAPAtK(combined.rankings, s.gold, 5));
+  }
+  std::printf(
+      "\nExpected shape: the combination matches or improves W-RW in all\n"
+      "scenarios (domain-specific + generic signals are complementary).\n");
+  return 0;
+}

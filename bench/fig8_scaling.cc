@@ -1,0 +1,46 @@
+// Fig. 8: total time to generate random walks and train the embeddings as
+// the graph grows (STS-derived graphs of increasing size). The paper
+// observes linear scaling in the number of nodes.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/sts.h"
+#include "embed/random_walk.h"
+#include "embed/word2vec.h"
+#include "graph/builder.h"
+#include "util/timer.h"
+
+using namespace tdmatch;  // NOLINT
+
+int main() {
+  std::printf("Reproduction of Fig. 8 (training time vs graph size)\n");
+  std::printf("\n%-10s %-10s %-10s %-12s\n", "pairs", "nodes", "edges",
+              "time (s)");
+  for (size_t pairs : {200, 400, 800, 1600, 3200}) {
+    datagen::StsOptions gen;
+    gen.num_pairs = pairs;
+    gen.threshold = 0;  // keep all pairs: graph size is what matters here
+    auto data = datagen::StsGenerator::Generate(gen);
+
+    graph::GraphBuilder builder{graph::BuilderOptions{}};
+    auto g = builder.Build(data.scenario.first, data.scenario.second);
+    if (!g.ok()) {
+      std::printf("build failed: %s\n", g.status().ToString().c_str());
+      continue;
+    }
+    util::StopWatch watch;
+    embed::RandomWalkOptions walk_opts{.num_walks = 12, .walk_length = 15,
+                                       .seed = 1, .threads = 8};
+    auto walks = embed::RandomWalker::Generate(*g, walk_opts);
+    embed::Word2VecOptions w2v_opts;
+    w2v_opts.threads = 8;
+    w2v_opts.epochs = 2;
+    embed::Word2Vec w2v(w2v_opts);
+    TDM_CHECK(w2v.Train(walks, g->NumNodes()).ok());
+    std::printf("%-10zu %-10zu %-10zu %-12.3f\n", pairs, g->NumNodes(),
+                g->NumEdges(), watch.ElapsedSeconds());
+  }
+  std::printf("\nExpected shape: time grows linearly with node count.\n");
+  return 0;
+}

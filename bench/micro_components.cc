@@ -1,0 +1,132 @@
+// Component micro-benchmarks (google-benchmark): the hot paths of the
+// pipeline — tokenization, stemming, n-grams, BFS, walk generation,
+// Word2Vec steps and top-k selection.
+
+#include <benchmark/benchmark.h>
+
+#include "embed/random_walk.h"
+#include "embed/word2vec.h"
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "match/top_k.h"
+#include "text/ngram.h"
+#include "text/preprocess.h"
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace tdmatch;  // NOLINT
+
+const char kSampleText[] =
+    "Shyamalan directed this brilliant thriller about a quiet kid and a "
+    "gentle doctor; Bruce Willis delivers a stunning performance in 1999.";
+
+void BM_Tokenize(benchmark::State& state) {
+  text::Tokenizer t;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Tokenize(kSampleText));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Stem(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::PorterStemmer::Stem("relational"));
+  }
+}
+BENCHMARK(BM_Stem);
+
+void BM_Preprocess(benchmark::State& state) {
+  text::Preprocessor pp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pp.Terms(kSampleText));
+  }
+}
+BENCHMARK(BM_Preprocess);
+
+void BM_NGrams(benchmark::State& state) {
+  text::NGramGenerator g(static_cast<size_t>(state.range(0)));
+  std::vector<std::string> tokens(20, "tok");
+  for (size_t i = 0; i < tokens.size(); ++i) tokens[i] += std::to_string(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.GenerateUnique(tokens));
+  }
+}
+BENCHMARK(BM_NGrams)->Arg(1)->Arg(2)->Arg(3);
+
+graph::Graph RandomGraph(size_t n, size_t avg_degree, uint64_t seed) {
+  graph::Graph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode("n" + std::to_string(i));
+  }
+  util::Rng rng(seed);
+  for (size_t e = 0; e < n * avg_degree / 2; ++e) {
+    g.AddEdge(static_cast<graph::NodeId>(rng.UniformInt(n)),
+              static_cast<graph::NodeId>(rng.UniformInt(n)));
+  }
+  return g;
+}
+
+void BM_BfsDistances(benchmark::State& state) {
+  auto g = RandomGraph(static_cast<size_t>(state.range(0)), 6, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::Bfs::Distances(g, 0));
+  }
+}
+BENCHMARK(BM_BfsDistances)->Arg(1000)->Arg(10000);
+
+void BM_ShortestPathDag(benchmark::State& state) {
+  auto g = RandomGraph(5000, 6, 2);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto a = static_cast<graph::NodeId>(rng.UniformInt(5000ULL));
+    auto b = static_cast<graph::NodeId>(rng.UniformInt(5000ULL));
+    benchmark::DoNotOptimize(graph::Bfs::ShortestPathDagEdges(g, a, b));
+  }
+}
+BENCHMARK(BM_ShortestPathDag);
+
+void BM_RandomWalks(benchmark::State& state) {
+  auto g = RandomGraph(2000, 6, 4);
+  embed::RandomWalkOptions opts{.num_walks = 5, .walk_length = 15,
+                                .seed = 5, .threads = 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embed::RandomWalker::Generate(g, opts));
+  }
+}
+BENCHMARK(BM_RandomWalks);
+
+void BM_Word2VecEpoch(benchmark::State& state) {
+  // 500 sentences of 20 tokens over a 1k vocab.
+  util::Rng rng(6);
+  std::vector<std::vector<int32_t>> sentences(500);
+  for (auto& s : sentences) {
+    for (int i = 0; i < 20; ++i) {
+      s.push_back(static_cast<int32_t>(rng.UniformInt(1000ULL)));
+    }
+  }
+  for (auto _ : state) {
+    embed::Word2VecOptions o;
+    o.dim = 48;
+    o.epochs = 1;
+    o.threads = 8;
+    embed::Word2Vec w2v(o);
+    benchmark::DoNotOptimize(w2v.Train(sentences, 1000));
+  }
+}
+BENCHMARK(BM_Word2VecEpoch);
+
+void BM_TopKSelect(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<double> scores(static_cast<size_t>(state.range(0)));
+  for (auto& s : scores) s = rng.Uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::TopK::Select(scores, 20));
+  }
+}
+BENCHMARK(BM_TopKSelect)->Arg(1000)->Arg(100000);
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Table VII: train and test execution times (seconds) per method, averaged
+// over the three task families. Test time is per single match query, as in
+// the paper.
+
+#include <cstdio>
+#include <functional>
+
+#include "baselines/embedding_baselines.h"
+#include "baselines/lbert.h"
+#include "baselines/sbe.h"
+#include "baselines/supervised.h"
+#include "bench_common.h"
+#include "datagen/audit.h"
+#include "datagen/claims.h"
+#include "datagen/imdb.h"
+
+using namespace tdmatch;  // NOLINT
+
+namespace {
+
+struct Timing {
+  double train = -1;
+  double test = -1;  // per query
+};
+
+Timing TimeMethod(match::MatchMethod* m, const corpus::Scenario& s) {
+  auto run = core::Experiment::Run(m, s);
+  if (!run.ok()) return {};
+  return {run->train_seconds, run->test_seconds_per_query};
+}
+
+using Factory = std::function<std::unique_ptr<match::MatchMethod>(
+    const datagen::GeneratedScenario&, bool text_task)>;
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Table VII (train/test execution times, s)\n");
+
+  datagen::ImdbOptions imdb_opts;
+  imdb_opts.num_reviewed_movies = 40;
+  imdb_opts.num_distractor_movies = 60;
+  auto imdb = datagen::ImdbGenerator::Generate(imdb_opts);
+  datagen::AuditOptions audit_opts;
+  audit_opts.num_concepts = 120;
+  audit_opts.num_documents = 200;
+  auto audit = datagen::AuditGenerator::Generate(audit_opts);
+  datagen::ClaimsOptions claims_opts =
+      datagen::ClaimsGenerator::SnopesPreset();
+  claims_opts.num_facts = 600;
+  claims_opts.num_queries = 80;
+  auto claims = datagen::ClaimsGenerator::Generate(claims_opts);
+
+  struct Row {
+    std::string name;
+    Factory make;
+  };
+  std::vector<Row> rows = {
+      {"W2VEC",
+       [](const datagen::GeneratedScenario&, bool) {
+         return std::make_unique<baselines::Word2VecBaseline>();
+       }},
+      {"D2VEC",
+       [](const datagen::GeneratedScenario&, bool) {
+         return std::make_unique<baselines::Doc2VecBaseline>();
+       }},
+      {"S-BE",
+       [](const datagen::GeneratedScenario&, bool) {
+         return std::make_unique<baselines::HashSentenceEncoder>();
+       }},
+      {"W-RW",
+       [](const datagen::GeneratedScenario&, bool text_task)
+           -> std::unique_ptr<match::MatchMethod> {
+         return std::make_unique<core::TDmatchMethod>(
+             "W-RW",
+             text_task ? bench::TextTaskOptions() : bench::DataTaskOptions());
+       }},
+      {"RANK*",
+       [](const datagen::GeneratedScenario&, bool) {
+         return std::make_unique<baselines::PairwiseRanker>();
+       }},
+      {"L-BE*",
+       [](const datagen::GeneratedScenario&, bool) {
+         return std::make_unique<baselines::LBertProxy>();
+       }},
+  };
+
+  std::printf("\n%-8s  %-17s  %-17s  %-17s\n", "Method", "Text-to-data",
+              "Structured text", "Text-to-text");
+  std::printf("%-8s  %-8s %-8s  %-8s %-8s  %-8s %-8s\n", "", "Train", "Test",
+              "Train", "Test", "Train", "Test");
+  for (const auto& row : rows) {
+    auto m1 = row.make(imdb, false);
+    Timing t1 = TimeMethod(m1.get(), imdb.scenario);
+    auto m2 = row.make(audit, true);
+    Timing t2 = TimeMethod(m2.get(), audit.scenario);
+    auto m3 = row.make(claims, true);
+    Timing t3 = TimeMethod(m3.get(), claims.scenario);
+    std::printf("%-8s  %-8.3f %-8.5f  %-8.3f %-8.5f  %-8.3f %-8.5f\n",
+                row.name.c_str(), t1.train, t1.test, t2.train, t2.test,
+                t3.train, t3.test);
+  }
+  std::printf(
+      "\nNote: shapes to compare with the paper — S-BE has (near) zero\n"
+      "train; W-RW trains longer than shallow embeddings but tests fastest\n"
+      "among embedding methods; supervised methods pay per-fold training.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table VIII: compression performance — number of nodes (#N) and edges
+// (#E) of the graph vs matching quality (MRR) for: the original graph, the
+// expanded graph, MSP(0.5), MSP(0.25) and the SSumm-style baseline (0.1).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+
+using namespace tdmatch;  // NOLINT
+
+namespace {
+
+struct Cell {
+  size_t nodes = 0;
+  size_t edges = 0;
+  double mrr = 0;
+};
+
+Cell RunConfig(const bench::SweepScenario& sc, bool expand,
+               core::CompressionMode mode, double beta) {
+  core::TDmatchOptions o = sc.base_options;
+  o.expand = expand;
+  o.compression = mode;
+  o.compression_beta = beta;
+  core::TDmatchMethod m("cfg", o, sc.data.kb.get());
+  auto run = core::Experiment::Run(&m, sc.data.scenario);
+  Cell c;
+  if (!run.ok()) {
+    std::printf("config failed: %s\n", run.status().ToString().c_str());
+    return c;
+  }
+  c.nodes = m.last_result().compressed.nodes;
+  c.edges = m.last_result().compressed.edges;
+  c.mrr = eval::RankingMetrics::MRR(run->rankings, sc.data.scenario.gold);
+  return c;
+}
+
+void PrintCell(const Cell& c) {
+  std::printf("  %6zu %7zu %.3f |", c.nodes, c.edges, c.mrr);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduction of Table VIII (compression performance)\n");
+  std::printf(
+      "\n%-6s | %-21s | %-21s | %-21s | %-21s | %-21s\n", "Data",
+      "Original (#N #E MRR)", "Expanded", "MSP(0.5)", "MSP(0.25)",
+      "SSuM(0.1)");
+  for (const auto& sc : bench::MakeSweepScenarios()) {
+    std::printf("%-6s |", sc.name.c_str());
+    PrintCell(RunConfig(sc, /*expand=*/false, core::CompressionMode::kNone,
+                        0));
+    PrintCell(RunConfig(sc, /*expand=*/true, core::CompressionMode::kNone,
+                        0));
+    PrintCell(RunConfig(sc, /*expand=*/true, core::CompressionMode::kMsp,
+                        0.5));
+    PrintCell(RunConfig(sc, /*expand=*/true, core::CompressionMode::kMsp,
+                        0.25));
+    PrintCell(RunConfig(sc, /*expand=*/true, core::CompressionMode::kSsumm,
+                        0.1));
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: expansion raises MRR; MSP(0.5) stays close to the\n"
+      "expanded graph with fewer nodes (best on table scenarios); MSP(0.25)\n"
+      "compresses harder at some quality cost; SSumm shrinks well but\n"
+      "degrades matching (it ignores the metadata/data distinction).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Bring-your-own-data workflow: write a table and a text corpus to disk,
+// load them back through corpus::Loader, inspect the graph with
+// graph::ComputeStatistics, prune candidates with match::TokenBlocker, run
+// TDmatch, and persist the document embeddings with embed::EmbeddingIo.
+//
+//   build/examples/custom_csv
+
+#include <cstdio>
+
+#include "corpus/loader.h"
+#include "core/tdmatch.h"
+#include "embed/io.h"
+#include "graph/builder.h"
+#include "graph/stats.h"
+#include "match/blocking.h"
+#include "match/top_k.h"
+#include "util/csv.h"
+
+using namespace tdmatch;  // NOLINT: example brevity
+
+int main() {
+  const std::string dir = "/tmp";
+  const std::string table_path = dir + "/tdmatch_products.csv";
+  const std::string texts_path = dir + "/tdmatch_reviews.txt";
+  const std::string vectors_path = dir + "/tdmatch_vectors.txt";
+
+  // 1. Create input files (in a real workflow these already exist).
+  TDM_CHECK(util::Csv::WriteFile(
+                table_path,
+                {{"name", "brand", "category"},
+                 {"Trail Runner 7", "Vantor", "running shoes"},
+                 {"Peak Jacket", "Nordlund", "outdoor clothing"},
+                 {"City Cruiser", "Vantor", "commuter bike"}})
+                .ok());
+  {
+    std::vector<std::vector<std::string>> lines = {
+        {"the vantor trail runner feels light on long runs"},
+        {"nordlund makes the warmest jacket for winter hikes"},
+        {"my new cruiser bike from vantor handles city streets well"}};
+    std::string buffer;
+    for (const auto& l : lines) buffer += l[0] + "\n";
+    std::FILE* f = std::fopen(texts_path.c_str(), "w");
+    TDM_CHECK(f != nullptr);
+    std::fputs(buffer.c_str(), f);
+    std::fclose(f);
+  }
+
+  // 2. Load them back.
+  auto table = corpus::Loader::TableFromCsv(table_path, "products");
+  TDM_CHECK(table.ok()) << table.status().ToString();
+  auto reviews = corpus::Loader::TextsFromFile(texts_path, "reviews");
+  TDM_CHECK(reviews.ok()) << reviews.status().ToString();
+  corpus::Corpus products = corpus::Corpus::FromTable(*table);
+
+  // 3. Inspect the joint graph before matching.
+  graph::GraphBuilder builder{graph::BuilderOptions{}};
+  auto g = builder.Build(*reviews, products);
+  TDM_CHECK(g.ok());
+  std::printf("--- graph ---\n%s\n\n",
+              graph::FormatStatistics(graph::ComputeStatistics(*g)).c_str());
+
+  // 4. Blocking preview: how many candidates would scoring skip?
+  match::TokenBlocker blocker;
+  blocker.Index(products);
+  std::printf("average block fraction: %.2f\n\n",
+              blocker.AverageBlockFraction(*reviews));
+
+  // 5. Match.
+  core::TDmatchOptions options;
+  options.walks.num_walks = 40;
+  options.walks.walk_length = 12;
+  options.w2v.epochs = 6;
+  core::TDmatch engine(options);
+  auto result = engine.Run(*reviews, products);
+  TDM_CHECK(result.ok()) << result.status().ToString();
+  embed::EmbeddingTable doc_vectors;  // dim inferred from the first vector
+  for (size_t q = 0; q < reviews->NumDocs(); ++q) {
+    auto top = match::TopK::Select(result->scores[q], 1);
+    std::printf("%s -> %s (%.3f)\n", reviews->DocId(q).c_str(),
+                table->TupleText(static_cast<size_t>(top[0].index)).c_str(),
+                top[0].score);
+  }
+
+  // 6. Persist and reload the per-document score vectors as embeddings.
+  for (size_t q = 0; q < reviews->NumDocs(); ++q) {
+    std::vector<float> v(result->scores[q].begin(), result->scores[q].end());
+    doc_vectors.Put(reviews->DocId(q), std::move(v));
+  }
+  TDM_CHECK(embed::EmbeddingIo::Save(doc_vectors, vectors_path).ok());
+  auto reloaded = embed::EmbeddingIo::Load(vectors_path);
+  TDM_CHECK(reloaded.ok());
+  std::printf("\nsaved %zu vectors to %s and reloaded %zu\n",
+              doc_vectors.size(), vectors_path.c_str(), reloaded->size());
+
+  std::remove(table_path.c_str());
+  std::remove(texts_path.c_str());
+  std::remove(vectors_path.c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "baselines/embedding_baselines.h"
+
+#include "embed/embedding_table.h"
+#include "match/top_k.h"
+
+namespace tdmatch {
+namespace baselines {
+
+std::string SerializeDoc(const corpus::Corpus& corpus, size_t index) {
+  if (corpus.type() == corpus::CorpusType::kTable) {
+    return corpus.table()->SerializeTuple(index);
+  }
+  return corpus.DocText(index);
+}
+
+namespace {
+
+/// Tokenizes all documents of both corpora into a shared vocabulary.
+/// Returns per-document id sequences: first all queries, then candidates.
+std::vector<std::vector<int32_t>> TokenizeAll(
+    const corpus::Scenario& scenario, text::Vocabulary* vocab) {
+  text::Preprocessor pp(text::PreprocessOptions{
+      .remove_stopwords = true, .stem = true, .max_ngram = 1});
+  std::vector<std::vector<int32_t>> docs;
+  auto add = [&](const corpus::Corpus& c) {
+    for (size_t i = 0; i < c.NumDocs(); ++i) {
+      std::vector<int32_t> ids;
+      for (const auto& tok : pp.Tokens(SerializeDoc(c, i))) {
+        ids.push_back(vocab->Add(tok));
+      }
+      docs.push_back(std::move(ids));
+    }
+  };
+  add(scenario.first);
+  add(scenario.second);
+  return docs;
+}
+
+}  // namespace
+
+Word2VecBaseline::Word2VecBaseline(embed::Word2VecOptions options)
+    : options_(options) {}
+
+util::Status Word2VecBaseline::Fit(
+    const corpus::Scenario& scenario,
+    const std::vector<int32_t>& train_queries) {
+  (void)train_queries;  // unsupervised
+  text::Vocabulary vocab;
+  auto docs = TokenizeAll(scenario, &vocab);
+  if (vocab.size() == 0) {
+    return util::Status::InvalidArgument("empty corpora");
+  }
+  embed::Word2Vec w2v(options_);
+  TDM_RETURN_NOT_OK(w2v.Train(docs, vocab.size()));
+
+  auto doc_vec = [&](const std::vector<int32_t>& ids) {
+    std::vector<const std::vector<float>*> token_vecs;
+    std::vector<std::vector<float>> storage;
+    storage.reserve(ids.size());
+    for (int32_t id : ids) storage.push_back(w2v.VectorCopy(id));
+    for (const auto& v : storage) token_vecs.push_back(&v);
+    return embed::EmbeddingTable::Mean(token_vecs, w2v.dim());
+  };
+
+  const size_t nq = scenario.first.NumDocs();
+  query_vecs_.clear();
+  candidate_vecs_.clear();
+  for (size_t i = 0; i < nq; ++i) query_vecs_.push_back(doc_vec(docs[i]));
+  for (size_t i = nq; i < docs.size(); ++i) {
+    candidate_vecs_.push_back(doc_vec(docs[i]));
+  }
+  return util::Status::OK();
+}
+
+std::vector<double> Word2VecBaseline::ScoreCandidates(
+    size_t query_index) const {
+  return match::TopK::ScoreAll(query_vecs_[query_index], candidate_vecs_);
+}
+
+Doc2VecBaseline::Doc2VecBaseline(embed::Doc2VecOptions options)
+    : options_(options) {}
+
+util::Status Doc2VecBaseline::Fit(const corpus::Scenario& scenario,
+                                  const std::vector<int32_t>& train_queries) {
+  (void)train_queries;  // unsupervised
+  text::Vocabulary vocab;
+  auto docs = TokenizeAll(scenario, &vocab);
+  if (vocab.size() == 0) {
+    return util::Status::InvalidArgument("empty corpora");
+  }
+  embed::Doc2Vec d2v(options_);
+  TDM_RETURN_NOT_OK(d2v.Train(docs, vocab.size()));
+
+  const size_t nq = scenario.first.NumDocs();
+  query_vecs_.clear();
+  candidate_vecs_.clear();
+  for (size_t i = 0; i < nq; ++i) query_vecs_.push_back(d2v.DocVector(i));
+  for (size_t i = nq; i < docs.size(); ++i) {
+    candidate_vecs_.push_back(d2v.DocVector(i));
+  }
+  return util::Status::OK();
+}
+
+std::vector<double> Doc2VecBaseline::ScoreCandidates(
+    size_t query_index) const {
+  return match::TopK::ScoreAll(query_vecs_[query_index], candidate_vecs_);
+}
+
+}  // namespace baselines
+}  // namespace tdmatch

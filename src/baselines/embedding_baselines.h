@@ -1,0 +1,63 @@
+#ifndef TDMATCH_BASELINES_EMBEDDING_BASELINES_H_
+#define TDMATCH_BASELINES_EMBEDDING_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/doc2vec.h"
+#include "embed/word2vec.h"
+#include "match/method.h"
+#include "text/preprocess.h"
+#include "text/vocabulary.h"
+
+namespace tdmatch {
+namespace baselines {
+
+/// \brief "W2VEC": Word2Vec trained on the serialized documents of both
+/// corpora (tuples via [COL]/[VAL]); a document is the mean of its token
+/// vectors (§V "Baselines").
+class Word2VecBaseline : public match::MatchMethod {
+ public:
+  explicit Word2VecBaseline(embed::Word2VecOptions options = {
+      .dim = 48, .window = 5, .cbow = false, .negative = 5,
+      .initial_lr = 0.025, .epochs = 8, .subsample = 0.0, .threads = 4,
+      .seed = 21});
+
+  util::Status Fit(const corpus::Scenario& scenario,
+                   const std::vector<int32_t>& train_queries) override;
+  std::vector<double> ScoreCandidates(size_t query_index) const override;
+  std::string name() const override { return "W2VEC"; }
+
+ private:
+  embed::Word2VecOptions options_;
+  std::vector<std::vector<float>> query_vecs_;
+  std::vector<std::vector<float>> candidate_vecs_;
+};
+
+/// \brief "D2VEC": Doc2Vec (PV-DBOW) over the documents of both corpora;
+/// matching compares trained document vectors directly.
+class Doc2VecBaseline : public match::MatchMethod {
+ public:
+  explicit Doc2VecBaseline(embed::Doc2VecOptions options = {
+      .dim = 48, .negative = 5, .initial_lr = 0.05, .epochs = 20,
+      .threads = 4, .seed = 22});
+
+  util::Status Fit(const corpus::Scenario& scenario,
+                   const std::vector<int32_t>& train_queries) override;
+  std::vector<double> ScoreCandidates(size_t query_index) const override;
+  std::string name() const override { return "D2VEC"; }
+
+ private:
+  embed::Doc2VecOptions options_;
+  std::vector<std::vector<float>> query_vecs_;
+  std::vector<std::vector<float>> candidate_vecs_;
+};
+
+/// Serializes a corpus document for the sequence baselines: tuples become
+/// "[COL] c [VAL] v ..." sentences, text/taxonomy docs pass through.
+std::string SerializeDoc(const corpus::Corpus& corpus, size_t index);
+
+}  // namespace baselines
+}  // namespace tdmatch
+
+#endif  // TDMATCH_BASELINES_EMBEDDING_BASELINES_H_

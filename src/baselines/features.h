@@ -1,0 +1,97 @@
+#ifndef TDMATCH_BASELINES_FEATURES_H_
+#define TDMATCH_BASELINES_FEATURES_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace tdmatch {
+namespace baselines {
+
+/// \brief Pairwise lexical features shared by the supervised proxies.
+///
+/// Fitted once per scenario: tokenizes and caches both corpora, fits
+/// TF-IDF over the union. Feature vector for a (query, candidate) pair:
+///   [tfidf cosine, jaccard, containment(q in c), idf-weighted containment,
+///    number overlap, length ratio, char-3gram cosine]
+class PairFeatures {
+ public:
+  PairFeatures() = default;
+
+  /// Caches tokens/vectors for all documents of the scenario.
+  void Fit(const corpus::Scenario& scenario);
+
+  /// Feature vector for query q vs candidate c (indices into the corpora).
+  std::vector<double> Extract(size_t q, size_t c) const;
+
+  /// Number of features produced by Extract.
+  static constexpr size_t kNumFeatures = 7;
+
+  /// Per-column containment features for table candidates (DeepMatcher* /
+  /// TAPAS* proxies): for each of the first `max_columns` columns, the
+  /// fraction of the column's cell tokens present in the query. Pads with
+  /// zeros for text candidates. `query_prefix_tokens` (0 = unlimited)
+  /// truncates the query to its first N tokens, modeling the input-length
+  /// truncation of the transformer baselines.
+  std::vector<double> ColumnFeatures(size_t q, size_t c, size_t max_columns,
+                                     size_t query_prefix_tokens = 0) const;
+
+  /// Surface overlap features with no corpus-statistics weighting:
+  /// [jaccard, containment, number overlap, length ratio, char-3gram
+  /// cosine]. The shallow floor under the learned hashed interactions.
+  std::vector<double> SurfaceFeatures(size_t q, size_t c) const;
+  static constexpr size_t kNumSurfaceFeatures = 5;
+
+  /// Shallow reranker features (RANK* proxy, Shaar et al. style): the
+  /// claim-reranker scores candidates with a generic sentence-encoder
+  /// cosine plus surface overlap — no corpus-statistics weighting.
+  std::vector<double> RerankerFeatures(size_t q, size_t c) const;
+  static constexpr size_t kNumRerankerFeatures = 4;
+
+  /// Learned-representation features (DITTO* / TAPAS* proxies): the
+  /// elementwise product of L2-normalized hashed bag-of-words vectors of
+  /// the two documents (kHashBowDim buckets). Each dimension is a bucket of
+  /// words whose weight the downstream classifier must LEARN from its
+  /// annotations — mirroring how the fine-tuned transformers learn token
+  /// importance instead of receiving TF-IDF priors.
+  /// When `truncate_query` is set, only the first kTruncTokens tokens of
+  /// the query contribute — the transformers' input-length limit, which is
+  /// what hurts them on long reviews (IMDb averages 16 sentences).
+  std::vector<double> HashedInteraction(size_t q, size_t c,
+                                        bool truncate_query = false) const;
+  static constexpr size_t kHashBowDim = 256;
+  static constexpr size_t kTruncTokens = 32;
+
+ private:
+  struct DocCache {
+    std::vector<std::string> tokens;
+    std::unordered_set<std::string> token_set;
+    std::unordered_set<std::string> numbers;
+    std::unordered_map<std::string, double> tfidf_vec;
+    std::unordered_map<std::string, double> char_vec;
+    std::vector<float> sbe_vec;       // generic sentence-encoder embedding
+    std::vector<double> hashed_bow;   // normalized hashed bag of words
+    std::vector<double> hashed_bow_trunc;  // same, first kTruncTokens only
+  };
+
+  DocCache BuildCache(const std::string& text) const;
+  static double SparseCosine(
+      const std::unordered_map<std::string, double>& a,
+      const std::unordered_map<std::string, double>& b);
+
+  const corpus::Scenario* scenario_ = nullptr;
+  text::Tokenizer tokenizer_;
+  text::TfIdf tfidf_;
+  std::vector<DocCache> queries_;
+  std::vector<DocCache> candidates_;
+};
+
+}  // namespace baselines
+}  // namespace tdmatch
+
+#endif  // TDMATCH_BASELINES_FEATURES_H_

@@ -1,0 +1,55 @@
+#ifndef TDMATCH_BASELINES_LBERT_H_
+#define TDMATCH_BASELINES_LBERT_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/linear_model.h"
+#include "match/method.h"
+#include "text/tokenizer.h"
+
+namespace tdmatch {
+namespace baselines {
+
+/// \brief "L-BE*": the fine-tuned-BERT-large proxy for the multi-label
+/// classification framing of the structured-text task (Table III).
+///
+/// One binary classifier per candidate concept (one-vs-rest) over hashed
+/// bag-of-subword features of the document text. Like the real fine-tuned
+/// model, it is strong for concepts with many training documents (the 40%
+/// single-concept docs) and starved elsewhere — the pattern Table III shows.
+class LBertProxy : public match::MatchMethod {
+ public:
+  struct Options {
+    int feature_dim = 512;
+    LogisticRegression::Options logreg{.lr = 0.3, .epochs = 60, .l2 = 1e-5,
+                                       .seed = 5};
+    uint64_t hash_seed = 0x1be;
+    /// Negative documents sampled per concept per positive.
+    size_t negatives_per_positive = 8;
+    uint64_t seed = 41;
+  };
+
+  LBertProxy();  // default options
+  explicit LBertProxy(Options options);
+
+  util::Status Fit(const corpus::Scenario& scenario,
+                   const std::vector<int32_t>& train_queries) override;
+  std::vector<double> ScoreCandidates(size_t query_index) const override;
+  std::string name() const override { return "L-BE*"; }
+  bool supervised() const override { return true; }
+
+ private:
+  std::vector<double> Featurize(const std::string& text) const;
+
+  Options options_;
+  text::Tokenizer tokenizer_;
+  std::vector<LogisticRegression> per_concept_;
+  std::vector<bool> concept_trained_;
+  std::vector<std::vector<double>> query_features_;
+};
+
+}  // namespace baselines
+}  // namespace tdmatch
+
+#endif  // TDMATCH_BASELINES_LBERT_H_

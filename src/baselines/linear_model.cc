@@ -1,0 +1,175 @@
+#include "baselines/linear_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace baselines {
+
+namespace {
+inline double Sigmoid(double x) {
+  if (x > 30) return 1.0;
+  if (x < -30) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+}  // namespace
+
+LogisticRegression::LogisticRegression() : LogisticRegression(Options{}) {}
+
+LogisticRegression::LogisticRegression(Options options) : options_(options) {}
+
+util::Status LogisticRegression::Fit(const std::vector<Example>& examples) {
+  if (examples.empty()) {
+    return util::Status::InvalidArgument("no training examples");
+  }
+  const size_t dim = examples[0].features.size();
+  for (const auto& e : examples) {
+    if (e.features.size() != dim) {
+      return util::Status::InvalidArgument("inconsistent feature dims");
+    }
+  }
+  w_.assign(dim, 0.0);
+  b_ = 0.0;
+  util::Rng rng(options_.seed);
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr = options_.lr / (1.0 + 0.1 * epoch);
+    for (size_t i : order) {
+      const auto& e = examples[i];
+      const double p = Sigmoid(Decision(e.features));
+      const double g = e.label - p;
+      for (size_t d = 0; d < dim; ++d) {
+        w_[d] += lr * (g * e.features[d] - options_.l2 * w_[d]);
+      }
+      b_ += lr * g;
+    }
+  }
+  return util::Status::OK();
+}
+
+double LogisticRegression::Decision(const std::vector<double>& f) const {
+  TDM_DCHECK_EQ(f.size(), w_.size());
+  double s = b_;
+  for (size_t d = 0; d < f.size(); ++d) s += w_[d] * f[d];
+  return s;
+}
+
+double LogisticRegression::Predict(const std::vector<double>& f) const {
+  return Sigmoid(Decision(f));
+}
+
+util::Status LogisticRegression::FitPairwise(
+    const std::vector<std::pair<std::vector<double>, std::vector<double>>>&
+        pairs) {
+  if (pairs.empty()) {
+    return util::Status::InvalidArgument("no training pairs");
+  }
+  const size_t dim = pairs[0].first.size();
+  w_.assign(dim, 0.0);
+  b_ = 0.0;  // bias cancels in pairwise loss but kept for Predict parity
+  util::Rng rng(options_.seed);
+  std::vector<size_t> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr = options_.lr / (1.0 + 0.1 * epoch);
+    for (size_t i : order) {
+      const auto& [pos, neg] = pairs[i];
+      double diff = 0.0;
+      for (size_t d = 0; d < dim; ++d) diff += w_[d] * (pos[d] - neg[d]);
+      const double g = 1.0 - Sigmoid(diff);  // gradient of log(1+e^-diff)
+      for (size_t d = 0; d < dim; ++d) {
+        w_[d] += lr * (g * (pos[d] - neg[d]) - options_.l2 * w_[d]);
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+MlpClassifier::MlpClassifier() : MlpClassifier(Options{}) {}
+
+MlpClassifier::MlpClassifier(Options options) : options_(options) {}
+
+util::Status MlpClassifier::Fit(const std::vector<Example>& examples) {
+  if (examples.empty()) {
+    return util::Status::InvalidArgument("no training examples");
+  }
+  input_dim_ = static_cast<int>(examples[0].features.size());
+  const int h = options_.hidden;
+  util::Rng rng(options_.seed);
+  w1_.resize(static_cast<size_t>(h * input_dim_));
+  b1_.assign(static_cast<size_t>(h), 0.0);
+  w2_.resize(static_cast<size_t>(h));
+  for (auto& v : w1_) v = rng.Gaussian() * 0.3;
+  for (auto& v : w2_) v = rng.Gaussian() * 0.3;
+  b2_ = 0.0;
+
+  std::vector<double> hidden(static_cast<size_t>(h));
+  std::vector<double> grad_hidden(static_cast<size_t>(h));
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr = options_.lr / (1.0 + 0.05 * epoch);
+    for (size_t i : order) {
+      const auto& e = examples[i];
+      // Forward.
+      for (int j = 0; j < h; ++j) {
+        double s = b1_[static_cast<size_t>(j)];
+        const double* wrow = w1_.data() + static_cast<size_t>(j * input_dim_);
+        for (int d = 0; d < input_dim_; ++d) {
+          s += wrow[d] * e.features[static_cast<size_t>(d)];
+        }
+        hidden[static_cast<size_t>(j)] = s > 0 ? s : 0;  // ReLU
+      }
+      double out = b2_;
+      for (int j = 0; j < h; ++j) {
+        out += w2_[static_cast<size_t>(j)] * hidden[static_cast<size_t>(j)];
+      }
+      const double p = Sigmoid(out);
+      const double g = e.label - p;
+      // Backward.
+      for (int j = 0; j < h; ++j) {
+        grad_hidden[static_cast<size_t>(j)] =
+            hidden[static_cast<size_t>(j)] > 0
+                ? g * w2_[static_cast<size_t>(j)]
+                : 0.0;
+        w2_[static_cast<size_t>(j)] +=
+            lr * (g * hidden[static_cast<size_t>(j)] -
+                  options_.l2 * w2_[static_cast<size_t>(j)]);
+      }
+      b2_ += lr * g;
+      for (int j = 0; j < h; ++j) {
+        const double gh = grad_hidden[static_cast<size_t>(j)];
+        if (gh == 0.0) continue;
+        double* wrow = w1_.data() + static_cast<size_t>(j * input_dim_);
+        for (int d = 0; d < input_dim_; ++d) {
+          wrow[d] += lr * (gh * e.features[static_cast<size_t>(d)] -
+                           options_.l2 * wrow[d]);
+        }
+        b1_[static_cast<size_t>(j)] += lr * gh;
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+double MlpClassifier::Predict(const std::vector<double>& features) const {
+  TDM_DCHECK_EQ(static_cast<int>(features.size()), input_dim_);
+  const int h = options_.hidden;
+  double out = b2_;
+  for (int j = 0; j < h; ++j) {
+    double s = b1_[static_cast<size_t>(j)];
+    const double* wrow = w1_.data() + static_cast<size_t>(j * input_dim_);
+    for (int d = 0; d < input_dim_; ++d) s += wrow[d] * features[static_cast<size_t>(d)];
+    if (s > 0) out += w2_[static_cast<size_t>(j)] * s;
+  }
+  return Sigmoid(out);
+}
+
+}  // namespace baselines
+}  // namespace tdmatch

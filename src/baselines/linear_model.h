@@ -1,0 +1,87 @@
+#ifndef TDMATCH_BASELINES_LINEAR_MODEL_H_
+#define TDMATCH_BASELINES_LINEAR_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace baselines {
+
+/// A labeled feature vector.
+struct Example {
+  std::vector<double> features;
+  double label;  // 0 or 1
+};
+
+/// \brief Binary logistic regression trained with SGD; the workhorse of the
+/// supervised baseline proxies.
+class LogisticRegression {
+ public:
+  struct Options {
+    double lr = 0.1;
+    int epochs = 30;
+    double l2 = 1e-4;
+    uint64_t seed = 5;
+  };
+
+  LogisticRegression();  // default options
+  explicit LogisticRegression(Options options);
+
+  /// Trains on examples (all must share one feature dimensionality).
+  util::Status Fit(const std::vector<Example>& examples);
+
+  /// P(label = 1 | features).
+  double Predict(const std::vector<double>& features) const;
+
+  /// Raw decision value w·x + b.
+  double Decision(const std::vector<double>& features) const;
+
+  /// Pairwise ranking fit (RankNet-style logistic loss on score
+  /// differences): each pair is (positive features, negative features).
+  util::Status FitPairwise(
+      const std::vector<std::pair<std::vector<double>,
+                                  std::vector<double>>>& pairs);
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  Options options_;
+  std::vector<double> w_;
+  double b_ = 0;
+};
+
+/// \brief One-hidden-layer MLP (ReLU) binary classifier — the "deep"
+/// supervised proxies (Ditto*, TAPAS*) use this on top of their features.
+class MlpClassifier {
+ public:
+  struct Options {
+    int hidden = 16;
+    double lr = 0.05;
+    int epochs = 40;
+    double l2 = 1e-5;
+    uint64_t seed = 6;
+  };
+
+  MlpClassifier();  // default options
+  explicit MlpClassifier(Options options);
+
+  util::Status Fit(const std::vector<Example>& examples);
+  double Predict(const std::vector<double>& features) const;
+
+ private:
+  Options options_;
+  int input_dim_ = 0;
+  std::vector<double> w1_;  // hidden x input
+  std::vector<double> b1_;  // hidden
+  std::vector<double> w2_;  // hidden
+  double b2_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace tdmatch
+
+#endif  // TDMATCH_BASELINES_LINEAR_MODEL_H_

@@ -1,0 +1,56 @@
+#ifndef TDMATCH_BASELINES_SBE_H_
+#define TDMATCH_BASELINES_SBE_H_
+
+#include <string>
+#include <vector>
+
+#include "match/method.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace tdmatch {
+namespace baselines {
+
+/// \brief "S-BE": the SentenceBERT stand-in (see DESIGN.md).
+///
+/// A deterministic sentence encoder: signed hashing of word tokens
+/// (IDF-weighted) blended with char-3-gram hashing, L2-normalized. Like a
+/// real generic pre-trained encoder it handles common-word paraphrase text
+/// reasonably (shared subwords) but has no way to relate domain-specific
+/// terms, acronyms, or table semantics — the comparative weakness the
+/// paper's tables document.
+class HashSentenceEncoder : public match::MatchMethod {
+ public:
+  struct Options {
+    int dim = 128;
+    double char_weight = 0.35;
+    /// Cap on the per-token IDF weight: a frozen pre-trained encoder does
+    /// not give out-of-corpus tokens unbounded importance.
+    double max_token_weight = 4.0;
+    uint64_t hash_seed = 0xbee;
+  };
+
+  HashSentenceEncoder();  // default options
+  explicit HashSentenceEncoder(Options options);
+
+  util::Status Fit(const corpus::Scenario& scenario,
+                   const std::vector<int32_t>& train_queries) override;
+  std::vector<double> ScoreCandidates(size_t query_index) const override;
+  std::string name() const override { return "S-BE"; }
+
+  /// Encodes an arbitrary sentence (exposed for the Fig. 10 combination
+  /// and for tests).
+  std::vector<float> Encode(const std::string& text) const;
+
+ private:
+  Options options_;
+  text::Tokenizer tokenizer_;
+  text::TfIdf tfidf_;
+  std::vector<std::vector<float>> query_vecs_;
+  std::vector<std::vector<float>> candidate_vecs_;
+};
+
+}  // namespace baselines
+}  // namespace tdmatch
+
+#endif  // TDMATCH_BASELINES_SBE_H_

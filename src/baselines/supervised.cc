@@ -1,0 +1,213 @@
+#include "baselines/supervised.h"
+
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace tdmatch {
+namespace baselines {
+
+namespace {
+
+/// Samples training pairs: for each train query, every gold candidate is a
+/// positive; negatives are drawn uniformly from the non-gold candidates.
+struct PairSample {
+  size_t query;
+  size_t candidate;
+  double label;
+};
+
+std::vector<PairSample> SamplePairs(const corpus::Scenario& scenario,
+                                    const std::vector<int32_t>& train_queries,
+                                    size_t negatives_per_positive,
+                                    uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<PairSample> out;
+  const size_t nc = scenario.second.NumDocs();
+  for (int32_t q : train_queries) {
+    const auto& gold = scenario.gold[static_cast<size_t>(q)];
+    if (gold.empty()) continue;
+    std::unordered_set<int32_t> gold_set(gold.begin(), gold.end());
+    for (int32_t g : gold) {
+      out.push_back(
+          {static_cast<size_t>(q), static_cast<size_t>(g), 1.0});
+      for (size_t n = 0; n < negatives_per_positive; ++n) {
+        int32_t neg = static_cast<int32_t>(rng.UniformInt(nc));
+        if (gold_set.count(neg) > 0) continue;
+        out.push_back(
+            {static_cast<size_t>(q), static_cast<size_t>(neg), 0.0});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RANK*
+// ---------------------------------------------------------------------------
+
+PairwiseRanker::PairwiseRanker(SupervisedOptions options)
+    : options_(options) {}
+
+util::Status PairwiseRanker::Fit(const corpus::Scenario& scenario,
+                                 const std::vector<int32_t>& train_queries) {
+  if (train_queries.empty()) {
+    return util::Status::InvalidArgument("RANK* is supervised");
+  }
+  features_.Fit(scenario);
+  num_candidates_ = scenario.second.NumDocs();
+
+  util::Rng rng(options_.seed);
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> pairs;
+  for (int32_t q : train_queries) {
+    const auto& gold = scenario.gold[static_cast<size_t>(q)];
+    if (gold.empty()) continue;
+    std::unordered_set<int32_t> gold_set(gold.begin(), gold.end());
+    for (int32_t g : gold) {
+      auto pos = features_.RerankerFeatures(static_cast<size_t>(q),
+                                            static_cast<size_t>(g));
+      for (size_t n = 0; n < options_.negatives_per_positive; ++n) {
+        int32_t neg = static_cast<int32_t>(rng.UniformInt(num_candidates_));
+        if (gold_set.count(neg) > 0) continue;
+        pairs.emplace_back(
+            pos, features_.RerankerFeatures(static_cast<size_t>(q),
+                                            static_cast<size_t>(neg)));
+      }
+    }
+  }
+  return model_.FitPairwise(pairs);
+}
+
+std::vector<double> PairwiseRanker::ScoreCandidates(size_t query_index) const {
+  std::vector<double> scores(num_candidates_);
+  for (size_t c = 0; c < num_candidates_; ++c) {
+    scores[c] = model_.Decision(features_.RerankerFeatures(query_index, c));
+  }
+  return scores;
+}
+
+// ---------------------------------------------------------------------------
+// DITTO*
+// ---------------------------------------------------------------------------
+
+DittoProxy::DittoProxy(SupervisedOptions options) : options_(options) {}
+
+util::Status DittoProxy::Fit(const corpus::Scenario& scenario,
+                             const std::vector<int32_t>& train_queries) {
+  if (train_queries.empty()) {
+    return util::Status::InvalidArgument("DITTO* is supervised");
+  }
+  features_.Fit(scenario);
+  num_candidates_ = scenario.second.NumDocs();
+  auto extract = [&](size_t q, size_t c) {
+    auto f = features_.HashedInteraction(q, c, /*truncate_query=*/true);
+    auto surface = features_.SurfaceFeatures(q, c);
+    f.insert(f.end(), surface.begin(), surface.end());
+    return f;
+  };
+  std::vector<Example> examples;
+  for (const auto& p : SamplePairs(scenario, train_queries,
+                                   options_.negatives_per_positive,
+                                   options_.seed)) {
+    examples.push_back({extract(p.query, p.candidate), p.label});
+  }
+  return model_.Fit(examples);
+}
+
+std::vector<double> DittoProxy::ScoreCandidates(size_t query_index) const {
+  std::vector<double> scores(num_candidates_);
+  for (size_t c = 0; c < num_candidates_; ++c) {
+    auto f = features_.HashedInteraction(query_index, c, /*truncate_query=*/true);
+    auto surface = features_.SurfaceFeatures(query_index, c);
+    f.insert(f.end(), surface.begin(), surface.end());
+    scores[c] = model_.Predict(f);
+  }
+  return scores;
+}
+
+// ---------------------------------------------------------------------------
+// DEEP-M*
+// ---------------------------------------------------------------------------
+
+DeepMatcherProxy::DeepMatcherProxy(SupervisedOptions options,
+                                   size_t max_columns)
+    : options_(options), max_columns_(max_columns) {}
+
+util::Status DeepMatcherProxy::Fit(const corpus::Scenario& scenario,
+                                   const std::vector<int32_t>& train_queries) {
+  if (train_queries.empty()) {
+    return util::Status::InvalidArgument("DEEP-M* is supervised");
+  }
+  features_.Fit(scenario);
+  num_candidates_ = scenario.second.NumDocs();
+  std::vector<Example> examples;
+  for (const auto& p : SamplePairs(scenario, train_queries,
+                                   options_.negatives_per_positive,
+                                   options_.seed)) {
+    examples.push_back(
+        {features_.ColumnFeatures(p.query, p.candidate, max_columns_),
+         p.label});
+  }
+  return model_.Fit(examples);
+}
+
+std::vector<double> DeepMatcherProxy::ScoreCandidates(
+    size_t query_index) const {
+  std::vector<double> scores(num_candidates_);
+  for (size_t c = 0; c < num_candidates_; ++c) {
+    scores[c] =
+        model_.Predict(features_.ColumnFeatures(query_index, c, max_columns_));
+  }
+  return scores;
+}
+
+// ---------------------------------------------------------------------------
+// TAPAS*
+// ---------------------------------------------------------------------------
+
+TapasProxy::TapasProxy(SupervisedOptions options, size_t max_columns,
+                       size_t query_prefix_tokens)
+    : options_(options),
+      max_columns_(max_columns),
+      query_prefix_tokens_(query_prefix_tokens) {}
+
+util::Status TapasProxy::Fit(const corpus::Scenario& scenario,
+                             const std::vector<int32_t>& train_queries) {
+  if (train_queries.empty()) {
+    return util::Status::InvalidArgument("TAPAS* is supervised");
+  }
+  features_.Fit(scenario);
+  num_candidates_ = scenario.second.NumDocs();
+  auto extract = [&](size_t q, size_t c) {
+    auto f = features_.HashedInteraction(q, c, /*truncate_query=*/true);
+    auto cols =
+        features_.ColumnFeatures(q, c, max_columns_, query_prefix_tokens_);
+    f.insert(f.end(), cols.begin(), cols.end());
+    return f;
+  };
+  std::vector<Example> examples;
+  for (const auto& p : SamplePairs(scenario, train_queries,
+                                   options_.negatives_per_positive,
+                                   options_.seed)) {
+    examples.push_back({extract(p.query, p.candidate), p.label});
+  }
+  return model_.Fit(examples);
+}
+
+std::vector<double> TapasProxy::ScoreCandidates(size_t query_index) const {
+  std::vector<double> scores(num_candidates_);
+  for (size_t c = 0; c < num_candidates_; ++c) {
+    auto f = features_.HashedInteraction(query_index, c,
+                                         /*truncate_query=*/true);
+    auto cols = features_.ColumnFeatures(query_index, c, max_columns_,
+                                         query_prefix_tokens_);
+    f.insert(f.end(), cols.begin(), cols.end());
+    scores[c] = model_.Predict(f);
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace tdmatch

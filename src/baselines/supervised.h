@@ -1,0 +1,111 @@
+#ifndef TDMATCH_BASELINES_SUPERVISED_H_
+#define TDMATCH_BASELINES_SUPERVISED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/features.h"
+#include "baselines/linear_model.h"
+#include "match/method.h"
+
+namespace tdmatch {
+namespace baselines {
+
+/// Shared options for the supervised pair-scoring proxies.
+struct SupervisedOptions {
+  /// Negatives sampled per positive pair at training time.
+  size_t negatives_per_positive = 5;
+  uint64_t seed = 31;
+};
+
+/// \brief "RANK*": pairwise learning-to-rank proxy (Shaar et al.) —
+/// logistic RankNet loss over the shared lexical features.
+class PairwiseRanker : public match::MatchMethod {
+ public:
+  explicit PairwiseRanker(SupervisedOptions options = {});
+
+  util::Status Fit(const corpus::Scenario& scenario,
+                   const std::vector<int32_t>& train_queries) override;
+  std::vector<double> ScoreCandidates(size_t query_index) const override;
+  std::string name() const override { return "RANK*"; }
+  bool supervised() const override { return true; }
+
+ private:
+  SupervisedOptions options_;
+  PairFeatures features_;
+  LogisticRegression model_;
+  size_t num_candidates_ = 0;
+};
+
+/// \brief "DITTO*": pointwise pair classifier proxy — an MLP over learned
+/// hashed-interaction buckets plus shallow surface overlap (Ditto fine-tunes
+/// BERT on the [COL]/[VAL]-serialized pair; token weighting is learned from
+/// the limited annotations, not given).
+class DittoProxy : public match::MatchMethod {
+ public:
+  explicit DittoProxy(SupervisedOptions options = {});
+
+  util::Status Fit(const corpus::Scenario& scenario,
+                   const std::vector<int32_t>& train_queries) override;
+  std::vector<double> ScoreCandidates(size_t query_index) const override;
+  std::string name() const override { return "DITTO*"; }
+  bool supervised() const override { return true; }
+
+ private:
+  SupervisedOptions options_;
+  PairFeatures features_;
+  MlpClassifier model_;
+  size_t num_candidates_ = 0;
+};
+
+/// \brief "DEEP-M*": DeepMatcher proxy — per-attribute similarity vector
+/// aggregated by a logistic layer (DeepMatcher's attribute-summarization
+/// design), so it only sees column-aligned signals.
+class DeepMatcherProxy : public match::MatchMethod {
+ public:
+  explicit DeepMatcherProxy(SupervisedOptions options = {},
+                            size_t max_columns = 13);
+
+  util::Status Fit(const corpus::Scenario& scenario,
+                   const std::vector<int32_t>& train_queries) override;
+  std::vector<double> ScoreCandidates(size_t query_index) const override;
+  std::string name() const override { return "DEEP-M*"; }
+  bool supervised() const override { return true; }
+
+ private:
+  SupervisedOptions options_;
+  size_t max_columns_;
+  PairFeatures features_;
+  LogisticRegression model_;
+  size_t num_candidates_ = 0;
+};
+
+/// \brief "TAPAS*": table-QA proxy — column containment + learned hashed
+/// interactions through an MLP. Mirrors TAPAS's bounded input: only a
+/// prefix of the query text is visible to the column matcher (transformer
+/// truncation), which is what hurts it on long reviews.
+class TapasProxy : public match::MatchMethod {
+ public:
+  explicit TapasProxy(SupervisedOptions options = {}, size_t max_columns = 13,
+                      size_t query_prefix_tokens = 32);
+
+  util::Status Fit(const corpus::Scenario& scenario,
+                   const std::vector<int32_t>& train_queries) override;
+  std::vector<double> ScoreCandidates(size_t query_index) const override;
+  std::string name() const override { return "TAPAS*"; }
+  bool supervised() const override { return true; }
+
+ private:
+  SupervisedOptions options_;
+  size_t max_columns_;
+  size_t query_prefix_tokens_;
+  PairFeatures features_;
+  MlpClassifier model_;
+  size_t num_candidates_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace tdmatch
+
+#endif  // TDMATCH_BASELINES_SUPERVISED_H_

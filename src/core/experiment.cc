@@ -1,0 +1,85 @@
+#include "core/experiment.h"
+
+#include "eval/kfold.h"
+#include "match/top_k.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tdmatch {
+namespace core {
+
+util::Result<MethodRun> Experiment::Run(match::MatchMethod* method,
+                                        const corpus::Scenario& scenario,
+                                        const HarnessOptions& options) {
+  MethodRun run;
+  const size_t nq = scenario.first.NumDocs();
+  run.rankings.resize(nq);
+  run.scores.resize(nq);
+  util::StopWatch watch;
+
+  if (!method->supervised()) {
+    watch.Reset();
+    TDM_RETURN_NOT_OK(method->Fit(scenario, {}));
+    run.train_seconds = watch.ElapsedSeconds();
+    watch.Reset();
+    for (size_t q = 0; q < nq; ++q) {
+      run.scores[q] = method->ScoreCandidates(q);
+      run.rankings[q] = match::TopK::FullRanking(run.scores[q]);
+    }
+    run.test_seconds_per_query =
+        nq == 0 ? 0 : watch.ElapsedSeconds() / static_cast<double>(nq);
+    return run;
+  }
+
+  // Supervised: k-fold CV; each query is scored exactly once, by the fold
+  // where it is held out.
+  auto folds = eval::KFold::Folds(nq, options.folds, options.seed);
+  double total_test_seconds = 0;
+  for (const auto& fold : folds) {
+    watch.Reset();
+    TDM_RETURN_NOT_OK(method->Fit(scenario, fold.train));
+    run.train_seconds += watch.ElapsedSeconds();
+    watch.Reset();
+    for (int32_t q : fold.test) {
+      run.scores[static_cast<size_t>(q)] =
+          method->ScoreCandidates(static_cast<size_t>(q));
+      run.rankings[static_cast<size_t>(q)] =
+          match::TopK::FullRanking(run.scores[static_cast<size_t>(q)]);
+    }
+    total_test_seconds += watch.ElapsedSeconds();
+  }
+  run.test_seconds_per_query =
+      nq == 0 ? 0 : total_test_seconds / static_cast<double>(nq);
+  return run;
+}
+
+RankingReport Experiment::Report(const std::string& method_name,
+                                 const MethodRun& run,
+                                 const corpus::Scenario& scenario) {
+  RankingReport r;
+  r.method = method_name;
+  r.mrr = eval::RankingMetrics::MRR(run.rankings, scenario.gold);
+  r.map1 = eval::RankingMetrics::MAPAtK(run.rankings, scenario.gold, 1);
+  r.map5 = eval::RankingMetrics::MAPAtK(run.rankings, scenario.gold, 5);
+  r.map20 = eval::RankingMetrics::MAPAtK(run.rankings, scenario.gold, 20);
+  r.hp1 = eval::RankingMetrics::HasPositiveAtK(run.rankings, scenario.gold, 1);
+  r.hp5 = eval::RankingMetrics::HasPositiveAtK(run.rankings, scenario.gold, 5);
+  r.hp20 =
+      eval::RankingMetrics::HasPositiveAtK(run.rankings, scenario.gold, 20);
+  return r;
+}
+
+std::string Experiment::FormatRow(const RankingReport& r) {
+  return util::StrFormat(
+      "%-10s  %.3f   %.3f %.3f %.3f   %.3f %.3f %.3f", r.method.c_str(),
+      r.mrr, r.map1, r.map5, r.map20, r.hp1, r.hp5, r.hp20);
+}
+
+std::string Experiment::Header() {
+  return util::StrFormat("%-10s  %-5s   %-5s %-5s %-5s   %-5s %-5s %-5s",
+                         "Method", "MRR", "MAP@1", "MAP@5", "MAP20", "HP@1",
+                         "HP@5", "HP@20");
+}
+
+}  // namespace core
+}  // namespace tdmatch

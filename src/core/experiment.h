@@ -1,0 +1,68 @@
+#ifndef TDMATCH_CORE_EXPERIMENT_H_
+#define TDMATCH_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "eval/metrics.h"
+#include "match/method.h"
+#include "util/result.h"
+
+namespace tdmatch {
+namespace core {
+
+/// Harness configuration.
+struct HarnessOptions {
+  /// Folds for supervised methods (paper: 5-fold cross validation).
+  size_t folds = 5;
+  uint64_t seed = 4242;
+};
+
+/// Everything a bench needs from one method run.
+struct MethodRun {
+  /// Full candidate ranking per query (empty for queries a supervised
+  /// method was trained on — they are excluded from its evaluation).
+  std::vector<eval::Ranking> rankings;
+  /// Raw scores per query (same sparsity as rankings); kept for the
+  /// Fig. 10 score-combination experiment.
+  std::vector<std::vector<double>> scores;
+  double train_seconds = 0;
+  /// Average seconds per query at test time (Table VII granularity).
+  double test_seconds_per_query = 0;
+};
+
+/// The metric columns of Tables I/II/IV/V/VI.
+struct RankingReport {
+  std::string method;
+  double mrr = 0;
+  double map1 = 0, map5 = 0, map20 = 0;
+  double hp1 = 0, hp5 = 0, hp20 = 0;
+};
+
+/// \brief Runs matching methods under the paper's protocol: unsupervised
+/// methods fit once on the whole scenario; supervised methods run k-fold
+/// cross validation and are only evaluated on held-out queries.
+class Experiment {
+ public:
+  /// Executes `method` on `scenario` and returns its rankings + timings.
+  static util::Result<MethodRun> Run(match::MatchMethod* method,
+                                     const corpus::Scenario& scenario,
+                                     const HarnessOptions& options = {});
+
+  /// Computes the standard ranking metrics from a MethodRun.
+  static RankingReport Report(const std::string& method_name,
+                              const MethodRun& run,
+                              const corpus::Scenario& scenario);
+
+  /// Formats a report as a paper-style table row.
+  static std::string FormatRow(const RankingReport& r);
+
+  /// Header matching FormatRow.
+  static std::string Header();
+};
+
+}  // namespace core
+}  // namespace tdmatch
+
+#endif  // TDMATCH_CORE_EXPERIMENT_H_

@@ -1,0 +1,87 @@
+#include "corpus/corpus.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace corpus {
+
+const char* CorpusTypeToString(CorpusType t) {
+  switch (t) {
+    case CorpusType::kText:
+      return "text";
+    case CorpusType::kTable:
+      return "table";
+    case CorpusType::kStructuredText:
+      return "structured";
+  }
+  return "?";
+}
+
+Corpus Corpus::FromTexts(std::string name, std::vector<TextDoc> docs) {
+  Corpus c;
+  c.type_ = CorpusType::kText;
+  c.name_ = std::move(name);
+  c.texts_ = std::make_shared<const std::vector<TextDoc>>(std::move(docs));
+  return c;
+}
+
+Corpus Corpus::FromTable(Table table) {
+  Corpus c;
+  c.type_ = CorpusType::kTable;
+  c.name_ = table.name();
+  c.table_ = std::make_shared<const Table>(std::move(table));
+  return c;
+}
+
+Corpus Corpus::FromTaxonomy(std::string name, Taxonomy taxonomy) {
+  Corpus c;
+  c.type_ = CorpusType::kStructuredText;
+  c.name_ = std::move(name);
+  c.taxonomy_ = std::make_shared<const Taxonomy>(std::move(taxonomy));
+  return c;
+}
+
+size_t Corpus::NumDocs() const {
+  switch (type_) {
+    case CorpusType::kText:
+      return texts_->size();
+    case CorpusType::kTable:
+      return table_->NumRows();
+    case CorpusType::kStructuredText:
+      return taxonomy_->NumConcepts();
+  }
+  return 0;
+}
+
+std::string Corpus::DocId(size_t i) const {
+  switch (type_) {
+    case CorpusType::kText:
+      return (*texts_)[i].id;
+    case CorpusType::kTable:
+      return util::StrFormat("%s#%zu", name_.c_str(), i);
+    case CorpusType::kStructuredText:
+      return util::StrFormat("%s@%zu", name_.c_str(), i);
+  }
+  return "";
+}
+
+std::string Corpus::DocText(size_t i) const {
+  switch (type_) {
+    case CorpusType::kText:
+      return (*texts_)[i].text;
+    case CorpusType::kTable:
+      return table_->TupleText(i);
+    case CorpusType::kStructuredText:
+      return taxonomy_->label(static_cast<ConceptId>(i));
+  }
+  return "";
+}
+
+int32_t Corpus::ParentOf(size_t i) const {
+  if (type_ != CorpusType::kStructuredText) return -1;
+  return taxonomy_->parent(static_cast<ConceptId>(i));
+}
+
+}  // namespace corpus
+}  // namespace tdmatch

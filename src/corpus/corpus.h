@@ -1,0 +1,87 @@
+#ifndef TDMATCH_CORPUS_CORPUS_H_
+#define TDMATCH_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/table.h"
+#include "corpus/taxonomy.h"
+
+namespace tdmatch {
+namespace corpus {
+
+/// Kind of corpus, matching the three input types of §II.
+enum class CorpusType { kText, kTable, kStructuredText };
+
+const char* CorpusTypeToString(CorpusType t);
+
+/// A plain text document (sentence or paragraph — the granularity is the
+/// caller's choice, §II).
+struct TextDoc {
+  std::string id;
+  std::string text;
+};
+
+/// \brief A corpus of matchable documents: free text, a relational table,
+/// or a structured text (taxonomy).
+///
+/// Provides a uniform document view: every corpus is a sequence of
+/// documents with an id and a textual rendering; tables additionally expose
+/// columns, taxonomies expose the parent relation. Cheap to copy via the
+/// shared immutable payload.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  static Corpus FromTexts(std::string name, std::vector<TextDoc> docs);
+  static Corpus FromTable(Table table);
+  static Corpus FromTaxonomy(std::string name, Taxonomy taxonomy);
+
+  CorpusType type() const { return type_; }
+  const std::string& name() const { return name_; }
+
+  /// Number of matchable documents (rows / paragraphs / concepts).
+  size_t NumDocs() const;
+
+  /// Stable document identifier.
+  std::string DocId(size_t i) const;
+
+  /// Textual content of document i; for tuples this is the space-joined
+  /// cell values, for concepts the label.
+  std::string DocText(size_t i) const;
+
+  /// Parent document index (structured text only), or -1.
+  int32_t ParentOf(size_t i) const;
+
+  /// Underlying table; null unless type() == kTable.
+  const Table* table() const { return table_.get(); }
+  /// Underlying taxonomy; null unless type() == kStructuredText.
+  const Taxonomy* taxonomy() const { return taxonomy_.get(); }
+  /// Underlying text docs; null unless type() == kText.
+  const std::vector<TextDoc>* texts() const { return texts_.get(); }
+
+ private:
+  CorpusType type_ = CorpusType::kText;
+  std::string name_;
+  std::shared_ptr<const std::vector<TextDoc>> texts_;
+  std::shared_ptr<const Table> table_;
+  std::shared_ptr<const Taxonomy> taxonomy_;
+};
+
+/// \brief A complete matching task: two corpora plus ground truth.
+///
+/// `gold[i]` lists the indices of the documents in `second` that are correct
+/// matches for document i of `first`. Queries run from `first` to `second`.
+struct Scenario {
+  std::string name;
+  Corpus first;
+  Corpus second;
+  std::vector<std::vector<int32_t>> gold;
+};
+
+}  // namespace corpus
+}  // namespace tdmatch
+
+#endif  // TDMATCH_CORPUS_CORPUS_H_

@@ -1,0 +1,84 @@
+#include "corpus/loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace corpus {
+
+util::Result<Table> Loader::TableFromCsv(const std::string& path,
+                                         const std::string& table_name) {
+  TDM_ASSIGN_OR_RETURN(auto rows, util::Csv::ReadFile(path));
+  if (rows.empty()) {
+    return util::Status::InvalidArgument(path + " has no header row");
+  }
+  Table table(table_name, rows[0]);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    TDM_RETURN_NOT_OK(table.AddRow(std::move(rows[r])));
+  }
+  return table;
+}
+
+util::Status Loader::TableToCsv(const Table& table, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(table.column_names());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    rows.push_back(table.row(r));
+  }
+  return util::Csv::WriteFile(path, rows);
+}
+
+util::Result<Corpus> Loader::TextsFromFile(const std::string& path,
+                                           const std::string& corpus_name) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IOError("cannot open " + path);
+  std::vector<TextDoc> docs;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty()) continue;
+    docs.push_back(TextDoc{util::StrFormat("%s:%zu", corpus_name.c_str(),
+                                           lineno),
+                           std::string(trimmed)});
+  }
+  if (docs.empty()) {
+    return util::Status::InvalidArgument(path + " contains no documents");
+  }
+  return Corpus::FromTexts(corpus_name, std::move(docs));
+}
+
+util::Result<Taxonomy> Loader::TaxonomyFromCsv(const std::string& path) {
+  TDM_ASSIGN_OR_RETURN(auto rows, util::Csv::ReadFile(path));
+  if (rows.empty() || rows[0].size() < 2 || rows[0][0] != "label") {
+    return util::Status::InvalidArgument(
+        path + " must have a 'label,parent' header");
+  }
+  Taxonomy tax;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() < 2) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("%s row %zu: expected 2 fields", path.c_str(), r));
+    }
+    ConceptId parent = kNoConcept;
+    const std::string& pfield = rows[r][1];
+    if (!pfield.empty()) {
+      double pd = 0;
+      if (!util::ParseDouble(pfield, &pd) || pd < 0 ||
+          static_cast<size_t>(pd) >= tax.NumConcepts()) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "%s row %zu: bad parent '%s'", path.c_str(), r, pfield.c_str()));
+      }
+      parent = static_cast<ConceptId>(pd);
+    }
+    tax.AddConcept(rows[r][0], parent);
+  }
+  return tax;
+}
+
+}  // namespace corpus
+}  // namespace tdmatch

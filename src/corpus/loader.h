@@ -1,0 +1,36 @@
+#ifndef TDMATCH_CORPUS_LOADER_H_
+#define TDMATCH_CORPUS_LOADER_H_
+
+#include <string>
+
+#include "corpus/corpus.h"
+#include "util/result.h"
+
+namespace tdmatch {
+namespace corpus {
+
+/// \brief File-backed corpus I/O so real datasets can be plugged into the
+/// pipeline (the generators cover the benchmarks; users bring CSVs).
+class Loader {
+ public:
+  /// Loads a table from a CSV file whose first row is the header.
+  static util::Result<Table> TableFromCsv(const std::string& path,
+                                          const std::string& table_name);
+
+  /// Writes a table to CSV (header + rows).
+  static util::Status TableToCsv(const Table& table, const std::string& path);
+
+  /// Loads a text corpus: one document per line; the line number becomes
+  /// the id ("<name>:<line>"). Empty lines are skipped.
+  static util::Result<Corpus> TextsFromFile(const std::string& path,
+                                            const std::string& corpus_name);
+
+  /// Loads a taxonomy from a CSV with header `label,parent` where `parent`
+  /// is a 0-based row index of an earlier concept or empty for roots.
+  static util::Result<Taxonomy> TaxonomyFromCsv(const std::string& path);
+};
+
+}  // namespace corpus
+}  // namespace tdmatch
+
+#endif  // TDMATCH_CORPUS_LOADER_H_

@@ -1,0 +1,75 @@
+#include "corpus/table.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace corpus {
+
+Table::Table(std::string name, std::vector<std::string> column_names)
+    : name_(std::move(name)), column_names_(std::move(column_names)) {}
+
+util::Status Table::AddRow(std::vector<std::string> row) {
+  if (row.size() != column_names_.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "row has %zu values, table '%s' has %zu columns", row.size(),
+        name_.c_str(), column_names_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return util::Status::OK();
+}
+
+util::Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return i;
+  }
+  return util::Status::NotFound("no column named " + name);
+}
+
+util::Result<Table> Table::DropColumns(
+    const std::vector<std::string>& names) const {
+  std::unordered_set<size_t> drop;
+  for (const auto& n : names) {
+    TDM_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(n));
+    drop.insert(idx);
+  }
+  std::vector<std::string> kept_names;
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (drop.count(i) == 0) kept_names.push_back(column_names_[i]);
+  }
+  Table out(name_, std::move(kept_names));
+  for (const auto& row : rows_) {
+    std::vector<std::string> kept;
+    kept.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (drop.count(i) == 0) kept.push_back(row[i]);
+    }
+    TDM_RETURN_NOT_OK(out.AddRow(std::move(kept)));
+  }
+  return out;
+}
+
+std::string Table::TupleText(size_t row) const {
+  std::string out;
+  for (size_t c = 0; c < column_names_.size(); ++c) {
+    if (c > 0) out.push_back(' ');
+    out += rows_[row][c];
+  }
+  return out;
+}
+
+std::string Table::SerializeTuple(size_t row) const {
+  std::string out;
+  for (size_t c = 0; c < column_names_.size(); ++c) {
+    if (c > 0) out.push_back(' ');
+    out += "[COL] ";
+    out += column_names_[c];
+    out += " [VAL] ";
+    out += rows_[row][c];
+  }
+  return out;
+}
+
+}  // namespace corpus
+}  // namespace tdmatch

@@ -1,0 +1,61 @@
+#ifndef TDMATCH_CORPUS_TABLE_H_
+#define TDMATCH_CORPUS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace corpus {
+
+/// \brief A relational table: named columns and string-valued rows.
+///
+/// Cells are strings; numeric cells are detected lazily where needed
+/// (bucketing, TAPAS-proxy features). A tuple is the matchable document of a
+/// table corpus.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<std::string> column_names);
+
+  /// Appends a row; must have exactly one value per column.
+  util::Status AddRow(std::vector<std::string> row);
+
+  const std::string& name() const { return name_; }
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumColumns() const { return column_names_.size(); }
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  const std::string& cell(size_t row, size_t col) const {
+    return rows_[row][col];
+  }
+  const std::vector<std::string>& row(size_t r) const { return rows_[r]; }
+
+  /// Index of a column by name, or error.
+  util::Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Returns a copy of this table without the named columns (used to build
+  /// the IMDb "NT" variant that drops the title attribute).
+  util::Result<Table> DropColumns(const std::vector<std::string>& names) const;
+
+  /// Plain-text rendering of a tuple: cell values joined by spaces. This is
+  /// what graph construction tokenizes.
+  std::string TupleText(size_t row) const;
+
+  /// The [COL] c [VAL] v serialization used by the sequence baselines
+  /// (Ditto-style; §V "Matching results").
+  std::string SerializeTuple(size_t row) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace corpus
+}  // namespace tdmatch
+
+#endif  // TDMATCH_CORPUS_TABLE_H_

@@ -1,0 +1,66 @@
+#include "corpus/taxonomy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace corpus {
+
+ConceptId Taxonomy::AddConcept(std::string label, ConceptId parent) {
+  TDM_CHECK(parent == kNoConcept ||
+            static_cast<size_t>(parent) < nodes_.size())
+      << "invalid parent id " << parent;
+  ConceptId id = static_cast<ConceptId>(nodes_.size());
+  nodes_.push_back(Concept{std::move(label), parent});
+  return id;
+}
+
+std::vector<ConceptId> Taxonomy::Children(ConceptId id) const {
+  std::vector<ConceptId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == id) out.push_back(static_cast<ConceptId>(i));
+  }
+  return out;
+}
+
+std::vector<ConceptId> Taxonomy::PathFromRoot(ConceptId id) const {
+  std::vector<ConceptId> path;
+  ConceptId cur = id;
+  while (cur != kNoConcept) {
+    path.push_back(cur);
+    cur = nodes_[static_cast<size_t>(cur)].parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+size_t Taxonomy::Depth(ConceptId id) const { return PathFromRoot(id).size(); }
+
+double Taxonomy::NodeScore(const Taxonomy& tax, ConceptId a, ConceptId b,
+                           size_t strip_levels) {
+  std::vector<ConceptId> pa = tax.PathFromRoot(a);
+  std::vector<ConceptId> pb = tax.PathFromRoot(b);
+  auto strip = [strip_levels](std::vector<ConceptId>* p) {
+    if (p->size() <= strip_levels) {
+      // Keep at least the leaf so shallow paths still compare.
+      ConceptId leaf = p->back();
+      p->assign(1, leaf);
+    } else {
+      p->erase(p->begin(),
+               p->begin() + static_cast<std::ptrdiff_t>(strip_levels));
+    }
+  };
+  strip(&pa);
+  strip(&pb);
+  std::unordered_set<ConceptId> sa(pa.begin(), pa.end());
+  size_t inter = 0;
+  for (ConceptId c : pb) inter += sa.count(c);
+  size_t maxlen = std::max(pa.size(), pb.size());
+  return maxlen == 0 ? 0.0
+                     : static_cast<double>(inter) / static_cast<double>(maxlen);
+}
+
+}  // namespace corpus
+}  // namespace tdmatch

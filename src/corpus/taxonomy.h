@@ -1,0 +1,65 @@
+#ifndef TDMATCH_CORPUS_TAXONOMY_H_
+#define TDMATCH_CORPUS_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tdmatch {
+namespace corpus {
+
+/// Identifier of a taxonomy concept (index into the node array).
+using ConceptId = int32_t;
+inline constexpr ConceptId kNoConcept = -1;
+
+/// A single concept in the taxonomy.
+struct Concept {
+  std::string label;
+  ConceptId parent = kNoConcept;
+};
+
+/// \brief A concept hierarchy ("structured text" corpus, §II / Example 2).
+///
+/// Every concept is a matchable document whose text is its label; the
+/// parent edge is the structural relation modeled by metadata-to-metadata
+/// edges in the graph (Alg. 1, lines 12-15). The Node score of Table III is
+/// computed over root-to-node paths (Eq. 1).
+class Taxonomy {
+ public:
+  /// Adds a concept under `parent` (kNoConcept for a root); returns its id.
+  ConceptId AddConcept(std::string label, ConceptId parent = kNoConcept);
+
+  size_t NumConcepts() const { return nodes_.size(); }
+  const Concept& concept_at(ConceptId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+  const std::string& label(ConceptId id) const {
+    return nodes_[static_cast<size_t>(id)].label;
+  }
+  ConceptId parent(ConceptId id) const {
+    return nodes_[static_cast<size_t>(id)].parent;
+  }
+
+  /// Children ids of a concept.
+  std::vector<ConceptId> Children(ConceptId id) const;
+
+  /// Path from the root down to `id` (inclusive), root first.
+  std::vector<ConceptId> PathFromRoot(ConceptId id) const;
+
+  /// Depth of the node (root = 1).
+  size_t Depth(ConceptId id) const;
+
+  /// The paper's Node score (Eq. 1): intersection over maximum of the two
+  /// root paths after removing the `strip_levels` most general levels
+  /// (paper strips the root and the first level, i.e. strip_levels = 2).
+  static double NodeScore(const Taxonomy& tax, ConceptId a, ConceptId b,
+                          size_t strip_levels = 2);
+
+ private:
+  std::vector<Concept> nodes_;
+};
+
+}  // namespace corpus
+}  // namespace tdmatch
+
+#endif  // TDMATCH_CORPUS_TAXONOMY_H_

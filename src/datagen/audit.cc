@@ -1,0 +1,174 @@
+#include "datagen/audit.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "datagen/generic_corpus.h"
+#include "text/preprocess.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace datagen {
+
+GeneratedScenario AuditGenerator::Generate(const AuditOptions& options) {
+  util::Rng rng(options.seed);
+  WordBank bank(options.seed);
+  GeneratedScenario out;
+
+  // The generic corpus is generated *before* the domain vocabulary is
+  // created, so domain terms are OOV for the pre-trained lexicon (the
+  // paper's "domain specific terms are not covered" effect).
+  out.generic_corpus = GenericCorpusGenerator::Generate(
+      bank, GenericCorpusOptions{.seed = options.seed ^ 0x9a9a});
+
+  // Domain vocabulary: fresh fake words + generic words reused with a
+  // domain meaning ("control", "risk").
+  std::vector<std::string> domain_words;
+  for (size_t i = 0; i < 70; ++i) {
+    domain_words.push_back(util::ToLower(bank.FakeWord(&rng)));
+  }
+  const char* const reused[] = {"control", "risk",   "report", "policy",
+                                "standard", "review", "process", "record"};
+  for (const char* w : reused) domain_words.push_back(w);
+
+  // Domain synonyms: recorded in the bank (⇒ KB) but not in the generic
+  // corpus (already generated above).
+  auto domain_syns =
+      bank.MakeSynonymPairs(options.num_domain_synonyms, &rng);
+  std::unordered_map<std::string, std::string> syn_of;
+  for (const auto& [a, b] : domain_syns) syn_of[a] = b;
+  // Some synonym heads become part of the concept vocabulary too.
+  for (size_t i = 0; i < domain_syns.size() && i < 20; ++i) {
+    domain_words.push_back(domain_syns[i].first);
+  }
+
+  // Taxonomy: num_roots trees grown to max_depth.
+  corpus::Taxonomy tax;
+  std::vector<corpus::ConceptId> by_depth[8];
+  std::unordered_map<int32_t, std::string> acronym_of;
+  auto make_label = [&](size_t words) {
+    std::string label;
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) label += " ";
+      label += rng.Choice(domain_words);
+    }
+    return label;
+  };
+  for (size_t r = 0; r < options.num_roots; ++r) {
+    corpus::ConceptId root = tax.AddConcept(make_label(1));
+    by_depth[1].push_back(root);
+  }
+  while (tax.NumConcepts() < options.num_concepts) {
+    // Pick a parent at a random depth < max_depth.
+    size_t d =
+        1 + static_cast<size_t>(rng.UniformInt(
+                static_cast<uint64_t>(options.max_depth - 1)));
+    while (by_depth[d].empty()) {
+      d = 1 + static_cast<size_t>(rng.UniformInt(
+                  static_cast<uint64_t>(options.max_depth - 1)));
+    }
+    corpus::ConceptId parent = rng.Choice(by_depth[d]);
+    const size_t nwords = 1 + static_cast<size_t>(rng.UniformInt(3ULL));
+    corpus::ConceptId id = tax.AddConcept(make_label(nwords), parent);
+    by_depth[d + 1].push_back(id);
+    // Multi-word concepts get a known acronym (PDCA case).
+    if (nwords >= 3) {
+      acronym_of[id] = bank.MakeAcronym(tax.label(id));
+    }
+  }
+
+  // Documents built from 1..k concepts.
+  std::vector<corpus::TextDoc> docs;
+  std::vector<std::vector<int32_t>> gold;
+  const size_t num_leafish = tax.NumConcepts();
+  for (size_t di = 0; di < options.num_documents; ++di) {
+    size_t k;
+    const double roll = rng.Uniform();
+    if (roll < options.one_concept_rate) {
+      k = 1;
+    } else if (roll < options.one_concept_rate + options.two_concept_rate) {
+      k = 2;
+    } else {
+      k = 3 + static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(
+                  options.max_concepts_per_doc - 2)));
+    }
+    std::vector<int32_t> concepts;
+    while (concepts.size() < k) {
+      int32_t c = static_cast<int32_t>(rng.UniformInt(num_leafish));
+      if (std::find(concepts.begin(), concepts.end(), c) == concepts.end()) {
+        concepts.push_back(c);
+      }
+    }
+    std::vector<std::string> sentences;
+    for (int32_t c : concepts) {
+      // Mention the concept via label words, synonym, or acronym.
+      std::string mention = tax.label(c);
+      if (acronym_of.count(c) > 0 &&
+          rng.Bernoulli(options.synonym_mention_rate)) {
+        mention = acronym_of[c];
+      } else if (rng.Bernoulli(options.synonym_mention_rate)) {
+        // Replace each word that has a recorded synonym.
+        std::vector<std::string> words = util::SplitWhitespace(mention);
+        for (auto& w : words) {
+          auto it = syn_of.find(w);
+          if (it != syn_of.end()) w = it->second;
+        }
+        mention = util::Join(words, " ");
+      }
+      // Parent context words strengthen the hierarchical signal.
+      std::string parent_word;
+      if (tax.parent(c) != corpus::kNoConcept) {
+        auto pwords = util::SplitWhitespace(tax.label(tax.parent(c)));
+        parent_word = rng.Choice(pwords);
+      } else {
+        parent_word = bank.Noun(&rng);
+      }
+      sentences.push_back(util::StrFormat(
+          "The %s of %s must be %s during the %s %s.",
+          bank.Noun(&rng).c_str(), mention.c_str(), bank.Verb(&rng).c_str(),
+          bank.Adjective(&rng).c_str(), parent_word.c_str()));
+    }
+    if (rng.Bernoulli(0.5)) {
+      sentences.push_back(util::StrFormat(
+          "Every %s shall %s the %s accordingly.", bank.Noun(&rng).c_str(),
+          bank.Verb(&rng).c_str(), bank.Noun(&rng).c_str()));
+    }
+    docs.push_back(corpus::TextDoc{util::StrFormat("audit_doc_%zu", di),
+                                   util::Join(sentences, " ")});
+    gold.push_back(std::move(concepts));
+  }
+
+  // ConceptNet-like KB: domain synonyms, acronyms, and concept-word
+  // relations; plus generic-word noise.
+  text::Preprocessor pp;
+  auto normalizer = [pp](const std::string& s) {
+    return util::Join(pp.Tokens(s), " ");
+  };
+  out.kb = std::make_shared<kb::SyntheticKB>(normalizer);
+  for (const auto& [a, b] : domain_syns) {
+    out.kb->AddRelation(a, b, "synonym");
+  }
+  for (const auto& [cid, acro] : acronym_of) {
+    out.kb->AddRelation(tax.label(cid), acro, "acronym");
+    // Also relate the acronym to the label's individual words.
+    for (const auto& w : util::SplitWhitespace(tax.label(cid))) {
+      out.kb->AddRelation(acro, w, "relatedTo");
+    }
+  }
+  for (size_t i = 0; i + 1 < domain_words.size(); i += 2) {
+    out.kb->AddRelation(domain_words[i], domain_words[i + 1], "relatedTo");
+  }
+  for (size_t i = 0; i < 60; ++i) {
+    out.kb->AddRelation(bank.Noun(&rng), bank.FakeWord(&rng), "relatedTo");
+  }
+
+  out.synonym_pairs = bank.SynonymPairs();
+  out.scenario.name = "Audit";
+  out.scenario.first = corpus::Corpus::FromTexts("audit_docs", std::move(docs));
+  out.scenario.second = corpus::Corpus::FromTaxonomy("taxonomy", std::move(tax));
+  out.scenario.gold = std::move(gold);
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace tdmatch

@@ -1,0 +1,44 @@
+#ifndef TDMATCH_DATAGEN_AUDIT_H_
+#define TDMATCH_DATAGEN_AUDIT_H_
+
+#include "datagen/generated.h"
+
+namespace tdmatch {
+namespace datagen {
+
+/// Options for the Audit-like text-to-structured-text scenario (Table III).
+struct AuditOptions {
+  /// Taxonomy size (paper: 747 concepts, path lengths 2–5, average 4).
+  size_t num_concepts = 160;
+  size_t num_roots = 6;
+  size_t max_depth = 5;
+  /// Documents to match (paper: 1622 docs, 1–17 sentences, 3 on average).
+  size_t num_documents = 320;
+  /// Distribution of gold concepts per document (paper: 40% one concept,
+  /// 10% two, rest 3..27 with average 4).
+  double one_concept_rate = 0.4;
+  double two_concept_rate = 0.1;
+  size_t max_concepts_per_doc = 12;
+  /// Probability a concept mention uses its domain synonym or acronym
+  /// instead of the label ("PDCA" for "Plan Do Check Act").
+  double synonym_mention_rate = 0.35;
+  size_t num_domain_synonyms = 30;
+  uint64_t seed = 13;
+};
+
+/// \brief Generates the auditing scenario: a concept taxonomy with
+/// domain-specific vocabulary (fresh fake words + generic words reused with
+/// domain meaning) and documents produced from 1..k concepts. First corpus
+/// = documents, second = taxonomy. Domain synonyms/acronyms live only in
+/// the ConceptNet-like KB — deliberately *not* in the generic pre-training
+/// corpus, reproducing the paper's finding that pre-trained resources do
+/// not help this domain.
+class AuditGenerator {
+ public:
+  static GeneratedScenario Generate(const AuditOptions& options = {});
+};
+
+}  // namespace datagen
+}  // namespace tdmatch
+
+#endif  // TDMATCH_DATAGEN_AUDIT_H_

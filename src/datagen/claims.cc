@@ -1,0 +1,148 @@
+#include "datagen/claims.h"
+
+#include <unordered_map>
+
+#include "datagen/generic_corpus.h"
+#include "text/preprocess.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace datagen {
+
+ClaimsOptions ClaimsGenerator::SnopesPreset() {
+  ClaimsOptions o;
+  o.name = "Snopes";
+  o.num_facts = 1100;
+  o.num_queries = 120;
+  o.synonym_swap_rate = 0.55;
+  o.token_drop_rate = 0.3;
+  o.seed = 17;
+  return o;
+}
+
+ClaimsOptions ClaimsGenerator::PolitifactPreset() {
+  ClaimsOptions o;
+  o.name = "Politifact";
+  o.num_facts = 1700;
+  o.num_queries = 120;
+  o.num_topics = 20;  // denser topics: more confusable candidates
+  o.synonym_swap_rate = 0.6;
+  o.token_drop_rate = 0.35;
+  o.filler_rate = 0.6;
+  o.seed = 19;
+  return o;
+}
+
+GeneratedScenario ClaimsGenerator::Generate(const ClaimsOptions& options) {
+  util::Rng rng(options.seed);
+  WordBank bank(options.seed);
+  GeneratedScenario out;
+
+  auto syn_pairs = bank.MakeSynonymPairs(options.num_synonym_pairs, &rng);
+  std::unordered_map<std::string, std::string> syn_of;
+  for (const auto& [a, b] : syn_pairs) {
+    syn_of[a] = b;
+    syn_of[b] = a;
+  }
+
+  // Topical clusters: each topic owns a few people and a small content
+  // vocabulary, so its facts are highly confusable with each other.
+  struct Topic {
+    std::vector<std::string> people;
+    std::vector<std::string> words;
+    std::string country;
+  };
+  std::vector<Topic> topics(options.num_topics);
+  size_t syn_cursor = 0;
+  for (auto& topic : topics) {
+    for (size_t p = 0; p < options.people_per_topic; ++p) {
+      topic.people.push_back(bank.PersonName(&rng));
+    }
+    for (size_t w = 0; w < options.words_per_topic; ++w) {
+      // Half the topic vocabulary comes from the synonym list so
+      // paraphrases can swap those words.
+      if (w % 2 == 0 && !syn_pairs.empty()) {
+        topic.words.push_back(
+            syn_pairs[syn_cursor++ % syn_pairs.size()].first);
+      } else {
+        topic.words.push_back(bank.Noun(&rng));
+      }
+    }
+    topic.country = bank.Country(&rng);
+  }
+
+  const char* const kYears[] = {"2018", "2019", "2020", "2021"};
+
+  std::vector<corpus::TextDoc> facts;
+  std::vector<std::vector<std::string>> fact_tokens;  // for paraphrasing
+  for (size_t f = 0; f < options.num_facts; ++f) {
+    const Topic& topic = topics[f % topics.size()];
+    std::string text = util::StrFormat(
+        "%s said that the %s %s of %s will %s the %s in %s in %s.",
+        rng.Choice(topic.people).c_str(), bank.Adjective(&rng).c_str(),
+        rng.Choice(topic.words).c_str(), rng.Choice(topic.words).c_str(),
+        bank.Verb(&rng).c_str(), rng.Choice(topic.words).c_str(),
+        topic.country.c_str(),
+        kYears[rng.UniformInt(static_cast<uint64_t>(std::size(kYears)))]);
+    facts.push_back(corpus::TextDoc{util::StrFormat("fact_%zu", f), text});
+    fact_tokens.push_back(util::SplitWhitespace(text));
+  }
+
+  // Queries: paraphrases of a random subset of facts.
+  std::vector<corpus::TextDoc> queries;
+  std::vector<std::vector<int32_t>> gold;
+  std::vector<size_t> fact_idx =
+      rng.SampleIndices(options.num_facts, options.num_queries);
+  for (size_t qi = 0; qi < fact_idx.size(); ++qi) {
+    const size_t f = fact_idx[qi];
+    std::vector<std::string> toks;
+    for (const auto& raw : fact_tokens[f]) {
+      // Strip trailing punctuation for manipulation.
+      std::string tok = raw;
+      if (!tok.empty() && (tok.back() == '.' || tok.back() == ',')) {
+        tok.pop_back();
+      }
+      if (rng.Bernoulli(options.token_drop_rate)) continue;
+      auto it = syn_of.find(util::ToLower(tok));
+      if (it != syn_of.end() && rng.Bernoulli(options.synonym_swap_rate)) {
+        toks.push_back(it->second);
+      } else {
+        toks.push_back(tok);
+      }
+    }
+    std::string text = util::Join(toks, " ");
+    if (rng.Bernoulli(options.filler_rate)) {
+      text = "people claim that " + text;
+    }
+    queries.push_back(
+        corpus::TextDoc{util::StrFormat("query_%zu", qi), text});
+    gold.push_back({static_cast<int32_t>(f)});
+  }
+
+  // ConceptNet-like KB: the synonym vocabulary plus noise.
+  text::Preprocessor pp;
+  auto normalizer = [pp](const std::string& s) {
+    return util::Join(pp.Tokens(s), " ");
+  };
+  out.kb = std::make_shared<kb::SyntheticKB>(normalizer);
+  for (const auto& [a, b] : syn_pairs) out.kb->AddRelation(a, b, "synonym");
+  for (size_t i = 0; i < 50; ++i) {
+    out.kb->AddRelation(bank.Noun(&rng), bank.Noun(&rng), "relatedTo");
+    out.kb->AddRelation(bank.Noun(&rng), bank.FakeWord(&rng), "relatedTo");
+  }
+
+  out.synonym_pairs = bank.SynonymPairs();
+  out.generic_corpus = GenericCorpusGenerator::Generate(
+      bank, GenericCorpusOptions{.seed = options.seed ^ 0xabab});
+
+  out.scenario.name = options.name;
+  out.scenario.first =
+      corpus::Corpus::FromTexts("input_claims", std::move(queries));
+  out.scenario.second =
+      corpus::Corpus::FromTexts("verified_claims", std::move(facts));
+  out.scenario.gold = std::move(gold);
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace tdmatch

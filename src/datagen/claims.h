@@ -1,0 +1,50 @@
+#ifndef TDMATCH_DATAGEN_CLAIMS_H_
+#define TDMATCH_DATAGEN_CLAIMS_H_
+
+#include "datagen/generated.h"
+
+namespace tdmatch {
+namespace datagen {
+
+/// Options for the fact-checking text-to-text scenarios (Tables IV & V).
+struct ClaimsOptions {
+  /// Verified claims (facts) — the candidate pool.
+  size_t num_facts = 1200;
+  /// Input claims (queries), each a paraphrase of one fact.
+  size_t num_queries = 150;
+  /// Topical clusters: facts within a topic reuse the same small pools of
+  /// people and content words, so many verified claims are confusable and
+  /// only the exact combination identifies the right one.
+  size_t num_topics = 25;
+  size_t people_per_topic = 3;
+  size_t words_per_topic = 8;
+  /// Paraphrase aggressiveness: probability of replacing a content word
+  /// with its synonym / dropping a token. Politifact is configured harder
+  /// than Snopes, matching the paper's relative difficulty.
+  double synonym_swap_rate = 0.5;
+  double token_drop_rate = 0.3;
+  /// Prepend a chatty prefix ("people claim that ...").
+  double filler_rate = 0.4;
+  size_t num_synonym_pairs = 40;
+  std::string name = "Snopes";
+  uint64_t seed = 17;
+};
+
+/// \brief Generates a fact-checking scenario: a corpus of verified claims
+/// and a corpus of check-worthy paraphrases; first corpus = input claims,
+/// second = verified claims. Presets mirror the two datasets of the paper.
+class ClaimsGenerator {
+ public:
+  static GeneratedScenario Generate(const ClaimsOptions& options = {});
+
+  /// Snopes preset: 1k claims / 11k facts, milder paraphrasing.
+  static ClaimsOptions SnopesPreset();
+
+  /// Politifact preset: more facts, heavier paraphrasing (harder).
+  static ClaimsOptions PolitifactPreset();
+};
+
+}  // namespace datagen
+}  // namespace tdmatch
+
+#endif  // TDMATCH_DATAGEN_CLAIMS_H_

@@ -1,0 +1,153 @@
+#include "datagen/corona.h"
+
+#include <algorithm>
+
+#include "datagen/generic_corpus.h"
+#include "text/preprocess.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace datagen {
+
+namespace {
+const char* const kMetrics[] = {"new cases", "total cases", "new deaths",
+                                "total deaths"};
+}  // namespace
+
+GeneratedScenario CoronaGenerator::Generate(const CoronaOptions& options) {
+  util::Rng rng(options.seed);
+  WordBank bank(options.seed);
+  GeneratedScenario out;
+
+  const size_t num_countries =
+      std::min(options.num_countries, bank.Countries().size());
+  const size_t num_months =
+      std::min(options.num_months, bank.Months().size());
+  const size_t days = options.days_per_month;
+
+  // Daily case table: one row per (country, month, reporting day).
+  corpus::Table table("corona",
+                      {"country", "date", "new_cases", "total_cases",
+                       "new_deaths", "total_deaths"});
+  struct RowVals {
+    size_t country, month, day;
+    long long vals[4];
+  };
+  std::vector<RowVals> rows;
+  for (size_t c = 0; c < num_countries; ++c) {
+    for (size_t m = 0; m < num_months; ++m) {
+      for (size_t d = 0; d < days; ++d) {
+        // All metrics share one magnitude range so equal-width binning
+        // (global, as in §II-C) resolves values across columns.
+        long long new_cases = rng.UniformInt(100, 90000);
+        long long total_cases = rng.UniformInt(100, 90000);
+        long long new_deaths = rng.UniformInt(100, 90000);
+        long long total_deaths = rng.UniformInt(100, 90000);
+        rows.push_back(
+            RowVals{c, m, d, {new_cases, total_cases, new_deaths,
+                              total_deaths}});
+        const std::string date = util::StrFormat(
+            "%s %d", bank.Months()[m].c_str(),
+            static_cast<int>(1 + d * (28 / days)));
+        TDM_CHECK(table
+                      .AddRow({bank.Countries()[c], date,
+                               util::StrFormat("%lld", new_cases),
+                               util::StrFormat("%lld", total_cases),
+                               util::StrFormat("%lld", new_deaths),
+                               util::StrFormat("%lld", total_deaths)})
+                      .ok());
+      }
+    }
+  }
+  auto row_index = [&](size_t c, size_t m, size_t d) {
+    return c * num_months * days + m * days + d;
+  };
+
+  // Claims cite country + month + metric + value; the day is never given,
+  // so the (possibly approximate) value must pick among the month's rows.
+  std::vector<corpus::TextDoc> claims;
+  std::vector<std::vector<int32_t>> gold;
+  const size_t num_claims = options.user_variant
+                                ? options.num_user_claims
+                                : options.num_generated_claims;
+  for (size_t q = 0; q < num_claims; ++q) {
+    const size_t ri = static_cast<size_t>(rng.UniformInt(rows.size()));
+    const RowVals& rv = rows[ri];
+    const size_t metric = static_cast<size_t>(rng.UniformInt(4ULL));
+    long long value = rv.vals[metric];
+    if (rng.Bernoulli(options.approx_value_rate)) {
+      // Claims round to the nearest thousand ("about 45000"): never an
+      // exact token match, but within one Freedman–Diaconis bucket.
+      value = (value + 500) / 1000 * 1000;
+    }
+    std::string country = bank.Countries()[rv.country];
+    std::string month = bank.Months()[rv.month];
+    std::vector<int32_t> g = {static_cast<int32_t>(ri)};
+    std::string text;
+
+    const bool comparative = rng.Bernoulli(0.2);
+    if (comparative) {
+      // Comparative claims need two rows (same month and day) to verify.
+      size_t other_c = static_cast<size_t>(rng.UniformInt(num_countries));
+      if (other_c == rv.country) other_c = (other_c + 1) % num_countries;
+      const size_t other_row = row_index(other_c, rv.month, rv.day);
+      g.push_back(static_cast<int32_t>(other_row));
+      const bool higher = rv.vals[metric] >= rows[other_row].vals[metric];
+      text = util::StrFormat(
+          "The number of %s in %s in %s was %s than in %s.",
+          kMetrics[metric], country.c_str(), month.c_str(),
+          higher ? "higher" : "lower",
+          bank.Countries()[other_c].c_str());
+    } else {
+      text = util::StrFormat("The number of %s in %s in %s reached %lld.",
+                             kMetrics[metric], country.c_str(), month.c_str(),
+                             value);
+    }
+
+    if (options.user_variant) {
+      // User style: typos and chatty filler.
+      if (rng.Bernoulli(options.typo_rate)) {
+        std::string typo = WordBank::Typo(country, &rng);
+        size_t pos = text.find(country);
+        if (pos != std::string::npos) text.replace(pos, country.size(), typo);
+      }
+      if (rng.Bernoulli(0.5)) {
+        text = "i read somewhere that " + text;
+      }
+    }
+    claims.push_back(corpus::TextDoc{util::StrFormat("claim_%zu", q), text});
+    gold.push_back(std::move(g));
+  }
+
+  // ConceptNet-like resource: country/metric vocabulary relations.
+  text::Preprocessor pp;
+  auto normalizer = [pp](const std::string& s) {
+    return util::Join(pp.Tokens(s), " ");
+  };
+  out.kb = std::make_shared<kb::SyntheticKB>(normalizer);
+  for (size_t c = 0; c < num_countries; ++c) {
+    out.kb->AddRelation(bank.Countries()[c], "country", "isA");
+  }
+  for (const char* m : kMetrics) {
+    out.kb->AddRelation(m, "pandemic", "relatedTo");
+    out.kb->AddRelation(m, "statistics", "relatedTo");
+  }
+  out.kb->AddRelation("cases", "infections", "synonym");
+  out.kb->AddRelation("deaths", "fatalities", "synonym");
+  for (size_t i = 0; i < 40; ++i) {
+    out.kb->AddRelation(bank.Noun(&rng), bank.FakeWord(&rng), "relatedTo");
+  }
+
+  out.synonym_pairs = bank.SynonymPairs();
+  out.generic_corpus = GenericCorpusGenerator::Generate(
+      bank, GenericCorpusOptions{.seed = options.seed ^ 0x7272});
+
+  out.scenario.name = options.user_variant ? "Corona-Usr" : "Corona-Gen";
+  out.scenario.first = corpus::Corpus::FromTexts("claims", std::move(claims));
+  out.scenario.second = corpus::Corpus::FromTable(std::move(table));
+  out.scenario.gold = std::move(gold);
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace tdmatch

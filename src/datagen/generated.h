@@ -1,0 +1,29 @@
+#ifndef TDMATCH_DATAGEN_GENERATED_H_
+#define TDMATCH_DATAGEN_GENERATED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "datagen/word_bank.h"
+#include "kb/synthetic_kb.h"
+
+namespace tdmatch {
+namespace datagen {
+
+/// \brief Everything a generator produces for one scenario: the matching
+/// task, the external resource for expansion (Alg. 2), the synonym pairs
+/// for γ calibration, and the generic corpus the "pre-trained" lexicon is
+/// trained on.
+struct GeneratedScenario {
+  corpus::Scenario scenario;
+  std::shared_ptr<kb::SyntheticKB> kb;
+  std::vector<std::pair<std::string, std::string>> synonym_pairs;
+  std::vector<std::vector<std::string>> generic_corpus;
+};
+
+}  // namespace datagen
+}  // namespace tdmatch
+
+#endif  // TDMATCH_DATAGEN_GENERATED_H_

@@ -1,0 +1,63 @@
+#include "datagen/generic_corpus.h"
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace datagen {
+
+std::vector<std::vector<std::string>> GenericCorpusGenerator::Generate(
+    const WordBank& bank, const GenericCorpusOptions& options) {
+  util::Rng rng(options.seed);
+  std::vector<std::vector<std::string>> out;
+  out.reserve(options.num_sentences);
+  const auto& syns = bank.SynonymPairs();
+
+  for (size_t s = 0; s < options.num_sentences; ++s) {
+    const size_t len =
+        options.min_len +
+        static_cast<size_t>(rng.UniformInt(
+            static_cast<uint64_t>(options.max_len - options.min_len + 1)));
+    std::vector<std::string> sent;
+    sent.reserve(len + 2);
+
+    // Optionally anchor the sentence on a synonym pair: both surface forms
+    // appear in the same local context.
+    const bool syn_sentence =
+        !syns.empty() && rng.Bernoulli(options.synonym_sentence_rate);
+    size_t syn_idx = 0;
+    if (syn_sentence) {
+      syn_idx = static_cast<size_t>(rng.UniformInt(syns.size()));
+    }
+
+    for (size_t i = 0; i < len; ++i) {
+      switch (rng.UniformInt(4ULL)) {
+        case 0:
+          sent.push_back(bank.Noun(&rng));
+          break;
+        case 1:
+          sent.push_back(bank.Verb(&rng));
+          break;
+        case 2:
+          sent.push_back(bank.Adjective(&rng));
+          break;
+        default:
+          sent.push_back(util::ToLower(bank.Genre(&rng)));
+          break;
+      }
+    }
+    if (syn_sentence) {
+      // Insert both members near each other (shared context window).
+      const auto& [a, b] = syns[syn_idx];
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(static_cast<uint64_t>(sent.size())));
+      sent.insert(sent.begin() + static_cast<std::ptrdiff_t>(pos), a);
+      const size_t pos2 = std::min(sent.size(), pos + 2);
+      sent.insert(sent.begin() + static_cast<std::ptrdiff_t>(pos2), b);
+    }
+    out.push_back(std::move(sent));
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace tdmatch

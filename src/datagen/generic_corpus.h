@@ -1,0 +1,41 @@
+#ifndef TDMATCH_DATAGEN_GENERIC_CORPUS_H_
+#define TDMATCH_DATAGEN_GENERIC_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/word_bank.h"
+
+namespace tdmatch {
+namespace datagen {
+
+/// Options for the generic ("Wikipedia-like") pre-training corpus.
+struct GenericCorpusOptions {
+  size_t num_sentences = 4000;
+  size_t min_len = 5;
+  size_t max_len = 14;
+  /// How often a sentence pairs a synonym couple, letting the lexicon learn
+  /// that they are interchangeable.
+  double synonym_sentence_rate = 0.3;
+  uint64_t seed = 99;
+};
+
+/// \brief Generates the corpus the PretrainedLexicon is trained on — the
+/// substitute for Wikipedia2Vec's Wikipedia dump (see DESIGN.md).
+///
+/// Sentences are generic filler with two key properties: (i) synonym pairs
+/// recorded in the WordBank co-occur in interchangeable contexts, so their
+/// trained vectors end up close (enabling the γ-merge); (ii) the corpus
+/// contains *none* of the scenario-specific entities, so domain terms stay
+/// out-of-vocabulary — the paper's "pre-trained resources fail on domain
+/// specific terms" phenomenon.
+class GenericCorpusGenerator {
+ public:
+  static std::vector<std::vector<std::string>> Generate(
+      const WordBank& bank, const GenericCorpusOptions& options = {});
+};
+
+}  // namespace datagen
+}  // namespace tdmatch
+
+#endif  // TDMATCH_DATAGEN_GENERIC_CORPUS_H_

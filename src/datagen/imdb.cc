@@ -1,0 +1,222 @@
+#include "datagen/imdb.h"
+
+#include "datagen/generic_corpus.h"
+#include "text/preprocess.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace datagen {
+
+namespace {
+
+struct Movie {
+  std::string title;
+  std::string director;
+  std::string actor1;
+  std::string actor2;
+  std::string genre;
+  std::string year;
+  std::string rating;
+  std::string runtime;
+  std::string country;
+  std::string language;
+  std::string certificate;
+  std::string votes;
+  std::string studio;
+};
+
+std::string LastName(const std::string& full) {
+  auto parts = util::SplitWhitespace(full);
+  return parts.empty() ? full : parts.back();
+}
+
+const char* const kLanguages[] = {"English", "French",  "Italian",
+                                  "Spanish", "Japanese", "German"};
+const char* const kCertificates[] = {"G", "PG", "PG-13", "R"};
+
+}  // namespace
+
+GeneratedScenario ImdbGenerator::Generate(const ImdbOptions& options) {
+  util::Rng rng(options.seed);
+  WordBank bank(options.seed);
+  GeneratedScenario out;
+
+  // Name pools sized so surnames collide across movies — the paper's
+  // ambiguity challenge ("an actor named Willis appears in different
+  // paragraphs and tuples, but only one tuple is the correct match").
+  std::vector<std::string> forenames, surnames;
+  for (int i = 0; i < 14; ++i) forenames.push_back(bank.FakeWord(&rng));
+  for (int i = 0; i < 30; ++i) surnames.push_back(bank.FakeWord(&rng));
+  auto person = [&]() {
+    return rng.Choice(forenames) + " " + rng.Choice(surnames);
+  };
+
+  const size_t total_movies =
+      options.num_reviewed_movies + options.num_distractor_movies;
+  std::vector<Movie> movies(total_movies);
+  for (size_t i = 0; i < total_movies; ++i) {
+    Movie& m = movies[i];
+    m.title = bank.Title(&rng, 3, /*fake_word_rate=*/0.85);
+    m.director = person();
+    m.actor1 = person();
+    m.actor2 = person();
+    m.genre = bank.Genre(&rng);
+    m.year = util::StrFormat("%d", static_cast<int>(rng.UniformInt(1950, 2021)));
+    m.rating = util::StrFormat("%.1f", rng.Uniform(3.0, 9.9));
+    m.runtime = util::StrFormat("%d", static_cast<int>(rng.UniformInt(80, 200)));
+    m.country = bank.Country(&rng);
+    m.language = kLanguages[rng.UniformInt(
+        static_cast<uint64_t>(std::size(kLanguages)))];
+    m.certificate = kCertificates[rng.UniformInt(
+        static_cast<uint64_t>(std::size(kCertificates)))];
+    m.votes =
+        util::StrFormat("%d", static_cast<int>(rng.UniformInt(1000, 999999)));
+    m.studio = bank.FakeWord(&rng);
+  }
+  // Shared actors across some movies (extra ambiguity on full names).
+  for (size_t i = 1; i < total_movies; ++i) {
+    if (rng.Bernoulli(options.shared_actor_rate)) {
+      movies[i].actor2 =
+          movies[static_cast<size_t>(rng.UniformInt(i))].actor1;
+    }
+  }
+
+  // Table corpus (13 attributes with title).
+  corpus::Table table(
+      "imdb", {"title", "director", "actor1", "actor2", "genre", "year",
+               "rating", "runtime", "country", "language", "certificate",
+               "votes", "studio"});
+  for (const Movie& m : movies) {
+    TDM_CHECK(table
+                  .AddRow({m.title, m.director, m.actor1, m.actor2, m.genre,
+                           m.year, m.rating, m.runtime, m.country, m.language,
+                           m.certificate, m.votes, m.studio})
+                  .ok());
+  }
+  if (!options.with_title) {
+    auto dropped = table.DropColumns({"title"});
+    TDM_CHECK(dropped.ok());
+    table = std::move(dropped).ValueOrDie();
+  }
+
+  // Reviews for the first num_reviewed_movies movies. Mentions are noisy on
+  // purpose: surnames only (ambiguous across the pool), colloquial genre
+  // synonyms that never match the table label, partial titles, occasional
+  // misleading full-name mentions of other movies' actors.
+  std::vector<corpus::TextDoc> reviews;
+  std::vector<std::vector<int32_t>> gold;
+  for (size_t mi = 0; mi < options.num_reviewed_movies; ++mi) {
+    const Movie& m = movies[mi];
+    for (size_t r = 0; r < options.reviews_per_movie; ++r) {
+      const size_t nsent =
+          options.sentences_per_review_min +
+          static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(
+              options.sentences_per_review_max -
+              options.sentences_per_review_min + 1)));
+      std::vector<std::string> sentences;
+      const std::string genre_mention =
+          rng.Bernoulli(options.genre_synonym_rate)
+              ? bank.GenreSynonym(m.genre)
+              : m.genre;
+      // Actor mention: abbreviated ("B. Willis") or surname only — never
+      // the exact table value.
+      const std::string actor_mention =
+          rng.Bernoulli(options.abbrev_rate)
+              ? WordBank::AbbreviateName(m.actor1)
+              : LastName(m.actor1);
+      sentences.push_back(util::StrFormat(
+          "%s directed this %s %s about a %s and a %s.",
+          LastName(m.director).c_str(), bank.Adjective(&rng).c_str(),
+          genre_mention.c_str(), bank.Noun(&rng).c_str(),
+          bank.Noun(&rng).c_str()));
+      sentences.push_back(util::StrFormat(
+          "%s delivers a %s performance as the %s.", actor_mention.c_str(),
+          bank.Adjective(&rng).c_str(), bank.Noun(&rng).c_str()));
+      if (rng.Bernoulli(options.second_actor_rate)) {
+        sentences.push_back(util::StrFormat(
+            "%s is equally %s in a supporting role.",
+            LastName(m.actor2).c_str(), bank.Adjective(&rng).c_str()));
+      }
+      // Title mentions appear regardless of the table variant: in NT they
+      // are pure noise, which is exactly why NT is harder.
+      if (rng.Bernoulli(options.title_mention_rate)) {
+        auto words = util::SplitWhitespace(m.title);
+        std::string partial = words.size() >= 2 && rng.Bernoulli(0.5)
+                                  ? words[0] + " " + words[1]
+                                  : rng.Choice(words);
+        sentences.push_back(util::StrFormat(
+            "The %s of %s is simply %s.", bank.Noun(&rng).c_str(),
+            partial.c_str(), bank.Adjective(&rng).c_str()));
+      }
+      if (rng.Bernoulli(options.year_mention_rate)) {
+        sentences.push_back(util::StrFormat(
+            "Released in %s it still feels %s today.", m.year.c_str(),
+            bank.Adjective(&rng).c_str()));
+      }
+      if (rng.Bernoulli(options.certificate_mention_rate)) {
+        sentences.push_back(util::StrFormat(
+            "Despite the %s certificate it never feels %s.",
+            m.certificate.c_str(), bank.Adjective(&rng).c_str()));
+      }
+      if (rng.Bernoulli(options.distractor_mention_rate)) {
+        // Misleading high-signal mention: the FULL name of another movie's
+        // lead, a strong exact-match pull toward the wrong tuple.
+        const Movie& other =
+            movies[static_cast<size_t>(rng.UniformInt(total_movies))];
+        sentences.push_back(util::StrFormat(
+            "Not as %s as the earlier work of %s in %s though.",
+            bank.Adjective(&rng).c_str(), other.actor1.c_str(),
+            util::SplitWhitespace(other.title)[0].c_str()));
+      }
+      while (sentences.size() < nsent) {
+        sentences.push_back(util::StrFormat(
+            "I watched it with a %s and we could not stop talking about "
+            "the %s %s.",
+            bank.Noun(&rng).c_str(), bank.Adjective(&rng).c_str(),
+            bank.Noun(&rng).c_str()));
+      }
+      rng.Shuffle(&sentences);
+      reviews.push_back(corpus::TextDoc{
+          util::StrFormat("review_%zu_%zu", mi, r),
+          util::Join(sentences, " ")});
+      gold.push_back({static_cast<int32_t>(mi)});
+    }
+  }
+
+  // DBpedia-like KB over the same universe + noise. The style() edges link
+  // directors to colloquial genre words, bridging review vocabulary to
+  // table vocabulary (the paper's Tarantino/Comedy example).
+  text::Preprocessor pp;
+  auto normalizer = [pp](const std::string& s) {
+    return util::Join(pp.Tokens(s), " ");
+  };
+  out.kb = std::make_shared<kb::SyntheticKB>(normalizer);
+  for (const Movie& m : movies) {
+    out.kb->AddRelation(m.actor1, m.title, "starringOf");
+    out.kb->AddRelation(m.actor2, m.title, "starringOf");
+    out.kb->AddRelation(m.director, m.title, "directorOf");
+    out.kb->AddRelation(m.director, m.genre, "style");
+    out.kb->AddRelation(m.director, bank.GenreSynonym(m.genre), "style");
+    out.kb->AddRelation(bank.GenreSynonym(m.genre), m.genre, "relatedTo");
+    out.kb->AddRelation(m.director, m.country, "bornIn");
+    // Sink-prone distractors (spouse example from the paper).
+    out.kb->AddRelation(m.director, bank.PersonName(&rng), "spouse");
+    for (size_t n = 0; n < options.kb_noise_per_entity; ++n) {
+      out.kb->AddRelation(m.director, bank.FakeWord(&rng), "wikiPageLink");
+      out.kb->AddRelation(m.actor1, bank.FakeWord(&rng), "wikiPageLink");
+    }
+  }
+
+  out.synonym_pairs = bank.SynonymPairs();
+  out.generic_corpus = GenericCorpusGenerator::Generate(
+      bank, GenericCorpusOptions{.seed = options.seed ^ 0x5151});
+
+  out.scenario.name = options.with_title ? "IMDb-WT" : "IMDb-NT";
+  out.scenario.first = corpus::Corpus::FromTexts("reviews", std::move(reviews));
+  out.scenario.second = corpus::Corpus::FromTable(std::move(table));
+  out.scenario.gold = std::move(gold);
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace tdmatch

@@ -1,0 +1,55 @@
+#ifndef TDMATCH_DATAGEN_IMDB_H_
+#define TDMATCH_DATAGEN_IMDB_H_
+
+#include "datagen/generated.h"
+
+namespace tdmatch {
+namespace datagen {
+
+/// Options for the IMDb-like text-to-data scenario (Table I).
+struct ImdbOptions {
+  /// Movies with reviews (each gets `reviews_per_movie` reviews).
+  size_t num_reviewed_movies = 60;
+  /// Additional tuples without reviews (the paper matches 2k reviews
+  /// against 50k tuples — most tuples are never a correct answer).
+  size_t num_distractor_movies = 90;
+  size_t reviews_per_movie = 2;
+  size_t sentences_per_review_min = 3;
+  size_t sentences_per_review_max = 8;
+  /// Probability a review names the genre by its colloquial synonym
+  /// ("funny" for comedy) instead of the table label.
+  double genre_synonym_rate = 0.6;
+  /// Probability an actor mention is abbreviated ("B. Willis").
+  double abbrev_rate = 0.5;
+  /// Probability a review sentence name-drops an actor of another movie
+  /// (the paper's ambiguity challenge).
+  double distractor_mention_rate = 0.45;
+  /// Probability the review mentions the second actor's surname too.
+  double second_actor_rate = 0.5;
+  /// Probability of a partial title mention / exact year / certificate.
+  double title_mention_rate = 0.6;
+  double year_mention_rate = 0.45;
+  double certificate_mention_rate = 0.2;
+  /// Fraction of movies that share an actor with another movie.
+  double shared_actor_rate = 0.2;
+  /// Distractor KB relations per entity (hub noise; "800 relations for
+  /// Tarantino, few useful").
+  size_t kb_noise_per_entity = 8;
+  /// Drop the title column ("NT" variant of Table I).
+  bool with_title = true;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates the IMDb scenario: a movie relation (13 attributes with
+/// title) + reviews mentioning noisy subsets of tuple values; first corpus
+/// = reviews (text), second = the table. A DBpedia-like KB over the same
+/// entity universe supports expansion.
+class ImdbGenerator {
+ public:
+  static GeneratedScenario Generate(const ImdbOptions& options = {});
+};
+
+}  // namespace datagen
+}  // namespace tdmatch
+
+#endif  // TDMATCH_DATAGEN_IMDB_H_

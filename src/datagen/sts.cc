@@ -1,0 +1,155 @@
+#include "datagen/sts.h"
+
+#include <unordered_map>
+
+#include "datagen/generic_corpus.h"
+#include "text/preprocess.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace datagen {
+
+namespace {
+
+/// Builds a base sentence from a small topical vocabulary, so unrelated
+/// sentences of the same topic still overlap substantially (the STS-B
+/// corpora are topically clustered captions/headlines).
+std::vector<std::string> BaseSentence(const std::vector<std::string>& topic,
+                                      WordBank* bank, util::Rng* rng) {
+  std::vector<std::string> toks;
+  const size_t len = 6 + static_cast<size_t>(rng->UniformInt(8ULL));
+  for (size_t i = 0; i < len; ++i) {
+    if (rng->Bernoulli(0.7)) {
+      toks.push_back(rng->Choice(topic));
+    } else {
+      toks.push_back(bank->Verb(rng));
+    }
+  }
+  return toks;
+}
+
+int ScoreForPair(util::Rng* rng) {
+  // Roughly uniform over 0..5 with a slight bias to the middle, echoing the
+  // STS-B distribution.
+  return static_cast<int>(rng->UniformInt(6ULL));
+}
+
+}  // namespace
+
+std::vector<int> StsGenerator::PairScores(const StsOptions& options) {
+  util::Rng rng(options.seed);
+  std::vector<int> scores(options.num_pairs);
+  for (auto& s : scores) s = ScoreForPair(&rng);
+  return scores;
+}
+
+GeneratedScenario StsGenerator::Generate(const StsOptions& options) {
+  // PairScores re-derives the same sequence from the same seed: keep the
+  // draw order identical (scores first, then the sentence material).
+  std::vector<int> scores = PairScores(options);
+  util::Rng rng(options.seed ^ 0xf00d);
+  WordBank bank(options.seed);
+  GeneratedScenario out;
+
+  auto syn_pairs = bank.MakeSynonymPairs(options.num_synonym_pairs, &rng);
+  std::unordered_map<std::string, std::string> syn_of;
+  for (const auto& [a, b] : syn_pairs) {
+    syn_of[a] = b;
+    syn_of[b] = a;
+  }
+
+  // Topic vocabularies shared by many pairs.
+  const size_t num_topics = std::max<size_t>(4, options.num_pairs / 40);
+  std::vector<std::vector<std::string>> topics(num_topics);
+  for (auto& topic : topics) {
+    for (int w = 0; w < 8; ++w) {
+      topic.push_back(rng.Bernoulli(0.5)
+                          ? bank.Noun(&rng)
+                          : syn_pairs[static_cast<size_t>(rng.UniformInt(
+                                          syn_pairs.size()))]
+                                .first);
+    }
+  }
+
+  std::vector<corpus::TextDoc> left;
+  std::vector<corpus::TextDoc> right;
+  std::vector<std::vector<int32_t>> gold;
+  for (size_t p = 0; p < options.num_pairs; ++p) {
+    const auto& topic = topics[p % num_topics];
+    std::vector<std::string> a = BaseSentence(topic, &bank, &rng);
+    // Seed some synonym-swappable words in.
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (rng.Bernoulli(0.25)) a[i] = syn_pairs[static_cast<size_t>(
+          rng.UniformInt(syn_pairs.size()))].first;
+    }
+    std::vector<std::string> b;
+    const int score = scores[p];
+    switch (score) {
+      case 5:
+        b = a;  // identical
+        break;
+      case 4:
+        b = a;  // synonym swaps only
+        for (auto& t : b) {
+          auto it = syn_of.find(t);
+          if (it != syn_of.end() && rng.Bernoulli(0.6)) t = it->second;
+        }
+        break;
+      case 3:
+        b = a;  // partial rewrite: drop/replace ~25%
+        for (auto& t : b) {
+          if (rng.Bernoulli(0.25)) t = rng.Choice(topic);
+        }
+        break;
+      case 2: {
+        // Share ~half the tokens.
+        for (size_t i = 0; i < a.size(); ++i) {
+          b.push_back(rng.Bernoulli(0.5) ? a[i] : rng.Choice(topic));
+        }
+        break;
+      }
+      case 1: {
+        // Same topic, little direct sharing.
+        b = BaseSentence(topic, &bank, &rng);
+        b[0] = a[0];
+        break;
+      }
+      default:
+        b = BaseSentence(topic, &bank, &rng);  // unrelated, same topic
+        break;
+    }
+    left.push_back(
+        corpus::TextDoc{util::StrFormat("sts_l_%zu", p), util::Join(a, " ")});
+    right.push_back(
+        corpus::TextDoc{util::StrFormat("sts_r_%zu", p), util::Join(b, " ")});
+    if (score >= options.threshold) {
+      gold.push_back({static_cast<int32_t>(p)});
+    } else {
+      gold.push_back({});  // not a match at this threshold: skipped by eval
+    }
+  }
+
+  text::Preprocessor pp;
+  auto normalizer = [pp](const std::string& s) {
+    return util::Join(pp.Tokens(s), " ");
+  };
+  out.kb = std::make_shared<kb::SyntheticKB>(normalizer);
+  for (const auto& [a, b] : syn_pairs) out.kb->AddRelation(a, b, "synonym");
+  for (size_t i = 0; i < 40; ++i) {
+    out.kb->AddRelation(bank.Noun(&rng), bank.Noun(&rng), "relatedTo");
+  }
+
+  out.synonym_pairs = bank.SynonymPairs();
+  out.generic_corpus = GenericCorpusGenerator::Generate(
+      bank, GenericCorpusOptions{.seed = options.seed ^ 0xcdcd});
+
+  out.scenario.name = util::StrFormat("STS-k%d", options.threshold);
+  out.scenario.first = corpus::Corpus::FromTexts("sts_left", std::move(left));
+  out.scenario.second =
+      corpus::Corpus::FromTexts("sts_right", std::move(right));
+  out.scenario.gold = std::move(gold);
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace tdmatch

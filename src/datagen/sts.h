@@ -1,0 +1,36 @@
+#ifndef TDMATCH_DATAGEN_STS_H_
+#define TDMATCH_DATAGEN_STS_H_
+
+#include "datagen/generated.h"
+
+namespace tdmatch {
+namespace datagen {
+
+/// Options for the STS-like sentence-pair scenario (Table VI).
+struct StsOptions {
+  size_t num_pairs = 500;
+  /// Ground-truth similarity threshold: a pair is a true match when its
+  /// generated score >= threshold (paper reports k=2 and k=3).
+  int threshold = 2;
+  size_t num_synonym_pairs = 30;
+  uint64_t seed = 23;
+};
+
+/// \brief Generates an STS-style scenario: sentence pairs with a similarity
+/// score in 0..5 controlled by construction (5 = identical, 4 = synonym
+/// swaps, 3 = partial rewrite, ..., 0 = unrelated). First corpus = left
+/// sentences, second = right sentences; gold links a left sentence to its
+/// partner when score >= threshold.
+class StsGenerator {
+ public:
+  static GeneratedScenario Generate(const StsOptions& options = {});
+
+  /// The generated score of each pair (index-aligned with the corpora),
+  /// for tests and the Fig. 8 scaling sweep.
+  static std::vector<int> PairScores(const StsOptions& options);
+};
+
+}  // namespace datagen
+}  // namespace tdmatch
+
+#endif  // TDMATCH_DATAGEN_STS_H_

@@ -1,0 +1,199 @@
+#include "datagen/word_bank.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace datagen {
+
+namespace {
+
+const char* const kNouns[] = {
+    "story",    "scene",    "character", "plot",     "screen",  "moment",
+    "ending",   "action",   "dialogue",  "camera",   "music",   "script",
+    "audience", "director", "performance", "role",   "style",   "journey",
+    "tension",  "mystery",  "emotion",   "world",    "family",  "friend",
+    "city",     "night",    "war",       "love",     "crime",   "hero",
+    "villain",  "dream",    "memory",    "truth",    "secret",  "battle",
+    "market",   "process",  "report",    "control",  "risk",    "policy",
+    "standard", "review",   "system",    "project",  "budget",  "record",
+};
+
+const char* const kVerbs[] = {
+    "watch",  "enjoy",   "deliver", "capture", "follow",  "reveal",
+    "build",  "create",  "explore", "present", "perform", "direct",
+    "write",  "produce", "manage",  "verify",  "assess",  "measure",
+    "report", "plan",    "check",   "improve", "define",  "document",
+};
+
+const char* const kAdjectives[] = {
+    "great",    "brilliant", "stunning", "boring",   "slow",     "sharp",
+    "dark",     "bright",    "classic",  "modern",   "strange",  "powerful",
+    "quiet",    "loud",      "gentle",   "fierce",   "elegant",  "awkward",
+    "annual",   "internal",  "external", "critical", "formal",   "monthly",
+};
+
+const char* const kGenres[] = {
+    "drama", "comedy", "thriller", "horror", "romance",
+    "action", "western", "fantasy", "mystery", "documentary",
+};
+
+// Colloquial genre variants a reviewer would actually write.
+const std::pair<const char*, const char*> kGenreSynonyms[] = {
+    {"drama", "dramatic"},   {"comedy", "funny"},
+    {"thriller", "suspense"}, {"horror", "scary"},
+    {"romance", "romantic"}, {"action", "explosive"},
+    {"western", "frontier"}, {"fantasy", "magical"},
+    {"mystery", "puzzling"}, {"documentary", "factual"},
+};
+
+const char* const kCountries[] = {
+    "United States", "China",   "India",    "Brazil",  "Russia",
+    "Japan",         "Germany", "France",   "Italy",   "Spain",
+    "Canada",        "Mexico",  "Peru",     "Chile",   "Egypt",
+    "Kenya",         "Nigeria", "Turkey",   "Iran",    "Poland",
+    "Sweden",        "Norway",  "Greece",   "Portugal", "Austria",
+    "Belgium",       "Ireland", "Denmark",  "Finland", "Argentina",
+};
+
+const char* const kMonths[] = {
+    "January", "February", "March",     "April",   "May",      "June",
+    "July",    "August",   "September", "October", "November", "December",
+};
+
+const char* const kSyllables[] = {
+    "ka", "ren", "mo", "vi", "ta", "shy", "lan", "dor", "bel", "mar",
+    "tin", "lo", "ne", "ras", "gu", "fel", "san", "dra", "pol", "ver",
+    "zan", "qui", "ber", "nal", "sto", "rem", "cal", "dus", "hem", "jor",
+};
+
+}  // namespace
+
+WordBank::WordBank(uint64_t seed) {
+  (void)seed;
+  for (const char* w : kNouns) nouns_.push_back(w);
+  for (const char* w : kVerbs) verbs_.push_back(w);
+  for (const char* w : kAdjectives) adjectives_.push_back(w);
+  for (const char* w : kGenres) genres_.push_back(w);
+  for (const auto& [g, s] : kGenreSynonyms) {
+    genre_synonyms_[g] = s;
+    synonym_pairs_.emplace_back(g, s);
+  }
+  for (const char* w : kCountries) countries_.push_back(w);
+  for (const char* w : kMonths) months_.push_back(w);
+  for (const char* w : kSyllables) syllables_.push_back(w);
+}
+
+std::string WordBank::FakeWord(util::Rng* rng) const {
+  const size_t n = 2 + static_cast<size_t>(rng->UniformInt(2ULL));
+  std::string w;
+  for (size_t i = 0; i < n; ++i) w += rng->Choice(syllables_);
+  w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+  return w;
+}
+
+std::string WordBank::PersonName(util::Rng* rng) const {
+  return FakeWord(rng) + " " + FakeWord(rng);
+}
+
+std::string WordBank::AbbreviateName(const std::string& full_name) {
+  auto parts = util::SplitWhitespace(full_name);
+  if (parts.size() < 2) return full_name;
+  std::string out;
+  out += parts[0][0];
+  out += ".";
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out += " ";
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string WordBank::Title(util::Rng* rng, size_t max_words,
+                            double fake_word_rate) const {
+  const size_t n = 1 + static_cast<size_t>(rng->UniformInt(max_words));
+  std::string t;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) t += " ";
+    // Mix fake words and capitalized nouns for natural-looking titles.
+    if (rng->Bernoulli(fake_word_rate)) {
+      t += FakeWord(rng);
+    } else {
+      std::string w = Noun(rng);
+      w[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(w[0])));
+      t += w;
+    }
+  }
+  return t;
+}
+
+const std::string& WordBank::Noun(util::Rng* rng) const {
+  return rng->Choice(nouns_);
+}
+const std::string& WordBank::Verb(util::Rng* rng) const {
+  return rng->Choice(verbs_);
+}
+const std::string& WordBank::Adjective(util::Rng* rng) const {
+  return rng->Choice(adjectives_);
+}
+const std::string& WordBank::Genre(util::Rng* rng) const {
+  return rng->Choice(genres_);
+}
+
+std::string WordBank::GenreSynonym(const std::string& genre) const {
+  auto it = genre_synonyms_.find(genre);
+  return it == genre_synonyms_.end() ? genre : it->second;
+}
+
+const std::string& WordBank::Country(util::Rng* rng) const {
+  return rng->Choice(countries_);
+}
+
+std::string WordBank::Typo(const std::string& word, util::Rng* rng) {
+  if (word.size() < 3) return word;
+  std::string w = word;
+  const size_t i =
+      1 + static_cast<size_t>(rng->UniformInt(
+              static_cast<uint64_t>(w.size() - 2)));
+  switch (rng->UniformInt(3ULL)) {
+    case 0:  // swap adjacent
+      std::swap(w[i], w[i + 1]);
+      break;
+    case 1:  // drop
+      w.erase(i, 1);
+      break;
+    default:  // duplicate
+      w.insert(i, 1, w[i]);
+      break;
+  }
+  return w;
+}
+
+std::vector<std::pair<std::string, std::string>> WordBank::MakeSynonymPairs(
+    size_t n, util::Rng* rng) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string a = util::ToLower(FakeWord(rng));
+    std::string b = util::ToLower(FakeWord(rng));
+    if (a == b) b += "us";
+    out.emplace_back(a, b);
+    synonym_pairs_.emplace_back(a, b);
+  }
+  return out;
+}
+
+std::string WordBank::MakeAcronym(const std::string& phrase) {
+  std::string acro;
+  for (const auto& part : util::SplitWhitespace(phrase)) {
+    acro += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(part[0])));
+  }
+  synonym_pairs_.emplace_back(util::ToLower(phrase), acro);
+  return acro;
+}
+
+}  // namespace datagen
+}  // namespace tdmatch

@@ -1,0 +1,90 @@
+#ifndef TDMATCH_DATAGEN_WORD_BANK_H_
+#define TDMATCH_DATAGEN_WORD_BANK_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tdmatch {
+namespace datagen {
+
+/// \brief Shared vocabulary machinery for the scenario generators.
+///
+/// Provides curated English word lists (generic filler, genres with
+/// synonyms, countries, months) and a deterministic syllable-based proper-
+/// name generator for people, movie titles and domain concepts. The synonym
+/// and acronym tables generated here are the ground truth that the
+/// "pre-trained" resources (PretrainedLexicon, SyntheticKB) are built from,
+/// mirroring how WordNet/ConceptNet know real synonym pairs.
+class WordBank {
+ public:
+  explicit WordBank(uint64_t seed = 1234);
+
+  /// A capitalized pronounceable fake word of 2..3 syllables.
+  std::string FakeWord(util::Rng* rng) const;
+
+  /// "Forename Surname".
+  std::string PersonName(util::Rng* rng) const;
+
+  /// Abbreviates "Bruce Willis" to "B. Willis" (paper's name-variant case).
+  static std::string AbbreviateName(const std::string& full_name);
+
+  /// A 1..max_words title ("The <Fake> <Noun>"). `fake_word_rate` controls
+  /// how often a title word is a fresh fake word instead of a generic noun
+  /// (distinctive titles reduce accidental collisions with filler text).
+  std::string Title(util::Rng* rng, size_t max_words = 3,
+                    double fake_word_rate = 0.5) const;
+
+  /// Uniform pick from the generic filler nouns/verbs/adjectives.
+  const std::string& Noun(util::Rng* rng) const;
+  const std::string& Verb(util::Rng* rng) const;
+  const std::string& Adjective(util::Rng* rng) const;
+
+  /// Movie genres; Synonym(genre) is a colloquial variant ("comedy" →
+  /// "funny"), as reviews rarely use the canonical label.
+  const std::string& Genre(util::Rng* rng) const;
+  std::string GenreSynonym(const std::string& genre) const;
+
+  const std::string& Country(util::Rng* rng) const;
+  const std::vector<std::string>& Countries() const { return countries_; }
+  const std::vector<std::string>& Months() const { return months_; }
+  const std::vector<std::string>& Genres() const { return genres_; }
+
+  /// Injects a random typo (swap/drop/duplicate one letter).
+  static std::string Typo(const std::string& word, util::Rng* rng);
+
+  /// Creates `n` domain term pairs (term, synonym) of fresh fake words and
+  /// records them; used by the Audit and Claims generators.
+  std::vector<std::pair<std::string, std::string>> MakeSynonymPairs(
+      size_t n, util::Rng* rng);
+
+  /// Creates an acronym for a multi-word phrase ("plan do check act" →
+  /// "pdca") and records the pair.
+  std::string MakeAcronym(const std::string& phrase);
+
+  /// All recorded synonym pairs (curated genre pairs + generated ones +
+  /// acronyms); feeds γ calibration and the generic corpus.
+  const std::vector<std::pair<std::string, std::string>>& SynonymPairs()
+      const {
+    return synonym_pairs_;
+  }
+
+ private:
+  std::vector<std::string> nouns_;
+  std::vector<std::string> verbs_;
+  std::vector<std::string> adjectives_;
+  std::vector<std::string> genres_;
+  std::unordered_map<std::string, std::string> genre_synonyms_;
+  std::vector<std::string> countries_;
+  std::vector<std::string> months_;
+  std::vector<std::string> syllables_;
+  std::vector<std::pair<std::string, std::string>> synonym_pairs_;
+};
+
+}  // namespace datagen
+}  // namespace tdmatch
+
+#endif  // TDMATCH_DATAGEN_WORD_BANK_H_

@@ -1,0 +1,170 @@
+#include "embed/doc2vec.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tdmatch {
+namespace embed {
+
+namespace {
+constexpr size_t kTableSize = 1 << 18;
+
+inline float Sigmoid(float x) {
+  if (x > 6.0f) return 1.0f;
+  if (x < -6.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+}  // namespace
+
+Doc2Vec::Doc2Vec(Doc2VecOptions options) : options_(options) {
+  TDM_CHECK_GT(options_.dim, 0);
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+util::Status Doc2Vec::Train(const std::vector<std::vector<int32_t>>& docs,
+                            size_t word_vocab_size) {
+  if (word_vocab_size == 0) {
+    return util::Status::InvalidArgument("word_vocab_size must be > 0");
+  }
+  num_docs_ = docs.size();
+  word_vocab_size_ = word_vocab_size;
+  const int dim = options_.dim;
+
+  std::vector<uint64_t> counts(word_vocab_size, 0);
+  uint64_t total = 0;
+  for (const auto& d : docs) {
+    for (int32_t w : d) {
+      if (w < 0 || static_cast<size_t>(w) >= word_vocab_size) {
+        return util::Status::OutOfRange("word id out of range");
+      }
+      ++counts[static_cast<size_t>(w)];
+      ++total;
+    }
+  }
+  if (total == 0) return util::Status::InvalidArgument("no tokens");
+
+  unigram_table_.assign(kTableSize, 0);
+  double norm = 0.0;
+  for (uint64_t c : counts) norm += std::pow(static_cast<double>(c), 0.75);
+  size_t wi = 0;
+  double cum = std::pow(static_cast<double>(counts[0]), 0.75) / norm;
+  for (size_t t = 0; t < kTableSize; ++t) {
+    unigram_table_[t] = static_cast<int32_t>(wi);
+    if (static_cast<double>(t) / kTableSize > cum &&
+        wi + 1 < word_vocab_size) {
+      ++wi;
+      cum += std::pow(static_cast<double>(counts[wi]), 0.75) / norm;
+    }
+  }
+
+  util::Rng init(options_.seed);
+  doc_vecs_.resize(num_docs_ * static_cast<size_t>(dim));
+  word_out_.assign(word_vocab_size * static_cast<size_t>(dim), 0.0f);
+  for (float& v : doc_vecs_) {
+    v = static_cast<float>((init.Uniform() - 0.5) / dim);
+  }
+
+  const float lr0 = static_cast<float>(options_.initial_lr);
+  float* dvec = doc_vecs_.data();
+  float* wout = word_out_.data();
+  const int32_t* table = unigram_table_.data();
+
+  util::ThreadPool::ParallelFor(
+      num_docs_, options_.threads,
+      [&](size_t begin, size_t end, size_t tid) {
+        util::Rng rng(options_.seed + 77777ULL * (tid + 1));
+        std::vector<float> grad(static_cast<size_t>(dim));
+        for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+          const float lr =
+              lr0 * (1.0f - static_cast<float>(epoch) /
+                                static_cast<float>(options_.epochs));
+          for (size_t di = begin; di < end; ++di) {
+            float* v = dvec + di * static_cast<size_t>(dim);
+            for (int32_t w : docs[di]) {
+              std::fill(grad.begin(), grad.end(), 0.0f);
+              for (int n = 0; n <= options_.negative; ++n) {
+                int32_t target;
+                float label;
+                if (n == 0) {
+                  target = w;
+                  label = 1.0f;
+                } else {
+                  target = table[rng.Next() & (kTableSize - 1)];
+                  if (target == w) continue;
+                  label = 0.0f;
+                }
+                float* out =
+                    wout + static_cast<size_t>(target) *
+                               static_cast<size_t>(dim);
+                float dot = 0.0f;
+                for (int d = 0; d < dim; ++d) dot += v[d] * out[d];
+                const float gr = (label - Sigmoid(dot)) * lr;
+                for (int d = 0; d < dim; ++d) {
+                  grad[static_cast<size_t>(d)] += gr * out[d];
+                  out[d] += gr * v[d];
+                }
+              }
+              for (int d = 0; d < dim; ++d) {
+                v[d] += grad[static_cast<size_t>(d)];
+              }
+            }
+          }
+        }
+      });
+  trained_ = true;
+  return util::Status::OK();
+}
+
+std::vector<float> Doc2Vec::DocVector(size_t doc) const {
+  TDM_DCHECK(trained_);
+  TDM_DCHECK_LT(doc, num_docs_);
+  const float* v = doc_vecs_.data() + doc * static_cast<size_t>(options_.dim);
+  return std::vector<float>(v, v + options_.dim);
+}
+
+std::vector<float> Doc2Vec::Infer(const std::vector<int32_t>& doc,
+                                  int steps) const {
+  TDM_DCHECK(trained_);
+  const int dim = options_.dim;
+  util::Rng rng(options_.seed ^ 0xabcdef);
+  std::vector<float> v(static_cast<size_t>(dim));
+  for (float& x : v) x = static_cast<float>((rng.Uniform() - 0.5) / dim);
+  const float lr = static_cast<float>(options_.initial_lr);
+  for (int s = 0; s < steps; ++s) {
+    for (int32_t w : doc) {
+      if (w < 0 || static_cast<size_t>(w) >= word_vocab_size_) continue;
+      std::vector<float> grad(static_cast<size_t>(dim), 0.0f);
+      for (int n = 0; n <= options_.negative; ++n) {
+        int32_t target;
+        float label;
+        if (n == 0) {
+          target = w;
+          label = 1.0f;
+        } else {
+          target = unigram_table_[rng.Next() & (kTableSize - 1)];
+          if (target == w) continue;
+          label = 0.0f;
+        }
+        const float* out = word_out_.data() +
+                           static_cast<size_t>(target) *
+                               static_cast<size_t>(dim);
+        float dot = 0.0f;
+        for (int d = 0; d < dim; ++d) dot += v[static_cast<size_t>(d)] * out[d];
+        const float gr = (label - Sigmoid(dot)) * lr;
+        for (int d = 0; d < dim; ++d) {
+          grad[static_cast<size_t>(d)] += gr * out[d];
+        }
+      }
+      for (int d = 0; d < dim; ++d) {
+        v[static_cast<size_t>(d)] += grad[static_cast<size_t>(d)];
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace embed
+}  // namespace tdmatch

@@ -1,0 +1,60 @@
+#ifndef TDMATCH_EMBED_DOC2VEC_H_
+#define TDMATCH_EMBED_DOC2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tdmatch {
+namespace embed {
+
+/// Doc2Vec (PV-DBOW) training configuration — the D2VEC baseline uses DBOW,
+/// matching the paper's setup (§V "Baselines").
+struct Doc2VecOptions {
+  int dim = 64;
+  int negative = 5;
+  double initial_lr = 0.025;
+  int epochs = 10;
+  size_t threads = 4;
+  uint64_t seed = 42;
+};
+
+/// \brief Distributed Bag-of-Words paragraph vectors (Le & Mikolov, 2014).
+///
+/// Each document vector is trained to predict the (unordered) words of the
+/// document via negative sampling; words share an output matrix.
+class Doc2Vec {
+ public:
+  explicit Doc2Vec(Doc2VecOptions options = {});
+
+  /// Trains on documents of word ids in [0, word_vocab_size).
+  util::Status Train(const std::vector<std::vector<int32_t>>& docs,
+                     size_t word_vocab_size);
+
+  int dim() const { return options_.dim; }
+  size_t num_docs() const { return num_docs_; }
+  bool trained() const { return trained_; }
+
+  /// Document vector (valid after Train).
+  std::vector<float> DocVector(size_t doc) const;
+
+  /// Infers a vector for an unseen document by gradient steps against the
+  /// frozen word matrix (standard Doc2Vec inference).
+  std::vector<float> Infer(const std::vector<int32_t>& doc,
+                           int steps = 20) const;
+
+ private:
+  Doc2VecOptions options_;
+  size_t num_docs_ = 0;
+  size_t word_vocab_size_ = 0;
+  bool trained_ = false;
+  std::vector<float> doc_vecs_;
+  std::vector<float> word_out_;
+  std::vector<int32_t> unigram_table_;
+};
+
+}  // namespace embed
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EMBED_DOC2VEC_H_

@@ -1,0 +1,76 @@
+#include "embed/embedding_table.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace embed {
+
+void EmbeddingTable::Put(const std::string& label, std::vector<float> vec) {
+  if (dim_ == 0) dim_ = static_cast<int>(vec.size());
+  TDM_CHECK_EQ(static_cast<int>(vec.size()), dim_);
+  auto it = index_.find(label);
+  if (it != index_.end()) {
+    vectors_[it->second] = std::move(vec);
+    return;
+  }
+  index_.emplace(label, vectors_.size());
+  vectors_.push_back(std::move(vec));
+  labels_.push_back(label);
+}
+
+const std::vector<float>* EmbeddingTable::Get(const std::string& label) const {
+  auto it = index_.find(label);
+  return it == index_.end() ? nullptr : &vectors_[it->second];
+}
+
+util::Result<double> EmbeddingTable::Cosine(const std::string& a,
+                                            const std::string& b) const {
+  const std::vector<float>* va = Get(a);
+  const std::vector<float>* vb = Get(b);
+  if (va == nullptr) return util::Status::NotFound("no vector for " + a);
+  if (vb == nullptr) return util::Status::NotFound("no vector for " + b);
+  return CosineVec(*va, *vb);
+}
+
+double EmbeddingTable::CosineVec(const std::vector<float>& a,
+                                 const std::vector<float>& b) {
+  TDM_DCHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void EmbeddingTable::Normalize(std::vector<float>* v) {
+  double norm = 0.0;
+  for (float x : *v) norm += static_cast<double>(x) * x;
+  norm = std::sqrt(norm);
+  if (norm == 0.0) return;
+  for (float& x : *v) x = static_cast<float>(x / norm);
+}
+
+std::vector<float> EmbeddingTable::Mean(
+    const std::vector<const std::vector<float>*>& vecs, int dim) {
+  std::vector<float> out(static_cast<size_t>(dim), 0.0f);
+  if (vecs.empty()) return out;
+  for (const auto* v : vecs) {
+    TDM_DCHECK_EQ(static_cast<int>(v->size()), dim);
+    for (int d = 0; d < dim; ++d) {
+      out[static_cast<size_t>(d)] += (*v)[static_cast<size_t>(d)];
+    }
+  }
+  for (float& x : out) x /= static_cast<float>(vecs.size());
+  return out;
+}
+
+std::vector<std::string> EmbeddingTable::Labels() const { return labels_; }
+
+}  // namespace embed
+}  // namespace tdmatch

@@ -1,0 +1,64 @@
+#ifndef TDMATCH_EMBED_EMBEDDING_TABLE_H_
+#define TDMATCH_EMBED_EMBEDDING_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tdmatch {
+namespace embed {
+
+/// \brief Label-keyed dense vector store with cosine utilities.
+///
+/// Bridges trained models (Word2Vec over graph nodes, sentence encoders,
+/// Doc2Vec) and the matcher, which only needs "vector for this label".
+class EmbeddingTable {
+ public:
+  EmbeddingTable() = default;
+  explicit EmbeddingTable(int dim) : dim_(dim) {}
+
+  /// Inserts or overwrites a vector (its size fixes/must match dim).
+  void Put(const std::string& label, std::vector<float> vec);
+
+  /// Vector for a label, or nullptr.
+  const std::vector<float>* Get(const std::string& label) const;
+
+  bool Contains(const std::string& label) const {
+    return index_.count(label) > 0;
+  }
+
+  int dim() const { return dim_; }
+  size_t size() const { return vectors_.size(); }
+
+  /// Cosine similarity of two stored labels (error when either missing).
+  util::Result<double> Cosine(const std::string& a,
+                              const std::string& b) const;
+
+  /// Cosine of two raw vectors (0 when either has zero norm).
+  static double CosineVec(const std::vector<float>& a,
+                          const std::vector<float>& b);
+
+  /// L2-normalizes a vector in place (no-op for the zero vector).
+  static void Normalize(std::vector<float>* v);
+
+  /// Mean of a set of vectors (empty input → zero vector of `dim`).
+  static std::vector<float> Mean(const std::vector<const std::vector<float>*>&
+                                     vecs,
+                                 int dim);
+
+  /// All stored labels (unspecified order).
+  std::vector<std::string> Labels() const;
+
+ private:
+  int dim_ = 0;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::vector<float>> vectors_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace embed
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EMBED_EMBEDDING_TABLE_H_

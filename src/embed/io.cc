@@ -1,0 +1,85 @@
+#include "embed/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace embed {
+
+namespace {
+
+std::string EscapeLabel(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    if (c == ' ') {
+      out += "\\_";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLabel(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (size_t i = 0; i < label.size(); ++i) {
+    if (label[i] == '\\' && i + 1 < label.size() && label[i + 1] == '_') {
+      out.push_back(' ');
+      ++i;
+    } else {
+      out.push_back(label[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Status EmbeddingIo::Save(const EmbeddingTable& table,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IOError("cannot open " + path);
+  out << table.size() << " " << table.dim() << "\n";
+  for (const auto& label : table.Labels()) {
+    const std::vector<float>* vec = table.Get(label);
+    out << EscapeLabel(label);
+    for (float v : *vec) out << " " << v;
+    out << "\n";
+  }
+  if (!out) return util::Status::IOError("write failed for " + path);
+  return util::Status::OK();
+}
+
+util::Result<EmbeddingTable> EmbeddingIo::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IOError("cannot open " + path);
+  size_t count = 0;
+  int dim = 0;
+  if (!(in >> count >> dim) || dim <= 0) {
+    return util::Status::InvalidArgument("bad header in " + path);
+  }
+  EmbeddingTable table(dim);
+  for (size_t i = 0; i < count; ++i) {
+    std::string label;
+    if (!(in >> label)) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("%s: truncated at entry %zu", path.c_str(), i));
+    }
+    std::vector<float> vec(static_cast<size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      if (!(in >> vec[static_cast<size_t>(d)])) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "%s: truncated vector for '%s'", path.c_str(), label.c_str()));
+      }
+    }
+    table.Put(UnescapeLabel(label), std::move(vec));
+  }
+  return table;
+}
+
+}  // namespace embed
+}  // namespace tdmatch

@@ -1,0 +1,30 @@
+#ifndef TDMATCH_EMBED_IO_H_
+#define TDMATCH_EMBED_IO_H_
+
+#include <string>
+
+#include "embed/embedding_table.h"
+#include "util/result.h"
+
+namespace tdmatch {
+namespace embed {
+
+/// \brief Persistence for embedding tables in the classic word2vec text
+/// format: a `<count> <dim>` header line followed by `<label> v1 .. vd`
+/// lines. Labels containing spaces are supported by quoting rules below:
+/// inner spaces are escaped as `\_` on write and unescaped on read.
+class EmbeddingIo {
+ public:
+  /// Writes the table; overwrites the file.
+  static util::Status Save(const EmbeddingTable& table,
+                           const std::string& path);
+
+  /// Reads a table written by Save (or a real word2vec .txt file without
+  /// escaped labels).
+  static util::Result<EmbeddingTable> Load(const std::string& path);
+};
+
+}  // namespace embed
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EMBED_IO_H_

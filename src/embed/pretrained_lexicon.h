@@ -1,0 +1,77 @@
+#ifndef TDMATCH_EMBED_PRETRAINED_LEXICON_H_
+#define TDMATCH_EMBED_PRETRAINED_LEXICON_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/word2vec.h"
+#include "graph/builder.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace embed {
+
+/// \brief Stand-in for a pre-trained word embedding (Wikipedia2Vec in the
+/// paper) used by the γ-threshold synonym merge (§II-C).
+///
+/// Trained once on a *generic* corpus (datagen::GenericCorpus — independent
+/// of any matching scenario, which is what "pre-trained" means here).
+/// Out-of-vocabulary robustness comes from a character-3-gram hashing
+/// component blended into every word vector, so name variants and typos
+/// ("untied states") land close to their intended form — mirroring how the
+/// paper merges typos and abbreviations with external resources.
+class PretrainedLexicon {
+ public:
+  struct Options {
+    Word2VecOptions w2v;
+    /// Weight of the char-ngram component in the blended vector [0, 1].
+    double char_weight = 0.4;
+    /// Dimensionality of the char-hash space (== w2v.dim for blending).
+    uint64_t hash_seed = 0x5eed;
+  };
+
+  PretrainedLexicon();  // default options
+  explicit PretrainedLexicon(Options options);
+
+  /// Trains the word component on tokenized sentences.
+  util::Status Train(const std::vector<std::vector<std::string>>& sentences);
+
+  bool trained() const { return trained_; }
+
+  /// Blended vector for a (possibly multi-token) label; never fails —
+  /// unknown words fall back to the char-ngram component alone.
+  std::vector<float> Vector(const std::string& label) const;
+
+  /// Cosine similarity of two labels' blended vectors.
+  double Cosine(const std::string& a, const std::string& b) const;
+
+  /// γ calibration (§II-C): the average cosine over a list of known synonym
+  /// pairs (the paper uses 17K WordNet pairs and obtains γ = 0.57).
+  double CalibrateGamma(
+      const std::vector<std::pair<std::string, std::string>>& synonym_pairs)
+      const;
+
+  /// Builds a term → canonical-term merge map over `labels`: candidate
+  /// pairs (bucketed by shared token / prefix so this stays near-linear)
+  /// with cosine >= gamma are union-found together; each class maps to its
+  /// lexicographically smallest member. This is the input for
+  /// graph::BuilderOptions::merge_map.
+  graph::MergeMap BuildMergeMap(const std::vector<std::string>& labels,
+                                double gamma) const;
+
+ private:
+  std::vector<float> CharVector(const std::string& word) const;
+  std::vector<float> WordVector(const std::string& word) const;
+
+  Options options_;
+  bool trained_ = false;
+  text::Vocabulary vocab_;
+  Word2Vec w2v_;
+};
+
+}  // namespace embed
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EMBED_PRETRAINED_LEXICON_H_

@@ -1,0 +1,38 @@
+#include "embed/random_walk.h"
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tdmatch {
+namespace embed {
+
+std::vector<std::vector<int32_t>> RandomWalker::Generate(
+    const graph::Graph& g, const RandomWalkOptions& options) {
+  const size_t n = g.NumNodes();
+  std::vector<std::vector<int32_t>> walks(n * options.num_walks);
+
+  util::ThreadPool::ParallelFor(
+      n, options.threads,
+      [&](size_t begin, size_t end, size_t /*thread_idx*/) {
+        for (size_t v = begin; v < end; ++v) {
+          // Seed per start node: output is independent of threading.
+          util::Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (v + 1)));
+          for (size_t w = 0; w < options.num_walks; ++w) {
+            std::vector<int32_t>& walk = walks[v * options.num_walks + w];
+            walk.reserve(options.walk_length);
+            graph::NodeId cur = static_cast<graph::NodeId>(v);
+            walk.push_back(cur);
+            for (size_t step = 1; step < options.walk_length; ++step) {
+              const auto& nbs = g.Neighbors(cur);
+              if (nbs.empty()) break;
+              cur = nbs[static_cast<size_t>(rng.UniformInt(nbs.size()))];
+              walk.push_back(cur);
+            }
+          }
+        }
+      });
+  return walks;
+}
+
+}  // namespace embed
+}  // namespace tdmatch

@@ -1,0 +1,39 @@
+#ifndef TDMATCH_EMBED_RANDOM_WALK_H_
+#define TDMATCH_EMBED_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tdmatch {
+namespace embed {
+
+/// Random-walk parameters (Alg. 4; paper default 100 walks of length 30 per
+/// node, §V).
+struct RandomWalkOptions {
+  size_t num_walks = 100;
+  size_t walk_length = 30;
+  uint64_t seed = 42;
+  size_t threads = 4;
+};
+
+/// \brief Generates uniform random walks over the graph (Algorithm 4).
+///
+/// Each walk starts at a node and repeatedly moves to a uniformly random
+/// neighbor; the node-id sequence is one training "sentence" for Word2Vec.
+/// Isolated nodes yield single-node sentences so every node receives a
+/// vector.
+class RandomWalker {
+ public:
+  /// num_walks walks of walk_length nodes from every node of `g`;
+  /// deterministic for a fixed seed (walks are generated per start node,
+  /// seeded by node id, so the thread count does not change the output).
+  static std::vector<std::vector<int32_t>> Generate(
+      const graph::Graph& g, const RandomWalkOptions& options);
+};
+
+}  // namespace embed
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EMBED_RANDOM_WALK_H_

@@ -1,0 +1,276 @@
+#include "embed/word2vec.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tdmatch {
+namespace embed {
+
+namespace {
+
+constexpr int kSigmoidTableSize = 1024;
+constexpr float kMaxExp = 6.0f;
+
+/// Precomputed sigmoid lookup, shared by all trainers.
+const float* SigmoidTable() {
+  static float table[kSigmoidTableSize];
+  static bool init = [] {
+    for (int i = 0; i < kSigmoidTableSize; ++i) {
+      float x = (static_cast<float>(i) / kSigmoidTableSize * 2.0f - 1.0f) *
+                kMaxExp;
+      table[i] = 1.0f / (1.0f + std::exp(-x));
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+inline float FastSigmoid(float x) {
+  if (x >= kMaxExp) return 1.0f;
+  if (x <= -kMaxExp) return 0.0f;
+  int idx = static_cast<int>((x / kMaxExp + 1.0f) / 2.0f *
+                             (kSigmoidTableSize - 1));
+  return SigmoidTable()[idx];
+}
+
+constexpr size_t kUnigramTableSize = 1 << 20;
+
+}  // namespace
+
+Word2Vec::Word2Vec(Word2VecOptions options) : options_(options) {
+  TDM_CHECK_GT(options_.dim, 0);
+  TDM_CHECK_GT(options_.window, 0);
+  TDM_CHECK_GE(options_.negative, 1);
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+util::Status Word2Vec::Train(
+    const std::vector<std::vector<int32_t>>& sentences, size_t vocab_size) {
+  if (vocab_size == 0) {
+    return util::Status::InvalidArgument("vocab_size must be > 0");
+  }
+  vocab_size_ = vocab_size;
+  const int dim = options_.dim;
+
+  // Frequency counts for the negative-sampling unigram table and
+  // subsampling.
+  std::vector<uint64_t> counts(vocab_size, 0);
+  uint64_t total_words = 0;
+  for (const auto& s : sentences) {
+    for (int32_t w : s) {
+      if (w < 0 || static_cast<size_t>(w) >= vocab_size) {
+        return util::Status::OutOfRange("token id out of vocab range");
+      }
+      ++counts[static_cast<size_t>(w)];
+      ++total_words;
+    }
+  }
+  if (total_words == 0) {
+    return util::Status::InvalidArgument("no training tokens");
+  }
+
+  // Unigram table with the classic 3/4 power smoothing.
+  unigram_table_.assign(kUnigramTableSize, 0);
+  double norm = 0.0;
+  for (uint64_t c : counts) norm += std::pow(static_cast<double>(c), 0.75);
+  {
+    size_t i = 0;
+    double cum = std::pow(static_cast<double>(counts[0]), 0.75) / norm;
+    for (size_t t = 0; t < kUnigramTableSize; ++t) {
+      unigram_table_[t] = static_cast<int32_t>(i);
+      if (static_cast<double>(t) / kUnigramTableSize > cum &&
+          i + 1 < vocab_size) {
+        ++i;
+        cum += std::pow(static_cast<double>(counts[i]), 0.75) / norm;
+      }
+    }
+  }
+
+  // Weight init: syn0 uniform in [-0.5/dim, 0.5/dim], syn1neg zero.
+  util::Rng init_rng(options_.seed);
+  syn0_.resize(vocab_size * static_cast<size_t>(dim));
+  syn1neg_.assign(vocab_size * static_cast<size_t>(dim), 0.0f);
+  for (float& v : syn0_) {
+    v = static_cast<float>((init_rng.Uniform() - 0.5) / dim);
+  }
+
+  const uint64_t total_steps =
+      total_words * static_cast<uint64_t>(options_.epochs);
+  std::atomic<uint64_t> words_done{0};
+  const float initial_lr = static_cast<float>(options_.initial_lr);
+  const float min_lr = initial_lr * 1e-4f;
+  const double subsample = options_.subsample;
+  float* syn0 = syn0_.data();
+  float* syn1 = syn1neg_.data();
+  const int32_t* table = unigram_table_.data();
+  const int negative = options_.negative;
+  const int window = options_.window;
+  const bool cbow = options_.cbow;
+
+  auto train_range = [&](size_t begin, size_t end, size_t thread_idx) {
+    util::Rng rng(options_.seed + 0x9e3779b9ULL * (thread_idx + 1));
+    std::vector<float> neu1(static_cast<size_t>(dim));
+    std::vector<float> neu1e(static_cast<size_t>(dim));
+    std::vector<int32_t> sent;
+    uint64_t local_count = 0;
+
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+      for (size_t si = begin; si < end; ++si) {
+        // Subsample frequent tokens.
+        sent.clear();
+        for (int32_t w : sentences[si]) {
+          if (subsample > 0.0) {
+            double f = static_cast<double>(counts[static_cast<size_t>(w)]) /
+                       static_cast<double>(total_words);
+            double keep = (std::sqrt(f / subsample) + 1.0) * subsample / f;
+            if (keep < 1.0 && rng.Uniform() > keep) continue;
+          }
+          sent.push_back(w);
+        }
+        local_count += sentences[si].size();
+        if ((local_count & 0x3ff) == 0) {
+          words_done.fetch_add(local_count, std::memory_order_relaxed);
+          local_count = 0;
+        }
+        const uint64_t done = words_done.load(std::memory_order_relaxed);
+        float lr = initial_lr *
+                   (1.0f - static_cast<float>(done) /
+                               static_cast<float>(total_steps + 1));
+        if (lr < min_lr) lr = min_lr;
+
+        const int slen = static_cast<int>(sent.size());
+        for (int pos = 0; pos < slen; ++pos) {
+          const int32_t center = sent[static_cast<size_t>(pos)];
+          const int reduced =
+              1 + static_cast<int>(rng.UniformInt(
+                      static_cast<uint64_t>(window)));
+          const int lo = std::max(0, pos - reduced);
+          const int hi = std::min(slen - 1, pos + reduced);
+
+          if (cbow) {
+            // Average context -> predict center.
+            int cw = 0;
+            std::fill(neu1.begin(), neu1.end(), 0.0f);
+            std::fill(neu1e.begin(), neu1e.end(), 0.0f);
+            for (int p = lo; p <= hi; ++p) {
+              if (p == pos) continue;
+              const float* v =
+                  syn0 + static_cast<size_t>(sent[static_cast<size_t>(p)]) *
+                             static_cast<size_t>(dim);
+              for (int d = 0; d < dim; ++d) neu1[static_cast<size_t>(d)] += v[d];
+              ++cw;
+            }
+            if (cw == 0) continue;
+            for (int d = 0; d < dim; ++d) {
+              neu1[static_cast<size_t>(d)] /= static_cast<float>(cw);
+            }
+            for (int n = 0; n <= negative; ++n) {
+              int32_t target;
+              float label;
+              if (n == 0) {
+                target = center;
+                label = 1.0f;
+              } else {
+                target = table[rng.Next() & (kUnigramTableSize - 1)];
+                if (target == center) continue;
+                label = 0.0f;
+              }
+              float* out = syn1 + static_cast<size_t>(target) *
+                                      static_cast<size_t>(dim);
+              float dot = 0.0f;
+              for (int d = 0; d < dim; ++d) {
+                dot += neu1[static_cast<size_t>(d)] * out[d];
+              }
+              const float grad = (label - FastSigmoid(dot)) * lr;
+              for (int d = 0; d < dim; ++d) {
+                neu1e[static_cast<size_t>(d)] += grad * out[d];
+                out[d] += grad * neu1[static_cast<size_t>(d)];
+              }
+            }
+            for (int p = lo; p <= hi; ++p) {
+              if (p == pos) continue;
+              float* v =
+                  syn0 + static_cast<size_t>(sent[static_cast<size_t>(p)]) *
+                             static_cast<size_t>(dim);
+              for (int d = 0; d < dim; ++d) {
+                v[d] += neu1e[static_cast<size_t>(d)];
+              }
+            }
+          } else {
+            // Skip-gram: center predicts each context word.
+            float* vin = syn0 + static_cast<size_t>(center) *
+                                    static_cast<size_t>(dim);
+            for (int p = lo; p <= hi; ++p) {
+              if (p == pos) continue;
+              const int32_t context = sent[static_cast<size_t>(p)];
+              std::fill(neu1e.begin(), neu1e.end(), 0.0f);
+              for (int n = 0; n <= negative; ++n) {
+                int32_t target;
+                float label;
+                if (n == 0) {
+                  target = context;
+                  label = 1.0f;
+                } else {
+                  target = table[rng.Next() & (kUnigramTableSize - 1)];
+                  if (target == context) continue;
+                  label = 0.0f;
+                }
+                float* out = syn1 + static_cast<size_t>(target) *
+                                        static_cast<size_t>(dim);
+                float dot = 0.0f;
+                for (int d = 0; d < dim; ++d) dot += vin[d] * out[d];
+                const float grad = (label - FastSigmoid(dot)) * lr;
+                for (int d = 0; d < dim; ++d) {
+                  neu1e[static_cast<size_t>(d)] += grad * out[d];
+                  out[d] += grad * vin[d];
+                }
+              }
+              for (int d = 0; d < dim; ++d) {
+                vin[d] += neu1e[static_cast<size_t>(d)];
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+
+  util::ThreadPool::ParallelFor(sentences.size(), options_.threads,
+                                train_range);
+  trained_ = true;
+  return util::Status::OK();
+}
+
+const float* Word2Vec::Vector(int32_t id) const {
+  TDM_DCHECK(trained_);
+  TDM_DCHECK(id >= 0 && static_cast<size_t>(id) < vocab_size_);
+  return syn0_.data() + static_cast<size_t>(id) * static_cast<size_t>(dim());
+}
+
+std::vector<float> Word2Vec::VectorCopy(int32_t id) const {
+  const float* v = Vector(id);
+  return std::vector<float>(v, v + dim());
+}
+
+double Word2Vec::Cosine(const float* a, const float* b, int dim) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    dot += static_cast<double>(a[d]) * b[d];
+    na += static_cast<double>(a[d]) * a[d];
+    nb += static_cast<double>(b[d]) * b[d];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double Word2Vec::CosineIds(int32_t a, int32_t b) const {
+  return Cosine(Vector(a), Vector(b), dim());
+}
+
+}  // namespace embed
+}  // namespace tdmatch

@@ -1,0 +1,75 @@
+#ifndef TDMATCH_EMBED_WORD2VEC_H_
+#define TDMATCH_EMBED_WORD2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace embed {
+
+/// Training configuration (defaults follow the paper's text-to-data setup:
+/// Skip-gram, window 3; text tasks switch to CBOW window 15, §V).
+struct Word2VecOptions {
+  int dim = 64;
+  int window = 3;
+  /// false = Skip-gram, true = CBOW.
+  bool cbow = false;
+  /// Negative samples per positive example.
+  int negative = 5;
+  double initial_lr = 0.025;
+  int epochs = 5;
+  /// Frequency subsampling threshold (0 disables; word2vec's `-sample`).
+  double subsample = 0.0;
+  size_t threads = 4;
+  uint64_t seed = 42;
+};
+
+/// \brief From-scratch Word2Vec over integer token sequences, trained with
+/// SGD + negative sampling, lock-free multithreaded (Hogwild).
+///
+/// Operating on dense int32 ids lets the same trainer embed graph nodes
+/// (random-walk sentences, Alg. 4) and word tokens (the W2VEC baseline)
+/// without string overhead.
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecOptions options = {});
+
+  /// Trains on sentences whose entries are ids in [0, vocab_size).
+  /// Frequencies for the negative-sampling table are counted internally.
+  util::Status Train(const std::vector<std::vector<int32_t>>& sentences,
+                     size_t vocab_size);
+
+  int dim() const { return options_.dim; }
+  size_t vocab_size() const { return vocab_size_; }
+  bool trained() const { return trained_; }
+
+  /// Input vector of a token id (valid after Train).
+  const float* Vector(int32_t id) const;
+
+  /// Copy of the vector.
+  std::vector<float> VectorCopy(int32_t id) const;
+
+  /// Cosine similarity of two raw vectors.
+  static double Cosine(const float* a, const float* b, int dim);
+
+  /// Cosine between two token ids.
+  double CosineIds(int32_t a, int32_t b) const;
+
+  const Word2VecOptions& options() const { return options_; }
+
+ private:
+  Word2VecOptions options_;
+  size_t vocab_size_ = 0;
+  bool trained_ = false;
+  std::vector<float> syn0_;     // input vectors, vocab_size x dim
+  std::vector<float> syn1neg_;  // output vectors, vocab_size x dim
+  std::vector<int32_t> unigram_table_;
+};
+
+}  // namespace embed
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EMBED_WORD2VEC_H_

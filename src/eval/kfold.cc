@@ -1,0 +1,47 @@
+#include "eval/kfold.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace eval {
+
+std::vector<Split> KFold::Folds(size_t n, size_t k, uint64_t seed) {
+  TDM_CHECK_GE(k, 2u);
+  std::vector<int32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int32_t>(i);
+  util::Rng rng(seed);
+  rng.Shuffle(&idx);
+  std::vector<Split> out(k);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t fold = i % k;
+    for (size_t f = 0; f < k; ++f) {
+      if (f == fold) {
+        out[f].test.push_back(idx[i]);
+      } else {
+        out[f].train.push_back(idx[i]);
+      }
+    }
+  }
+  return out;
+}
+
+Split KFold::HoldOut(size_t n, double train_fraction, uint64_t seed) {
+  std::vector<int32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int32_t>(i);
+  util::Rng rng(seed);
+  rng.Shuffle(&idx);
+  const size_t ntrain = static_cast<size_t>(
+      train_fraction * static_cast<double>(n));
+  Split s;
+  s.train.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(
+                                                std::min(ntrain, n)));
+  s.test.assign(idx.begin() + static_cast<std::ptrdiff_t>(
+                                  std::min(ntrain, n)),
+                idx.end());
+  return s;
+}
+
+}  // namespace eval
+}  // namespace tdmatch

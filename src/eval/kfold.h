@@ -1,0 +1,32 @@
+#ifndef TDMATCH_EVAL_KFOLD_H_
+#define TDMATCH_EVAL_KFOLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tdmatch {
+namespace eval {
+
+/// One train/test split.
+struct Split {
+  std::vector<int32_t> train;
+  std::vector<int32_t> test;
+};
+
+/// \brief Query splitting for the supervised baselines: the paper uses
+/// 5-fold cross-validation and a 60% training fraction.
+class KFold {
+ public:
+  /// k splits of [0, n); every index appears in exactly one test fold.
+  static std::vector<Split> Folds(size_t n, size_t k, uint64_t seed);
+
+  /// Single shuffled split with `train_fraction` of the indices in train.
+  static Split HoldOut(size_t n, double train_fraction, uint64_t seed);
+};
+
+}  // namespace eval
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EVAL_KFOLD_H_

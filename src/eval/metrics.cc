@@ -1,0 +1,119 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace eval {
+
+namespace {
+std::unordered_set<int32_t> ToSet(const GoldSet& g) {
+  return std::unordered_set<int32_t>(g.begin(), g.end());
+}
+}  // namespace
+
+double RankingMetrics::MRR(const std::vector<Ranking>& rankings,
+                           const std::vector<GoldSet>& gold) {
+  TDM_CHECK_EQ(rankings.size(), gold.size());
+  double sum = 0.0;
+  size_t n = 0;
+  for (size_t q = 0; q < rankings.size(); ++q) {
+    if (gold[q].empty()) continue;
+    ++n;
+    auto gs = ToSet(gold[q]);
+    for (size_t r = 0; r < rankings[q].size(); ++r) {
+      if (gs.count(rankings[q][r]) > 0) {
+        sum += 1.0 / static_cast<double>(r + 1);
+        break;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double RankingMetrics::AveragePrecisionAtK(const Ranking& ranking,
+                                           const GoldSet& gold, size_t k) {
+  auto gs = ToSet(gold);
+  if (gs.empty()) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  const size_t upto = std::min(k, ranking.size());
+  for (size_t r = 0; r < upto; ++r) {
+    if (gs.count(ranking[r]) > 0) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(r + 1);
+    }
+  }
+  const size_t denom = std::min(gs.size(), k);
+  return denom == 0 ? 0.0 : sum / static_cast<double>(denom);
+}
+
+double RankingMetrics::MAPAtK(const std::vector<Ranking>& rankings,
+                              const std::vector<GoldSet>& gold, size_t k) {
+  TDM_CHECK_EQ(rankings.size(), gold.size());
+  double sum = 0.0;
+  size_t n = 0;
+  for (size_t q = 0; q < rankings.size(); ++q) {
+    if (gold[q].empty()) continue;
+    ++n;
+    sum += AveragePrecisionAtK(rankings[q], gold[q], k);
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double RankingMetrics::HasPositiveAtK(const std::vector<Ranking>& rankings,
+                                      const std::vector<GoldSet>& gold,
+                                      size_t k) {
+  TDM_CHECK_EQ(rankings.size(), gold.size());
+  size_t hits = 0;
+  size_t n = 0;
+  for (size_t q = 0; q < rankings.size(); ++q) {
+    if (gold[q].empty()) continue;
+    ++n;
+    auto gs = ToSet(gold[q]);
+    const size_t upto = std::min(k, rankings[q].size());
+    for (size_t r = 0; r < upto; ++r) {
+      if (gs.count(rankings[q][r]) > 0) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double F1(double precision, double recall) {
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+PRF ExactSetScores(const std::vector<Ranking>& rankings,
+                   const std::vector<GoldSet>& gold, size_t k) {
+  TDM_CHECK_EQ(rankings.size(), gold.size());
+  double psum = 0.0, rsum = 0.0;
+  size_t n = 0;
+  for (size_t q = 0; q < rankings.size(); ++q) {
+    if (gold[q].empty()) continue;
+    ++n;
+    auto gs = ToSet(gold[q]);
+    const size_t upto = std::min(k, rankings[q].size());
+    size_t correct = 0;
+    for (size_t r = 0; r < upto; ++r) {
+      if (gs.count(rankings[q][r]) > 0) ++correct;
+    }
+    if (upto > 0) psum += static_cast<double>(correct) / static_cast<double>(upto);
+    rsum += static_cast<double>(correct) / static_cast<double>(gs.size());
+  }
+  PRF out;
+  if (n > 0) {
+    out.precision = psum / static_cast<double>(n);
+    out.recall = rsum / static_cast<double>(n);
+    out.f1 = F1(out.precision, out.recall);
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace tdmatch

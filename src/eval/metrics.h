@@ -1,0 +1,57 @@
+#ifndef TDMATCH_EVAL_METRICS_H_
+#define TDMATCH_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tdmatch {
+namespace eval {
+
+/// A ranking for one query: candidate indices, best first.
+using Ranking = std::vector<int32_t>;
+/// Gold matches for one query: candidate indices (unordered).
+using GoldSet = std::vector<int32_t>;
+
+/// \brief Ranking-quality measures of §V (Tables I, II, IV, V, VI).
+///
+/// All are macro-averages over queries. Queries with an empty gold set are
+/// skipped (they cannot be scored).
+class RankingMetrics {
+ public:
+  /// Mean Reciprocal Rank: average of 1/rank of the first correct answer.
+  static double MRR(const std::vector<Ranking>& rankings,
+                    const std::vector<GoldSet>& gold);
+
+  /// Mean Average Precision truncated at rank k.
+  static double MAPAtK(const std::vector<Ranking>& rankings,
+                       const std::vector<GoldSet>& gold, size_t k);
+
+  /// Fraction of queries with >= 1 true positive in the top k.
+  static double HasPositiveAtK(const std::vector<Ranking>& rankings,
+                               const std::vector<GoldSet>& gold, size_t k);
+
+  /// Average precision for a single query (helper, exposed for tests).
+  static double AveragePrecisionAtK(const Ranking& ranking,
+                                    const GoldSet& gold, size_t k);
+};
+
+/// Precision / recall / F1 triple (Table III).
+struct PRF {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Harmonic mean helper: F1 from precision and recall.
+double F1(double precision, double recall);
+
+/// \brief Exact set-based scores: predictions are the top-k candidates, a
+/// prediction is correct iff it is in the gold set. Macro-averaged.
+PRF ExactSetScores(const std::vector<Ranking>& rankings,
+                   const std::vector<GoldSet>& gold, size_t k);
+
+}  // namespace eval
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EVAL_METRICS_H_

@@ -1,0 +1,66 @@
+#include "eval/taxonomy_metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace eval {
+
+PRF TaxonomyMetrics::ExactScores(const corpus::Taxonomy& tax,
+                                 const std::vector<Ranking>& rankings,
+                                 const std::vector<GoldSet>& gold, size_t k) {
+  // With unique concept ids, path equality reduces to id equality; the
+  // generic exact set scores apply. `tax` kept in the signature for parity
+  // with NodeScores and future label-duplicated taxonomies.
+  (void)tax;
+  return ExactSetScores(rankings, gold, k);
+}
+
+PRF TaxonomyMetrics::NodeScores(const corpus::Taxonomy& tax,
+                                const std::vector<Ranking>& rankings,
+                                const std::vector<GoldSet>& gold, size_t k,
+                                size_t strip_levels) {
+  TDM_CHECK_EQ(rankings.size(), gold.size());
+  double psum = 0.0, rsum = 0.0;
+  size_t n = 0;
+  for (size_t q = 0; q < rankings.size(); ++q) {
+    if (gold[q].empty()) continue;
+    ++n;
+    const size_t upto = std::min(k, rankings[q].size());
+
+    // Precision: every prediction scored against its best gold path.
+    double p = 0.0;
+    for (size_t r = 0; r < upto; ++r) {
+      double best = 0.0;
+      for (int32_t g : gold[q]) {
+        best = std::max(best, corpus::Taxonomy::NodeScore(
+                                  tax, rankings[q][r], g, strip_levels));
+      }
+      p += best;
+    }
+    if (upto > 0) psum += p / static_cast<double>(upto);
+
+    // Recall: every gold concept scored against its best prediction.
+    double rr = 0.0;
+    for (int32_t g : gold[q]) {
+      double best = 0.0;
+      for (size_t r = 0; r < upto; ++r) {
+        best = std::max(best, corpus::Taxonomy::NodeScore(
+                                  tax, rankings[q][r], g, strip_levels));
+      }
+      rr += best;
+    }
+    rsum += rr / static_cast<double>(gold[q].size());
+  }
+  PRF out;
+  if (n > 0) {
+    out.precision = psum / static_cast<double>(n);
+    out.recall = rsum / static_cast<double>(n);
+    out.f1 = F1(out.precision, out.recall);
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace tdmatch

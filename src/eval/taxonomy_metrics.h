@@ -1,0 +1,37 @@
+#ifndef TDMATCH_EVAL_TAXONOMY_METRICS_H_
+#define TDMATCH_EVAL_TAXONOMY_METRICS_H_
+
+#include <vector>
+
+#include "corpus/taxonomy.h"
+#include "eval/metrics.h"
+
+namespace tdmatch {
+namespace eval {
+
+/// \brief Taxonomy-path measures of Table III.
+///
+/// *Exact* scores treat a predicted concept as correct only when its
+/// root-to-node path equals a gold path (with unique concept ids this is id
+/// equality). *Node* scores soft-match paths with Eq. 1: intersection over
+/// maximum of the two paths after stripping the two most general levels.
+class TaxonomyMetrics {
+ public:
+  /// Exact P/R/F of the top-k predicted concepts vs gold concepts.
+  static PRF ExactScores(const corpus::Taxonomy& tax,
+                         const std::vector<Ranking>& rankings,
+                         const std::vector<GoldSet>& gold, size_t k);
+
+  /// Node-score P/R/F (Eq. 1): precision averages, over predictions, the
+  /// best Node score against any gold path; recall averages, over gold
+  /// concepts, the best Node score against any prediction.
+  static PRF NodeScores(const corpus::Taxonomy& tax,
+                        const std::vector<Ranking>& rankings,
+                        const std::vector<GoldSet>& gold, size_t k,
+                        size_t strip_levels = 2);
+};
+
+}  // namespace eval
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EVAL_TAXONOMY_METRICS_H_

@@ -1,0 +1,129 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tdmatch {
+namespace graph {
+
+std::vector<int32_t> Bfs::Distances(const Graph& g, NodeId source) {
+  std::vector<int32_t> dist(g.NumNodes(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[static_cast<size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    int32_t dv = dist[static_cast<size_t>(v)];
+    for (NodeId nb : g.Neighbors(v)) {
+      if (dist[static_cast<size_t>(nb)] == kUnreachable) {
+        dist[static_cast<size_t>(nb)] = dv + 1;
+        q.push(nb);
+      }
+    }
+  }
+  return dist;
+}
+
+int32_t Bfs::Distance(const Graph& g, NodeId source, NodeId target) {
+  if (source == target) return 0;
+  std::vector<int32_t> dist(g.NumNodes(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[static_cast<size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    int32_t dv = dist[static_cast<size_t>(v)];
+    for (NodeId nb : g.Neighbors(v)) {
+      if (dist[static_cast<size_t>(nb)] == kUnreachable) {
+        if (nb == target) return dv + 1;
+        dist[static_cast<size_t>(nb)] = dv + 1;
+        q.push(nb);
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Bfs::ShortestPathDagEdges(
+    const Graph& g, NodeId source, NodeId target) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  if (source == target) return out;
+  // Forward BFS from source, bounded by the target's level.
+  std::vector<int32_t> dist(g.NumNodes(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[static_cast<size_t>(source)] = 0;
+  q.push(source);
+  int32_t target_dist = kUnreachable;
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    int32_t dv = dist[static_cast<size_t>(v)];
+    if (target_dist != kUnreachable && dv >= target_dist) break;
+    for (NodeId nb : g.Neighbors(v)) {
+      if (dist[static_cast<size_t>(nb)] == kUnreachable) {
+        dist[static_cast<size_t>(nb)] = dv + 1;
+        if (nb == target) target_dist = dv + 1;
+        q.push(nb);
+      }
+    }
+  }
+  if (target_dist == kUnreachable) return out;
+
+  // Walk backwards from target: an edge (u, v) with dist[u] + 1 == dist[v]
+  // lies on a shortest path iff v is reachable backwards from target.
+  std::vector<bool> on_path(g.NumNodes(), false);
+  on_path[static_cast<size_t>(target)] = true;
+  std::queue<NodeId> back;
+  back.push(target);
+  while (!back.empty()) {
+    NodeId v = back.front();
+    back.pop();
+    int32_t dv = dist[static_cast<size_t>(v)];
+    for (NodeId nb : g.Neighbors(v)) {
+      if (dist[static_cast<size_t>(nb)] == dv - 1) {
+        out.emplace_back(nb, v);
+        if (!on_path[static_cast<size_t>(nb)]) {
+          on_path[static_cast<size_t>(nb)] = true;
+          back.push(nb);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Bfs::ShortestPath(const Graph& g, NodeId source,
+                                      NodeId target) {
+  if (source == target) return {source};
+  std::vector<NodeId> parent(g.NumNodes(), kInvalidNode);
+  std::vector<int32_t> dist(g.NumNodes(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[static_cast<size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    for (NodeId nb : g.Neighbors(v)) {
+      if (dist[static_cast<size_t>(nb)] == kUnreachable) {
+        dist[static_cast<size_t>(nb)] = dist[static_cast<size_t>(v)] + 1;
+        parent[static_cast<size_t>(nb)] = v;
+        if (nb == target) {
+          std::vector<NodeId> path;
+          for (NodeId cur = target; cur != kInvalidNode;
+               cur = parent[static_cast<size_t>(cur)]) {
+            path.push_back(cur);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        q.push(nb);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace graph
+}  // namespace tdmatch

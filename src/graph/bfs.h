@@ -1,0 +1,43 @@
+#ifndef TDMATCH_GRAPH_BFS_H_
+#define TDMATCH_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tdmatch {
+namespace graph {
+
+/// Distance value for unreachable nodes.
+inline constexpr int32_t kUnreachable = -1;
+
+/// \brief Breadth-first-search utilities shared by compression (Alg. 3) and
+/// the test suite.
+class Bfs {
+ public:
+  /// Hop distances from `source` to every node (kUnreachable when
+  /// disconnected).
+  static std::vector<int32_t> Distances(const Graph& g, NodeId source);
+
+  /// Hop distance between two nodes, kUnreachable when disconnected.
+  /// Early-exits once `target` is settled.
+  static int32_t Distance(const Graph& g, NodeId source, NodeId target);
+
+  /// Edges lying on at least one shortest path from `source` to `target`
+  /// (the shortest-path DAG restricted to s→t). Adding *these* edges to the
+  /// compressed graph is exactly "add all shortest paths" of Alg. 3 without
+  /// enumerating the (possibly exponential) path set.
+  /// Returns an empty vector when disconnected.
+  static std::vector<std::pair<NodeId, NodeId>> ShortestPathDagEdges(
+      const Graph& g, NodeId source, NodeId target);
+
+  /// One concrete shortest path (node sequence) or empty when disconnected.
+  static std::vector<NodeId> ShortestPath(const Graph& g, NodeId source,
+                                          NodeId target);
+};
+
+}  // namespace graph
+}  // namespace tdmatch
+
+#endif  // TDMATCH_GRAPH_BFS_H_

@@ -1,0 +1,88 @@
+#include "graph/bucketing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace graph {
+
+namespace {
+std::vector<double> ParseNumerics(const std::vector<std::string>& values) {
+  std::vector<double> nums;
+  for (const auto& v : values) {
+    double d = 0.0;
+    if (util::IsNumeric(v) && util::ParseDouble(v, &d)) nums.push_back(d);
+  }
+  return nums;
+}
+}  // namespace
+
+void NumericBucketer::Fit(const std::vector<std::string>& values) {
+  std::vector<double> nums = ParseNumerics(values);
+  if (nums.empty()) {
+    fitted_ = false;
+    return;
+  }
+  std::sort(nums.begin(), nums.end());
+  min_ = nums.front();
+  max_ = nums.back();
+  fitted_ = true;
+  const size_t n = nums.size();
+  if (n < 4 || min_ == max_) {
+    width_ = std::max(1.0, (max_ - min_));
+    return;
+  }
+  // Freedman–Diaconis: width = 2 * IQR / n^(1/3).
+  auto quantile = [&](double q) {
+    double pos = q * static_cast<double>(n - 1);
+    size_t lo = static_cast<size_t>(pos);
+    double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= n) return nums[n - 1];
+    return nums[lo] * (1.0 - frac) + nums[lo + 1] * frac;
+  };
+  const double iqr = quantile(0.75) - quantile(0.25);
+  double w = 2.0 * iqr / std::cbrt(static_cast<double>(n));
+  if (w <= 0.0) {
+    // Degenerate IQR: fall back to ~sqrt(n) buckets.
+    w = (max_ - min_) / std::max(1.0, std::sqrt(static_cast<double>(n)));
+  }
+  width_ = w > 0.0 ? w : 1.0;
+}
+
+void NumericBucketer::FitFixedBuckets(const std::vector<std::string>& values,
+                                      size_t num_buckets) {
+  std::vector<double> nums = ParseNumerics(values);
+  if (nums.empty() || num_buckets == 0) {
+    fitted_ = false;
+    return;
+  }
+  auto [mn, mx] = std::minmax_element(nums.begin(), nums.end());
+  min_ = *mn;
+  max_ = *mx;
+  fitted_ = true;
+  width_ = max_ > min_ ? (max_ - min_) / static_cast<double>(num_buckets)
+                       : 1.0;
+}
+
+std::string NumericBucketer::BucketLabel(const std::string& value) const {
+  double d = 0.0;
+  if (!fitted_ || !util::IsNumeric(value) || !util::ParseDouble(value, &d)) {
+    return value;
+  }
+  double idx = std::floor((d - min_) / width_);
+  if (idx < 0) idx = 0;
+  const double max_idx =
+      std::max(0.0, std::floor((max_ - min_) / width_));
+  if (idx > max_idx) idx = max_idx;
+  return util::StrFormat("num[%lld]", static_cast<long long>(idx));
+}
+
+size_t NumericBucketer::NumBuckets() const {
+  if (!fitted_) return 0;
+  return static_cast<size_t>(std::floor((max_ - min_) / width_)) + 1;
+}
+
+}  // namespace graph
+}  // namespace tdmatch

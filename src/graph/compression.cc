@@ -1,0 +1,214 @@
+#include "graph/compression.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/bfs.h"
+
+namespace tdmatch {
+namespace graph {
+
+namespace {
+
+/// Copies node `id` of `src` into `dst` (interning by label) and returns the
+/// new id.
+NodeId CopyNode(const Graph& src, NodeId id, Graph* dst) {
+  const NodeInfo& n = src.node(id);
+  return dst->AddNode(n.label, n.type, n.corpus, n.doc_index);
+}
+
+/// Adds every edge of `edges` (given in `src` ids) to `dst`.
+void CopyEdges(const Graph& src,
+               const std::vector<std::pair<NodeId, NodeId>>& edges,
+               Graph* dst) {
+  for (const auto& [a, b] : edges) {
+    NodeId na = CopyNode(src, a, dst);
+    NodeId nb = CopyNode(src, b, dst);
+    dst->AddEdge(na, nb);
+  }
+}
+
+void CopyPath(const Graph& src, const std::vector<NodeId>& path, Graph* dst) {
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    NodeId a = CopyNode(src, path[i], dst);
+    NodeId b = CopyNode(src, path[i + 1], dst);
+    dst->AddEdge(a, b);
+  }
+  if (path.size() == 1) CopyNode(src, path[0], dst);
+}
+
+}  // namespace
+
+void ConnectAllMetadata(const Graph& full, Graph* compressed,
+                        util::Rng* rng) {
+  std::vector<NodeId> meta0 = full.MetadataDocNodes(0);
+  std::vector<NodeId> meta1 = full.MetadataDocNodes(1);
+  if (meta0.empty() || meta1.empty()) return;
+  auto ensure = [&](NodeId v, const std::vector<NodeId>& others) {
+    const std::string& label = full.node(v).label;
+    NodeId in_cg = compressed->FindNode(label);
+    if (in_cg != kInvalidNode && compressed->Degree(in_cg) > 0) return;
+    // Try a few random partners until one is reachable.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      NodeId partner = rng->Choice(others);
+      std::vector<NodeId> path = Bfs::ShortestPath(full, v, partner);
+      if (!path.empty()) {
+        CopyPath(full, path, compressed);
+        return;
+      }
+    }
+    // Disconnected in the full graph too: keep the bare node.
+    CopyNode(full, v, compressed);
+  };
+  for (NodeId v : meta0) ensure(v, meta1);
+  for (NodeId v : meta1) ensure(v, meta0);
+}
+
+Graph MspCompress(const Graph& g, double beta, util::Rng* rng) {
+  Graph cg;
+  std::vector<NodeId> meta0 = g.MetadataDocNodes(0);
+  std::vector<NodeId> meta1 = g.MetadataDocNodes(1);
+  if (meta0.empty() || meta1.empty()) return cg;
+  const size_t iterations =
+      static_cast<size_t>(beta * static_cast<double>(g.NumNodes()));
+  for (size_t i = 0; i < iterations; ++i) {
+    NodeId first = rng->Choice(meta0);
+    NodeId second = rng->Choice(meta1);
+    auto dag_edges = Bfs::ShortestPathDagEdges(g, first, second);
+    CopyEdges(g, dag_edges, &cg);
+  }
+  ConnectAllMetadata(g, &cg, rng);
+  return cg;
+}
+
+Graph SspCompress(const Graph& g, double beta, util::Rng* rng) {
+  Graph cg;
+  if (g.NumNodes() == 0) return cg;
+  const size_t iterations =
+      static_cast<size_t>(beta * static_cast<double>(g.NumNodes()));
+  const NodeId n = static_cast<NodeId>(g.NumNodes());
+  for (size_t i = 0; i < iterations; ++i) {
+    NodeId a = static_cast<NodeId>(rng->UniformInt(static_cast<uint64_t>(n)));
+    NodeId b = static_cast<NodeId>(rng->UniformInt(static_cast<uint64_t>(n)));
+    if (a == b) continue;
+    std::vector<NodeId> path = Bfs::ShortestPath(g, a, b);
+    CopyPath(g, path, &cg);
+  }
+  ConnectAllMetadata(g, &cg, rng);
+  return cg;
+}
+
+Graph SsummCompress(const Graph& g, double ratio, util::Rng* rng) {
+  const size_t target =
+      std::max<size_t>(1, static_cast<size_t>(
+                              ratio * static_cast<double>(g.NumNodes())));
+  // Greedy merge of data nodes with equal coarse neighborhood signatures.
+  // Pass 1 signature: hash of the full sorted neighbor list (lossless-ish).
+  // Pass 2 signature: (degree bucket, min neighbor) — aggressively lossy.
+  std::vector<NodeId> owner(g.NumNodes());
+  for (size_t i = 0; i < g.NumNodes(); ++i) owner[i] = static_cast<NodeId>(i);
+
+  auto count_groups = [&]() {
+    std::unordered_map<NodeId, size_t> uniq;
+    for (size_t i = 0; i < g.NumNodes(); ++i) ++uniq[owner[i]];
+    return uniq.size();
+  };
+
+  auto merge_by = [&](auto&& signature) {
+    std::unordered_map<uint64_t, NodeId> rep;
+    for (size_t i = 0; i < g.NumNodes(); ++i) {
+      NodeId id = static_cast<NodeId>(i);
+      if (g.node(id).type != NodeType::kData) continue;
+      if (owner[i] != id) continue;  // already merged
+      uint64_t sig = signature(id);
+      auto [it, inserted] = rep.emplace(sig, id);
+      if (!inserted) owner[i] = it->second;
+    }
+  };
+
+  merge_by([&](NodeId id) {
+    std::vector<NodeId> nbs = g.Neighbors(id);
+    std::sort(nbs.begin(), nbs.end());
+    uint64_t h = 1469598103934665603ULL;
+    for (NodeId nb : nbs) {
+      h ^= static_cast<uint64_t>(nb) + 0x9e3779b9ULL;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  });
+
+  if (count_groups() > target) {
+    merge_by([&](NodeId id) {
+      const auto& nbs = g.Neighbors(id);
+      uint64_t deg_bucket = 0;
+      size_t d = nbs.size();
+      while (d > 1) {
+        d >>= 1;
+        ++deg_bucket;
+      }
+      NodeId min_nb = nbs.empty() ? kInvalidNode
+                                  : *std::min_element(nbs.begin(), nbs.end());
+      return (deg_bucket << 32) ^ static_cast<uint64_t>(
+                                      static_cast<uint32_t>(min_nb));
+    });
+  }
+
+  // If still above target, randomly fold remaining data supernodes together.
+  {
+    std::vector<NodeId> reps;
+    for (size_t i = 0; i < g.NumNodes(); ++i) {
+      if (owner[i] == static_cast<NodeId>(i) &&
+          g.node(static_cast<NodeId>(i)).type == NodeType::kData) {
+        reps.push_back(static_cast<NodeId>(i));
+      }
+    }
+    size_t groups = count_groups();
+    rng->Shuffle(&reps);
+    // Fold surplus supernodes into the first representative until the
+    // target is met (metadata nodes are never in `reps`).
+    for (size_t j = 1; groups > target && j < reps.size(); ++j) {
+      owner[static_cast<size_t>(reps[j])] = reps[0];
+      --groups;
+    }
+  }
+
+  // Path-compress ownership.
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    NodeId cur = static_cast<NodeId>(i);
+    while (owner[static_cast<size_t>(cur)] != cur) {
+      cur = owner[static_cast<size_t>(cur)];
+    }
+    owner[i] = cur;
+  }
+
+  // Build the summary graph: supernodes keep the representative's label.
+  Graph out;
+  std::unordered_map<NodeId, NodeId> remap;
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    NodeId rep = owner[i];
+    if (remap.count(rep) == 0) {
+      remap[rep] = CopyNode(g, rep, &out);
+    }
+  }
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    for (NodeId nb : g.Neighbors(static_cast<NodeId>(i))) {
+      if (nb <= static_cast<NodeId>(i)) continue;
+      NodeId a = remap[owner[i]];
+      NodeId b = remap[owner[static_cast<size_t>(nb)]];
+      if (a != b) out.AddEdge(a, b);
+    }
+  }
+  return out;
+}
+
+Graph RandomNodeSample(const Graph& g, double ratio, util::Rng* rng) {
+  std::vector<bool> keep(g.NumNodes(), false);
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    const NodeInfo& n = g.node(static_cast<NodeId>(i));
+    keep[i] = n.type != NodeType::kData || rng->Bernoulli(ratio);
+  }
+  return g.InducedSubgraph(keep);
+}
+
+}  // namespace graph
+}  // namespace tdmatch

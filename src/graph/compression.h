@@ -1,0 +1,45 @@
+#ifndef TDMATCH_GRAPH_COMPRESSION_H_
+#define TDMATCH_GRAPH_COMPRESSION_H_
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace tdmatch {
+namespace graph {
+
+/// \brief Metadata-Shortest-Path compression (Algorithm 3, "MSP").
+///
+/// Runs β·|V| iterations; each samples a metadata document node from each
+/// corpus and copies *all* shortest paths between them (the s→t shortest-
+/// path DAG) into the output. Afterwards every metadata node is guaranteed
+/// to be connected by at least one shortest path.
+Graph MspCompress(const Graph& g, double beta, util::Rng* rng);
+
+/// \brief SSP baseline (Rezvanian & Meybodi): like MSP but node pairs are
+/// sampled uniformly from *all* nodes and only one concrete shortest path
+/// per pair is kept. Metadata nodes are still force-connected at the end so
+/// the matching task remains well-defined.
+Graph SspCompress(const Graph& g, double beta, util::Rng* rng);
+
+/// \brief SSumm-style summarization baseline (Lee et al., SIGKDD'20,
+/// simplified): data nodes are greedily merged into super-nodes by
+/// neighborhood similarity until only `ratio`·|V| nodes remain; parallel
+/// edges collapse (sparsification). Type-agnostic on purpose — the paper's
+/// point is that generic summarizers ignore the metadata/data distinction
+/// and hurt matching quality.
+Graph SsummCompress(const Graph& g, double ratio, util::Rng* rng);
+
+/// \brief Uniform random node sampling baseline (keeps all metadata nodes;
+/// keeps `ratio` of the data nodes).
+Graph RandomNodeSample(const Graph& g, double ratio, util::Rng* rng);
+
+/// Ensures every metadata doc node of either corpus has at least one
+/// shortest path (in `full`) present in `compressed`; called by the
+/// compressors, exposed for tests.
+void ConnectAllMetadata(const Graph& full, Graph* compressed,
+                        util::Rng* rng);
+
+}  // namespace graph
+}  // namespace tdmatch
+
+#endif  // TDMATCH_GRAPH_COMPRESSION_H_

@@ -1,0 +1,47 @@
+#include "graph/expansion.h"
+
+namespace tdmatch {
+namespace graph {
+
+Graph ExpandGraph(const Graph& g, const kb::ExternalResource& resource,
+                  const ExpansionOptions& options,
+                  const LabelNormalizer& normalize) {
+  Graph out;
+  // Copy nodes (ids are preserved because insertion order is identical).
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    const NodeInfo& n = g.node(static_cast<NodeId>(i));
+    out.AddNode(n.label, n.type, n.corpus, n.doc_index);
+  }
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    for (NodeId nb : g.Neighbors(static_cast<NodeId>(i))) {
+      if (nb > static_cast<NodeId>(i)) {
+        out.AddEdge(static_cast<NodeId>(i), nb);
+      }
+    }
+  }
+
+  // Alg. 2 lines 2-12: fetch relations for every (pre-existing) data node.
+  const size_t original_nodes = g.NumNodes();
+  for (size_t i = 0; i < original_nodes; ++i) {
+    const NodeInfo& n = g.node(static_cast<NodeId>(i));
+    if (n.type != NodeType::kData) continue;
+    std::vector<std::string> related = resource.Related(n.label);
+    size_t added = 0;
+    for (const std::string& m : related) {
+      if (added >= options.max_relations_per_node) break;
+      const std::string label = normalize ? normalize(m) : m;
+      if (label.empty() || label == n.label) continue;
+      NodeId mn = out.AddNode(label, NodeType::kData);
+      if (out.AddEdge(static_cast<NodeId>(i), mn)) ++added;
+    }
+  }
+
+  // Alg. 2 lines 13-17: prune sink nodes.
+  if (options.remove_sinks) {
+    return out.RemoveSinkNodes();
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace tdmatch

@@ -1,0 +1,38 @@
+#ifndef TDMATCH_GRAPH_EXPANSION_H_
+#define TDMATCH_GRAPH_EXPANSION_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/graph.h"
+#include "kb/external_resource.h"
+
+namespace tdmatch {
+namespace graph {
+
+/// Options for graph expansion (Alg. 2).
+struct ExpansionOptions {
+  /// Cap on relations fetched per data node; guards against hub entities
+  /// ("more than 800 relations for Quentin Tarantino").
+  size_t max_relations_per_node = 64;
+  /// Remove degree-<=1 non-metadata nodes afterwards (Alg. 2 lines 13-17).
+  bool remove_sinks = true;
+};
+
+/// Normalizes a KB surface label into the graph's term space (same function
+/// the builder used, so KB nodes unify with existing data nodes).
+using LabelNormalizer = std::function<std::string(const std::string&)>;
+
+/// \brief Expands the graph with an external resource (Algorithm 2): for
+/// every data node, all its KB relations become new nodes and edges; sink
+/// nodes are pruned afterwards.
+///
+/// Returns a new graph (input is not modified).
+Graph ExpandGraph(const Graph& g, const kb::ExternalResource& resource,
+                  const ExpansionOptions& options,
+                  const LabelNormalizer& normalize);
+
+}  // namespace graph
+}  // namespace tdmatch
+
+#endif  // TDMATCH_GRAPH_EXPANSION_H_

@@ -1,0 +1,131 @@
+#include "graph/graph.h"
+
+namespace tdmatch {
+namespace graph {
+
+NodeId Graph::AddNode(const std::string& label, NodeType type,
+                      CorpusTag corpus, int32_t doc_index) {
+  auto it = label_index_.find(label);
+  if (it != label_index_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeInfo{label, type, corpus, doc_index});
+  adj_.emplace_back();
+  label_index_.emplace(label, id);
+  return id;
+}
+
+NodeId Graph::FindNode(const std::string& label) const {
+  auto it = label_index_.find(label);
+  return it == label_index_.end() ? kInvalidNode : it->second;
+}
+
+bool Graph::AddEdge(NodeId a, NodeId b) {
+  TDM_DCHECK(a >= 0 && static_cast<size_t>(a) < nodes_.size());
+  TDM_DCHECK(b >= 0 && static_cast<size_t>(b) < nodes_.size());
+  if (a == b) return false;
+  if (!edge_set_.insert(EdgeKey(a, b)).second) return false;
+  adj_[static_cast<size_t>(a)].push_back(b);
+  adj_[static_cast<size_t>(b)].push_back(a);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  return edge_set_.count(EdgeKey(a, b)) > 0;
+}
+
+std::vector<NodeId> Graph::MetadataDocNodes(CorpusTag corpus) const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type == NodeType::kMetadataDoc &&
+        (corpus == kNoCorpus || nodes_[i].corpus == corpus)) {
+      out.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::DataNodes() const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type == NodeType::kData) {
+      out.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<bool>& keep) const {
+  TDM_CHECK_EQ(keep.size(), nodes_.size());
+  Graph out;
+  std::vector<NodeId> remap(nodes_.size(), kInvalidNode);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (keep[i]) {
+      remap[i] = out.AddNode(nodes_[i].label, nodes_[i].type,
+                             nodes_[i].corpus, nodes_[i].doc_index);
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!keep[i]) continue;
+    for (NodeId nb : adj_[i]) {
+      if (nb > static_cast<NodeId>(i) && keep[static_cast<size_t>(nb)]) {
+        out.AddEdge(remap[i], remap[static_cast<size_t>(nb)]);
+      }
+    }
+  }
+  return out;
+}
+
+Graph Graph::RemoveSinkNodes() const {
+  // Iteratively peel degree-<=1 non-metadata nodes.
+  std::vector<bool> keep(nodes_.size(), true);
+  std::vector<size_t> degree(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) degree[i] = adj_[i].size();
+
+  std::vector<NodeId> stack;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type == NodeType::kData && degree[i] <= 1) {
+      stack.push_back(static_cast<NodeId>(i));
+    }
+  }
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    size_t vi = static_cast<size_t>(v);
+    if (!keep[vi] || degree[vi] > 1 || nodes_[vi].type != NodeType::kData) {
+      continue;
+    }
+    keep[vi] = false;
+    for (NodeId nb : adj_[vi]) {
+      size_t ni = static_cast<size_t>(nb);
+      if (!keep[ni]) continue;
+      if (degree[ni] > 0) --degree[ni];
+      if (nodes_[ni].type == NodeType::kData && degree[ni] <= 1) {
+        stack.push_back(nb);
+      }
+    }
+  }
+  return InducedSubgraph(keep);
+}
+
+Graph::TypeCounts Graph::CountByType() const {
+  TypeCounts c;
+  for (const auto& n : nodes_) {
+    switch (n.type) {
+      case NodeType::kData:
+        ++c.data;
+        break;
+      case NodeType::kMetadataDoc:
+        ++c.metadata_doc;
+        break;
+      case NodeType::kMetadataColumn:
+        ++c.metadata_col;
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace graph
+}  // namespace tdmatch

@@ -1,0 +1,124 @@
+#ifndef TDMATCH_GRAPH_GRAPH_H_
+#define TDMATCH_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace graph {
+
+/// Dense node identifier.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Kind of graph node (§II: data vs metadata; columns are metadata too).
+enum class NodeType : uint8_t {
+  kData = 0,          ///< a term (word n-gram) from either corpus
+  kMetadataDoc = 1,   ///< a document: tuple, paragraph, taxonomy concept
+  kMetadataColumn = 2 ///< a table attribute
+};
+
+/// Which corpus a metadata node belongs to (0 = first, 1 = second,
+/// -1 = not applicable, e.g. data nodes shared by both).
+using CorpusTag = int8_t;
+inline constexpr CorpusTag kNoCorpus = -1;
+
+/// Node payload.
+struct NodeInfo {
+  std::string label;
+  NodeType type = NodeType::kData;
+  CorpusTag corpus = kNoCorpus;
+  /// Index of the document in its corpus for kMetadataDoc nodes, else -1.
+  int32_t doc_index = -1;
+};
+
+/// \brief Undirected, unweighted multigraph-free graph over data and
+/// metadata nodes (§II).
+///
+/// Nodes are interned by label (labels are unique graph-wide; the builder
+/// prefixes metadata labels so they cannot collide with terms). Adjacency is
+/// stored as per-node neighbor vectors with an edge-set for O(1) duplicate
+/// rejection, supporting the random-walk access pattern (uniform neighbor
+/// choice) directly.
+class Graph {
+ public:
+  /// Interns a node; returns the existing id when the label is present.
+  NodeId AddNode(const std::string& label, NodeType type = NodeType::kData,
+                 CorpusTag corpus = kNoCorpus, int32_t doc_index = -1);
+
+  /// Looks up a node id by label, or kInvalidNode.
+  NodeId FindNode(const std::string& label) const;
+
+  /// True when a node with this label exists.
+  bool HasNode(const std::string& label) const {
+    return FindNode(label) != kInvalidNode;
+  }
+
+  /// Adds an undirected edge (no-op for duplicates and self-loops).
+  /// Returns true when a new edge was inserted.
+  bool AddEdge(NodeId a, NodeId b);
+
+  /// True when the edge exists.
+  bool HasEdge(NodeId a, NodeId b) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  const NodeInfo& node(NodeId id) const {
+    TDM_DCHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  const std::vector<NodeId>& Neighbors(NodeId id) const {
+    TDM_DCHECK(id >= 0 && static_cast<size_t>(id) < adj_.size());
+    return adj_[static_cast<size_t>(id)];
+  }
+
+  size_t Degree(NodeId id) const { return Neighbors(id).size(); }
+
+  /// Ids of all metadata document nodes, optionally restricted to a corpus.
+  std::vector<NodeId> MetadataDocNodes(CorpusTag corpus = kNoCorpus) const;
+
+  /// Ids of all data nodes.
+  std::vector<NodeId> DataNodes() const;
+
+  /// Returns a new graph containing only nodes with keep[id] == true,
+  /// with edges restricted accordingly (ids are re-densified).
+  Graph InducedSubgraph(const std::vector<bool>& keep) const;
+
+  /// Removes non-metadata nodes whose degree is <= 1, repeatedly until a
+  /// fixpoint (Alg. 2 cleanup). Returns the compacted graph.
+  Graph RemoveSinkNodes() const;
+
+  /// Per-type node counts {data, metadata_doc, metadata_col}.
+  struct TypeCounts {
+    size_t data = 0;
+    size_t metadata_doc = 0;
+    size_t metadata_col = 0;
+  };
+  TypeCounts CountByType() const;
+
+ private:
+  static uint64_t EdgeKey(NodeId a, NodeId b) {
+    NodeId lo = a < b ? a : b;
+    NodeId hi = a < b ? b : a;
+    return (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+           static_cast<uint32_t>(hi);
+  }
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<std::vector<NodeId>> adj_;
+  std::unordered_map<std::string, NodeId> label_index_;
+  std::unordered_set<uint64_t> edge_set_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace graph
+}  // namespace tdmatch
+
+#endif  // TDMATCH_GRAPH_GRAPH_H_

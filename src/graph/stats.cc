@@ -1,0 +1,80 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace graph {
+
+GraphStatistics ComputeStatistics(const Graph& g,
+                                  size_t metadata_pair_samples,
+                                  uint64_t seed) {
+  GraphStatistics s;
+  s.nodes = g.NumNodes();
+  s.edges = g.NumEdges();
+  auto counts = g.CountByType();
+  s.data_nodes = counts.data;
+  s.metadata_doc_nodes = counts.metadata_doc;
+  s.metadata_column_nodes = counts.metadata_col;
+
+  size_t degree_sum = 0;
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    const size_t d = g.Degree(static_cast<NodeId>(i));
+    degree_sum += d;
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_nodes;
+  }
+  s.avg_degree = s.nodes == 0 ? 0.0
+                              : static_cast<double>(degree_sum) /
+                                    static_cast<double>(s.nodes);
+
+  // Connected components via repeated BFS.
+  std::vector<bool> seen(g.NumNodes(), false);
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    if (seen[i]) continue;
+    ++s.connected_components;
+    auto dist = Bfs::Distances(g, static_cast<NodeId>(i));
+    for (size_t j = 0; j < dist.size(); ++j) {
+      if (dist[j] != kUnreachable) seen[j] = true;
+    }
+  }
+
+  // Sampled cross-corpus metadata distances.
+  auto meta0 = g.MetadataDocNodes(0);
+  auto meta1 = g.MetadataDocNodes(1);
+  if (!meta0.empty() && !meta1.empty() && metadata_pair_samples > 0) {
+    util::Rng rng(seed);
+    double total = 0.0;
+    size_t reachable = 0;
+    for (size_t k = 0; k < metadata_pair_samples; ++k) {
+      NodeId a = rng.Choice(meta0);
+      NodeId b = rng.Choice(meta1);
+      int32_t d = Bfs::Distance(g, a, b);
+      if (d != kUnreachable) {
+        total += d;
+        ++reachable;
+      }
+    }
+    s.metadata_reachability = static_cast<double>(reachable) /
+                              static_cast<double>(metadata_pair_samples);
+    s.avg_metadata_distance =
+        reachable == 0 ? 0.0 : total / static_cast<double>(reachable);
+  }
+  return s;
+}
+
+std::string FormatStatistics(const GraphStatistics& s) {
+  return util::StrFormat(
+      "nodes=%zu (data=%zu, docs=%zu, cols=%zu) edges=%zu\n"
+      "avg_degree=%.2f max_degree=%zu isolated=%zu components=%zu\n"
+      "metadata: avg_distance=%.2f reachability=%.2f",
+      s.nodes, s.data_nodes, s.metadata_doc_nodes, s.metadata_column_nodes,
+      s.edges, s.avg_degree, s.max_degree, s.isolated_nodes,
+      s.connected_components, s.avg_metadata_distance,
+      s.metadata_reachability);
+}
+
+}  // namespace graph
+}  // namespace tdmatch

@@ -1,0 +1,45 @@
+#ifndef TDMATCH_GRAPH_STATS_H_
+#define TDMATCH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace tdmatch {
+namespace graph {
+
+/// Aggregate structural statistics of a graph (§V reports node/edge counts,
+/// density and metadata-path lengths when discussing the scenarios).
+struct GraphStatistics {
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t data_nodes = 0;
+  size_t metadata_doc_nodes = 0;
+  size_t metadata_column_nodes = 0;
+  double avg_degree = 0.0;
+  size_t max_degree = 0;
+  size_t isolated_nodes = 0;
+  size_t connected_components = 0;
+  /// Average shortest-path length between sampled cross-corpus metadata
+  /// pairs (unreachable pairs excluded) and the fraction of sampled pairs
+  /// that were reachable.
+  double avg_metadata_distance = 0.0;
+  double metadata_reachability = 0.0;
+};
+
+/// \brief Computes GraphStatistics; metadata distances are estimated from
+/// `metadata_pair_samples` random cross-corpus pairs.
+GraphStatistics ComputeStatistics(const Graph& g,
+                                  size_t metadata_pair_samples = 64,
+                                  uint64_t seed = 7);
+
+/// Renders the statistics as a human-readable multi-line string.
+std::string FormatStatistics(const GraphStatistics& stats);
+
+}  // namespace graph
+}  // namespace tdmatch
+
+#endif  // TDMATCH_GRAPH_STATS_H_

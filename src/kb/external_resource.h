@@ -1,0 +1,33 @@
+#ifndef TDMATCH_KB_EXTERNAL_RESOURCE_H_
+#define TDMATCH_KB_EXTERNAL_RESOURCE_H_
+
+#include <string>
+#include <vector>
+
+namespace tdmatch {
+namespace kb {
+
+/// \brief Interface to an external knowledge resource used by graph
+/// expansion (Alg. 2).
+///
+/// The paper plugs ConceptNet, DBpedia or WordNet here; this reproduction
+/// plugs SyntheticKB. Lookup is by (normalized) surface label — exactly how
+/// the expansion algorithm addresses data nodes.
+class ExternalResource {
+ public:
+  virtual ~ExternalResource() = default;
+
+  /// All labels related to `label` in the resource. Empty when unknown.
+  virtual std::vector<std::string> Related(const std::string& label) const = 0;
+
+  /// True when the resource knows the label (may be cheaper than Related).
+  virtual bool Knows(const std::string& label) const = 0;
+
+  /// Human-readable name ("ConceptNet", "DBpedia", "SyntheticKB(...)").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace kb
+}  // namespace tdmatch
+
+#endif  // TDMATCH_KB_EXTERNAL_RESOURCE_H_

@@ -1,0 +1,51 @@
+#include "kb/synthetic_kb.h"
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace kb {
+
+SyntheticKB::SyntheticKB(LabelNormalizer normalizer)
+    : normalizer_(std::move(normalizer)) {}
+
+std::string SyntheticKB::Normalize(const std::string& label) const {
+  return normalizer_ ? normalizer_(label) : label;
+}
+
+void SyntheticKB::AddRelation(const std::string& a, const std::string& b,
+                              const std::string& relation_type) {
+  const std::string na = Normalize(a);
+  const std::string nb = Normalize(b);
+  if (na.empty() || nb.empty() || na == nb) return;
+  bool added = false;
+  if (adj_seen_[na].insert(b).second) {
+    adj_[na].push_back(b);
+    added = true;
+  }
+  if (adj_seen_[nb].insert(a).second) {
+    adj_[nb].push_back(a);
+    added = true;
+  }
+  if (added) {
+    ++num_relations_;
+    ++type_counts_[relation_type];
+  }
+}
+
+std::vector<std::string> SyntheticKB::Related(const std::string& label) const {
+  auto it = adj_.find(Normalize(label));
+  if (it == adj_.end()) return {};
+  return it->second;
+}
+
+bool SyntheticKB::Knows(const std::string& label) const {
+  return adj_.count(Normalize(label)) > 0;
+}
+
+std::string SyntheticKB::name() const {
+  return util::StrFormat("SyntheticKB(%zu entities, %zu relations)",
+                         adj_.size(), num_relations_);
+}
+
+}  // namespace kb
+}  // namespace tdmatch

@@ -1,0 +1,66 @@
+#ifndef TDMATCH_KB_SYNTHETIC_KB_H_
+#define TDMATCH_KB_SYNTHETIC_KB_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kb/external_resource.h"
+
+namespace tdmatch {
+namespace kb {
+
+/// Normalizes a surface label for lookup (e.g. lower-case + stemming so KB
+/// entries line up with graph data-node labels).
+using LabelNormalizer = std::function<std::string(const std::string&)>;
+
+/// \brief In-memory knowledge graph standing in for ConceptNet / DBpedia /
+/// WordNet (see DESIGN.md substitution table).
+///
+/// The scenario generators populate it from the same entity universe the
+/// corpora are drawn from: a minority of edges are genuinely useful
+/// cross-corpus bridges (starring-of, synonym-of, acronym expansion) and the
+/// majority are distractors, reproducing the paper's observation that only
+/// a few of Tarantino's 800+ DBpedia relations help matching.
+class SyntheticKB : public ExternalResource {
+ public:
+  /// \param normalizer applied to labels both at insertion and at lookup;
+  ///   identity when null.
+  explicit SyntheticKB(LabelNormalizer normalizer = nullptr);
+
+  /// Adds an undirected relation between two surface labels. The relation
+  /// type is informational (kept for inspection / statistics).
+  void AddRelation(const std::string& a, const std::string& b,
+                   const std::string& relation_type = "related");
+
+  std::vector<std::string> Related(const std::string& label) const override;
+  bool Knows(const std::string& label) const override;
+  std::string name() const override;
+
+  /// Number of distinct (normalized) entities.
+  size_t NumEntities() const { return adj_.size(); }
+  /// Total number of stored (directed) relation entries / 2.
+  size_t NumRelations() const { return num_relations_; }
+
+  /// Relation-type histogram, for dataset statistics.
+  std::unordered_map<std::string, size_t> RelationTypeCounts() const {
+    return type_counts_;
+  }
+
+ private:
+  std::string Normalize(const std::string& label) const;
+
+  LabelNormalizer normalizer_;
+  // normalized label -> (ordered) unique neighbor original labels
+  std::unordered_map<std::string, std::vector<std::string>> adj_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> adj_seen_;
+  std::unordered_map<std::string, size_t> type_counts_;
+  size_t num_relations_ = 0;
+};
+
+}  // namespace kb
+}  // namespace tdmatch
+
+#endif  // TDMATCH_KB_SYNTHETIC_KB_H_

@@ -1,0 +1,61 @@
+#include "match/blocking.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace tdmatch {
+namespace match {
+
+TokenBlocker::TokenBlocker() : TokenBlocker(Options{}) {}
+
+TokenBlocker::TokenBlocker(Options options)
+    : options_(options), preprocessor_(options.preprocess) {}
+
+void TokenBlocker::Index(const corpus::Corpus& candidates) {
+  index_.clear();
+  num_candidates_ = candidates.NumDocs();
+  for (size_t c = 0; c < num_candidates_; ++c) {
+    for (const auto& term : preprocessor_.Terms(candidates.DocText(c))) {
+      index_[term].push_back(static_cast<int32_t>(c));
+    }
+  }
+  // Drop hub terms.
+  const size_t cap = static_cast<size_t>(std::ceil(
+      options_.max_term_frequency * static_cast<double>(num_candidates_)));
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->second.size() > std::max<size_t>(1, cap)) {
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<int32_t> TokenBlocker::Block(const std::string& query_text) const {
+  std::unordered_map<int32_t, size_t> shared;
+  for (const auto& term : preprocessor_.Terms(query_text)) {
+    auto it = index_.find(term);
+    if (it == index_.end()) continue;
+    for (int32_t c : it->second) ++shared[c];
+  }
+  std::vector<int32_t> block;
+  block.reserve(shared.size());
+  for (const auto& [c, n] : shared) {
+    if (n >= options_.min_shared_terms) block.push_back(c);
+  }
+  return block;
+}
+
+double TokenBlocker::AverageBlockFraction(
+    const corpus::Corpus& queries) const {
+  if (num_candidates_ == 0 || queries.NumDocs() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t q = 0; q < queries.NumDocs(); ++q) {
+    total += static_cast<double>(Block(queries.DocText(q)).size()) /
+             static_cast<double>(num_candidates_);
+  }
+  return total / static_cast<double>(queries.NumDocs());
+}
+
+}  // namespace match
+}  // namespace tdmatch

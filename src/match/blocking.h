@@ -1,0 +1,57 @@
+#ifndef TDMATCH_MATCH_BLOCKING_H_
+#define TDMATCH_MATCH_BLOCKING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "text/preprocess.h"
+
+namespace tdmatch {
+namespace match {
+
+/// \brief Token-based candidate blocking (§VII lists blocking as the
+/// planned speed-up for the matching step).
+///
+/// An inverted index from terms to candidate documents; a query's candidate
+/// block is every document sharing at least `min_shared_terms` terms with
+/// it. Scoring then only touches the block instead of the full corpus —
+/// the classic ER blocking trade-off (possible recall loss for speed).
+class TokenBlocker {
+ public:
+  struct Options {
+    /// Minimum shared terms for a candidate to enter the block.
+    size_t min_shared_terms = 1;
+    /// Terms appearing in more than ceil(fraction · |candidates|)
+    /// candidates are treated as stop-terms and ignored (hub control).
+    double max_term_frequency = 0.5;
+    text::PreprocessOptions preprocess;
+  };
+
+  TokenBlocker();  // default options
+  explicit TokenBlocker(Options options);
+
+  /// Indexes the candidate corpus.
+  void Index(const corpus::Corpus& candidates);
+
+  /// Candidate indices sharing enough terms with `query_text`, unsorted.
+  std::vector<int32_t> Block(const std::string& query_text) const;
+
+  /// Fraction of the corpus a block covers on average (diagnostics).
+  double AverageBlockFraction(const corpus::Corpus& queries) const;
+
+  size_t num_candidates() const { return num_candidates_; }
+
+ private:
+  Options options_;
+  text::Preprocessor preprocessor_;
+  std::unordered_map<std::string, std::vector<int32_t>> index_;
+  size_t num_candidates_ = 0;
+};
+
+}  // namespace match
+}  // namespace tdmatch
+
+#endif  // TDMATCH_MATCH_BLOCKING_H_

@@ -1,0 +1,35 @@
+#include "match/combine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace match {
+
+std::vector<double> ScoreCombiner::Average(const std::vector<double>& a,
+                                           const std::vector<double>& b) {
+  TDM_CHECK_EQ(a.size(), b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = 0.5 * (a[i] + b[i]);
+  return out;
+}
+
+std::vector<double> ScoreCombiner::MinMaxNormalize(
+    const std::vector<double>& s) {
+  if (s.empty()) return {};
+  auto [mn, mx] = std::minmax_element(s.begin(), s.end());
+  std::vector<double> out(s.size(), 0.0);
+  const double range = *mx - *mn;
+  if (range <= 0.0) return out;
+  for (size_t i = 0; i < s.size(); ++i) out[i] = (s[i] - *mn) / range;
+  return out;
+}
+
+std::vector<double> ScoreCombiner::AverageNormalized(
+    const std::vector<double>& a, const std::vector<double>& b) {
+  return Average(MinMaxNormalize(a), MinMaxNormalize(b));
+}
+
+}  // namespace match
+}  // namespace tdmatch

@@ -1,0 +1,31 @@
+#ifndef TDMATCH_MATCH_COMBINE_H_
+#define TDMATCH_MATCH_COMBINE_H_
+
+#include <vector>
+
+namespace tdmatch {
+namespace match {
+
+/// \brief Score combination (Fig. 10): averages per-candidate cosine scores
+/// of two methods, optionally after per-query min-max normalization so the
+/// scales are comparable.
+class ScoreCombiner {
+ public:
+  /// Element-wise mean of two score vectors (sizes must match).
+  static std::vector<double> Average(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+  /// Min-max normalizes scores into [0, 1] per query (constant vectors map
+  /// to all-zeros).
+  static std::vector<double> MinMaxNormalize(const std::vector<double>& s);
+
+  /// Average of the normalized score vectors — the Fig. 10 combination of
+  /// W-RW with S-BE.
+  static std::vector<double> AverageNormalized(const std::vector<double>& a,
+                                               const std::vector<double>& b);
+};
+
+}  // namespace match
+}  // namespace tdmatch
+
+#endif  // TDMATCH_MATCH_COMBINE_H_

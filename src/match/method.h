@@ -1,0 +1,46 @@
+#ifndef TDMATCH_MATCH_METHOD_H_
+#define TDMATCH_MATCH_METHOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace match {
+
+/// \brief Common interface of every matching method in the evaluation —
+/// TDmatch itself and all baselines.
+///
+/// A method is (optionally) fitted on a scenario and then asked to score
+/// every candidate document (second corpus) for a query document (first
+/// corpus). The experiment harness turns scores into rankings and computes
+/// the metrics; supervised methods receive the training query ids and their
+/// gold labels through the scenario, unsupervised methods must ignore them.
+class MatchMethod {
+ public:
+  virtual ~MatchMethod() = default;
+
+  /// Prepares the method for `scenario`. `train_queries` lists the query
+  /// indices whose gold labels may be used (empty for unsupervised
+  /// methods, which see only the raw corpora).
+  virtual util::Status Fit(const corpus::Scenario& scenario,
+                           const std::vector<int32_t>& train_queries) = 0;
+
+  /// Scores all second-corpus documents for query `query_index`; higher is
+  /// better. Called after Fit.
+  virtual std::vector<double> ScoreCandidates(size_t query_index) const = 0;
+
+  /// Display name used in benchmark tables ("W-RW", "S-BE", "RANK*", ...).
+  virtual std::string name() const = 0;
+
+  /// True when the method needs gold labels (marked * in the paper).
+  virtual bool supervised() const { return false; }
+};
+
+}  // namespace match
+}  // namespace tdmatch
+
+#endif  // TDMATCH_MATCH_METHOD_H_

@@ -1,0 +1,53 @@
+#include "match/top_k.h"
+
+#include <algorithm>
+
+#include "embed/embedding_table.h"
+
+namespace tdmatch {
+namespace match {
+
+std::vector<double> TopK::ScoreAll(
+    const std::vector<float>& query,
+    const std::vector<std::vector<float>>& candidates) {
+  std::vector<double> scores(candidates.size(), 0.0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].empty() || query.empty()) continue;
+    scores[i] = embed::EmbeddingTable::CosineVec(query, candidates[i]);
+  }
+  return scores;
+}
+
+std::vector<Match> TopK::Select(const std::vector<double>& scores, size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<int32_t> idx(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) idx[i] = static_cast<int32_t>(i);
+  // partial_sort by descending score; stable tie-break on lower index keeps
+  // rankings deterministic.
+  std::partial_sort(idx.begin(),
+                    idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                    [&](int32_t a, int32_t b) {
+                      double sa = scores[static_cast<size_t>(a)];
+                      double sb = scores[static_cast<size_t>(b)];
+                      if (sa != sb) return sa > sb;
+                      return a < b;
+                    });
+  std::vector<Match> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.push_back(Match{idx[i], scores[static_cast<size_t>(idx[i])]});
+  }
+  return out;
+}
+
+std::vector<int32_t> TopK::FullRanking(const std::vector<double>& scores) {
+  std::vector<int32_t> idx(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) idx[i] = static_cast<int32_t>(i);
+  std::stable_sort(idx.begin(), idx.end(), [&](int32_t a, int32_t b) {
+    return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+  });
+  return idx;
+}
+
+}  // namespace match
+}  // namespace tdmatch

@@ -1,0 +1,39 @@
+#ifndef TDMATCH_MATCH_TOP_K_H_
+#define TDMATCH_MATCH_TOP_K_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tdmatch {
+namespace match {
+
+/// One ranked candidate.
+struct Match {
+  int32_t index;
+  double score;
+};
+
+/// \brief Ranking utilities: cosine scoring against a candidate matrix and
+/// heap-based top-k selection (§IV-B).
+class TopK {
+ public:
+  /// Cosine of `query` against every row of `candidates` (rows may be
+  /// empty ⇒ score 0).
+  static std::vector<double> ScoreAll(
+      const std::vector<float>& query,
+      const std::vector<std::vector<float>>& candidates);
+
+  /// Indices of the k highest scores, ties broken by lower index
+  /// (deterministic).
+  static std::vector<Match> Select(const std::vector<double>& scores,
+                                   size_t k);
+
+  /// Full ranking (Select with k = scores.size()).
+  static std::vector<int32_t> FullRanking(const std::vector<double>& scores);
+};
+
+}  // namespace match
+}  // namespace tdmatch
+
+#endif  // TDMATCH_MATCH_TOP_K_H_

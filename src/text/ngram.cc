@@ -1,0 +1,44 @@
+#include "text/ngram.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace text {
+
+NGramGenerator::NGramGenerator(size_t max_n) : max_n_(max_n) {
+  TDM_CHECK_GE(max_n_, 1u);
+}
+
+std::vector<std::string> NGramGenerator::Generate(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  const size_t n = tokens.size();
+  for (size_t len = 1; len <= max_n_ && len <= n; ++len) {
+    for (size_t i = 0; i + len <= n; ++i) {
+      std::string term = tokens[i];
+      for (size_t j = 1; j < len; ++j) {
+        term.push_back(' ');
+        term += tokens[i + j];
+      }
+      out.push_back(std::move(term));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> NGramGenerator::GenerateUnique(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> all = Generate(tokens);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(all.size());
+  for (auto& t : all) {
+    if (seen.insert(t).second) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace tdmatch

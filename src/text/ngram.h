@@ -1,0 +1,39 @@
+#ifndef TDMATCH_TEXT_NGRAM_H_
+#define TDMATCH_TEXT_NGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace tdmatch {
+namespace text {
+
+/// \brief Word n-gram ("term") generation (§II-D).
+///
+/// The paper represents "The Sixth Sense" with all 1..n-gram terms (for
+/// n = 3: five data nodes) so that partial mentions in the other corpus
+/// ("Willis" vs "B. Willis") can still connect metadata nodes. The default
+/// n = 3 was profiled on Wikipedia titles (99% are <= 3 tokens).
+class NGramGenerator {
+ public:
+  /// \param max_n maximum n-gram size (>= 1).
+  explicit NGramGenerator(size_t max_n = 3);
+
+  /// All contiguous 1..max_n-grams of `tokens`, joined with a single space.
+  std::vector<std::string> Generate(
+      const std::vector<std::string>& tokens) const;
+
+  /// Deduplicated version of Generate (a term appearing twice in a sentence
+  /// still maps to one graph data node).
+  std::vector<std::string> GenerateUnique(
+      const std::vector<std::string>& tokens) const;
+
+  size_t max_n() const { return max_n_; }
+
+ private:
+  size_t max_n_;
+};
+
+}  // namespace text
+}  // namespace tdmatch
+
+#endif  // TDMATCH_TEXT_NGRAM_H_

@@ -1,0 +1,28 @@
+#include "text/preprocess.h"
+
+namespace tdmatch {
+namespace text {
+
+Preprocessor::Preprocessor(PreprocessOptions options)
+    : options_(options),
+      tokenizer_(options.tokenizer),
+      ngrams_(options.max_ngram) {}
+
+std::vector<std::string> Preprocessor::Tokens(std::string_view input) const {
+  std::vector<std::string> toks = tokenizer_.Tokenize(input);
+  if (options_.remove_stopwords) toks = stopwords_.Filter(toks);
+  if (options_.stem) toks = PorterStemmer::StemAll(toks);
+  return toks;
+}
+
+std::vector<std::string> Preprocessor::Terms(std::string_view input) const {
+  return TermsFromTokens(Tokens(input));
+}
+
+std::vector<std::string> Preprocessor::TermsFromTokens(
+    const std::vector<std::string>& tokens) const {
+  return ngrams_.GenerateUnique(tokens);
+}
+
+}  // namespace text
+}  // namespace tdmatch

@@ -1,0 +1,58 @@
+#ifndef TDMATCH_TEXT_PREPROCESS_H_
+#define TDMATCH_TEXT_PREPROCESS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/ngram.h"
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace tdmatch {
+namespace text {
+
+/// Options for the full pre-processing pipeline of §II.
+struct PreprocessOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+  /// Maximum n-gram size for terms (§II-D; paper default 3).
+  size_t max_ngram = 3;
+};
+
+/// \brief The paper's pre-processing pipeline: tokenize → stop-word
+/// removal → stemming → n-gram term generation.
+///
+/// "Terms" are the processed values that become data nodes in the graph; a
+/// term can span multiple tokens ("the sixth sense" → "sixth sens",
+/// "sixth", "sens", ...).
+class Preprocessor {
+ public:
+  explicit Preprocessor(PreprocessOptions options = {});
+
+  /// Base tokens after tokenization, stop-word removal and stemming
+  /// (no n-grams). This is the unit sequence used for window features.
+  std::vector<std::string> Tokens(std::string_view input) const;
+
+  /// Unique 1..max_ngram terms of `input` — the data-node labels.
+  std::vector<std::string> Terms(std::string_view input) const;
+
+  /// Terms from already-computed base tokens.
+  std::vector<std::string> TermsFromTokens(
+      const std::vector<std::string>& tokens) const;
+
+  const PreprocessOptions& options() const { return options_; }
+
+ private:
+  PreprocessOptions options_;
+  Tokenizer tokenizer_;
+  StopWords stopwords_;
+  NGramGenerator ngrams_;
+};
+
+}  // namespace text
+}  // namespace tdmatch
+
+#endif  // TDMATCH_TEXT_PREPROCESS_H_

@@ -1,0 +1,312 @@
+#include "text/stemmer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace text {
+
+namespace {
+
+// Implementation of the classic Porter (1980) algorithm. `b` holds the word
+// being stemmed; `k` is the index of the last character.
+class PorterImpl {
+ public:
+  explicit PorterImpl(std::string word) : b_(std::move(word)) {
+    k_ = b_.empty() ? -1 : static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Run() {
+    if (k_ <= 1) return b_;  // words of length <= 2 are left alone
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, static_cast<size_t>(k_) + 1);
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the word between 0 and j: [C](VC)^m[V], returns m.
+  int Measure(int j) const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem(int j) const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int j) const {
+    if (j < 1) return false;
+    if (b_[static_cast<size_t>(j)] != b_[static_cast<size_t>(j - 1)])
+      return false;
+    return IsConsonant(j);
+  }
+
+  // cvc where second c is not w, x or y; e.g. hop(ping), tap(ped).
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2))
+      return false;
+    char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  bool EndsWith(const char* s) {
+    int len = static_cast<int>(std::char_traits<char>::length(s));
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ - len + 1), static_cast<size_t>(len),
+                   s) != 0)
+      return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(const char* s) {
+    int len = static_cast<int>(std::char_traits<char>::length(s));
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(k_ - j_), s);
+    k_ = j_ + len;
+  }
+
+  void ReplaceIfM0(const char* s) {
+    if (Measure(j_) > 0) SetTo(s);
+  }
+
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (EndsWith("sses")) {
+        k_ -= 2;
+      } else if (EndsWith("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (EndsWith("eed")) {
+      if (Measure(j_) > 0) --k_;
+    } else if ((EndsWith("ed") || EndsWith("ing")) && VowelInStem(j_)) {
+      k_ = j_;
+      if (EndsWith("at")) {
+        SetTo("ate");
+      } else if (EndsWith("bl")) {
+        SetTo("ble");
+      } else if (EndsWith("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char ch = b_[static_cast<size_t>(k_)];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure(k_) == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && VowelInStem(j_)) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("ational")) { ReplaceIfM0("ate"); break; }
+        if (EndsWith("tional")) { ReplaceIfM0("tion"); break; }
+        break;
+      case 'c':
+        if (EndsWith("enci")) { ReplaceIfM0("ence"); break; }
+        if (EndsWith("anci")) { ReplaceIfM0("ance"); break; }
+        break;
+      case 'e':
+        if (EndsWith("izer")) { ReplaceIfM0("ize"); break; }
+        break;
+      case 'l':
+        if (EndsWith("bli")) { ReplaceIfM0("ble"); break; }
+        if (EndsWith("alli")) { ReplaceIfM0("al"); break; }
+        if (EndsWith("entli")) { ReplaceIfM0("ent"); break; }
+        if (EndsWith("eli")) { ReplaceIfM0("e"); break; }
+        if (EndsWith("ousli")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 'o':
+        if (EndsWith("ization")) { ReplaceIfM0("ize"); break; }
+        if (EndsWith("ation")) { ReplaceIfM0("ate"); break; }
+        if (EndsWith("ator")) { ReplaceIfM0("ate"); break; }
+        break;
+      case 's':
+        if (EndsWith("alism")) { ReplaceIfM0("al"); break; }
+        if (EndsWith("iveness")) { ReplaceIfM0("ive"); break; }
+        if (EndsWith("fulness")) { ReplaceIfM0("ful"); break; }
+        if (EndsWith("ousness")) { ReplaceIfM0("ous"); break; }
+        break;
+      case 't':
+        if (EndsWith("aliti")) { ReplaceIfM0("al"); break; }
+        if (EndsWith("iviti")) { ReplaceIfM0("ive"); break; }
+        if (EndsWith("biliti")) { ReplaceIfM0("ble"); break; }
+        break;
+      case 'g':
+        if (EndsWith("logi")) { ReplaceIfM0("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (EndsWith("icate")) { ReplaceIfM0("ic"); break; }
+        if (EndsWith("ative")) { ReplaceIfM0(""); break; }
+        if (EndsWith("alize")) { ReplaceIfM0("al"); break; }
+        break;
+      case 'i':
+        if (EndsWith("iciti")) { ReplaceIfM0("ic"); break; }
+        break;
+      case 'l':
+        if (EndsWith("ical")) { ReplaceIfM0("ic"); break; }
+        if (EndsWith("ful")) { ReplaceIfM0(""); break; }
+        break;
+      case 's':
+        if (EndsWith("ness")) { ReplaceIfM0(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("al")) break;
+        return;
+      case 'c':
+        if (EndsWith("ance")) break;
+        if (EndsWith("ence")) break;
+        return;
+      case 'e':
+        if (EndsWith("er")) break;
+        return;
+      case 'i':
+        if (EndsWith("ic")) break;
+        return;
+      case 'l':
+        if (EndsWith("able")) break;
+        if (EndsWith("ible")) break;
+        return;
+      case 'n':
+        if (EndsWith("ant")) break;
+        if (EndsWith("ement")) break;
+        if (EndsWith("ment")) break;
+        if (EndsWith("ent")) break;
+        return;
+      case 'o':
+        if (EndsWith("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't'))
+          break;
+        if (EndsWith("ou")) break;
+        return;
+      case 's':
+        if (EndsWith("ism")) break;
+        return;
+      case 't':
+        if (EndsWith("ate")) break;
+        if (EndsWith("iti")) break;
+        return;
+      case 'u':
+        if (EndsWith("ous")) break;
+        return;
+      case 'v':
+        if (EndsWith("ive")) break;
+        return;
+      case 'z':
+        if (EndsWith("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure(j_) > 1) k_ = j_;
+  }
+
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int m = Measure(k_ - 1 >= 0 ? k_ - 1 : 0);
+      // Recompute measure of the stem without the trailing e.
+      m = Measure(k_ - 1);
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure(k_) > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_ = -1;
+  int j_ = 0;
+};
+
+bool IsPlainAlpha(std::string_view w) {
+  for (char c : w) {
+    if (std::isalpha(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) {
+  if (word.size() <= 2 || !IsPlainAlpha(word)) return std::string(word);
+  return PorterImpl(std::string(word)).Run();
+}
+
+std::vector<std::string> PorterStemmer::StemAll(
+    const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(Stem(t));
+  return out;
+}
+
+}  // namespace text
+}  // namespace tdmatch

@@ -1,0 +1,30 @@
+#ifndef TDMATCH_TEXT_STEMMER_H_
+#define TDMATCH_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdmatch {
+namespace text {
+
+/// \brief Porter stemmer (Porter, 1980), full five-step algorithm.
+///
+/// Stemming is the first of the paper's node-merging techniques (§II-C):
+/// it merges inflected forms ("planning" / "plan") into a single data node.
+/// Numeric tokens and tokens shorter than three characters pass through
+/// unchanged.
+class PorterStemmer {
+ public:
+  /// Stems a single lower-case token.
+  static std::string Stem(std::string_view word);
+
+  /// Stems every token in a sequence.
+  static std::vector<std::string> StemAll(
+      const std::vector<std::string>& tokens);
+};
+
+}  // namespace text
+}  // namespace tdmatch
+
+#endif  // TDMATCH_TEXT_STEMMER_H_

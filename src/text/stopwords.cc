@@ -1,0 +1,53 @@
+#include "text/stopwords.h"
+
+namespace tdmatch {
+namespace text {
+
+namespace {
+// Frequent English function words (SMART-style list, trimmed to words that
+// actually occur in the generated corpora).
+const char* const kDefaultStopWords[] = {
+    "a",       "about",   "above",  "after",   "again",   "against", "all",
+    "am",      "an",      "and",    "any",     "are",     "as",      "at",
+    "be",      "because", "been",   "before",  "being",   "below",   "between",
+    "both",    "but",     "by",     "can",     "cannot",  "could",   "did",
+    "do",      "does",    "doing",  "down",    "during",  "each",    "few",
+    "for",     "from",    "further","had",     "has",     "have",    "having",
+    "he",      "her",     "here",   "hers",    "herself", "him",     "himself",
+    "his",     "how",     "i",      "if",      "in",      "into",    "is",
+    "it",      "its",     "itself", "just",    "me",      "more",    "most",
+    "my",      "myself",  "no",     "nor",     "not",     "now",     "of",
+    "off",     "on",      "once",   "only",    "or",      "other",   "our",
+    "ours",    "ourselves", "out",  "over",    "own",     "same",    "she",
+    "should",  "so",      "some",   "such",    "than",    "that",    "the",
+    "their",   "theirs",  "them",   "themselves", "then", "there",   "these",
+    "they",    "this",    "those",  "through", "to",      "too",     "under",
+    "until",   "up",      "very",   "was",     "we",      "were",    "what",
+    "when",    "where",   "which",  "while",   "who",     "whom",    "why",
+    "will",    "with",    "would",  "you",     "your",    "yours",   "yourself",
+    "yourselves", "s",    "t",      "dont",    "didnt",   "isnt",    "arent",
+};
+}  // namespace
+
+StopWords::StopWords() {
+  for (const char* w : kDefaultStopWords) words_.insert(w);
+}
+
+bool StopWords::Contains(std::string_view token) const {
+  return words_.count(std::string(token)) > 0;
+}
+
+void StopWords::Add(std::string token) { words_.insert(std::move(token)); }
+
+std::vector<std::string> StopWords::Filter(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    if (!Contains(t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace tdmatch

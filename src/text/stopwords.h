@@ -1,0 +1,39 @@
+#ifndef TDMATCH_TEXT_STOPWORDS_H_
+#define TDMATCH_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace tdmatch {
+namespace text {
+
+/// \brief English stop-word list used by the paper's pre-processing step.
+///
+/// The default list is the classic SMART-derived set of frequent English
+/// function words; callers can add domain-specific entries.
+class StopWords {
+ public:
+  /// Builds the default English list.
+  StopWords();
+
+  /// True when `token` (already lower-cased) is a stop word.
+  bool Contains(std::string_view token) const;
+
+  /// Adds a custom stop word.
+  void Add(std::string token);
+
+  /// Removes all stop words from `tokens`, preserving order.
+  std::vector<std::string> Filter(const std::vector<std::string>& tokens) const;
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace text
+}  // namespace tdmatch
+
+#endif  // TDMATCH_TEXT_STOPWORDS_H_

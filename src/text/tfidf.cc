@@ -1,0 +1,77 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace tdmatch {
+namespace text {
+
+void TfIdf::Fit(const std::vector<std::vector<std::string>>& docs) {
+  df_.clear();
+  num_docs_ = docs.size();
+  for (const auto& doc : docs) {
+    std::unordered_set<std::string> seen(doc.begin(), doc.end());
+    for (const auto& t : seen) ++df_[t];
+  }
+}
+
+double TfIdf::Idf(const std::string& token) const {
+  auto it = df_.find(token);
+  const double df = it == df_.end() ? 0.0 : static_cast<double>(it->second);
+  return std::log((1.0 + static_cast<double>(num_docs_)) / (1.0 + df)) + 1.0;
+}
+
+std::unordered_map<std::string, double> TfIdf::Score(
+    const std::vector<std::string>& doc) const {
+  std::unordered_map<std::string, double> tf;
+  for (const auto& t : doc) tf[t] += 1.0;
+  for (auto& [tok, v] : tf) v *= Idf(tok);
+  return tf;
+}
+
+std::vector<std::string> TfIdf::TopK(const std::vector<std::string>& doc,
+                                     size_t k) const {
+  auto scores = Score(doc);
+  std::vector<std::pair<std::string, double>> ranked(scores.begin(),
+                                                     scores.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  std::unordered_set<std::string> keep;
+  for (const auto& [tok, s] : ranked) keep.insert(tok);
+  std::vector<std::string> out;
+  for (const auto& t : doc) {
+    if (keep.count(t) > 0) out.push_back(t);
+  }
+  return out;
+}
+
+std::unordered_map<std::string, double> TfIdf::Vectorize(
+    const std::vector<std::string>& doc) const {
+  auto vec = Score(doc);
+  double norm = 0.0;
+  for (const auto& [tok, v] : vec) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (auto& [tok, v] : vec) v /= norm;
+  }
+  return vec;
+}
+
+double TfIdf::CosineSparse(const std::unordered_map<std::string, double>& a,
+                           const std::unordered_map<std::string, double>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& big = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [tok, v] : small) {
+    auto it = big.find(tok);
+    if (it != big.end()) dot += v * it->second;
+  }
+  return dot;
+}
+
+}  // namespace text
+}  // namespace tdmatch

@@ -1,0 +1,53 @@
+#ifndef TDMATCH_TEXT_TFIDF_H_
+#define TDMATCH_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tdmatch {
+namespace text {
+
+/// \brief TF-IDF statistics over a collection of tokenized documents.
+///
+/// Two uses in the reproduction: the TF-IDF *filtering* baseline of Fig. 9
+/// (keep the k highest-scoring tokens per document) and feature generation
+/// for the supervised baselines (RANK*, Ditto proxy).
+class TfIdf {
+ public:
+  /// Builds document frequencies from a corpus of tokenized documents.
+  void Fit(const std::vector<std::vector<std::string>>& docs);
+
+  /// Number of fitted documents.
+  size_t num_docs() const { return num_docs_; }
+
+  /// Smoothed inverse document frequency: ln((1+N)/(1+df)) + 1.
+  double Idf(const std::string& token) const;
+
+  /// TF-IDF scores (tf = raw count) for one document's tokens.
+  std::unordered_map<std::string, double> Score(
+      const std::vector<std::string>& doc) const;
+
+  /// Keeps the k tokens with highest TF-IDF score (order preserved,
+  /// duplicates of kept tokens preserved) — the Fig. 9 baseline filter.
+  std::vector<std::string> TopK(const std::vector<std::string>& doc,
+                                size_t k) const;
+
+  /// Sparse TF-IDF vector keyed by token, L2-normalized; for cosine features.
+  std::unordered_map<std::string, double> Vectorize(
+      const std::vector<std::string>& doc) const;
+
+  /// Cosine similarity between two sparse vectors from Vectorize().
+  static double CosineSparse(
+      const std::unordered_map<std::string, double>& a,
+      const std::unordered_map<std::string, double>& b);
+
+ private:
+  std::unordered_map<std::string, uint64_t> df_;
+  size_t num_docs_ = 0;
+};
+
+}  // namespace text
+}  // namespace tdmatch
+
+#endif  // TDMATCH_TEXT_TFIDF_H_

@@ -1,0 +1,61 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace text {
+
+namespace {
+
+inline bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+inline bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&]() {
+    if (cur.empty()) return;
+    std::string tok = options_.lowercase ? util::ToLower(cur) : cur;
+    cur.clear();
+    if (tok.size() < options_.min_token_length) return;
+    if (!options_.keep_numbers && util::IsNumeric(tok)) return;
+    tokens.push_back(std::move(tok));
+  };
+
+  for (size_t i = 0; i < input.size(); ++i) {
+    char c = input[i];
+    if (IsWordChar(c)) {
+      cur.push_back(c);
+    } else if (c == '\'' && !cur.empty() && i + 1 < input.size() &&
+               IsWordChar(input[i + 1])) {
+      // keep intra-word apostrophe: don't -> dont
+      continue;
+    } else if ((c == '.') && !cur.empty() && IsDigit(cur.back()) &&
+               i + 1 < input.size() && IsDigit(input[i + 1])) {
+      // decimal point inside a number
+      cur.push_back(c);
+    } else if (c == '-' && cur.empty() && i + 1 < input.size() &&
+               IsDigit(input[i + 1])) {
+      // leading sign of a number
+      cur.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace text
+}  // namespace tdmatch

@@ -1,0 +1,43 @@
+#ifndef TDMATCH_TEXT_TOKENIZER_H_
+#define TDMATCH_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdmatch {
+namespace text {
+
+/// Tokenizer configuration knobs.
+struct TokenizerOptions {
+  /// Lower-case all tokens (paper pre-processing does).
+  bool lowercase = true;
+  /// Keep pure-numeric tokens (needed for bucketing, e.g. CoronaCheck).
+  bool keep_numbers = true;
+  /// Drop tokens shorter than this many characters (after lowering).
+  size_t min_token_length = 1;
+};
+
+/// \brief Splits raw text into word tokens.
+///
+/// Splitting happens on whitespace and punctuation; apostrophes inside a
+/// word ("don't") and decimal points / sign inside a number ("3.14", "-2")
+/// are kept so that numbers survive as single tokens. ASCII-oriented, which
+/// matches the datasets in the paper (English text).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes a text fragment.
+  std::vector<std::string> Tokenize(std::string_view input) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace text
+}  // namespace tdmatch
+
+#endif  // TDMATCH_TEXT_TOKENIZER_H_

@@ -1,0 +1,55 @@
+#include "text/vocabulary.h"
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace text {
+
+int32_t Vocabulary::Add(std::string_view token) { return AddCount(token, 1); }
+
+int32_t Vocabulary::AddCount(std::string_view token, uint64_t count) {
+  total_count_ += count;
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) {
+    counts_[static_cast<size_t>(it->second)] += count;
+    return it->second;
+  }
+  int32_t id = static_cast<int32_t>(tokens_.size());
+  tokens_.emplace_back(token);
+  counts_.push_back(count);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int32_t Vocabulary::Lookup(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kInvalidTokenId : it->second;
+}
+
+const std::string& Vocabulary::TokenOf(int32_t id) const {
+  TDM_DCHECK(id >= 0 && static_cast<size_t>(id) < tokens_.size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+uint64_t Vocabulary::CountOf(int32_t id) const {
+  TDM_DCHECK(id >= 0 && static_cast<size_t>(id) < counts_.size());
+  return counts_[static_cast<size_t>(id)];
+}
+
+Vocabulary Vocabulary::Prune(uint64_t min_count,
+                             std::vector<int32_t>* old_to_new) const {
+  Vocabulary out;
+  if (old_to_new != nullptr) {
+    old_to_new->assign(tokens_.size(), kInvalidTokenId);
+  }
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (counts_[i] >= min_count) {
+      int32_t nid = out.AddCount(tokens_[i], counts_[i]);
+      if (old_to_new != nullptr) (*old_to_new)[i] = nid;
+    }
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace tdmatch

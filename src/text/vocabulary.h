@@ -1,0 +1,64 @@
+#ifndef TDMATCH_TEXT_VOCABULARY_H_
+#define TDMATCH_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tdmatch {
+namespace text {
+
+/// Sentinel for "token not present".
+inline constexpr int32_t kInvalidTokenId = -1;
+
+/// \brief Bidirectional string <-> dense-id map with occurrence counts.
+///
+/// Used both by the graph (node registry) and the Word2Vec trainer
+/// (vocabulary with frequency-based subsampling / negative-sampling table).
+class Vocabulary {
+ public:
+  /// Adds one occurrence of `token`, interning it if new; returns its id.
+  int32_t Add(std::string_view token);
+
+  /// Adds `count` occurrences.
+  int32_t AddCount(std::string_view token, uint64_t count);
+
+  /// Returns the id of `token` or kInvalidTokenId.
+  int32_t Lookup(std::string_view token) const;
+
+  /// True when the token is interned.
+  bool Contains(std::string_view token) const {
+    return Lookup(token) != kInvalidTokenId;
+  }
+
+  /// The token string for an id (must be valid).
+  const std::string& TokenOf(int32_t id) const;
+
+  /// Occurrence count for an id (must be valid).
+  uint64_t CountOf(int32_t id) const;
+
+  /// Number of distinct tokens.
+  size_t size() const { return tokens_.size(); }
+
+  /// Total occurrences across all tokens.
+  uint64_t total_count() const { return total_count_; }
+
+  /// Returns a copy with tokens of count < min_count removed and ids
+  /// re-densified. `old_to_new` (optional) receives the id remapping
+  /// (kInvalidTokenId for dropped tokens).
+  Vocabulary Prune(uint64_t min_count,
+                   std::vector<int32_t>* old_to_new = nullptr) const;
+
+ private:
+  std::unordered_map<std::string, int32_t> index_;
+  std::vector<std::string> tokens_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace text
+}  // namespace tdmatch
+
+#endif  // TDMATCH_TEXT_VOCABULARY_H_

@@ -1,0 +1,117 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tdmatch {
+namespace util {
+
+Result<std::vector<std::string>> Csv::ParseLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        cur.push_back(c);
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) {
+          return Status::InvalidArgument("quote inside unquoted field: " +
+                                         line);
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+        ++i;
+      } else if (c == '\r') {
+        ++i;  // tolerate CRLF
+      } else {
+        cur.push_back(c);
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> Csv::ParseBuffer(
+    const std::string& buffer) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(buffer);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    TDM_ASSIGN_OR_RETURN(auto fields, ParseLine(line));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> Csv::ReadFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseBuffer(buf.str());
+}
+
+std::string Csv::EscapeField(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Csv::FormatLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += EscapeField(fields[i]);
+  }
+  return out;
+}
+
+Status Csv::WriteFile(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& row : rows) {
+    out << FormatLine(row) << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace tdmatch

@@ -1,0 +1,45 @@
+#ifndef TDMATCH_UTIL_CSV_H_
+#define TDMATCH_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace util {
+
+/// \brief RFC-4180-style CSV support (quoted fields, embedded commas,
+/// doubled quotes, CR/LF line ends).
+///
+/// The scenario generators can persist datasets to disk and the loaders read
+/// them back; this keeps experiments inspectable by humans.
+class Csv {
+ public:
+  /// Parses one CSV record (no trailing newline) into fields.
+  static Result<std::vector<std::string>> ParseLine(const std::string& line);
+
+  /// Parses a whole buffer into records; empty lines are skipped.
+  static Result<std::vector<std::vector<std::string>>> ParseBuffer(
+      const std::string& buffer);
+
+  /// Reads and parses a CSV file.
+  static Result<std::vector<std::vector<std::string>>> ReadFile(
+      const std::string& path);
+
+  /// Escapes a field (quotes when it contains comma/quote/newline).
+  static std::string EscapeField(const std::string& field);
+
+  /// Serializes one record.
+  static std::string FormatLine(const std::vector<std::string>& fields);
+
+  /// Writes records to a file, one per line.
+  static Status WriteFile(const std::string& path,
+                          const std::vector<std::vector<std::string>>& rows);
+};
+
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_CSV_H_

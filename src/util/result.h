@@ -1,0 +1,75 @@
+#ifndef TDMATCH_UTIL_RESULT_H_
+#define TDMATCH_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace util {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Construct implicitly from T (success) or from a
+/// non-OK Status (failure). Accessing the value of an errored Result aborts
+/// in debug builds via TDM_CHECK.
+template <typename T>
+class Result {
+ public:
+  /// Success: wraps a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure: wraps a non-OK status. Passing an OK status is a programming
+  /// error and is converted to Internal.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True when a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is present.
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Returns the value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    TDM_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    TDM_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    TDM_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Dereference sugar.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_RESULT_H_

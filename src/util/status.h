@@ -1,0 +1,128 @@
+#ifndef TDMATCH_UTIL_STATUS_H_
+#define TDMATCH_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace tdmatch {
+namespace util {
+
+/// \brief Error categories used across the library.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// all fallible operations return a Status or a Result<T> (see result.h),
+/// following the Arrow / RocksDB idiom.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// \brief Returns a human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Operation outcome: either OK or an error code with a message.
+///
+/// Status is cheap to copy in the OK case (a null pointer); error states
+/// carry a heap-allocated code+message record.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  /// Creates a status with the given code and message. A kOk code yields
+  /// an OK status and the message is dropped.
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code (kOk when ok()).
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace util
+}  // namespace tdmatch
+
+/// Propagates a non-OK Status to the caller.
+#define TDM_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::tdmatch::util::Status _st = (expr);        \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define TDM_CONCAT_IMPL(x, y) x##y
+#define TDM_CONCAT(x, y) TDM_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status,
+/// otherwise moves the value into `lhs`.
+#define TDM_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto TDM_CONCAT(_res_, __LINE__) = (expr);                  \
+  if (!TDM_CONCAT(_res_, __LINE__).ok())                      \
+    return TDM_CONCAT(_res_, __LINE__).status();              \
+  lhs = std::move(TDM_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+#endif  // TDMATCH_UTIL_STATUS_H_

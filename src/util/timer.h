@@ -1,0 +1,34 @@
+#ifndef TDMATCH_UTIL_TIMER_H_
+#define TDMATCH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace tdmatch {
+namespace util {
+
+/// \brief Wall-clock stopwatch used by the benchmark harness (Table VII,
+/// Fig. 8).
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_TIMER_H_

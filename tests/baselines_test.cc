@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include "baselines/embedding_baselines.h"
+#include "baselines/features.h"
+#include "baselines/lbert.h"
+#include "baselines/linear_model.h"
+#include "baselines/sbe.h"
+#include "baselines/supervised.h"
+#include "embed/embedding_table.h"
+#include "eval/metrics.h"
+#include "match/top_k.h"
+#include "util/rng.h"
+
+namespace tdmatch {
+namespace baselines {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LogisticRegression / MLP
+// ---------------------------------------------------------------------------
+
+std::vector<Example> LinearlySeparable(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Example> out;
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.Uniform(-1, 1);
+    double y = rng.Uniform(-1, 1);
+    out.push_back({{x, y}, x + y > 0 ? 1.0 : 0.0});
+  }
+  return out;
+}
+
+TEST(LogRegTest, LearnsLinearBoundary) {
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(LinearlySeparable(400, 1)).ok());
+  EXPECT_GT(lr.Predict({0.8, 0.8}), 0.8);
+  EXPECT_LT(lr.Predict({-0.8, -0.8}), 0.2);
+}
+
+TEST(LogRegTest, RejectsEmptyAndInconsistent) {
+  LogisticRegression lr;
+  EXPECT_TRUE(lr.Fit({}).IsInvalidArgument());
+  EXPECT_TRUE(lr.Fit({{{1.0}, 1.0}, {{1.0, 2.0}, 0.0}}).IsInvalidArgument());
+}
+
+TEST(LogRegTest, PairwiseRanksPositivesAboveNegatives) {
+  util::Rng rng(2);
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> pairs;
+  for (int i = 0; i < 300; ++i) {
+    // positive examples have larger first feature
+    pairs.push_back({{rng.Uniform(0.5, 1.0), rng.Uniform()},
+                     {rng.Uniform(0.0, 0.5), rng.Uniform()}});
+  }
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.FitPairwise(pairs).ok());
+  EXPECT_GT(lr.Decision({0.9, 0.5}), lr.Decision({0.1, 0.5}));
+}
+
+TEST(MlpTest, LearnsXorLikeBoundary) {
+  // XOR is not linearly separable: the MLP should beat chance.
+  util::Rng rng(3);
+  std::vector<Example> data;
+  for (int i = 0; i < 800; ++i) {
+    double x = rng.Uniform(-1, 1);
+    double y = rng.Uniform(-1, 1);
+    data.push_back({{x, y}, (x > 0) != (y > 0) ? 1.0 : 0.0});
+  }
+  MlpClassifier::Options o;
+  o.hidden = 24;
+  o.epochs = 120;
+  MlpClassifier mlp(o);
+  ASSERT_TRUE(mlp.Fit(data).ok());
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Uniform(-1, 1);
+    double y = rng.Uniform(-1, 1);
+    bool label = (x > 0) != (y > 0);
+    correct += (mlp.Predict({x, y}) > 0.5) == label;
+  }
+  EXPECT_GT(correct, 140);  // well above the 100 of chance
+}
+
+// ---------------------------------------------------------------------------
+// PairFeatures
+// ---------------------------------------------------------------------------
+
+corpus::Scenario TinyScenario() {
+  corpus::Scenario s;
+  s.name = "tiny";
+  s.first = corpus::Corpus::FromTexts(
+      "q", {{"q0", "willis stars in a thriller"},
+            {"q1", "a funny movie by tarantino"}});
+  corpus::Table t("movies", {"title", "actor", "genre"});
+  EXPECT_TRUE(t.AddRow({"Sixth Sense", "Willis", "thriller"}).ok());
+  EXPECT_TRUE(t.AddRow({"Pulp Fiction", "Willis", "comedy"}).ok());
+  s.second = corpus::Corpus::FromTable(t);
+  s.gold = {{0}, {1}};
+  return s;
+}
+
+TEST(PairFeaturesTest, MatchingPairScoresHigher) {
+  auto s = TinyScenario();
+  PairFeatures f;
+  f.Fit(s);
+  auto good = f.Extract(0, 0);
+  auto bad = f.Extract(0, 1);
+  ASSERT_EQ(good.size(), PairFeatures::kNumFeatures);
+  // TF-IDF cosine and containment should favor the right tuple.
+  EXPECT_GT(good[0], bad[0]);
+  EXPECT_GT(good[2], bad[2]);
+}
+
+TEST(PairFeaturesTest, ColumnFeaturesAlignWithColumns) {
+  auto s = TinyScenario();
+  PairFeatures f;
+  f.Fit(s);
+  auto cols = f.ColumnFeatures(0, 0, 3);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_GT(cols[1], 0.0);  // "willis" hits the actor column
+  EXPECT_GT(cols[2], 0.0);  // "thriller" hits the genre column
+}
+
+TEST(PairFeaturesTest, ColumnFeaturesZeroForTextCandidates) {
+  corpus::Scenario s;
+  s.first = corpus::Corpus::FromTexts("q", {{"q0", "abc"}});
+  s.second = corpus::Corpus::FromTexts("c", {{"c0", "abc"}});
+  s.gold = {{0}};
+  PairFeatures f;
+  f.Fit(s);
+  auto cols = f.ColumnFeatures(0, 0, 4);
+  for (double v : cols) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// HashSentenceEncoder (S-BE)
+// ---------------------------------------------------------------------------
+
+TEST(SbeTest, IdenticalSentencesScoreHighest) {
+  auto s = TinyScenario();
+  HashSentenceEncoder sbe;
+  ASSERT_TRUE(sbe.Fit(s, {}).ok());
+  auto v1 = sbe.Encode("willis stars in a thriller");
+  auto v2 = sbe.Encode("willis stars in a thriller");
+  EXPECT_NEAR(embed::EmbeddingTable::CosineVec(v1, v2), 1.0, 1e-6);
+}
+
+TEST(SbeTest, OverlapBeatsNoOverlap) {
+  HashSentenceEncoder sbe;
+  auto a = sbe.Encode("the quick brown fox");
+  auto b = sbe.Encode("the quick brown wolf");
+  auto c = sbe.Encode("completely unrelated words here");
+  EXPECT_GT(embed::EmbeddingTable::CosineVec(a, b),
+            embed::EmbeddingTable::CosineVec(a, c));
+}
+
+TEST(SbeTest, RanksGoldAboveRandomOnTinyScenario) {
+  auto s = TinyScenario();
+  HashSentenceEncoder sbe;
+  ASSERT_TRUE(sbe.Fit(s, {}).ok());
+  auto scores = sbe.ScoreCandidates(0);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+// ---------------------------------------------------------------------------
+// W2VEC / D2VEC baselines
+// ---------------------------------------------------------------------------
+
+TEST(SerializeDocTest, TableUsesColVal) {
+  auto s = TinyScenario();
+  std::string serialized = SerializeDoc(s.second, 0);
+  EXPECT_NE(serialized.find("[COL] actor [VAL] Willis"), std::string::npos);
+  EXPECT_EQ(SerializeDoc(s.first, 0), "willis stars in a thriller");
+}
+
+TEST(W2VecBaselineTest, ProducesFullScoreVectors) {
+  auto s = TinyScenario();
+  Word2VecBaseline m;
+  ASSERT_TRUE(m.Fit(s, {}).ok());
+  EXPECT_EQ(m.ScoreCandidates(0).size(), 2u);
+  EXPECT_EQ(m.ScoreCandidates(1).size(), 2u);
+}
+
+TEST(D2VecBaselineTest, ProducesFullScoreVectors) {
+  auto s = TinyScenario();
+  Doc2VecBaseline m;
+  ASSERT_TRUE(m.Fit(s, {}).ok());
+  EXPECT_EQ(m.ScoreCandidates(0).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Supervised proxies
+// ---------------------------------------------------------------------------
+
+/// A scenario where lexical overlap is a perfect signal, so any trained
+/// proxy must beat random.
+corpus::Scenario TrainableScenario(size_t n) {
+  corpus::Scenario s;
+  s.name = "trainable";
+  std::vector<corpus::TextDoc> queries;
+  std::vector<corpus::TextDoc> facts;
+  util::Rng rng(4);
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = "entity" + std::to_string(i);
+    facts.push_back({"f" + std::to_string(i),
+                     key + " lives in city" + std::to_string(i % 7)});
+    queries.push_back({"q" + std::to_string(i),
+                       "where does " + key + " live exactly"});
+    s.gold.push_back({static_cast<int32_t>(i)});
+  }
+  s.first = corpus::Corpus::FromTexts("q", std::move(queries));
+  s.second = corpus::Corpus::FromTexts("f", std::move(facts));
+  return s;
+}
+
+std::vector<int32_t> AllQueries(size_t n) {
+  std::vector<int32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int32_t>(i);
+  return idx;
+}
+
+TEST(PairwiseRankerTest, RequiresSupervision) {
+  auto s = TrainableScenario(10);
+  PairwiseRanker r;
+  EXPECT_TRUE(r.Fit(s, {}).IsInvalidArgument());
+  EXPECT_TRUE(r.supervised());
+}
+
+TEST(PairwiseRankerTest, LearnsLexicalMatching) {
+  auto s = TrainableScenario(30);
+  PairwiseRanker r;
+  ASSERT_TRUE(r.Fit(s, AllQueries(30)).ok());
+  // On training-distribution queries the gold must rank near the top.
+  std::vector<eval::Ranking> rankings;
+  for (size_t q = 0; q < 30; ++q) {
+    rankings.push_back(match::TopK::FullRanking(r.ScoreCandidates(q)));
+  }
+  EXPECT_GT(eval::RankingMetrics::MRR(rankings, s.gold), 0.8);
+}
+
+TEST(DittoProxyTest, LearnsLexicalMatching) {
+  auto s = TrainableScenario(30);
+  DittoProxy d;
+  ASSERT_TRUE(d.Fit(s, AllQueries(30)).ok());
+  std::vector<eval::Ranking> rankings;
+  for (size_t q = 0; q < 30; ++q) {
+    rankings.push_back(match::TopK::FullRanking(d.ScoreCandidates(q)));
+  }
+  EXPECT_GT(eval::RankingMetrics::MRR(rankings, s.gold), 0.5);
+}
+
+TEST(TapasProxyTest, WorksOnTableScenario) {
+  auto s = TinyScenario();
+  TapasProxy t(SupervisedOptions{}, 3);
+  ASSERT_TRUE(t.Fit(s, {0, 1}).ok());
+  EXPECT_EQ(t.ScoreCandidates(0).size(), 2u);
+}
+
+TEST(DeepMatcherProxyTest, WorksOnTableScenario) {
+  auto s = TinyScenario();
+  DeepMatcherProxy d(SupervisedOptions{}, 3);
+  ASSERT_TRUE(d.Fit(s, {0, 1}).ok());
+  EXPECT_EQ(d.ScoreCandidates(1).size(), 2u);
+}
+
+TEST(LBertProxyTest, LearnsFrequentConcepts) {
+  // Multi-label: 3 concepts; documents mention the concept word directly.
+  corpus::Scenario s;
+  corpus::Taxonomy tax;
+  auto root = tax.AddConcept("root");
+  tax.AddConcept("alpha", root);
+  tax.AddConcept("beta", root);
+  tax.AddConcept("gamma", root);
+  std::vector<corpus::TextDoc> docs;
+  util::Rng rng(5);
+  for (size_t i = 0; i < 60; ++i) {
+    int cid = static_cast<int>(i % 3);
+    const char* words[] = {"alpha", "beta", "gamma"};
+    docs.push_back({"d" + std::to_string(i),
+                    std::string(words[cid]) + " procedure item " +
+                        std::to_string(rng.UniformInt(100ULL))});
+    s.gold.push_back({cid + 1});
+  }
+  s.first = corpus::Corpus::FromTexts("docs", std::move(docs));
+  s.second = corpus::Corpus::FromTaxonomy("tax", tax);
+  LBertProxy m;
+  ASSERT_TRUE(m.Fit(s, AllQueries(60)).ok());
+  std::vector<eval::Ranking> rankings;
+  for (size_t q = 0; q < 60; ++q) {
+    rankings.push_back(match::TopK::FullRanking(m.ScoreCandidates(q)));
+  }
+  EXPECT_GT(eval::RankingMetrics::HasPositiveAtK(rankings, s.gold, 1), 0.8);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace tdmatch

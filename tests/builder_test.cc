@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "graph/builder.h"
+
+namespace tdmatch {
+namespace graph {
+namespace {
+
+corpus::Corpus ReviewCorpus() {
+  return corpus::Corpus::FromTexts(
+      "reviews",
+      {{"p1", "A comedy by Tarantino where Willis shines"},
+       {"p2", "Shyamalan directs a thriller with Bruce Willis"}});
+}
+
+corpus::Corpus MovieCorpus() {
+  corpus::Table t("movies", {"title", "director", "actor", "genre"});
+  EXPECT_TRUE(
+      t.AddRow({"The Sixth Sense", "Shyamalan", "Bruce Willis", "Thriller"})
+          .ok());
+  EXPECT_TRUE(
+      t.AddRow({"Pulp Fiction", "Tarantino", "Bruce Willis", "Drama"}).ok());
+  return corpus::Corpus::FromTable(t);
+}
+
+TEST(BuilderTest, CreatesMetadataNodesForBothCorpora) {
+  GraphBuilder builder{BuilderOptions{}};
+  auto g = builder.Build(ReviewCorpus(), MovieCorpus());
+  ASSERT_TRUE(g.ok());
+  EXPECT_NE(g->FindNode(GraphBuilder::MetaDocLabel(0, 0)), kInvalidNode);
+  EXPECT_NE(g->FindNode(GraphBuilder::MetaDocLabel(0, 1)), kInvalidNode);
+  EXPECT_NE(g->FindNode(GraphBuilder::MetaDocLabel(1, 0)), kInvalidNode);
+  EXPECT_NE(g->FindNode(GraphBuilder::MetaDocLabel(1, 1)), kInvalidNode);
+}
+
+TEST(BuilderTest, CreatesColumnNodesForTables) {
+  GraphBuilder builder{BuilderOptions{}};
+  auto g = builder.Build(ReviewCorpus(), MovieCorpus());
+  ASSERT_TRUE(g.ok());
+  NodeId genre_col = g->FindNode(GraphBuilder::MetaColumnLabel(1, "genre"));
+  ASSERT_NE(genre_col, kInvalidNode);
+  EXPECT_EQ(g->node(genre_col).type, NodeType::kMetadataColumn);
+  // The genre column must connect to its active-domain terms.
+  NodeId thriller = g->FindNode("thriller");
+  ASSERT_NE(thriller, kInvalidNode);
+  EXPECT_TRUE(g->HasEdge(genre_col, thriller));
+}
+
+TEST(BuilderTest, SharedTermBridgesCorpora) {
+  GraphBuilder builder{BuilderOptions{}};
+  auto g = builder.Build(ReviewCorpus(), MovieCorpus());
+  ASSERT_TRUE(g.ok());
+  NodeId willis = g->FindNode("willi");  // stemmed
+  ASSERT_NE(willis, kInvalidNode);
+  NodeId p1 = g->FindNode(GraphBuilder::MetaDocLabel(0, 0));
+  NodeId t2 = g->FindNode(GraphBuilder::MetaDocLabel(1, 1));
+  EXPECT_TRUE(g->HasEdge(p1, willis));
+  EXPECT_TRUE(g->HasEdge(t2, willis));
+}
+
+TEST(BuilderTest, IntersectFiltersSecondCorpusOnlyTerms) {
+  // With kIntersect, terms appearing only in the larger-vocabulary corpus
+  // must not become nodes.
+  corpus::Corpus small = corpus::Corpus::FromTexts(
+      "small", {{"a", "alpha beta"}});
+  corpus::Corpus big = corpus::Corpus::FromTexts(
+      "big", {{"b", "alpha gamma delta epsilon zeta eta theta"}});
+  BuilderOptions opts;
+  opts.filter = FilterMode::kIntersect;
+  GraphBuilder builder(opts);
+  auto g = builder.Build(small, big);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasNode("alpha"));
+  EXPECT_TRUE(g->HasNode("beta"));       // from the creator corpus
+  EXPECT_FALSE(g->HasNode("gamma"));     // filtered out (§II-B)
+  EXPECT_FALSE(g->HasNode("epsilon"));
+}
+
+TEST(BuilderTest, NoFilterKeepsBothVocabularies) {
+  corpus::Corpus small = corpus::Corpus::FromTexts("s", {{"a", "alpha"}});
+  corpus::Corpus big =
+      corpus::Corpus::FromTexts("b", {{"b", "alpha gamma delta"}});
+  BuilderOptions opts;
+  opts.filter = FilterMode::kNone;
+  GraphBuilder builder(opts);
+  auto g = builder.Build(small, big);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasNode("gamma"));
+}
+
+TEST(BuilderTest, NGramTermsDoNotCrossCellBoundaries) {
+  corpus::Table t("t", {"c1", "c2"});
+  ASSERT_TRUE(t.AddRow({"alpha beta", "gamma"}).ok());
+  corpus::Corpus text =
+      corpus::Corpus::FromTexts("x", {{"p", "alpha beta gamma"}});
+  BuilderOptions opts;
+  opts.filter = FilterMode::kNone;
+  GraphBuilder builder(opts);
+  auto g = builder.Build(text, corpus::Corpus::FromTable(t));
+  ASSERT_TRUE(g.ok());
+  // "alpha beta" is a term of both; "beta gamma" only exists in the text
+  // (cell boundary in the table).
+  NodeId ab = g->FindNode("alpha beta");
+  ASSERT_NE(ab, kInvalidNode);
+  NodeId tuple = g->FindNode(GraphBuilder::MetaDocLabel(1, 0));
+  EXPECT_TRUE(g->HasEdge(tuple, ab));
+  NodeId bg = g->FindNode("beta gamma");
+  ASSERT_NE(bg, kInvalidNode);
+  EXPECT_FALSE(g->HasEdge(tuple, bg));
+}
+
+TEST(BuilderTest, StructuredParentEdges) {
+  corpus::Taxonomy tax;
+  auto root = tax.AddConcept("audit programme");
+  tax.AddConcept("iso nineteen", root);
+  corpus::Corpus docs = corpus::Corpus::FromTexts(
+      "d", {{"p", "the audit programme follows iso nineteen"}});
+  GraphBuilder builder{BuilderOptions{}};
+  auto g = builder.Build(docs, corpus::Corpus::FromTaxonomy("tax", tax));
+  ASSERT_TRUE(g.ok());
+  NodeId n_root = g->FindNode(GraphBuilder::MetaDocLabel(1, 0));
+  NodeId n_child = g->FindNode(GraphBuilder::MetaDocLabel(1, 1));
+  ASSERT_NE(n_root, kInvalidNode);
+  ASSERT_NE(n_child, kInvalidNode);
+  EXPECT_TRUE(g->HasEdge(n_root, n_child));
+}
+
+TEST(BuilderTest, StructuredParentEdgesCanBeDisabled) {
+  corpus::Taxonomy tax;
+  auto root = tax.AddConcept("alpha");
+  tax.AddConcept("beta", root);
+  corpus::Corpus docs =
+      corpus::Corpus::FromTexts("d", {{"p", "alpha beta"}});
+  BuilderOptions opts;
+  opts.connect_structured_parents = false;
+  GraphBuilder builder(opts);
+  auto g = builder.Build(docs, corpus::Corpus::FromTaxonomy("tax", tax));
+  ASSERT_TRUE(g.ok());
+  NodeId n_root = g->FindNode(GraphBuilder::MetaDocLabel(1, 0));
+  NodeId n_child = g->FindNode(GraphBuilder::MetaDocLabel(1, 1));
+  EXPECT_FALSE(g->HasEdge(n_root, n_child));
+}
+
+TEST(BuilderTest, MergeMapCanonicalizesVariants) {
+  MergeMap merge;
+  merge["b willi"] = "bruce willi";
+  BuilderOptions opts;
+  opts.filter = FilterMode::kNone;
+  opts.merge_map = &merge;
+  GraphBuilder builder(opts);
+  corpus::Corpus reviews =
+      corpus::Corpus::FromTexts("r", {{"p", "B Willis shines"}});
+  auto g = builder.Build(reviews, MovieCorpus());
+  ASSERT_TRUE(g.ok());
+  // The review's "b willi" bigram collapses onto the canonical node.
+  EXPECT_FALSE(g->HasNode("b willi"));
+  NodeId canon = g->FindNode("bruce willi");
+  ASSERT_NE(canon, kInvalidNode);
+  NodeId p = g->FindNode(GraphBuilder::MetaDocLabel(0, 0));
+  EXPECT_TRUE(g->HasEdge(p, canon));
+}
+
+TEST(BuilderTest, BucketingMergesNumericCells) {
+  corpus::Table t("t", {"country", "cases"});
+  ASSERT_TRUE(t.AddRow({"france", "1000"}).ok());
+  ASSERT_TRUE(t.AddRow({"spain", "9000"}).ok());
+  corpus::Corpus claims =
+      corpus::Corpus::FromTexts("c", {{"p", "france reported 1003 cases"}});
+  BuilderOptions opts;
+  opts.filter = FilterMode::kNone;
+  opts.bucket_numbers = true;
+  opts.fixed_buckets = 4;
+  GraphBuilder builder(opts);
+  auto g = builder.Build(claims, corpus::Corpus::FromTable(t));
+  ASSERT_TRUE(g.ok());
+  // 1000 and 1003 fall in the same bucket: the claim and the france tuple
+  // share a numeric node; the raw literals are gone.
+  EXPECT_FALSE(g->HasNode("1000"));
+  EXPECT_FALSE(g->HasNode("1003"));
+  NodeId p = g->FindNode(GraphBuilder::MetaDocLabel(0, 0));
+  NodeId row0 = g->FindNode(GraphBuilder::MetaDocLabel(1, 0));
+  NodeId row1 = g->FindNode(GraphBuilder::MetaDocLabel(1, 1));
+  // Find the shared bucket node among p's neighbors.
+  bool shares_with_row0 = false;
+  bool shares_with_row1 = false;
+  for (NodeId nb : g->Neighbors(p)) {
+    if (g->node(nb).type != NodeType::kData) continue;
+    if (g->node(nb).label.rfind("num[", 0) == 0) {
+      shares_with_row0 |= g->HasEdge(row0, nb);
+      shares_with_row1 |= g->HasEdge(row1, nb);
+    }
+  }
+  EXPECT_TRUE(shares_with_row0);
+  EXPECT_FALSE(shares_with_row1);
+}
+
+TEST(BuilderTest, EmptyCorpusRejected) {
+  GraphBuilder builder{BuilderOptions{}};
+  corpus::Corpus empty = corpus::Corpus::FromTexts("e", {});
+  auto g = builder.Build(empty, MovieCorpus());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, NormalizeLabelMatchesTermSpace) {
+  text::Preprocessor pp;
+  EXPECT_EQ(GraphBuilder::NormalizeLabel(pp, "Bruce Willis"), "bruce willi");
+  EXPECT_EQ(GraphBuilder::NormalizeLabel(pp, "The Planning"), "plan");
+}
+
+// Property sweep: across filter modes, every metadata doc node exists and
+// no edge connects two metadata doc nodes of *different* corpora.
+class BuilderFilterPropertyTest
+    : public ::testing::TestWithParam<FilterMode> {};
+
+TEST_P(BuilderFilterPropertyTest, MetadataInvariants) {
+  BuilderOptions opts;
+  opts.filter = GetParam();
+  GraphBuilder builder(opts);
+  auto g = builder.Build(ReviewCorpus(), MovieCorpus());
+  ASSERT_TRUE(g.ok());
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_NE(g->FindNode(GraphBuilder::MetaDocLabel(0, d)), kInvalidNode);
+    EXPECT_NE(g->FindNode(GraphBuilder::MetaDocLabel(1, d)), kInvalidNode);
+  }
+  for (NodeId m : g->MetadataDocNodes(0)) {
+    for (NodeId nb : g->Neighbors(m)) {
+      const NodeInfo& info = g->node(nb);
+      EXPECT_FALSE(info.type == NodeType::kMetadataDoc && info.corpus == 1)
+          << "cross-corpus metadata edge (never created by Alg. 1)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FilterModes, BuilderFilterPropertyTest,
+                         ::testing::Values(FilterMode::kNone,
+                                           FilterMode::kIntersect,
+                                           FilterMode::kTfIdf));
+
+}  // namespace
+}  // namespace graph
+}  // namespace tdmatch

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/compression.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace graph {
+namespace {
+
+/// Bipartite-ish test graph: n0 metadata docs in corpus 0, n1 in corpus 1,
+/// connected through a layer of shared data nodes plus noise chains.
+Graph MakeTestGraph(size_t n0, size_t n1, size_t terms, uint64_t seed) {
+  Graph g;
+  util::Rng rng(seed);
+  std::vector<NodeId> meta0, meta1, data;
+  for (size_t i = 0; i < n0; ++i) {
+    meta0.push_back(g.AddNode(util::StrFormat("__D0:%zu__", i),
+                              NodeType::kMetadataDoc, 0,
+                              static_cast<int32_t>(i)));
+  }
+  for (size_t i = 0; i < n1; ++i) {
+    meta1.push_back(g.AddNode(util::StrFormat("__D1:%zu__", i),
+                              NodeType::kMetadataDoc, 1,
+                              static_cast<int32_t>(i)));
+  }
+  for (size_t i = 0; i < terms; ++i) {
+    data.push_back(g.AddNode("term" + std::to_string(i)));
+  }
+  for (NodeId m : meta0) {
+    for (int e = 0; e < 3; ++e) g.AddEdge(m, rng.Choice(data));
+  }
+  for (NodeId m : meta1) {
+    for (int e = 0; e < 3; ++e) g.AddEdge(m, rng.Choice(data));
+  }
+  // Noise: data-data chains that rarely matter for metadata paths.
+  for (size_t i = 0; i + 1 < terms; i += 2) {
+    g.AddEdge(data[i], data[i + 1]);
+  }
+  return g;
+}
+
+TEST(MspTest, OutputSmallerOnSparseSampling) {
+  Graph g = MakeTestGraph(20, 20, 120, 1);
+  util::Rng rng(2);
+  Graph cg = MspCompress(g, 0.25, &rng);
+  EXPECT_LT(cg.NumNodes(), g.NumNodes());
+  EXPECT_LT(cg.NumEdges(), g.NumEdges());
+  EXPECT_GT(cg.NumNodes(), 0u);
+}
+
+TEST(MspTest, AllMetadataNodesPresentAndConnected) {
+  Graph g = MakeTestGraph(15, 15, 80, 3);
+  util::Rng rng(4);
+  Graph cg = MspCompress(g, 0.1, &rng);
+  for (int ci = 0; ci < 2; ++ci) {
+    for (NodeId m : g.MetadataDocNodes(static_cast<CorpusTag>(ci))) {
+      NodeId in_cg = cg.FindNode(g.node(m).label);
+      ASSERT_NE(in_cg, kInvalidNode) << g.node(m).label;
+      EXPECT_GT(cg.Degree(in_cg), 0u) << g.node(m).label;
+    }
+  }
+}
+
+TEST(MspTest, PreservesShortestDistanceForSampledPairs) {
+  Graph g = MakeTestGraph(10, 10, 50, 5);
+  util::Rng rng(6);
+  Graph cg = MspCompress(g, 2.0, &rng);  // generous sampling
+  // With beta=2 virtually every pair is sampled; distances in CG must not
+  // exceed the original distances for connected metadata pairs.
+  auto meta0 = g.MetadataDocNodes(0);
+  auto meta1 = g.MetadataDocNodes(1);
+  int checked = 0;
+  for (NodeId a : meta0) {
+    for (NodeId b : meta1) {
+      int32_t d_full = Bfs::Distance(g, a, b);
+      if (d_full == kUnreachable) continue;
+      NodeId ca = cg.FindNode(g.node(a).label);
+      NodeId cb = cg.FindNode(g.node(b).label);
+      ASSERT_NE(ca, kInvalidNode);
+      ASSERT_NE(cb, kInvalidNode);
+      int32_t d_cg = Bfs::Distance(cg, ca, cb);
+      if (d_cg != kUnreachable) {
+        EXPECT_GE(d_cg, d_full);  // CG is a subgraph: can't be shorter
+      }
+      ++checked;
+      if (checked > 30) return;
+    }
+  }
+}
+
+TEST(MspTest, SubgraphProperty) {
+  // Every edge of the compressed graph must exist in the original.
+  Graph g = MakeTestGraph(8, 8, 40, 7);
+  util::Rng rng(8);
+  Graph cg = MspCompress(g, 0.5, &rng);
+  for (size_t i = 0; i < cg.NumNodes(); ++i) {
+    NodeId orig_i = g.FindNode(cg.node(static_cast<NodeId>(i)).label);
+    ASSERT_NE(orig_i, kInvalidNode);
+    for (NodeId nb : cg.Neighbors(static_cast<NodeId>(i))) {
+      NodeId orig_nb = g.FindNode(cg.node(nb).label);
+      ASSERT_NE(orig_nb, kInvalidNode);
+      EXPECT_TRUE(g.HasEdge(orig_i, orig_nb));
+    }
+  }
+}
+
+TEST(SspTest, ProducesConnectedMetadata) {
+  Graph g = MakeTestGraph(10, 10, 60, 9);
+  util::Rng rng(10);
+  Graph cg = SspCompress(g, 0.3, &rng);
+  EXPECT_GT(cg.NumNodes(), 0u);
+  for (NodeId m : g.MetadataDocNodes()) {
+    EXPECT_NE(cg.FindNode(g.node(m).label), kInvalidNode);
+  }
+}
+
+TEST(SsummTest, HitsTargetRatioApproximately) {
+  Graph g = MakeTestGraph(10, 10, 200, 11);
+  util::Rng rng(12);
+  Graph cg = SsummCompress(g, 0.3, &rng);
+  EXPECT_LE(cg.NumNodes(),
+            static_cast<size_t>(0.4 * static_cast<double>(g.NumNodes())));
+  // Metadata nodes are never merged away.
+  for (NodeId m : g.MetadataDocNodes()) {
+    EXPECT_NE(cg.FindNode(g.node(m).label), kInvalidNode);
+  }
+}
+
+TEST(RandomNodeSampleTest, KeepsMetadataDropsData) {
+  Graph g = MakeTestGraph(10, 10, 100, 13);
+  util::Rng rng(14);
+  Graph cg = RandomNodeSample(g, 0.2, &rng);
+  for (NodeId m : g.MetadataDocNodes()) {
+    EXPECT_NE(cg.FindNode(g.node(m).label), kInvalidNode);
+  }
+  EXPECT_LT(cg.DataNodes().size(), g.DataNodes().size());
+}
+
+TEST(ConnectAllMetadataTest, RepairsEmptyCompressedGraph) {
+  Graph g = MakeTestGraph(5, 5, 30, 15);
+  Graph cg;  // start empty
+  util::Rng rng(16);
+  ConnectAllMetadata(g, &cg, &rng);
+  for (NodeId m : g.MetadataDocNodes()) {
+    EXPECT_NE(cg.FindNode(g.node(m).label), kInvalidNode);
+  }
+}
+
+// Property sweep over beta: node count grows (weakly) with beta and never
+// exceeds the original.
+class MspBetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MspBetaTest, SizeBounded) {
+  Graph g = MakeTestGraph(12, 12, 90, 17);
+  util::Rng rng(18);
+  Graph cg = MspCompress(g, GetParam(), &rng);
+  EXPECT_LE(cg.NumNodes(), g.NumNodes());
+  EXPECT_LE(cg.NumEdges(), g.NumEdges());
+  EXPECT_GE(cg.NumNodes(), g.MetadataDocNodes().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, MspBetaTest,
+                         ::testing::Values(0.05, 0.25, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace graph
+}  // namespace tdmatch

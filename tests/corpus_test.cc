@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "corpus/table.h"
+#include "corpus/taxonomy.h"
+
+namespace tdmatch {
+namespace corpus {
+namespace {
+
+Table MakeMovies() {
+  Table t("movies", {"title", "director", "genre"});
+  EXPECT_TRUE(t.AddRow({"The Sixth Sense", "Shyamalan", "Thriller"}).ok());
+  EXPECT_TRUE(t.AddRow({"Pulp Fiction", "Tarantino", "Drama"}).ok());
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+TEST(TableTest, BasicAccessors) {
+  Table t = MakeMovies();
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.NumColumns(), 3u);
+  EXPECT_EQ(t.cell(0, 1), "Shyamalan");
+  EXPECT_EQ(t.name(), "movies");
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  Table t("x", {"a", "b"});
+  EXPECT_TRUE(t.AddRow({"only one"}).IsInvalidArgument());
+  EXPECT_TRUE(t.AddRow({"1", "2", "3"}).IsInvalidArgument());
+}
+
+TEST(TableTest, ColumnIndex) {
+  Table t = MakeMovies();
+  auto idx = t.ColumnIndex("genre");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_TRUE(t.ColumnIndex("nope").status().IsNotFound());
+}
+
+TEST(TableTest, DropColumnsBuildsNtVariant) {
+  Table t = MakeMovies();
+  auto nt = t.DropColumns({"title"});
+  ASSERT_TRUE(nt.ok());
+  EXPECT_EQ(nt->NumColumns(), 2u);
+  EXPECT_EQ(nt->NumRows(), 2u);
+  EXPECT_EQ(nt->cell(0, 0), "Shyamalan");
+  EXPECT_TRUE(t.DropColumns({"ghost"}).status().IsNotFound());
+}
+
+TEST(TableTest, TupleText) {
+  Table t = MakeMovies();
+  EXPECT_EQ(t.TupleText(1), "Pulp Fiction Tarantino Drama");
+}
+
+TEST(TableTest, SerializeTupleUsesColValMarkup) {
+  Table t = MakeMovies();
+  std::string s = t.SerializeTuple(0);
+  EXPECT_NE(s.find("[COL] title [VAL] The Sixth Sense"), std::string::npos);
+  EXPECT_NE(s.find("[COL] genre [VAL] Thriller"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Taxonomy
+// ---------------------------------------------------------------------------
+
+Taxonomy MakeTax() {
+  // root -> a -> b -> c ; root -> a -> b -> d
+  Taxonomy tax;
+  ConceptId root = tax.AddConcept("root");
+  ConceptId a = tax.AddConcept("a", root);
+  ConceptId b = tax.AddConcept("b", a);
+  tax.AddConcept("c", b);
+  tax.AddConcept("d", b);
+  return tax;
+}
+
+TEST(TaxonomyTest, PathFromRoot) {
+  Taxonomy tax = MakeTax();
+  auto path = tax.PathFromRoot(3);  // c
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(tax.label(path[0]), "root");
+  EXPECT_EQ(tax.label(path[3]), "c");
+  EXPECT_EQ(tax.Depth(3), 4u);
+  EXPECT_EQ(tax.Depth(0), 1u);
+}
+
+TEST(TaxonomyTest, Children) {
+  Taxonomy tax = MakeTax();
+  auto kids = tax.Children(2);  // b
+  EXPECT_EQ(kids.size(), 2u);
+  EXPECT_TRUE(tax.Children(3).empty());
+}
+
+TEST(TaxonomyTest, NodeScorePaperExample) {
+  // r1: a->b->c, r2: a->b->c->d. After stripping two general levels:
+  // r1: c, r2: c->d, Node = 1/2 (the worked example of §V-B).
+  Taxonomy tax;
+  ConceptId a = tax.AddConcept("a");
+  ConceptId b = tax.AddConcept("b", a);
+  ConceptId c = tax.AddConcept("c", b);
+  ConceptId d = tax.AddConcept("d", c);
+  EXPECT_DOUBLE_EQ(Taxonomy::NodeScore(tax, c, d), 0.5);
+}
+
+TEST(TaxonomyTest, NodeScoreIdenticalIsOne) {
+  Taxonomy tax = MakeTax();
+  EXPECT_DOUBLE_EQ(Taxonomy::NodeScore(tax, 3, 3), 1.0);
+}
+
+TEST(TaxonomyTest, NodeScoreDisjointIsZero) {
+  Taxonomy tax;
+  ConceptId r1 = tax.AddConcept("r1");
+  ConceptId a = tax.AddConcept("a", r1);
+  ConceptId b = tax.AddConcept("b", a);
+  ConceptId c = tax.AddConcept("c", b);
+  ConceptId r2 = tax.AddConcept("r2");
+  ConceptId x = tax.AddConcept("x", r2);
+  ConceptId y = tax.AddConcept("y", x);
+  ConceptId z = tax.AddConcept("z", y);
+  EXPECT_DOUBLE_EQ(Taxonomy::NodeScore(tax, c, z), 0.0);
+}
+
+TEST(TaxonomyTest, NodeScoreShallowPathsKeepLeaf) {
+  // Paths shorter than the stripped levels still compare by leaf.
+  Taxonomy tax;
+  ConceptId r = tax.AddConcept("r");
+  ConceptId s = tax.AddConcept("s", r);
+  EXPECT_DOUBLE_EQ(Taxonomy::NodeScore(tax, s, s), 1.0);
+  EXPECT_DOUBLE_EQ(Taxonomy::NodeScore(tax, r, s), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, TextCorpus) {
+  Corpus c = Corpus::FromTexts(
+      "docs", {{"p1", "hello world"}, {"p2", "second paragraph"}});
+  EXPECT_EQ(c.type(), CorpusType::kText);
+  EXPECT_EQ(c.NumDocs(), 2u);
+  EXPECT_EQ(c.DocId(0), "p1");
+  EXPECT_EQ(c.DocText(1), "second paragraph");
+  EXPECT_EQ(c.ParentOf(0), -1);
+  EXPECT_NE(c.texts(), nullptr);
+  EXPECT_EQ(c.table(), nullptr);
+}
+
+TEST(CorpusTest, TableCorpus) {
+  Corpus c = Corpus::FromTable(MakeMovies());
+  EXPECT_EQ(c.type(), CorpusType::kTable);
+  EXPECT_EQ(c.NumDocs(), 2u);
+  EXPECT_EQ(c.DocText(0), "The Sixth Sense Shyamalan Thriller");
+  EXPECT_NE(c.table(), nullptr);
+}
+
+TEST(CorpusTest, TaxonomyCorpusExposesParents) {
+  Corpus c = Corpus::FromTaxonomy("tax", MakeTax());
+  EXPECT_EQ(c.type(), CorpusType::kStructuredText);
+  EXPECT_EQ(c.NumDocs(), 5u);
+  EXPECT_EQ(c.DocText(2), "b");
+  EXPECT_EQ(c.ParentOf(0), -1);
+  EXPECT_EQ(c.ParentOf(2), 1);
+}
+
+TEST(CorpusTest, CheapCopySharesPayload) {
+  Corpus a = Corpus::FromTable(MakeMovies());
+  Corpus b = a;
+  EXPECT_EQ(a.table(), b.table());
+}
+
+TEST(CorpusTest, TypeNames) {
+  EXPECT_STREQ(CorpusTypeToString(CorpusType::kText), "text");
+  EXPECT_STREQ(CorpusTypeToString(CorpusType::kTable), "table");
+  EXPECT_STREQ(CorpusTypeToString(CorpusType::kStructuredText), "structured");
+}
+
+}  // namespace
+}  // namespace corpus
+}  // namespace tdmatch

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/audit.h"
+#include "datagen/claims.h"
+#include "datagen/corona.h"
+#include "datagen/generic_corpus.h"
+#include "datagen/imdb.h"
+#include "datagen/sts.h"
+#include "datagen/word_bank.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace datagen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WordBank
+// ---------------------------------------------------------------------------
+
+TEST(WordBankTest, AbbreviateName) {
+  EXPECT_EQ(WordBank::AbbreviateName("Bruce Willis"), "B. Willis");
+  EXPECT_EQ(WordBank::AbbreviateName("Cher"), "Cher");
+}
+
+TEST(WordBankTest, FakeWordsDeterministic) {
+  WordBank bank;
+  util::Rng r1(5), r2(5);
+  EXPECT_EQ(bank.FakeWord(&r1), bank.FakeWord(&r2));
+}
+
+TEST(WordBankTest, TypoChangesWord) {
+  util::Rng rng(7);
+  int changed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (WordBank::Typo("united", &rng) != "united") ++changed;
+  }
+  EXPECT_GT(changed, 10);
+}
+
+TEST(WordBankTest, GenreSynonymsRecorded) {
+  WordBank bank;
+  EXPECT_EQ(bank.GenreSynonym("comedy"), "funny");
+  EXPECT_EQ(bank.GenreSynonym("unknown"), "unknown");
+  EXPECT_GE(bank.SynonymPairs().size(), 10u);
+}
+
+TEST(WordBankTest, AcronymFromPhrase) {
+  WordBank bank;
+  EXPECT_EQ(bank.MakeAcronym("plan do check act"), "pdca");
+}
+
+TEST(WordBankTest, MakeSynonymPairsAreFresh) {
+  WordBank bank;
+  util::Rng rng(9);
+  auto pairs = bank.MakeSynonymPairs(10, &rng);
+  EXPECT_EQ(pairs.size(), 10u);
+  for (const auto& [a, b] : pairs) EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// GenericCorpus
+// ---------------------------------------------------------------------------
+
+TEST(GenericCorpusTest, SizeAndDeterminism) {
+  WordBank bank;
+  GenericCorpusOptions o;
+  o.num_sentences = 100;
+  auto a = GenericCorpusGenerator::Generate(bank, o);
+  auto b = GenericCorpusGenerator::Generate(bank, o);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GenericCorpusTest, SynonymPairsCooccur) {
+  WordBank bank;
+  GenericCorpusOptions o;
+  o.num_sentences = 400;
+  o.synonym_sentence_rate = 1.0;
+  auto corpus = GenericCorpusGenerator::Generate(bank, o);
+  // At rate 1.0 every sentence contains some synonym pair adjacent-ish.
+  const auto& pairs = bank.SynonymPairs();
+  size_t pair_hits = 0;
+  for (const auto& sent : corpus) {
+    std::unordered_set<std::string> words(sent.begin(), sent.end());
+    for (const auto& [x, y] : pairs) {
+      if (words.count(x) > 0 && words.count(y) > 0) {
+        ++pair_hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(pair_hits, corpus.size() / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario generators: structural invariants
+// ---------------------------------------------------------------------------
+
+void CheckScenarioInvariants(const GeneratedScenario& g) {
+  const corpus::Scenario& s = g.scenario;
+  EXPECT_FALSE(s.name.empty());
+  EXPECT_GT(s.first.NumDocs(), 0u);
+  EXPECT_GT(s.second.NumDocs(), 0u);
+  ASSERT_EQ(s.gold.size(), s.first.NumDocs());
+  for (const auto& gold : s.gold) {
+    for (int32_t idx : gold) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(static_cast<size_t>(idx), s.second.NumDocs());
+    }
+  }
+  ASSERT_NE(g.kb, nullptr);
+  EXPECT_GT(g.kb->NumRelations(), 0u);
+}
+
+TEST(ImdbTest, Invariants) {
+  ImdbOptions o;
+  o.num_reviewed_movies = 10;
+  o.num_distractor_movies = 15;
+  auto g = ImdbGenerator::Generate(o);
+  CheckScenarioInvariants(g);
+  EXPECT_EQ(g.scenario.first.NumDocs(), 20u);  // 2 reviews per movie
+  EXPECT_EQ(g.scenario.second.NumDocs(), 25u);
+  EXPECT_EQ(g.scenario.second.table()->NumColumns(), 13u);
+}
+
+TEST(ImdbTest, NtVariantDropsTitle) {
+  ImdbOptions o;
+  o.num_reviewed_movies = 5;
+  o.num_distractor_movies = 5;
+  o.with_title = false;
+  auto g = ImdbGenerator::Generate(o);
+  EXPECT_EQ(g.scenario.second.table()->NumColumns(), 12u);
+  EXPECT_TRUE(
+      g.scenario.second.table()->ColumnIndex("title").status().IsNotFound());
+  EXPECT_EQ(g.scenario.name, "IMDb-NT");
+}
+
+TEST(ImdbTest, ReviewsMentionTheirMovie) {
+  ImdbOptions o;
+  o.num_reviewed_movies = 8;
+  o.num_distractor_movies = 0;
+  auto g = ImdbGenerator::Generate(o);
+  // Each review should share at least one informative token with its gold
+  // tuple (director last name is always mentioned).
+  const auto* table = g.scenario.second.table();
+  size_t ok = 0;
+  for (size_t q = 0; q < g.scenario.first.NumDocs(); ++q) {
+    const std::string review = g.scenario.first.DocText(q);
+    const std::string tuple =
+        table->TupleText(static_cast<size_t>(g.scenario.gold[q][0]));
+    // crude check: any 6+-char token of the tuple inside the review
+    bool found = false;
+    for (const auto& tok : util::SplitWhitespace(tuple)) {
+      if (tok.size() >= 6 && review.find(tok) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    ok += found;
+  }
+  EXPECT_GT(ok, g.scenario.first.NumDocs() / 2);
+}
+
+TEST(ImdbTest, Deterministic) {
+  ImdbOptions o;
+  o.num_reviewed_movies = 5;
+  o.num_distractor_movies = 5;
+  auto a = ImdbGenerator::Generate(o);
+  auto b = ImdbGenerator::Generate(o);
+  EXPECT_EQ(a.scenario.first.DocText(0), b.scenario.first.DocText(0));
+  EXPECT_EQ(a.scenario.second.DocText(3), b.scenario.second.DocText(3));
+}
+
+TEST(CoronaTest, Invariants) {
+  CoronaOptions o;
+  o.num_countries = 5;
+  o.num_months = 4;
+  o.days_per_month = 3;
+  o.num_generated_claims = 30;
+  auto g = CoronaGenerator::Generate(o);
+  CheckScenarioInvariants(g);
+  // countries x months x reporting days
+  EXPECT_EQ(g.scenario.second.NumDocs(), 60u);
+}
+
+TEST(CoronaTest, RoundedClaimValuesStayNearRowValue) {
+  CoronaOptions o;
+  o.num_countries = 4;
+  o.num_months = 3;
+  o.days_per_month = 2;
+  o.num_generated_claims = 40;
+  o.approx_value_rate = 1.0;
+  auto g = CoronaGenerator::Generate(o);
+  // Every non-comparative claim quotes a value within 500 of some value in
+  // its gold row (rounding to the nearest thousand).
+  const auto* t = g.scenario.second.table();
+  size_t checked = 0;
+  for (size_t q = 0; q < g.scenario.first.NumDocs(); ++q) {
+    const std::string text = g.scenario.first.DocText(q);
+    if (text.find("higher") != std::string::npos ||
+        text.find("lower") != std::string::npos) {
+      continue;  // comparative claims quote no value
+    }
+    // Extract the quoted value: the last numeric token.
+    long long quoted = -1;
+    for (const auto& tok : util::SplitWhitespace(text)) {
+      std::string clean = tok;
+      if (!clean.empty() && clean.back() == '.') clean.pop_back();
+      if (util::IsNumeric(clean)) quoted = std::stoll(clean);
+    }
+    ASSERT_GE(quoted, 0) << text;
+    bool close = false;
+    const size_t row = static_cast<size_t>(g.scenario.gold[q][0]);
+    for (size_t col = 2; col < t->NumColumns(); ++col) {
+      long long v = std::stoll(t->cell(row, col));
+      if (std::llabs(v - quoted) <= 500) close = true;
+    }
+    EXPECT_TRUE(close) << text;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(CoronaTest, UserVariantHasFewerClaims) {
+  CoronaOptions o;
+  o.num_countries = 5;
+  o.num_months = 4;
+  o.num_user_claims = 12;
+  o.user_variant = true;
+  auto g = CoronaGenerator::Generate(o);
+  EXPECT_EQ(g.scenario.first.NumDocs(), 12u);
+  EXPECT_EQ(g.scenario.name, "Corona-Usr");
+}
+
+TEST(CoronaTest, NumericCellsPresent) {
+  CoronaOptions o;
+  o.num_countries = 3;
+  o.num_months = 3;
+  auto g = CoronaGenerator::Generate(o);
+  const auto* t = g.scenario.second.table();
+  EXPECT_TRUE(util::IsNumeric(t->cell(0, 2)));
+  EXPECT_TRUE(util::IsNumeric(t->cell(0, 5)));
+}
+
+TEST(AuditTest, Invariants) {
+  AuditOptions o;
+  o.num_concepts = 40;
+  o.num_documents = 50;
+  auto g = AuditGenerator::Generate(o);
+  CheckScenarioInvariants(g);
+  EXPECT_EQ(g.scenario.second.type(), corpus::CorpusType::kStructuredText);
+  EXPECT_GE(g.scenario.second.NumDocs(), 40u);
+}
+
+TEST(AuditTest, TaxonomyDepthsWithinBounds) {
+  AuditOptions o;
+  o.num_concepts = 60;
+  o.max_depth = 5;
+  auto g = AuditGenerator::Generate(o);
+  const auto* tax = g.scenario.second.taxonomy();
+  for (size_t c = 0; c < tax->NumConcepts(); ++c) {
+    EXPECT_LE(tax->Depth(static_cast<corpus::ConceptId>(c)), 5u + 1u);
+  }
+}
+
+TEST(AuditTest, ConceptDistributionRoughlyMatchesPaper) {
+  AuditOptions o;
+  o.num_documents = 400;
+  auto g = AuditGenerator::Generate(o);
+  size_t one = 0;
+  for (const auto& gold : g.scenario.gold) one += gold.size() == 1;
+  const double frac =
+      static_cast<double>(one) / static_cast<double>(g.scenario.gold.size());
+  EXPECT_NEAR(frac, 0.4, 0.1);  // paper: ~40% single-concept docs
+}
+
+TEST(ClaimsTest, SnopesAndPolitifactPresets) {
+  auto snopes = ClaimsGenerator::Generate(ClaimsGenerator::SnopesPreset());
+  auto politi =
+      ClaimsGenerator::Generate(ClaimsGenerator::PolitifactPreset());
+  CheckScenarioInvariants(snopes);
+  CheckScenarioInvariants(politi);
+  EXPECT_EQ(snopes.scenario.name, "Snopes");
+  EXPECT_EQ(politi.scenario.name, "Politifact");
+  EXPECT_GT(politi.scenario.second.NumDocs(),
+            snopes.scenario.second.NumDocs());
+}
+
+TEST(ClaimsTest, EveryQueryHasExactlyOneGold) {
+  ClaimsOptions o;
+  o.num_facts = 100;
+  o.num_queries = 20;
+  auto g = ClaimsGenerator::Generate(o);
+  for (const auto& gold : g.scenario.gold) EXPECT_EQ(gold.size(), 1u);
+}
+
+TEST(StsTest, ThresholdControlsGoldDensity) {
+  StsOptions o;
+  o.num_pairs = 300;
+  o.threshold = 2;
+  auto k2 = StsGenerator::Generate(o);
+  o.threshold = 3;
+  auto k3 = StsGenerator::Generate(o);
+  auto count_gold = [](const corpus::Scenario& s) {
+    size_t n = 0;
+    for (const auto& g : s.gold) n += !g.empty();
+    return n;
+  };
+  EXPECT_GT(count_gold(k2.scenario), count_gold(k3.scenario));
+}
+
+TEST(StsTest, Score5PairsIdentical) {
+  StsOptions o;
+  o.num_pairs = 200;
+  o.threshold = 0;
+  auto scores = StsGenerator::PairScores(o);
+  auto g = StsGenerator::Generate(o);
+  for (size_t p = 0; p < scores.size(); ++p) {
+    if (scores[p] == 5) {
+      EXPECT_EQ(g.scenario.first.DocText(p), g.scenario.second.DocText(p));
+    }
+  }
+}
+
+TEST(StsTest, GoldIsAlwaysOwnPartner) {
+  StsOptions o;
+  o.num_pairs = 100;
+  auto g = StsGenerator::Generate(o);
+  for (size_t q = 0; q < g.scenario.gold.size(); ++q) {
+    if (!g.scenario.gold[q].empty()) {
+      EXPECT_EQ(g.scenario.gold[q][0], static_cast<int32_t>(q));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace tdmatch

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/doc2vec.h"
+#include "embed/embedding_table.h"
+#include "embed/pretrained_lexicon.h"
+#include "embed/random_walk.h"
+#include "embed/word2vec.h"
+#include "graph/graph.h"
+
+namespace tdmatch {
+namespace embed {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Word2Vec
+// ---------------------------------------------------------------------------
+
+/// Two disjoint token "clusters": tokens 0-4 co-occur, tokens 5-9 co-occur.
+std::vector<std::vector<int32_t>> ClusteredSentences(size_t n) {
+  std::vector<std::vector<int32_t>> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({0, 1, 2, 3, 4});
+    out.push_back({5, 6, 7, 8, 9});
+  }
+  return out;
+}
+
+/// Distributional-similarity corpus: tokens 0 and 1 are interchangeable
+/// (identical contexts, never co-occurring); token 6 lives in a different
+/// context. The classic word2vec invariant is vec(0) ≈ vec(1).
+std::vector<std::vector<int32_t>> InterchangeableSentences(size_t n) {
+  std::vector<std::vector<int32_t>> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({static_cast<int32_t>(i % 2), 2, 3, 4, 5});
+    out.push_back({6, 7, 8, 9, 10});
+  }
+  return out;
+}
+
+TEST(Word2VecTest, CooccurringTokensEndUpCloser) {
+  // Single-threaded for determinism: Hogwild margins vary run to run.
+  Word2VecOptions o;
+  o.dim = 32;
+  o.epochs = 15;
+  o.threads = 1;
+  Word2Vec w2v(o);
+  ASSERT_TRUE(w2v.Train(ClusteredSentences(200), 10).ok());
+  // Same-cluster tokens share contexts; their input vectors must be closer
+  // than tokens from the other cluster.
+  double intra = w2v.CosineIds(0, 1);
+  double inter = w2v.CosineIds(0, 5);
+  EXPECT_GT(intra, inter);
+}
+
+TEST(Word2VecTest, InterchangeableTokensConverge) {
+  Word2VecOptions o;
+  o.dim = 32;
+  o.epochs = 12;
+  o.threads = 1;
+  Word2Vec w2v(o);
+  ASSERT_TRUE(w2v.Train(InterchangeableSentences(300), 11).ok());
+  EXPECT_GT(w2v.CosineIds(0, 1), w2v.CosineIds(0, 6) + 0.2);
+}
+
+TEST(Word2VecTest, CbowAlsoLearnsClusters) {
+  Word2VecOptions o;
+  o.dim = 32;
+  o.epochs = 12;
+  o.cbow = true;
+  o.window = 4;
+  o.threads = 1;
+  Word2Vec w2v(o);
+  ASSERT_TRUE(w2v.Train(InterchangeableSentences(300), 11).ok());
+  // Interchangeable tokens share contexts, so CBOW aligns their input
+  // vectors far more than tokens from the other cluster.
+  EXPECT_GT(w2v.CosineIds(0, 1), w2v.CosineIds(0, 6) + 0.2);
+}
+
+TEST(Word2VecTest, DeterministicSingleThread) {
+  Word2VecOptions o;
+  o.dim = 16;
+  o.epochs = 2;
+  o.threads = 1;
+  Word2Vec a(o), b(o);
+  auto sents = ClusteredSentences(20);
+  ASSERT_TRUE(a.Train(sents, 10).ok());
+  ASSERT_TRUE(b.Train(sents, 10).ok());
+  for (int32_t id = 0; id < 10; ++id) {
+    EXPECT_EQ(a.VectorCopy(id), b.VectorCopy(id));
+  }
+}
+
+TEST(Word2VecTest, RejectsBadInput) {
+  Word2Vec w2v{Word2VecOptions{}};
+  EXPECT_TRUE(w2v.Train({{0, 1}}, 0).IsInvalidArgument());
+  EXPECT_TRUE(w2v.Train({{0, 99}}, 10).IsOutOfRange());
+  EXPECT_TRUE(w2v.Train({}, 10).IsInvalidArgument());
+}
+
+TEST(Word2VecTest, CosineBounds) {
+  Word2VecOptions o;
+  o.dim = 16;
+  o.epochs = 3;
+  o.threads = 2;
+  Word2Vec w2v(o);
+  ASSERT_TRUE(w2v.Train(ClusteredSentences(50), 10).ok());
+  for (int32_t a = 0; a < 10; ++a) {
+    for (int32_t b = 0; b < 10; ++b) {
+      double c = w2v.CosineIds(a, b);
+      EXPECT_GE(c, -1.0001);
+      EXPECT_LE(c, 1.0001);
+    }
+  }
+  EXPECT_NEAR(w2v.CosineIds(3, 3), 1.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// RandomWalker
+// ---------------------------------------------------------------------------
+
+graph::Graph TriangleWithTail() {
+  graph::Graph g;
+  g.AddNode("a");
+  g.AddNode("b");
+  g.AddNode("c");
+  g.AddNode("tail");
+  g.AddNode("isolated");
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  return g;
+}
+
+TEST(RandomWalkTest, WalkCountAndLength) {
+  graph::Graph g = TriangleWithTail();
+  RandomWalkOptions o{.num_walks = 4, .walk_length = 10, .seed = 1,
+                      .threads = 2};
+  auto walks = RandomWalker::Generate(g, o);
+  EXPECT_EQ(walks.size(), g.NumNodes() * 4);
+  for (const auto& w : walks) {
+    EXPECT_GE(w.size(), 1u);
+    EXPECT_LE(w.size(), 10u);
+  }
+}
+
+TEST(RandomWalkTest, WalksFollowEdges) {
+  graph::Graph g = TriangleWithTail();
+  RandomWalkOptions o{.num_walks = 3, .walk_length = 8, .seed = 2,
+                      .threads = 1};
+  for (const auto& w : RandomWalker::Generate(g, o)) {
+    for (size_t i = 0; i + 1 < w.size(); ++i) {
+      EXPECT_TRUE(g.HasEdge(w[i], w[i + 1]))
+          << w[i] << " -> " << w[i + 1];
+    }
+  }
+}
+
+TEST(RandomWalkTest, IsolatedNodeSingleton) {
+  graph::Graph g = TriangleWithTail();
+  RandomWalkOptions o{.num_walks = 2, .walk_length = 6, .seed = 3,
+                      .threads = 1};
+  auto walks = RandomWalker::Generate(g, o);
+  // Walks of node 4 (isolated) are the 2 entries starting at index 4*2.
+  for (size_t i = 8; i < 10; ++i) {
+    ASSERT_EQ(walks[i].size(), 1u);
+    EXPECT_EQ(walks[i][0], 4);
+  }
+}
+
+TEST(RandomWalkTest, ThreadCountDoesNotChangeOutput) {
+  graph::Graph g = TriangleWithTail();
+  RandomWalkOptions o1{.num_walks = 5, .walk_length = 12, .seed = 4,
+                       .threads = 1};
+  RandomWalkOptions o8 = o1;
+  o8.threads = 8;
+  EXPECT_EQ(RandomWalker::Generate(g, o1), RandomWalker::Generate(g, o8));
+}
+
+// ---------------------------------------------------------------------------
+// EmbeddingTable
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingTableTest, PutGetOverwrite) {
+  EmbeddingTable t;
+  t.Put("a", {1.0f, 0.0f});
+  t.Put("b", {0.0f, 1.0f});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dim(), 2);
+  t.Put("a", {0.5f, 0.5f});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_FLOAT_EQ((*t.Get("a"))[0], 0.5f);
+  EXPECT_EQ(t.Get("ghost"), nullptr);
+}
+
+TEST(EmbeddingTableTest, CosineValues) {
+  EmbeddingTable t;
+  t.Put("x", {1.0f, 0.0f});
+  t.Put("y", {0.0f, 2.0f});
+  t.Put("x2", {3.0f, 0.0f});
+  EXPECT_NEAR(*t.Cosine("x", "x2"), 1.0, 1e-9);
+  EXPECT_NEAR(*t.Cosine("x", "y"), 0.0, 1e-9);
+  EXPECT_TRUE(t.Cosine("x", "ghost").status().IsNotFound());
+}
+
+TEST(EmbeddingTableTest, ZeroVectorCosineIsZero) {
+  EXPECT_DOUBLE_EQ(EmbeddingTable::CosineVec({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(EmbeddingTableTest, NormalizeUnitLength) {
+  std::vector<float> v{3.0f, 4.0f};
+  EmbeddingTable::Normalize(&v);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6);
+  EXPECT_NEAR(v[1], 0.8f, 1e-6);
+  std::vector<float> zero{0.0f, 0.0f};
+  EmbeddingTable::Normalize(&zero);  // must not NaN
+  EXPECT_EQ(zero[0], 0.0f);
+}
+
+TEST(EmbeddingTableTest, MeanPooling) {
+  std::vector<float> a{1.0f, 0.0f};
+  std::vector<float> b{0.0f, 1.0f};
+  auto m = EmbeddingTable::Mean({&a, &b}, 2);
+  EXPECT_FLOAT_EQ(m[0], 0.5f);
+  EXPECT_FLOAT_EQ(m[1], 0.5f);
+  auto empty = EmbeddingTable::Mean({}, 2);
+  EXPECT_EQ(empty, (std::vector<float>{0.0f, 0.0f}));
+}
+
+// ---------------------------------------------------------------------------
+// Doc2Vec
+// ---------------------------------------------------------------------------
+
+TEST(Doc2VecTest, SimilarDocsCloserThanDissimilar) {
+  // Docs 0/1 share vocabulary {0..4}; doc 2 uses {5..9}.
+  std::vector<std::vector<int32_t>> docs;
+  for (int rep = 0; rep < 30; ++rep) {
+    // repetition via longer docs
+  }
+  docs.push_back(std::vector<int32_t>(60));
+  docs.push_back(std::vector<int32_t>(60));
+  docs.push_back(std::vector<int32_t>(60));
+  for (size_t i = 0; i < 60; ++i) {
+    docs[0][i] = static_cast<int32_t>(i % 5);
+    docs[1][i] = static_cast<int32_t>((i + 2) % 5);
+    docs[2][i] = static_cast<int32_t>(5 + i % 5);
+  }
+  Doc2VecOptions o;
+  o.dim = 24;
+  o.epochs = 40;
+  o.threads = 1;
+  Doc2Vec d2v(o);
+  ASSERT_TRUE(d2v.Train(docs, 10).ok());
+  double same = EmbeddingTable::CosineVec(d2v.DocVector(0), d2v.DocVector(1));
+  double diff = EmbeddingTable::CosineVec(d2v.DocVector(0), d2v.DocVector(2));
+  EXPECT_GT(same, diff);
+}
+
+TEST(Doc2VecTest, InferReturnsFiniteVector) {
+  std::vector<std::vector<int32_t>> docs{{0, 1, 2}, {2, 3, 4}};
+  Doc2VecOptions o;
+  o.dim = 8;
+  o.epochs = 5;
+  o.threads = 1;
+  Doc2Vec d2v(o);
+  ASSERT_TRUE(d2v.Train(docs, 5).ok());
+  auto v = d2v.Infer({0, 1});
+  ASSERT_EQ(v.size(), 8u);
+  for (float x : v) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(Doc2VecTest, RejectsBadInput) {
+  Doc2Vec d2v{Doc2VecOptions{}};
+  EXPECT_TRUE(d2v.Train({{0}}, 0).IsInvalidArgument());
+  EXPECT_TRUE(d2v.Train({{42}}, 10).IsOutOfRange());
+}
+
+// ---------------------------------------------------------------------------
+// PretrainedLexicon
+// ---------------------------------------------------------------------------
+
+PretrainedLexicon::Options DeterministicLexiconOptions() {
+  PretrainedLexicon::Options o;
+  o.w2v.threads = 1;
+  o.w2v.epochs = 10;
+  return o;
+}
+
+std::vector<std::vector<std::string>> SynonymCorpus() {
+  // "car" and "auto" are used interchangeably (same contexts) and also
+  // co-occur, like the synonym sentences of the generic corpus generator.
+  std::vector<std::vector<std::string>> out;
+  for (int i = 0; i < 100; ++i) {
+    out.push_back({"the", "car", "drives", "fast"});
+    out.push_back({"the", "auto", "drives", "fast"});
+    out.push_back({"red", "car", "auto", "parked", "outside"});
+    out.push_back({"the", "tree", "grows", "tall", "green"});
+  }
+  return out;
+}
+
+TEST(PretrainedLexiconTest, SynonymsScoreHigherThanUnrelated) {
+  PretrainedLexicon lex(DeterministicLexiconOptions());
+  ASSERT_TRUE(lex.Train(SynonymCorpus()).ok());
+  EXPECT_GT(lex.Cosine("car", "auto"), lex.Cosine("car", "tree"));
+}
+
+TEST(PretrainedLexiconTest, TyposLandNearOriginal) {
+  PretrainedLexicon lex(DeterministicLexiconOptions());
+  ASSERT_TRUE(lex.Train(SynonymCorpus()).ok());
+  // "crar" is OOV: the char-ngram component must carry the similarity.
+  EXPECT_GT(lex.Cosine("parked", "parkde"), lex.Cosine("parked", "tree"));
+}
+
+TEST(PretrainedLexiconTest, GammaCalibration) {
+  PretrainedLexicon lex(DeterministicLexiconOptions());
+  ASSERT_TRUE(lex.Train(SynonymCorpus()).ok());
+  double gamma = lex.CalibrateGamma({{"car", "auto"}});
+  EXPECT_GT(gamma, 0.0);
+  EXPECT_LE(gamma, 1.0);
+  // Empty pair list falls back to the paper's constant.
+  EXPECT_DOUBLE_EQ(lex.CalibrateGamma({}), 0.57);
+}
+
+TEST(PretrainedLexiconTest, MergeMapMergesVariantsNotStrangers) {
+  PretrainedLexicon lex(DeterministicLexiconOptions());
+  ASSERT_TRUE(lex.Train(SynonymCorpus()).ok());
+  // Name-variant style labels share the surname token.
+  std::vector<std::string> labels{"bruce willi", "b willi", "tree",
+                                  "parked"};
+  auto map = lex.BuildMergeMap(labels, 0.5);
+  // The variants merge to one canonical label...
+  ASSERT_TRUE(map.count("b willi") > 0 || map.count("bruce willi") > 0);
+  // ...but unrelated labels stay untouched.
+  EXPECT_EQ(map.count("tree"), 0u);
+  EXPECT_EQ(map.count("parked"), 0u);
+}
+
+TEST(PretrainedLexiconTest, MergeMapCanonicalIsStable) {
+  PretrainedLexicon lex(DeterministicLexiconOptions());
+  ASSERT_TRUE(lex.Train(SynonymCorpus()).ok());
+  std::vector<std::string> labels{"b willi", "bruce willi"};
+  auto map = lex.BuildMergeMap(labels, 0.4);
+  for (const auto& [from, to] : map) {
+    // Canonical labels never map further (no chains).
+    EXPECT_EQ(map.count(to), 0u);
+  }
+}
+
+TEST(PretrainedLexiconTest, UntrainedUsesCharComponentOnly) {
+  PretrainedLexicon lex;
+  // Without Train the word component is zero; char n-grams still work.
+  EXPECT_GT(lex.Cosine("willis", "willi"), lex.Cosine("willis", "zebra"));
+}
+
+}  // namespace
+}  // namespace embed
+}  // namespace tdmatch

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "graph/builder.h"
+#include "graph/expansion.h"
+#include "kb/synthetic_kb.h"
+#include "text/preprocess.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace graph {
+namespace {
+
+text::Preprocessor& Pp() {
+  static text::Preprocessor pp;
+  return pp;
+}
+
+std::string Norm(const std::string& s) {
+  return GraphBuilder::NormalizeLabel(Pp(), s);
+}
+
+/// p1 - willis - t2 plus a lonely director node on t2.
+Graph PaperGraph() {
+  Graph g;
+  NodeId p1 = g.AddNode("__D0:0__", NodeType::kMetadataDoc, 0, 0);
+  NodeId t2 = g.AddNode("__D1:1__", NodeType::kMetadataDoc, 1, 1);
+  NodeId willis = g.AddNode("willi");
+  NodeId tarantino = g.AddNode("tarantino");
+  NodeId comedy = g.AddNode("comedi");
+  g.AddEdge(p1, willis);
+  g.AddEdge(t2, willis);
+  g.AddEdge(t2, tarantino);
+  g.AddEdge(p1, comedy);
+  return g;
+}
+
+TEST(ExpansionTest, AddsKbBridges) {
+  Graph g = PaperGraph();
+  kb::SyntheticKB kb(Norm);
+  // The paper's example: style(Tarantino, Comedy) creates a short path
+  // p1 -> comedy -> tarantino -> t2.
+  kb.AddRelation("Tarantino", "Comedy", "style");
+  Graph out = ExpandGraph(g, kb, {}, Norm);
+  NodeId tarantino = out.FindNode("tarantino");
+  NodeId comedy = out.FindNode("comedi");
+  ASSERT_NE(tarantino, kInvalidNode);
+  ASSERT_NE(comedy, kInvalidNode);
+  EXPECT_TRUE(out.HasEdge(tarantino, comedy));
+}
+
+TEST(ExpansionTest, RemovesSinkNodes) {
+  Graph g = PaperGraph();
+  kb::SyntheticKB kb(Norm);
+  // spouse(Shyamalan, Bhavna Vaswani): Vaswani has degree 1 → removed.
+  kb.AddRelation("Tarantino", "Uma Spouse", "spouse");
+  Graph out = ExpandGraph(g, kb, {}, Norm);
+  EXPECT_FALSE(out.HasNode(Norm("Uma Spouse")));
+}
+
+TEST(ExpansionTest, KeepSinksWhenDisabled) {
+  Graph g = PaperGraph();
+  kb::SyntheticKB kb(Norm);
+  kb.AddRelation("Tarantino", "Uma Spouse", "spouse");
+  ExpansionOptions opts;
+  opts.remove_sinks = false;
+  Graph out = ExpandGraph(g, kb, opts, Norm);
+  EXPECT_TRUE(out.HasNode(Norm("Uma Spouse")));
+}
+
+TEST(ExpansionTest, CapsRelationsPerNode) {
+  Graph g = PaperGraph();
+  kb::SyntheticKB kb(Norm);
+  for (int i = 0; i < 100; ++i) {
+    kb.AddRelation("Tarantino", "Noise" + std::to_string(i) + " Hub",
+                   "wikiPageLink");
+  }
+  ExpansionOptions opts;
+  opts.max_relations_per_node = 10;
+  opts.remove_sinks = false;
+  Graph out = ExpandGraph(g, kb, opts, Norm);
+  NodeId tarantino = out.FindNode("tarantino");
+  // Original 1 edge (to t2) + at most 10 KB edges.
+  EXPECT_LE(out.Degree(tarantino), 11u);
+}
+
+TEST(ExpansionTest, MetadataNodesNeverExpanded) {
+  Graph g = PaperGraph();
+  kb::SyntheticKB kb(Norm);
+  // A malicious KB entry keyed like a metadata label must be ignored
+  // because expansion only looks at data nodes.
+  kb.AddRelation("__D0:0__", "Evil Node", "x");
+  ExpansionOptions opts;
+  opts.remove_sinks = false;
+  Graph out = ExpandGraph(g, kb, opts, Norm);
+  EXPECT_FALSE(out.HasNode(Norm("Evil Node")));
+}
+
+TEST(ExpansionTest, ShortensMetadataDistance) {
+  // Two metadata nodes two different terms; KB relates the terms.
+  Graph g;
+  NodeId p = g.AddNode("__D0:0__", NodeType::kMetadataDoc, 0, 0);
+  NodeId t = g.AddNode("__D1:0__", NodeType::kMetadataDoc, 1, 0);
+  NodeId a = g.AddNode("manag");
+  NodeId b = g.AddNode("plan");
+  g.AddEdge(p, a);
+  g.AddEdge(t, b);
+  // Keep both terms at degree >= 2 via a helper edge each.
+  NodeId x = g.AddNode("x1");
+  NodeId y = g.AddNode("y1");
+  g.AddEdge(a, x);
+  g.AddEdge(b, y);
+  g.AddEdge(x, y);
+
+  kb::SyntheticKB kb(Norm);
+  kb.AddRelation("management", "planning", "relatedTo");
+
+  int32_t before = Bfs::Distance(g, p, t);
+  Graph out = ExpandGraph(g, kb, {}, Norm);
+  int32_t after = Bfs::Distance(out, out.FindNode("__D0:0__"),
+                                out.FindNode("__D1:0__"));
+  EXPECT_LT(after, before);
+  EXPECT_EQ(after, 3);  // p - manag - plan - t
+}
+
+TEST(ExpansionTest, PreservesOriginalEdges) {
+  Graph g = PaperGraph();
+  kb::SyntheticKB kb(Norm);  // empty resource
+  Graph out = ExpandGraph(g, kb, {}, Norm);
+  NodeId p1 = out.FindNode("__D0:0__");
+  NodeId willis = out.FindNode("willi");
+  ASSERT_NE(p1, kInvalidNode);
+  ASSERT_NE(willis, kInvalidNode);
+  EXPECT_TRUE(out.HasEdge(p1, willis));
+}
+
+TEST(SyntheticKbTest, NormalizedLookup) {
+  kb::SyntheticKB kb(Norm);
+  kb.AddRelation("Bruce Willis", "Pulp Fiction", "starringOf");
+  EXPECT_TRUE(kb.Knows("bruce willi"));
+  auto related = kb.Related("bruce willi");
+  ASSERT_EQ(related.size(), 1u);
+  EXPECT_EQ(related[0], "Pulp Fiction");
+  EXPECT_EQ(kb.NumRelations(), 1u);
+}
+
+TEST(SyntheticKbTest, DedupAndSelfLoop) {
+  kb::SyntheticKB kb(Norm);
+  kb.AddRelation("foo", "bar");
+  kb.AddRelation("foo", "bar");
+  kb.AddRelation("bar", "foo");
+  kb.AddRelation("foo", "foo");
+  EXPECT_EQ(kb.Related("foo").size(), 1u);
+  EXPECT_EQ(kb.Related("bar").size(), 1u);
+}
+
+TEST(SyntheticKbTest, StopWordLabelsIgnored) {
+  // The normalizer maps pure stop-words to the empty string; such
+  // relations are dropped rather than creating empty-label entities.
+  kb::SyntheticKB kb(Norm);
+  kb.AddRelation("a", "b");
+  EXPECT_EQ(kb.NumRelations(), 0u);
+}
+
+TEST(SyntheticKbTest, UnknownLabelEmpty) {
+  kb::SyntheticKB kb(Norm);
+  EXPECT_FALSE(kb.Knows("ghost"));
+  EXPECT_TRUE(kb.Related("ghost").empty());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace tdmatch

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "corpus/loader.h"
+#include "embed/io.h"
+#include "graph/builder.h"
+#include "graph/stats.h"
+#include "match/blocking.h"
+#include "util/csv.h"
+
+namespace tdmatch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// graph::ComputeStatistics
+// ---------------------------------------------------------------------------
+
+graph::Graph StatsGraph() {
+  graph::Graph g;
+  graph::NodeId p = g.AddNode("__D0:0__", graph::NodeType::kMetadataDoc, 0, 0);
+  graph::NodeId t = g.AddNode("__D1:0__", graph::NodeType::kMetadataDoc, 1, 0);
+  graph::NodeId w = g.AddNode("willi");
+  graph::NodeId c = g.AddNode("__C1:genre__",
+                              graph::NodeType::kMetadataColumn, 1);
+  g.AddNode("isolated");
+  g.AddEdge(p, w);
+  g.AddEdge(t, w);
+  g.AddEdge(t, c);
+  return g;
+}
+
+TEST(GraphStatsTest, CountsAndDegrees) {
+  auto s = graph::ComputeStatistics(StatsGraph());
+  EXPECT_EQ(s.nodes, 5u);
+  EXPECT_EQ(s.edges, 3u);
+  EXPECT_EQ(s.data_nodes, 2u);  // willi + isolated
+  EXPECT_EQ(s.metadata_doc_nodes, 2u);
+  EXPECT_EQ(s.metadata_column_nodes, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_EQ(s.isolated_nodes, 1u);
+  EXPECT_EQ(s.connected_components, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 6.0 / 5.0);
+}
+
+TEST(GraphStatsTest, MetadataDistance) {
+  auto s = graph::ComputeStatistics(StatsGraph(), 16, 1);
+  // The single cross-corpus pair is at distance 2 via "willi".
+  EXPECT_DOUBLE_EQ(s.avg_metadata_distance, 2.0);
+  EXPECT_DOUBLE_EQ(s.metadata_reachability, 1.0);
+}
+
+TEST(GraphStatsTest, FormatMentionsKeyNumbers) {
+  std::string txt = graph::FormatStatistics(
+      graph::ComputeStatistics(StatsGraph()));
+  EXPECT_NE(txt.find("nodes=5"), std::string::npos);
+  EXPECT_NE(txt.find("components=2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// corpus::Loader
+// ---------------------------------------------------------------------------
+
+TEST(LoaderTest, TableCsvRoundTrip) {
+  corpus::Table t("movies", {"title", "genre"});
+  ASSERT_TRUE(t.AddRow({"Pulp Fiction", "Drama, Crime"}).ok());
+  ASSERT_TRUE(t.AddRow({"The \"Best\"", "Comedy"}).ok());
+  std::string path = testing::TempDir() + "/tdm_loader_table.csv";
+  ASSERT_TRUE(corpus::Loader::TableToCsv(t, path).ok());
+  auto back = corpus::Loader::TableFromCsv(path, "movies");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumRows(), 2u);
+  EXPECT_EQ(back->cell(0, 1), "Drama, Crime");
+  EXPECT_EQ(back->cell(1, 0), "The \"Best\"");
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TableFromCsvRejectsRaggedRows) {
+  std::string path = testing::TempDir() + "/tdm_loader_ragged.csv";
+  ASSERT_TRUE(util::Csv::WriteFile(path, {{"a", "b"}, {"only-one"}}).ok());
+  EXPECT_FALSE(corpus::Loader::TableFromCsv(path, "x").ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TextsFromFileSkipsBlankLines) {
+  std::string path = testing::TempDir() + "/tdm_loader_texts.txt";
+  {
+    std::ofstream out(path);
+    out << "first paragraph\n\n  \nsecond paragraph\n";
+  }
+  auto corpus = corpus::Loader::TextsFromFile(path, "docs");
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->NumDocs(), 2u);
+  EXPECT_EQ(corpus->DocText(1), "second paragraph");
+  EXPECT_EQ(corpus->DocId(0), "docs:1");
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TaxonomyFromCsv) {
+  std::string path = testing::TempDir() + "/tdm_loader_tax.csv";
+  ASSERT_TRUE(util::Csv::WriteFile(path, {{"label", "parent"},
+                                          {"audit", ""},
+                                          {"planning", "0"},
+                                          {"execution", "0"},
+                                          {"pdca", "1"}})
+                  .ok());
+  auto tax = corpus::Loader::TaxonomyFromCsv(path);
+  ASSERT_TRUE(tax.ok()) << tax.status().ToString();
+  EXPECT_EQ(tax->NumConcepts(), 4u);
+  EXPECT_EQ(tax->parent(3), 1);
+  EXPECT_EQ(tax->Depth(3), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TaxonomyRejectsForwardParent) {
+  std::string path = testing::TempDir() + "/tdm_loader_tax_bad.csv";
+  ASSERT_TRUE(util::Csv::WriteFile(
+                  path, {{"label", "parent"}, {"a", "5"}})
+                  .ok());
+  EXPECT_FALSE(corpus::Loader::TaxonomyFromCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// embed::EmbeddingIo
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingIoTest, RoundTripWithSpacedLabels) {
+  embed::EmbeddingTable t(3);
+  t.Put("plain", {1.0f, 2.0f, 3.0f});
+  t.Put("bruce willi", {-0.5f, 0.0f, 0.25f});
+  std::string path = testing::TempDir() + "/tdm_vectors.txt";
+  ASSERT_TRUE(embed::EmbeddingIo::Save(t, path).ok());
+  auto back = embed::EmbeddingIo::Load(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 2u);
+  ASSERT_NE(back->Get("bruce willi"), nullptr);
+  EXPECT_FLOAT_EQ((*back->Get("bruce willi"))[2], 0.25f);
+  EXPECT_FLOAT_EQ((*back->Get("plain"))[0], 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, LoadRejectsTruncated) {
+  std::string path = testing::TempDir() + "/tdm_vectors_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "2 3\nword 1 2 3\nshort 1\n";
+  }
+  EXPECT_FALSE(embed::EmbeddingIo::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, LoadMissingFile) {
+  EXPECT_TRUE(
+      embed::EmbeddingIo::Load("/no/such/file.txt").status().IsIOError());
+}
+
+// ---------------------------------------------------------------------------
+// match::TokenBlocker
+// ---------------------------------------------------------------------------
+
+corpus::Corpus BlockCandidates() {
+  corpus::Table t("movies", {"title", "actor"});
+  EXPECT_TRUE(t.AddRow({"Sixth Sense", "Bruce Willis"}).ok());
+  EXPECT_TRUE(t.AddRow({"Pulp Fiction", "Bruce Willis"}).ok());
+  EXPECT_TRUE(t.AddRow({"Moonrise Kingdom", "Bill Murray"}).ok());
+  return corpus::Corpus::FromTable(t);
+}
+
+TEST(BlockingTest, BlockContainsSharedTermCandidates) {
+  match::TokenBlocker blocker;
+  blocker.Index(BlockCandidates());
+  auto block = blocker.Block("a film with bruce willis in it");
+  // Both Willis movies share terms; the Murray one does not.
+  EXPECT_EQ(block.size(), 2u);
+  for (int32_t c : block) EXPECT_NE(c, 2);
+}
+
+TEST(BlockingTest, EmptyBlockForUnrelatedQuery) {
+  match::TokenBlocker blocker;
+  blocker.Index(BlockCandidates());
+  EXPECT_TRUE(blocker.Block("completely unrelated words").empty());
+}
+
+TEST(BlockingTest, HubTermsIgnored) {
+  // "bruce willis" appears in 2/3 of candidates; with a strict cap the
+  // shared surname is treated as a hub and contributes nothing.
+  match::TokenBlocker::Options opts;
+  opts.max_term_frequency = 0.05;
+  match::TokenBlocker blocker(opts);
+  blocker.Index(BlockCandidates());
+  auto block = blocker.Block("bruce willis");
+  EXPECT_TRUE(block.empty());
+}
+
+TEST(BlockingTest, MinSharedTermsFilters) {
+  match::TokenBlocker::Options opts;
+  opts.min_shared_terms = 3;
+  match::TokenBlocker blocker(opts);
+  blocker.Index(BlockCandidates());
+  // Shares "pulp", "fiction", "pulp fiction" (n-gram) with row 1 only.
+  auto block = blocker.Block("the pulp fiction film");
+  ASSERT_EQ(block.size(), 1u);
+  EXPECT_EQ(block[0], 1);
+}
+
+TEST(BlockingTest, AverageBlockFractionBounded) {
+  match::TokenBlocker blocker;
+  blocker.Index(BlockCandidates());
+  corpus::Corpus queries = corpus::Corpus::FromTexts(
+      "q", {{"q0", "bruce willis"}, {"q1", "nothing shared"}});
+  double frac = blocker.AverageBlockFraction(queries);
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+}  // namespace
+}  // namespace tdmatch

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "graph/bucketing.h"
+#include "graph/graph.h"
+
+namespace tdmatch {
+namespace graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Graph container
+// ---------------------------------------------------------------------------
+
+TEST(GraphTest, AddNodeInternsByLabel) {
+  Graph g;
+  NodeId a = g.AddNode("willis");
+  NodeId b = g.AddNode("willis");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.NumNodes(), 1u);
+  EXPECT_TRUE(g.HasNode("willis"));
+  EXPECT_FALSE(g.HasNode("murray"));
+  EXPECT_EQ(g.FindNode("murray"), kInvalidNode);
+}
+
+TEST(GraphTest, EdgesAreUndirectedAndDeduped) {
+  Graph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  EXPECT_TRUE(g.AddEdge(a, b));
+  EXPECT_FALSE(g.AddEdge(a, b));
+  EXPECT_FALSE(g.AddEdge(b, a));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_TRUE(g.HasEdge(b, a));
+  EXPECT_EQ(g.Degree(a), 1u);
+  EXPECT_EQ(g.Neighbors(b), std::vector<NodeId>{a});
+}
+
+TEST(GraphTest, SelfLoopsRejected) {
+  Graph g;
+  NodeId a = g.AddNode("a");
+  EXPECT_FALSE(g.AddEdge(a, a));
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, NodeInfoPreserved) {
+  Graph g;
+  NodeId m = g.AddNode("__D0:3__", NodeType::kMetadataDoc, 0, 3);
+  EXPECT_EQ(g.node(m).type, NodeType::kMetadataDoc);
+  EXPECT_EQ(g.node(m).corpus, 0);
+  EXPECT_EQ(g.node(m).doc_index, 3);
+}
+
+TEST(GraphTest, MetadataDocNodesFilterByCorpus) {
+  Graph g;
+  g.AddNode("__D0:0__", NodeType::kMetadataDoc, 0, 0);
+  g.AddNode("__D1:0__", NodeType::kMetadataDoc, 1, 0);
+  g.AddNode("term", NodeType::kData);
+  g.AddNode("__C0:x__", NodeType::kMetadataColumn, 0);
+  EXPECT_EQ(g.MetadataDocNodes().size(), 2u);
+  EXPECT_EQ(g.MetadataDocNodes(0).size(), 1u);
+  EXPECT_EQ(g.DataNodes().size(), 1u);
+  auto counts = g.CountByType();
+  EXPECT_EQ(counts.data, 1u);
+  EXPECT_EQ(counts.metadata_doc, 2u);
+  EXPECT_EQ(counts.metadata_col, 1u);
+}
+
+TEST(GraphTest, InducedSubgraphRemaps) {
+  Graph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  std::vector<bool> keep{true, false, true};
+  Graph sub = g.InducedSubgraph(keep);
+  EXPECT_EQ(sub.NumNodes(), 2u);
+  EXPECT_EQ(sub.NumEdges(), 0u);  // the a-b and b-c edges died with b
+  EXPECT_TRUE(sub.HasNode("a"));
+  EXPECT_TRUE(sub.HasNode("c"));
+}
+
+TEST(GraphTest, RemoveSinkNodesPeelsChains) {
+  // m - x - y where y is a degree-1 data node; x becomes degree-1 after y
+  // is removed, so the whole chain peels back to the metadata node.
+  Graph g;
+  NodeId m = g.AddNode("__D0:0__", NodeType::kMetadataDoc, 0, 0);
+  NodeId x = g.AddNode("x");
+  NodeId y = g.AddNode("y");
+  g.AddEdge(m, x);
+  g.AddEdge(x, y);
+  Graph pruned = g.RemoveSinkNodes();
+  EXPECT_TRUE(pruned.HasNode("__D0:0__"));
+  EXPECT_FALSE(pruned.HasNode("y"));
+  EXPECT_FALSE(pruned.HasNode("x"));
+}
+
+TEST(GraphTest, RemoveSinkNodesKeepsMetadata) {
+  Graph g;
+  NodeId m = g.AddNode("__D0:0__", NodeType::kMetadataDoc, 0, 0);
+  NodeId t = g.AddNode("t");
+  g.AddEdge(m, t);
+  Graph pruned = g.RemoveSinkNodes();
+  // The metadata node survives even at degree 1; the data node "t" has
+  // degree 1 and is peeled.
+  EXPECT_TRUE(pruned.HasNode("__D0:0__"));
+  EXPECT_FALSE(pruned.HasNode("t"));
+}
+
+TEST(GraphTest, RemoveSinkKeepsCycles) {
+  Graph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(c, a);
+  Graph pruned = g.RemoveSinkNodes();
+  EXPECT_EQ(pruned.NumNodes(), 3u);
+  EXPECT_EQ(pruned.NumEdges(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Bfs
+// ---------------------------------------------------------------------------
+
+Graph PathGraph(int n) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddNode("n" + std::to_string(i));
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  Graph g = PathGraph(5);
+  auto dist = Bfs::Distances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[static_cast<size_t>(i)], i);
+}
+
+TEST(BfsTest, DistanceUnreachable) {
+  Graph g;
+  g.AddNode("a");
+  g.AddNode("b");
+  EXPECT_EQ(Bfs::Distance(g, 0, 1), kUnreachable);
+  EXPECT_EQ(Bfs::Distance(g, 0, 0), 0);
+}
+
+TEST(BfsTest, ShortestPathReconstruction) {
+  Graph g = PathGraph(4);
+  auto path = Bfs::ShortestPath(g, 0, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 3);
+}
+
+TEST(BfsTest, ShortestPathDagCapturesAllShortestPaths) {
+  // Diamond: s - {a, b} - t. Both 2-hop paths are shortest; the DAG must
+  // contain all four edges.
+  Graph g;
+  NodeId s = g.AddNode("s");
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId t = g.AddNode("t");
+  g.AddEdge(s, a);
+  g.AddEdge(s, b);
+  g.AddEdge(a, t);
+  g.AddEdge(b, t);
+  // Plus a longer detour that must NOT appear.
+  NodeId d = g.AddNode("d");
+  g.AddEdge(s, d);
+  NodeId e = g.AddNode("e");
+  g.AddEdge(d, e);
+  g.AddEdge(e, t);
+
+  auto edges = Bfs::ShortestPathDagEdges(g, s, t);
+  EXPECT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) {
+    EXPECT_NE(u, d);
+    EXPECT_NE(v, d);
+    EXPECT_NE(u, e);
+    EXPECT_NE(v, e);
+  }
+}
+
+TEST(BfsTest, ShortestPathDagDisconnected) {
+  Graph g;
+  g.AddNode("a");
+  g.AddNode("b");
+  EXPECT_TRUE(Bfs::ShortestPathDagEdges(g, 0, 1).empty());
+  EXPECT_TRUE(Bfs::ShortestPath(g, 0, 1).empty());
+}
+
+// ---------------------------------------------------------------------------
+// NumericBucketer
+// ---------------------------------------------------------------------------
+
+TEST(BucketingTest, NonNumericPassThrough) {
+  NumericBucketer b;
+  b.Fit({"1", "2", "3", "4", "hello"});
+  EXPECT_EQ(b.BucketLabel("hello"), "hello");
+}
+
+TEST(BucketingTest, NearbyValuesShareBucket) {
+  NumericBucketer b;
+  std::vector<std::string> vals;
+  for (int i = 0; i < 100; ++i) vals.push_back(std::to_string(i * 10));
+  b.Fit(vals);
+  ASSERT_TRUE(b.fitted());
+  EXPECT_EQ(b.BucketLabel("501"), b.BucketLabel("502"));
+  EXPECT_NE(b.BucketLabel("0"), b.BucketLabel("990"));
+}
+
+TEST(BucketingTest, FixedBucketCount) {
+  NumericBucketer b;
+  std::vector<std::string> vals;
+  for (int i = 0; i <= 70; ++i) vals.push_back(std::to_string(i));
+  b.FitFixedBuckets(vals, 7);
+  ASSERT_TRUE(b.fitted());
+  EXPECT_EQ(b.NumBuckets(), 8u);  // 7 interior + the max boundary bucket
+  EXPECT_EQ(b.BucketLabel("0"), b.BucketLabel("5"));
+  EXPECT_NE(b.BucketLabel("0"), b.BucketLabel("69"));
+}
+
+TEST(BucketingTest, OutOfRangeClamps) {
+  NumericBucketer b;
+  b.FitFixedBuckets({"0", "10", "20", "30"}, 3);
+  EXPECT_EQ(b.BucketLabel("-100"), b.BucketLabel("0"));
+  EXPECT_EQ(b.BucketLabel("999"), b.BucketLabel("30"));
+}
+
+TEST(BucketingTest, UnfittedPassThrough) {
+  NumericBucketer b;
+  EXPECT_EQ(b.BucketLabel("42"), "42");
+  b.Fit({"no", "numbers", "here"});
+  EXPECT_FALSE(b.fitted());
+  EXPECT_EQ(b.BucketLabel("42"), "42");
+}
+
+TEST(BucketingTest, FreedmanDiaconisWidthPositive) {
+  NumericBucketer b;
+  std::vector<std::string> vals;
+  for (int i = 0; i < 50; ++i) vals.push_back(std::to_string(i % 10));
+  b.Fit(vals);
+  EXPECT_GT(b.bucket_width(), 0.0);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace tdmatch

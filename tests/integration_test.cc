@@ -1,0 +1,186 @@
+// End-to-end integration tests: every scenario generator feeds the full
+// TDmatch pipeline (small configurations) and must beat a random ranker by
+// a clear margin; the pipeline stages compose without errors.
+
+#include <gtest/gtest.h>
+
+#include "baselines/sbe.h"
+#include "core/experiment.h"
+#include "core/tdmatch.h"
+#include "datagen/audit.h"
+#include "datagen/claims.h"
+#include "datagen/corona.h"
+#include "datagen/imdb.h"
+#include "datagen/sts.h"
+#include "eval/metrics.h"
+#include "eval/taxonomy_metrics.h"
+#include "graph/stats.h"
+#include "match/combine.h"
+#include "match/top_k.h"
+
+namespace tdmatch {
+namespace {
+
+core::TDmatchOptions SmallOptions(bool text_task) {
+  core::TDmatchOptions o =
+      text_task ? core::TDmatchOptions::TextTaskDefaults()
+                : core::TDmatchOptions{};
+  o.walks.num_walks = 18;
+  o.walks.walk_length = 15;
+  o.walks.threads = 4;
+  o.w2v.dim = 48;
+  o.w2v.epochs = 3;
+  o.w2v.threads = 4;
+  o.w2v.subsample = 1e-3;
+  return o;
+}
+
+/// Expected MRR of a uniformly random ranking with one gold among n.
+double RandomMrr(size_t n) {
+  double sum = 0;
+  for (size_t r = 1; r <= n; ++r) sum += 1.0 / static_cast<double>(r);
+  return sum / static_cast<double>(n);
+}
+
+double RunMrr(const corpus::Scenario& s, const core::TDmatchOptions& o,
+              const kb::ExternalResource* kb = nullptr) {
+  core::TDmatchMethod m("W-RW", o, kb);
+  auto run = core::Experiment::Run(&m, s);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  if (!run.ok()) return 0;
+  return eval::RankingMetrics::MRR(run->rankings, s.gold);
+}
+
+TEST(IntegrationTest, ImdbPipelineBeatsRandom) {
+  datagen::ImdbOptions gen;
+  gen.num_reviewed_movies = 20;
+  gen.num_distractor_movies = 30;
+  auto data = datagen::ImdbGenerator::Generate(gen);
+  double mrr = RunMrr(data.scenario, SmallOptions(false));
+  EXPECT_GT(mrr, 4 * RandomMrr(data.scenario.second.NumDocs()));
+}
+
+TEST(IntegrationTest, ImdbExpansionRuns) {
+  datagen::ImdbOptions gen;
+  gen.num_reviewed_movies = 15;
+  gen.num_distractor_movies = 20;
+  auto data = datagen::ImdbGenerator::Generate(gen);
+  core::TDmatchOptions o = SmallOptions(false);
+  o.expand = true;
+  double mrr = RunMrr(data.scenario, o, data.kb.get());
+  EXPECT_GT(mrr, 2.5 * RandomMrr(data.scenario.second.NumDocs()));
+}
+
+TEST(IntegrationTest, CoronaBucketingBeatsRandom) {
+  datagen::CoronaOptions gen;
+  gen.num_countries = 8;
+  gen.num_months = 5;
+  gen.days_per_month = 4;
+  gen.num_generated_claims = 60;
+  auto data = datagen::CoronaGenerator::Generate(gen);
+  core::TDmatchOptions o = SmallOptions(false);
+  o.builder.bucket_numbers = true;
+  double mrr = RunMrr(data.scenario, o);
+  EXPECT_GT(mrr, 3 * RandomMrr(data.scenario.second.NumDocs()));
+}
+
+TEST(IntegrationTest, AuditTaxonomyScores) {
+  datagen::AuditOptions gen;
+  gen.num_concepts = 50;
+  gen.num_documents = 80;
+  auto data = datagen::AuditGenerator::Generate(gen);
+  core::TDmatchMethod m("W-RW", SmallOptions(true));
+  auto run = core::Experiment::Run(&m, data.scenario);
+  ASSERT_TRUE(run.ok());
+  const corpus::Taxonomy& tax = *data.scenario.second.taxonomy();
+  auto node = eval::TaxonomyMetrics::NodeScores(tax, run->rankings,
+                                                data.scenario.gold, 3);
+  EXPECT_GT(node.f1, 0.2);
+  auto exact = eval::TaxonomyMetrics::ExactScores(tax, run->rankings,
+                                                  data.scenario.gold, 3);
+  EXPECT_LE(exact.f1, node.f1 + 1e-9);  // node score is the soft upper set
+}
+
+TEST(IntegrationTest, ClaimsPipelineBeatsRandom) {
+  datagen::ClaimsOptions gen;
+  gen.num_facts = 200;
+  gen.num_queries = 40;
+  auto data = datagen::ClaimsGenerator::Generate(gen);
+  double mrr = RunMrr(data.scenario, SmallOptions(true));
+  EXPECT_GT(mrr, 10 * RandomMrr(data.scenario.second.NumDocs()));
+}
+
+TEST(IntegrationTest, StsThresholdMonotonic) {
+  // The same configuration must score at least as well at k=3 (stricter
+  // gold) as at k=2 — higher-similarity pairs share more surface.
+  datagen::StsOptions gen;
+  gen.num_pairs = 200;
+  gen.threshold = 2;
+  auto k2 = datagen::StsGenerator::Generate(gen);
+  gen.threshold = 3;
+  auto k3 = datagen::StsGenerator::Generate(gen);
+  double mrr2 = RunMrr(k2.scenario, SmallOptions(true));
+  double mrr3 = RunMrr(k3.scenario, SmallOptions(true));
+  EXPECT_GT(mrr2, 0.3);
+  EXPECT_GE(mrr3 + 0.1, mrr2);  // allow small noise, expect k3 >= k2 - eps
+}
+
+TEST(IntegrationTest, CompressedPipelineStillMatches) {
+  datagen::ClaimsOptions gen;
+  gen.num_facts = 150;
+  gen.num_queries = 30;
+  auto data = datagen::ClaimsGenerator::Generate(gen);
+  core::TDmatchOptions o = SmallOptions(true);
+  o.compression = core::CompressionMode::kMsp;
+  o.compression_beta = 0.5;
+  core::TDmatchMethod m("W-RW", o);
+  auto run = core::Experiment::Run(&m, data.scenario);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LT(m.last_result().compressed.nodes,
+            m.last_result().expanded.nodes);
+  double mrr = eval::RankingMetrics::MRR(run->rankings, data.scenario.gold);
+  EXPECT_GT(mrr, 5 * RandomMrr(data.scenario.second.NumDocs()));
+}
+
+TEST(IntegrationTest, CombinationNotWorseThanWorstComponent) {
+  datagen::ClaimsOptions gen;
+  gen.num_facts = 150;
+  gen.num_queries = 30;
+  auto data = datagen::ClaimsGenerator::Generate(gen);
+  const corpus::Scenario& s = data.scenario;
+
+  core::TDmatchMethod wrw("W-RW", SmallOptions(true));
+  auto wrw_run = core::Experiment::Run(&wrw, s);
+  ASSERT_TRUE(wrw_run.ok());
+  baselines::HashSentenceEncoder sbe;
+  auto sbe_run = core::Experiment::Run(&sbe, s);
+  ASSERT_TRUE(sbe_run.ok());
+
+  std::vector<eval::Ranking> combined(s.first.NumDocs());
+  for (size_t q = 0; q < s.first.NumDocs(); ++q) {
+    combined[q] = match::TopK::FullRanking(
+        match::ScoreCombiner::AverageNormalized(wrw_run->scores[q],
+                                                sbe_run->scores[q]));
+  }
+  double mrr_wrw = eval::RankingMetrics::MRR(wrw_run->rankings, s.gold);
+  double mrr_sbe = eval::RankingMetrics::MRR(sbe_run->rankings, s.gold);
+  double mrr_comb = eval::RankingMetrics::MRR(combined, s.gold);
+  EXPECT_GE(mrr_comb + 0.05, std::min(mrr_wrw, mrr_sbe));
+}
+
+TEST(IntegrationTest, GraphStatisticsOnRealScenario) {
+  datagen::ClaimsOptions gen;
+  gen.num_facts = 100;
+  gen.num_queries = 20;
+  auto data = datagen::ClaimsGenerator::Generate(gen);
+  graph::GraphBuilder builder{graph::BuilderOptions{}};
+  auto g = builder.Build(data.scenario.first, data.scenario.second);
+  ASSERT_TRUE(g.ok());
+  auto stats = graph::ComputeStatistics(*g, 32, 3);
+  EXPECT_EQ(stats.metadata_doc_nodes, 120u);
+  EXPECT_GT(stats.avg_degree, 1.0);
+  EXPECT_GT(stats.metadata_reachability, 0.5);
+}
+
+}  // namespace
+}  // namespace tdmatch

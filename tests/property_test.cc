@@ -1,0 +1,252 @@
+// Property-style sweeps (parameterized gtest) over the core invariants:
+// metric bounds and orderings, walk statistics, compression subgraph
+// properties, stemmer stability and CSV round-trips under many seeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "embed/random_walk.h"
+#include "eval/metrics.h"
+#include "graph/compression.h"
+#include "graph/graph.h"
+#include "match/top_k.h"
+#include "text/stemmer.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ranking-metric properties under random rankings/gold (seed sweep)
+// ---------------------------------------------------------------------------
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, BoundsAndOrderings) {
+  util::Rng rng(GetParam());
+  const size_t queries = 20;
+  const size_t candidates = 30;
+  std::vector<eval::Ranking> rankings(queries);
+  std::vector<eval::GoldSet> gold(queries);
+  for (size_t q = 0; q < queries; ++q) {
+    std::vector<int32_t> perm(candidates);
+    for (size_t i = 0; i < candidates; ++i) perm[i] = static_cast<int32_t>(i);
+    rng.Shuffle(&perm);
+    rankings[q] = perm;
+    const size_t ngold = 1 + static_cast<size_t>(rng.UniformInt(3ULL));
+    for (size_t g = 0; g < ngold; ++g) {
+      gold[q].push_back(static_cast<int32_t>(rng.UniformInt(candidates)));
+    }
+  }
+
+  const double mrr = eval::RankingMetrics::MRR(rankings, gold);
+  EXPECT_GE(mrr, 0.0);
+  EXPECT_LE(mrr, 1.0);
+
+  // MAP@k and HasPositive@k are monotone in k; MAP@k <= HasPositive@k.
+  double prev_map = 0.0;
+  double prev_hp = 0.0;
+  for (size_t k : {1, 2, 5, 10, 20, 30}) {
+    double map_k = eval::RankingMetrics::MAPAtK(rankings, gold, k);
+    double hp_k = eval::RankingMetrics::HasPositiveAtK(rankings, gold, k);
+    EXPECT_GE(map_k + 1e-12, 0.0);
+    EXPECT_LE(map_k, 1.0 + 1e-12);
+    EXPECT_GE(hp_k + 1e-12, prev_hp);
+    EXPECT_LE(map_k, hp_k + 1e-12) << "a query with AP>0 has a positive";
+    prev_map = map_k;
+    prev_hp = hp_k;
+  }
+  (void)prev_map;
+
+  // HasPositive@1 equals MAP@1 (both are precision at rank 1 for
+  // single-relevance queries, and AP@1 = hit indicator in general).
+  EXPECT_NEAR(eval::RankingMetrics::MAPAtK(rankings, gold, 1),
+              eval::RankingMetrics::HasPositiveAtK(rankings, gold, 1), 1e-12);
+
+  // A perfect ranking (gold first) has MRR/HP@1 of exactly 1.
+  std::vector<eval::Ranking> perfect(queries);
+  for (size_t q = 0; q < queries; ++q) {
+    perfect[q] = rankings[q];
+    auto it = std::find(perfect[q].begin(), perfect[q].end(), gold[q][0]);
+    std::iter_swap(perfect[q].begin(), it);
+  }
+  EXPECT_DOUBLE_EQ(eval::RankingMetrics::MRR(perfect, gold), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// TopK consistency with FullRanking under random scores
+// ---------------------------------------------------------------------------
+
+class TopKPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TopKPropertyTest, SelectMatchesFullRankingPrefix) {
+  util::Rng rng(GetParam());
+  std::vector<double> scores(64);
+  for (auto& s : scores) s = rng.Uniform(-1, 1);
+  auto full = match::TopK::FullRanking(scores);
+  for (size_t k : {1, 3, 10, 64}) {
+    auto sel = match::TopK::Select(scores, k);
+    ASSERT_EQ(sel.size(), std::min(k, scores.size()));
+    for (size_t i = 0; i < sel.size(); ++i) {
+      EXPECT_EQ(sel[i].index, full[i]) << "rank " << i;
+      EXPECT_DOUBLE_EQ(sel[i].score,
+                       scores[static_cast<size_t>(full[i])]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Random-walk statistics: on a regular graph, visit counts are near-uniform
+// ---------------------------------------------------------------------------
+
+class WalkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalkPropertyTest, RingVisitsNearUniform) {
+  // A ring is 2-regular: the walk's stationary distribution is uniform.
+  graph::Graph g;
+  const size_t n = 24;
+  for (size_t i = 0; i < n; ++i) g.AddNode("n" + std::to_string(i));
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(static_cast<graph::NodeId>(i),
+              static_cast<graph::NodeId>((i + 1) % n));
+  }
+  embed::RandomWalkOptions o{.num_walks = 30, .walk_length = 20,
+                             .seed = GetParam(), .threads = 4};
+  std::vector<size_t> visits(n, 0);
+  size_t total = 0;
+  for (const auto& w : embed::RandomWalker::Generate(g, o)) {
+    for (int32_t v : w) {
+      ++visits[static_cast<size_t>(v)];
+      ++total;
+    }
+  }
+  const double expect = static_cast<double>(total) / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(visits[i]), expect, 0.15 * expect)
+        << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkPropertyTest,
+                         ::testing::Values(3, 7, 31));
+
+// ---------------------------------------------------------------------------
+// Compression: MSP output is always a subgraph containing all metadata
+// ---------------------------------------------------------------------------
+
+class CompressionPropertyTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, double>> {};
+
+TEST_P(CompressionPropertyTest, SubgraphAndMetadataInvariant) {
+  auto [seed, beta] = GetParam();
+  util::Rng build_rng(seed);
+  graph::Graph g;
+  std::vector<graph::NodeId> data;
+  for (int i = 0; i < 60; ++i) {
+    data.push_back(g.AddNode("d" + std::to_string(i)));
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 8; ++i) {
+      graph::NodeId m = g.AddNode(
+          util::StrFormat("__D%d:%d__", c, i), graph::NodeType::kMetadataDoc,
+          static_cast<graph::CorpusTag>(c), i);
+      for (int e = 0; e < 3; ++e) g.AddEdge(m, build_rng.Choice(data));
+    }
+  }
+  for (int e = 0; e < 40; ++e) {
+    g.AddEdge(build_rng.Choice(data), build_rng.Choice(data));
+  }
+
+  util::Rng rng(seed ^ 0xbeef);
+  graph::Graph cg = graph::MspCompress(g, beta, &rng);
+  EXPECT_LE(cg.NumNodes(), g.NumNodes());
+  EXPECT_LE(cg.NumEdges(), g.NumEdges());
+  for (graph::NodeId m : g.MetadataDocNodes()) {
+    EXPECT_NE(cg.FindNode(g.node(m).label), graph::kInvalidNode);
+  }
+  // Subgraph property: every compressed edge exists in the original.
+  for (size_t i = 0; i < cg.NumNodes(); ++i) {
+    graph::NodeId oi = g.FindNode(cg.node(static_cast<graph::NodeId>(i)).label);
+    for (graph::NodeId nb : cg.Neighbors(static_cast<graph::NodeId>(i))) {
+      graph::NodeId onb = g.FindNode(cg.node(nb).label);
+      EXPECT_TRUE(g.HasEdge(oi, onb));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBetas, CompressionPropertyTest,
+    ::testing::Values(std::make_pair(1ULL, 0.1), std::make_pair(2ULL, 0.3),
+                      std::make_pair(3ULL, 0.7), std::make_pair(4ULL, 1.5)));
+
+// ---------------------------------------------------------------------------
+// Porter stemmer: idempotence and alpha-output over a vocabulary sweep
+// ---------------------------------------------------------------------------
+
+class StemmerPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StemmerPropertyTest, StableAndNonEmpty) {
+  const std::string word = GetParam();
+  const std::string once = text::PorterStemmer::Stem(word);
+  EXPECT_FALSE(once.empty());
+  EXPECT_LE(once.size(), word.size());
+  // Porter is not strictly idempotent ("embeddings" → "embed" → "emb"),
+  // but a second application must reach a fixed point.
+  const std::string twice = text::PorterStemmer::Stem(once);
+  EXPECT_EQ(text::PorterStemmer::Stem(twice), twice) << word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vocabulary, StemmerPropertyTest,
+    ::testing::Values("running", "flies", "happiness", "organization",
+                      "relational", "generalization", "oscillators",
+                      "authorization", "connectivity", "electricity",
+                      "formalize", "sensitivity", "probabilistic",
+                      "matching", "embeddings", "compression"));
+
+// ---------------------------------------------------------------------------
+// CSV round-trip under adversarial field content
+// ---------------------------------------------------------------------------
+
+class CsvPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvPropertyTest, RoundTripRandomFields) {
+  util::Rng rng(GetParam());
+  const char alphabet[] = "ab,\"\n\r x";
+  std::vector<std::string> fields;
+  for (int f = 0; f < 6; ++f) {
+    std::string s;
+    const size_t len = static_cast<size_t>(rng.UniformInt(10ULL));
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(alphabet[rng.UniformInt(
+          static_cast<uint64_t>(sizeof(alphabet) - 1))]);
+    }
+    fields.push_back(std::move(s));
+  }
+  // CR is the one character the line-based reader cannot round-trip
+  // standalone; FormatLine/ParseLine must still agree.
+  std::string line = util::Csv::FormatLine(fields);
+  // Multi-line fields need the buffer parser.
+  if (line.find('\n') == std::string::npos &&
+      line.find('\r') == std::string::npos) {
+    auto parsed = util::Csv::ParseLine(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_EQ(*parsed, fields);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace tdmatch

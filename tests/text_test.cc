@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/ngram.h"
+#include "text/preprocess.h"
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace tdmatch {
+namespace text {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, BasicSplit) {
+  Tokenizer t;
+  auto toks = t.Tokenize("The Sixth Sense, directed by Shyamalan!");
+  EXPECT_EQ(toks, (std::vector<std::string>{"the", "sixth", "sense",
+                                            "directed", "by", "shyamalan"}));
+}
+
+TEST(TokenizerTest, KeepsNumbersIntact) {
+  Tokenizer t;
+  auto toks = t.Tokenize("rating 8.6 from -2 to 1999");
+  EXPECT_EQ(toks, (std::vector<std::string>{"rating", "8.6", "from", "-2",
+                                            "to", "1999"}));
+}
+
+TEST(TokenizerTest, ApostropheCollapses) {
+  Tokenizer t;
+  auto toks = t.Tokenize("don't");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0], "dont");
+}
+
+TEST(TokenizerTest, DropNumbersOption) {
+  TokenizerOptions opts;
+  opts.keep_numbers = false;
+  Tokenizer t(opts);
+  auto toks = t.Tokenize("42 cases");
+  EXPECT_EQ(toks, (std::vector<std::string>{"cases"}));
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  TokenizerOptions opts;
+  opts.min_token_length = 3;
+  Tokenizer t(opts);
+  auto toks = t.Tokenize("a of the audit");
+  EXPECT_EQ(toks, (std::vector<std::string>{"the", "audit"}));
+}
+
+TEST(TokenizerTest, NoLowercaseOption) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("Bruce")[0], "Bruce");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  ,.!  ").empty());
+}
+
+// ---------------------------------------------------------------------------
+// StopWords
+// ---------------------------------------------------------------------------
+
+TEST(StopWordsTest, ContainsCommonWords) {
+  StopWords sw;
+  EXPECT_TRUE(sw.Contains("the"));
+  EXPECT_TRUE(sw.Contains("and"));
+  EXPECT_FALSE(sw.Contains("movie"));
+}
+
+TEST(StopWordsTest, FilterPreservesOrder) {
+  StopWords sw;
+  auto out = sw.Filter({"the", "sixth", "sense", "is", "a", "movie"});
+  EXPECT_EQ(out, (std::vector<std::string>{"sixth", "sense", "movie"}));
+}
+
+TEST(StopWordsTest, AddCustom) {
+  StopWords sw;
+  sw.Add("movie");
+  EXPECT_TRUE(sw.Contains("movie"));
+}
+
+// ---------------------------------------------------------------------------
+// PorterStemmer
+// ---------------------------------------------------------------------------
+
+TEST(StemmerTest, ClassicExamples) {
+  EXPECT_EQ(PorterStemmer::Stem("caresses"), "caress");
+  EXPECT_EQ(PorterStemmer::Stem("ponies"), "poni");
+  EXPECT_EQ(PorterStemmer::Stem("cats"), "cat");
+  EXPECT_EQ(PorterStemmer::Stem("agreed"), "agre");
+  EXPECT_EQ(PorterStemmer::Stem("plastered"), "plaster");
+  EXPECT_EQ(PorterStemmer::Stem("motoring"), "motor");
+  EXPECT_EQ(PorterStemmer::Stem("conflated"), "conflat");
+  EXPECT_EQ(PorterStemmer::Stem("hopping"), "hop");
+  EXPECT_EQ(PorterStemmer::Stem("relational"), "relat");
+  EXPECT_EQ(PorterStemmer::Stem("conditional"), "condit");
+  EXPECT_EQ(PorterStemmer::Stem("triplicate"), "triplic");
+  EXPECT_EQ(PorterStemmer::Stem("hopeful"), "hope");
+  EXPECT_EQ(PorterStemmer::Stem("goodness"), "good");
+  EXPECT_EQ(PorterStemmer::Stem("adjustable"), "adjust");
+  EXPECT_EQ(PorterStemmer::Stem("probate"), "probat");
+  EXPECT_EQ(PorterStemmer::Stem("controlling"), "control");
+}
+
+TEST(StemmerTest, MergesInflections) {
+  // The §II-C motivating case: planning and plan share a stem.
+  EXPECT_EQ(PorterStemmer::Stem("planning"), PorterStemmer::Stem("plan"));
+  EXPECT_EQ(PorterStemmer::Stem("audits"), PorterStemmer::Stem("audit"));
+}
+
+TEST(StemmerTest, ShortAndNonAlphaPassThrough) {
+  EXPECT_EQ(PorterStemmer::Stem("at"), "at");
+  EXPECT_EQ(PorterStemmer::Stem("42"), "42");
+  EXPECT_EQ(PorterStemmer::Stem("8.6"), "8.6");
+  EXPECT_EQ(PorterStemmer::Stem(""), "");
+}
+
+TEST(StemmerTest, StemAllMapsEveryToken) {
+  auto out = PorterStemmer::StemAll({"running", "cats", "42"});
+  EXPECT_EQ(out, (std::vector<std::string>{"run", "cat", "42"}));
+}
+
+TEST(StemmerTest, Idempotent) {
+  // Stemming an already-stemmed token should be stable for common cases.
+  for (const char* w : {"run", "cat", "audit", "plan", "control"}) {
+    std::string once = PorterStemmer::Stem(w);
+    EXPECT_EQ(PorterStemmer::Stem(once), once) << w;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NGramGenerator
+// ---------------------------------------------------------------------------
+
+TEST(NGramTest, PaperExampleFiveNodes) {
+  // "The Sixth Sense" with n=3 → five terms (§II-D).
+  NGramGenerator g(3);
+  auto terms = g.Generate({"the", "sixth", "sense"});
+  EXPECT_EQ(terms.size(), 6u);  // 3 unigrams + 2 bigrams + 1 trigram
+  EXPECT_NE(std::find(terms.begin(), terms.end(), "the sixth sense"),
+            terms.end());
+  EXPECT_NE(std::find(terms.begin(), terms.end(), "sixth sense"),
+            terms.end());
+}
+
+TEST(NGramTest, UnigramOnly) {
+  NGramGenerator g(1);
+  auto terms = g.Generate({"a", "b", "c"});
+  EXPECT_EQ(terms, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(NGramTest, UniqueDedups) {
+  NGramGenerator g(2);
+  auto terms = g.GenerateUnique({"x", "x", "x"});
+  EXPECT_EQ(terms, (std::vector<std::string>{"x", "x x"}));
+}
+
+TEST(NGramTest, ShorterThanN) {
+  NGramGenerator g(3);
+  auto terms = g.Generate({"solo"});
+  EXPECT_EQ(terms, (std::vector<std::string>{"solo"}));
+  EXPECT_TRUE(g.Generate({}).empty());
+}
+
+TEST(NGramTest, CountFormula) {
+  // k tokens with max n: sum_{len=1..n} (k-len+1) terms.
+  NGramGenerator g(3);
+  EXPECT_EQ(g.Generate({"a", "b", "c", "d", "e"}).size(), 5u + 4u + 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Vocabulary
+// ---------------------------------------------------------------------------
+
+TEST(VocabularyTest, InterningAndCounts) {
+  Vocabulary v;
+  int32_t a = v.Add("x");
+  int32_t b = v.Add("y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Add("x"), a);
+  EXPECT_EQ(v.CountOf(a), 2u);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.total_count(), 3u);
+  EXPECT_EQ(v.TokenOf(b), "y");
+}
+
+TEST(VocabularyTest, LookupMissing) {
+  Vocabulary v;
+  EXPECT_EQ(v.Lookup("nope"), kInvalidTokenId);
+  EXPECT_FALSE(v.Contains("nope"));
+}
+
+TEST(VocabularyTest, PruneRemapsIds) {
+  Vocabulary v;
+  v.AddCount("rare", 1);
+  v.AddCount("common", 10);
+  std::vector<int32_t> remap;
+  Vocabulary pruned = v.Prune(2, &remap);
+  EXPECT_EQ(pruned.size(), 1u);
+  EXPECT_EQ(remap[0], kInvalidTokenId);
+  EXPECT_EQ(pruned.TokenOf(remap[1]), "common");
+  EXPECT_EQ(pruned.CountOf(remap[1]), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// TfIdf
+// ---------------------------------------------------------------------------
+
+TEST(TfIdfTest, RareTokensScoreHigher) {
+  TfIdf t;
+  t.Fit({{"common", "rare"}, {"common"}, {"common"}});
+  EXPECT_GT(t.Idf("rare"), t.Idf("common"));
+  EXPECT_GT(t.Idf("unseen"), t.Idf("rare"));
+}
+
+TEST(TfIdfTest, TopKKeepsHighestScoring) {
+  TfIdf t;
+  t.Fit({{"a", "b"}, {"a", "c"}, {"a", "d"}});
+  // With equal term frequency, the ubiquitous "a" is dropped first.
+  auto kept = t.TopK({"a", "b"}, 1);
+  EXPECT_EQ(kept, (std::vector<std::string>{"b"}));
+}
+
+TEST(TfIdfTest, TopKPreservesOrderAndDuplicates) {
+  TfIdf t;
+  t.Fit({{"x", "y", "z"}});
+  auto kept = t.TopK({"z", "y", "z"}, 2);
+  // z has tf 2 so scores highest; y second; order of appearance preserved.
+  EXPECT_EQ(kept, (std::vector<std::string>{"z", "y", "z"}));
+}
+
+TEST(TfIdfTest, VectorizeNormalized) {
+  TfIdf t;
+  t.Fit({{"a", "b"}, {"b", "c"}});
+  auto v = t.Vectorize({"a", "b"});
+  double norm = 0;
+  for (auto& [k, x] : v) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, CosineSparseIdenticalIsOne) {
+  TfIdf t;
+  t.Fit({{"a", "b", "c"}});
+  auto v = t.Vectorize({"a", "b"});
+  EXPECT_NEAR(TfIdf::CosineSparse(v, v), 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, CosineSparseDisjointIsZero) {
+  TfIdf t;
+  t.Fit({{"a"}, {"b"}});
+  EXPECT_DOUBLE_EQ(
+      TfIdf::CosineSparse(t.Vectorize({"a"}), t.Vectorize({"b"})), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessor
+// ---------------------------------------------------------------------------
+
+TEST(PreprocessorTest, FullPipeline) {
+  Preprocessor pp;
+  auto toks = pp.Tokens("The auditors were planning carefully");
+  // "the"/"were" are stop words; the rest is stemmed (classic Porter maps
+  // adverbial -ly through step 1c: carefully -> carefulli).
+  EXPECT_EQ(toks,
+            (std::vector<std::string>{"auditor", "plan", "carefulli"}));
+}
+
+TEST(PreprocessorTest, TermsIncludeNGrams) {
+  Preprocessor pp;
+  auto terms = pp.Terms("sixth sense");
+  EXPECT_NE(std::find(terms.begin(), terms.end(), "sixth sens"), terms.end());
+}
+
+TEST(PreprocessorTest, NoStemOption) {
+  PreprocessOptions opts;
+  opts.stem = false;
+  Preprocessor pp(opts);
+  auto toks = pp.Tokens("planning");
+  EXPECT_EQ(toks, (std::vector<std::string>{"planning"}));
+}
+
+TEST(PreprocessorTest, NoStopwordOption) {
+  PreprocessOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  Preprocessor pp(opts);
+  auto toks = pp.Tokens("the movie");
+  EXPECT_EQ(toks, (std::vector<std::string>{"the", "movie"}));
+}
+
+// Property sweep: for any max_ngram, every generated term has at most that
+// many tokens and every unigram survives.
+class NGramPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NGramPropertyTest, TermLengthBounded) {
+  const size_t n = GetParam();
+  PreprocessOptions opts;
+  opts.max_ngram = n;
+  Preprocessor pp(opts);
+  auto terms =
+      pp.Terms("brilliant thriller about a quiet detective in the city");
+  ASSERT_FALSE(terms.empty());
+  for (const auto& t : terms) {
+    size_t words = 1 + static_cast<size_t>(
+        std::count(t.begin(), t.end(), ' '));
+    EXPECT_LE(words, n);
+  }
+  // All base tokens appear as unigram terms.
+  for (const auto& tok :
+       pp.Tokens("brilliant thriller about a quiet detective in the city")) {
+    EXPECT_NE(std::find(terms.begin(), terms.end(), tok), terms.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NGramSizes, NGramPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace text
+}  // namespace tdmatch

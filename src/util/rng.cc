@@ -1,7 +1,6 @@
 #include "util/rng.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "util/logging.h"
 
@@ -62,8 +61,8 @@ double Rng::Gaussian() {
   double u1 = Uniform();
   double u2 = Uniform();
   if (u1 < 1e-300) u1 = 1e-300;
-  return std::sqrt(-2.0 * std::log(u1)) *
-         std::cos(2.0 * std::numbers::pi * u2);
+  constexpr double kPi = 3.14159265358979323846;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
 }
 
 bool Rng::Bernoulli(double p) { return Uniform() < p; }

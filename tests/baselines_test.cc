@@ -9,11 +9,16 @@
 #include "embed/embedding_table.h"
 #include "eval/metrics.h"
 #include "match/top_k.h"
+#include "testing/scenarios.h"
 #include "util/rng.h"
 
 namespace tdmatch {
 namespace baselines {
 namespace {
+
+using testutil::AllQueries;
+using testutil::TinyScenario;
+using testutil::TrainableScenario;
 
 // ---------------------------------------------------------------------------
 // LogisticRegression / MLP
@@ -83,20 +88,6 @@ TEST(MlpTest, LearnsXorLikeBoundary) {
 // ---------------------------------------------------------------------------
 // PairFeatures
 // ---------------------------------------------------------------------------
-
-corpus::Scenario TinyScenario() {
-  corpus::Scenario s;
-  s.name = "tiny";
-  s.first = corpus::Corpus::FromTexts(
-      "q", {{"q0", "willis stars in a thriller"},
-            {"q1", "a funny movie by tarantino"}});
-  corpus::Table t("movies", {"title", "actor", "genre"});
-  EXPECT_TRUE(t.AddRow({"Sixth Sense", "Willis", "thriller"}).ok());
-  EXPECT_TRUE(t.AddRow({"Pulp Fiction", "Willis", "comedy"}).ok());
-  s.second = corpus::Corpus::FromTable(t);
-  s.gold = {{0}, {1}};
-  return s;
-}
 
 TEST(PairFeaturesTest, MatchingPairScoresHigher) {
   auto s = TinyScenario();
@@ -190,33 +181,6 @@ TEST(D2VecBaselineTest, ProducesFullScoreVectors) {
 // ---------------------------------------------------------------------------
 // Supervised proxies
 // ---------------------------------------------------------------------------
-
-/// A scenario where lexical overlap is a perfect signal, so any trained
-/// proxy must beat random.
-corpus::Scenario TrainableScenario(size_t n) {
-  corpus::Scenario s;
-  s.name = "trainable";
-  std::vector<corpus::TextDoc> queries;
-  std::vector<corpus::TextDoc> facts;
-  util::Rng rng(4);
-  for (size_t i = 0; i < n; ++i) {
-    std::string key = "entity" + std::to_string(i);
-    facts.push_back({"f" + std::to_string(i),
-                     key + " lives in city" + std::to_string(i % 7)});
-    queries.push_back({"q" + std::to_string(i),
-                       "where does " + key + " live exactly"});
-    s.gold.push_back({static_cast<int32_t>(i)});
-  }
-  s.first = corpus::Corpus::FromTexts("q", std::move(queries));
-  s.second = corpus::Corpus::FromTexts("f", std::move(facts));
-  return s;
-}
-
-std::vector<int32_t> AllQueries(size_t n) {
-  std::vector<int32_t> idx(n);
-  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int32_t>(i);
-  return idx;
-}
 
 TEST(PairwiseRankerTest, RequiresSupervision) {
   auto s = TrainableScenario(10);

@@ -7,41 +7,15 @@
 #include "eval/metrics.h"
 #include "kb/synthetic_kb.h"
 #include "match/top_k.h"
+#include "testing/options.h"
+#include "testing/scenarios.h"
 
 namespace tdmatch {
 namespace core {
 namespace {
 
-/// Small but learnable scenario: unique entity per query/candidate pair.
-corpus::Scenario MiniScenario(size_t n) {
-  corpus::Scenario s;
-  s.name = "mini";
-  std::vector<corpus::TextDoc> queries;
-  corpus::Table table("facts", {"entity", "city", "year"});
-  for (size_t i = 0; i < n; ++i) {
-    std::string entity = "entity" + std::to_string(i);
-    std::string city = "city" + std::to_string(i % 5);
-    EXPECT_TRUE(
-        table.AddRow({entity, city, std::to_string(1990 + i)}).ok());
-    queries.push_back({"q" + std::to_string(i),
-                       entity + " moved to " + city + " long ago"});
-    s.gold.push_back({static_cast<int32_t>(i)});
-  }
-  s.first = corpus::Corpus::FromTexts("queries", std::move(queries));
-  s.second = corpus::Corpus::FromTable(std::move(table));
-  return s;
-}
-
-TDmatchOptions FastOptions() {
-  TDmatchOptions o;
-  o.walks.num_walks = 10;
-  o.walks.walk_length = 10;
-  o.walks.threads = 2;
-  o.w2v.dim = 32;
-  o.w2v.epochs = 3;
-  o.w2v.threads = 2;
-  return o;
-}
+using testutil::FastOptions;
+using testutil::MiniScenario;
 
 TEST(TDmatchTest, EndToEndBeatsRandomByFar) {
   auto s = MiniScenario(20);

@@ -17,30 +17,14 @@
 #include "graph/stats.h"
 #include "match/combine.h"
 #include "match/top_k.h"
+#include "testing/options.h"
+#include "testing/scenarios.h"
 
 namespace tdmatch {
 namespace {
 
-core::TDmatchOptions SmallOptions(bool text_task) {
-  core::TDmatchOptions o =
-      text_task ? core::TDmatchOptions::TextTaskDefaults()
-                : core::TDmatchOptions{};
-  o.walks.num_walks = 18;
-  o.walks.walk_length = 15;
-  o.walks.threads = 4;
-  o.w2v.dim = 48;
-  o.w2v.epochs = 3;
-  o.w2v.threads = 4;
-  o.w2v.subsample = 1e-3;
-  return o;
-}
-
-/// Expected MRR of a uniformly random ranking with one gold among n.
-double RandomMrr(size_t n) {
-  double sum = 0;
-  for (size_t r = 1; r <= n; ++r) sum += 1.0 / static_cast<double>(r);
-  return sum / static_cast<double>(n);
-}
+using testutil::RandomMrr;
+using testutil::SmallOptions;
 
 double RunMrr(const corpus::Scenario& s, const core::TDmatchOptions& o,
               const kb::ExternalResource* kb = nullptr) {

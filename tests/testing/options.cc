@@ -1,0 +1,31 @@
+#include "testing/options.h"
+
+namespace tdmatch {
+namespace testutil {
+
+core::TDmatchOptions FastOptions() {
+  core::TDmatchOptions o;
+  o.walks.num_walks = 10;
+  o.walks.walk_length = 10;
+  o.walks.threads = 2;
+  o.w2v.dim = 32;
+  o.w2v.epochs = 3;
+  o.w2v.threads = 2;
+  return o;
+}
+
+core::TDmatchOptions SmallOptions(bool text_task) {
+  core::TDmatchOptions o = text_task ? core::TDmatchOptions::TextTaskDefaults()
+                                     : core::TDmatchOptions{};
+  o.walks.num_walks = 18;
+  o.walks.walk_length = 15;
+  o.walks.threads = 4;
+  o.w2v.dim = 48;
+  o.w2v.epochs = 3;
+  o.w2v.threads = 4;
+  o.w2v.subsample = 1e-3;
+  return o;
+}
+
+}  // namespace testutil
+}  // namespace tdmatch

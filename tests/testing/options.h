@@ -1,0 +1,21 @@
+#ifndef TDMATCH_TESTS_TESTING_OPTIONS_H_
+#define TDMATCH_TESTS_TESTING_OPTIONS_H_
+
+#include "core/tdmatch.h"
+
+namespace tdmatch {
+namespace testutil {
+
+/// TDmatch options tuned for unit-test speed: few short walks, a small
+/// embedding, two threads. Strong enough to learn MiniScenario-scale tasks.
+core::TDmatchOptions FastOptions();
+
+/// Options for integration-scale scenarios (datagen outputs): more walks
+/// and a bigger embedding than FastOptions, still seconds per run.
+/// `text_task` switches to the CBOW text-task defaults of the paper.
+core::TDmatchOptions SmallOptions(bool text_task);
+
+}  // namespace testutil
+}  // namespace tdmatch
+
+#endif  // TDMATCH_TESTS_TESTING_OPTIONS_H_

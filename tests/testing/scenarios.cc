@@ -1,0 +1,75 @@
+#include "testing/scenarios.h"
+
+#include <string>
+#include <utility>
+
+#include "corpus/table.h"
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace testutil {
+
+corpus::Scenario MiniScenario(size_t n) {
+  corpus::Scenario s;
+  s.name = "mini";
+  std::vector<corpus::TextDoc> queries;
+  corpus::Table table("facts", {"entity", "city", "year"});
+  for (size_t i = 0; i < n; ++i) {
+    std::string entity = "entity" + std::to_string(i);
+    std::string city = "city" + std::to_string(i % 5);
+    TDM_CHECK(table.AddRow({entity, city, std::to_string(1990 + i)}).ok());
+    queries.push_back({"q" + std::to_string(i),
+                       entity + " moved to " + city + " long ago"});
+    s.gold.push_back({static_cast<int32_t>(i)});
+  }
+  s.first = corpus::Corpus::FromTexts("queries", std::move(queries));
+  s.second = corpus::Corpus::FromTable(std::move(table));
+  return s;
+}
+
+corpus::Scenario TinyScenario() {
+  corpus::Scenario s;
+  s.name = "tiny";
+  s.first = corpus::Corpus::FromTexts(
+      "q", {{"q0", "willis stars in a thriller"},
+            {"q1", "a funny movie by tarantino"}});
+  corpus::Table t("movies", {"title", "actor", "genre"});
+  TDM_CHECK(t.AddRow({"Sixth Sense", "Willis", "thriller"}).ok());
+  TDM_CHECK(t.AddRow({"Pulp Fiction", "Willis", "comedy"}).ok());
+  s.second = corpus::Corpus::FromTable(t);
+  s.gold = {{0}, {1}};
+  return s;
+}
+
+corpus::Scenario TrainableScenario(size_t n) {
+  corpus::Scenario s;
+  s.name = "trainable";
+  std::vector<corpus::TextDoc> queries;
+  std::vector<corpus::TextDoc> facts;
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = "entity" + std::to_string(i);
+    facts.push_back({"f" + std::to_string(i),
+                     key + " lives in city" + std::to_string(i % 7)});
+    queries.push_back({"q" + std::to_string(i),
+                       "where does " + key + " live exactly"});
+    s.gold.push_back({static_cast<int32_t>(i)});
+  }
+  s.first = corpus::Corpus::FromTexts("q", std::move(queries));
+  s.second = corpus::Corpus::FromTexts("f", std::move(facts));
+  return s;
+}
+
+std::vector<int32_t> AllQueries(size_t n) {
+  std::vector<int32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int32_t>(i);
+  return idx;
+}
+
+double RandomMrr(size_t n) {
+  double sum = 0;
+  for (size_t r = 1; r <= n; ++r) sum += 1.0 / static_cast<double>(r);
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace testutil
+}  // namespace tdmatch

@@ -1,0 +1,35 @@
+#ifndef TDMATCH_TESTS_TESTING_SCENARIOS_H_
+#define TDMATCH_TESTS_TESTING_SCENARIOS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace tdmatch {
+namespace testutil {
+
+/// Small but learnable text-vs-table scenario: a unique entity per
+/// query/candidate pair, cities shared five ways. Deterministic — no RNG.
+corpus::Scenario MiniScenario(size_t n);
+
+/// Two-query, two-tuple movie scenario where lexical overlap decides the
+/// match; the smallest input every matcher must get right.
+corpus::Scenario TinyScenario();
+
+/// Text-vs-text scenario of size n where lexical overlap is a perfect
+/// signal, so any trained proxy must beat random. Deterministic.
+corpus::Scenario TrainableScenario(size_t n);
+
+/// The index vector [0, n) — the "train on everything" split.
+std::vector<int32_t> AllQueries(size_t n);
+
+/// Expected MRR of a uniformly random ranking with one gold among n
+/// candidates; the baseline that learned methods must beat.
+double RandomMrr(size_t n);
+
+}  // namespace testutil
+}  // namespace tdmatch
+
+#endif  // TDMATCH_TESTS_TESTING_SCENARIOS_H_

@@ -3,19 +3,25 @@
 // candidates a query's block retains (work saved) against the recall of
 // the gold match inside the block (quality ceiling).
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 #include "match/blocking.h"
+#include "util/timer.h"
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Ablation: candidate blocking (§VII future work)\n");
-  std::printf("\n%-10s  %-14s  %-12s\n", "Scenario", "avg block frac",
-              "gold recall");
-  for (const auto& sc : bench::MakeSweepScenarios()) {
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("ablation_blocking", opts);
+  rep.Note("Ablation: candidate blocking (§VII future work)");
+  rep.Printf("\n%-10s  %-14s  %-12s\n", "Scenario", "avg block frac",
+             "gold recall");
+  for (const auto& sc : bench::MakeSweepScenarios(opts)) {
     const corpus::Scenario& s = sc.data.scenario;
+    util::StopWatch watch;
     match::TokenBlocker blocker;
     blocker.Index(s.second);
     size_t eligible = 0;
@@ -31,16 +37,19 @@ int main() {
         }
       }
     }
-    std::printf("%-10s  %-14.3f  %-12.3f\n", sc.name.c_str(),
-                blocker.AverageBlockFraction(s.first),
-                eligible == 0
-                    ? 0.0
-                    : static_cast<double>(recalled) /
-                          static_cast<double>(eligible));
+    const double frac = blocker.AverageBlockFraction(s.first);
+    const double recall = eligible == 0
+                              ? 0.0
+                              : static_cast<double>(recalled) /
+                                    static_cast<double>(eligible);
+    const double wall = watch.ElapsedSeconds();
+    rep.Add(sc.name, "blocker=token", "block_fraction", frac, wall);
+    rep.Add(sc.name, "blocker=token", "gold_recall", recall, wall);
+    rep.Printf("%-10s  %-14.3f  %-12.3f\n", sc.name.c_str(), frac, recall);
   }
-  std::printf(
+  rep.Note(
       "\nExpected shape: blocks retain a small fraction of the candidates\n"
       "while keeping gold recall high — the precondition for the paper's\n"
-      "planned blocking speed-up.\n");
-  return 0;
+      "planned blocking speed-up.");
+  return rep.Finish() ? 0 : 1;
 }

@@ -4,65 +4,73 @@
 //     (paper: +2.5% from merging name variants).
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
-#include "datagen/corona.h"
-#include "datagen/imdb.h"
 #include "embed/pretrained_lexicon.h"
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Ablation: node merging (§V-F2)\n");
+namespace {
+
+void PrintLine(bench::BenchReporter& rep, const char* label, double value) {
+  rep.Printf("  %-18s %.3f\n", label, value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("ablation_merging", opts);
+  rep.Note("Ablation: node merging (§V-F2)");
 
   // (a) Numeric bucketing on CoronaCheck.
-  {
-    datagen::CoronaOptions gen;
-    gen.num_countries = 15;
-    gen.num_months = 8;
-    gen.num_generated_claims = 120;
-    auto data = datagen::CoronaGenerator::Generate(gen);
+  if (opts.Matches("Corona")) {
+    auto data = datagen::CoronaGenerator::Generate(
+        bench::ScaledCoronaOptions(opts));
 
-    core::TDmatchOptions off = bench::DataTaskOptions();
+    core::TDmatchOptions off = bench::DataTaskOptions(opts);
     off.builder.bucket_numbers = false;
-    core::TDmatchOptions fd = bench::DataTaskOptions();
+    core::TDmatchOptions fd = bench::DataTaskOptions(opts);
     fd.builder.bucket_numbers = true;  // Freedman–Diaconis width
-    core::TDmatchOptions fixed7 = bench::DataTaskOptions();
+    core::TDmatchOptions fixed7 = bench::DataTaskOptions(opts);
     fixed7.builder.bucket_numbers = true;
     fixed7.builder.fixed_buckets = 7;
 
-    std::printf("\nCoronaCheck numeric bucketing (MAP@5):\n");
-    std::printf("  no bucketing       %.3f\n",
-                bench::MapAt5(data.scenario, off));
-    std::printf("  Freedman-Diaconis  %.3f\n",
-                bench::MapAt5(data.scenario, fd));
-    std::printf("  7 equal buckets    %.3f\n",
-                bench::MapAt5(data.scenario, fixed7));
+    rep.Print("\nCoronaCheck numeric bucketing (MAP@5):\n");
+    PrintLine(rep, "no bucketing",
+              bench::MapAt5(rep, "Corona", "bucketing=off", data.scenario,
+                            off));
+    PrintLine(rep, "Freedman-Diaconis",
+              bench::MapAt5(rep, "Corona", "bucketing=fd", data.scenario, fd));
+    PrintLine(rep, "7 equal buckets",
+              bench::MapAt5(rep, "Corona", "bucketing=fixed7", data.scenario,
+                            fixed7));
   }
 
   // (b) Synonym/variant merging with the pre-trained lexicon on IMDb.
-  {
-    datagen::ImdbOptions gen;
-    gen.num_reviewed_movies = 30;
-    gen.num_distractor_movies = 40;
-    auto data = datagen::ImdbGenerator::Generate(gen);
+  if (opts.Matches("IMDb")) {
+    auto data =
+        datagen::ImdbGenerator::Generate(bench::ScaledImdbOptions(opts));
 
-    embed::PretrainedLexicon lexicon;
-    TDM_CHECK(lexicon.Train(data.generic_corpus).ok());
-    const double gamma = lexicon.CalibrateGamma(data.synonym_pairs);
-    std::printf("\nIMDb synonym merging (calibrated gamma = %.2f):\n", gamma);
+    auto lex = bench::MakeLexicon(data, opts);
+    rep.Printf("\nIMDb synonym merging (calibrated gamma = %.2f):\n",
+               lex.gamma);
+    rep.Add("IMDb", "merge=gamma", "gamma", lex.gamma, 0.0);
 
-    core::TDmatchOptions off = bench::DataTaskOptions();
-    std::printf("  no merging   %.3f\n", bench::MapAt5(data.scenario, off));
-    core::TDmatchOptions on = bench::DataTaskOptions();
+    core::TDmatchOptions off = bench::DataTaskOptions(opts);
+    PrintLine(rep, "no merging",
+              bench::MapAt5(rep, "IMDb", "merge=off", data.scenario, off));
+    core::TDmatchOptions on = bench::DataTaskOptions(opts);
     on.use_synonym_merge = true;
-    on.gamma = gamma;
-    std::printf("  gamma merge  %.3f\n",
-                bench::MapAt5(data.scenario, on, nullptr, &lexicon));
+    on.gamma = lex.gamma;
+    PrintLine(rep, "gamma merge",
+              bench::MapAt5(rep, "IMDb", "merge=gamma", data.scenario, on,
+                            nullptr, lex.lexicon.get()));
   }
 
-  std::printf(
+  rep.Note(
       "\nExpected shape: bucketing helps the numeric-heavy CoronaCheck;\n"
-      "gamma merging gives a small lift on IMDb (name variants).\n");
-  return 0;
+      "gamma merging gives a small lift on IMDb (name variants).");
+  return rep.Finish() ? 0 : 1;
 }

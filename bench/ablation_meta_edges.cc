@@ -3,55 +3,70 @@
 // The paper reports drops of .08/.04/.02/.01 at K = 1/3/5/10 without them.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
-#include "datagen/audit.h"
 #include "eval/taxonomy_metrics.h"
+#include "util/timer.h"
 
 using namespace tdmatch;  // NOLINT
 
 namespace {
 
-std::vector<double> NodeFAtKs(const datagen::GeneratedScenario& data,
+constexpr size_t kKs[] = {1, 3, 5, 10};
+
+std::vector<double> NodeFAtKs(bench::BenchReporter& rep,
+                              const datagen::GeneratedScenario& data,
                               bool connect_parents) {
-  core::TDmatchOptions o = bench::TextTaskOptions();
+  core::TDmatchOptions o = bench::TextTaskOptions(rep.options());
   o.builder.connect_structured_parents = connect_parents;
   core::TDmatchMethod m("W-RW", o);
+  util::StopWatch watch;
   auto run = core::Experiment::Run(&m, data.scenario);
+  const double wall = watch.ElapsedSeconds();
   std::vector<double> out;
   if (!run.ok()) {
-    std::printf("run failed: %s\n", run.status().ToString().c_str());
+    std::fprintf(stderr, "ablation_meta_edges: run FAILED: %s\n",
+                 run.status().ToString().c_str());
+    rep.Print("run failed: " + run.status().ToString() + "\n");
     return {0, 0, 0, 0};
   }
   const corpus::Taxonomy& tax = *data.scenario.second.taxonomy();
-  for (size_t k : {1, 3, 5, 10}) {
-    out.push_back(eval::TaxonomyMetrics::NodeScores(tax, run->rankings,
-                                                    data.scenario.gold, k)
-                      .f1);
+  const std::string param =
+      std::string("meta_edges=") + (connect_parents ? "with" : "without");
+  for (size_t k : kKs) {
+    const double f = eval::TaxonomyMetrics::NodeScores(tax, run->rankings,
+                                                       data.scenario.gold, k)
+                         .f1;
+    rep.Add("Audit", param, "node_f@" + std::to_string(k), f, wall);
+    out.push_back(f);
   }
   return out;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Ablation: metadata-to-metadata edges (§V-F2, Audit)\n");
-  auto data = datagen::AuditGenerator::Generate({});
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("ablation_meta_edges", opts);
+  rep.Note("Ablation: metadata-to-metadata edges (§V-F2, Audit)");
+  if (!opts.Matches("Audit")) return rep.Finish() ? 0 : 1;
+  auto data = datagen::AuditGenerator::Generate(bench::ScaledAuditOptions(opts));
 
-  auto with_edges = NodeFAtKs(data, /*connect_parents=*/true);
-  auto without = NodeFAtKs(data, /*connect_parents=*/false);
+  auto with_edges = NodeFAtKs(rep, data, /*connect_parents=*/true);
+  auto without = NodeFAtKs(rep, data, /*connect_parents=*/false);
 
-  std::printf("\n%-10s  %-8s %-8s %-8s %-8s\n", "", "K=1", "K=3", "K=5",
-              "K=10");
-  std::printf("%-10s  %-8.3f %-8.3f %-8.3f %-8.3f\n", "with",
-              with_edges[0], with_edges[1], with_edges[2], with_edges[3]);
-  std::printf("%-10s  %-8.3f %-8.3f %-8.3f %-8.3f\n", "without",
-              without[0], without[1], without[2], without[3]);
-  std::printf("%-10s  %+-8.3f %+-8.3f %+-8.3f %+-8.3f\n", "delta",
-              without[0] - with_edges[0], without[1] - with_edges[1],
-              without[2] - with_edges[2], without[3] - with_edges[3]);
-  std::printf(
+  rep.Printf("\n%-10s  %-8s %-8s %-8s %-8s\n", "", "K=1", "K=3", "K=5",
+             "K=10");
+  rep.Printf("%-10s  %-8.3f %-8.3f %-8.3f %-8.3f\n", "with", with_edges[0],
+             with_edges[1], with_edges[2], with_edges[3]);
+  rep.Printf("%-10s  %-8.3f %-8.3f %-8.3f %-8.3f\n", "without", without[0],
+             without[1], without[2], without[3]);
+  rep.Printf("%-10s  %+-8.3f %+-8.3f %+-8.3f %+-8.3f\n", "delta",
+             without[0] - with_edges[0], without[1] - with_edges[1],
+             without[2] - with_edges[2], without[3] - with_edges[3]);
+  rep.Note(
       "\nExpected shape: removing the taxonomy edges lowers Node F,\n"
-      "most at small K (paper: -.08 at K=1 shrinking to -.01 at K=10).\n");
-  return 0;
+      "most at small K (paper: -.08 at K=1 shrinking to -.01 at K=10).");
+  return rep.Finish() ? 0 : 1;
 }

@@ -2,30 +2,22 @@
 // data nodes grows 1..4. The paper sees the biggest jump from 1 to 2 and
 // diminishing returns after 3.
 
-#include <cstdio>
-
 #include "bench_common.h"
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Ablation: number of tokens in terms (§V-F1)\n");
-  auto scenarios = bench::MakeSweepScenarios();
-
-  std::printf("\n%-6s", "n");
-  for (const auto& sc : scenarios) std::printf("  %-6s", sc.name.c_str());
-  std::printf("\n");
-  for (size_t n : {1, 2, 3, 4}) {
-    std::printf("%-6zu", n);
-    for (const auto& sc : scenarios) {
-      core::TDmatchOptions o = sc.base_options;
-      o.builder.preprocess.max_ngram = n;
-      std::printf("  %.3f", bench::MapAt5(sc.data.scenario, o));
-    }
-    std::printf("\n");
-  }
-  std::printf(
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("ablation_ngram", opts);
+  rep.Note("Ablation: number of tokens in terms (§V-F1)");
+  bench::RunMapSweep(rep, "max_ngram", bench::MakeSweepScenarios(opts),
+                     bench::NumericPoints(opts, {1, 2, 3, 4},
+                                          [](core::TDmatchOptions& o,
+                                             size_t v) {
+                                            o.builder.preprocess.max_ngram = v;
+                                          }));
+  rep.Note(
       "\nExpected shape: biggest gain from n=1 to n=2; little change\n"
-      "after n=3 (the paper's Wikipedia-title profiling default).\n");
-  return 0;
+      "after n=3 (the paper's Wikipedia-title profiling default).");
+  return rep.Finish() ? 0 : 1;
 }

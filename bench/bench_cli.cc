@@ -1,0 +1,172 @@
+#include "bench_cli.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <regex>
+
+namespace tdmatch {
+namespace bench {
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kSweep:
+      return "sweep";
+    case Scale::kFull:
+      return "full";
+  }
+  return "sweep";
+}
+
+bool BenchOptions::Matches(const std::string& name) const {
+  if (filter.empty()) return true;
+  try {
+    return std::regex_search(name, std::regex(filter));
+  } catch (const std::regex_error&) {
+    // ParseBenchArgs validates the regex; an invalid one here means the
+    // options were built by hand — fail closed.
+    return false;
+  }
+}
+
+std::string BenchUsage(const std::string& program) {
+  return "Usage: " + program +
+         " [flags]\n"
+         "\n"
+         "Shared TDmatch bench flags:\n"
+         "  --json           emit machine-readable JSON Lines rows on stdout\n"
+         "                   instead of the paper-style tables\n"
+         "  --table          paper-style tables on stdout (the default)\n"
+         "  --out <path>     also write the JSON rows to <path> (in either\n"
+         "                   output format)\n"
+         "  --scale <s>      workload size: smoke (CI, seconds), sweep\n"
+         "                   (default), full (generator defaults)\n"
+         "  --seed <n>       override the generator and pipeline seeds with\n"
+         "                   n (> 0); 0 keeps the built-in defaults\n"
+         "  --filter <re>    only run scenarios/variants whose name matches\n"
+         "                   the ECMAScript regex <re>\n"
+         "  --help, -h       show this message and exit\n";
+}
+
+namespace {
+
+util::Status ParseSeed(const std::string& value, uint64_t* out) {
+  if (value.empty() || value[0] == '-' || value[0] == '+') {
+    return util::Status::InvalidArgument("--seed expects a non-negative integer, got \"" + value + "\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    return util::Status::InvalidArgument("--seed expects a non-negative integer, got \"" + value + "\"");
+  }
+  *out = static_cast<uint64_t>(parsed);
+  return util::Status::OK();
+}
+
+util::Status ParseScale(const std::string& value, Scale* out) {
+  if (value == "smoke") {
+    *out = Scale::kSmoke;
+  } else if (value == "sweep") {
+    *out = Scale::kSweep;
+  } else if (value == "full") {
+    *out = Scale::kFull;
+  } else {
+    return util::Status::InvalidArgument(
+        "--scale expects smoke|sweep|full, got \"" + value + "\"");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<BenchOptions> ParseBenchArgs(const std::vector<std::string>& args) {
+  BenchOptions out;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string flag = arg;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      flag = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    // Fetches the flag's value from "--flag=value" or the next argument.
+    auto take_value = [&]() -> util::Status {
+      if (has_value) return util::Status::OK();
+      if (i + 1 >= args.size()) {
+        return util::Status::InvalidArgument(flag + " requires a value");
+      }
+      value = args[++i];
+      has_value = true;
+      return util::Status::OK();
+    };
+    auto reject_value = [&]() -> util::Status {
+      if (has_value) {
+        return util::Status::InvalidArgument(flag + " takes no value");
+      }
+      return util::Status::OK();
+    };
+
+    if (flag == "--json") {
+      TDM_RETURN_NOT_OK(reject_value());
+      out.format = OutputFormat::kJson;
+    } else if (flag == "--table") {
+      TDM_RETURN_NOT_OK(reject_value());
+      out.format = OutputFormat::kTable;
+    } else if (flag == "--help" || flag == "-h") {
+      TDM_RETURN_NOT_OK(reject_value());
+      out.help = true;
+    } else if (flag == "--scale") {
+      TDM_RETURN_NOT_OK(take_value());
+      TDM_RETURN_NOT_OK(ParseScale(value, &out.scale));
+    } else if (flag == "--out") {
+      TDM_RETURN_NOT_OK(take_value());
+      if (value.empty()) {
+        return util::Status::InvalidArgument("--out expects a non-empty path");
+      }
+      out.out_path = value;
+    } else if (flag == "--seed") {
+      TDM_RETURN_NOT_OK(take_value());
+      TDM_RETURN_NOT_OK(ParseSeed(value, &out.seed));
+    } else if (flag == "--filter") {
+      TDM_RETURN_NOT_OK(take_value());
+      try {
+        std::regex probe(value);
+        (void)probe;
+      } catch (const std::regex_error& e) {
+        return util::Status::InvalidArgument("--filter regex \"" + value +
+                                             "\" is invalid: " + e.what());
+      }
+      out.filter = value;
+    } else {
+      return util::Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  return out;
+}
+
+BenchOptions ParseArgsOrExit(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  const std::string program = argc > 0 ? argv[0] : "bench";
+  auto parsed = ParseBenchArgs(args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n\n%s",
+                 parsed.status().message().c_str(),
+                 BenchUsage(program).c_str());
+    std::exit(2);
+  }
+  if (parsed->help) {
+    std::printf("%s", BenchUsage(program).c_str());
+    std::exit(0);
+  }
+  return std::move(parsed).ValueOrDie();
+}
+
+}  // namespace bench
+}  // namespace tdmatch

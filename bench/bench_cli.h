@@ -1,0 +1,71 @@
+#ifndef TDMATCH_BENCH_BENCH_CLI_H_
+#define TDMATCH_BENCH_BENCH_CLI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tdmatch {
+namespace bench {
+
+/// Workload size of a bench run.
+///  - kSmoke: CI scale — tiny scenarios and trimmed sweep grids so every
+///    bench finishes in seconds on a single core.
+///  - kSweep: the reduced scale the parameter-sweep figures have always
+///    used (the default).
+///  - kFull:  the generators' built-in defaults, closest to the paper's
+///    setting (minutes for the heaviest benches).
+enum class Scale { kSmoke, kSweep, kFull };
+
+/// "smoke" / "sweep" / "full".
+const char* ScaleName(Scale scale);
+
+enum class OutputFormat { kTable, kJson };
+
+/// \brief The shared command line of every bench binary.
+///
+///   --json           emit JSON Lines rows instead of paper-style tables
+///   --out <path>     also write the JSON rows to <path> (any format)
+///   --scale <s>      smoke | sweep (default) | full
+///   --seed <n>       override generator + pipeline seeds (n > 0)
+///   --filter <re>    only run scenarios/variants matching the regex
+///   --help           print usage and exit
+struct BenchOptions {
+  OutputFormat format = OutputFormat::kTable;
+  Scale scale = Scale::kSweep;
+  /// When non-empty, JSON rows are written to this file regardless of the
+  /// stdout format.
+  std::string out_path;
+  /// 0 = keep each generator's / the pipeline's built-in seed.
+  uint64_t seed = 0;
+  /// ECMAScript regex matched (unanchored) against scenario and variant
+  /// names; empty matches everything.
+  std::string filter;
+  /// --help was passed; ParseArgsOrExit() handles it before returning.
+  bool help = false;
+
+  bool json() const { return format == OutputFormat::kJson; }
+  bool table() const { return format == OutputFormat::kTable; }
+
+  /// True when `name` passes --filter.
+  bool Matches(const std::string& name) const;
+};
+
+/// Usage text shared by --help and parse errors.
+std::string BenchUsage(const std::string& program);
+
+/// Parses the shared bench flags; `args` excludes the program name.
+/// Unknown flags, missing/extra values, bad --scale names, non-numeric
+/// --seed values and invalid --filter regexes are InvalidArgument errors.
+util::Result<BenchOptions> ParseBenchArgs(const std::vector<std::string>& args);
+
+/// Parse-or-die wrapper for bench main()s: prints usage and exits 0 on
+/// --help; prints the error plus usage to stderr and exits 2 on bad input.
+BenchOptions ParseArgsOrExit(int argc, char** argv);
+
+}  // namespace bench
+}  // namespace tdmatch
+
+#endif  // TDMATCH_BENCH_BENCH_CLI_H_

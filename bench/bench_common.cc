@@ -1,18 +1,37 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <limits>
+#include <utility>
 
-#include "datagen/audit.h"
-#include "datagen/claims.h"
-#include "datagen/corona.h"
-#include "datagen/imdb.h"
 #include "eval/metrics.h"
 #include "match/top_k.h"
+#include "util/timer.h"
 
 namespace tdmatch {
 namespace bench {
 
-core::TDmatchOptions DataTaskOptions() {
+namespace {
+
+uint64_t SeedOr(const BenchOptions& opts, uint64_t fallback, uint64_t offset) {
+  return opts.seed == 0 ? fallback : opts.seed + offset;
+}
+
+/// Shrinks walks/dims/epochs to the CI smoke budget (shared by both task
+/// families so they always run at the same smoke scale).
+void ApplySmokeScale(const BenchOptions& opts, core::TDmatchOptions* o) {
+  if (opts.scale != Scale::kSmoke) return;
+  o->walks.num_walks = 10;
+  o->walks.walk_length = 12;
+  o->walks.threads = 4;
+  o->w2v.dim = 48;
+  o->w2v.epochs = 2;
+  o->w2v.threads = 4;
+}
+
+}  // namespace
+
+core::TDmatchOptions DataTaskOptions(const BenchOptions& opts) {
   core::TDmatchOptions o;
   o.walks.num_walks = 25;
   o.walks.walk_length = 20;
@@ -23,10 +42,12 @@ core::TDmatchOptions DataTaskOptions() {
   // Frequency subsampling downweights hub nodes (ubiquitous terms) in the
   // walks — the weighting mechanism of the paper's challenge 2.
   o.w2v.subsample = 1e-3;
+  ApplySmokeScale(opts, &o);
+  ApplySeed(opts, &o);
   return o;
 }
 
-core::TDmatchOptions TextTaskOptions() {
+core::TDmatchOptions TextTaskOptions(const BenchOptions& opts) {
   core::TDmatchOptions o = core::TDmatchOptions::TextTaskDefaults();
   o.walks.num_walks = 25;
   o.walks.walk_length = 20;
@@ -35,18 +56,106 @@ core::TDmatchOptions TextTaskOptions() {
   o.w2v.threads = 8;
   o.w2v.epochs = 3;
   o.w2v.subsample = 1e-3;
+  ApplySmokeScale(opts, &o);
+  ApplySeed(opts, &o);
   return o;
 }
 
-void PrintTitle(const std::string& title) {
-  std::printf("\n=== %s ===\n", title.c_str());
+void ApplySeed(const BenchOptions& opts, core::TDmatchOptions* o) {
+  if (opts.seed == 0) return;
+  o->seed = opts.seed;
+  o->walks.seed = opts.seed;
+  o->w2v.seed = opts.seed;
 }
 
-LexiconBundle MakeLexicon(const datagen::GeneratedScenario& data) {
+datagen::ImdbOptions ScaledImdbOptions(const BenchOptions& opts) {
+  datagen::ImdbOptions o;  // kFull: generator defaults (60/90 movies)
+  if (opts.scale == Scale::kSweep) {
+    o.num_reviewed_movies = 30;
+    o.num_distractor_movies = 40;
+  } else if (opts.scale == Scale::kSmoke) {
+    o.num_reviewed_movies = 12;
+    o.num_distractor_movies = 16;
+  }
+  o.seed = SeedOr(opts, o.seed, 1);
+  return o;
+}
+
+datagen::CoronaOptions ScaledCoronaOptions(const BenchOptions& opts) {
+  datagen::CoronaOptions o;  // kFull: 20 countries × 10 months, 240 claims
+  if (opts.scale == Scale::kSweep) {
+    o.num_countries = 15;
+    o.num_months = 8;
+    o.num_generated_claims = 120;
+  } else if (opts.scale == Scale::kSmoke) {
+    o.num_countries = 8;
+    o.num_months = 4;
+    o.num_generated_claims = 48;
+    o.num_user_claims = 20;
+  }
+  o.seed = SeedOr(opts, o.seed, 2);
+  return o;
+}
+
+datagen::AuditOptions ScaledAuditOptions(const BenchOptions& opts) {
+  datagen::AuditOptions o;  // kFull: 160 concepts / 320 documents
+  if (opts.scale == Scale::kSweep) {
+    o.num_concepts = 90;
+    o.num_documents = 150;
+  } else if (opts.scale == Scale::kSmoke) {
+    o.num_concepts = 40;
+    o.num_documents = 60;
+  }
+  o.seed = SeedOr(opts, o.seed, 3);
+  return o;
+}
+
+datagen::ClaimsOptions ScaledPolitifactOptions(const BenchOptions& opts) {
+  datagen::ClaimsOptions o = datagen::ClaimsGenerator::PolitifactPreset();
+  if (opts.scale == Scale::kSweep) {
+    o.num_facts = 700;
+    o.num_queries = 80;
+  } else if (opts.scale == Scale::kSmoke) {
+    o.num_facts = 200;
+    o.num_queries = 24;
+    o.num_topics = 12;
+  }
+  o.seed = SeedOr(opts, o.seed, 4);
+  return o;
+}
+
+datagen::ClaimsOptions ScaledSnopesOptions(const BenchOptions& opts) {
+  datagen::ClaimsOptions o = datagen::ClaimsGenerator::SnopesPreset();
+  if (opts.scale == Scale::kSweep) {
+    o.num_facts = 500;
+    o.num_queries = 80;
+  } else if (opts.scale == Scale::kSmoke) {
+    o.num_facts = 160;
+    o.num_queries = 24;
+    o.num_topics = 12;
+  }
+  o.seed = SeedOr(opts, o.seed, 5);
+  return o;
+}
+
+datagen::StsOptions ScaledStsOptions(const BenchOptions& opts) {
+  datagen::StsOptions o;  // kFull: 500 pairs
+  if (opts.scale == Scale::kSweep) {
+    o.num_pairs = 350;
+  } else if (opts.scale == Scale::kSmoke) {
+    o.num_pairs = 120;
+  }
+  o.seed = SeedOr(opts, o.seed, 6);
+  return o;
+}
+
+LexiconBundle MakeLexicon(const datagen::GeneratedScenario& data,
+                          const BenchOptions& opts) {
   LexiconBundle out;
   embed::PretrainedLexicon::Options o;
-  o.w2v.threads = 8;
-  o.w2v.epochs = 4;
+  o.w2v.threads = opts.scale == Scale::kSmoke ? 4 : 8;
+  o.w2v.epochs = opts.scale == Scale::kSmoke ? 2 : 4;
+  if (opts.seed != 0) o.w2v.seed = opts.seed + 100;
   out.lexicon = std::make_shared<embed::PretrainedLexicon>(o);
   if (!data.generic_corpus.empty()) {
     TDM_CHECK(out.lexicon->Train(data.generic_corpus).ok());
@@ -55,19 +164,76 @@ LexiconBundle MakeLexicon(const datagen::GeneratedScenario& data) {
   return out;
 }
 
-void RunRankingTable(const std::string& title, const corpus::Scenario& s,
-                     std::vector<NamedMethod>* methods) {
-  PrintTitle(title);
-  std::printf("%s\n", core::Experiment::Header().c_str());
-  for (auto& nm : *methods) {
+std::vector<SweepScenario> MakeSweepScenarios(const BenchOptions& opts) {
+  std::vector<SweepScenario> out;
+  auto add = [&out](std::string name, datagen::GeneratedScenario data,
+                    core::TDmatchOptions base) {
+    SweepScenario s;
+    s.name = std::move(name);
+    s.data = std::move(data);
+    s.base_options = std::move(base);
+    out.push_back(std::move(s));
+  };
+
+  if (opts.Matches("IMDb")) {
+    add("IMDb", datagen::ImdbGenerator::Generate(ScaledImdbOptions(opts)),
+        DataTaskOptions(opts));
+  }
+  if (opts.Matches("Corona")) {
+    core::TDmatchOptions base = DataTaskOptions(opts);
+    base.builder.bucket_numbers = true;
+    base.builder.fixed_buckets = 7;
+    add("Corona",
+        datagen::CoronaGenerator::Generate(ScaledCoronaOptions(opts)),
+        std::move(base));
+  }
+  if (opts.Matches("Audit")) {
+    add("Audit", datagen::AuditGenerator::Generate(ScaledAuditOptions(opts)),
+        TextTaskOptions(opts));
+  }
+  if (opts.Matches("Politifact")) {
+    add("Politifact",
+        datagen::ClaimsGenerator::Generate(ScaledPolitifactOptions(opts)),
+        TextTaskOptions(opts));
+  }
+  if (opts.Matches("Snopes")) {
+    add("Snopes",
+        datagen::ClaimsGenerator::Generate(ScaledSnopesOptions(opts)),
+        TextTaskOptions(opts));
+  }
+  return out;
+}
+
+void RunRankingTable(BenchReporter& reporter, const std::string& title,
+                     const std::string& scenario_name,
+                     const corpus::Scenario& s,
+                     const std::vector<NamedMethod>& methods) {
+  reporter.Title(title);
+  reporter.Print(core::Experiment::Header() + "\n");
+  for (const auto& nm : methods) {
+    util::StopWatch watch;
     auto run = core::Experiment::Run(nm.method.get(), s);
+    const double wall = watch.ElapsedSeconds();
     if (!run.ok()) {
-      std::printf("%-10s  FAILED: %s\n", nm.name.c_str(),
-                  run.status().ToString().c_str());
+      // stderr so the failure is visible in --json mode too (CI swallows
+      // table output there); the row simply goes missing from the JSON.
+      std::fprintf(stderr, "%s: %s on %s FAILED: %s\n",
+                   reporter.bench_name().c_str(), nm.name.c_str(),
+                   scenario_name.c_str(), run.status().ToString().c_str());
+      reporter.Printf("%-10s  FAILED: %s\n", nm.name.c_str(),
+                      run.status().ToString().c_str());
       continue;
     }
     auto report = core::Experiment::Report(nm.name, *run, s);
-    std::printf("%s\n", core::Experiment::FormatRow(report).c_str());
+    reporter.Print(core::Experiment::FormatRow(report) + "\n");
+    const std::string param = "method=" + nm.name;
+    reporter.Add(scenario_name, param, "mrr", report.mrr, wall);
+    reporter.Add(scenario_name, param, "map@1", report.map1, wall);
+    reporter.Add(scenario_name, param, "map@5", report.map5, wall);
+    reporter.Add(scenario_name, param, "map@20", report.map20, wall);
+    reporter.Add(scenario_name, param, "hp@1", report.hp1, wall);
+    reporter.Add(scenario_name, param, "hp@5", report.hp5, wall);
+    reporter.Add(scenario_name, param, "hp@20", report.hp20, wall);
   }
 }
 
@@ -77,69 +243,64 @@ double MapAt5(const corpus::Scenario& s, const core::TDmatchOptions& options,
   core::TDmatchMethod method("W-RW", options, resource, lexicon);
   auto run = core::Experiment::Run(&method, s);
   if (!run.ok()) {
-    std::printf("run failed: %s\n", run.status().ToString().c_str());
-    return 0.0;
+    // NaN, not 0.0: a broken config must be distinguishable from a true
+    // zero. The JSON writer turns NaN into null, which the CI gate
+    // (tools/check_bench.py) rejects, failing ci-bench.
+    std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+    return std::numeric_limits<double>::quiet_NaN();
   }
   return eval::RankingMetrics::MAPAtK(run->rankings, s.gold, 5);
 }
 
-std::vector<SweepScenario> MakeSweepScenarios() {
-  std::vector<SweepScenario> out;
+double MapAt5(BenchReporter& reporter, const std::string& scenario,
+              const std::string& parameter, const corpus::Scenario& s,
+              const core::TDmatchOptions& options,
+              const kb::ExternalResource* resource,
+              const embed::PretrainedLexicon* lexicon) {
+  util::StopWatch watch;
+  const double value = MapAt5(s, options, resource, lexicon);
+  reporter.Add(scenario, parameter, "map@5", value, watch.ElapsedSeconds());
+  return value;
+}
 
-  {
-    datagen::ImdbOptions o;
-    o.num_reviewed_movies = 30;
-    o.num_distractor_movies = 40;
-    SweepScenario s;
-    s.name = "IMDb";
-    s.data = datagen::ImdbGenerator::Generate(o);
-    s.base_options = DataTaskOptions();
-    out.push_back(std::move(s));
+std::vector<size_t> ScaledPoints(const BenchOptions& opts,
+                                 std::vector<size_t> full_points) {
+  if (opts.scale != Scale::kSmoke || full_points.size() <= 2) {
+    return full_points;
   }
-  {
-    datagen::CoronaOptions o;
-    o.num_countries = 15;
-    o.num_months = 8;
-    o.num_generated_claims = 120;
-    SweepScenario s;
-    s.name = "Coro.";
-    s.data = datagen::CoronaGenerator::Generate(o);
-    s.base_options = DataTaskOptions();
-    s.base_options.builder.bucket_numbers = true;
-    s.base_options.builder.fixed_buckets = 7;
-    out.push_back(std::move(s));
-  }
-  {
-    datagen::AuditOptions o;
-    o.num_concepts = 90;
-    o.num_documents = 150;
-    SweepScenario s;
-    s.name = "Audit";
-    s.data = datagen::AuditGenerator::Generate(o);
-    s.base_options = TextTaskOptions();
-    out.push_back(std::move(s));
-  }
-  {
-    datagen::ClaimsOptions o = datagen::ClaimsGenerator::PolitifactPreset();
-    o.num_facts = 700;
-    o.num_queries = 80;
-    SweepScenario s;
-    s.name = "Poli.";
-    s.data = datagen::ClaimsGenerator::Generate(o);
-    s.base_options = TextTaskOptions();
-    out.push_back(std::move(s));
-  }
-  {
-    datagen::ClaimsOptions o = datagen::ClaimsGenerator::SnopesPreset();
-    o.num_facts = 500;
-    o.num_queries = 80;
-    SweepScenario s;
-    s.name = "Snop.";
-    s.data = datagen::ClaimsGenerator::Generate(o);
-    s.base_options = TextTaskOptions();
-    out.push_back(std::move(s));
+  return {full_points.front(), full_points[full_points.size() / 2]};
+}
+
+std::vector<SweepPoint> NumericPoints(
+    const BenchOptions& opts, std::vector<size_t> full_points,
+    const std::function<void(core::TDmatchOptions&, size_t)>& apply) {
+  std::vector<SweepPoint> out;
+  for (size_t v : ScaledPoints(opts, std::move(full_points))) {
+    SweepPoint p;
+    p.label = std::to_string(v);
+    p.apply = [apply, v](core::TDmatchOptions& o) { apply(o, v); };
+    out.push_back(std::move(p));
   }
   return out;
+}
+
+void RunMapSweep(BenchReporter& reporter, const std::string& param_name,
+                 const std::vector<SweepScenario>& scenarios,
+                 const std::vector<SweepPoint>& points) {
+  reporter.Printf("\n%-12s", param_name.c_str());
+  for (const auto& sc : scenarios) reporter.Printf("  %-10s", sc.name.c_str());
+  reporter.Printf("\n");
+  for (const auto& p : points) {
+    reporter.Printf("%-12s", p.label.c_str());
+    for (const auto& sc : scenarios) {
+      core::TDmatchOptions o = sc.base_options;
+      p.apply(o);
+      const double v = MapAt5(reporter, sc.name, param_name + "=" + p.label,
+                              sc.data.scenario, o);
+      reporter.Printf("  %-10.3f", v);
+    }
+    reporter.Printf("\n");
+  }
 }
 
 }  // namespace bench

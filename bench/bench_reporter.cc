@@ -1,0 +1,141 @@
+#include "bench_reporter.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+namespace tdmatch {
+namespace bench {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatJsonRow(const std::string& bench, const BenchRow& row) {
+  std::string out = "{\"bench\":\"";
+  out += JsonEscape(bench);
+  out += "\",\"scenario\":\"";
+  out += JsonEscape(row.scenario);
+  out += "\",\"parameter\":\"";
+  out += JsonEscape(row.parameter);
+  out += "\",\"metric\":\"";
+  out += JsonEscape(row.metric);
+  out += "\",\"value\":";
+  out += JsonNumber(row.value);
+  out += ",\"wall_seconds\":";
+  out += JsonNumber(row.wall_seconds);
+  out += "}";
+  return out;
+}
+
+BenchReporter::BenchReporter(std::string bench_name, BenchOptions options)
+    : bench_name_(std::move(bench_name)), options_(std::move(options)) {}
+
+BenchReporter::~BenchReporter() { Finish(); }
+
+void BenchReporter::Note(const std::string& text) {
+  if (options_.table()) std::printf("%s\n", text.c_str());
+}
+
+void BenchReporter::Title(const std::string& title) {
+  if (options_.table()) std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void BenchReporter::Print(const std::string& text) {
+  if (options_.table()) std::fputs(text.c_str(), stdout);
+}
+
+void BenchReporter::Printf(const char* fmt, ...) {
+  if (!options_.table()) return;
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stdout, fmt, ap);
+  va_end(ap);
+}
+
+void BenchReporter::Add(const std::string& scenario,
+                        const std::string& parameter, const std::string& metric,
+                        double value, double wall_seconds) {
+  Add(BenchRow{scenario, parameter, metric, value, wall_seconds});
+}
+
+void BenchReporter::Add(BenchRow row) { rows_.push_back(std::move(row)); }
+
+bool BenchReporter::Finish() {
+  if (finished_) return true;
+  finished_ = true;
+  bool ok = true;
+  if (!options_.out_path.empty()) {
+    std::FILE* f = std::fopen(options_.out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open --out file %s\n",
+                   options_.out_path.c_str());
+      ok = false;
+    } else {
+      for (const auto& row : rows_) {
+        std::fprintf(f, "%s\n", FormatJsonRow(bench_name_, row).c_str());
+      }
+      if (std::fclose(f) != 0) {
+        std::fprintf(stderr, "error: failed writing --out file %s\n",
+                     options_.out_path.c_str());
+        ok = false;
+      }
+    }
+  }
+  if (options_.json() && options_.out_path.empty()) {
+    for (const auto& row : rows_) {
+      std::printf("%s\n", FormatJsonRow(bench_name_, row).c_str());
+    }
+  }
+  return ok;
+}
+
+}  // namespace bench
+}  // namespace tdmatch

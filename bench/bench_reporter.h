@@ -1,0 +1,79 @@
+#ifndef TDMATCH_BENCH_BENCH_REPORTER_H_
+#define TDMATCH_BENCH_BENCH_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_cli.h"
+
+namespace tdmatch {
+namespace bench {
+
+/// One machine-readable benchmark measurement. The (scenario, parameter,
+/// metric) triple identifies a measurement across PRs so CI can track its
+/// trajectory; `value` is the measurement and `wall_seconds` the wall time
+/// spent producing it.
+struct BenchRow {
+  std::string scenario;   ///< e.g. "IMDb", "Corona", "IMDb-WT"
+  std::string parameter;  ///< e.g. "walk_length=20", "method=W-RW"
+  std::string metric;     ///< e.g. "map@5", "mrr", "train_seconds"
+  double value = 0;
+  double wall_seconds = 0;
+};
+
+/// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+/// and control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Formats one JSON Lines record (no trailing newline). Non-finite numbers
+/// serialise as null so the output is always valid JSON; the CI gate
+/// (tools/check_bench.py) rejects null values.
+std::string FormatJsonRow(const std::string& bench, const BenchRow& row);
+
+/// \brief Collects benchmark rows and renders them either as the
+/// paper-style tables (default) or as JSON Lines (--json / --out).
+///
+/// In table mode Note()/Title()/Print() go to stdout and Finish() only
+/// writes rows when --out is set. In JSON mode all human-oriented text is
+/// suppressed and Finish() emits one JSON object per row to stdout (or to
+/// --out when given, leaving stdout silent).
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, BenchOptions options);
+  /// Flushes via Finish() as a safety net; call Finish() explicitly from
+  /// main() so I/O errors can turn into a nonzero exit code.
+  ~BenchReporter();
+
+  const BenchOptions& options() const { return options_; }
+  const std::string& bench_name() const { return bench_name_; }
+
+  /// Human-facing prose; printed with a trailing newline in table mode.
+  void Note(const std::string& text);
+  /// "=== title ===" separator in table mode.
+  void Title(const std::string& title);
+  /// Raw preformatted table text in table mode (printed verbatim).
+  void Print(const std::string& text);
+  /// printf-style table text in table mode (what the bench mains use to
+  /// build their paper-style rows).
+  void Printf(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  void Add(const std::string& scenario, const std::string& parameter,
+           const std::string& metric, double value, double wall_seconds);
+  void Add(BenchRow row);
+  const std::vector<BenchRow>& rows() const { return rows_; }
+
+  /// Emits the collected rows (see class comment). Idempotent; returns
+  /// false when writing --out fails.
+  bool Finish();
+
+ private:
+  std::string bench_name_;
+  BenchOptions options_;
+  std::vector<BenchRow> rows_;
+  bool finished_ = false;
+};
+
+}  // namespace bench
+}  // namespace tdmatch
+
+#endif  // TDMATCH_BENCH_BENCH_REPORTER_H_

@@ -3,28 +3,38 @@
 // scores, for all five scenarios.
 
 #include <cstdio>
+#include <string>
 
 #include "baselines/sbe.h"
 #include "bench_common.h"
 #include "eval/metrics.h"
 #include "match/combine.h"
 #include "match/top_k.h"
+#include "util/timer.h"
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Reproduction of Fig. 10 (combination with SentenceBERT)\n");
-  auto scenarios = bench::MakeSweepScenarios();
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("fig10_combination", opts);
+  rep.Note("Reproduction of Fig. 10 (combination with SentenceBERT)");
 
-  std::printf("\n%-10s  %-8s  %-10s\n", "Scenario", "W-RW", "W-RW&S-BE");
-  for (const auto& sc : scenarios) {
+  rep.Printf("\n%-10s  %-8s  %-10s\n", "Scenario", "W-RW", "W-RW&S-BE");
+  for (const auto& sc : bench::MakeSweepScenarios(opts)) {
     const corpus::Scenario& s = sc.data.scenario;
+    util::StopWatch watch;
     core::TDmatchMethod wrw("W-RW", sc.base_options);
     auto wrw_run = core::Experiment::Run(&wrw, s);
+    const double wrw_wall = watch.ElapsedSeconds();
     baselines::HashSentenceEncoder sbe;
     auto sbe_run = core::Experiment::Run(&sbe, s);
     if (!wrw_run.ok() || !sbe_run.ok()) {
-      std::printf("%-10s  FAILED\n", sc.name.c_str());
+      std::fprintf(stderr, "fig10_combination: %s FAILED: %s\n",
+                   sc.name.c_str(),
+                   (!wrw_run.ok() ? wrw_run.status() : sbe_run.status())
+                       .ToString()
+                       .c_str());
+      rep.Print(sc.name + "  FAILED\n");
       continue;
     }
     core::MethodRun combined;
@@ -34,12 +44,18 @@ int main() {
           wrw_run->scores[q], sbe_run->scores[q]);
       combined.rankings[q] = match::TopK::FullRanking(scores);
     }
-    std::printf("%-10s  %-8.3f  %-10.3f\n", sc.name.c_str(),
-                eval::RankingMetrics::MAPAtK(wrw_run->rankings, s.gold, 5),
-                eval::RankingMetrics::MAPAtK(combined.rankings, s.gold, 5));
+    const double total_wall = watch.ElapsedSeconds();
+    const double wrw_map =
+        eval::RankingMetrics::MAPAtK(wrw_run->rankings, s.gold, 5);
+    const double combined_map =
+        eval::RankingMetrics::MAPAtK(combined.rankings, s.gold, 5);
+    rep.Add(sc.name, "method=W-RW", "map@5", wrw_map, wrw_wall);
+    rep.Add(sc.name, "method=W-RW&S-BE", "map@5", combined_map, total_wall);
+    rep.Printf("%-10s  %-8.3f  %-10.3f\n", sc.name.c_str(), wrw_map,
+               combined_map);
   }
-  std::printf(
+  rep.Note(
       "\nExpected shape: the combination matches or improves W-RW in all\n"
-      "scenarios (domain-specific + generic signals are complementary).\n");
-  return 0;
+      "scenarios (domain-specific + generic signals are complementary).");
+  return rep.Finish() ? 0 : 1;
 }

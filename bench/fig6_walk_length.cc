@@ -1,31 +1,22 @@
 // Fig. 6: mean average precision (MAP@5) as the random-walk length grows
 // {5, 10, 20, 30, 40, 50} for all five scenarios.
 
-#include <cstdio>
-
 #include "bench_common.h"
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Reproduction of Fig. 6 (match quality vs walk length)\n");
-  auto scenarios = bench::MakeSweepScenarios();
-  const size_t lengths[] = {5, 10, 20, 30, 40, 50};
-
-  std::printf("\n%-6s", "len");
-  for (const auto& sc : scenarios) std::printf("  %-6s", sc.name.c_str());
-  std::printf("\n");
-  for (size_t len : lengths) {
-    std::printf("%-6zu", len);
-    for (const auto& sc : scenarios) {
-      core::TDmatchOptions o = sc.base_options;
-      o.walks.walk_length = len;
-      std::printf("  %.3f", bench::MapAt5(sc.data.scenario, o));
-    }
-    std::printf("\n");
-  }
-  std::printf(
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("fig6_walk_length", opts);
+  rep.Note("Reproduction of Fig. 6 (match quality vs walk length)");
+  bench::RunMapSweep(rep, "walk_length", bench::MakeSweepScenarios(opts),
+                     bench::NumericPoints(opts, {5, 10, 20, 30, 40, 50},
+                                          [](core::TDmatchOptions& o,
+                                             size_t v) {
+                                            o.walks.walk_length = v;
+                                          }));
+  rep.Note(
       "\nExpected shape: quality rises up to ~length 20 and then plateaus\n"
-      "(larger/denser graphs keep profiting from longer walks).\n");
-  return 0;
+      "(larger/denser graphs keep profiting from longer walks).");
+  return rep.Finish() ? 0 : 1;
 }

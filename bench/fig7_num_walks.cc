@@ -1,31 +1,22 @@
 // Fig. 7: mean average precision (MAP@5) as the number of random walks per
 // node grows {5, 10, 20, 30, 40, 50} for all five scenarios.
 
-#include <cstdio>
-
 #include "bench_common.h"
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Reproduction of Fig. 7 (match quality vs number of walks)\n");
-  auto scenarios = bench::MakeSweepScenarios();
-  const size_t counts[] = {5, 10, 20, 30, 40, 50};
-
-  std::printf("\n%-6s", "walks");
-  for (const auto& sc : scenarios) std::printf("  %-6s", sc.name.c_str());
-  std::printf("\n");
-  for (size_t n : counts) {
-    std::printf("%-6zu", n);
-    for (const auto& sc : scenarios) {
-      core::TDmatchOptions o = sc.base_options;
-      o.walks.num_walks = n;
-      std::printf("  %.3f", bench::MapAt5(sc.data.scenario, o));
-    }
-    std::printf("\n");
-  }
-  std::printf(
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("fig7_num_walks", opts);
+  rep.Note("Reproduction of Fig. 7 (match quality vs number of walks)");
+  bench::RunMapSweep(rep, "num_walks", bench::MakeSweepScenarios(opts),
+                     bench::NumericPoints(opts, {5, 10, 20, 30, 40, 50},
+                                          [](core::TDmatchOptions& o,
+                                             size_t v) {
+                                            o.walks.num_walks = v;
+                                          }));
+  rep.Note(
       "\nExpected shape: improving with more walks with diminishing\n"
-      "returns; sparse graphs saturate earliest.\n");
-  return 0;
+      "returns; sparse graphs saturate earliest.");
+  return rep.Finish() ? 0 : 1;
 }

@@ -3,9 +3,9 @@
 // observes linear scaling in the number of nodes.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
-#include "datagen/sts.h"
 #include "embed/random_walk.h"
 #include "embed/word2vec.h"
 #include "graph/builder.h"
@@ -13,12 +13,16 @@
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Reproduction of Fig. 8 (training time vs graph size)\n");
-  std::printf("\n%-10s %-10s %-10s %-12s\n", "pairs", "nodes", "edges",
-              "time (s)");
-  for (size_t pairs : {200, 400, 800, 1600, 3200}) {
-    datagen::StsOptions gen;
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("fig8_scaling", opts);
+  rep.Note("Reproduction of Fig. 8 (training time vs graph size)");
+  rep.Printf("\n%-10s %-10s %-10s %-12s\n", "pairs", "nodes", "edges",
+             "time (s)");
+
+  const bool smoke = opts.scale == bench::Scale::kSmoke;
+  for (size_t pairs : bench::ScaledPoints(opts, {200, 400, 800, 1600, 3200})) {
+    datagen::StsOptions gen = bench::ScaledStsOptions(opts);
     gen.num_pairs = pairs;
     gen.threshold = 0;  // keep all pairs: graph size is what matters here
     auto data = datagen::StsGenerator::Generate(gen);
@@ -26,21 +30,32 @@ int main() {
     graph::GraphBuilder builder{graph::BuilderOptions{}};
     auto g = builder.Build(data.scenario.first, data.scenario.second);
     if (!g.ok()) {
-      std::printf("build failed: %s\n", g.status().ToString().c_str());
+      std::fprintf(stderr, "fig8_scaling: build at pairs=%zu FAILED: %s\n",
+                   pairs, g.status().ToString().c_str());
+      rep.Print("build failed: " + g.status().ToString() + "\n");
       continue;
     }
     util::StopWatch watch;
-    embed::RandomWalkOptions walk_opts{.num_walks = 12, .walk_length = 15,
-                                       .seed = 1, .threads = 8};
+    embed::RandomWalkOptions walk_opts{.num_walks = smoke ? 6u : 12u,
+                                       .walk_length = smoke ? 10u : 15u,
+                                       .seed = opts.seed == 0 ? 1 : opts.seed,
+                                       .threads = smoke ? 4u : 8u};
     auto walks = embed::RandomWalker::Generate(*g, walk_opts);
     embed::Word2VecOptions w2v_opts;
-    w2v_opts.threads = 8;
-    w2v_opts.epochs = 2;
+    w2v_opts.threads = smoke ? 4 : 8;
+    w2v_opts.epochs = smoke ? 1 : 2;
+    if (opts.seed != 0) w2v_opts.seed = opts.seed;
     embed::Word2Vec w2v(w2v_opts);
     TDM_CHECK(w2v.Train(walks, g->NumNodes()).ok());
-    std::printf("%-10zu %-10zu %-10zu %-12.3f\n", pairs, g->NumNodes(),
-                g->NumEdges(), watch.ElapsedSeconds());
+    const double seconds = watch.ElapsedSeconds();
+
+    const std::string param = "pairs=" + std::to_string(pairs);
+    rep.Add("STS", param, "nodes", static_cast<double>(g->NumNodes()), seconds);
+    rep.Add("STS", param, "edges", static_cast<double>(g->NumEdges()), seconds);
+    rep.Add("STS", param, "walk_train_seconds", seconds, seconds);
+    rep.Printf("%-10zu %-10zu %-10zu %-12.3f\n", pairs, g->NumNodes(),
+               g->NumEdges(), seconds);
   }
-  std::printf("\nExpected shape: time grows linearly with node count.\n");
-  return 0;
+  rep.Note("\nExpected shape: time grows linearly with node count.");
+  return rep.Finish() ? 0 : 1;
 }

@@ -1,38 +1,26 @@
 // Fig. 9: impact of data-node filtering on MAP@5 — Normal (no filter) vs
 // TF-IDF top-k vs the paper's Intersect filter, for all five scenarios.
 
-#include <cstdio>
-
 #include "bench_common.h"
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Reproduction of Fig. 9 (impact of data node filtering)\n");
-  auto scenarios = bench::MakeSweepScenarios();
-
-  struct Mode {
-    const char* name;
-    graph::FilterMode mode;
-  };
-  const Mode modes[] = {{"Normal", graph::FilterMode::kNone},
-                        {"TFIDF", graph::FilterMode::kTfIdf},
-                        {"Intersect", graph::FilterMode::kIntersect}};
-
-  std::printf("\n%-10s", "Scenario");
-  for (const auto& m : modes) std::printf("  %-9s", m.name);
-  std::printf("\n");
-  for (const auto& sc : scenarios) {
-    std::printf("%-10s", sc.name.c_str());
-    for (const auto& m : modes) {
-      core::TDmatchOptions o = sc.base_options;
-      o.builder.filter = m.mode;
-      std::printf("  %-9.3f", bench::MapAt5(sc.data.scenario, o));
-    }
-    std::printf("\n");
-  }
-  std::printf(
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("fig9_filtering", opts);
+  rep.Note("Reproduction of Fig. 9 (impact of data node filtering)");
+  const std::vector<bench::SweepPoint> points = {
+      {"Normal",
+       [](core::TDmatchOptions& o) { o.builder.filter = graph::FilterMode::kNone; }},
+      {"TFIDF",
+       [](core::TDmatchOptions& o) { o.builder.filter = graph::FilterMode::kTfIdf; }},
+      {"Intersect",
+       [](core::TDmatchOptions& o) {
+         o.builder.filter = graph::FilterMode::kIntersect;
+       }}};
+  bench::RunMapSweep(rep, "filter", bench::MakeSweepScenarios(opts), points);
+  rep.Note(
       "\nExpected shape: Intersect >= TFIDF >= Normal in most scenarios\n"
-      "(the paper's Intersect wins everywhere; TF-IDF helps except IMDb).\n");
-  return 0;
+      "(the paper's Intersect wins everywhere; TF-IDF helps except IMDb).");
+  return rep.Finish() ? 0 : 1;
 }

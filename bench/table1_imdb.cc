@@ -3,26 +3,29 @@
 // {S-BE, W-RW, W-RW-EX, RANK*, DITTO*, TAPAS*} and the metric columns
 // MRR / MAP@{1,5,20} / HasPositive@{1,5,20}.
 
-#include <cstdio>
+#include <string>
 
 #include "baselines/sbe.h"
 #include "baselines/supervised.h"
 #include "bench_common.h"
-#include "datagen/imdb.h"
 
 using namespace tdmatch;  // NOLINT
 
 namespace {
 
-void RunVariant(bool with_title) {
-  datagen::ImdbOptions gen;
+void RunVariant(bench::BenchReporter& rep, bool with_title) {
+  const bench::BenchOptions& opts = rep.options();
+  const std::string label = std::string("IMDb-") + (with_title ? "WT" : "NT");
+  if (!opts.Matches(label)) return;
+
+  datagen::ImdbOptions gen = bench::ScaledImdbOptions(opts);
   gen.with_title = with_title;
   auto data = datagen::ImdbGenerator::Generate(gen);
 
   std::vector<bench::NamedMethod> methods;
   methods.push_back({"S-BE",
                      std::make_unique<baselines::HashSentenceEncoder>()});
-  core::TDmatchOptions base = bench::DataTaskOptions();
+  core::TDmatchOptions base = bench::DataTaskOptions(opts);
   methods.push_back(
       {"W-RW", std::make_unique<core::TDmatchMethod>("W-RW", base)});
   core::TDmatchOptions ex = base;
@@ -34,15 +37,17 @@ void RunVariant(bool with_title) {
   methods.push_back({"TAPAS*", std::make_unique<baselines::TapasProxy>()});
 
   bench::RunRankingTable(
-      std::string("Table I — IMDb ") + (with_title ? "WT" : "NT"),
-      data.scenario, &methods);
+      rep, std::string("Table I — IMDb ") + (with_title ? "WT" : "NT"), label,
+      data.scenario, methods);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Reproduction of Table I (IMDb scenario)\n");
-  RunVariant(/*with_title=*/true);
-  RunVariant(/*with_title=*/false);
-  return 0;
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("table1_imdb", opts);
+  rep.Note("Reproduction of Table I (IMDb scenario)");
+  RunVariant(rep, /*with_title=*/true);
+  RunVariant(rep, /*with_title=*/false);
+  return rep.Finish() ? 0 : 1;
 }

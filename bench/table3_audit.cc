@@ -2,20 +2,25 @@
 // at K in {1, 3, 5, 10}. Row set {D2VEC, S-BE, W-RW, W-RW-EX, RANK*, L-BE*}.
 
 #include <cstdio>
+#include <string>
 
 #include "baselines/embedding_baselines.h"
 #include "baselines/lbert.h"
 #include "baselines/sbe.h"
 #include "baselines/supervised.h"
 #include "bench_common.h"
-#include "datagen/audit.h"
 #include "eval/taxonomy_metrics.h"
+#include "util/timer.h"
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Reproduction of Table III (Audit scenario)\n");
-  auto data = datagen::AuditGenerator::Generate({});
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("table3_audit", opts);
+  rep.Note("Reproduction of Table III (Audit scenario)");
+  if (!opts.Matches("Audit")) return rep.Finish() ? 0 : 1;
+
+  auto data = datagen::AuditGenerator::Generate(bench::ScaledAuditOptions(opts));
   const corpus::Scenario& s = data.scenario;
   const corpus::Taxonomy& tax = *s.second.taxonomy();
 
@@ -24,8 +29,8 @@ int main() {
   methods.push_back({"S-BE",
                      std::make_unique<baselines::HashSentenceEncoder>()});
   methods.push_back({"W-RW", std::make_unique<core::TDmatchMethod>(
-                                 "W-RW", bench::TextTaskOptions())});
-  core::TDmatchOptions ex = bench::TextTaskOptions();
+                                 "W-RW", bench::TextTaskOptions(opts))});
+  core::TDmatchOptions ex = bench::TextTaskOptions(opts);
   ex.expand = true;
   methods.push_back({"W-RW-EX", std::make_unique<core::TDmatchMethod>(
                                     "W-RW-EX", ex, data.kb.get())});
@@ -36,31 +41,42 @@ int main() {
   struct Done {
     std::string name;
     core::MethodRun run;
+    double wall = 0;
   };
   std::vector<Done> runs;
   for (auto& nm : methods) {
+    util::StopWatch watch;
     auto run = core::Experiment::Run(nm.method.get(), s);
     if (!run.ok()) {
-      std::printf("%-8s FAILED: %s\n", nm.name.c_str(),
-                  run.status().ToString().c_str());
+      std::fprintf(stderr, "table3_audit: %s FAILED: %s\n", nm.name.c_str(),
+                   run.status().ToString().c_str());
+      rep.Print(nm.name + " FAILED: " + run.status().ToString() + "\n");
       continue;
     }
-    runs.push_back({nm.name, std::move(*run)});
+    runs.push_back({nm.name, std::move(*run), watch.ElapsedSeconds()});
   }
 
   for (size_t k : {1, 3, 5, 10}) {
-    std::printf("\n--- K=%zu ---\n", k);
-    std::printf("%-8s  %-22s  %-22s\n", "Method", "Exact P / R / F",
-                "Node P / R / F");
+    rep.Printf("\n--- K=%zu ---\n", k);
+    rep.Printf("%-8s  %-22s  %-22s\n", "Method", "Exact P / R / F",
+               "Node P / R / F");
+    const std::string suffix = "@" + std::to_string(k);
     for (const auto& d : runs) {
       auto exact =
           eval::TaxonomyMetrics::ExactScores(tax, d.run.rankings, s.gold, k);
       auto node =
           eval::TaxonomyMetrics::NodeScores(tax, d.run.rankings, s.gold, k);
-      std::printf("%-8s  %.3f %.3f %.3f      %.3f %.3f %.3f\n",
-                  d.name.c_str(), exact.precision, exact.recall, exact.f1,
-                  node.precision, node.recall, node.f1);
+      const std::string param = "method=" + d.name;
+      rep.Add("Audit", param, "exact_p" + suffix, exact.precision, d.wall);
+      rep.Add("Audit", param, "exact_r" + suffix, exact.recall, d.wall);
+      rep.Add("Audit", param, "exact_f" + suffix, exact.f1, d.wall);
+      rep.Add("Audit", param, "node_p" + suffix, node.precision, d.wall);
+      rep.Add("Audit", param, "node_r" + suffix, node.recall, d.wall);
+      rep.Add("Audit", param, "node_f" + suffix, node.f1, d.wall);
+      rep.Printf("%-8s  %.3f %.3f %.3f      %.3f %.3f %.3f\n",
+                 d.name.c_str(), exact.precision, exact.recall, exact.f1,
+                 node.precision, node.recall, node.f1);
     }
   }
-  return 0;
+  return rep.Finish() ? 0 : 1;
 }

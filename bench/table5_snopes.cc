@@ -1,27 +1,28 @@
 // Table V: quality of match results for the Snopes scenario
 // (text-to-text). Row set {S-BE, W-RW, W-RW-EX, RANK*}.
 
-#include <cstdio>
-
 #include "baselines/sbe.h"
 #include "baselines/supervised.h"
 #include "bench_common.h"
-#include "datagen/claims.h"
 
 using namespace tdmatch;  // NOLINT
 
-int main() {
-  std::printf("Reproduction of Table V (Snopes scenario)\n");
-  auto data = datagen::ClaimsGenerator::Generate(
-      datagen::ClaimsGenerator::SnopesPreset());
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("table5_snopes", opts);
+  rep.Note("Reproduction of Table V (Snopes scenario)");
+  if (!opts.Matches("Snopes")) return rep.Finish() ? 0 : 1;
+
+  auto data =
+      datagen::ClaimsGenerator::Generate(bench::ScaledSnopesOptions(opts));
   // §II-C synonym merging through the pre-trained lexicon is part of the
   // default pipeline (the paper reports +1.5-1.7% on these corpora).
-  auto lex = bench::MakeLexicon(data);
+  auto lex = bench::MakeLexicon(data, opts);
 
   std::vector<bench::NamedMethod> methods;
   methods.push_back({"S-BE",
                      std::make_unique<baselines::HashSentenceEncoder>()});
-  core::TDmatchOptions base = bench::TextTaskOptions();
+  core::TDmatchOptions base = bench::TextTaskOptions(opts);
   base.use_synonym_merge = true;
   base.gamma = lex.gamma;
   methods.push_back({"W-RW", std::make_unique<core::TDmatchMethod>(
@@ -33,6 +34,7 @@ int main() {
                       "W-RW-EX", ex, data.kb.get(), lex.lexicon.get())});
   methods.push_back({"RANK*", std::make_unique<baselines::PairwiseRanker>()});
 
-  bench::RunRankingTable("Table V — Snopes", data.scenario, &methods);
-  return 0;
+  bench::RunRankingTable(rep, "Table V — Snopes", "Snopes", data.scenario,
+                         methods);
+  return rep.Finish() ? 0 : 1;
 }

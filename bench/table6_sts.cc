@@ -1,19 +1,22 @@
 // Table VI: quality of match results for the STS scenario at similarity
 // thresholds k=2 and k=3. Row set {S-BE, W-RW, W-RW-EX, RANK*}.
 
-#include <cstdio>
+#include <string>
 
 #include "baselines/sbe.h"
 #include "baselines/supervised.h"
 #include "bench_common.h"
-#include "datagen/sts.h"
 
 using namespace tdmatch;  // NOLINT
 
 namespace {
 
-void RunThreshold(int threshold) {
-  datagen::StsOptions gen;
+void RunThreshold(bench::BenchReporter& rep, int threshold) {
+  const bench::BenchOptions& opts = rep.options();
+  const std::string label = "STS-k" + std::to_string(threshold);
+  if (!opts.Matches(label)) return;
+
+  datagen::StsOptions gen = bench::ScaledStsOptions(opts);
   gen.threshold = threshold;
   auto data = datagen::StsGenerator::Generate(gen);
 
@@ -21,23 +24,25 @@ void RunThreshold(int threshold) {
   methods.push_back({"S-BE",
                      std::make_unique<baselines::HashSentenceEncoder>()});
   methods.push_back({"W-RW", std::make_unique<core::TDmatchMethod>(
-                                 "W-RW", bench::TextTaskOptions())});
-  core::TDmatchOptions ex = bench::TextTaskOptions();
+                                 "W-RW", bench::TextTaskOptions(opts))});
+  core::TDmatchOptions ex = bench::TextTaskOptions(opts);
   ex.expand = true;
   methods.push_back({"W-RW-EX", std::make_unique<core::TDmatchMethod>(
                                     "W-RW-EX", ex, data.kb.get())});
   methods.push_back({"RANK*", std::make_unique<baselines::PairwiseRanker>()});
 
   bench::RunRankingTable(
-      std::string("Table VI — STS k=") + std::to_string(threshold),
-      data.scenario, &methods);
+      rep, std::string("Table VI — STS k=") + std::to_string(threshold),
+      label, data.scenario, methods);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Reproduction of Table VI (STS scenario)\n");
-  RunThreshold(2);
-  RunThreshold(3);
-  return 0;
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("table6_sts", opts);
+  rep.Note("Reproduction of Table VI (STS scenario)");
+  RunThreshold(rep, 2);
+  RunThreshold(rep, 3);
+  return rep.Finish() ? 0 : 1;
 }

@@ -4,52 +4,78 @@
 
 #include <cstdio>
 #include <functional>
+#include <limits>
+#include <string>
 
 #include "baselines/embedding_baselines.h"
 #include "baselines/lbert.h"
 #include "baselines/sbe.h"
 #include "baselines/supervised.h"
 #include "bench_common.h"
-#include "datagen/audit.h"
-#include "datagen/claims.h"
-#include "datagen/imdb.h"
+#include "util/timer.h"
 
 using namespace tdmatch;  // NOLINT
 
 namespace {
 
 struct Timing {
-  double train = -1;
-  double test = -1;  // per query
+  double train = 0;
+  double test = 0;  // per query
+  double wall = 0;
 };
 
 Timing TimeMethod(match::MatchMethod* m, const corpus::Scenario& s) {
+  util::StopWatch watch;
   auto run = core::Experiment::Run(m, s);
-  if (!run.ok()) return {};
-  return {run->train_seconds, run->test_seconds_per_query};
+  if (!run.ok()) {
+    // NaN serialises as null in the JSON rows, which the CI gate
+    // (tools/check_bench.py) rejects — a broken method fails ci-bench
+    // instead of polluting the trajectory with fake finite timings.
+    std::fprintf(stderr, "table7_times: %s FAILED: %s\n", m->name().c_str(),
+                 run.status().ToString().c_str());
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    return {nan, nan, watch.ElapsedSeconds()};
+  }
+  return {run->train_seconds, run->test_seconds_per_query,
+          watch.ElapsedSeconds()};
 }
 
 using Factory = std::function<std::unique_ptr<match::MatchMethod>(
     const datagen::GeneratedScenario&, bool text_task)>;
 
+struct Family {
+  std::string label;   // column header (task family)
+  std::string name;    // row scenario name for JSON rows
+  datagen::GeneratedScenario data;
+  bool text_task = false;
+};
+
 }  // namespace
 
-int main() {
-  std::printf("Reproduction of Table VII (train/test execution times, s)\n");
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("table7_times", opts);
+  rep.Note("Reproduction of Table VII (train/test execution times, s)");
 
-  datagen::ImdbOptions imdb_opts;
-  imdb_opts.num_reviewed_movies = 40;
-  imdb_opts.num_distractor_movies = 60;
-  auto imdb = datagen::ImdbGenerator::Generate(imdb_opts);
-  datagen::AuditOptions audit_opts;
-  audit_opts.num_concepts = 120;
-  audit_opts.num_documents = 200;
-  auto audit = datagen::AuditGenerator::Generate(audit_opts);
-  datagen::ClaimsOptions claims_opts =
-      datagen::ClaimsGenerator::SnopesPreset();
-  claims_opts.num_facts = 600;
-  claims_opts.num_queries = 80;
-  auto claims = datagen::ClaimsGenerator::Generate(claims_opts);
+  std::vector<Family> families;
+  if (opts.Matches("IMDb")) {
+    families.push_back({"Text-to-data", "IMDb",
+                        datagen::ImdbGenerator::Generate(
+                            bench::ScaledImdbOptions(opts)),
+                        false});
+  }
+  if (opts.Matches("Audit")) {
+    families.push_back({"Structured text", "Audit",
+                        datagen::AuditGenerator::Generate(
+                            bench::ScaledAuditOptions(opts)),
+                        true});
+  }
+  if (opts.Matches("Snopes")) {
+    families.push_back({"Text-to-text", "Snopes",
+                        datagen::ClaimsGenerator::Generate(
+                            bench::ScaledSnopesOptions(opts)),
+                        true});
+  }
 
   struct Row {
     std::string name;
@@ -69,11 +95,11 @@ int main() {
          return std::make_unique<baselines::HashSentenceEncoder>();
        }},
       {"W-RW",
-       [](const datagen::GeneratedScenario&, bool text_task)
+       [&opts](const datagen::GeneratedScenario&, bool text_task)
            -> std::unique_ptr<match::MatchMethod> {
          return std::make_unique<core::TDmatchMethod>(
-             "W-RW",
-             text_task ? bench::TextTaskOptions() : bench::DataTaskOptions());
+             "W-RW", text_task ? bench::TextTaskOptions(opts)
+                               : bench::DataTaskOptions(opts));
        }},
       {"RANK*",
        [](const datagen::GeneratedScenario&, bool) {
@@ -85,24 +111,29 @@ int main() {
        }},
   };
 
-  std::printf("\n%-8s  %-17s  %-17s  %-17s\n", "Method", "Text-to-data",
-              "Structured text", "Text-to-text");
-  std::printf("%-8s  %-8s %-8s  %-8s %-8s  %-8s %-8s\n", "", "Train", "Test",
-              "Train", "Test", "Train", "Test");
-  for (const auto& row : rows) {
-    auto m1 = row.make(imdb, false);
-    Timing t1 = TimeMethod(m1.get(), imdb.scenario);
-    auto m2 = row.make(audit, true);
-    Timing t2 = TimeMethod(m2.get(), audit.scenario);
-    auto m3 = row.make(claims, true);
-    Timing t3 = TimeMethod(m3.get(), claims.scenario);
-    std::printf("%-8s  %-8.3f %-8.5f  %-8.3f %-8.5f  %-8.3f %-8.5f\n",
-                row.name.c_str(), t1.train, t1.test, t2.train, t2.test,
-                t3.train, t3.test);
+  rep.Printf("\n%-8s", "Method");
+  for (const auto& fam : families) rep.Printf("  %-17s", fam.label.c_str());
+  rep.Printf("\n%-8s", "");
+  for (size_t i = 0; i < families.size(); ++i) {
+    rep.Printf("  %-8s %-8s", "Train", "Test");
   }
-  std::printf(
+  rep.Printf("\n");
+
+  for (const auto& row : rows) {
+    rep.Printf("%-8s", row.name.c_str());
+    for (const auto& fam : families) {
+      auto m = row.make(fam.data, fam.text_task);
+      Timing t = TimeMethod(m.get(), fam.data.scenario);
+      const std::string param = "method=" + row.name;
+      rep.Add(fam.name, param, "train_seconds", t.train, t.wall);
+      rep.Add(fam.name, param, "test_seconds_per_query", t.test, t.wall);
+      rep.Printf("  %-8.3f %-8.5f", t.train, t.test);
+    }
+    rep.Printf("\n");
+  }
+  rep.Note(
       "\nNote: shapes to compare with the paper — S-BE has (near) zero\n"
       "train; W-RW trains longer than shallow embeddings but tests fastest\n"
-      "among embedding methods; supervised methods pay per-fold training.\n");
-  return 0;
+      "among embedding methods; supervised methods pay per-fold training.");
+  return rep.Finish() ? 0 : 1;
 }

@@ -3,9 +3,12 @@
 // expanded graph, MSP(0.5), MSP(0.25) and the SSumm-style baseline (0.1).
 
 #include <cstdio>
+#include <limits>
+#include <string>
 
 #include "bench_common.h"
 #include "eval/metrics.h"
+#include "util/timer.h"
 
 using namespace tdmatch;  // NOLINT
 
@@ -15,57 +18,75 @@ struct Cell {
   size_t nodes = 0;
   size_t edges = 0;
   double mrr = 0;
+  double wall = 0;
 };
 
-Cell RunConfig(const bench::SweepScenario& sc, bool expand,
+Cell RunConfig(bench::BenchReporter& rep, const bench::SweepScenario& sc,
+               const std::string& config, bool expand,
                core::CompressionMode mode, double beta) {
   core::TDmatchOptions o = sc.base_options;
   o.expand = expand;
   o.compression = mode;
   o.compression_beta = beta;
   core::TDmatchMethod m("cfg", o, sc.data.kb.get());
+  util::StopWatch watch;
   auto run = core::Experiment::Run(&m, sc.data.scenario);
   Cell c;
+  c.wall = watch.ElapsedSeconds();
+  const std::string param = "config=" + config;
   if (!run.ok()) {
-    std::printf("config failed: %s\n", run.status().ToString().c_str());
+    // NaN rows (-> null in JSON) so the CI gate flags the broken config
+    // instead of the measurement silently vanishing from the trajectory.
+    std::fprintf(stderr, "table8_compression: %s/%s FAILED: %s\n",
+                 sc.name.c_str(), config.c_str(),
+                 run.status().ToString().c_str());
+    rep.Print("config failed: " + run.status().ToString() + "\n");
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    rep.Add(sc.name, param, "nodes", nan, c.wall);
+    rep.Add(sc.name, param, "edges", nan, c.wall);
+    rep.Add(sc.name, param, "mrr", nan, c.wall);
     return c;
   }
   c.nodes = m.last_result().compressed.nodes;
   c.edges = m.last_result().compressed.edges;
   c.mrr = eval::RankingMetrics::MRR(run->rankings, sc.data.scenario.gold);
+  rep.Add(sc.name, param, "nodes", static_cast<double>(c.nodes), c.wall);
+  rep.Add(sc.name, param, "edges", static_cast<double>(c.edges), c.wall);
+  rep.Add(sc.name, param, "mrr", c.mrr, c.wall);
   return c;
 }
 
-void PrintCell(const Cell& c) {
-  std::printf("  %6zu %7zu %.3f |", c.nodes, c.edges, c.mrr);
+void PrintCell(bench::BenchReporter& rep, const Cell& c) {
+  rep.Printf("  %6zu %7zu %.3f |", c.nodes, c.edges, c.mrr);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Reproduction of Table VIII (compression performance)\n");
-  std::printf(
-      "\n%-6s | %-21s | %-21s | %-21s | %-21s | %-21s\n", "Data",
-      "Original (#N #E MRR)", "Expanded", "MSP(0.5)", "MSP(0.25)",
-      "SSuM(0.1)");
-  for (const auto& sc : bench::MakeSweepScenarios()) {
-    std::printf("%-6s |", sc.name.c_str());
-    PrintCell(RunConfig(sc, /*expand=*/false, core::CompressionMode::kNone,
-                        0));
-    PrintCell(RunConfig(sc, /*expand=*/true, core::CompressionMode::kNone,
-                        0));
-    PrintCell(RunConfig(sc, /*expand=*/true, core::CompressionMode::kMsp,
-                        0.5));
-    PrintCell(RunConfig(sc, /*expand=*/true, core::CompressionMode::kMsp,
-                        0.25));
-    PrintCell(RunConfig(sc, /*expand=*/true, core::CompressionMode::kSsumm,
-                        0.1));
-    std::printf("\n");
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("table8_compression", opts);
+  rep.Note("Reproduction of Table VIII (compression performance)");
+  rep.Printf("\n%-10s | %-21s | %-21s | %-21s | %-21s | %-21s\n", "Data",
+             "Original (#N #E MRR)", "Expanded", "MSP(0.5)", "MSP(0.25)",
+             "SSuM(0.1)");
+  for (const auto& sc : bench::MakeSweepScenarios(opts)) {
+    rep.Printf("%-10s |", sc.name.c_str());
+    PrintCell(rep, RunConfig(rep, sc, "Original", /*expand=*/false,
+                             core::CompressionMode::kNone, 0));
+    PrintCell(rep, RunConfig(rep, sc, "Expanded", /*expand=*/true,
+                             core::CompressionMode::kNone, 0));
+    PrintCell(rep, RunConfig(rep, sc, "MSP(0.5)", /*expand=*/true,
+                             core::CompressionMode::kMsp, 0.5));
+    PrintCell(rep, RunConfig(rep, sc, "MSP(0.25)", /*expand=*/true,
+                             core::CompressionMode::kMsp, 0.25));
+    PrintCell(rep, RunConfig(rep, sc, "SSumm(0.1)", /*expand=*/true,
+                             core::CompressionMode::kSsumm, 0.1));
+    rep.Printf("\n");
   }
-  std::printf(
+  rep.Note(
       "\nExpected shape: expansion raises MRR; MSP(0.5) stays close to the\n"
       "expanded graph with fewer nodes (best on table scenarios); MSP(0.25)\n"
       "compresses harder at some quality cost; SSumm shrinks well but\n"
-      "degrades matching (it ignores the metadata/data distinction).\n");
-  return 0;
+      "degrades matching (it ignores the metadata/data distinction).");
+  return rep.Finish() ? 0 : 1;
 }

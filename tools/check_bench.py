@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate and merge bench --json output into one BENCH document.
+
+Reads one or more JSON Lines files produced by the bench binaries
+(`<bench> --json --out rows.jsonl`), validates every row, and merges them
+into a single JSON document (the CI `BENCH_pr.json` artifact).
+
+The gate fails (exit 1) when:
+  * a line is not a JSON object with the expected keys,
+  * a `value` or `wall_seconds` is missing, non-numeric, NaN/inf, or null
+    (the C++ writer serialises non-finite measurements as null),
+  * an input file contributes no rows (a bench that silently produced
+    nothing), or no rows exist at all.
+
+Usage:
+  tools/check_bench.py bench-json/*.jsonl --out BENCH_pr.json
+"""
+
+import argparse
+import json
+import math
+import sys
+
+REQUIRED_STRING_KEYS = ("bench", "scenario", "parameter", "metric")
+REQUIRED_NUMBER_KEYS = ("value", "wall_seconds")
+
+
+def validate_row(row, where, errors):
+    """Appends problems with one parsed row to `errors`."""
+    if not isinstance(row, dict):
+        errors.append(f"{where}: row is not a JSON object")
+        return False
+    ok = True
+    for key in REQUIRED_STRING_KEYS:
+        v = row.get(key)
+        if not isinstance(v, str) or not v:
+            errors.append(f"{where}: {key!r} missing or not a non-empty string")
+            ok = False
+    for key in REQUIRED_NUMBER_KEYS:
+        v = row.get(key)
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            errors.append(f"{where}: {key!r} missing or non-numeric: {v!r}")
+            ok = False
+        elif not math.isfinite(v):
+            errors.append(f"{where}: {key!r} is not finite: {v!r}")
+            ok = False
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", help="JSON Lines row files")
+    parser.add_argument("--out", help="write the merged JSON document here")
+    args = parser.parse_args()
+
+    rows = []
+    errors = []
+    for path in args.inputs:
+        file_rows = 0
+        try:
+            fh = open(path, encoding="utf-8")
+        except OSError as exc:
+            errors.append(f"{path}: cannot open: {exc}")
+            continue
+        with fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                where = f"{path}:{lineno}"
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    errors.append(f"{where}: unparseable JSON: {exc}")
+                    continue
+                if validate_row(row, where, errors):
+                    rows.append(row)
+                    file_rows += 1
+        if file_rows == 0:
+            errors.append(f"{path}: no valid benchmark rows (empty metrics)")
+
+    if not rows:
+        errors.append("no benchmark rows found across all inputs")
+
+    if errors:
+        for err in errors:
+            print(f"check_bench: {err}", file=sys.stderr)
+        print(f"check_bench: FAILED with {len(errors)} error(s)",
+              file=sys.stderr)
+        return 1
+
+    benches = {}
+    for row in rows:
+        benches[row["bench"]] = benches.get(row["bench"], 0) + 1
+    doc = {
+        "schema_version": 1,
+        "row_count": len(rows),
+        "benches": dict(sorted(benches.items())),
+        "rows": rows,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+    print(f"check_bench: OK — {len(rows)} rows from {len(benches)} benches"
+          + (f" -> {args.out}" if args.out else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

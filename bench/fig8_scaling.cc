@@ -40,9 +40,13 @@ int main(int argc, char** argv) {
                                        .walk_length = smoke ? 10u : 15u,
                                        .seed = opts.seed == 0 ? 1 : opts.seed,
                                        .threads = smoke ? 4u : 8u};
-    auto walks = embed::RandomWalker::Generate(*g, walk_opts);
+    embed::SentenceCorpus walks = embed::RandomWalker::GenerateCorpus(
+        *g, walk_opts);
+    // Word2Vec training is sequential-deterministic (the threads field no
+    // longer affects it — see ROADMAP "Deterministic parallel training"),
+    // so this bench measures graph-size scaling: walk sharding + one
+    // training pass per size point.
     embed::Word2VecOptions w2v_opts;
-    w2v_opts.threads = smoke ? 4 : 8;
     w2v_opts.epochs = smoke ? 1 : 2;
     if (opts.seed != 0) w2v_opts.seed = opts.seed;
     embed::Word2Vec w2v(w2v_opts);

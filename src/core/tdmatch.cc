@@ -126,9 +126,14 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
 
   // --- Random walks + Word2Vec (Alg. 4) -------------------------------------
   watch.Reset();
+  // Expansion/compression may have produced a building-state graph; the
+  // walker's hot loop wants the flat CSR adjacency (GraphBuilder already
+  // finalizes, so this is a no-op on the plain pipeline).
+  g.Finalize();
   embed::RandomWalkOptions walk_options = options_.walks;
   walk_options.seed ^= options_.seed;
-  auto walks = embed::RandomWalker::Generate(g, walk_options);
+  embed::SentenceCorpus walks = embed::RandomWalker::GenerateCorpus(
+      g, walk_options);
   result.walk_seconds = watch.ElapsedSeconds();
 
   watch.Reset();

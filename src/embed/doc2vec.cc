@@ -1,10 +1,10 @@
 #include "embed/doc2vec.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace tdmatch {
 namespace embed {
@@ -46,19 +46,7 @@ util::Status Doc2Vec::Train(const std::vector<std::vector<int32_t>>& docs,
   }
   if (total == 0) return util::Status::InvalidArgument("no tokens");
 
-  unigram_table_.assign(kTableSize, 0);
-  double norm = 0.0;
-  for (uint64_t c : counts) norm += std::pow(static_cast<double>(c), 0.75);
-  size_t wi = 0;
-  double cum = std::pow(static_cast<double>(counts[0]), 0.75) / norm;
-  for (size_t t = 0; t < kTableSize; ++t) {
-    unigram_table_[t] = static_cast<int32_t>(wi);
-    if (static_cast<double>(t) / kTableSize > cum &&
-        wi + 1 < word_vocab_size) {
-      ++wi;
-      cum += std::pow(static_cast<double>(counts[wi]), 0.75) / norm;
-    }
-  }
+  sampler_.Build(counts, kTableSize);
 
   util::Rng init(options_.seed);
   doc_vecs_.resize(num_docs_ * static_cast<size_t>(dim));
@@ -68,52 +56,48 @@ util::Status Doc2Vec::Train(const std::vector<std::vector<int32_t>>& docs,
   }
 
   const float lr0 = static_cast<float>(options_.initial_lr);
-  float* dvec = doc_vecs_.data();
-  float* wout = word_out_.data();
-  const int32_t* table = unigram_table_.data();
+  float* const dvec = doc_vecs_.data();
+  float* const wout = word_out_.data();
 
-  util::ThreadPool::ParallelFor(
-      num_docs_, options_.threads,
-      [&](size_t begin, size_t end, size_t tid) {
-        util::Rng rng(options_.seed + 77777ULL * (tid + 1));
-        std::vector<float> grad(static_cast<size_t>(dim));
-        for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-          const float lr =
-              lr0 * (1.0f - static_cast<float>(epoch) /
-                                static_cast<float>(options_.epochs));
-          for (size_t di = begin; di < end; ++di) {
-            float* v = dvec + di * static_cast<size_t>(dim);
-            for (int32_t w : docs[di]) {
-              std::fill(grad.begin(), grad.end(), 0.0f);
-              for (int n = 0; n <= options_.negative; ++n) {
-                int32_t target;
-                float label;
-                if (n == 0) {
-                  target = w;
-                  label = 1.0f;
-                } else {
-                  target = table[rng.Next() & (kTableSize - 1)];
-                  if (target == w) continue;
-                  label = 0.0f;
-                }
-                float* out =
-                    wout + static_cast<size_t>(target) *
-                               static_cast<size_t>(dim);
-                float dot = 0.0f;
-                for (int d = 0; d < dim; ++d) dot += v[d] * out[d];
-                const float gr = (label - Sigmoid(dot)) * lr;
-                for (int d = 0; d < dim; ++d) {
-                  grad[static_cast<size_t>(d)] += gr * out[d];
-                  out[d] += gr * v[d];
-                }
-              }
-              for (int d = 0; d < dim; ++d) {
-                v[d] += grad[static_cast<size_t>(d)];
-              }
-            }
+  // Canonical-order sequential SGD; the RNG stream replicates the previous
+  // implementation's first worker so fixed-seed output is unchanged.
+  util::Rng rng(options_.seed + 77777ULL * 1);
+  std::vector<float> grad_v(static_cast<size_t>(dim));
+  float* const grad = grad_v.data();
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const float lr = lr0 * (1.0f - static_cast<float>(epoch) /
+                                       static_cast<float>(options_.epochs));
+    for (size_t di = 0; di < num_docs_; ++di) {
+      float* const v = dvec + di * static_cast<size_t>(dim);
+      for (int32_t w : docs[di]) {
+        for (int n = 0; n <= options_.negative; ++n) {
+          int32_t target;
+          float label;
+          if (n == 0) {
+            target = w;
+            label = 1.0f;
+          } else {
+            target = sampler_.Sample(rng.Next() & (kTableSize - 1));
+            if (target == w) continue;
+            label = 0.0f;
           }
+          float* const out =
+              wout + static_cast<size_t>(target) * static_cast<size_t>(dim);
+          float dot = 0.0f;
+          for (int d = 0; d < dim; ++d) dot += v[d] * out[d];
+          const float gr = (label - Sigmoid(dot)) * lr;
+          // n == 0 always runs, so assignment replaces the zero-fill.
+          if (n == 0) {
+            for (int d = 0; d < dim; ++d) grad[d] = gr * out[d];
+          } else {
+            for (int d = 0; d < dim; ++d) grad[d] += gr * out[d];
+          }
+          for (int d = 0; d < dim; ++d) out[d] += gr * v[d];
         }
-      });
+        for (int d = 0; d < dim; ++d) v[d] += grad[d];
+      }
+    }
+  }
   trained_ = true;
   return util::Status::OK();
 }
@@ -133,10 +117,11 @@ std::vector<float> Doc2Vec::Infer(const std::vector<int32_t>& doc,
   std::vector<float> v(static_cast<size_t>(dim));
   for (float& x : v) x = static_cast<float>((rng.Uniform() - 0.5) / dim);
   const float lr = static_cast<float>(options_.initial_lr);
+  std::vector<float> grad(static_cast<size_t>(dim));
   for (int s = 0; s < steps; ++s) {
     for (int32_t w : doc) {
       if (w < 0 || static_cast<size_t>(w) >= word_vocab_size_) continue;
-      std::vector<float> grad(static_cast<size_t>(dim), 0.0f);
+      std::fill(grad.begin(), grad.end(), 0.0f);
       for (int n = 0; n <= options_.negative; ++n) {
         int32_t target;
         float label;
@@ -144,7 +129,7 @@ std::vector<float> Doc2Vec::Infer(const std::vector<int32_t>& doc,
           target = w;
           label = 1.0f;
         } else {
-          target = unigram_table_[rng.Next() & (kTableSize - 1)];
+          target = sampler_.Sample(rng.Next() & (kTableSize - 1));
           if (target == w) continue;
           label = 0.0f;
         }

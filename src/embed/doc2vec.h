@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "embed/negative_sampler.h"
 #include "util/status.h"
 
 namespace tdmatch {
@@ -16,6 +17,8 @@ struct Doc2VecOptions {
   int negative = 5;
   double initial_lr = 0.025;
   int epochs = 10;
+  /// Kept for API compatibility; training is sequential-deterministic
+  /// (same contract as Word2Vec) so this no longer affects the vectors.
   size_t threads = 4;
   uint64_t seed = 42;
 };
@@ -24,6 +27,10 @@ struct Doc2VecOptions {
 ///
 /// Each document vector is trained to predict the (unordered) words of the
 /// document via negative sampling; words share an output matrix.
+///
+/// Training visits documents in canonical order with one seed-derived RNG
+/// stream: fixed-seed output is bit-identical across runs and thread
+/// settings (and to the previous implementation at `threads = 1`).
 class Doc2Vec {
  public:
   explicit Doc2Vec(Doc2VecOptions options = {});
@@ -51,7 +58,7 @@ class Doc2Vec {
   bool trained_ = false;
   std::vector<float> doc_vecs_;
   std::vector<float> word_out_;
-  std::vector<int32_t> unigram_table_;
+  NegativeSampler sampler_;
 };
 
 }  // namespace embed

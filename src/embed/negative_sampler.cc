@@ -1,0 +1,39 @@
+#include "embed/negative_sampler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace embed {
+
+void NegativeSampler::Build(const std::vector<uint64_t>& counts,
+                            size_t table_size) {
+  TDM_CHECK(!counts.empty());
+  TDM_CHECK_GT(table_size, 0u);
+  table_size_ = table_size;
+  const size_t vocab_size = counts.size();
+  bounds_.assign(vocab_size + 1, static_cast<uint32_t>(table_size));
+
+  double norm = 0.0;
+  for (uint64_t c : counts) norm += std::pow(static_cast<double>(c), 0.75);
+
+  // Mirror of the classic loop
+  //   for t: table[t] = i; if (t/T > cum && i+1 < V) { ++i; cum += ...; }
+  // recording only the first slot of each word. The double arithmetic is
+  // kept identical so the step boundaries land on the same slots.
+  size_t i = 0;
+  bounds_[0] = 0;
+  double cum = std::pow(static_cast<double>(counts[0]), 0.75) / norm;
+  for (size_t t = 0; t < table_size; ++t) {
+    if (static_cast<double>(t) / static_cast<double>(table_size) > cum &&
+        i + 1 < vocab_size) {
+      ++i;
+      bounds_[i] = static_cast<uint32_t>(t + 1);
+      cum += std::pow(static_cast<double>(counts[i]), 0.75) / norm;
+    }
+  }
+}
+
+}  // namespace embed
+}  // namespace tdmatch

@@ -1,0 +1,61 @@
+#ifndef TDMATCH_EMBED_NEGATIVE_SAMPLER_H_
+#define TDMATCH_EMBED_NEGATIVE_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tdmatch {
+namespace embed {
+
+/// \brief Unigram^0.75 negative sampler in boundary form.
+///
+/// The classic word2vec sampler materializes a table of `table_size`
+/// word ids and indexes it with a uniform draw. That table is megabytes
+/// (1<<20 entries here), so every negative sample is a random read into
+/// cold memory — measured at roughly half of all Word2Vec training time
+/// in this codebase. The table is a nondecreasing step function of the
+/// slot index, so it is fully described by one boundary offset per word:
+/// `bounds_[i]` is the first slot the classic construction would assign
+/// to word i. Sampling becomes a branchless binary search over a
+/// vocab-sized, cache-resident array and returns **bit-identical** ids to
+/// the table it replaces (goldens in embed tests lock this in).
+class NegativeSampler {
+ public:
+  NegativeSampler() = default;
+
+  /// Builds the boundary table with the classic 3/4-power smoothing,
+  /// replicating the incremental table construction of word2vec.c (and of
+  /// the previous in-repo implementation) exactly.
+  void Build(const std::vector<uint64_t>& counts, size_t table_size);
+
+  /// Word id for table slot `slot` (must be < table_size). Equivalent to
+  /// `table[slot]` of the materialized table.
+  int32_t Sample(uint64_t slot) const {
+    // Last i with bounds_[i] <= slot, branchless binary search.
+    const uint32_t s = static_cast<uint32_t>(slot);
+    const uint32_t* b = bounds_.data();
+    size_t lo = 0;
+    size_t len = bounds_.size();
+    while (len > 1) {
+      const size_t half = len / 2;
+      lo += (b[lo + half] <= s) ? half : 0;
+      len -= half;
+    }
+    return static_cast<int32_t>(lo);
+  }
+
+  size_t table_size() const { return table_size_; }
+  bool built() const { return !bounds_.empty(); }
+
+ private:
+  /// bounds_[i] = first slot of word i; words the classic construction
+  /// never reaches keep the sentinel table_size_ (never sampled).
+  std::vector<uint32_t> bounds_;
+  size_t table_size_ = 0;
+};
+
+}  // namespace embed
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EMBED_NEGATIVE_SAMPLER_H_

@@ -1,15 +1,25 @@
 #include "embed/random_walk.h"
 
+#include <algorithm>
+
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace tdmatch {
 namespace embed {
 
-std::vector<std::vector<int32_t>> RandomWalker::Generate(
-    const graph::Graph& g, const RandomWalkOptions& options) {
+SentenceCorpus RandomWalker::GenerateCorpus(const graph::Graph& g,
+                                            const RandomWalkOptions& options) {
   const size_t n = g.NumNodes();
-  std::vector<std::vector<int32_t>> walks(n * options.num_walks);
+  const size_t num_walks = options.num_walks;
+  const size_t total_walks = n * num_walks;
+  // Fixed-stride scratch: each walk owns a walk_length-sized slot, so
+  // threads write disjoint ranges of one buffer and no walk ever
+  // allocates. Walks that dead-end early record a shorter length and the
+  // compaction pass below squeezes the slack out.
+  const size_t stride = std::max<size_t>(options.walk_length, 1);
+  std::vector<int32_t> slots(total_walks * stride);
+  std::vector<uint32_t> lengths(total_walks, 0);
 
   util::ThreadPool::ParallelFor(
       n, options.threads,
@@ -17,21 +27,38 @@ std::vector<std::vector<int32_t>> RandomWalker::Generate(
         for (size_t v = begin; v < end; ++v) {
           // Seed per start node: output is independent of threading.
           util::Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL * (v + 1)));
-          for (size_t w = 0; w < options.num_walks; ++w) {
-            std::vector<int32_t>& walk = walks[v * options.num_walks + w];
-            walk.reserve(options.walk_length);
+          for (size_t w = 0; w < num_walks; ++w) {
+            const size_t walk_index = v * num_walks + w;
+            int32_t* walk = slots.data() + walk_index * stride;
             graph::NodeId cur = static_cast<graph::NodeId>(v);
-            walk.push_back(cur);
+            walk[0] = cur;
+            size_t len = 1;
             for (size_t step = 1; step < options.walk_length; ++step) {
-              const auto& nbs = g.Neighbors(cur);
+              const graph::NeighborSpan nbs = g.Neighbors(cur);
               if (nbs.empty()) break;
               cur = nbs[static_cast<size_t>(rng.UniformInt(nbs.size()))];
-              walk.push_back(cur);
+              walk[len++] = cur;
             }
+            lengths[walk_index] = static_cast<uint32_t>(len);
           }
         }
       });
-  return walks;
+
+  std::vector<size_t> offsets(total_walks + 1, 0);
+  for (size_t i = 0; i < total_walks; ++i) {
+    offsets[i + 1] = offsets[i] + lengths[i];
+  }
+  std::vector<int32_t> tokens(offsets[total_walks]);
+  for (size_t i = 0; i < total_walks; ++i) {
+    std::copy_n(slots.data() + i * stride, lengths[i],
+                tokens.data() + offsets[i]);
+  }
+  return SentenceCorpus::FromFlat(std::move(tokens), std::move(offsets));
+}
+
+std::vector<std::vector<int32_t>> RandomWalker::Generate(
+    const graph::Graph& g, const RandomWalkOptions& options) {
+  return GenerateCorpus(g, options).ToNested();
 }
 
 }  // namespace embed

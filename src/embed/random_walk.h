@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "embed/sentence_corpus.h"
 #include "graph/graph.h"
 
 namespace tdmatch {
@@ -24,11 +25,22 @@ struct RandomWalkOptions {
 /// neighbor; the node-id sequence is one training "sentence" for Word2Vec.
 /// Isolated nodes yield single-node sentences so every node receives a
 /// vector.
+///
+/// Walks are generated per start node with a node-seeded RNG, so the output
+/// is deterministic and independent of the thread count. The hot path is
+/// `GenerateCorpus`, which walks over the graph's CSR neighbor spans and
+/// writes into one preallocated flat buffer (no per-walk allocation);
+/// `Generate` is a compatibility wrapper producing the same walks as nested
+/// vectors.
 class RandomWalker {
  public:
-  /// num_walks walks of walk_length nodes from every node of `g`;
-  /// deterministic for a fixed seed (walks are generated per start node,
-  /// seeded by node id, so the thread count does not change the output).
+  /// num_walks walks of up to walk_length nodes from every node of `g`,
+  /// returned as a flat corpus (walk i of node v is sentence
+  /// v * num_walks + i).
+  static SentenceCorpus GenerateCorpus(const graph::Graph& g,
+                                       const RandomWalkOptions& options);
+
+  /// Same walks as nested vectors (compatibility/test surface).
   static std::vector<std::vector<int32_t>> Generate(
       const graph::Graph& g, const RandomWalkOptions& options);
 };

@@ -1,0 +1,39 @@
+#include "embed/sentence_corpus.h"
+
+#include <utility>
+
+namespace tdmatch {
+namespace embed {
+
+SentenceCorpus SentenceCorpus::FromNested(
+    const std::vector<std::vector<int32_t>>& sentences) {
+  SentenceCorpus out;
+  size_t total = 0;
+  for (const auto& s : sentences) total += s.size();
+  out.Reserve(sentences.size(), total);
+  for (const auto& s : sentences) out.Append(s);
+  return out;
+}
+
+std::vector<std::vector<int32_t>> SentenceCorpus::ToNested() const {
+  std::vector<std::vector<int32_t>> out(NumSentences());
+  for (size_t i = 0; i < out.size(); ++i) {
+    TokenSpan s = sentence(i);
+    out[i].assign(s.begin(), s.end());
+  }
+  return out;
+}
+
+SentenceCorpus SentenceCorpus::FromFlat(std::vector<int32_t> tokens,
+                                        std::vector<size_t> offsets) {
+  TDM_CHECK(!offsets.empty());
+  TDM_CHECK_EQ(offsets.front(), 0u);
+  TDM_CHECK_EQ(offsets.back(), tokens.size());
+  SentenceCorpus out;
+  out.tokens_ = std::move(tokens);
+  out.offsets_ = std::move(offsets);
+  return out;
+}
+
+}  // namespace embed
+}  // namespace tdmatch

@@ -1,0 +1,103 @@
+#ifndef TDMATCH_EMBED_SENTENCE_CORPUS_H_
+#define TDMATCH_EMBED_SENTENCE_CORPUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace embed {
+
+/// \brief Non-owning view of one token sentence.
+class TokenSpan {
+ public:
+  using value_type = int32_t;
+  using const_iterator = const int32_t*;
+
+  constexpr TokenSpan() = default;
+  constexpr TokenSpan(const int32_t* data, size_t size)
+      : data_(data), size_(size) {}
+
+  constexpr const int32_t* begin() const { return data_; }
+  constexpr const int32_t* end() const { return data_ + size_; }
+  constexpr const int32_t* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr int32_t operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const int32_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// \brief Flat training corpus: all sentences in one contiguous token
+/// array plus an offsets array (CSR over sentences).
+///
+/// This is the hand-off format between the random-walk generator and the
+/// Word2Vec trainer: one allocation instead of one vector per walk, and
+/// the trainer streams tokens sequentially (cache-friendly) instead of
+/// chasing a pointer per sentence.
+class SentenceCorpus {
+ public:
+  SentenceCorpus() { offsets_.push_back(0); }
+
+  size_t NumSentences() const { return offsets_.size() - 1; }
+  size_t NumTokens() const { return tokens_.size(); }
+  bool empty() const { return NumSentences() == 0; }
+
+  TokenSpan sentence(size_t i) const {
+    TDM_DCHECK_LT(i, NumSentences());
+    return TokenSpan(tokens_.data() + offsets_[i],
+                     offsets_[i + 1] - offsets_[i]);
+  }
+
+  /// Appends one sentence (copies the tokens).
+  void Append(const int32_t* data, size_t n) {
+    tokens_.insert(tokens_.end(), data, data + n);
+    offsets_.push_back(tokens_.size());
+  }
+  void Append(const std::vector<int32_t>& sentence) {
+    Append(sentence.data(), sentence.size());
+  }
+
+  /// Pre-sizes the backing arrays.
+  void Reserve(size_t num_sentences, size_t num_tokens) {
+    offsets_.reserve(num_sentences + 1);
+    tokens_.reserve(num_tokens);
+  }
+
+  /// Builds a corpus from nested sentence vectors.
+  static SentenceCorpus FromNested(
+      const std::vector<std::vector<int32_t>>& sentences);
+
+  /// Expands back into nested vectors (tests / legacy callers).
+  std::vector<std::vector<int32_t>> ToNested() const;
+
+  /// Direct access for bulk writers (the random-walk generator fills the
+  /// token array in place after sizing it).
+  const std::vector<int32_t>& tokens() const { return tokens_; }
+  const std::vector<size_t>& offsets() const { return offsets_; }
+
+  /// Takes ownership of pre-built flat storage. `offsets` must be a valid
+  /// CSR index over `tokens` (monotone, first 0, last == tokens.size()).
+  static SentenceCorpus FromFlat(std::vector<int32_t> tokens,
+                                 std::vector<size_t> offsets);
+
+  bool operator==(const SentenceCorpus& other) const {
+    return tokens_ == other.tokens_ && offsets_ == other.offsets_;
+  }
+  bool operator!=(const SentenceCorpus& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::vector<int32_t> tokens_;
+  std::vector<size_t> offsets_;
+};
+
+}  // namespace embed
+}  // namespace tdmatch
+
+#endif  // TDMATCH_EMBED_SENTENCE_CORPUS_H_

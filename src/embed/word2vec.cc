@@ -1,11 +1,10 @@
 #include "embed/word2vec.h"
 
-#include <atomic>
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace tdmatch {
 namespace embed {
@@ -38,6 +37,8 @@ inline float FastSigmoid(float x) {
   return SigmoidTable()[idx];
 }
 
+/// Slot count of the (virtual) unigram table; the boundary sampler
+/// reproduces the classic table of this size bit-for-bit.
 constexpr size_t kUnigramTableSize = 1 << 20;
 
 }  // namespace
@@ -49,20 +50,35 @@ Word2Vec::Word2Vec(Word2VecOptions options) : options_(options) {
   if (options_.threads == 0) options_.threads = 1;
 }
 
+util::Status Word2Vec::Train(const SentenceCorpus& corpus, size_t vocab_size) {
+  std::vector<TokenSpan> spans(corpus.NumSentences());
+  for (size_t i = 0; i < spans.size(); ++i) spans[i] = corpus.sentence(i);
+  return TrainSpans(spans.data(), spans.size(), vocab_size);
+}
+
 util::Status Word2Vec::Train(
     const std::vector<std::vector<int32_t>>& sentences, size_t vocab_size) {
+  std::vector<TokenSpan> spans(sentences.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    spans[i] = TokenSpan(sentences[i].data(), sentences[i].size());
+  }
+  return TrainSpans(spans.data(), spans.size(), vocab_size);
+}
+
+util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
+                                  size_t num_sentences, size_t vocab_size) {
   if (vocab_size == 0) {
     return util::Status::InvalidArgument("vocab_size must be > 0");
   }
   vocab_size_ = vocab_size;
   const int dim = options_.dim;
 
-  // Frequency counts for the negative-sampling unigram table and
+  // Frequency counts for the negative-sampling distribution and
   // subsampling.
   std::vector<uint64_t> counts(vocab_size, 0);
   uint64_t total_words = 0;
-  for (const auto& s : sentences) {
-    for (int32_t w : s) {
+  for (size_t si = 0; si < num_sentences; ++si) {
+    for (int32_t w : sentences[si]) {
       if (w < 0 || static_cast<size_t>(w) >= vocab_size) {
         return util::Status::OutOfRange("token id out of vocab range");
       }
@@ -74,22 +90,7 @@ util::Status Word2Vec::Train(
     return util::Status::InvalidArgument("no training tokens");
   }
 
-  // Unigram table with the classic 3/4 power smoothing.
-  unigram_table_.assign(kUnigramTableSize, 0);
-  double norm = 0.0;
-  for (uint64_t c : counts) norm += std::pow(static_cast<double>(c), 0.75);
-  {
-    size_t i = 0;
-    double cum = std::pow(static_cast<double>(counts[0]), 0.75) / norm;
-    for (size_t t = 0; t < kUnigramTableSize; ++t) {
-      unigram_table_[t] = static_cast<int32_t>(i);
-      if (static_cast<double>(t) / kUnigramTableSize > cum &&
-          i + 1 < vocab_size) {
-        ++i;
-        cum += std::pow(static_cast<double>(counts[i]), 0.75) / norm;
-      }
-    }
-  }
+  sampler_.Build(counts, kUnigramTableSize);
 
   // Weight init: syn0 uniform in [-0.5/dim, 0.5/dim], syn1neg zero.
   util::Rng init_rng(options_.seed);
@@ -99,149 +100,168 @@ util::Status Word2Vec::Train(
     v = static_cast<float>((init_rng.Uniform() - 0.5) / dim);
   }
 
+  // Per-word keep probability for frequency subsampling, hoisted out of
+  // the token loop (same double arithmetic as the classic per-token
+  // computation, so the RNG consumption pattern is unchanged). Sentinel 2
+  // means "always keep, draw nothing".
+  const double subsample = options_.subsample;
+  std::vector<double> keep_prob;
+  if (subsample > 0.0) {
+    keep_prob.assign(vocab_size, 2.0);
+    for (size_t w = 0; w < vocab_size; ++w) {
+      if (counts[w] == 0) continue;
+      const double f = static_cast<double>(counts[w]) /
+                       static_cast<double>(total_words);
+      keep_prob[w] = (std::sqrt(f / subsample) + 1.0) * subsample / f;
+    }
+  }
+
   const uint64_t total_steps =
       total_words * static_cast<uint64_t>(options_.epochs);
-  std::atomic<uint64_t> words_done{0};
   const float initial_lr = static_cast<float>(options_.initial_lr);
   const float min_lr = initial_lr * 1e-4f;
-  const double subsample = options_.subsample;
-  float* syn0 = syn0_.data();
-  float* syn1 = syn1neg_.data();
-  const int32_t* table = unigram_table_.data();
+  float* const syn0 = syn0_.data();
+  float* const syn1 = syn1neg_.data();
   const int negative = options_.negative;
   const int window = options_.window;
   const bool cbow = options_.cbow;
 
-  auto train_range = [&](size_t begin, size_t end, size_t thread_idx) {
-    util::Rng rng(options_.seed + 0x9e3779b9ULL * (thread_idx + 1));
-    std::vector<float> neu1(static_cast<size_t>(dim));
-    std::vector<float> neu1e(static_cast<size_t>(dim));
-    std::vector<int32_t> sent;
-    uint64_t local_count = 0;
+  // Canonical-order sequential SGD (see determinism contract in the
+  // header). The RNG stream and counter flushing replicate the previous
+  // implementation's first worker exactly, so fixed-seed output is
+  // unchanged.
+  util::Rng rng(options_.seed + 0x9e3779b9ULL * 1);
+  std::vector<float> neu1(static_cast<size_t>(dim));
+  std::vector<float> neu1e_v(static_cast<size_t>(dim));
+  float* const neu1e = neu1e_v.data();
+  std::vector<int32_t> filtered;  // reusable subsampling buffer
+  uint64_t words_done = 0;
+  uint64_t local_count = 0;
 
-    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-      for (size_t si = begin; si < end; ++si) {
-        // Subsample frequent tokens.
-        sent.clear();
-        for (int32_t w : sentences[si]) {
-          if (subsample > 0.0) {
-            double f = static_cast<double>(counts[static_cast<size_t>(w)]) /
-                       static_cast<double>(total_words);
-            double keep = (std::sqrt(f / subsample) + 1.0) * subsample / f;
-            if (keep < 1.0 && rng.Uniform() > keep) continue;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t si = 0; si < num_sentences; ++si) {
+      const TokenSpan& sentence = sentences[si];
+      // Subsample frequent tokens into the reusable buffer; without
+      // subsampling the sentence span is trained on in place.
+      const int32_t* sent = sentence.data();
+      int slen = static_cast<int>(sentence.size());
+      if (subsample > 0.0) {
+        filtered.clear();
+        for (int32_t w : sentence) {
+          const double keep = keep_prob[static_cast<size_t>(w)];
+          if (keep < 1.0 && rng.Uniform() > keep) continue;
+          filtered.push_back(w);
+        }
+        sent = filtered.data();
+        slen = static_cast<int>(filtered.size());
+      }
+      local_count += sentence.size();
+      if ((local_count & 0x3ff) == 0) {
+        words_done += local_count;
+        local_count = 0;
+      }
+      float lr = initial_lr *
+                 (1.0f - static_cast<float>(words_done) /
+                             static_cast<float>(total_steps + 1));
+      if (lr < min_lr) lr = min_lr;
+
+      for (int pos = 0; pos < slen; ++pos) {
+        const int32_t center = sent[pos];
+        const int reduced =
+            1 + static_cast<int>(rng.UniformInt(
+                    static_cast<uint64_t>(window)));
+        const int lo = pos - reduced < 0 ? 0 : pos - reduced;
+        const int hi = pos + reduced > slen - 1 ? slen - 1 : pos + reduced;
+
+        if (cbow) {
+          // Average context -> predict center.
+          int cw = 0;
+          std::fill(neu1.begin(), neu1.end(), 0.0f);
+          for (int p = lo; p <= hi; ++p) {
+            if (p == pos) continue;
+            const float* const v =
+                syn0 + static_cast<size_t>(sent[p]) *
+                           static_cast<size_t>(dim);
+            for (int d = 0; d < dim; ++d) neu1[static_cast<size_t>(d)] += v[d];
+            ++cw;
           }
-          sent.push_back(w);
-        }
-        local_count += sentences[si].size();
-        if ((local_count & 0x3ff) == 0) {
-          words_done.fetch_add(local_count, std::memory_order_relaxed);
-          local_count = 0;
-        }
-        const uint64_t done = words_done.load(std::memory_order_relaxed);
-        float lr = initial_lr *
-                   (1.0f - static_cast<float>(done) /
-                               static_cast<float>(total_steps + 1));
-        if (lr < min_lr) lr = min_lr;
-
-        const int slen = static_cast<int>(sent.size());
-        for (int pos = 0; pos < slen; ++pos) {
-          const int32_t center = sent[static_cast<size_t>(pos)];
-          const int reduced =
-              1 + static_cast<int>(rng.UniformInt(
-                      static_cast<uint64_t>(window)));
-          const int lo = std::max(0, pos - reduced);
-          const int hi = std::min(slen - 1, pos + reduced);
-
-          if (cbow) {
-            // Average context -> predict center.
-            int cw = 0;
-            std::fill(neu1.begin(), neu1.end(), 0.0f);
-            std::fill(neu1e.begin(), neu1e.end(), 0.0f);
-            for (int p = lo; p <= hi; ++p) {
-              if (p == pos) continue;
-              const float* v =
-                  syn0 + static_cast<size_t>(sent[static_cast<size_t>(p)]) *
-                             static_cast<size_t>(dim);
-              for (int d = 0; d < dim; ++d) neu1[static_cast<size_t>(d)] += v[d];
-              ++cw;
+          if (cw == 0) continue;
+          for (int d = 0; d < dim; ++d) {
+            neu1[static_cast<size_t>(d)] /= static_cast<float>(cw);
+          }
+          const float* const ctx = neu1.data();
+          for (int n = 0; n <= negative; ++n) {
+            int32_t target;
+            float label;
+            if (n == 0) {
+              target = center;
+              label = 1.0f;
+            } else {
+              target = sampler_.Sample(rng.Next() & (kUnigramTableSize - 1));
+              if (target == center) continue;
+              label = 0.0f;
             }
-            if (cw == 0) continue;
-            for (int d = 0; d < dim; ++d) {
-              neu1[static_cast<size_t>(d)] /= static_cast<float>(cw);
+            float* const out = syn1 + static_cast<size_t>(target) *
+                                          static_cast<size_t>(dim);
+            float dot = 0.0f;
+            for (int d = 0; d < dim; ++d) dot += ctx[d] * out[d];
+            const float grad = (label - FastSigmoid(dot)) * lr;
+            // n == 0 always runs (no continue path), so assigning there
+            // replaces the upfront zero-fill of the scratch gradient.
+            if (n == 0) {
+              for (int d = 0; d < dim; ++d) neu1e[d] = grad * out[d];
+            } else {
+              for (int d = 0; d < dim; ++d) neu1e[d] += grad * out[d];
             }
+            for (int d = 0; d < dim; ++d) out[d] += grad * ctx[d];
+          }
+          for (int p = lo; p <= hi; ++p) {
+            if (p == pos) continue;
+            float* const v =
+                syn0 + static_cast<size_t>(sent[p]) *
+                           static_cast<size_t>(dim);
+            for (int d = 0; d < dim; ++d) v[d] += neu1e[d];
+          }
+        } else {
+          // Skip-gram: center predicts each context word.
+          float* const vin = syn0 + static_cast<size_t>(center) *
+                                        static_cast<size_t>(dim);
+          for (int p = lo; p <= hi; ++p) {
+            if (p == pos) continue;
+            const int32_t context = sent[p];
             for (int n = 0; n <= negative; ++n) {
               int32_t target;
               float label;
               if (n == 0) {
-                target = center;
+                target = context;
                 label = 1.0f;
               } else {
-                target = table[rng.Next() & (kUnigramTableSize - 1)];
-                if (target == center) continue;
+                target =
+                    sampler_.Sample(rng.Next() & (kUnigramTableSize - 1));
+                if (target == context) continue;
                 label = 0.0f;
               }
-              float* out = syn1 + static_cast<size_t>(target) *
-                                      static_cast<size_t>(dim);
+              float* const out = syn1 + static_cast<size_t>(target) *
+                                            static_cast<size_t>(dim);
               float dot = 0.0f;
-              for (int d = 0; d < dim; ++d) {
-                dot += neu1[static_cast<size_t>(d)] * out[d];
-              }
+              for (int d = 0; d < dim; ++d) dot += vin[d] * out[d];
               const float grad = (label - FastSigmoid(dot)) * lr;
-              for (int d = 0; d < dim; ++d) {
-                neu1e[static_cast<size_t>(d)] += grad * out[d];
-                out[d] += grad * neu1[static_cast<size_t>(d)];
+              if (n == 0) {
+                for (int d = 0; d < dim; ++d) neu1e[d] = grad * out[d];
+              } else {
+                for (int d = 0; d < dim; ++d) neu1e[d] += grad * out[d];
               }
+              // syn1 and syn0 are distinct allocations, so `out` never
+              // aliases `vin` and this loop vectorizes cleanly.
+              for (int d = 0; d < dim; ++d) out[d] += grad * vin[d];
             }
-            for (int p = lo; p <= hi; ++p) {
-              if (p == pos) continue;
-              float* v =
-                  syn0 + static_cast<size_t>(sent[static_cast<size_t>(p)]) *
-                             static_cast<size_t>(dim);
-              for (int d = 0; d < dim; ++d) {
-                v[d] += neu1e[static_cast<size_t>(d)];
-              }
-            }
-          } else {
-            // Skip-gram: center predicts each context word.
-            float* vin = syn0 + static_cast<size_t>(center) *
-                                    static_cast<size_t>(dim);
-            for (int p = lo; p <= hi; ++p) {
-              if (p == pos) continue;
-              const int32_t context = sent[static_cast<size_t>(p)];
-              std::fill(neu1e.begin(), neu1e.end(), 0.0f);
-              for (int n = 0; n <= negative; ++n) {
-                int32_t target;
-                float label;
-                if (n == 0) {
-                  target = context;
-                  label = 1.0f;
-                } else {
-                  target = table[rng.Next() & (kUnigramTableSize - 1)];
-                  if (target == context) continue;
-                  label = 0.0f;
-                }
-                float* out = syn1 + static_cast<size_t>(target) *
-                                        static_cast<size_t>(dim);
-                float dot = 0.0f;
-                for (int d = 0; d < dim; ++d) dot += vin[d] * out[d];
-                const float grad = (label - FastSigmoid(dot)) * lr;
-                for (int d = 0; d < dim; ++d) {
-                  neu1e[static_cast<size_t>(d)] += grad * out[d];
-                  out[d] += grad * vin[d];
-                }
-              }
-              for (int d = 0; d < dim; ++d) {
-                vin[d] += neu1e[static_cast<size_t>(d)];
-              }
-            }
+            for (int d = 0; d < dim; ++d) vin[d] += neu1e[d];
           }
         }
       }
     }
-  };
+  }
 
-  util::ThreadPool::ParallelFor(sentences.size(), options_.threads,
-                                train_range);
   trained_ = true;
   return util::Status::OK();
 }

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "embed/negative_sampler.h"
+#include "embed/sentence_corpus.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -23,22 +25,41 @@ struct Word2VecOptions {
   int epochs = 5;
   /// Frequency subsampling threshold (0 disables; word2vec's `-sample`).
   double subsample = 0.0;
+  /// Kept for API compatibility and future deterministic sharding; the
+  /// SGD loop itself is sequential (see class comment), so this no longer
+  /// affects the trained vectors.
   size_t threads = 4;
   uint64_t seed = 42;
 };
 
 /// \brief From-scratch Word2Vec over integer token sequences, trained with
-/// SGD + negative sampling, lock-free multithreaded (Hogwild).
+/// SGD + negative sampling.
 ///
 /// Operating on dense int32 ids lets the same trainer embed graph nodes
 /// (random-walk sentences, Alg. 4) and word tokens (the W2VEC baseline)
-/// without string overhead.
+/// without string overhead. The preferred input is a flat
+/// `SentenceCorpus` (the random-walk generator's native output); nested
+/// vectors are accepted through a span adapter.
+///
+/// **Determinism contract:** training visits sentences in canonical order
+/// with a single seed-derived RNG stream, so for a fixed seed the trained
+/// vectors are bit-identical across runs, machines with the same
+/// toolchain, and any `threads` setting — and bit-identical to the
+/// previous Hogwild implementation at `threads = 1`. The racy Hogwild
+/// mode was removed because it made benchmark quality metrics
+/// nondeterministic run-to-run, which no CI regression gate can anchor
+/// to (deterministic *parallel* sharding is tracked in ROADMAP.md).
 class Word2Vec {
  public:
   explicit Word2Vec(Word2VecOptions options = {});
 
-  /// Trains on sentences whose entries are ids in [0, vocab_size).
-  /// Frequencies for the negative-sampling table are counted internally.
+  /// Trains on a flat corpus whose tokens are ids in [0, vocab_size).
+  /// Frequencies for the negative-sampling distribution are counted
+  /// internally.
+  util::Status Train(const SentenceCorpus& corpus, size_t vocab_size);
+
+  /// Nested-vector adapter for the same training loop (identical output
+  /// for identical sentence content).
   util::Status Train(const std::vector<std::vector<int32_t>>& sentences,
                      size_t vocab_size);
 
@@ -61,12 +82,16 @@ class Word2Vec {
   const Word2VecOptions& options() const { return options_; }
 
  private:
+  util::Status TrainSpans(const TokenSpan* sentences, size_t num_sentences,
+                          size_t vocab_size);
+
   Word2VecOptions options_;
   size_t vocab_size_ = 0;
   bool trained_ = false;
   std::vector<float> syn0_;     // input vectors, vocab_size x dim
   std::vector<float> syn1neg_;  // output vectors, vocab_size x dim
-  std::vector<int32_t> unigram_table_;
+  /// Boundary-form unigram^0.75 sampler (replaces the 4 MB table).
+  NegativeSampler sampler_;
 };
 
 }  // namespace embed

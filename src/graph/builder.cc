@@ -211,6 +211,8 @@ util::Result<Graph> GraphBuilder::Build(const corpus::Corpus& first,
     process(0, /*create_nodes=*/true);
     process(1, /*create_nodes=*/true);
   }
+  // Hand downstream consumers (walker, BFS) the flat CSR adjacency.
+  g.Finalize();
   return g;
 }
 

@@ -127,7 +127,7 @@ Graph SsummCompress(const Graph& g, double ratio, util::Rng* rng) {
   };
 
   merge_by([&](NodeId id) {
-    std::vector<NodeId> nbs = g.Neighbors(id);
+    std::vector<NodeId> nbs = g.Neighbors(id).ToVector();
     std::sort(nbs.begin(), nbs.end());
     uint64_t h = 1469598103934665603ULL;
     for (NodeId nb : nbs) {
@@ -139,7 +139,7 @@ Graph SsummCompress(const Graph& g, double ratio, util::Rng* rng) {
 
   if (count_groups() > target) {
     merge_by([&](NodeId id) {
-      const auto& nbs = g.Neighbors(id);
+      const auto nbs = g.Neighbors(id);
       uint64_t deg_bucket = 0;
       size_t d = nbs.size();
       while (d > 1) {

@@ -1,5 +1,7 @@
 #include "graph/graph.h"
 
+#include <utility>
+
 namespace tdmatch {
 namespace graph {
 
@@ -9,7 +11,13 @@ NodeId Graph::AddNode(const std::string& label, NodeType type,
   if (it != label_index_.end()) return it->second;
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(NodeInfo{label, type, corpus, doc_index});
-  adj_.emplace_back();
+  if (finalized_) {
+    // A fresh node has no neighbors: the CSR stays valid by repeating the
+    // end offset, no definalization needed.
+    offsets_.push_back(offsets_.back());
+  } else {
+    adj_.emplace_back();
+  }
   label_index_.emplace(label, id);
   return id;
 }
@@ -24,6 +32,7 @@ bool Graph::AddEdge(NodeId a, NodeId b) {
   TDM_DCHECK(b >= 0 && static_cast<size_t>(b) < nodes_.size());
   if (a == b) return false;
   if (!edge_set_.insert(EdgeKey(a, b)).second) return false;
+  if (finalized_) Definalize();
   adj_[static_cast<size_t>(a)].push_back(b);
   adj_[static_cast<size_t>(b)].push_back(a);
   ++num_edges_;
@@ -33,6 +42,37 @@ bool Graph::AddEdge(NodeId a, NodeId b) {
 bool Graph::HasEdge(NodeId a, NodeId b) const {
   if (a == b) return false;
   return edge_set_.count(EdgeKey(a, b)) > 0;
+}
+
+void Graph::Finalize() {
+  if (finalized_) return;
+  offsets_.assign(nodes_.size() + 1, 0);
+  size_t total = 0;
+  for (size_t i = 0; i < adj_.size(); ++i) {
+    offsets_[i] = total;
+    total += adj_[i].size();
+  }
+  offsets_[nodes_.size()] = total;
+  targets_.clear();
+  targets_.reserve(total);
+  for (const auto& nbs : adj_) {
+    targets_.insert(targets_.end(), nbs.begin(), nbs.end());
+  }
+  std::vector<std::vector<NodeId>>().swap(adj_);
+  finalized_ = true;
+}
+
+void Graph::Definalize() {
+  if (!finalized_) return;
+  adj_.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    adj_[i].assign(targets_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]),
+                   targets_.begin() +
+                       static_cast<std::ptrdiff_t>(offsets_[i + 1]));
+  }
+  std::vector<size_t>().swap(offsets_);
+  std::vector<NodeId>().swap(targets_);
+  finalized_ = false;
 }
 
 std::vector<NodeId> Graph::MetadataDocNodes(CorpusTag corpus) const {
@@ -68,12 +108,13 @@ Graph Graph::InducedSubgraph(const std::vector<bool>& keep) const {
   }
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (!keep[i]) continue;
-    for (NodeId nb : adj_[i]) {
+    for (NodeId nb : Neighbors(static_cast<NodeId>(i))) {
       if (nb > static_cast<NodeId>(i) && keep[static_cast<size_t>(nb)]) {
         out.AddEdge(remap[i], remap[static_cast<size_t>(nb)]);
       }
     }
   }
+  if (finalized_) out.Finalize();
   return out;
 }
 
@@ -81,7 +122,9 @@ Graph Graph::RemoveSinkNodes() const {
   // Iteratively peel degree-<=1 non-metadata nodes.
   std::vector<bool> keep(nodes_.size(), true);
   std::vector<size_t> degree(nodes_.size());
-  for (size_t i = 0; i < nodes_.size(); ++i) degree[i] = adj_[i].size();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    degree[i] = Degree(static_cast<NodeId>(i));
+  }
 
   std::vector<NodeId> stack;
   for (size_t i = 0; i < nodes_.size(); ++i) {
@@ -97,7 +140,7 @@ Graph Graph::RemoveSinkNodes() const {
       continue;
     }
     keep[vi] = false;
-    for (NodeId nb : adj_[vi]) {
+    for (NodeId nb : Neighbors(v)) {
       size_t ni = static_cast<size_t>(nb);
       if (!keep[ni]) continue;
       if (degree[ni] > 0) --degree[ni];

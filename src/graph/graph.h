@@ -37,14 +37,54 @@ struct NodeInfo {
   int32_t doc_index = -1;
 };
 
+/// \brief Non-owning view of a node's neighbor list.
+///
+/// Valid for both graph states: while building it aliases the node's
+/// adjacency vector, after Finalize() it aliases the node's slice of the
+/// flat CSR target array. Invalidated by any graph mutation.
+class NeighborSpan {
+ public:
+  using value_type = NodeId;
+  using const_iterator = const NodeId*;
+
+  constexpr NeighborSpan() = default;
+  constexpr NeighborSpan(const NodeId* data, size_t size)
+      : data_(data), size_(size) {}
+
+  constexpr const NodeId* begin() const { return data_; }
+  constexpr const NodeId* end() const { return data_ + size_; }
+  constexpr const NodeId* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr NodeId operator[](size_t i) const { return data_[i]; }
+
+  /// Materializes the span (test/diagnostic convenience).
+  std::vector<NodeId> ToVector() const {
+    return std::vector<NodeId>(begin(), end());
+  }
+
+ private:
+  const NodeId* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// \brief Undirected, unweighted multigraph-free graph over data and
 /// metadata nodes (§II).
 ///
 /// Nodes are interned by label (labels are unique graph-wide; the builder
-/// prefixes metadata labels so they cannot collide with terms). Adjacency is
-/// stored as per-node neighbor vectors with an edge-set for O(1) duplicate
-/// rejection, supporting the random-walk access pattern (uniform neighbor
-/// choice) directly.
+/// prefixes metadata labels so they cannot collide with terms). The graph
+/// has two storage states:
+///
+///  * **building** — adjacency as per-node vectors, cheap to mutate;
+///  * **finalized** — a flat CSR layout (`offsets_`/`targets_`), one
+///    contiguous allocation, which the random-walk and BFS hot paths
+///    traverse without per-node pointer chasing.
+///
+/// `Finalize()` switches to CSR preserving per-node neighbor order (so all
+/// seeded random choices are unchanged); mutations after finalization fall
+/// back to the building representation transparently. `InducedSubgraph`
+/// of a finalized graph is finalized. An edge-set provides O(1) duplicate
+/// rejection in both states.
 class Graph {
  public:
   /// Interns a node; returns the existing id when the label is present.
@@ -60,7 +100,8 @@ class Graph {
   }
 
   /// Adds an undirected edge (no-op for duplicates and self-loops).
-  /// Returns true when a new edge was inserted.
+  /// Returns true when a new edge was inserted. Reverts a finalized graph
+  /// to the building representation.
   bool AddEdge(NodeId a, NodeId b);
 
   /// True when the edge exists.
@@ -74,12 +115,27 @@ class Graph {
     return nodes_[static_cast<size_t>(id)];
   }
 
-  const std::vector<NodeId>& Neighbors(NodeId id) const {
-    TDM_DCHECK(id >= 0 && static_cast<size_t>(id) < adj_.size());
-    return adj_[static_cast<size_t>(id)];
+  /// Neighbor view of a node; per-node order is identical in both storage
+  /// states (insertion order).
+  NeighborSpan Neighbors(NodeId id) const {
+    const size_t i = static_cast<size_t>(id);
+    TDM_DCHECK(id >= 0 && i < nodes_.size());
+    if (finalized_) {
+      return NeighborSpan(targets_.data() + offsets_[i],
+                          offsets_[i + 1] - offsets_[i]);
+    }
+    return NeighborSpan(adj_[i].data(), adj_[i].size());
   }
 
   size_t Degree(NodeId id) const { return Neighbors(id).size(); }
+
+  /// Converts adjacency to the flat CSR layout (idempotent; cheap on an
+  /// already-finalized graph). Neighbor order per node is preserved, so
+  /// seeded walks are bit-identical before and after.
+  void Finalize();
+
+  /// True when adjacency lives in the flat CSR arrays.
+  bool finalized() const { return finalized_; }
 
   /// Ids of all metadata document nodes, optionally restricted to a corpus.
   std::vector<NodeId> MetadataDocNodes(CorpusTag corpus = kNoCorpus) const;
@@ -88,7 +144,8 @@ class Graph {
   std::vector<NodeId> DataNodes() const;
 
   /// Returns a new graph containing only nodes with keep[id] == true,
-  /// with edges restricted accordingly (ids are re-densified).
+  /// with edges restricted accordingly (ids are re-densified). The result
+  /// is finalized when this graph is finalized.
   Graph InducedSubgraph(const std::vector<bool>& keep) const;
 
   /// Removes non-metadata nodes whose degree is <= 1, repeatedly until a
@@ -111,8 +168,16 @@ class Graph {
            static_cast<uint32_t>(hi);
   }
 
+  /// Rebuilds the per-node adjacency vectors from CSR (mutation support).
+  void Definalize();
+
   std::vector<NodeInfo> nodes_;
+  /// Building-state adjacency; empty once finalized.
   std::vector<std::vector<NodeId>> adj_;
+  /// CSR: neighbors of node i are targets_[offsets_[i] .. offsets_[i+1]).
+  std::vector<size_t> offsets_;
+  std::vector<NodeId> targets_;
+  bool finalized_ = false;
   std::unordered_map<std::string, NodeId> label_index_;
   std::unordered_set<uint64_t> edge_set_;
   size_t num_edges_ = 0;

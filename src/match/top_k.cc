@@ -7,6 +7,23 @@
 namespace tdmatch {
 namespace match {
 
+namespace {
+
+/// The ranking order: descending score, ties broken by lower index. This
+/// is a strict total order (indices are unique), so every selection
+/// strategy below produces the same, deterministic result.
+struct RankBefore {
+  const double* scores;
+  bool operator()(int32_t a, int32_t b) const {
+    const double sa = scores[static_cast<size_t>(a)];
+    const double sb = scores[static_cast<size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  }
+};
+
+}  // namespace
+
 std::vector<double> TopK::ScoreAll(
     const std::vector<float>& query,
     const std::vector<std::vector<float>>& candidates) {
@@ -19,23 +36,55 @@ std::vector<double> TopK::ScoreAll(
 }
 
 std::vector<Match> TopK::Select(const std::vector<double>& scores, size_t k) {
-  k = std::min(k, scores.size());
-  std::vector<int32_t> idx(scores.size());
-  for (size_t i = 0; i < scores.size(); ++i) idx[i] = static_cast<int32_t>(i);
-  // partial_sort by descending score; stable tie-break on lower index keeps
-  // rankings deterministic.
-  std::partial_sort(idx.begin(),
-                    idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
-                    [&](int32_t a, int32_t b) {
-                      double sa = scores[static_cast<size_t>(a)];
-                      double sb = scores[static_cast<size_t>(b)];
-                      if (sa != sb) return sa > sb;
-                      return a < b;
-                    });
+  const size_t n = scores.size();
+  k = std::min(k, n);
+  if (k == 0) return {};
+  const RankBefore before{scores.data()};
+
+  std::vector<int32_t> idx;
+  if (k * 4 >= n) {
+    // Large k: sorting (most of) the index array outright beats heap
+    // maintenance.
+    idx.resize(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int32_t>(i);
+    std::partial_sort(idx.begin(),
+                      idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                      before);
+    idx.resize(k);
+  } else {
+    // Small k (the match::TopK hot path: k in the tens against thousands
+    // of candidates): a bounded heap of the k best seen so far. With
+    // `before` as the heap's less-than, the root is the *worst* kept
+    // candidate. The root's score is kept in a register so the common
+    // case — candidate does not displace anything — is one comparison
+    // with no memory traffic; heap work is O(log k) and rare. No O(n)
+    // index array is materialized.
+    idx.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      idx.push_back(static_cast<int32_t>(i));
+      std::push_heap(idx.begin(), idx.end(), before);
+    }
+    int32_t worst = idx.front();
+    double worst_score = scores[static_cast<size_t>(worst)];
+    for (size_t i = k; i < n; ++i) {
+      const double s = scores[i];
+      if (s < worst_score ||
+          (s == worst_score && static_cast<int32_t>(i) > worst)) {
+        continue;
+      }
+      std::pop_heap(idx.begin(), idx.end(), before);
+      idx.back() = static_cast<int32_t>(i);
+      std::push_heap(idx.begin(), idx.end(), before);
+      worst = idx.front();
+      worst_score = scores[static_cast<size_t>(worst)];
+    }
+    std::sort(idx.begin(), idx.end(), before);
+  }
+
   std::vector<Match> out;
   out.reserve(k);
-  for (size_t i = 0; i < k; ++i) {
-    out.push_back(Match{idx[i], scores[static_cast<size_t>(idx[i])]});
+  for (int32_t i : idx) {
+    out.push_back(Match{i, scores[static_cast<size_t>(i)]});
   }
   return out;
 }

@@ -25,7 +25,9 @@ class TopK {
       const std::vector<std::vector<float>>& candidates);
 
   /// Indices of the k highest scores, ties broken by lower index
-  /// (deterministic).
+  /// (deterministic). Small k uses a bounded max-heap over the candidate
+  /// stream; large k falls back to a partial sort — both produce the
+  /// identical ranking.
   static std::vector<Match> Select(const std::vector<double>& scores,
                                    size_t k);
 

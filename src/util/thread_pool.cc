@@ -65,6 +65,12 @@ void ThreadPool::ParallelFor(
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   num_threads = std::min(num_threads, n);
+  if (num_threads == 1) {
+    // Run on the calling thread: same chunking semantics, no spawn/join
+    // overhead for the sequential case.
+    fn(0, n, 0);
+    return;
+  }
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
   const size_t chunk = (n + num_threads - 1) / num_threads;

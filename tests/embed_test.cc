@@ -40,7 +40,6 @@ std::vector<std::vector<int32_t>> InterchangeableSentences(size_t n) {
 }
 
 TEST(Word2VecTest, CooccurringTokensEndUpCloser) {
-  // Single-threaded for determinism: Hogwild margins vary run to run.
   Word2VecOptions o;
   o.dim = 32;
   o.epochs = 15;
@@ -78,12 +77,14 @@ TEST(Word2VecTest, CbowAlsoLearnsClusters) {
   EXPECT_GT(w2v.CosineIds(0, 1), w2v.CosineIds(0, 6) + 0.2);
 }
 
-TEST(Word2VecTest, DeterministicSingleThread) {
+TEST(Word2VecTest, DeterministicRegardlessOfThreadSetting) {
   Word2VecOptions o;
   o.dim = 16;
   o.epochs = 2;
   o.threads = 1;
-  Word2Vec a(o), b(o);
+  Word2VecOptions o4 = o;
+  o4.threads = 4;
+  Word2Vec a(o), b(o4);
   auto sents = ClusteredSentences(20);
   ASSERT_TRUE(a.Train(sents, 10).ok());
   ASSERT_TRUE(b.Train(sents, 10).ok());
@@ -96,7 +97,9 @@ TEST(Word2VecTest, RejectsBadInput) {
   Word2Vec w2v{Word2VecOptions{}};
   EXPECT_TRUE(w2v.Train({{0, 1}}, 0).IsInvalidArgument());
   EXPECT_TRUE(w2v.Train({{0, 99}}, 10).IsOutOfRange());
-  EXPECT_TRUE(w2v.Train({}, 10).IsInvalidArgument());
+  EXPECT_TRUE(w2v.Train(std::vector<std::vector<int32_t>>{}, 10)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(w2v.Train(SentenceCorpus{}, 10).IsInvalidArgument());
 }
 
 TEST(Word2VecTest, CosineBounds) {
@@ -269,6 +272,23 @@ TEST(Doc2VecTest, InferReturnsFiniteVector) {
   auto v = d2v.Infer({0, 1});
   ASSERT_EQ(v.size(), 8u);
   for (float x : v) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(Doc2VecTest, DeterministicRegardlessOfThreadSetting) {
+  std::vector<std::vector<int32_t>> docs{{0, 1, 2, 3}, {2, 3, 4, 0},
+                                         {4, 1, 0, 2}};
+  Doc2VecOptions o;
+  o.dim = 12;
+  o.epochs = 4;
+  o.threads = 1;
+  Doc2VecOptions o8 = o;
+  o8.threads = 8;
+  Doc2Vec a(o), b(o8);
+  ASSERT_TRUE(a.Train(docs, 5).ok());
+  ASSERT_TRUE(b.Train(docs, 5).ok());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    EXPECT_EQ(a.DocVector(d), b.DocVector(d)) << "doc " << d;
+  }
 }
 
 TEST(Doc2VecTest, RejectsBadInput) {

@@ -36,7 +36,7 @@ TEST(GraphTest, EdgesAreUndirectedAndDeduped) {
   EXPECT_TRUE(g.HasEdge(a, b));
   EXPECT_TRUE(g.HasEdge(b, a));
   EXPECT_EQ(g.Degree(a), 1u);
-  EXPECT_EQ(g.Neighbors(b), std::vector<NodeId>{a});
+  EXPECT_EQ(g.Neighbors(b).ToVector(), std::vector<NodeId>{a});
 }
 
 TEST(GraphTest, SelfLoopsRejected) {
@@ -122,6 +122,130 @@ TEST(GraphTest, RemoveSinkKeepsCycles) {
   Graph pruned = g.RemoveSinkNodes();
   EXPECT_EQ(pruned.NumNodes(), 3u);
   EXPECT_EQ(pruned.NumEdges(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// CSR finalization
+// ---------------------------------------------------------------------------
+
+/// All per-node neighbor lists, materialized (representation-agnostic).
+std::vector<std::vector<NodeId>> AllNeighbors(const Graph& g) {
+  std::vector<std::vector<NodeId>> out(g.NumNodes());
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    out[i] = g.Neighbors(static_cast<NodeId>(i)).ToVector();
+  }
+  return out;
+}
+
+Graph StarPlusTriangle() {
+  Graph g;
+  for (const char* l : {"hub", "s1", "s2", "s3", "t1", "t2", "lone"}) {
+    g.AddNode(l);
+  }
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 0);
+  return g;
+}
+
+TEST(GraphCsrTest, FinalizePreservesNeighborsAndIsIdempotent) {
+  Graph g = StarPlusTriangle();
+  const auto before = AllNeighbors(g);
+  const size_t edges = g.NumEdges();
+  EXPECT_FALSE(g.finalized());
+  g.Finalize();
+  EXPECT_TRUE(g.finalized());
+  EXPECT_EQ(AllNeighbors(g), before);
+  EXPECT_EQ(g.NumEdges(), edges);
+  g.Finalize();  // idempotent
+  EXPECT_TRUE(g.finalized());
+  EXPECT_EQ(AllNeighbors(g), before);
+  // Lookups and edge queries are unaffected by the representation.
+  EXPECT_TRUE(g.HasEdge(0, 4));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.FindNode("hub"), 0);
+  EXPECT_EQ(g.Degree(0), 5u);
+  EXPECT_EQ(g.Degree(6), 0u);
+}
+
+TEST(GraphCsrTest, EmptyAndEdgelessGraphsFinalize) {
+  Graph empty;
+  empty.Finalize();
+  EXPECT_TRUE(empty.finalized());
+  EXPECT_EQ(empty.NumNodes(), 0u);
+
+  Graph isolated;
+  isolated.AddNode("a");
+  isolated.AddNode("b");
+  isolated.Finalize();
+  EXPECT_TRUE(isolated.Neighbors(0).empty());
+  EXPECT_TRUE(isolated.Neighbors(1).empty());
+  EXPECT_EQ(isolated.Degree(0), 0u);
+}
+
+TEST(GraphCsrTest, AddNodeAfterFinalizeKeepsCsr) {
+  Graph g = StarPlusTriangle();
+  g.Finalize();
+  NodeId fresh = g.AddNode("fresh");
+  EXPECT_TRUE(g.finalized());  // appending an isolated node is CSR-safe
+  EXPECT_TRUE(g.Neighbors(fresh).empty());
+  EXPECT_EQ(g.Degree(0), 5u);
+}
+
+TEST(GraphCsrTest, AddEdgeAfterFinalizeRevertsToBuildingState) {
+  Graph g = StarPlusTriangle();
+  g.Finalize();
+  const auto before = AllNeighbors(g);
+  // Duplicate edge: rejected without leaving CSR.
+  EXPECT_FALSE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.finalized());
+  // New edge: graph transparently reverts to the mutable representation,
+  // preserving all existing adjacency in order.
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_FALSE(g.finalized());
+  auto after = AllNeighbors(g);
+  EXPECT_EQ(after[1].front(), before[1].front());
+  EXPECT_EQ(after[1].back(), 2);
+  EXPECT_EQ(g.NumEdges(), 7u);
+  g.Finalize();
+  EXPECT_EQ(AllNeighbors(g), after);
+}
+
+TEST(GraphCsrTest, InducedSubgraphOfFinalizedGraphIsFinalized) {
+  Graph g = StarPlusTriangle();
+  g.Finalize();
+  std::vector<bool> keep(g.NumNodes(), true);
+  keep[1] = false;
+  Graph sub = g.InducedSubgraph(keep);
+  EXPECT_TRUE(sub.finalized());
+  EXPECT_EQ(sub.NumNodes(), 6u);
+  EXPECT_EQ(sub.NumEdges(), 5u);
+
+  // Round-trip: the subgraph keeps the same neighbor structure (modulo
+  // the remap) as the building-state subgraph of the building-state graph.
+  Graph g2 = StarPlusTriangle();
+  Graph sub2 = g2.InducedSubgraph(keep);
+  EXPECT_FALSE(sub2.finalized());
+  EXPECT_EQ(AllNeighbors(sub), AllNeighbors(sub2));
+  EXPECT_EQ(sub.NumEdges(), sub2.NumEdges());
+}
+
+TEST(GraphCsrTest, RemoveSinkNodesWorksOnFinalizedGraph) {
+  Graph g;
+  NodeId m = g.AddNode("__D0:0__", NodeType::kMetadataDoc, 0, 0);
+  NodeId x = g.AddNode("x");
+  NodeId y = g.AddNode("y");
+  g.AddEdge(m, x);
+  g.AddEdge(x, y);
+  g.Finalize();
+  Graph pruned = g.RemoveSinkNodes();
+  EXPECT_TRUE(pruned.finalized());
+  EXPECT_TRUE(pruned.HasNode("__D0:0__"));
+  EXPECT_FALSE(pruned.HasNode("x"));
+  EXPECT_FALSE(pruned.HasNode("y"));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "eval/kfold.h"
 #include "eval/metrics.h"
 #include "eval/taxonomy_metrics.h"
 #include "match/combine.h"
 #include "match/top_k.h"
+#include "util/rng.h"
 
 namespace tdmatch {
 namespace {
@@ -31,9 +34,69 @@ TEST(TopKTest, SelectTieBreaksByIndex) {
   EXPECT_EQ(top[2].index, 2);
 }
 
+TEST(TopKTest, SelectTieBreaksByIndexUnderBoundedHeap) {
+  // Regression test for the heap implementation: many duplicate scores,
+  // k small relative to n so the heap path is taken. The documented
+  // stable lower-index-wins order must survive heap reordering.
+  std::vector<double> scores(64);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = (i % 2 == 0) ? 0.75 : 0.25;  // 32-way ties on both levels
+  }
+  auto top = match::TopK::Select(scores, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(top[i].index, static_cast<int32_t>(2 * i)) << "rank " << i;
+    EXPECT_DOUBLE_EQ(top[i].score, 0.75);
+  }
+  // Ties at the heap displacement boundary: once the heap holds k=2
+  // entries of score 0.5 (indices 0, 1), the equal-scored candidate 2
+  // must NOT displace the root (lower index wins), while the
+  // better-scored candidate 4 must.
+  auto boundary = match::TopK::Select({0.5, 0.5, 0.5, 0.1, 0.6, 0.1, 0.1,
+                                       0.1, 0.1},
+                                      2);
+  ASSERT_EQ(boundary.size(), 2u);
+  EXPECT_EQ(boundary[0].index, 4);
+  EXPECT_DOUBLE_EQ(boundary[0].score, 0.6);
+  EXPECT_EQ(boundary[1].index, 0);
+}
+
 TEST(TopKTest, SelectClampsK) {
   EXPECT_EQ(match::TopK::Select({0.1}, 10).size(), 1u);
   EXPECT_TRUE(match::TopK::Select({}, 5).empty());
+}
+
+TEST(TopKTest, HeapAndPartialSortPathsAgree) {
+  // Property check: for random scores with deliberate duplicates, the
+  // small-k heap path must produce exactly the ranking of a full sort
+  // under the documented order (score desc, index asc).
+  util::Rng rng(17);
+  std::vector<double> scores(600);
+  for (auto& s : scores) {
+    s = static_cast<double>(rng.UniformInt(50ULL)) / 50.0;  // many ties
+  }
+  auto reference = [&](size_t k) {
+    std::vector<int32_t> idx(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      idx[i] = static_cast<int32_t>(i);
+    }
+    std::sort(idx.begin(), idx.end(), [&](int32_t a, int32_t b) {
+      if (scores[static_cast<size_t>(a)] != scores[static_cast<size_t>(b)]) {
+        return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+      }
+      return a < b;
+    });
+    idx.resize(k);
+    return idx;
+  };
+  for (size_t k : {1u, 5u, 20u, 140u, 599u, 600u}) {
+    auto got = match::TopK::Select(scores, k);
+    auto want = reference(k);
+    ASSERT_EQ(got.size(), want.size()) << "k=" << k;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].index, want[i]) << "k=" << k << " rank " << i;
+    }
+  }
 }
 
 TEST(TopKTest, FullRankingIsPermutation) {

@@ -1,28 +1,54 @@
 #!/usr/bin/env python3
-"""Validate and merge bench --json output into one BENCH document.
+"""Validate, merge, and regression-gate bench --json output.
 
 Reads one or more JSON Lines files produced by the bench binaries
 (`<bench> --json --out rows.jsonl`), validates every row, and merges them
 into a single JSON document (the CI `BENCH_pr.json` artifact).
 
-The gate fails (exit 1) when:
+The validation gate fails (exit 1) when:
   * a line is not a JSON object with the expected keys,
   * a `value` or `wall_seconds` is missing, non-numeric, NaN/inf, or null
     (the C++ writer serialises non-finite measurements as null),
   * an input file contributes no rows (a bench that silently produced
     nothing), or no rows exist at all.
 
+With `--baseline BASELINE.json` (a document previously written by this
+script, e.g. the committed `BENCH_baseline.json`) it additionally enforces
+the perf/quality regression gate:
+  * a quality metric (mrr/map@K/hp@K/precision/recall/F and friends) may
+    not drop more than `--max-quality-drop` (default 0.02) below the
+    baseline — the embedding pipeline is deterministic for a fixed seed,
+    so same-machine same-seed runs reproduce quality values exactly and
+    the tolerance only absorbs cross-toolchain libm differences;
+  * the per-(bench, scenario) sum of `wall_seconds` may not exceed
+    `--max-wall-ratio` (default 1.5) times the baseline sum, for
+    scenarios whose baseline sum is at least `--min-wall-seconds`
+    (default 0.25 s; smaller sums are timing noise);
+  * every baseline row key must still be present (lost coverage fails).
+Timing-valued metrics (`*seconds*`) are never value-compared — their
+cost shows up in the wall-time aggregate instead.
+
 Usage:
-  tools/check_bench.py bench-json/*.jsonl --out BENCH_pr.json
+  tools/check_bench.py bench-json/*.jsonl --out BENCH_pr.json \
+      [--baseline BENCH_baseline.json]
 """
 
 import argparse
 import json
 import math
+import re
 import sys
 
 REQUIRED_STRING_KEYS = ("bench", "scenario", "parameter", "metric")
 REQUIRED_NUMBER_KEYS = ("value", "wall_seconds")
+
+# Metrics gated on value drops: ranking/classification quality, where
+# higher is better and a fixed seed reproduces the value exactly.
+QUALITY_METRIC_RE = re.compile(
+    r"^(mrr|map@|hp@|exact_[prf]@|node_[prf]@|gold_recall|spearman"
+    r"|accuracy|precision|recall|f1)")
+# Metrics that are themselves timings; never value-compared.
+TIMING_METRIC_RE = re.compile(r"seconds")
 
 
 def validate_row(row, where, errors):
@@ -47,15 +73,9 @@ def validate_row(row, where, errors):
     return ok
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("inputs", nargs="+", help="JSON Lines row files")
-    parser.add_argument("--out", help="write the merged JSON document here")
-    args = parser.parse_args()
-
+def read_rows(paths, errors):
     rows = []
-    errors = []
-    for path in args.inputs:
+    for path in paths:
         file_rows = 0
         try:
             fh = open(path, encoding="utf-8")
@@ -78,9 +98,111 @@ def main():
                     file_rows += 1
         if file_rows == 0:
             errors.append(f"{path}: no valid benchmark rows (empty metrics)")
+    return rows
+
+
+def row_key(row):
+    return (row["bench"], row["scenario"], row["parameter"], row["metric"])
+
+
+def scenario_wall_sums(rows):
+    sums = {}
+    for row in rows:
+        key = (row["bench"], row["scenario"])
+        sums[key] = sums.get(key, 0.0) + row["wall_seconds"]
+    return sums
+
+
+def compare_to_baseline(rows, baseline_doc, args, errors):
+    """Appends regression-gate failures to `errors`."""
+    base_rows = baseline_doc.get("rows", [])
+    if not base_rows:
+        errors.append(f"{args.baseline}: baseline document has no rows")
+        return
+
+    pr_by_key = {}
+    for row in rows:
+        pr_by_key[row_key(row)] = row
+
+    # --- quality drops + lost coverage -----------------------------------
+    compared = 0
+    for base in base_rows:
+        key = row_key(base)
+        pr = pr_by_key.get(key)
+        if pr is None:
+            errors.append(
+                "baseline coverage lost: no PR row for "
+                f"{'/'.join(key)} (bench removed a measurement?)")
+            continue
+        metric = base["metric"]
+        if TIMING_METRIC_RE.search(metric):
+            continue  # timings gate via the wall aggregate below
+        if not QUALITY_METRIC_RE.match(metric):
+            continue  # structural metrics (nodes/edges/...) are informational
+        drop = base["value"] - pr["value"]
+        compared += 1
+        if drop > args.max_quality_drop:
+            errors.append(
+                f"quality regression: {'/'.join(key)} dropped "
+                f"{base['value']:.4f} -> {pr['value']:.4f} "
+                f"(allowed drop {args.max_quality_drop})")
+    if compared == 0:
+        errors.append("baseline comparison matched no quality metrics "
+                      "(wrong baseline file?)")
+
+    # --- wall-time regressions -------------------------------------------
+    base_walls = scenario_wall_sums(base_rows)
+    pr_walls = scenario_wall_sums(rows)
+    for key, base_wall in sorted(base_walls.items()):
+        if base_wall < args.min_wall_seconds:
+            continue
+        pr_wall = pr_walls.get(key)
+        if pr_wall is None:
+            continue  # lost coverage already reported per row
+        if pr_wall > base_wall * args.max_wall_ratio:
+            errors.append(
+                f"wall-time regression: {'/'.join(key)} took {pr_wall:.2f}s "
+                f"vs baseline {base_wall:.2f}s "
+                f"(allowed ratio {args.max_wall_ratio}; if every scenario "
+                "regressed at once the runner hardware likely changed — "
+                "regenerate BENCH_baseline.json, see README)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", help="JSON Lines row files")
+    parser.add_argument("--out", help="write the merged JSON document here")
+    parser.add_argument(
+        "--baseline",
+        help="merged baseline document to regression-gate against")
+    parser.add_argument(
+        "--max-quality-drop", type=float, default=0.02,
+        help="max allowed drop of a quality metric vs baseline "
+             "(default %(default)s)")
+    parser.add_argument(
+        "--max-wall-ratio", type=float, default=1.5,
+        help="max allowed per-scenario wall_seconds ratio vs baseline "
+             "(default %(default)s)")
+    parser.add_argument(
+        "--min-wall-seconds", type=float, default=0.25,
+        help="ignore wall regressions for scenarios whose baseline sum is "
+             "below this (timing noise; default %(default)s)")
+    args = parser.parse_args()
+
+    errors = []
+    rows = read_rows(args.inputs, errors)
 
     if not rows:
         errors.append("no benchmark rows found across all inputs")
+
+    if args.baseline and rows:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline_doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(f"{args.baseline}: cannot read baseline: {exc}")
+        else:
+            compare_to_baseline(rows, baseline_doc, args, errors)
 
     if errors:
         for err in errors:
@@ -102,8 +224,9 @@ def main():
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=1)
             fh.write("\n")
+    gated = f" (gated against {args.baseline})" if args.baseline else ""
     print(f"check_bench: OK — {len(rows)} rows from {len(benches)} benches"
-          + (f" -> {args.out}" if args.out else ""))
+          + (f" -> {args.out}" if args.out else "") + gated)
     return 0
 
 

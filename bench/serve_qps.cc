@@ -1,0 +1,284 @@
+// Serving benchmark: the online subsystem (serve/) against the brute-force
+// scan it replaces.
+//
+// Two scenarios:
+//  * "IMDb"      — the end-to-end demo: train the smoke pipeline, write a
+//                  binary snapshot, reload it, build a QueryEngine, and
+//                  measure IVF recall@5 vs the exact index over the real
+//                  query docs (plus snapshot size / load time).
+//  * "Synthetic" — a clustered vector corpus big enough for the ANN
+//                  trade-off to show (smoke: 4k vectors): single-query
+//                  latency p50/p99 for exact vs IVF, QPS vs batch size
+//                  through QueryEngine::QueryBatch, recall@5 vs nprobe,
+//                  and the headline speedup (exact wall / IVF wall at the
+//                  serving nprobe).
+//
+// Quality rows (recall@5) are seed-deterministic and regression-gated by
+// tools/check_bench.py; latency/qps/speedup rows are informational (their
+// cost is gated through the per-scenario wall-time aggregate).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace tdmatch;  // NOLINT
+
+namespace {
+
+/// The nprobe the latency/speedup rows use — the smallest value whose
+/// measured recall@5 clears 0.95 on the synthetic corpus (see the sweep
+/// rows this bench emits).
+constexpr size_t kServingNprobe = 8;
+
+double Percentile(std::vector<double> ms, double p) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const size_t idx = std::min(
+      ms.size() - 1, static_cast<size_t>(p * static_cast<double>(ms.size())));
+  return ms[idx];
+}
+
+/// Clustered unit vectors: `n` points around `centers` Gaussian anchors —
+/// the structure an inverted-file index exploits (uniform random vectors
+/// have no cluster signal and every ANN index degrades to a scan).
+std::vector<std::vector<float>> MakeClusteredVectors(size_t n, int dim,
+                                                     size_t centers,
+                                                     util::Rng* rng) {
+  std::vector<std::vector<float>> anchor(centers);
+  for (auto& c : anchor) {
+    c.resize(static_cast<size_t>(dim));
+    for (auto& x : c) x = static_cast<float>(rng->Gaussian());
+  }
+  std::vector<std::vector<float>> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& c = anchor[i % centers];
+    out[i].resize(static_cast<size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      out[i][static_cast<size_t>(d)] =
+          c[static_cast<size_t>(d)] + 0.35f * static_cast<float>(
+                                                  rng->Gaussian());
+    }
+  }
+  return out;
+}
+
+void RunSynthetic(bench::BenchReporter& rep, const bench::BenchOptions& opts) {
+  if (!opts.Matches("Synthetic")) return;
+  const char* scenario = "Synthetic";
+  size_t n = 20000;
+  if (opts.scale == bench::Scale::kSmoke) n = 4000;
+  if (opts.scale == bench::Scale::kFull) n = 100000;
+  const int dim = 48;
+  const size_t num_queries = 200;
+  const uint64_t seed = opts.seed == 0 ? 7 : opts.seed;
+
+  util::Rng rng(seed);
+  util::StopWatch watch;
+  const auto vectors = MakeClusteredVectors(n, dim, 64, &rng);
+  std::vector<const std::vector<float>*> rows;
+  rows.reserve(n);
+  for (const auto& v : vectors) rows.push_back(&v);
+  auto matrix = std::make_shared<const serve::VectorMatrix>(
+      serve::VectorMatrix::FromRows(rows, dim));
+  // Queries: perturbed corpus members, so every query has dense true
+  // neighbors.
+  std::vector<std::vector<float>> queries(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    queries[q] = vectors[rng.UniformInt(n)];
+    for (auto& x : queries[q]) {
+      x += 0.1f * static_cast<float>(rng.Gaussian());
+    }
+  }
+  const double gen_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
+  serve::ExactIndex exact(matrix);
+  serve::IvfOptions ivf_opts;
+  ivf_opts.seed = seed;
+  ivf_opts.nprobe = kServingNprobe;
+  serve::IvfIndex ivf(matrix, ivf_opts);
+  const double build_seconds = watch.ElapsedSeconds();
+  rep.Printf("\nSynthetic corpus: n=%zu dim=%d nlist=%zu (gen %.2fs, "
+             "index build %.2fs)\n",
+             n, dim, ivf.nlist(), gen_seconds, build_seconds);
+  rep.Add(scenario, "index=ivf", "build_seconds", build_seconds,
+          build_seconds);
+
+  // --- recall@5 vs nprobe (the knob) -------------------------------------
+  rep.Printf("%-12s %-10s\n", "nprobe", "recall@5");
+  for (size_t nprobe : {1, 2, 4, 8, 16}) {
+    ivf.set_nprobe(nprobe);
+    watch.Reset();
+    const double recall = serve::MeasureRecallAtK(ivf, exact, queries, 5);
+    rep.Add(scenario, "nprobe=" + std::to_string(nprobe), "recall@5",
+            recall, watch.ElapsedSeconds());
+    rep.Printf("%-12zu %-10.4f\n", nprobe, recall);
+  }
+  ivf.set_nprobe(kServingNprobe);
+
+  // --- single-query latency + the headline speedup -----------------------
+  const size_t reps = opts.scale == bench::Scale::kFull ? 1 : 5;
+  auto measure = [&](const serve::Index& index, std::vector<double>* lat) {
+    util::StopWatch total;
+    for (size_t r = 0; r < reps; ++r) {
+      for (const auto& q : queries) {
+        util::StopWatch one;
+        index.SearchVec(q, 5);
+        lat->push_back(one.ElapsedMillis());
+      }
+    }
+    return total.ElapsedSeconds();
+  };
+  std::vector<double> exact_ms, ivf_ms;
+  const double exact_wall = measure(exact, &exact_ms);
+  const double ivf_wall = measure(ivf, &ivf_ms);
+  const double speedup = exact_wall / std::max(ivf_wall, 1e-9);
+  rep.Printf("%-12s p50=%.3fms p99=%.3fms\n", "exact",
+             Percentile(exact_ms, 0.5), Percentile(exact_ms, 0.99));
+  rep.Printf("%-12s p50=%.3fms p99=%.3fms  speedup=%.1fx (nprobe=%zu)\n",
+             "ivf", Percentile(ivf_ms, 0.5), Percentile(ivf_ms, 0.99),
+             speedup, ivf.nprobe());
+  rep.Add(scenario, "index=exact", "p50_ms", Percentile(exact_ms, 0.5),
+          exact_wall);
+  rep.Add(scenario, "index=exact", "p99_ms", Percentile(exact_ms, 0.99),
+          exact_wall);
+  rep.Add(scenario, "index=ivf", "p50_ms", Percentile(ivf_ms, 0.5),
+          ivf_wall);
+  rep.Add(scenario, "index=ivf", "p99_ms", Percentile(ivf_ms, 0.99),
+          ivf_wall);
+  rep.Add(scenario, "index=ivf", "speedup", speedup, ivf_wall);
+
+  // --- QPS vs batch size through the QueryEngine -------------------------
+  // The engine path includes label lookup + result materialization, i.e.
+  // what a frontend actually pays. Labels are synthetic v<i> names.
+  serve::Snapshot snap;
+  snap.meta.scenario = scenario;
+  snap.table = embed::EmbeddingTable(dim);
+  for (size_t i = 0; i < n; ++i) {
+    snap.table.Put("v" + std::to_string(i), vectors[i]);
+  }
+  serve::QueryEngineOptions eopts;
+  eopts.threads = 4;
+  eopts.ivf.seed = seed;
+  eopts.ivf.nprobe = kServingNprobe;
+  auto engine = serve::QueryEngine::BuildForPrefix(std::move(snap), "v",
+                                                   eopts);
+  TDM_CHECK(engine.ok()) << engine.status().ToString();
+  rep.Printf("%-12s %-10s  (threads=%zu; on a single-core box batching "
+             "only pays dispatch overhead)\n",
+             "batch", "qps", eopts.threads);
+  for (size_t batch : {1, 16, 64}) {
+    std::vector<std::string> labels(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      labels[i] = "v" + std::to_string(rng.UniformInt(n));
+    }
+    // Repeat until ~0.2s of work so tiny batches aren't pure timer noise.
+    size_t total_queries = 0;
+    watch.Reset();
+    do {
+      auto results = engine->QueryBatch(labels, 5);
+      TDM_CHECK(results.size() == batch);
+      total_queries += batch;
+    } while (watch.ElapsedSeconds() < 0.2);
+    const double qps =
+        static_cast<double>(total_queries) /
+        std::max(watch.ElapsedSeconds(), 1e-9);
+    rep.Add(scenario, "batch=" + std::to_string(batch), "qps", qps,
+            watch.ElapsedSeconds());
+    rep.Printf("%-12zu %-10.0f\n", batch, qps);
+  }
+}
+
+void RunTrainedScenario(bench::BenchReporter& rep,
+                        const bench::BenchOptions& opts) {
+  // The end-to-end demo on the real pipeline: train → snapshot → reload →
+  // query. IMDb at smoke scale has only a few dozen candidates, so this
+  // scenario gates correctness (recall, snapshot round-trip) while the
+  // synthetic corpus above carries the latency story.
+  bench::BenchOptions gen_opts = opts;
+  gen_opts.filter = "^IMDb$";
+  if (!opts.Matches("IMDb")) return;
+  auto scenarios = bench::MakeSweepScenarios(gen_opts);
+  if (scenarios.empty()) return;
+  auto& sc = scenarios.front();
+
+  util::StopWatch watch;
+  core::TDmatchOptions options = sc.base_options;
+  options.export_embeddings = true;
+  core::TDmatch engine(options);
+  auto run = engine.Run(sc.data.scenario.first, sc.data.scenario.second);
+  if (!run.ok()) {
+    std::fprintf(stderr, "serve_qps: IMDb pipeline FAILED: %s\n",
+                 run.status().ToString().c_str());
+    return;
+  }
+  const double train_seconds = watch.ElapsedSeconds();
+
+  // Snapshot round-trip through a temp file, like a serving deployment.
+  std::string path = "serve_qps_imdb.tds";
+  if (const char* tmp = std::getenv("TMPDIR"); tmp != nullptr) {
+    path = std::string(tmp) + "/" + path;
+  } else {
+    path = "/tmp/" + path;
+  }
+  serve::SnapshotMeta meta;
+  meta.scenario = sc.name;
+  meta.Set("candidate_prefix", "__D1:");
+  watch.Reset();
+  TDM_CHECK(serve::SnapshotIo::Write(run->embeddings, meta, path).ok());
+  auto snap = serve::SnapshotIo::Read(path);
+  TDM_CHECK(snap.ok()) << snap.status().ToString();
+  const double roundtrip_seconds = watch.ElapsedSeconds();
+  std::remove(path.c_str());
+
+  serve::QueryEngineOptions eopts;
+  eopts.threads = 4;
+  eopts.ivf.seed = opts.seed == 0 ? 7 : opts.seed;
+  auto qe = serve::QueryEngine::BuildForPrefix(std::move(*snap), "__D1:",
+                                               eopts);
+  TDM_CHECK(qe.ok()) << qe.status().ToString();
+
+  // Queries: every query doc that got an embedding.
+  std::vector<std::vector<float>> queries;
+  for (const auto& label : qe->table().Labels()) {
+    if (label.rfind("__D0:", 0) == 0) queries.push_back(*qe->table().Get(label));
+  }
+  rep.Printf("\nIMDb (trained, %zu candidates, %zu queries): train %.2fs, "
+             "snapshot round-trip %.3fs\n",
+             qe->num_candidates(), queries.size(), train_seconds,
+             roundtrip_seconds);
+  rep.Add("IMDb", "snapshot", "roundtrip_seconds", roundtrip_seconds,
+          train_seconds + roundtrip_seconds);
+
+  rep.Printf("%-12s %-10s\n", "nprobe", "recall@5");
+  for (size_t nprobe : {1, 2, 4}) {
+    qe->ivf_index()->set_nprobe(nprobe);
+    watch.Reset();
+    const double recall = serve::MeasureRecallAtK(
+        *qe->ivf_index(), qe->exact_index(), queries, 5);
+    rep.Add("IMDb", "nprobe=" + std::to_string(nprobe), "recall@5", recall,
+            watch.ElapsedSeconds());
+    rep.Printf("%-12zu %-10.4f\n", nprobe, recall);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("serve_qps", opts);
+  rep.Note("Online serving: IVF ANN index + QueryEngine vs brute-force "
+           "scan");
+  RunTrainedScenario(rep, opts);
+  RunSynthetic(rep, opts);
+  return rep.Finish() ? 0 : 1;
+}

@@ -161,6 +161,17 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
     result.scores[q] = match::TopK::ScoreAll(qv, candidates);
   }
   result.match_seconds = watch.ElapsedSeconds();
+
+  // --- Serving export --------------------------------------------------------
+  // Doc nodes that survived compression keep their trained vector under
+  // their graph label; the serving layer snapshots this table and answers
+  // queries from it without re-running the pipeline.
+  if (options_.export_embeddings) {
+    result.embeddings = embed::EmbeddingTable(w2v.dim());
+    for (graph::NodeId id : g.MetadataDocNodes()) {
+      result.embeddings.Put(g.node(id).label, w2v.VectorCopy(id));
+    }
+  }
   return result;
 }
 

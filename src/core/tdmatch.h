@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "corpus/corpus.h"
+#include "embed/embedding_table.h"
 #include "embed/pretrained_lexicon.h"
 #include "embed/random_walk.h"
 #include "embed/word2vec.h"
@@ -55,6 +56,13 @@ struct TDmatchOptions {
                              .seed = 42};
   uint64_t seed = 42;
 
+  /// Copy the trained document embeddings (both corpora's metadata-doc
+  /// nodes, keyed by their graph labels `__D<corpus>:<doc>__`) into
+  /// TDmatchResult::embeddings — the artifact the serving layer snapshots
+  /// (serve/snapshot). Off by default: the offline benchmarks only need
+  /// the scores.
+  bool export_embeddings = false;
+
   /// CBOW window 15, the paper's configuration for text-oriented tasks.
   static TDmatchOptions TextTaskDefaults();
 };
@@ -70,6 +78,9 @@ struct GraphStats {
 struct TDmatchResult {
   /// scores[q][c]: cosine between query q (first corpus) and candidate c.
   std::vector<std::vector<double>> scores;
+  /// Trained doc embeddings, filled when options.export_embeddings is set
+  /// (labels are graph::GraphBuilder::MetaDocLabel strings).
+  embed::EmbeddingTable embeddings;
   GraphStats original;
   GraphStats expanded;    ///< equals original when expansion is off
   GraphStats compressed;  ///< equals expanded when compression is off

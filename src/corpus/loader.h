@@ -9,13 +9,39 @@
 namespace tdmatch {
 namespace corpus {
 
+/// Field mapping for JSONL text corpora.
+struct JsonlTextOptions {
+  /// Record field holding the document id; records without it get a
+  /// `<name>:<line>` id like the plain-text loader.
+  std::string id_field = "id";
+  /// Record field holding the document text (required per record).
+  std::string text_field = "text";
+};
+
 /// \brief File-backed corpus I/O so real datasets can be plugged into the
-/// pipeline (the generators cover the benchmarks; users bring CSVs).
+/// pipeline (the generators cover the benchmarks; users bring CSVs or
+/// JSONL dumps).
 class Loader {
  public:
   /// Loads a table from a CSV file whose first row is the header.
   static util::Result<Table> TableFromCsv(const std::string& path,
                                           const std::string& table_name);
+
+  /// Loads a table from a JSON Lines file: one flat JSON object per line.
+  /// The first record's fields (in appearance order) become the columns —
+  /// the same header-row-defines-the-schema rule as the CSV path. Later
+  /// records may omit fields (empty cell) but may not introduce new ones.
+  /// Values must be scalars (string/number/bool/null); nested containers
+  /// are an error.
+  static util::Result<Table> TableFromJsonl(const std::string& path,
+                                            const std::string& table_name);
+
+  /// Loads a text corpus from a JSON Lines file using the field mapping in
+  /// `options`. Blank lines are skipped; every record needs `text_field`.
+  static util::Result<Corpus> TextsFromJsonl(const std::string& path,
+                                             const std::string& corpus_name,
+                                             const JsonlTextOptions& options =
+                                                 {});
 
   /// Writes a table to CSV (header + rows).
   static util::Status TableToCsv(const Table& table, const std::string& path);

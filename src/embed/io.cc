@@ -1,5 +1,6 @@
 #include "embed/io.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -57,26 +58,67 @@ util::Status EmbeddingIo::Save(const EmbeddingTable& table,
 util::Result<EmbeddingTable> EmbeddingIo::Load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return util::Status::IOError("cannot open " + path);
-  size_t count = 0;
-  int dim = 0;
-  if (!(in >> count >> dim) || dim <= 0) {
+  std::string line;
+  if (!std::getline(in, line)) {
     return util::Status::InvalidArgument("bad header in " + path);
   }
-  EmbeddingTable table(dim);
-  for (size_t i = 0; i < count; ++i) {
-    std::string label;
-    if (!(in >> label)) {
+  size_t count = 0;
+  int dim = 0;
+  {
+    std::istringstream header(line);
+    if (!(header >> count >> dim) || dim <= 0) {
+      return util::Status::InvalidArgument("bad header in " + path);
+    }
+    std::string extra;
+    if (header >> extra) {
       return util::Status::InvalidArgument(
-          util::StrFormat("%s: truncated at entry %zu", path.c_str(), i));
+          util::StrFormat("%s: header has trailing content '%s'",
+                          path.c_str(), extra.c_str()));
+    }
+  }
+
+  // One entry per line, parsed strictly against the header: a row whose
+  // value count disagrees with `dim`, or a file whose row count disagrees
+  // with `count`, is a descriptive error — never a silently truncated (or
+  // misaligned) table. Blank lines are ignored, matching the writer's
+  // trailing newline.
+  EmbeddingTable table(dim);
+  size_t rows = 0;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::vector<std::string> fields = util::SplitWhitespace(line);
+    if (fields.empty()) continue;
+    if (rows == count) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s:%zu: vocab size mismatch: header promises %zu entries but the "
+          "file has more (extra row starts with '%s')",
+          path.c_str(), lineno, count, fields[0].c_str()));
+    }
+    if (fields.size() != static_cast<size_t>(dim) + 1) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s:%zu: dimension mismatch for '%s': header dim is %d but the "
+          "row has %zu values",
+          path.c_str(), lineno, fields[0].c_str(), dim, fields.size() - 1));
     }
     std::vector<float> vec(static_cast<size_t>(dim));
     for (int d = 0; d < dim; ++d) {
-      if (!(in >> vec[static_cast<size_t>(d)])) {
+      const std::string& field = fields[static_cast<size_t>(d) + 1];
+      char* end = nullptr;
+      vec[static_cast<size_t>(d)] = std::strtof(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
         return util::Status::InvalidArgument(util::StrFormat(
-            "%s: truncated vector for '%s'", path.c_str(), label.c_str()));
+            "%s:%zu: non-numeric value '%s' for '%s'", path.c_str(), lineno,
+            field.c_str(), fields[0].c_str()));
       }
     }
-    table.Put(UnescapeLabel(label), std::move(vec));
+    table.Put(UnescapeLabel(fields[0]), std::move(vec));
+    ++rows;
+  }
+  if (rows != count) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: vocab size mismatch: header promises %zu entries, file has %zu",
+        path.c_str(), count, rows));
   }
   return table;
 }

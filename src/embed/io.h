@@ -13,6 +13,10 @@ namespace embed {
 /// format: a `<count> <dim>` header line followed by `<label> v1 .. vd`
 /// lines. Labels containing spaces are supported by quoting rules below:
 /// inner spaces are escaped as `\_` on write and unescaped on read.
+///
+/// The text format is the debug/interop path; production serving loads
+/// the binary snapshot format instead (serve/snapshot.h, which also has
+/// the text ↔ snapshot conversion helpers).
 class EmbeddingIo {
  public:
   /// Writes the table; overwrites the file.
@@ -20,7 +24,9 @@ class EmbeddingIo {
                            const std::string& path);
 
   /// Reads a table written by Save (or a real word2vec .txt file without
-  /// escaped labels).
+  /// escaped labels). Strict: a row whose value count disagrees with the
+  /// header dim, or a file whose row count disagrees with the header
+  /// count, is an InvalidArgument error, never a silent truncation.
   static util::Result<EmbeddingTable> Load(const std::string& path);
 };
 

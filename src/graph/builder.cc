@@ -1,9 +1,11 @@
 #include "graph/builder.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "text/tfidf.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace tdmatch {
 namespace graph {
@@ -17,21 +19,34 @@ struct DocUnits {
   std::vector<std::vector<std::string>> units;
 };
 
+/// Tokenizes every document, sharded per document block: each worker owns
+/// a contiguous doc range and writes only its own slots, and the
+/// preprocessor is stateless-const, so the output is identical for any
+/// thread count.
 std::vector<DocUnits> PreprocessCorpus(const corpus::Corpus& c,
-                                       const text::Preprocessor& pp) {
+                                       const text::Preprocessor& pp,
+                                       size_t threads) {
   std::vector<DocUnits> out(c.NumDocs());
   if (c.type() == corpus::CorpusType::kTable) {
     const corpus::Table& t = *c.table();
-    for (size_t r = 0; r < t.NumRows(); ++r) {
-      out[r].units.resize(t.NumColumns());
-      for (size_t col = 0; col < t.NumColumns(); ++col) {
-        out[r].units[col] = pp.Tokens(t.cell(r, col));
-      }
-    }
+    util::ThreadPool::ParallelFor(
+        t.NumRows(), threads,
+        [&](size_t begin, size_t end, size_t /*thread_idx*/) {
+          for (size_t r = begin; r < end; ++r) {
+            out[r].units.resize(t.NumColumns());
+            for (size_t col = 0; col < t.NumColumns(); ++col) {
+              out[r].units[col] = pp.Tokens(t.cell(r, col));
+            }
+          }
+        });
   } else {
-    for (size_t i = 0; i < c.NumDocs(); ++i) {
-      out[i].units.push_back(pp.Tokens(c.DocText(i)));
-    }
+    util::ThreadPool::ParallelFor(
+        c.NumDocs(), threads,
+        [&](size_t begin, size_t end, size_t /*thread_idx*/) {
+          for (size_t i = begin; i < end; ++i) {
+            out[i].units.push_back(pp.Tokens(c.DocText(i)));
+          }
+        });
   }
   return out;
 }
@@ -91,7 +106,7 @@ std::string GraphBuilder::NormalizeLabel(const text::Preprocessor& pp,
 }
 
 size_t GraphBuilder::DistinctTokens(const corpus::Corpus& c) const {
-  auto docs = PreprocessCorpus(c, preprocessor_);
+  auto docs = PreprocessCorpus(c, preprocessor_, options_.threads);
   return CountDistinct(docs);
 }
 
@@ -102,8 +117,9 @@ util::Result<Graph> GraphBuilder::Build(const corpus::Corpus& first,
   }
   Graph g;
   const corpus::Corpus* corpora[2] = {&first, &second};
-  std::vector<DocUnits> pre[2] = {PreprocessCorpus(first, preprocessor_),
-                                  PreprocessCorpus(second, preprocessor_)};
+  std::vector<DocUnits> pre[2] = {
+      PreprocessCorpus(first, preprocessor_, options_.threads),
+      PreprocessCorpus(second, preprocessor_, options_.threads)};
 
   if (options_.filter == FilterMode::kTfIdf) {
     ApplyTfIdfFilter(&pre[0], options_.tfidf_top_k);
@@ -150,6 +166,16 @@ util::Result<Graph> GraphBuilder::Build(const corpus::Corpus& first,
     return t;
   };
 
+  // Per-document work is pipelined in blocks: n-gram generation +
+  // canonicalization — the dominant cost of Alg. 1 and a pure
+  // per-document map (the bucketer and merge map are read-only here) —
+  // runs sharded across the pool for one block of documents, then the
+  // graph mutation consumes that block sequentially in canonical document
+  // order before the next block's terms are generated. The resulting
+  // graph is identical for every thread count, and the materialized term
+  // strings never exceed one block.
+  constexpr size_t kDocBlock = 2048;
+
   // Processes one corpus: metadata nodes always; data nodes created when
   // `create_nodes`, otherwise only edges to pre-existing nodes (Alg. 1
   // lines 27-34).
@@ -170,35 +196,57 @@ util::Result<Graph> GraphBuilder::Build(const corpus::Corpus& first,
       }
     }
 
-    for (size_t d = 0; d < c.NumDocs(); ++d) {
-      NodeId doc_node =
-          g.AddNode(MetaDocLabel(ci, d), NodeType::kMetadataDoc,
-                    static_cast<CorpusTag>(ci), static_cast<int32_t>(d));
+    // block_terms[i][u]: canonical terms of unit u of doc block_start + i.
+    std::vector<std::vector<std::vector<std::string>>> block_terms;
+    for (size_t block_start = 0; block_start < c.NumDocs();
+         block_start += kDocBlock) {
+      const size_t block_end = std::min(c.NumDocs(), block_start + kDocBlock);
+      block_terms.assign(block_end - block_start, {});
+      util::ThreadPool::ParallelFor(
+          block_end - block_start, options_.threads,
+          [&](size_t begin, size_t end, size_t /*thread_idx*/) {
+            for (size_t i = begin; i < end; ++i) {
+              const DocUnits& units = pre[ci][block_start + i];
+              block_terms[i].resize(units.units.size());
+              for (size_t u = 0; u < units.units.size(); ++u) {
+                for (const std::string& raw_term :
+                     ngrams.GenerateUnique(units.units[u])) {
+                  std::string term = canonical(raw_term);
+                  if (term.empty()) continue;
+                  block_terms[i][u].push_back(std::move(term));
+                }
+              }
+            }
+          });
 
-      // Structured text: connect to parent metadata node (lines 12-15).
-      if (is_structured && options_.connect_structured_parents) {
-        int32_t parent = c.ParentOf(d);
-        if (parent >= 0) {
-          NodeId pn = g.FindNode(MetaDocLabel(ci, static_cast<size_t>(parent)));
-          if (pn != kInvalidNode) g.AddEdge(doc_node, pn);
-        }
-      }
+      for (size_t d = block_start; d < block_end; ++d) {
+        NodeId doc_node =
+            g.AddNode(MetaDocLabel(ci, d), NodeType::kMetadataDoc,
+                      static_cast<CorpusTag>(ci), static_cast<int32_t>(d));
 
-      const DocUnits& units = pre[ci][d];
-      for (size_t u = 0; u < units.units.size(); ++u) {
-        for (const std::string& raw_term :
-             ngrams.GenerateUnique(units.units[u])) {
-          const std::string term = canonical(raw_term);
-          if (term.empty()) continue;
-          NodeId tn;
-          if (create_nodes) {
-            tn = g.AddNode(term, NodeType::kData);
-          } else {
-            tn = g.FindNode(term);
-            if (tn == kInvalidNode) continue;  // filtered out (§II-B)
+        // Structured text: connect to parent metadata node (lines 12-15).
+        if (is_structured && options_.connect_structured_parents) {
+          int32_t parent = c.ParentOf(d);
+          if (parent >= 0) {
+            NodeId pn =
+                g.FindNode(MetaDocLabel(ci, static_cast<size_t>(parent)));
+            if (pn != kInvalidNode) g.AddEdge(doc_node, pn);
           }
-          g.AddEdge(doc_node, tn);
-          if (is_table) g.AddEdge(col_nodes[u], tn);
+        }
+
+        const auto& units = block_terms[d - block_start];
+        for (size_t u = 0; u < units.size(); ++u) {
+          for (const std::string& term : units[u]) {
+            NodeId tn;
+            if (create_nodes) {
+              tn = g.AddNode(term, NodeType::kData);
+            } else {
+              tn = g.FindNode(term);
+              if (tn == kInvalidNode) continue;  // filtered out (§II-B)
+            }
+            g.AddEdge(doc_node, tn);
+            if (is_table) g.AddEdge(col_nodes[u], tn);
+          }
         }
       }
     }

@@ -45,6 +45,12 @@ struct BuilderOptions {
   const MergeMap* merge_map = nullptr;
   /// Add edges between parent/child metadata nodes of structured texts.
   bool connect_structured_parents = true;
+  /// Worker threads for the per-document preprocessing / term-generation
+  /// phase of Build (Alg. 1's dominant cost). Node and edge insertion
+  /// stays sequential in canonical document order, so the built graph —
+  /// node ids, labels, neighbor order — is identical for every thread
+  /// count.
+  size_t threads = 4;
 };
 
 /// \brief Builds the joint graph over two corpora (Algorithm 1).

@@ -1,0 +1,172 @@
+#include "serve/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tdmatch {
+namespace serve {
+
+IvfIndex::IvfIndex(std::shared_ptr<const VectorMatrix> data,
+                   IvfOptions options)
+    : data_(std::move(data)), options_(options) {
+  const size_t n = data_->size();
+  nlist_ = options_.nlist;
+  if (nlist_ == 0) {
+    nlist_ = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(std::max<size_t>(n, 1)))));
+  }
+  nlist_ = std::max<size_t>(1, std::min(nlist_, std::max<size_t>(n, 1)));
+  set_nprobe(options_.nprobe);
+  Train();
+}
+
+void IvfIndex::set_nprobe(size_t nprobe) {
+  nprobe_ = std::max<size_t>(1, std::min(nprobe, nlist_));
+}
+
+void IvfIndex::Train() {
+  const size_t n = data_->size();
+  const int dim = data_->dim();
+  const size_t d = static_cast<size_t>(dim);
+
+  // --- k-means init: nlist distinct member vectors as seeds --------------
+  centroids_.assign(nlist_ * d, 0.0f);
+  if (n > 0) {
+    util::Rng rng(options_.seed);
+    const std::vector<size_t> seeds = rng.SampleIndices(n, nlist_);
+    for (size_t c = 0; c < nlist_; ++c) {
+      std::copy_n(data_->row(seeds[c]), d, centroids_.data() + c * d);
+    }
+  }
+
+  std::vector<int32_t> assign(n, 0);
+  if (nlist_ > 1 && n > 0) {
+    std::vector<double> sums(nlist_ * d);
+    std::vector<size_t> counts(nlist_);
+    for (size_t iter = 0; iter < options_.kmeans_iters; ++iter) {
+      // Assignment: pure map over points — deterministic for any chunking,
+      // so the pool only has to carve disjoint ranges.
+      util::ThreadPool::ParallelFor(
+          n, options_.threads,
+          [&](size_t begin, size_t end, size_t /*thread_idx*/) {
+            for (size_t i = begin; i < end; ++i) {
+              const float* v = data_->row(i);
+              float best = -2.0f;
+              int32_t best_c = 0;
+              for (size_t c = 0; c < nlist_; ++c) {
+                const float* cent = centroids_.data() + c * d;
+                float dot = 0.0f;
+                for (size_t k = 0; k < d; ++k) dot += v[k] * cent[k];
+                if (dot > best) {
+                  best = dot;
+                  best_c = static_cast<int32_t>(c);
+                }
+              }
+              assign[i] = best_c;
+            }
+          });
+
+      // Update: sequential accumulation in id order keeps the result
+      // bit-identical across thread counts (no fp reassociation).
+      std::fill(sums.begin(), sums.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), 0);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t c = static_cast<size_t>(assign[i]);
+        const float* v = data_->row(i);
+        double* s = sums.data() + c * d;
+        for (size_t k = 0; k < d; ++k) s[k] += v[k];
+        ++counts[c];
+      }
+      for (size_t c = 0; c < nlist_; ++c) {
+        if (counts[c] == 0) continue;  // empty cell keeps its seed
+        float* cent = centroids_.data() + c * d;
+        for (size_t k = 0; k < d; ++k) {
+          cent[k] = static_cast<float>(sums[c * d + k] /
+                                       static_cast<double>(counts[c]));
+        }
+        // Spherical k-means: cells rank by dot product, so centroids live
+        // on the unit sphere too.
+        NormalizeSlice(cent, dim);
+      }
+    }
+  }
+
+  // --- inverted lists, flat CSR ------------------------------------------
+  list_offsets_.assign(nlist_ + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++list_offsets_[static_cast<size_t>(assign[i]) + 1];
+  }
+  for (size_t c = 0; c < nlist_; ++c) {
+    list_offsets_[c + 1] += list_offsets_[c];
+  }
+  list_ids_.resize(n);
+  list_vectors_.resize(n * d);
+  std::vector<size_t> fill = list_offsets_;
+  for (size_t i = 0; i < n; ++i) {  // id order within each cell
+    const size_t pos = fill[static_cast<size_t>(assign[i])]++;
+    list_ids_[pos] = static_cast<int32_t>(i);
+    std::copy_n(data_->row(i), d, list_vectors_.data() + pos * d);
+  }
+}
+
+std::vector<match::Match> IvfIndex::Search(
+    const float* query, size_t k, const std::vector<char>* allowed) const {
+  const size_t d = static_cast<size_t>(data_->dim());
+  if (data_->size() == 0 || k == 0) return {};
+
+  // Coarse quantizer: nearest nprobe cells by centroid dot product.
+  std::vector<double> cell_scores(nlist_);
+  for (size_t c = 0; c < nlist_; ++c) {
+    const float* cent = centroids_.data() + c * d;
+    float dot = 0.0f;
+    for (size_t i = 0; i < d; ++i) dot += query[i] * cent[i];
+    cell_scores[c] = dot;
+  }
+  const std::vector<match::Match> probes =
+      match::TopK::Select(cell_scores, nprobe_);
+
+  // Scan the probed lists: exact cosine on every member (the vectors are
+  // full-precision, so the "re-rank" is exact by construction).
+  std::vector<match::Match> gathered;
+  for (const auto& probe : probes) {
+    const size_t c = static_cast<size_t>(probe.index);
+    for (size_t pos = list_offsets_[c]; pos < list_offsets_[c + 1]; ++pos) {
+      const int32_t id = list_ids_[pos];
+      if (allowed != nullptr && (*allowed)[static_cast<size_t>(id)] == 0) {
+        continue;
+      }
+      const float* v = list_vectors_.data() + pos * d;
+      float dot = 0.0f;
+      for (size_t i = 0; i < d; ++i) dot += query[i] * v[i];
+      gathered.push_back(match::Match{id, dot});
+    }
+  }
+
+  // Re-rank through the bounded heap of match::TopK, whose ties break by
+  // lower position. Sorting the gather by candidate id first (cheap: the
+  // gather is nprobe short id-sorted runs) makes that tie-break the
+  // global id order — so IVF and exact return identical results whenever
+  // the probed cells cover the exact top-k, ties included.
+  std::sort(gathered.begin(), gathered.end(),
+            [](const match::Match& a, const match::Match& b) {
+              return a.index < b.index;
+            });
+  std::vector<double> scores;
+  scores.reserve(gathered.size());
+  for (const auto& g : gathered) scores.push_back(g.score);
+  std::vector<match::Match> top = match::TopK::Select(scores, k);
+  std::vector<match::Match> out;
+  out.reserve(top.size());
+  for (const auto& m : top) {
+    out.push_back(
+        match::Match{gathered[static_cast<size_t>(m.index)].index, m.score});
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace tdmatch

@@ -1,0 +1,93 @@
+#ifndef TDMATCH_SERVE_IVF_INDEX_H_
+#define TDMATCH_SERVE_IVF_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/index.h"
+
+namespace tdmatch {
+namespace serve {
+
+/// Build/search parameters of the IVF index.
+struct IvfOptions {
+  /// Number of k-means cells. 0 = auto: ceil(sqrt(n)), clamped to [1, n].
+  size_t nlist = 0;
+  /// Cells probed per query — the recall/latency knob. Higher nprobe scans
+  /// more of the corpus: nprobe == nlist degenerates to an exact scan.
+  /// Measure the trade-off with MeasureRecallAtK (bench/serve_qps sweeps
+  /// it).
+  size_t nprobe = 4;
+  /// Lloyd iterations for the coarse quantizer.
+  size_t kmeans_iters = 8;
+  /// Seed for the k-means init (util::Rng); fixed seed ⇒ identical index.
+  uint64_t seed = 42;
+  /// Threads for k-means training (util::ThreadPool::ParallelFor). The
+  /// trained index is identical for any thread count: assignments are a
+  /// pure map and centroid updates accumulate sequentially in id order.
+  size_t threads = 4;
+};
+
+/// \brief Inverted-file ANN index (the FAISS "IVF-flat" recipe): a k-means
+/// coarse quantizer partitions the normalized candidate vectors into
+/// `nlist` cells; a query scores the `nprobe` nearest cells' members only,
+/// then exact cosine re-ranks the gathered candidates through the bounded
+/// heap of match::TopK.
+///
+/// Inverted lists are stored flat CSR-style (offsets + one contiguous id
+/// array) with the member vectors copied into list order, so a probe scans
+/// one contiguous stripe of memory. Expected work per query is
+/// O(nlist · dim) for the quantizer plus O((nprobe/nlist) · n · dim) for
+/// the scans — at nlist = √n this is O(√n · dim) against the exact scan's
+/// O(n · dim).
+class IvfIndex : public Index {
+ public:
+  /// Builds the index (trains k-means, fills the inverted lists).
+  IvfIndex(std::shared_ptr<const VectorMatrix> data, IvfOptions options);
+
+  std::string name() const override { return "ivf"; }
+  size_t size() const override { return data_->size(); }
+  int dim() const override { return data_->dim(); }
+
+  /// Note: `allowed` filters within the probed cells only — allowed
+  /// candidates living in unprobed cells are not considered. For small
+  /// allowed sets use ExactIndex (QueryEngine::QueryFiltered does).
+  std::vector<match::Match> Search(
+      const float* query, size_t k,
+      const std::vector<char>* allowed = nullptr) const override;
+
+  /// The recall knob; clamped to [1, nlist]. Safe between queries, not
+  /// concurrently with them.
+  void set_nprobe(size_t nprobe);
+  size_t nprobe() const { return nprobe_; }
+  size_t nlist() const { return nlist_; }
+
+  /// Members of cell `list` (diagnostics / tests).
+  size_t ListSize(size_t list) const {
+    return list_offsets_[list + 1] - list_offsets_[list];
+  }
+
+ private:
+  void Train();
+
+  std::shared_ptr<const VectorMatrix> data_;
+  IvfOptions options_;
+  size_t nlist_ = 0;
+  size_t nprobe_ = 1;
+  /// nlist × dim, L2-normalized (spherical k-means).
+  std::vector<float> centroids_;
+  /// CSR inverted lists: members of cell c are positions
+  /// [list_offsets_[c], list_offsets_[c+1]) of list_ids_/list_vectors_.
+  std::vector<size_t> list_offsets_;
+  std::vector<int32_t> list_ids_;
+  /// Member vectors copied into list order (n × dim): each probe scans a
+  /// contiguous stripe instead of hopping through the original matrix.
+  std::vector<float> list_vectors_;
+};
+
+}  // namespace serve
+}  // namespace tdmatch
+
+#endif  // TDMATCH_SERVE_IVF_INDEX_H_

@@ -1,0 +1,179 @@
+#include "serve/query_engine.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace serve {
+
+util::Result<QueryEngine> QueryEngine::Build(
+    Snapshot snapshot, std::vector<std::string> candidates,
+    QueryEngineOptions options) {
+  if (candidates.empty()) {
+    return util::Status::InvalidArgument("candidate set is empty");
+  }
+  QueryEngine engine;
+  engine.options_ = options;
+
+  std::vector<const std::vector<float>*> rows;
+  rows.reserve(candidates.size());
+  engine.candidate_index_.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const std::vector<float>* vec = snapshot.table.Get(candidates[i]);
+    if (vec == nullptr) {
+      return util::Status::NotFound(
+          util::StrFormat("candidate '%s' has no vector in snapshot '%s'",
+                          candidates[i].c_str(),
+                          snapshot.meta.scenario.c_str()));
+    }
+    const bool inserted =
+        engine.candidate_index_
+            .emplace(candidates[i], static_cast<int32_t>(i))
+            .second;
+    if (!inserted) {
+      return util::Status::InvalidArgument("duplicate candidate label: " +
+                                           candidates[i]);
+    }
+    rows.push_back(vec);
+  }
+
+  engine.matrix_ = std::make_shared<VectorMatrix>(
+      VectorMatrix::FromRows(rows, snapshot.table.dim()));
+  engine.exact_ = std::make_unique<ExactIndex>(engine.matrix_);
+  if (options.build_ivf) {
+    IvfOptions ivf = options.ivf;
+    ivf.threads = options.threads;
+    engine.ivf_ = std::make_unique<IvfIndex>(engine.matrix_, ivf);
+  }
+  if (options.threads > 1) {
+    engine.pool_ = std::make_unique<util::ThreadPool>(options.threads);
+  }
+  engine.snapshot_ = std::move(snapshot);
+  engine.candidate_labels_ = std::move(candidates);
+  return engine;
+}
+
+util::Result<QueryEngine> QueryEngine::BuildForPrefix(
+    Snapshot snapshot, const std::string& prefix,
+    QueryEngineOptions options) {
+  std::vector<std::string> candidates;
+  for (auto& label : snapshot.table.Labels()) {
+    if (util::StartsWith(label, prefix)) {
+      candidates.push_back(std::move(label));
+    }
+  }
+  if (candidates.empty()) {
+    return util::Status::NotFound(util::StrFormat(
+        "snapshot '%s' has no labels with candidate prefix '%s'",
+        snapshot.meta.scenario.c_str(), prefix.c_str()));
+  }
+  return Build(std::move(snapshot), std::move(candidates), options);
+}
+
+const Index& QueryEngine::IndexFor(SearchMode mode) const {
+  if (mode == SearchMode::kApprox && ivf_ != nullptr) return *ivf_;
+  return *exact_;
+}
+
+std::vector<ScoredMatch> QueryEngine::ToScored(
+    const std::vector<match::Match>& matches) const {
+  std::vector<ScoredMatch> out;
+  out.reserve(matches.size());
+  for (const auto& m : matches) {
+    out.push_back(ScoredMatch{
+        candidate_labels_[static_cast<size_t>(m.index)], m.index, m.score});
+  }
+  return out;
+}
+
+util::Result<std::vector<ScoredMatch>> QueryEngine::QueryVector(
+    const std::vector<float>& vec, size_t k, SearchMode mode) const {
+  if (vec.size() != static_cast<size_t>(snapshot_.table.dim())) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("query vector has dim %zu, snapshot dim is %d",
+                        vec.size(), snapshot_.table.dim()));
+  }
+  if (k == 0) k = options_.default_k;
+  return ToScored(IndexFor(mode).SearchVec(vec, k));
+}
+
+util::Result<std::vector<ScoredMatch>> QueryEngine::Query(
+    const std::string& label, size_t k, SearchMode mode) const {
+  const std::vector<float>* vec = snapshot_.table.Get(label);
+  if (vec == nullptr) {
+    return util::Status::NotFound("no embedding for label '" + label + "'");
+  }
+  return QueryVector(*vec, k, mode);
+}
+
+util::Result<std::vector<ScoredMatch>> QueryEngine::QueryFiltered(
+    const std::string& label, const std::vector<std::string>& allowed,
+    size_t k) const {
+  const std::vector<float>* vec = snapshot_.table.Get(label);
+  if (vec == nullptr) {
+    return util::Status::NotFound("no embedding for label '" + label + "'");
+  }
+  std::vector<char> mask(candidate_labels_.size(), 0);
+  size_t block_size = 0;
+  for (const auto& a : allowed) {
+    auto it = candidate_index_.find(a);
+    if (it == candidate_index_.end()) continue;  // not a candidate: ignore
+    if (mask[static_cast<size_t>(it->second)] == 0) ++block_size;
+    mask[static_cast<size_t>(it->second)] = 1;
+  }
+  if (block_size == 0) return std::vector<ScoredMatch>{};
+  if (k == 0) k = options_.default_k;
+  // Always the exact index: the IVF scan only sees the nprobe probed
+  // cells, so a small allowed set (the blocker regime this API exists
+  // for) could be missed entirely — and a blocked scan is O(|block|)
+  // cheap anyway.
+  return ToScored(exact_->SearchVec(*vec, k, &mask));
+}
+
+std::vector<util::Result<std::vector<ScoredMatch>>> QueryEngine::QueryBatch(
+    const std::vector<std::string>& labels, size_t k, SearchMode mode) const {
+  // Pre-size with per-slot placeholders, then let the shards overwrite
+  // their ranges: no locking on the result vector, and the output order
+  // never depends on the thread count.
+  const size_t n = labels.size();
+  std::vector<util::Result<std::vector<ScoredMatch>>> results(
+      n, util::Status::Internal("query not executed"));
+  const size_t shards = std::min(options_.threads, n);
+  if (pool_ == nullptr || shards <= 1) {
+    for (size_t i = 0; i < n; ++i) results[i] = Query(labels[i], k, mode);
+    return results;
+  }
+
+  // Contiguous chunks on the persistent pool; this batch tracks its own
+  // completion so concurrent batches never wait on each other's tasks.
+  // The decrement happens under the mutex: the caller can only observe
+  // remaining == 0 after the finishing worker has released the lock, so
+  // the stack-local sync state cannot be destroyed under a worker.
+  std::vector<std::pair<size_t, size_t>> ranges;
+  const size_t chunk = (n + shards - 1) / shards;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    ranges.emplace_back(begin, std::min(n, begin + chunk));
+  }
+  size_t remaining = ranges.size();
+  std::mutex mu;
+  std::condition_variable done;
+  for (const auto& range : ranges) {
+    pool_->Submit([this, &labels, &results, &remaining, &mu, &done, range,
+                   k, mode] {
+      for (size_t i = range.first; i < range.second; ++i) {
+        results[i] = Query(labels[i], k, mode);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&remaining] { return remaining == 0; });
+  return results;
+}
+
+}  // namespace serve
+}  // namespace tdmatch

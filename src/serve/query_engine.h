@@ -1,0 +1,137 @@
+#ifndef TDMATCH_SERVE_QUERY_ENGINE_H_
+#define TDMATCH_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/index.h"
+#include "serve/ivf_index.h"
+#include "serve/snapshot.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace tdmatch {
+namespace serve {
+
+/// Which index a query runs against.
+enum class SearchMode {
+  kApprox,  ///< IVF when built, otherwise falls back to exact
+  kExact,   ///< always the brute-force reference
+};
+
+struct QueryEngineOptions {
+  /// Threads for batch execution (and IVF k-means training).
+  size_t threads = 4;
+  /// k used when a query passes k = 0.
+  size_t default_k = 5;
+  /// Build the IVF index next to the exact one. Off ⇒ every query is an
+  /// exact scan (small candidate sets where ANN overhead isn't worth it).
+  bool build_ivf = true;
+  IvfOptions ivf;
+};
+
+/// One scored answer: the candidate's snapshot label, its dense id in the
+/// engine's candidate set, and the cosine score.
+struct ScoredMatch {
+  std::string label;
+  int32_t candidate = -1;
+  double score = 0.0;
+};
+
+/// \brief The online query layer: a loaded snapshot + ANN/exact indexes +
+/// batched, thread-sharded lookups.
+///
+/// Built once from a snapshot (offline artifact), then immutable: every
+/// query API is const and safe to call from concurrent callers. Queries
+/// address embeddings by snapshot label (e.g. the graph's metadata-doc
+/// labels `__D0:i__`) or bring their own vector; candidates are the subset
+/// of snapshot labels the engine was built over (for TDmatch serving, the
+/// second corpus' doc nodes `__D1:*__`).
+///
+/// Batch execution shards the query list into contiguous chunks on a
+/// persistent ThreadPool (spawned once at Build, reused by every batch —
+/// no per-call thread spawn on the hot path); results are written to
+/// per-query slots, so the output is identical for any thread count.
+/// Multiple callers may run QueryBatch concurrently; each batch tracks
+/// its own completion.
+class QueryEngine {
+ public:
+  /// Builds the engine over an explicit candidate subset. Labels missing
+  /// from the snapshot table or duplicated are an error.
+  static util::Result<QueryEngine> Build(Snapshot snapshot,
+                                         std::vector<std::string> candidates,
+                                         QueryEngineOptions options = {});
+
+  /// Convenience: candidates are all snapshot labels starting with
+  /// `prefix`, in snapshot order (the serving convention stores the
+  /// candidate prefix in the snapshot metadata under "candidate_prefix").
+  static util::Result<QueryEngine> BuildForPrefix(
+      Snapshot snapshot, const std::string& prefix,
+      QueryEngineOptions options = {});
+
+  /// Top-k for the embedding stored under `label` (k = 0 ⇒ default_k).
+  util::Result<std::vector<ScoredMatch>> Query(
+      const std::string& label, size_t k = 0,
+      SearchMode mode = SearchMode::kApprox) const;
+
+  /// Top-k for a caller-provided vector (must be table dim).
+  util::Result<std::vector<ScoredMatch>> QueryVector(
+      const std::vector<float>& vec, size_t k = 0,
+      SearchMode mode = SearchMode::kApprox) const;
+
+  /// Blocking-aware filtered query: only candidates whose label appears in
+  /// `allowed` can be returned (labels not in the candidate set are
+  /// ignored). This is the hook for an upstream blocker (match::
+  /// TokenBlocker) that prunes the candidate space per query. Filtered
+  /// queries always run on the exact index: an IVF probe could miss a
+  /// small allowed set entirely, and a blocked scan is cheap by
+  /// construction.
+  util::Result<std::vector<ScoredMatch>> QueryFiltered(
+      const std::string& label, const std::vector<std::string>& allowed,
+      size_t k = 0) const;
+
+  /// Batch lookup: result i answers labels[i]. Per-query failures (unknown
+  /// label) are per-slot errors, not a batch failure. Sharded across
+  /// `options().threads` workers.
+  std::vector<util::Result<std::vector<ScoredMatch>>> QueryBatch(
+      const std::vector<std::string>& labels, size_t k = 0,
+      SearchMode mode = SearchMode::kApprox) const;
+
+  const SnapshotMeta& meta() const { return snapshot_.meta; }
+  const embed::EmbeddingTable& table() const { return snapshot_.table; }
+  size_t num_candidates() const { return candidate_labels_.size(); }
+  const std::vector<std::string>& candidate_labels() const {
+    return candidate_labels_;
+  }
+  bool has_ivf() const { return ivf_ != nullptr; }
+  const ExactIndex& exact_index() const { return *exact_; }
+  /// Null when build_ivf was off.
+  IvfIndex* ivf_index() { return ivf_.get(); }
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  QueryEngine() = default;
+
+  const Index& IndexFor(SearchMode mode) const;
+  std::vector<ScoredMatch> ToScored(
+      const std::vector<match::Match>& matches) const;
+
+  Snapshot snapshot_;
+  QueryEngineOptions options_;
+  std::vector<std::string> candidate_labels_;
+  /// label → dense candidate id, for filtered queries.
+  std::unordered_map<std::string, int32_t> candidate_index_;
+  std::shared_ptr<const VectorMatrix> matrix_;
+  std::unique_ptr<ExactIndex> exact_;
+  std::unique_ptr<IvfIndex> ivf_;
+  /// Batch workers; null when options_.threads <= 1 (batches run inline).
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace tdmatch
+
+#endif  // TDMATCH_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,258 @@
+#include "serve/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "embed/io.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'D', 'M', 'S'};
+constexpr uint32_t kEndianMarker = 0x01020304u;
+/// magic + version + endian marker.
+constexpr size_t kHeaderBytes = 12;
+/// trailing CRC.
+constexpr size_t kFooterBytes = 4;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+util::Status AppendString(std::string* out, const std::string& s) {
+  if (s.size() > UINT32_MAX) {
+    return util::Status::InvalidArgument("snapshot string too long");
+  }
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+  return util::Status::OK();
+}
+
+/// Bounds-checked sequential reader over the body slice of the file
+/// buffer. Every primitive read fails loudly instead of running past the
+/// end, so truncated files surface as errors, not garbage models.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  util::Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  util::Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+
+  util::Status ReadString(std::string* s) {
+    uint32_t len = 0;
+    TDM_RETURN_NOT_OK(ReadU32(&len));
+    if (len > Remaining()) {
+      return util::Status::IOError(util::StrFormat(
+          "snapshot truncated: string of %u bytes with %zu bytes left",
+          len, Remaining()));
+    }
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return util::Status::OK();
+  }
+
+  util::Status ReadFloats(float* out, size_t count) {
+    return ReadRaw(out, count * sizeof(float));
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+
+ private:
+  util::Status ReadRaw(void* out, size_t bytes) {
+    if (bytes > Remaining()) {
+      return util::Status::IOError(util::StrFormat(
+          "snapshot truncated: need %zu bytes, %zu left", bytes,
+          Remaining()));
+    }
+    std::memcpy(out, data_ + pos_, bytes);
+    pos_ += bytes;
+    return util::Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const std::string& SnapshotMeta::Find(const std::string& key) const {
+  static const std::string kEmpty;
+  for (const auto& kv : extra) {
+    if (kv.first == key) return kv.second;
+  }
+  return kEmpty;
+}
+
+util::Status SnapshotIo::Write(const embed::EmbeddingTable& table,
+                               const SnapshotMeta& meta,
+                               const std::string& path) {
+  const std::vector<std::string> labels = table.Labels();
+  const size_t dim = static_cast<size_t>(table.dim());
+
+  std::string body;
+  // Labels dominate; 16 bytes/label plus the raw float payload is a close
+  // upper-bound guess that avoids re-allocation churn.
+  body.reserve(labels.size() * (dim * sizeof(float) + 16) + 256);
+  AppendU32(&body, static_cast<uint32_t>(table.dim()));
+  AppendU64(&body, labels.size());
+  TDM_RETURN_NOT_OK(AppendString(&body, meta.scenario));
+  if (meta.extra.size() > UINT32_MAX) {
+    return util::Status::InvalidArgument("too many metadata pairs");
+  }
+  AppendU32(&body, static_cast<uint32_t>(meta.extra.size()));
+  for (const auto& kv : meta.extra) {
+    TDM_RETURN_NOT_OK(AppendString(&body, kv.first));
+    TDM_RETURN_NOT_OK(AppendString(&body, kv.second));
+  }
+  for (const auto& label : labels) {
+    TDM_RETURN_NOT_OK(AppendString(&body, label));
+  }
+  for (const auto& label : labels) {
+    const std::vector<float>* vec = table.Get(label);
+    body.append(reinterpret_cast<const char*>(vec->data()),
+                vec->size() * sizeof(float));
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::IOError("cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  const uint32_t endian = kEndianMarker;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&endian), sizeof(endian));
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  const uint32_t crc = util::Crc32(body.data(), body.size());
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!out) return util::Status::IOError("write failed for " + path);
+  return util::Status::OK();
+}
+
+util::Result<Snapshot> SnapshotIo::Read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return util::Status::IOError("cannot open " + path);
+  const std::streamoff file_size = in.tellg();
+  if (file_size < static_cast<std::streamoff>(kHeaderBytes + kFooterBytes)) {
+    return util::Status::IOError(util::StrFormat(
+        "%s: not a snapshot (%lld bytes, smaller than header + CRC)",
+        path.c_str(), static_cast<long long>(file_size)));
+  }
+  std::string buf(static_cast<size_t>(file_size), '\0');
+  in.seekg(0);
+  if (!in.read(&buf[0], file_size)) {
+    return util::Status::IOError("read failed for " + path);
+  }
+
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument(
+        path + ": bad magic (not a TDmatch snapshot)");
+  }
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  std::memcpy(&version, buf.data() + 4, sizeof(version));
+  std::memcpy(&endian, buf.data() + 8, sizeof(endian));
+  if (endian != kEndianMarker) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: endianness marker 0x%08x != 0x%08x — snapshot was written on a "
+        "machine with different byte order",
+        path.c_str(), endian, kEndianMarker));
+  }
+  if (version != kVersion) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("%s: snapshot version %u, this build reads %u",
+                        path.c_str(), version, kVersion));
+  }
+
+  const char* body = buf.data() + kHeaderBytes;
+  const size_t body_size = buf.size() - kHeaderBytes - kFooterBytes;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - kFooterBytes,
+              sizeof(stored_crc));
+  const uint32_t actual_crc = util::Crc32(body, body_size);
+  if (stored_crc != actual_crc) {
+    return util::Status::IOError(util::StrFormat(
+        "%s: CRC mismatch (stored 0x%08x, computed 0x%08x) — snapshot is "
+        "corrupted or truncated",
+        path.c_str(), stored_crc, actual_crc));
+  }
+
+  Cursor cur(body, body_size);
+  uint32_t dim = 0;
+  uint64_t count = 0;
+  TDM_RETURN_NOT_OK(cur.ReadU32(&dim));
+  TDM_RETURN_NOT_OK(cur.ReadU64(&count));
+  if (dim == 0 && count > 0) {
+    return util::Status::InvalidArgument(path + ": zero dim with vectors");
+  }
+  // A valid CRC proves the bytes are intact, not that the writer was
+  // SnapshotIo — validate declared counts against the bytes actually
+  // present before sizing any allocation from them (every entry needs at
+  // least a 4-byte label length plus its dim floats).
+  const uint64_t min_entry_bytes =
+      sizeof(uint32_t) + static_cast<uint64_t>(dim) * sizeof(float);
+  if (count > cur.Remaining() / min_entry_bytes) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: declared %llu vectors cannot fit in %zu remaining bytes",
+        path.c_str(), static_cast<unsigned long long>(count),
+        cur.Remaining()));
+  }
+
+  Snapshot snap;
+  TDM_RETURN_NOT_OK(cur.ReadString(&snap.meta.scenario));
+  uint32_t num_extra = 0;
+  TDM_RETURN_NOT_OK(cur.ReadU32(&num_extra));
+  if (num_extra > cur.Remaining() / (2 * sizeof(uint32_t))) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: declared %u metadata pairs cannot fit in %zu remaining bytes",
+        path.c_str(), num_extra, cur.Remaining()));
+  }
+  snap.meta.extra.reserve(num_extra);
+  for (uint32_t i = 0; i < num_extra; ++i) {
+    std::string key, value;
+    TDM_RETURN_NOT_OK(cur.ReadString(&key));
+    TDM_RETURN_NOT_OK(cur.ReadString(&value));
+    snap.meta.extra.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::string> labels(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TDM_RETURN_NOT_OK(cur.ReadString(&labels[i]));
+  }
+  snap.table = embed::EmbeddingTable(static_cast<int>(dim));
+  std::vector<float> vec(dim);
+  for (uint64_t i = 0; i < count; ++i) {
+    TDM_RETURN_NOT_OK(cur.ReadFloats(vec.data(), dim));
+    snap.table.Put(labels[i], vec);
+  }
+  if (cur.Remaining() != 0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: %zu trailing bytes after the vector payload", path.c_str(),
+        cur.Remaining()));
+  }
+  return snap;
+}
+
+util::Status SnapshotIo::ConvertTextToSnapshot(
+    const std::string& text_path, const SnapshotMeta& meta,
+    const std::string& snapshot_path) {
+  TDM_ASSIGN_OR_RETURN(embed::EmbeddingTable table,
+                       embed::EmbeddingIo::Load(text_path));
+  return Write(table, meta, snapshot_path);
+}
+
+util::Status SnapshotIo::ConvertSnapshotToText(
+    const std::string& snapshot_path, const std::string& text_path) {
+  TDM_ASSIGN_OR_RETURN(Snapshot snap, Read(snapshot_path));
+  return embed::EmbeddingIo::Save(snap.table, text_path);
+}
+
+}  // namespace serve
+}  // namespace tdmatch

@@ -1,0 +1,91 @@
+#ifndef TDMATCH_SERVE_SNAPSHOT_H_
+#define TDMATCH_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "embed/embedding_table.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace serve {
+
+/// \brief Versioned binary persistence for trained models — the artifact
+/// that crosses the offline/online boundary.
+///
+/// The offline pipeline trains once and writes a snapshot; any number of
+/// serving processes load it and answer queries without re-training. The
+/// text format (embed::EmbeddingIo) stays for interop and debugging;
+/// snapshots are what production loads: single contiguous read, bit-exact
+/// float round-trip, and integrity checking.
+///
+/// File layout (all integers little-or-big endian as written; the marker
+/// detects foreign-endian files):
+///
+///   [0..4)   magic "TDMS"
+///   [4..8)   u32 format version (kVersion)
+///   [8..12)  u32 endianness marker 0x01020304
+///   [12..N)  body:
+///              u32 dim, u64 vector count,
+///              scenario name (u32 length + bytes),
+///              u32 extra-metadata pair count, then (key, value) strings,
+///              count label strings,
+///              count * dim raw IEEE-754 f32 payload
+///   [N..N+4) u32 CRC-32 of the body
+///
+/// Strings are u32 length + raw bytes. Readers parse from one in-memory
+/// buffer with bounds-checked cursor reads; any overrun, bad magic, version
+/// skew, foreign endianness, trailing garbage, or CRC mismatch is a
+/// descriptive error — never a partially-loaded model.
+struct SnapshotMeta {
+  /// Name of the scenario / deployment the model was trained for.
+  std::string scenario;
+  /// Free-form key/value pairs (seed, scale, corpus sizes, ...). Order is
+  /// preserved by the round-trip.
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// Value for `key` in `extra`, or an empty string.
+  const std::string& Find(const std::string& key) const;
+
+  void Set(std::string key, std::string value) {
+    extra.emplace_back(std::move(key), std::move(value));
+  }
+};
+
+/// A loaded snapshot: metadata plus the embedding table (labels keep their
+/// written order, vectors are bit-identical to what was saved).
+struct Snapshot {
+  SnapshotMeta meta;
+  embed::EmbeddingTable table;
+};
+
+class SnapshotIo {
+ public:
+  static constexpr uint32_t kVersion = 1;
+
+  /// Serializes `table` + `meta`; overwrites `path`.
+  static util::Status Write(const embed::EmbeddingTable& table,
+                            const SnapshotMeta& meta, const std::string& path);
+
+  /// Loads a snapshot written by Write. Rejects corrupted, truncated,
+  /// foreign-endian, and version-skewed files.
+  static util::Result<Snapshot> Read(const std::string& path);
+
+  /// Conversion paths between the text format (embed::EmbeddingIo) and the
+  /// binary snapshot format. Text → snapshot loses nothing the text file
+  /// carried; snapshot → text drops the metadata block and rounds floats
+  /// through decimal.
+  static util::Status ConvertTextToSnapshot(const std::string& text_path,
+                                            const SnapshotMeta& meta,
+                                            const std::string& snapshot_path);
+  static util::Status ConvertSnapshotToText(const std::string& snapshot_path,
+                                            const std::string& text_path);
+};
+
+}  // namespace serve
+}  // namespace tdmatch
+
+#endif  // TDMATCH_SERVE_SNAPSHOT_H_

@@ -1,0 +1,23 @@
+#ifndef TDMATCH_UTIL_CRC32_H_
+#define TDMATCH_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tdmatch {
+namespace util {
+
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// used by zip/png. Protects the binary model snapshots (serve/snapshot)
+/// against bit rot and truncation; not a cryptographic hash.
+///
+/// `seed` is the running CRC of a previous chunk, so large payloads can be
+/// checksummed incrementally:
+///   uint32_t c = Crc32(a, na);
+///   c = Crc32(b, nb, c);   // == Crc32 of a||b
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_CRC32_H_

@@ -237,6 +237,59 @@ INSTANTIATE_TEST_SUITE_P(FilterModes, BuilderFilterPropertyTest,
                                            FilterMode::kIntersect,
                                            FilterMode::kTfIdf));
 
+// ---------------------------------------------------------------------------
+// Parallel build determinism
+// ---------------------------------------------------------------------------
+
+/// A corpus pair big enough that the parallel preprocessing phase actually
+/// splits into several per-thread blocks.
+std::pair<corpus::Corpus, corpus::Corpus> WideCorpora() {
+  std::vector<corpus::TextDoc> docs;
+  for (int i = 0; i < 37; ++i) {
+    docs.push_back({"p" + std::to_string(i),
+                    "review " + std::to_string(i) +
+                        " praises actor number " + std::to_string(i % 7) +
+                        " in a thriller about auditing"});
+  }
+  corpus::Table t("movies", {"title", "actor", "genre"});
+  for (int i = 0; i < 29; ++i) {
+    EXPECT_TRUE(t.AddRow({"movie " + std::to_string(i),
+                          "actor number " + std::to_string(i % 7),
+                          i % 2 == 0 ? "thriller" : "comedy"})
+                    .ok());
+  }
+  return {corpus::Corpus::FromTexts("reviews", std::move(docs)),
+          corpus::Corpus::FromTable(std::move(t))};
+}
+
+TEST(BuilderTest, BuildIsThreadCountInvariant) {
+  auto [reviews, movies] = WideCorpora();
+  std::vector<Graph> graphs;
+  for (size_t threads : {1, 4, 8}) {
+    BuilderOptions opts;
+    opts.threads = threads;
+    GraphBuilder builder(opts);
+    auto g = builder.Build(reviews, movies);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    graphs.push_back(std::move(*g));
+  }
+  const Graph& base = graphs[0];
+  for (size_t v = 1; v < graphs.size(); ++v) {
+    const Graph& other = graphs[v];
+    ASSERT_EQ(base.NumNodes(), other.NumNodes());
+    ASSERT_EQ(base.NumEdges(), other.NumEdges());
+    for (NodeId id = 0; id < static_cast<NodeId>(base.NumNodes()); ++id) {
+      // Same label at the same id (node creation order is canonical)...
+      EXPECT_EQ(base.node(id).label, other.node(id).label);
+      // ...and the same neighbors in the same order (walk determinism
+      // depends on neighbor order, not just the edge set).
+      EXPECT_EQ(base.Neighbors(id).ToVector(),
+                other.Neighbors(id).ToVector())
+          << "neighbor order differs at node " << id;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace graph
 }  // namespace tdmatch

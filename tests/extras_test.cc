@@ -123,6 +123,103 @@ TEST(LoaderTest, TaxonomyRejectsForwardParent) {
 }
 
 // ---------------------------------------------------------------------------
+// corpus::Loader — JSONL
+// ---------------------------------------------------------------------------
+
+std::string WriteTempFile(const std::string& name, const std::string& body) {
+  std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(LoaderTest, TableFromJsonlUsesFirstRecordAsSchema) {
+  std::string path = WriteTempFile(
+      "tdm_loader_table.jsonl",
+      "{\"title\": \"Pulp Fiction\", \"year\": 1994, \"seen\": true}\n"
+      "\n"
+      "{\"year\": 1999, \"title\": \"The Sixth \\\"Sense\\\"\"}\n");
+  auto t = corpus::Loader::TableFromJsonl(path, "movies");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->column_names(),
+            (std::vector<std::string>{"title", "year", "seen"}));
+  EXPECT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->cell(0, 1), "1994");
+  EXPECT_EQ(t->cell(0, 2), "true");
+  EXPECT_EQ(t->cell(1, 0), "The Sixth \"Sense\"");
+  EXPECT_EQ(t->cell(1, 2), "");  // omitted field → empty cell, like CSV
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TableFromJsonlRejectsUnknownFieldsAndNesting) {
+  std::string path = WriteTempFile(
+      "tdm_loader_table_bad.jsonl",
+      "{\"a\": 1}\n{\"a\": 2, \"b\": 3}\n");
+  auto t = corpus::Loader::TableFromJsonl(path, "x");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("'b'"), std::string::npos);
+
+  path = WriteTempFile("tdm_loader_table_nested.jsonl",
+                       "{\"a\": {\"nested\": 1}}\n");
+  EXPECT_FALSE(corpus::Loader::TableFromJsonl(path, "x").ok());
+
+  path = WriteTempFile("tdm_loader_table_garbage.jsonl", "not json\n");
+  EXPECT_FALSE(corpus::Loader::TableFromJsonl(path, "x").ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TextsFromJsonlMapsFields) {
+  std::string path = WriteTempFile(
+      "tdm_loader_texts.jsonl",
+      "{\"id\": \"r1\", \"text\": \"a comedy with Bruce Willis\"}\n"
+      "{\"text\": \"escaped \\u0041 and\\nnewline\"}\n");
+  auto c = corpus::Loader::TextsFromJsonl(path, "reviews");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->NumDocs(), 2u);
+  EXPECT_EQ(c->DocId(0), "r1");
+  EXPECT_EQ(c->DocId(1), "reviews:2");  // no id field → line-number id
+  EXPECT_EQ(c->DocText(1), "escaped A and\nnewline");
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TextsFromJsonlDecodesSurrogatePairs) {
+  // json.dumps escapes non-BMP characters as UTF-16 surrogate pairs; the
+  // loader must emit the real code point's UTF-8, not two lone
+  // surrogates (CESU-8).
+  std::string path = WriteTempFile(
+      "tdm_loader_surrogate.jsonl",
+      "{\"text\": \"grin \\ud83d\\ude00 end\"}\n");
+  auto c = corpus::Loader::TextsFromJsonl(path, "emoji");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->DocText(0), "grin \xF0\x9F\x98\x80 end");
+
+  path = WriteTempFile("tdm_loader_lone_surrogate.jsonl",
+                       "{\"text\": \"bad \\ud83d alone\"}\n");
+  EXPECT_FALSE(corpus::Loader::TextsFromJsonl(path, "emoji").ok());
+  path = WriteTempFile("tdm_loader_low_surrogate.jsonl",
+                       "{\"text\": \"bad \\ude00 alone\"}\n");
+  EXPECT_FALSE(corpus::Loader::TextsFromJsonl(path, "emoji").ok());
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TextsFromJsonlCustomFieldMapping) {
+  std::string path = WriteTempFile(
+      "tdm_loader_texts_custom.jsonl",
+      "{\"claim_id\": \"c9\", \"claim\": \"the moon is cheese\"}\n");
+  corpus::JsonlTextOptions opts;
+  opts.id_field = "claim_id";
+  opts.text_field = "claim";
+  auto c = corpus::Loader::TextsFromJsonl(path, "claims", opts);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->DocId(0), "c9");
+  EXPECT_EQ(c->DocText(0), "the moon is cheese");
+
+  // Records without the mapped text field are an error, not a skip.
+  EXPECT_FALSE(corpus::Loader::TextsFromJsonl(path, "claims").ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // embed::EmbeddingIo
 // ---------------------------------------------------------------------------
 
@@ -154,6 +251,61 @@ TEST(EmbeddingIoTest, LoadRejectsTruncated) {
 TEST(EmbeddingIoTest, LoadMissingFile) {
   EXPECT_TRUE(
       embed::EmbeddingIo::Load("/no/such/file.txt").status().IsIOError());
+}
+
+TEST(EmbeddingIoTest, LoadRejectsDimensionMismatch) {
+  std::string path = testing::TempDir() + "/tdm_vectors_dim.txt";
+  {
+    std::ofstream out(path);
+    // Header promises dim 2; the second row carries 3 values. The stream-
+    // based reader used to absorb the extra value into the next label.
+    out << "2 2\nalpha 1 2\nbeta 1 2 3\n";
+  }
+  auto r = embed::EmbeddingIo::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().message().find("dimension mismatch"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("beta"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, LoadRejectsVocabSizeMismatch) {
+  std::string path = testing::TempDir() + "/tdm_vectors_vocab.txt";
+  {
+    std::ofstream out(path);
+    out << "3 2\nalpha 1 2\nbeta 3 4\n";  // promises 3 entries, has 2
+  }
+  auto fewer = embed::EmbeddingIo::Load(path);
+  ASSERT_FALSE(fewer.ok());
+  EXPECT_TRUE(fewer.status().IsInvalidArgument());
+  EXPECT_NE(fewer.status().message().find("vocab size mismatch"),
+            std::string::npos)
+      << fewer.status().ToString();
+
+  {
+    std::ofstream out(path);
+    out << "1 2\nalpha 1 2\nbeta 3 4\n";  // promises 1 entry, has 2
+  }
+  auto more = embed::EmbeddingIo::Load(path);
+  ASSERT_FALSE(more.ok());
+  EXPECT_NE(more.status().message().find("vocab size mismatch"),
+            std::string::npos)
+      << more.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, LoadRejectsNonNumericValue) {
+  std::string path = testing::TempDir() + "/tdm_vectors_nan.txt";
+  {
+    std::ofstream out(path);
+    out << "1 2\nalpha 1 bogus\n";
+  }
+  auto r = embed::EmbeddingIo::Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("bogus"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

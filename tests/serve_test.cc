@@ -1,0 +1,465 @@
+// Tests for the online serving subsystem: snapshot persistence, the
+// exact/IVF index pair, and the batched QueryEngine.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "embed/io.h"
+#include "serve/index.h"
+#include "serve/ivf_index.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace tdmatch {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A table whose floats exercise awkward bit patterns (subnormal, -0,
+/// non-representable decimals) so round-trip equality is a real check.
+embed::EmbeddingTable AwkwardTable() {
+  embed::EmbeddingTable t(3);
+  t.Put("plain", {1.0f, 2.0f, 3.0f});
+  t.Put("label with spaces", {-0.0f, 1e-42f, 0.1f});
+  t.Put("thirds", {1.0f / 3.0f, -2.0f / 3.0f, 1e20f});
+  return t;
+}
+
+serve::SnapshotMeta DemoMeta() {
+  serve::SnapshotMeta meta;
+  meta.scenario = "unit-test";
+  meta.Set("seed", "4242");
+  meta.Set("candidate_prefix", "__D1:");
+  return meta;
+}
+
+// ---------------------------------------------------------------------------
+// serve::SnapshotIo
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripIsBitExact) {
+  const std::string path = TempPath("snap_roundtrip.tds");
+  const embed::EmbeddingTable table = AwkwardTable();
+  ASSERT_TRUE(serve::SnapshotIo::Write(table, DemoMeta(), path).ok());
+
+  auto snap = serve::SnapshotIo::Read(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->meta.scenario, "unit-test");
+  EXPECT_EQ(snap->meta.Find("seed"), "4242");
+  EXPECT_EQ(snap->meta.Find("candidate_prefix"), "__D1:");
+  EXPECT_EQ(snap->meta.Find("missing-key"), "");
+  EXPECT_EQ(snap->table.dim(), table.dim());
+  // Labels keep their insertion order and every float keeps its bits.
+  ASSERT_EQ(snap->table.Labels(), table.Labels());
+  for (const auto& label : table.Labels()) {
+    const std::vector<float>* a = table.Get(label);
+    const std::vector<float>* b = snap->table.Get(label);
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(a->size(), b->size());
+    EXPECT_EQ(std::memcmp(a->data(), b->data(),
+                          a->size() * sizeof(float)),
+              0)
+        << "float bits changed for " << label;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsCorruptedByte) {
+  const std::string path = TempPath("snap_corrupt.tds");
+  ASSERT_TRUE(serve::SnapshotIo::Write(AwkwardTable(), DemoMeta(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  WriteFileBytes(path, bytes);
+
+  auto snap = serve::SnapshotIo::Read(path);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_TRUE(snap.status().IsIOError());
+  EXPECT_NE(snap.status().message().find("CRC"), std::string::npos)
+      << snap.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsTruncatedFile) {
+  const std::string path = TempPath("snap_trunc.tds");
+  ASSERT_TRUE(serve::SnapshotIo::Write(AwkwardTable(), DemoMeta(), path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  // Every truncation point must fail — either too small, or CRC mismatch.
+  for (size_t keep : {size_t{0}, size_t{5}, size_t{14}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    WriteFileBytes(path, bytes.substr(0, keep));
+    EXPECT_FALSE(serve::SnapshotIo::Read(path).ok()) << "kept " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsBadMagicVersionAndEndianness) {
+  const std::string path = TempPath("snap_header.tds");
+  ASSERT_TRUE(serve::SnapshotIo::Write(AwkwardTable(), DemoMeta(), path).ok());
+  const std::string good = ReadFileBytes(path);
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  WriteFileBytes(path, bad_magic);
+  auto r1 = serve::SnapshotIo::Read(path);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("magic"), std::string::npos);
+
+  std::string bad_version = good;
+  bad_version[4] = 99;  // version lives at offset 4
+  WriteFileBytes(path, bad_version);
+  auto r2 = serve::SnapshotIo::Read(path);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("version"), std::string::npos);
+
+  std::string bad_endian = good;
+  std::swap(bad_endian[8], bad_endian[11]);  // marker lives at offset 8
+  WriteFileBytes(path, bad_endian);
+  auto r3 = serve::SnapshotIo::Read(path);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_NE(r3.status().message().find("endian"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsAbsurdDeclaredCountsEvenWithValidCrc) {
+  // A hostile file can carry a correct CRC over garbage counts; the reader
+  // must bound-check the declared sizes before allocating from them
+  // instead of dying on bad_alloc.
+  const std::string path = TempPath("snap_hostile.tds");
+  ASSERT_TRUE(serve::SnapshotIo::Write(AwkwardTable(), DemoMeta(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Body layout: u32 dim at offset 12, u64 count at offset 16.
+  const uint64_t absurd = uint64_t{1} << 60;
+  std::memcpy(&bytes[16], &absurd, sizeof(absurd));
+  const uint32_t crc = util::Crc32(bytes.data() + 12, bytes.size() - 16);
+  std::memcpy(&bytes[bytes.size() - 4], &crc, sizeof(crc));
+  WriteFileBytes(path, bytes);
+
+  auto snap = serve::SnapshotIo::Read(path);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_TRUE(snap.status().IsInvalidArgument()) << snap.status().ToString();
+  EXPECT_NE(snap.status().message().find("cannot fit"), std::string::npos)
+      << snap.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, ConvertsTextFormatBothWays) {
+  const std::string text1 = TempPath("snap_conv1.txt");
+  const std::string snap_path = TempPath("snap_conv.tds");
+  const std::string text2 = TempPath("snap_conv2.txt");
+  ASSERT_TRUE(embed::EmbeddingIo::Save(AwkwardTable(), text1).ok());
+
+  ASSERT_TRUE(serve::SnapshotIo::ConvertTextToSnapshot(text1, DemoMeta(),
+                                                       snap_path)
+                  .ok());
+  auto snap = serve::SnapshotIo::Read(snap_path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->table.size(), 3u);
+  EXPECT_NE(snap->table.Get("label with spaces"), nullptr);
+
+  ASSERT_TRUE(
+      serve::SnapshotIo::ConvertSnapshotToText(snap_path, text2).ok());
+  auto back = embed::EmbeddingIo::Load(text2);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->size(), 3u);
+  std::remove(text1.c_str());
+  std::remove(snap_path.c_str());
+  std::remove(text2.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// serve::ExactIndex / serve::IvfIndex
+// ---------------------------------------------------------------------------
+
+/// `n` clustered unit-ish vectors around `centers` seeded anchors.
+std::vector<std::vector<float>> ClusteredVectors(size_t n, int dim,
+                                                 size_t centers,
+                                                 uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> anchor(centers);
+  for (auto& c : anchor) {
+    c.resize(static_cast<size_t>(dim));
+    for (auto& x : c) x = static_cast<float>(rng.Gaussian());
+  }
+  std::vector<std::vector<float>> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].resize(static_cast<size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      out[i][static_cast<size_t>(d)] =
+          anchor[i % centers][static_cast<size_t>(d)] +
+          0.3f * static_cast<float>(rng.Gaussian());
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const serve::VectorMatrix> MatrixOf(
+    const std::vector<std::vector<float>>& vectors, int dim) {
+  std::vector<const std::vector<float>*> rows;
+  rows.reserve(vectors.size());
+  for (const auto& v : vectors) rows.push_back(&v);
+  return std::make_shared<const serve::VectorMatrix>(
+      serve::VectorMatrix::FromRows(rows, dim));
+}
+
+TEST(ExactIndexTest, RanksByCosineWithTieBreak) {
+  std::vector<std::vector<float>> vecs = {
+      {1.0f, 0.0f}, {0.0f, 1.0f}, {1.0f, 1.0f}, {1.0f, 0.0f}};
+  serve::ExactIndex index(MatrixOf(vecs, 2));
+  auto top = index.SearchVec({1.0f, 0.0f}, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // Ids 0 and 3 tie at cosine 1; the lower id wins.
+  EXPECT_EQ(top[0].index, 0);
+  EXPECT_EQ(top[1].index, 3);
+  EXPECT_EQ(top[2].index, 2);
+  EXPECT_NEAR(top[0].score, 1.0, 1e-6);
+}
+
+TEST(ExactIndexTest, FilterRestrictsCandidates) {
+  std::vector<std::vector<float>> vecs = {
+      {1.0f, 0.0f}, {0.9f, 0.1f}, {0.0f, 1.0f}};
+  serve::ExactIndex index(MatrixOf(vecs, 2));
+  std::vector<char> allowed = {0, 1, 1};
+  auto top = index.SearchVec({1.0f, 0.0f}, 3, &allowed);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 1);
+  EXPECT_EQ(top[1].index, 2);
+}
+
+TEST(IvfIndexTest, FullProbeMatchesExactExactly) {
+  const int dim = 12;
+  const auto vecs = ClusteredVectors(400, dim, 10, 99);
+  auto matrix = MatrixOf(vecs, dim);
+  serve::ExactIndex exact(matrix);
+  serve::IvfOptions opts;
+  opts.nlist = 16;
+  opts.seed = 5;
+  serve::IvfIndex ivf(matrix, opts);
+  ivf.set_nprobe(ivf.nlist());  // probe everything ⇒ must equal exact
+
+  util::Rng rng(123);
+  for (int q = 0; q < 20; ++q) {
+    const auto& query = vecs[rng.UniformInt(vecs.size())];
+    const auto want = exact.SearchVec(query, 7);
+    const auto got = ivf.SearchVec(query, 7);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].index, want[i].index) << "query " << q << " rank "
+                                             << i;
+      EXPECT_DOUBLE_EQ(got[i].score, want[i].score);
+    }
+  }
+}
+
+TEST(IvfIndexTest, RecallAt5IsAtLeast95Percent) {
+  const int dim = 16;
+  const auto vecs = ClusteredVectors(800, dim, 24, 4242);
+  auto matrix = MatrixOf(vecs, dim);
+  serve::ExactIndex exact(matrix);
+  serve::IvfOptions opts;
+  opts.seed = 4242;
+  opts.nprobe = 8;
+  serve::IvfIndex ivf(matrix, opts);
+
+  util::Rng rng(7);
+  std::vector<std::vector<float>> queries(60);
+  for (auto& q : queries) {
+    q = vecs[rng.UniformInt(vecs.size())];
+    for (auto& x : q) x += 0.1f * static_cast<float>(rng.Gaussian());
+  }
+  const double recall = serve::MeasureRecallAtK(ivf, exact, queries, 5);
+  EXPECT_GE(recall, 0.95) << "nlist=" << ivf.nlist()
+                          << " nprobe=" << ivf.nprobe();
+}
+
+TEST(IvfIndexTest, TrainingIsThreadCountInvariant) {
+  const int dim = 8;
+  const auto vecs = ClusteredVectors(300, dim, 12, 11);
+  auto matrix = MatrixOf(vecs, dim);
+  serve::IvfOptions opts;
+  opts.seed = 31;
+  opts.nprobe = 3;
+  opts.threads = 1;
+  serve::IvfIndex one(matrix, opts);
+  opts.threads = 8;
+  serve::IvfIndex eight(matrix, opts);
+
+  ASSERT_EQ(one.nlist(), eight.nlist());
+  for (size_t c = 0; c < one.nlist(); ++c) {
+    EXPECT_EQ(one.ListSize(c), eight.ListSize(c)) << "cell " << c;
+  }
+  util::Rng rng(77);
+  for (int q = 0; q < 15; ++q) {
+    const auto& query = vecs[rng.UniformInt(vecs.size())];
+    const auto a = one.SearchVec(query, 5);
+    const auto b = eight.SearchVec(query, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// serve::QueryEngine
+// ---------------------------------------------------------------------------
+
+/// Snapshot with 2-d geometry: candidates c<i> fan around the circle,
+/// queries q<i> sit on top of candidate i.
+serve::Snapshot GeometricSnapshot(size_t num_candidates) {
+  serve::Snapshot snap;
+  snap.meta.scenario = "geometry";
+  snap.table = embed::EmbeddingTable(2);
+  for (size_t i = 0; i < num_candidates; ++i) {
+    const float angle =
+        static_cast<float>(i) / static_cast<float>(num_candidates) * 3.1f;
+    const std::vector<float> v = {std::cos(angle), std::sin(angle)};
+    snap.table.Put("c" + std::to_string(i), v);
+    snap.table.Put("q" + std::to_string(i), v);
+  }
+  return snap;
+}
+
+TEST(QueryEngineTest, QueryFindsNearestCandidates) {
+  auto engine = serve::QueryEngine::BuildForPrefix(GeometricSnapshot(10),
+                                                   "c");
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->num_candidates(), 10u);
+
+  auto top = engine->Query("q3", 3);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->size(), 3u);
+  EXPECT_EQ((*top)[0].label, "c3");
+  EXPECT_NEAR((*top)[0].score, 1.0, 1e-6);
+  // Neighbors on the circle come next.
+  EXPECT_TRUE((*top)[1].label == "c2" || (*top)[1].label == "c4");
+
+  EXPECT_TRUE(engine->Query("no-such-label").status().IsNotFound());
+}
+
+TEST(QueryEngineTest, FilteredQueryHonorsBlock) {
+  auto engine = serve::QueryEngine::BuildForPrefix(GeometricSnapshot(10),
+                                                   "c");
+  ASSERT_TRUE(engine.ok());
+  auto top = engine->QueryFiltered("q3", {"c7", "c8", "not-a-candidate"}, 5);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].label, "c7");  // nearer to q3 than c8
+  EXPECT_EQ((*top)[1].label, "c8");
+
+  auto none = engine->QueryFiltered("q3", {"not-a-candidate"}, 5);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(QueryEngineTest, FilteredQueryFindsAllowedOutsideProbedCells) {
+  // With nprobe=1 an IVF scan would only see the query's own cell; the
+  // filtered path must still return an allowed candidate on the far side
+  // of the space, because it always runs on the exact index.
+  serve::QueryEngineOptions opts;
+  opts.ivf.nprobe = 1;
+  opts.ivf.nlist = 8;
+  auto engine = serve::QueryEngine::BuildForPrefix(GeometricSnapshot(40),
+                                                   "c", opts);
+  ASSERT_TRUE(engine.ok());
+  auto top = engine->QueryFiltered("q0", {"c39"}, 5);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_EQ((*top)[0].label, "c39");
+}
+
+TEST(QueryEngineTest, BuildRejectsBadCandidateSets) {
+  EXPECT_FALSE(
+      serve::QueryEngine::Build(GeometricSnapshot(4), {}).ok());
+  EXPECT_TRUE(serve::QueryEngine::Build(GeometricSnapshot(4),
+                                        {"c0", "missing"})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(serve::QueryEngine::Build(GeometricSnapshot(4), {"c0", "c0"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(serve::QueryEngine::BuildForPrefix(GeometricSnapshot(4), "zz")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(QueryEngineTest, BatchResultsAreThreadCountInvariant) {
+  const size_t n = 40;
+  std::vector<std::string> labels;
+  for (size_t i = 0; i < n; ++i) labels.push_back("q" + std::to_string(i));
+  labels.push_back("unknown-label");  // per-slot error, not batch failure
+
+  std::vector<std::vector<std::pair<std::string, double>>> per_thread_runs;
+  for (size_t threads : {1, 4, 8}) {
+    serve::QueryEngineOptions opts;
+    opts.threads = threads;
+    opts.ivf.seed = 4242;
+    auto engine = serve::QueryEngine::BuildForPrefix(GeometricSnapshot(n),
+                                                     "c", opts);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    auto results = engine->QueryBatch(labels, 5);
+    ASSERT_EQ(results.size(), labels.size());
+
+    // Flatten to (label, score) so runs compare exactly.
+    std::vector<std::pair<std::string, double>> flat;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        ASSERT_EQ(labels[i], "unknown-label");
+        flat.emplace_back("<error>", 0.0);
+        continue;
+      }
+      for (const auto& m : *results[i]) {
+        flat.emplace_back(m.label, m.score);
+      }
+    }
+    per_thread_runs.push_back(std::move(flat));
+  }
+  ASSERT_EQ(per_thread_runs.size(), 3u);
+  EXPECT_EQ(per_thread_runs[0], per_thread_runs[1]);
+  EXPECT_EQ(per_thread_runs[0], per_thread_runs[2]);
+}
+
+TEST(QueryEngineTest, ExactModeAvailableWithoutIvf) {
+  serve::QueryEngineOptions opts;
+  opts.build_ivf = false;
+  auto engine = serve::QueryEngine::BuildForPrefix(GeometricSnapshot(6), "c",
+                                                   opts);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->has_ivf());
+  auto top = engine->Query("q2", 2);  // kApprox falls back to exact
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)[0].label, "c2");
+}
+
+TEST(QueryEngineTest, QueryVectorValidatesDim) {
+  auto engine = serve::QueryEngine::BuildForPrefix(GeometricSnapshot(4), "c");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine->QueryVector({1.0f, 0.0f, 0.0f})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tdmatch

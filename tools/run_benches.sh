@@ -23,6 +23,7 @@ benches=(
   fig8_scaling
   fig9_filtering
   fig10_combination
+  serve_qps
   table1_imdb
   table2_corona
   table3_audit

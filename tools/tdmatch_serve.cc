@@ -1,0 +1,419 @@
+// tdmatch_serve: the online serving entry point.
+//
+// The offline pipeline (core::TDmatch) trains once and `build-snapshot`
+// persists the document embeddings as a binary snapshot; `query` / `batch`
+// load that snapshot in a fresh process and answer top-k match queries
+// through serve::QueryEngine (IVF ANN with exact re-rank, or brute force
+// with --exact). `info` inspects a snapshot, `convert` bridges the text
+// vector format.
+//
+//   tdmatch_serve build-snapshot --scenario IMDb --out model.tds
+//                 [--scale smoke|sweep|full] [--seed N]
+//   tdmatch_serve info     --snapshot model.tds
+//   tdmatch_serve query    --snapshot model.tds [--k N] [--nprobe N]
+//                 [--exact] [--threads N]          # REPL over stdin
+//   tdmatch_serve batch    --snapshot model.tds --queries q.txt|q.jsonl
+//                 [--field query] [--k N] [--nprobe N] [--exact]
+//                 [--threads N]
+//   tdmatch_serve convert  --in vectors.txt --out model.tds  (or reverse;
+//                 direction is sniffed from the input file's magic)
+//
+// Query labels are the snapshot's embedding labels (the graph's metadata
+// doc labels). The REPL and batch mode accept the shorthands `q:<i>` and
+// `c:<i>` for query/candidate doc i of the trained scenario.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "corpus/loader.h"
+#include "graph/builder.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/result.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tdmatch {
+namespace {
+
+constexpr char kCandidatePrefix[] = "__D1:";
+constexpr char kQueryPrefix[] = "__D0:";
+
+struct ServeArgs {
+  std::string mode;
+  std::string scenario = "IMDb";
+  std::string out_path;
+  std::string in_path;
+  std::string snapshot_path;
+  std::string queries_path;
+  std::string field = "query";
+  bench::Scale scale = bench::Scale::kSmoke;
+  uint64_t seed = 0;
+  size_t k = 5;
+  size_t nprobe = 4;
+  size_t threads = 4;
+  bool exact = false;
+};
+
+int Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s <mode> [flags]\n"
+      "modes:\n"
+      "  build-snapshot --scenario <IMDb|Corona|Audit|Politifact|Snopes>\n"
+      "                 --out <model.tds> [--scale smoke|sweep|full]\n"
+      "                 [--seed N]\n"
+      "  info           --snapshot <model.tds>\n"
+      "  query          --snapshot <model.tds> [--k N] [--nprobe N]\n"
+      "                 [--exact] [--threads N]\n"
+      "  batch          --snapshot <model.tds> --queries <file.txt|.jsonl>\n"
+      "                 [--field <name>] [--k N] [--nprobe N] [--exact]\n"
+      "                 [--threads N]\n"
+      "  convert        --in <file> --out <file>   (text <-> snapshot)\n",
+      prog);
+  return 2;
+}
+
+bool ParseSize(const std::string& s, size_t* out) {
+  double d = 0;
+  // The range check must precede the cast: converting a double outside
+  // size_t's range (1e30, inf) is undefined behavior. 2^53 bounds the
+  // exactly-representable integers, far beyond any flag this tool takes.
+  if (!util::ParseDouble(s, &d) || d < 0 || d > 9007199254740992.0 ||
+      d != static_cast<double>(static_cast<size_t>(d))) {
+    return false;
+  }
+  *out = static_cast<size_t>(d);
+  return true;
+}
+
+/// `q:3` / `c:7` → metadata doc labels; anything else passes through.
+std::string ResolveLabel(const std::string& raw) {
+  const std::string_view s = util::Trim(raw);
+  size_t idx = 0;
+  if (s.size() > 2 && (s[0] == 'q' || s[0] == 'c') && s[1] == ':' &&
+      ParseSize(std::string(s.substr(2)), &idx)) {
+    return graph::GraphBuilder::MetaDocLabel(s[0] == 'q' ? 0 : 1, idx);
+  }
+  return std::string(s);
+}
+
+void PrintMatches(const std::string& query,
+                  const util::Result<std::vector<serve::ScoredMatch>>& r) {
+  if (!r.ok()) {
+    std::printf("%s\tERROR\t%s\n", query.c_str(),
+                r.status().ToString().c_str());
+    return;
+  }
+  size_t rank = 1;
+  for (const auto& m : *r) {
+    std::printf("%s\t%zu\t%s\t%.6f\n", query.c_str(), rank++,
+                m.label.c_str(), m.score);
+  }
+}
+
+int RunBuildSnapshot(const ServeArgs& args) {
+  if (args.out_path.empty()) {
+    std::fprintf(stderr, "build-snapshot: --out is required\n");
+    return 2;
+  }
+  bench::BenchOptions bopts;
+  bopts.scale = args.scale;
+  bopts.seed = args.seed;
+  bopts.filter = "^" + args.scenario + "$";
+
+  util::StopWatch watch;
+  std::vector<bench::SweepScenario> scenarios =
+      bench::MakeSweepScenarios(bopts);
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", args.scenario.c_str());
+    return 2;
+  }
+  bench::SweepScenario& sc = scenarios.front();
+  const double gen_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
+  core::TDmatchOptions options = sc.base_options;
+  options.export_embeddings = true;
+  core::TDmatch engine(options);
+  auto run = engine.Run(sc.data.scenario.first, sc.data.scenario.second);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const double train_seconds = watch.ElapsedSeconds();
+
+  serve::SnapshotMeta meta;
+  meta.scenario = sc.name;
+  meta.Set("scale", bench::ScaleName(args.scale));
+  meta.Set("seed", util::StrFormat("%llu",
+                                   static_cast<unsigned long long>(args.seed)));
+  meta.Set("dim", util::StrFormat("%d", run->embeddings.dim()));
+  meta.Set("num_queries",
+           util::StrFormat("%zu", sc.data.scenario.first.NumDocs()));
+  meta.Set("num_candidates",
+           util::StrFormat("%zu", sc.data.scenario.second.NumDocs()));
+  meta.Set("query_prefix", kQueryPrefix);
+  meta.Set("candidate_prefix", kCandidatePrefix);
+
+  watch.Reset();
+  util::Status st = serve::SnapshotIo::Write(run->embeddings, meta,
+                                             args.out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::ifstream probe(args.out_path,
+                      std::ios::binary | std::ios::ate);
+  std::printf(
+      "wrote %s: scenario=%s vectors=%zu dim=%d bytes=%lld\n"
+      "timings: generate=%.2fs train=%.2fs write=%.3fs\n",
+      args.out_path.c_str(), sc.name.c_str(), run->embeddings.size(),
+      run->embeddings.dim(),
+      static_cast<long long>(probe ? static_cast<long long>(probe.tellg())
+                                   : -1),
+      gen_seconds, train_seconds, watch.ElapsedSeconds());
+  return 0;
+}
+
+util::Result<serve::QueryEngine> LoadEngine(const ServeArgs& args) {
+  TDM_ASSIGN_OR_RETURN(serve::Snapshot snap,
+                       serve::SnapshotIo::Read(args.snapshot_path));
+  std::string prefix = snap.meta.Find("candidate_prefix");
+  if (prefix.empty()) prefix = kCandidatePrefix;
+  serve::QueryEngineOptions opts;
+  opts.threads = args.threads;
+  opts.default_k = args.k;
+  opts.build_ivf = !args.exact;
+  opts.ivf.nprobe = args.nprobe;
+  return serve::QueryEngine::BuildForPrefix(std::move(snap), prefix, opts);
+}
+
+int RunInfo(const ServeArgs& args) {
+  auto snap = serve::SnapshotIo::Read(args.snapshot_path);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot %s\n  scenario: %s\n  vectors: %zu  dim: %d\n",
+              args.snapshot_path.c_str(), snap->meta.scenario.c_str(),
+              snap->table.size(), snap->table.dim());
+  for (const auto& kv : snap->meta.extra) {
+    std::printf("  %s: %s\n", kv.first.c_str(), kv.second.c_str());
+  }
+  return 0;
+}
+
+int RunQueryRepl(const ServeArgs& args) {
+  util::StopWatch watch;
+  auto engine = LoadEngine(args);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "loaded %s: %zu candidates, %s index, %.3fs; enter a label "
+               "(or q:<i> / c:<i>), empty line quits\n",
+               args.snapshot_path.c_str(), engine->num_candidates(),
+               engine->has_ivf() ? "ivf+exact" : "exact",
+               watch.ElapsedSeconds());
+  std::string line;
+  size_t failed = 0;
+  while (std::getline(std::cin, line)) {
+    const std::string label = ResolveLabel(line);
+    if (label.empty()) break;
+    util::StopWatch qwatch;
+    auto result = engine->Query(label, args.k,
+                                args.exact ? serve::SearchMode::kExact
+                                           : serve::SearchMode::kApprox);
+    const double ms = qwatch.ElapsedMillis();
+    if (!result.ok() || result->empty()) ++failed;
+    PrintMatches(label, result);
+    std::fprintf(stderr, "  (%.3f ms)\n", ms);
+  }
+  // Failures must surface in the exit code: the CI end-to-end smoke pipes
+  // queries through this path and has no other way to notice a broken
+  // snapshot → query handoff.
+  return failed == 0 ? 0 : 1;
+}
+
+int RunBatch(const ServeArgs& args) {
+  if (args.queries_path.empty()) {
+    std::fprintf(stderr, "batch: --queries is required\n");
+    return 2;
+  }
+  auto engine = LoadEngine(args);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // .jsonl files go through the JSONL corpus loader (one record per line,
+  // the --field field holds the query label); anything else is one label
+  // per line.
+  std::vector<std::string> labels;
+  if (util::EndsWith(args.queries_path, ".jsonl")) {
+    corpus::JsonlTextOptions jopts;
+    jopts.text_field = args.field;
+    auto queries = corpus::Loader::TextsFromJsonl(args.queries_path,
+                                                  "queries", jopts);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < queries->NumDocs(); ++i) {
+      labels.push_back(ResolveLabel(queries->DocText(i)));
+    }
+  } else {
+    std::ifstream in(args.queries_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.queries_path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string label = ResolveLabel(line);
+      if (!label.empty()) labels.push_back(label);
+    }
+  }
+  if (labels.empty()) {
+    std::fprintf(stderr, "%s contains no queries\n",
+                 args.queries_path.c_str());
+    return 1;
+  }
+
+  util::StopWatch watch;
+  auto results = engine->QueryBatch(labels, args.k,
+                                    args.exact ? serve::SearchMode::kExact
+                                               : serve::SearchMode::kApprox);
+  const double seconds = watch.ElapsedSeconds();
+  size_t failed = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (!results[i].ok()) ++failed;
+    PrintMatches(labels[i], results[i]);
+  }
+  std::fprintf(stderr,
+               "%zu queries in %.3fs (%.0f qps, %zu threads, %s index), "
+               "%zu failed\n",
+               labels.size(), seconds,
+               static_cast<double>(labels.size()) / std::max(seconds, 1e-9),
+               args.threads, engine->has_ivf() && !args.exact ? "ivf"
+                                                              : "exact",
+               failed);
+  return failed == 0 ? 0 : 1;
+}
+
+int RunConvert(const ServeArgs& args) {
+  if (args.in_path.empty() || args.out_path.empty()) {
+    std::fprintf(stderr, "convert: --in and --out are required\n");
+    return 2;
+  }
+  // Sniff the direction from the input's magic.
+  char magic[4] = {0, 0, 0, 0};
+  {
+    std::ifstream probe(args.in_path, std::ios::binary);
+    if (!probe) {
+      std::fprintf(stderr, "cannot open %s\n", args.in_path.c_str());
+      return 1;
+    }
+    probe.read(magic, sizeof(magic));
+  }
+  util::Status st;
+  if (std::string(magic, 4) == "TDMS") {
+    st = serve::SnapshotIo::ConvertSnapshotToText(args.in_path,
+                                                  args.out_path);
+  } else {
+    serve::SnapshotMeta meta;
+    meta.scenario = args.scenario;
+    meta.Set("source", args.in_path);
+    st = serve::SnapshotIo::ConvertTextToSnapshot(args.in_path, meta,
+                                                  args.out_path);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("converted %s -> %s\n", args.in_path.c_str(),
+              args.out_path.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  ServeArgs args;
+  args.mode = argv[1];
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--exact") {
+      args.exact = true;
+    } else if (flag == "--scenario" && (v = next())) {
+      args.scenario = v;
+    } else if (flag == "--out" && (v = next())) {
+      args.out_path = v;
+    } else if (flag == "--in" && (v = next())) {
+      args.in_path = v;
+    } else if (flag == "--snapshot" && (v = next())) {
+      args.snapshot_path = v;
+    } else if (flag == "--queries" && (v = next())) {
+      args.queries_path = v;
+    } else if (flag == "--field" && (v = next())) {
+      args.field = v;
+    } else if (flag == "--scale" && (v = next())) {
+      const std::string s = v;
+      if (s == "smoke") args.scale = bench::Scale::kSmoke;
+      else if (s == "sweep") args.scale = bench::Scale::kSweep;
+      else if (s == "full") args.scale = bench::Scale::kFull;
+      else { std::fprintf(stderr, "bad --scale '%s'\n", v); return 2; }
+    } else if (flag == "--seed" && (v = next())) {
+      size_t seed = 0;
+      if (!ParseSize(v, &seed)) {
+        std::fprintf(stderr, "bad --seed '%s'\n", v);
+        return 2;
+      }
+      args.seed = seed;
+    } else if (flag == "--k" && (v = next())) {
+      if (!ParseSize(v, &args.k) || args.k == 0) {
+        std::fprintf(stderr, "bad --k '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--nprobe" && (v = next())) {
+      if (!ParseSize(v, &args.nprobe) || args.nprobe == 0) {
+        std::fprintf(stderr, "bad --nprobe '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--threads" && (v = next())) {
+      if (!ParseSize(v, &args.threads) || args.threads == 0) {
+        std::fprintf(stderr, "bad --threads '%s'\n", v);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  if (args.mode == "build-snapshot") return RunBuildSnapshot(args);
+  if (args.mode == "info") return RunInfo(args);
+  if (args.mode == "query") return RunQueryRepl(args);
+  if (args.mode == "batch") return RunBatch(args);
+  if (args.mode == "convert") return RunConvert(args);
+  std::fprintf(stderr, "unknown mode '%s'\n", args.mode.c_str());
+  return Usage(argv[0]);
+}
+
+}  // namespace
+}  // namespace tdmatch
+
+int main(int argc, char** argv) { return tdmatch::Main(argc, argv); }

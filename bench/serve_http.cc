@@ -1,0 +1,247 @@
+// End-to-end benchmark of the HTTP serving front end: a MatchService +
+// HttpServer pair serving a synthetic snapshot in-process, driven by
+// concurrent serve::http::HttpClient threads over persistent connections.
+//
+// Measures what a caller actually pays — JSON parse, engine query, JSON
+// serialize, and a real TCP round trip on loopback — as qps and latency
+// percentiles across a (connections × batch size) grid, plus the cost of
+// a live snapshot hot-reload under load.
+//
+// Every metric here is a timing (qps / _ms): tools/check_bench.py never
+// value-compares them, it only gates that the rows keep existing and that
+// the per-scenario wall time stays within budget. Each grid cell runs for
+// a fixed wall duration, so the scenario's total wall is machine-
+// independent by construction.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/http/client.h"
+#include "serve/http/server.h"
+#include "serve/http/service.h"
+#include "serve/snapshot.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace tdmatch;  // NOLINT
+
+namespace {
+
+double Percentile(std::vector<double> ms, double p) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const size_t idx = std::min(
+      ms.size() - 1, static_cast<size_t>(p * static_cast<double>(ms.size())));
+  return ms[idx];
+}
+
+std::string TempSnapshotPath() {
+  std::string path = "serve_http_bench.tds";
+  if (const char* tmp = std::getenv("TMPDIR"); tmp != nullptr) {
+    return std::string(tmp) + "/" + path;
+  }
+  return "/tmp/" + path;
+}
+
+/// Clustered unit vectors, same construction as bench/serve_qps.
+std::vector<std::vector<float>> MakeClusteredVectors(size_t n, int dim,
+                                                     size_t centers,
+                                                     util::Rng* rng) {
+  std::vector<std::vector<float>> anchor(centers);
+  for (auto& c : anchor) {
+    c.resize(static_cast<size_t>(dim));
+    for (auto& x : c) x = static_cast<float>(rng->Gaussian());
+  }
+  std::vector<std::vector<float>> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& c = anchor[i % centers];
+    out[i].resize(static_cast<size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      out[i][static_cast<size_t>(d)] =
+          c[static_cast<size_t>(d)] +
+          0.35f * static_cast<float>(rng->Gaussian());
+    }
+  }
+  return out;
+}
+
+struct LoadResult {
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  std::vector<double> request_ms;
+};
+
+/// Drives the server with `connections` client threads, each posting
+/// `batch`-label /v1/query requests for `seconds` of wall time.
+LoadResult DriveLoad(uint16_t port, size_t n_vectors, size_t connections,
+                     size_t batch, double seconds, uint64_t seed) {
+  std::atomic<bool> stop{false};
+  std::vector<LoadResult> per_thread(connections);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      LoadResult& mine = per_thread[t];
+      auto client = serve::http::HttpClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++mine.errors;
+        return;
+      }
+      util::Rng rng(seed + 1000 + t);
+      std::string body = "{\"k\": 5, \"labels\": [";
+      for (size_t i = 0; i < batch; ++i) {
+        if (i > 0) body += ", ";
+        body += "\"v" + std::to_string(rng.UniformInt(n_vectors)) + "\"";
+      }
+      body += "]}";
+      while (!stop.load(std::memory_order_relaxed)) {
+        util::StopWatch one;
+        auto r = client->Post("/v1/query", body);
+        if (!r.ok() || r->status != 200) {
+          ++mine.errors;
+          continue;
+        }
+        mine.request_ms.push_back(one.ElapsedMillis());
+        mine.queries += batch;
+      }
+    });
+  }
+  util::StopWatch watch;
+  while (watch.ElapsedSeconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  LoadResult total;
+  for (auto& r : per_thread) {
+    total.queries += r.queries;
+    total.errors += r.errors;
+    total.request_ms.insert(total.request_ms.end(), r.request_ms.begin(),
+                            r.request_ms.end());
+  }
+  return total;
+}
+
+void RunHttpSynthetic(bench::BenchReporter& rep,
+                      const bench::BenchOptions& opts) {
+  if (!opts.Matches("HttpSynthetic")) return;
+  const char* scenario = "HttpSynthetic";
+  size_t n = 10000;
+  double seconds = 0.5;
+  if (opts.scale == bench::Scale::kSmoke) {
+    n = 2000;
+    seconds = 0.25;
+  }
+  if (opts.scale == bench::Scale::kFull) {
+    n = 50000;
+    seconds = 1.0;
+  }
+  const int dim = 32;
+  const uint64_t seed = opts.seed == 0 ? 7 : opts.seed;
+
+  // --- snapshot on disk, served over mmap --------------------------------
+  util::Rng rng(seed);
+  util::StopWatch watch;
+  const auto vectors = MakeClusteredVectors(n, dim, 64, &rng);
+  embed::EmbeddingTable table(dim);
+  for (size_t i = 0; i < n; ++i) {
+    table.Put("v" + std::to_string(i), vectors[i]);
+  }
+  serve::SnapshotMeta meta;
+  meta.scenario = scenario;
+  meta.Set("candidate_prefix", "v");
+  const std::string path = TempSnapshotPath();
+  TDM_CHECK(serve::SnapshotIo::Write(table, meta, path).ok());
+  const double gen_seconds = watch.ElapsedSeconds();
+
+  watch.Reset();
+  serve::http::ServiceOptions sopts;
+  sopts.engine.ivf.seed = seed;
+  serve::http::MatchService service(sopts);
+  {
+    const util::Status st = service.LoadInitial(path);
+    TDM_CHECK(st.ok()) << st.ToString();
+  }
+  const double load_seconds = watch.ElapsedSeconds();
+
+  serve::http::HttpServerOptions hopts;
+  hopts.threads = 6;  // max connections below + one for the reload client
+  serve::http::HttpServer server(hopts);
+  service.Register(&server);
+  {
+    const util::Status st = server.Start();
+    TDM_CHECK(st.ok()) << st.ToString();
+  }
+  rep.Printf("\nHTTP serving: n=%zu dim=%d (gen+write %.2fs, mmap load + "
+             "engine build %.3fs), %zu worker threads, fixed %.2fs per "
+             "cell\n",
+             n, dim, gen_seconds, load_seconds, hopts.threads, seconds);
+  rep.Add(scenario, "snapshot", "load_seconds", load_seconds, load_seconds);
+
+  // --- the (connections × batch) grid ------------------------------------
+  rep.Printf("%-20s %-10s %-10s %-10s\n", "config", "qps", "p50_ms",
+             "p99_ms");
+  for (const size_t connections : {size_t{1}, size_t{4}}) {
+    for (const size_t batch : {size_t{1}, size_t{16}}) {
+      const LoadResult load =
+          DriveLoad(server.port(), n, connections, batch, seconds, seed);
+      TDM_CHECK(load.errors == 0) << load.errors << " request errors";
+      const double qps = static_cast<double>(load.queries) / seconds;
+      const double p50 = Percentile(load.request_ms, 0.5);
+      const double p99 = Percentile(load.request_ms, 0.99);
+      const std::string param = "conn=" + std::to_string(connections) +
+                                ",batch=" + std::to_string(batch);
+      rep.Add(scenario, param, "qps", qps, seconds);
+      rep.Add(scenario, param, "p50_ms", p50, 0.0);
+      rep.Add(scenario, param, "p99_ms", p99, 0.0);
+      rep.Printf("%-20s %-10.0f %-10.3f %-10.3f\n", param.c_str(), qps, p50,
+                 p99);
+    }
+  }
+
+  // --- hot reload under load ----------------------------------------------
+  {
+    std::atomic<bool> stop{false};
+    std::thread background([&] {
+      auto client = serve::http::HttpClient::Connect("127.0.0.1",
+                                                     server.port());
+      if (!client.ok()) return;
+      while (!stop.load(std::memory_order_relaxed)) {
+        client->Post("/v1/query", "{\"label\": \"v1\", \"k\": 5}");
+      }
+    });
+    auto reloader = serve::http::HttpClient::Connect("127.0.0.1",
+                                                     server.port());
+    TDM_CHECK(reloader.ok());
+    watch.Reset();
+    auto r = reloader->Post("/v1/reload", "{}");
+    const double reload_ms = watch.ElapsedMillis();
+    TDM_CHECK(r.ok() && r->status == 200) << "reload failed";
+    stop.store(true);
+    background.join();
+    rep.Add(scenario, "reload", "reload_ms", reload_ms, reload_ms / 1e3);
+    rep.Printf("%-20s %-10.1f (swap under live traffic)\n", "reload_ms",
+               reload_ms);
+  }
+
+  server.Stop();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
+  bench::BenchReporter rep("serve_http", opts);
+  rep.Note("HTTP front end: end-to-end qps + latency over loopback, "
+           "mmap-loaded snapshot, live hot-reload");
+  RunHttpSynthetic(rep, opts);
+  return rep.Finish() ? 0 : 1;
+}

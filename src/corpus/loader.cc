@@ -1,12 +1,12 @@
 #include "corpus/loader.h"
 
-#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <string_view>
 #include <utility>
 
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace tdmatch {
@@ -15,191 +15,11 @@ namespace corpus {
 namespace {
 
 /// One parsed JSONL record: top-level scalar fields in appearance order
-/// (order matters — the first record defines the table schema).
-using JsonRecord = std::vector<std::pair<std::string, std::string>>;
-
-/// Minimal JSON parser for flat records — just enough for JSONL dataset
-/// dumps and query files, with no third-party dependency. Strings support
-/// the standard escapes (\uXXXX decodes to UTF-8); numbers keep their
-/// source spelling (cells are strings; numeric parsing happens downstream
-/// where needed, as with CSV); null becomes the empty string. Nested
-/// arrays/objects are rejected: records must be flat like CSV rows.
-class JsonLineParser {
- public:
-  explicit JsonLineParser(std::string_view line) : s_(line) {}
-
-  util::Status Parse(JsonRecord* out) {
-    SkipSpace();
-    if (!Consume('{')) return Error("expected '{'");
-    SkipSpace();
-    if (Consume('}')) return CheckEnd();
-    for (;;) {
-      SkipSpace();
-      std::string key;
-      TDM_RETURN_NOT_OK(ParseString(&key));
-      SkipSpace();
-      if (!Consume(':')) return Error("expected ':' after key");
-      SkipSpace();
-      std::string value;
-      TDM_RETURN_NOT_OK(ParseScalar(&value));
-      out->emplace_back(std::move(key), std::move(value));
-      SkipSpace();
-      if (Consume(',')) continue;
-      if (Consume('}')) return CheckEnd();
-      return Error("expected ',' or '}'");
-    }
-  }
-
- private:
-  util::Status Error(const std::string& what) {
-    return util::Status::InvalidArgument(
-        util::StrFormat("%s at offset %zu", what.c_str(), pos_));
-  }
-
-  util::Status CheckEnd() {
-    SkipSpace();
-    if (pos_ != s_.size()) return Error("trailing content after record");
-    return util::Status::OK();
-  }
-
-  void SkipSpace() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ConsumeWord(std::string_view word) {
-    if (s_.substr(pos_, word.size()) == word) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  void AppendUtf8(uint32_t cp, std::string* out) {
-    if (cp < 0x80) {
-      out->push_back(static_cast<char>(cp));
-    } else if (cp < 0x800) {
-      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
-      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else if (cp < 0x10000) {
-      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
-      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else {
-      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
-      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    }
-  }
-
-  /// The four hex digits of a \uXXXX escape (cursor already past "\u").
-  util::Status ParseHex4(uint32_t* cp) {
-    if (pos_ + 4 > s_.size()) return Error("truncated \\u escape");
-    *cp = 0;
-    for (int i = 0; i < 4; ++i) {
-      char h = s_[pos_++];
-      *cp <<= 4;
-      if (h >= '0' && h <= '9') *cp |= static_cast<uint32_t>(h - '0');
-      else if (h >= 'a' && h <= 'f')
-        *cp |= static_cast<uint32_t>(h - 'a' + 10);
-      else if (h >= 'A' && h <= 'F')
-        *cp |= static_cast<uint32_t>(h - 'A' + 10);
-      else return Error("bad \\u escape");
-    }
-    return util::Status::OK();
-  }
-
-  util::Status ParseString(std::string* out) {
-    if (!Consume('"')) return Error("expected '\"'");
-    while (pos_ < s_.size()) {
-      char c = s_[pos_++];
-      if (c == '"') return util::Status::OK();
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
-      }
-      if (pos_ >= s_.size()) break;
-      char esc = s_[pos_++];
-      switch (esc) {
-        case '"': out->push_back('"'); break;
-        case '\\': out->push_back('\\'); break;
-        case '/': out->push_back('/'); break;
-        case 'b': out->push_back('\b'); break;
-        case 'f': out->push_back('\f'); break;
-        case 'n': out->push_back('\n'); break;
-        case 'r': out->push_back('\r'); break;
-        case 't': out->push_back('\t'); break;
-        case 'u': {
-          uint32_t cp = 0;
-          TDM_RETURN_NOT_OK(ParseHex4(&cp));
-          // Non-BMP characters arrive as UTF-16 surrogate pairs (that is
-          // how json.dumps escapes an emoji); decode the pair to one code
-          // point rather than emitting invalid CESU-8, and reject lone
-          // surrogates like every other malformed input.
-          if (cp >= 0xD800 && cp <= 0xDBFF) {
-            if (pos_ + 2 > s_.size() || s_[pos_] != '\\' ||
-                s_[pos_ + 1] != 'u') {
-              return Error("high surrogate without a \\u low surrogate");
-            }
-            pos_ += 2;
-            uint32_t lo = 0;
-            TDM_RETURN_NOT_OK(ParseHex4(&lo));
-            if (lo < 0xDC00 || lo > 0xDFFF) {
-              return Error("high surrogate followed by a non-low surrogate");
-            }
-            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
-            return Error("lone low surrogate");
-          }
-          AppendUtf8(cp, out);
-          break;
-        }
-        default:
-          return Error(util::StrFormat("bad escape '\\%c'", esc));
-      }
-    }
-    return Error("unterminated string");
-  }
-
-  util::Status ParseScalar(std::string* out) {
-    if (pos_ >= s_.size()) return Error("expected a value");
-    char c = s_[pos_];
-    if (c == '"') return ParseString(out);
-    if (c == '{' || c == '[') {
-      return Error("nested values are not supported (records must be flat)");
-    }
-    if (ConsumeWord("true")) { *out = "true"; return util::Status::OK(); }
-    if (ConsumeWord("false")) { *out = "false"; return util::Status::OK(); }
-    if (ConsumeWord("null")) { out->clear(); return util::Status::OK(); }
-    // Number: keep the source spelling, validate the character set.
-    size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Error("expected a value");
-    *out = std::string(s_.substr(start, pos_ - start));
-    double ignored = 0;
-    if (!util::ParseDouble(*out, &ignored)) return Error("malformed number");
-    return util::Status::OK();
-  }
-
-  std::string_view s_;
-  size_t pos_ = 0;
-};
+/// (order matters — the first record defines the table schema). Parsing
+/// lives in util/json (shared with the HTTP serving front end); the flat
+/// semantics — scalars as strings, null → empty, nested values rejected —
+/// are JsonParseFlatRecord's contract.
+using JsonRecord = util::JsonFlatRecord;
 
 /// Applies `fn(lineno, record)` to every non-blank line of a JSONL file.
 template <typename Fn>
@@ -213,7 +33,7 @@ util::Status ForEachJsonlRecord(const std::string& path, Fn fn) {
     std::string_view trimmed = util::Trim(line);
     if (trimmed.empty()) continue;
     JsonRecord record;
-    util::Status st = JsonLineParser(trimmed).Parse(&record);
+    util::Status st = util::JsonParseFlatRecord(trimmed, &record);
     if (!st.ok()) {
       return util::Status::InvalidArgument(util::StrFormat(
           "%s:%zu: %s", path.c_str(), lineno, st.message().c_str()));

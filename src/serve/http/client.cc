@@ -1,0 +1,196 @@
+#include "serve/http/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace serve {
+namespace http {
+
+namespace {
+
+util::Result<int> OpenSocket(const std::string& host, uint16_t port,
+                             int timeout_ms) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = util::StrFormat("%u", port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  if (rc != 0) {
+    return util::Status::IOError(util::StrFormat(
+        "cannot resolve %s: %s", host.c_str(), ::gai_strerror(rc)));
+  }
+
+  int fd = -1;
+  int last_errno = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    timeval tv;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    return util::Status::IOError(
+        util::StrFormat("cannot connect to %s:%u: %s", host.c_str(), port,
+                        std::strerror(last_errno)));
+  }
+  return fd;
+}
+
+}  // namespace
+
+util::Result<HttpClient> HttpClient::Connect(const std::string& host,
+                                             uint16_t port, int timeout_ms) {
+  HttpClient client;
+  client.host_ = host;
+  client.port_ = port;
+  client.timeout_ms_ = timeout_ms;
+  TDM_ASSIGN_OR_RETURN(client.fd_, OpenSocket(host, port, timeout_ms));
+  return client;
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_ms_(other.timeout_ms_),
+      fd_(other.fd_),
+      used_(other.used_) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    timeout_ms_ = other.timeout_ms_;
+    fd_ = other.fd_;
+    used_ = other.used_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  used_ = false;
+}
+
+util::Status HttpClient::Reconnect() {
+  Close();
+  TDM_ASSIGN_OR_RETURN(fd_, OpenSocket(host_, port_, timeout_ms_));
+  return util::Status::OK();
+}
+
+util::Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire,
+                                                 bool* retryable) {
+  *retryable = false;
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The peer tore the connection down before taking the request —
+      // the stale keep-alive race; nothing was processed.
+      *retryable = errno == EPIPE || errno == ECONNRESET;
+      return util::Status::IOError(std::string("send: ") +
+                                   std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  HttpParser parser(HttpParser::Mode::kResponse);
+  char buf[8192];
+  bool saw_bytes = false;
+  while (!parser.Done()) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A timeout (EAGAIN) is NOT retryable: the server may be executing
+      // the request right now, and re-sending would run it twice.
+      *retryable = !saw_bytes && errno == ECONNRESET;
+      return util::Status::IOError(std::string("recv: ") +
+                                   std::strerror(errno));
+    }
+    if (n == 0) {
+      // EOF before any response byte ⇒ the server closed the idle
+      // connection without reading the request; safe to replay.
+      *retryable = !saw_bytes;
+      return util::Status::IOError("server closed the connection mid-"
+                                   "response");
+    }
+    saw_bytes = true;
+    TDM_RETURN_NOT_OK(parser.Feed(std::string_view(
+        buf, static_cast<size_t>(n))));
+  }
+
+  HttpResponse response;
+  response.status = parser.response_status();
+  response.headers = std::move(parser.request().headers);
+  response.body = std::move(parser.request().body);
+  return response;
+}
+
+util::Result<HttpResponse> HttpClient::Request(
+    const std::string& method, const std::string& target,
+    const std::string& body, const std::string& content_type) {
+  if (fd_ < 0) TDM_RETURN_NOT_OK(Reconnect());
+  const std::string wire = SerializeRequest(
+      method, target, util::StrFormat("%s:%u", host_.c_str(), port_), body,
+      content_type, /*keep_alive=*/true);
+
+  bool retryable = false;
+  auto result = RoundTrip(wire, &retryable);
+  if (!result.ok() && used_ && retryable) {
+    // The server dropped the idle keep-alive connection between requests
+    // without reading this request (RoundTrip proved no byte of it was
+    // processed), so replaying — even a POST — cannot double-execute;
+    // retry exactly once on a fresh connection. A failure there is real.
+    TDM_RETURN_NOT_OK(Reconnect());
+    used_ = false;
+    result = RoundTrip(wire, &retryable);
+  }
+  if (result.ok()) {
+    used_ = true;
+    if (result->Header("connection") == "close") Close();
+  } else {
+    Close();
+  }
+  return result;
+}
+
+}  // namespace http
+}  // namespace serve
+}  // namespace tdmatch

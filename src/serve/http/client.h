@@ -1,0 +1,80 @@
+#ifndef TDMATCH_SERVE_HTTP_CLIENT_H_
+#define TDMATCH_SERVE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/http/http.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace serve {
+namespace http {
+
+/// \brief Tiny blocking HTTP/1.1 client over one persistent connection —
+/// enough for the test suite, the serving benchmark, and scripted ops
+/// against tdmatch_serve. One request in flight at a time; not
+/// thread-safe (give each thread its own client, as the bench does).
+///
+/// Reuses the keep-alive connection across requests and transparently
+/// reconnects once when the server closed it in between (the normal
+/// idle-timeout race of connection pooling). The retry only fires when
+/// no byte of a response arrived and the connection was reset/EOF'd —
+/// never on a timeout — so a non-idempotent request the server may
+/// already be executing is never replayed.
+class HttpClient {
+ public:
+  /// Connects to host:port (IPv4 literal or resolvable name).
+  /// `timeout_ms` bounds connect, send, and receive individually.
+  static util::Result<HttpClient> Connect(const std::string& host,
+                                          uint16_t port,
+                                          int timeout_ms = 10000);
+
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One round trip. The response is fully buffered before returning.
+  util::Result<HttpResponse> Request(
+      const std::string& method, const std::string& target,
+      const std::string& body = "",
+      const std::string& content_type = "application/json");
+
+  util::Result<HttpResponse> Get(const std::string& target) {
+    return Request("GET", target);
+  }
+  util::Result<HttpResponse> Post(const std::string& target,
+                                  const std::string& body) {
+    return Request("POST", target, body);
+  }
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  util::Status Reconnect();
+  /// One send + fully-buffered receive. `*retryable` comes back true only
+  /// when the failure proves the server never read the request (reset or
+  /// EOF before any response byte).
+  util::Result<HttpResponse> RoundTrip(const std::string& wire,
+                                       bool* retryable);
+
+  std::string host_;
+  uint16_t port_ = 0;
+  int timeout_ms_ = 10000;
+  int fd_ = -1;
+  /// True once a request succeeded on the current connection — governs
+  /// the single stale-connection retry.
+  bool used_ = false;
+};
+
+}  // namespace http
+}  // namespace serve
+}  // namespace tdmatch
+
+#endif  // TDMATCH_SERVE_HTTP_CLIENT_H_

@@ -1,0 +1,238 @@
+#include "serve/http/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace serve {
+namespace http {
+
+namespace {
+
+/// Worker poll granularity: how quickly an idle connection notices
+/// Stop(). Short enough for a snappy shutdown, long enough to not spin.
+constexpr int kPollSliceMs = 100;
+
+std::string ErrorBody(const std::string& message) {
+  util::JsonWriter w;
+  w.BeginObject().Key("error").Value(message).EndObject();
+  return w.str();
+}
+
+/// send() the whole buffer, riding out partial writes and EINTR.
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string method, std::string path,
+                        Handler handler) {
+  routes_.push_back(
+      Route{std::move(method), std::move(path), std::move(handler)});
+}
+
+util::Status HttpServer::Start() {
+  if (started_) return util::Status::Internal("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IOError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::InvalidArgument("bad bind address '" +
+                                         options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IOError(util::StrFormat(
+        "bind %s:%u failed: %s", options_.bind_address.c_str(),
+        options_.port, std::strerror(err)));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::IOError(std::string("listen: ") +
+                                 std::strerror(err));
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  workers_ = std::make_unique<util::ThreadPool>(options_.threads);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return util::Status::OK();
+}
+
+void HttpServer::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (!started_) return;
+  stopping_.store(true);
+  // Closing the listen socket pops the acceptor out of accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  // Connection workers notice stopping_ within one poll slice, finish the
+  // response they are writing, and drain; the pool destructor joins them.
+  workers_.reset();
+  listen_fd_ = -1;
+  started_ = false;
+  stopping_.store(false);
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EBADF/EINVAL: Stop() closed the socket — normal shutdown.
+      return;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    workers_->Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
+  bool path_known = false;
+  for (const auto& route : routes_) {
+    if (route.path != request.path) continue;
+    path_known = true;
+    if (route.method == request.method) return route.handler(request);
+  }
+  if (path_known) {
+    return HttpResponse::Json(
+        405, ErrorBody("method " + request.method + " not allowed for " +
+                       request.path));
+  }
+  return HttpResponse::Json(404, ErrorBody("no route for " + request.path));
+}
+
+void HttpServer::ServeConnection(int fd) {
+  HttpParser parser(HttpParser::Mode::kRequest, options_.limits);
+  char buf[8192];
+
+  for (;;) {  // one iteration per request on this connection
+    util::Status st = parser.Feed("");  // pick up pipelined leftover
+    bool received_bytes = false;
+    int idle_ms = 0;
+    bool peer_closed = false;
+
+    while (st.ok() && !parser.Done()) {
+      if (stopping_.load()) {
+        ::close(fd);
+        return;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, kPollSliceMs);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        peer_closed = true;
+        break;
+      }
+      if (rc == 0) {
+        idle_ms += kPollSliceMs;
+        if (idle_ms >= options_.idle_timeout_ms) break;
+        continue;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      if (n <= 0) {
+        peer_closed = true;
+        break;
+      }
+      idle_ms = 0;
+      received_bytes = true;
+      st = parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+
+    if (!st.ok()) {
+      // Protocol violation: answer with the parser's verdict and close —
+      // after a framing error the byte stream cannot be trusted.
+      const int code = parser.http_status() == 0 ? 400 : parser.http_status();
+      SendAll(fd, SerializeResponse(
+                      HttpResponse::Json(code, ErrorBody(st.message())),
+                      /*keep_alive=*/false));
+      ::close(fd);
+      return;
+    }
+    if (!parser.Done()) {
+      // Timeout or peer disconnect. A half-sent request earns a 408; a
+      // silent idle close (the normal keep-alive end) gets nothing.
+      if (!peer_closed && received_bytes) {
+        SendAll(fd, SerializeResponse(
+                        HttpResponse::Json(408, ErrorBody("request timed "
+                                                          "out")),
+                        /*keep_alive=*/false));
+      }
+      ::close(fd);
+      return;
+    }
+
+    const HttpRequest& request = parser.request();
+    const bool keep_alive = request.KeepAlive() && !stopping_.load();
+    HttpResponse response = Dispatch(request);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!SendAll(fd, SerializeResponse(response, keep_alive)) ||
+        !keep_alive) {
+      ::close(fd);
+      return;
+    }
+    parser.Reset();
+  }
+}
+
+}  // namespace http
+}  // namespace serve
+}  // namespace tdmatch

@@ -1,0 +1,105 @@
+#ifndef TDMATCH_SERVE_HTTP_SERVER_H_
+#define TDMATCH_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/http/http.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tdmatch {
+namespace serve {
+namespace http {
+
+struct HttpServerOptions {
+  /// Address to bind. Loopback by default: exposing the server beyond the
+  /// host is a deployment decision, not a default.
+  std::string bind_address = "127.0.0.1";
+  /// 0 ⇒ an ephemeral port; read the outcome from port() after Start().
+  uint16_t port = 0;
+  /// Connection worker threads (the acceptor runs on its own thread). A
+  /// worker owns one connection at a time for its keep-alive lifetime;
+  /// accepted connections beyond `threads` wait in the pool queue.
+  size_t threads = 4;
+  /// Close keep-alive connections that sit idle this long. Also bounds how
+  /// long a worker can be held by a silent client.
+  int idle_timeout_ms = 30000;
+  int backlog = 128;
+  HttpLimits limits;
+};
+
+/// \brief Minimal multi-threaded HTTP/1.1 server on POSIX sockets: one
+/// acceptor thread plus a fixed-size util::ThreadPool of connection
+/// workers. Persistent connections, Content-Length framing, hard
+/// header/body limits, graceful Stop() that drains in-flight requests.
+///
+/// Routing is exact-match on (method, path). Handlers run on worker
+/// threads and must be thread-safe; they receive the parsed request and
+/// return a response. Malformed input never reaches a handler — the
+/// parser answers 400/413/431/505 and closes.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact (method, path). Must happen before
+  /// Start().
+  void Handle(std::string method, std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the acceptor + workers.
+  util::Status Start();
+
+  /// Stops accepting, wakes every connection worker, and joins them after
+  /// in-flight requests finish. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (resolves option port = 0 to the real one).
+  uint16_t port() const { return port_; }
+  bool running() const { return started_ && !stopping_.load(); }
+
+  /// Total requests answered (including error responses). Diagnostics.
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::string path;
+    Handler handler;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Routes a parsed request: handler result, 405 for a known path with
+  /// the wrong method, 404 otherwise.
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  HttpServerOptions options_;
+  std::vector<Route> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  std::mutex stop_mu_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread acceptor_;
+  std::unique_ptr<util::ThreadPool> workers_;
+};
+
+}  // namespace http
+}  // namespace serve
+}  // namespace tdmatch
+
+#endif  // TDMATCH_SERVE_HTTP_SERVER_H_

@@ -1,0 +1,440 @@
+#include "serve/http/service.h"
+
+#include <cctype>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "serve/mmap_snapshot.h"
+#include "serve/snapshot.h"
+#include "util/json.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tdmatch {
+namespace serve {
+namespace http {
+
+namespace {
+
+int StatusToHttp(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kInvalidArgument: return 400;
+    case util::StatusCode::kNotFound: return 404;
+    case util::StatusCode::kIOError: return 500;
+    default: return 500;
+  }
+}
+
+HttpResponse ErrorResponse(int http_status, const std::string& message) {
+  util::JsonWriter w;
+  w.BeginObject().Key("error").Value(message).EndObject();
+  return HttpResponse::Json(http_status, w.str());
+}
+
+HttpResponse ErrorResponse(const util::Status& status) {
+  return ErrorResponse(StatusToHttp(status), status.ToString());
+}
+
+/// `q:3` / `c:7` → the snapshot's metadata-doc labels, using the prefixes
+/// recorded in the snapshot meta (the same shorthand the REPL speaks).
+/// Anything else passes through untouched.
+std::string ResolveLabel(const std::string& raw, const SnapshotMeta& meta) {
+  if (raw.size() < 3 || (raw[0] != 'q' && raw[0] != 'c') || raw[1] != ':') {
+    return raw;
+  }
+  for (size_t i = 2; i < raw.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(raw[i])) == 0) return raw;
+  }
+  std::string prefix =
+      meta.Find(raw[0] == 'q' ? "query_prefix" : "candidate_prefix");
+  if (prefix.empty()) prefix = raw[0] == 'q' ? "__D0:" : "__D1:";
+  return prefix + raw.substr(2) + "__";
+}
+
+void AppendMatches(const std::vector<ScoredMatch>& matches,
+                   util::JsonWriter* w) {
+  w->Key("matches").BeginArray();
+  for (const auto& m : matches) {
+    w->BeginObject()
+        .Key("label").Value(m.label)
+        .Key("candidate").Value(static_cast<int64_t>(m.candidate))
+        .Key("score").Value(m.score)
+        .EndObject();
+  }
+  w->EndArray();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+void LatencyHistogram::Record(double ms) {
+  uint64_t us = ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1000.0);
+  size_t idx = 0;
+  while (us > 1 && idx + 1 < kBuckets) {
+    us >>= 1;
+    ++idx;
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileMs(double p) const {
+  const uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                p * static_cast<double>(total))));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      // Upper bound of bucket i: 2^(i+1) microseconds.
+      return static_cast<double>(uint64_t{1} << (i + 1)) / 1000.0;
+    }
+  }
+  return static_cast<double>(uint64_t{1} << kBuckets) / 1000.0;
+}
+
+// ---------------------------------------------------------------------------
+// MatchService
+// ---------------------------------------------------------------------------
+
+MatchService::MatchService(ServiceOptions options)
+    : options_(std::move(options)),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+util::Result<std::shared_ptr<const EngineState>> MatchService::BuildState(
+    const std::string& path, uint64_t version) const {
+  util::StopWatch watch;
+  auto state = std::make_shared<EngineState>();
+  state->version = version;
+  state->snapshot_path = path;
+  state->mmap = options_.use_mmap;
+  if (options_.use_mmap) {
+    TDM_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotView> view,
+                         SnapshotView::Open(path));
+    std::string prefix = view->meta().Find("candidate_prefix");
+    if (prefix.empty()) prefix = "__D1:";
+    TDM_ASSIGN_OR_RETURN(
+        QueryEngine engine,
+        QueryEngine::BuildFromView(std::move(view), prefix,
+                                   options_.engine));
+    state->engine = std::make_shared<QueryEngine>(std::move(engine));
+  } else {
+    TDM_ASSIGN_OR_RETURN(Snapshot snap, SnapshotIo::Read(path));
+    std::string prefix = snap.meta.Find("candidate_prefix");
+    if (prefix.empty()) prefix = "__D1:";
+    TDM_ASSIGN_OR_RETURN(
+        QueryEngine engine,
+        QueryEngine::BuildForPrefix(std::move(snap), prefix,
+                                    options_.engine));
+    state->engine = std::make_shared<QueryEngine>(std::move(engine));
+  }
+  state->load_seconds = watch.ElapsedSeconds();
+  return std::shared_ptr<const EngineState>(std::move(state));
+}
+
+util::Status MatchService::LoadInitial(const std::string& snapshot_path) {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  TDM_ASSIGN_OR_RETURN(std::shared_ptr<const EngineState> state,
+                       BuildState(snapshot_path, 1));
+  std::atomic_store(&state_, std::move(state));
+  return util::Status::OK();
+}
+
+std::shared_ptr<const EngineState> MatchService::state() const {
+  return std::atomic_load(&state_);
+}
+
+util::Result<std::shared_ptr<const EngineState>> MatchService::Reload(
+    const std::string& path) {
+  // One reload at a time; queries never wait on this lock — they read the
+  // published epoch pointer and carry on against it.
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  const std::shared_ptr<const EngineState> current = state();
+  if (current == nullptr) {
+    return util::Status::Internal("service has no initial snapshot");
+  }
+  const std::string target = path.empty() ? current->snapshot_path : path;
+  TDM_ASSIGN_OR_RETURN(std::shared_ptr<const EngineState> fresh,
+                       BuildState(target, current->version + 1));
+  // Publish. Readers that already pinned `current` finish on it; the old
+  // engine (and its mmap) is destroyed when the last pin drops.
+  std::atomic_store(&state_, fresh);
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return fresh;
+}
+
+void MatchService::Register(HttpServer* server) {
+  server->Handle("POST", "/v1/query",
+                 [this](const HttpRequest& r) { return HandleQuery(r); });
+  server->Handle("GET", "/v1/healthz",
+                 [this](const HttpRequest& r) { return HandleHealth(r); });
+  server->Handle("GET", "/v1/stats",
+                 [this](const HttpRequest& r) { return HandleStats(r); });
+  if (options_.allow_reload) {
+    server->Handle("POST", "/v1/reload",
+                   [this](const HttpRequest& r) { return HandleReload(r); });
+  }
+}
+
+HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
+  util::StopWatch watch;
+  const std::shared_ptr<const EngineState> state = this->state();
+  if (state == nullptr) {
+    return ErrorResponse(503, "no snapshot loaded");
+  }
+  const QueryEngine& engine = *state->engine;
+
+  auto parsed = util::JsonParse(request.body);
+  if (!parsed.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, "bad request body: " +
+                                  parsed.status().message());
+  }
+  const util::JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, "request body must be a JSON object");
+  }
+
+  // --- common knobs -------------------------------------------------------
+  size_t k = 0;
+  if (const util::JsonValue* kv = root.Find("k"); kv != nullptr) {
+    const double kd = kv->number_value();
+    if (!kv->is_number() || kd < 0 || kd > 1e6 ||
+        kd != std::floor(kd)) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(400, "'k' must be an integer in [0, 1e6]");
+    }
+    k = static_cast<size_t>(kd);
+  }
+  SearchMode mode = SearchMode::kApprox;
+  if (const util::JsonValue* mv = root.Find("mode"); mv != nullptr) {
+    if (!mv->is_string() || (mv->string_value() != "approx" &&
+                             mv->string_value() != "exact")) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(400, "'mode' must be \"approx\" or \"exact\"");
+    }
+    if (mv->string_value() == "exact") mode = SearchMode::kExact;
+  }
+
+  const util::JsonValue* label = root.Find("label");
+  const util::JsonValue* labels = root.Find("labels");
+  const util::JsonValue* vector = root.Find("vector");
+  const util::JsonValue* allowed = root.Find("allowed");
+  const int selectors = (label != nullptr) + (labels != nullptr) +
+                        (vector != nullptr);
+  if (selectors != 1) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, "provide exactly one of 'label', 'labels', "
+                              "'vector'");
+  }
+  if (allowed != nullptr && label == nullptr) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(400, "'allowed' requires a single 'label' query");
+  }
+
+  util::JsonWriter w;
+  w.BeginObject()
+      .Key("snapshot_version").Value(state->version)
+      .Key("scenario").Value(engine.meta().scenario);
+
+  if (labels != nullptr) {
+    // --- batch ------------------------------------------------------------
+    if (!labels->is_array()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(400, "'labels' must be an array of strings");
+    }
+    if (labels->items().size() > options_.max_batch) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(
+          400, util::StrFormat("batch of %zu exceeds the %zu query limit",
+                               labels->items().size(), options_.max_batch));
+    }
+    std::vector<std::string> names;
+    names.reserve(labels->items().size());
+    for (const auto& item : labels->items()) {
+      if (!item.is_string()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return ErrorResponse(400, "'labels' must be an array of strings");
+      }
+      names.push_back(ResolveLabel(item.string_value(), engine.meta()));
+    }
+    const auto results = engine.QueryBatch(names, k, mode);
+    queries_.fetch_add(names.size(), std::memory_order_relaxed);
+    w.Key("results").BeginArray();
+    for (size_t i = 0; i < results.size(); ++i) {
+      w.BeginObject().Key("label").Value(names[i]);
+      if (results[i].ok()) {
+        AppendMatches(*results[i], &w);
+      } else {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        w.Key("error").Value(results[i].status().ToString());
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+  } else if (label != nullptr) {
+    // --- single, optionally blocked --------------------------------------
+    if (!label->is_string()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(400, "'label' must be a string");
+    }
+    const std::string name =
+        ResolveLabel(label->string_value(), engine.meta());
+    util::Result<std::vector<ScoredMatch>> result =
+        std::vector<ScoredMatch>{};
+    if (allowed != nullptr) {
+      if (!allowed->is_array()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return ErrorResponse(400, "'allowed' must be an array of strings");
+      }
+      std::vector<std::string> block;
+      block.reserve(allowed->items().size());
+      for (const auto& item : allowed->items()) {
+        if (!item.is_string()) {
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          return ErrorResponse(400,
+                               "'allowed' must be an array of strings");
+        }
+        block.push_back(ResolveLabel(item.string_value(), engine.meta()));
+      }
+      result = engine.QueryFiltered(name, block, k);
+    } else {
+      result = engine.Query(name, k, mode);
+    }
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (!result.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(result.status());
+    }
+    w.Key("label").Value(name);
+    AppendMatches(*result, &w);
+  } else {
+    // --- raw vector -------------------------------------------------------
+    if (!vector->is_array() || vector->items().empty()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(400, "'vector' must be a non-empty number "
+                                "array");
+    }
+    std::vector<float> q;
+    q.reserve(vector->items().size());
+    for (const auto& item : vector->items()) {
+      if (!item.is_number()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return ErrorResponse(400, "'vector' must be a non-empty number "
+                                  "array");
+      }
+      q.push_back(static_cast<float>(item.number_value()));
+    }
+    const auto result = engine.QueryVector(q, k, mode);
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (!result.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(result.status());
+    }
+    AppendMatches(*result, &w);
+  }
+
+  w.EndObject();
+  latency_.Record(watch.ElapsedMillis());
+  return HttpResponse::Json(200, w.str());
+}
+
+HttpResponse MatchService::HandleHealth(const HttpRequest&) {
+  const std::shared_ptr<const EngineState> state = this->state();
+  if (state == nullptr) {
+    return ErrorResponse(503, "no snapshot loaded");
+  }
+  util::JsonWriter w;
+  w.BeginObject()
+      .Key("status").Value("ok")
+      .Key("snapshot_version").Value(state->version)
+      .EndObject();
+  return HttpResponse::Json(200, w.str());
+}
+
+HttpResponse MatchService::HandleStats(const HttpRequest&) {
+  const std::shared_ptr<const EngineState> state = this->state();
+  if (state == nullptr) {
+    return ErrorResponse(503, "no snapshot loaded");
+  }
+  const QueryEngine& engine = *state->engine;
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  const uint64_t queries = queries_.load(std::memory_order_relaxed);
+  util::JsonWriter w;
+  w.BeginObject()
+      .Key("snapshot_version").Value(state->version)
+      .Key("snapshot_path").Value(state->snapshot_path)
+      .Key("scenario").Value(engine.meta().scenario)
+      .Key("snapshot_loader").Value(state->mmap ? "mmap" : "copy")
+      .Key("load_seconds").Value(state->load_seconds)
+      .Key("candidates").Value(static_cast<uint64_t>(
+          engine.num_candidates()))
+      .Key("dim").Value(static_cast<int64_t>(engine.table().dim()))
+      .Key("index").Value(engine.has_ivf() ? "ivf+exact" : "exact")
+      .Key("uptime_seconds").Value(uptime)
+      .Key("queries").Value(queries)
+      .Key("errors").Value(errors_.load(std::memory_order_relaxed))
+      .Key("reloads").Value(reloads_.load(std::memory_order_relaxed))
+      .Key("qps").Value(uptime > 0
+                            ? static_cast<double>(queries) / uptime
+                            : 0.0)
+      .Key("latency_ms").BeginObject()
+      .Key("count").Value(latency_.count())
+      .Key("p50").Value(latency_.PercentileMs(0.50))
+      .Key("p90").Value(latency_.PercentileMs(0.90))
+      .Key("p99").Value(latency_.PercentileMs(0.99))
+      .EndObject()
+      .EndObject();
+  return HttpResponse::Json(200, w.str());
+}
+
+HttpResponse MatchService::HandleReload(const HttpRequest& request) {
+  std::string path;
+  if (!util::Trim(request.body).empty()) {
+    auto parsed = util::JsonParse(request.body);
+    if (!parsed.ok() || !parsed->is_object()) {
+      return ErrorResponse(400, "reload body must be a JSON object");
+    }
+    if (const util::JsonValue* p = parsed->Find("snapshot"); p != nullptr) {
+      if (!p->is_string()) {
+        return ErrorResponse(400, "'snapshot' must be a path string");
+      }
+      path = p->string_value();
+    }
+  }
+  const std::shared_ptr<const EngineState> before = state();
+  auto fresh = Reload(path);
+  if (!fresh.ok()) {
+    // The old snapshot keeps serving; the caller learns why the new one
+    // was rejected.
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(fresh.status());
+  }
+  util::JsonWriter w;
+  w.BeginObject()
+      .Key("status").Value("ok")
+      .Key("snapshot_version").Value((*fresh)->version)
+      .Key("previous_version").Value(before == nullptr ? uint64_t{0}
+                                                       : before->version)
+      .Key("snapshot_path").Value((*fresh)->snapshot_path)
+      .Key("scenario").Value((*fresh)->engine->meta().scenario)
+      .Key("load_seconds").Value((*fresh)->load_seconds)
+      .EndObject();
+  return HttpResponse::Json(200, w.str());
+}
+
+}  // namespace http
+}  // namespace serve
+}  // namespace tdmatch

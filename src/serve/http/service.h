@@ -1,0 +1,138 @@
+#ifndef TDMATCH_SERVE_HTTP_SERVICE_H_
+#define TDMATCH_SERVE_HTTP_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/http/http.h"
+#include "serve/http/server.h"
+#include "serve/query_engine.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace serve {
+namespace http {
+
+/// \brief Fixed-bucket latency histogram (power-of-two microsecond
+/// buckets, lock-free atomic counters). Percentiles come back as the
+/// upper bound of the hit bucket — coarse, but constant-memory and safe
+/// to record into from every worker thread concurrently.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() {
+    // std::atomic's default constructor leaves the value uninitialized
+    // until C++20; zero explicitly.
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void Record(double ms);
+  /// Upper bound (ms) of the bucket containing the p-quantile
+  /// (p in [0, 1]); 0 when empty.
+  double PercentileMs(double p) const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr size_t kBuckets = 40;  // covers <1us .. >500s
+  std::atomic<uint64_t> buckets_[kBuckets];
+  std::atomic<uint64_t> count_{0};
+};
+
+/// One immutable serving epoch: a built engine plus the identity of the
+/// snapshot it came from. Swapped wholesale on reload.
+struct EngineState {
+  uint64_t version = 0;
+  std::string snapshot_path;
+  bool mmap = false;
+  double load_seconds = 0.0;
+  std::shared_ptr<QueryEngine> engine;
+};
+
+struct ServiceOptions {
+  QueryEngineOptions engine;
+  /// Load snapshots through the zero-copy mmap view (SnapshotView) rather
+  /// than the copying loader.
+  bool use_mmap = true;
+  /// Expose POST /v1/reload. Off ⇒ the route is not registered at all.
+  bool allow_reload = true;
+  /// Per-request cap on batch "labels" length.
+  size_t max_batch = 1024;
+};
+
+/// \brief The JSON endpoints of the serving front end, bound to an
+/// HttpServer:
+///
+///   POST /v1/query    single ({"label"}), batch ({"labels": [...]}),
+///                     raw vector ({"vector": [...]}); optional "k",
+///                     "mode" ("approx"/"exact"), and — single-label
+///                     only — a blocking filter {"allowed": [...]}
+///                     mirroring QueryEngine::QueryFiltered.
+///   GET  /v1/healthz  liveness + current snapshot version
+///   GET  /v1/stats    counters, qps, latency percentiles, snapshot id
+///   POST /v1/reload   atomically swap in a new snapshot (optional
+///                     {"snapshot": path}; defaults to re-reading the
+///                     current path)
+///
+/// Hot reload is an RCU epoch swap: every request pins the current
+/// EngineState via a shared_ptr read with std::atomic_load, reload builds
+/// the new state off to the side and publishes it with std::atomic_store.
+/// In-flight queries keep serving the old engine until they drop their
+/// pin; the old snapshot (and its mmap) is unmapped when the last reader
+/// drains. No request ever observes a half-swapped state, and every
+/// response is stamped with the snapshot_version it was answered from.
+/// A failed reload leaves the old state serving and reports the error.
+class MatchService {
+ public:
+  explicit MatchService(ServiceOptions options = {});
+
+  /// Builds the first serving state (version 1). Must succeed before
+  /// Register/serving.
+  util::Status LoadInitial(const std::string& snapshot_path);
+
+  /// Registers the routes on `server` (before server.Start()).
+  void Register(HttpServer* server);
+
+  /// The current epoch (never null after LoadInitial). Callers holding
+  /// the returned shared_ptr keep that epoch's engine + mapping alive.
+  std::shared_ptr<const EngineState> state() const;
+
+  /// Swaps in `path` (empty ⇒ current path). Serialized; concurrent
+  /// queries are unaffected until the atomic publish.
+  util::Result<std::shared_ptr<const EngineState>> Reload(
+      const std::string& path);
+
+  // Endpoint handlers (exposed for in-process tests).
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleHealth(const HttpRequest& request);
+  HttpResponse HandleStats(const HttpRequest& request);
+  HttpResponse HandleReload(const HttpRequest& request);
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  util::Result<std::shared_ptr<const EngineState>> BuildState(
+      const std::string& path, uint64_t version) const;
+
+  ServiceOptions options_;
+  /// Current epoch; read with std::atomic_load, published with
+  /// std::atomic_store (the C++17 shared_ptr atomic free functions).
+  std::shared_ptr<const EngineState> state_;
+  /// Serializes reloads (readers never take it).
+  std::mutex reload_mu_;
+
+  std::chrono::steady_clock::time_point start_time_;
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> reloads_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace http
+}  // namespace serve
+}  // namespace tdmatch
+
+#endif  // TDMATCH_SERVE_HTTP_SERVICE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <unordered_set>
 
 #include "util/logging.h"
@@ -48,6 +49,22 @@ VectorMatrix VectorMatrix::FromRows(
     TDM_CHECK_EQ(rows[i]->size(), static_cast<size_t>(dim));
     float* dst = m.data_.data() + i * static_cast<size_t>(dim);
     std::copy(rows[i]->begin(), rows[i]->end(), dst);
+    NormalizeSlice(dst, dim);
+  }
+  return m;
+}
+
+VectorMatrix VectorMatrix::FromRawRows(const char* payload,
+                                       const std::vector<size_t>& rows,
+                                       int dim) {
+  VectorMatrix m;
+  m.dim_ = dim;
+  m.n_ = rows.size();
+  m.data_.resize(m.n_ * static_cast<size_t>(dim));
+  const size_t row_bytes = static_cast<size_t>(dim) * sizeof(float);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    float* dst = m.data_.data() + i * static_cast<size_t>(dim);
+    std::memcpy(dst, payload + rows[i] * row_bytes, row_bytes);
     NormalizeSlice(dst, dim);
   }
   return m;

@@ -32,6 +32,14 @@ class VectorMatrix {
   static VectorMatrix FromRows(
       const std::vector<const std::vector<float>*>& rows, int dim);
 
+  /// Same, gathering from a raw row-major f32 payload (`payload` holds
+  /// rows of `dim` floats; `rows[i]` is the source row index of output row
+  /// i). Rows are memcpy'd, so the payload may be unaligned — this is the
+  /// bridge from a zero-copy SnapshotView into the (necessarily copying,
+  /// because normalizing) index matrix.
+  static VectorMatrix FromRawRows(const char* payload,
+                                  const std::vector<size_t>& rows, int dim);
+
   const float* row(size_t i) const {
     return data_.data() + i * static_cast<size_t>(dim_);
   }

@@ -1,0 +1,189 @@
+#include "serve/mmap_snapshot.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'D', 'M', 'S'};
+constexpr uint32_t kEndianMarker = 0x01020304u;
+constexpr size_t kHeaderBytes = 12;
+constexpr size_t kFooterBytes = 4;
+
+/// Bounds-checked sequential reader over the mapped body. Unlike the
+/// copying loader's cursor it never materializes bytes: strings come back
+/// as views into the mapping.
+class ViewCursor {
+ public:
+  ViewCursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  util::Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  util::Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+
+  util::Status ReadStringView(std::string_view* s) {
+    uint32_t len = 0;
+    TDM_RETURN_NOT_OK(ReadU32(&len));
+    if (len > Remaining()) {
+      return util::Status::IOError(util::StrFormat(
+          "snapshot truncated: string of %u bytes with %zu bytes left", len,
+          Remaining()));
+    }
+    *s = std::string_view(data_ + pos_, len);
+    pos_ += len;
+    return util::Status::OK();
+  }
+
+  util::Status Skip(size_t bytes) {
+    if (bytes > Remaining()) {
+      return util::Status::IOError(util::StrFormat(
+          "snapshot truncated: need %zu bytes, %zu left", bytes,
+          Remaining()));
+    }
+    pos_ += bytes;
+    return util::Status::OK();
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  util::Status ReadRaw(void* out, size_t bytes) {
+    TDM_RETURN_NOT_OK(Skip(bytes));
+    std::memcpy(out, data_ + pos_ - bytes, bytes);
+    return util::Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<std::shared_ptr<const SnapshotView>> SnapshotView::Open(
+    const std::string& path, bool verify_crc) {
+  TDM_ASSIGN_OR_RETURN(util::MmapFile file, util::MmapFile::Open(path));
+  if (file.size() < kHeaderBytes + kFooterBytes) {
+    return util::Status::IOError(util::StrFormat(
+        "%s: not a snapshot (%zu bytes, smaller than header + CRC)",
+        path.c_str(), file.size()));
+  }
+  const char* data = file.data();
+
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument(
+        path + ": bad magic (not a TDmatch snapshot)");
+  }
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  std::memcpy(&version, data + 4, sizeof(version));
+  std::memcpy(&endian, data + 8, sizeof(endian));
+  if (endian != kEndianMarker) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: endianness marker 0x%08x != 0x%08x — snapshot was written on a "
+        "machine with different byte order",
+        path.c_str(), endian, kEndianMarker));
+  }
+  if (version != SnapshotIo::kVersion) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("%s: snapshot version %u, this build reads %u",
+                        path.c_str(), version, SnapshotIo::kVersion));
+  }
+
+  const char* body = data + kHeaderBytes;
+  const size_t body_size = file.size() - kHeaderBytes - kFooterBytes;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data + file.size() - kFooterBytes,
+              sizeof(stored_crc));
+  if (verify_crc) {
+    const uint32_t actual_crc = util::Crc32(body, body_size);
+    if (stored_crc != actual_crc) {
+      return util::Status::IOError(util::StrFormat(
+          "%s: CRC mismatch (stored 0x%08x, computed 0x%08x) — snapshot is "
+          "corrupted or truncated",
+          path.c_str(), stored_crc, actual_crc));
+    }
+  }
+
+  ViewCursor cur(body, body_size);
+  uint32_t dim = 0;
+  uint64_t count = 0;
+  TDM_RETURN_NOT_OK(cur.ReadU32(&dim));
+  TDM_RETURN_NOT_OK(cur.ReadU64(&count));
+  TDM_RETURN_NOT_OK(ValidateSnapshotGeometry(path, dim, count,
+                                             cur.Remaining()));
+  if (count > UINT32_MAX) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: %llu vectors exceed the label index capacity", path.c_str(),
+        static_cast<unsigned long long>(count)));
+  }
+
+  auto view = std::shared_ptr<SnapshotView>(new SnapshotView());
+  view->dim_ = dim;
+  std::string_view scenario;
+  TDM_RETURN_NOT_OK(cur.ReadStringView(&scenario));
+  view->meta_.scenario = std::string(scenario);
+  uint32_t num_extra = 0;
+  TDM_RETURN_NOT_OK(cur.ReadU32(&num_extra));
+  if (num_extra > cur.Remaining() / (2 * sizeof(uint32_t))) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: declared %u metadata pairs cannot fit in %zu remaining bytes",
+        path.c_str(), num_extra, cur.Remaining()));
+  }
+  for (uint32_t i = 0; i < num_extra; ++i) {
+    std::string_view key, value;
+    TDM_RETURN_NOT_OK(cur.ReadStringView(&key));
+    TDM_RETURN_NOT_OK(cur.ReadStringView(&value));
+    if (key == SnapshotIo::kPadKey) continue;  // writer-internal alignment
+    view->meta_.extra.emplace_back(std::string(key), std::string(value));
+  }
+
+  view->labels_.resize(count);
+  view->index_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TDM_RETURN_NOT_OK(cur.ReadStringView(&view->labels_[i]));
+    const bool inserted =
+        view->index_.emplace(view->labels_[i], static_cast<uint32_t>(i))
+            .second;
+    if (!inserted) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s: duplicate label '%s'", path.c_str(),
+          std::string(view->labels_[i]).c_str()));
+    }
+  }
+
+  const uint64_t payload_bytes =
+      count * static_cast<uint64_t>(dim) * sizeof(float);
+  if (payload_bytes != cur.Remaining()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: payload needs %llu bytes but %zu follow the labels",
+        path.c_str(), static_cast<unsigned long long>(payload_bytes),
+        cur.Remaining()));
+  }
+  view->payload_ = body + cur.pos();
+  view->aligned_ =
+      reinterpret_cast<uintptr_t>(view->payload_) % alignof(float) == 0;
+  view->file_ = std::move(file);
+  return std::shared_ptr<const SnapshotView>(std::move(view));
+}
+
+const float* SnapshotView::row(size_t i) const {
+  TDM_CHECK(aligned_) << "in-place row access on an unaligned snapshot "
+                         "payload; use CopyRow";
+  return reinterpret_cast<const float*>(payload_) +
+         i * static_cast<size_t>(dim_);
+}
+
+void SnapshotView::CopyRow(size_t i, float* out) const {
+  const size_t row_bytes = static_cast<size_t>(dim_) * sizeof(float);
+  std::memcpy(out, payload_ + i * row_bytes, row_bytes);
+}
+
+}  // namespace serve
+}  // namespace tdmatch

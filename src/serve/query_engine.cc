@@ -16,8 +16,6 @@ util::Result<QueryEngine> QueryEngine::Build(
     return util::Status::InvalidArgument("candidate set is empty");
   }
   QueryEngine engine;
-  engine.options_ = options;
-
   std::vector<const std::vector<float>*> rows;
   rows.reserve(candidates.size());
   engine.candidate_index_.reserve(candidates.size());
@@ -42,18 +40,57 @@ util::Result<QueryEngine> QueryEngine::Build(
 
   engine.matrix_ = std::make_shared<VectorMatrix>(
       VectorMatrix::FromRows(rows, snapshot.table.dim()));
-  engine.exact_ = std::make_unique<ExactIndex>(engine.matrix_);
+  engine.snapshot_ = std::move(snapshot);
+  engine.candidate_labels_ = std::move(candidates);
+  TDM_RETURN_NOT_OK(engine.FinishBuild(options));
+  return engine;
+}
+
+util::Result<QueryEngine> QueryEngine::BuildFromView(
+    std::shared_ptr<const SnapshotView> view, const std::string& prefix,
+    QueryEngineOptions options) {
+  if (view == nullptr) {
+    return util::Status::InvalidArgument("snapshot view is null");
+  }
+  QueryEngine engine;
+  std::vector<size_t> candidate_rows;
+  for (size_t i = 0; i < view->size(); ++i) {
+    const std::string_view label = view->label(i);
+    if (!util::StartsWith(label, prefix)) continue;
+    engine.candidate_index_.emplace(
+        std::string(label), static_cast<int32_t>(candidate_rows.size()));
+    engine.candidate_labels_.emplace_back(label);
+    candidate_rows.push_back(i);
+  }
+  if (candidate_rows.empty()) {
+    return util::Status::NotFound(util::StrFormat(
+        "snapshot '%s' has no labels with candidate prefix '%s'",
+        view->meta().scenario.c_str(), prefix.c_str()));
+  }
+  // The candidate vectors are gathered straight from the mapped payload —
+  // the only copy is the (necessary) normalized index matrix; no
+  // EmbeddingTable is ever materialized.
+  engine.matrix_ = std::make_shared<VectorMatrix>(VectorMatrix::FromRawRows(
+      view->payload(), candidate_rows, view->dim()));
+  engine.snapshot_.meta = view->meta();
+  engine.snapshot_.table = embed::EmbeddingTable(view->dim());
+  engine.view_ = std::move(view);
+  TDM_RETURN_NOT_OK(engine.FinishBuild(options));
+  return engine;
+}
+
+util::Status QueryEngine::FinishBuild(QueryEngineOptions options) {
+  options_ = options;
+  exact_ = std::make_unique<ExactIndex>(matrix_);
   if (options.build_ivf) {
     IvfOptions ivf = options.ivf;
     ivf.threads = options.threads;
-    engine.ivf_ = std::make_unique<IvfIndex>(engine.matrix_, ivf);
+    ivf_ = std::make_unique<IvfIndex>(matrix_, ivf);
   }
   if (options.threads > 1) {
-    engine.pool_ = std::make_unique<util::ThreadPool>(options.threads);
+    pool_ = std::make_unique<util::ThreadPool>(options.threads);
   }
-  engine.snapshot_ = std::move(snapshot);
-  engine.candidate_labels_ = std::move(candidates);
-  return engine;
+  return util::Status::OK();
 }
 
 util::Result<QueryEngine> QueryEngine::BuildForPrefix(
@@ -100,19 +137,46 @@ util::Result<std::vector<ScoredMatch>> QueryEngine::QueryVector(
   return ToScored(IndexFor(mode).SearchVec(vec, k));
 }
 
+const float* QueryEngine::LookupVector(const std::string& label,
+                                       std::vector<float>* scratch) const {
+  if (view_ != nullptr) {
+    const int64_t row = view_->FindRow(label);
+    if (row < 0) return nullptr;
+    if (view_->aligned()) return view_->row(static_cast<size_t>(row));
+    scratch->resize(static_cast<size_t>(view_->dim()));
+    view_->CopyRow(static_cast<size_t>(row), scratch->data());
+    return scratch->data();
+  }
+  const std::vector<float>* vec = snapshot_.table.Get(label);
+  return vec == nullptr ? nullptr : vec->data();
+}
+
+std::vector<ScoredMatch> QueryEngine::SearchNormalized(
+    const Index& index, const float* vec, size_t k,
+    const std::vector<char>* allowed) const {
+  // One copy total (the normalization scratch) — the same cost the
+  // pre-mmap code paid through Index::SearchVec.
+  std::vector<float> q(vec, vec + static_cast<size_t>(matrix_->dim()));
+  NormalizeSlice(q.data(), matrix_->dim());
+  return ToScored(index.Search(q.data(), k, allowed));
+}
+
 util::Result<std::vector<ScoredMatch>> QueryEngine::Query(
     const std::string& label, size_t k, SearchMode mode) const {
-  const std::vector<float>* vec = snapshot_.table.Get(label);
+  std::vector<float> scratch;
+  const float* vec = LookupVector(label, &scratch);
   if (vec == nullptr) {
     return util::Status::NotFound("no embedding for label '" + label + "'");
   }
-  return QueryVector(*vec, k, mode);
+  if (k == 0) k = options_.default_k;
+  return SearchNormalized(IndexFor(mode), vec, k);
 }
 
 util::Result<std::vector<ScoredMatch>> QueryEngine::QueryFiltered(
     const std::string& label, const std::vector<std::string>& allowed,
     size_t k) const {
-  const std::vector<float>* vec = snapshot_.table.Get(label);
+  std::vector<float> scratch;
+  const float* vec = LookupVector(label, &scratch);
   if (vec == nullptr) {
     return util::Status::NotFound("no embedding for label '" + label + "'");
   }
@@ -130,7 +194,7 @@ util::Result<std::vector<ScoredMatch>> QueryEngine::QueryFiltered(
   // cells, so a small allowed set (the blocker regime this API exists
   // for) could be missed entirely — and a blocked scan is O(|block|)
   // cheap anyway.
-  return ToScored(exact_->SearchVec(*vec, k, &mask));
+  return SearchNormalized(*exact_, vec, k, &mask);
 }
 
 std::vector<util::Result<std::vector<ScoredMatch>>> QueryEngine::QueryBatch(

@@ -9,6 +9,7 @@
 
 #include "serve/index.h"
 #include "serve/ivf_index.h"
+#include "serve/mmap_snapshot.h"
 #include "serve/snapshot.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -72,6 +73,17 @@ class QueryEngine {
       Snapshot snapshot, const std::string& prefix,
       QueryEngineOptions options = {});
 
+  /// Builds over a memory-mapped snapshot view instead of a loaded
+  /// Snapshot: candidate vectors are gathered straight from the mapped f32
+  /// payload into the (normalizing) index matrix, label lookups resolve
+  /// against the mapping, and no EmbeddingTable copy of the payload is
+  /// ever materialized — the mmap serving path. The engine shares
+  /// ownership of the view; several engines can serve one mapping.
+  /// Results are bit-identical to the copying Build over the same file.
+  static util::Result<QueryEngine> BuildFromView(
+      std::shared_ptr<const SnapshotView> view, const std::string& prefix,
+      QueryEngineOptions options = {});
+
   /// Top-k for the embedding stored under `label` (k = 0 ⇒ default_k).
   util::Result<std::vector<ScoredMatch>> Query(
       const std::string& label, size_t k = 0,
@@ -101,7 +113,11 @@ class QueryEngine {
       SearchMode mode = SearchMode::kApprox) const;
 
   const SnapshotMeta& meta() const { return snapshot_.meta; }
+  /// The loaded embedding table. Empty (dim only) for view-backed engines,
+  /// whose vectors live in the mapping — see view().
   const embed::EmbeddingTable& table() const { return snapshot_.table; }
+  /// Non-null when built via BuildFromView.
+  const std::shared_ptr<const SnapshotView>& view() const { return view_; }
   size_t num_candidates() const { return candidate_labels_.size(); }
   const std::vector<std::string>& candidate_labels() const {
     return candidate_labels_;
@@ -118,8 +134,22 @@ class QueryEngine {
   const Index& IndexFor(SearchMode mode) const;
   std::vector<ScoredMatch> ToScored(
       const std::vector<match::Match>& matches) const;
+  /// Indexes candidate_index_/candidate_labels_, builds the exact/IVF
+  /// indexes over matrix_ and the batch pool — the tail shared by every
+  /// Build flavor.
+  util::Status FinishBuild(QueryEngineOptions options);
+  /// The embedding stored under `label`: a pointer into the table or the
+  /// mapped view (copy-free on both hot paths; `scratch` is only written
+  /// for an unaligned mapping). Null when the label is unknown.
+  const float* LookupVector(const std::string& label,
+                            std::vector<float>* scratch) const;
+  /// Normalizes a copy of `vec` (table dim) and searches `index`.
+  std::vector<ScoredMatch> SearchNormalized(
+      const Index& index, const float* vec, size_t k,
+      const std::vector<char>* allowed = nullptr) const;
 
   Snapshot snapshot_;
+  std::shared_ptr<const SnapshotView> view_;
   QueryEngineOptions options_;
   std::vector<std::string> candidate_labels_;
   /// label → dense candidate id, for filtered queries.

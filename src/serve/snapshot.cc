@@ -1,5 +1,8 @@
 #include "serve/snapshot.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -92,11 +95,66 @@ const std::string& SnapshotMeta::Find(const std::string& key) const {
   return kEmpty;
 }
 
+util::Status ValidateSnapshotGeometry(const std::string& path, uint32_t dim,
+                                      uint64_t count, size_t remaining) {
+  if (dim == 0 && count > 0) {
+    return util::Status::InvalidArgument(path + ": zero dim with vectors");
+  }
+  if (dim > static_cast<uint32_t>(INT32_MAX)) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: declared dim %u exceeds the supported maximum", path.c_str(),
+        dim));
+  }
+  // A hostile header can declare a geometry whose payload byte count
+  // rows * dim * sizeof(float) wraps narrower arithmetic (already at
+  // rows * dim >= 2^30 for 32-bit math). Do the multiplication once in
+  // overflow-checked 64-bit math and reject explicitly, so no later size
+  // computation — allocation, cursor advance, span construction — ever
+  // sees a wrapped value.
+  const uint64_t row_bytes = static_cast<uint64_t>(dim) * sizeof(float);
+  if (row_bytes > 0 && count > UINT64_MAX / row_bytes) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: payload size of %llu vectors x %u dims overflows 64-bit byte "
+        "arithmetic",
+        path.c_str(), static_cast<unsigned long long>(count), dim));
+  }
+  // A valid CRC proves the bytes are intact, not that the writer was
+  // SnapshotIo — validate declared counts against the bytes actually
+  // present before sizing any allocation from them (every entry needs at
+  // least a 4-byte label length plus its dim floats).
+  const uint64_t min_entry_bytes = sizeof(uint32_t) + row_bytes;
+  if (count > remaining / min_entry_bytes) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: declared %llu vectors cannot fit in %zu remaining bytes",
+        path.c_str(), static_cast<unsigned long long>(count), remaining));
+  }
+  return util::Status::OK();
+}
+
 util::Status SnapshotIo::Write(const embed::EmbeddingTable& table,
                                const SnapshotMeta& meta,
                                const std::string& path) {
   const std::vector<std::string> labels = table.Labels();
   const size_t dim = static_cast<size_t>(table.dim());
+
+  // The reserved "_pad" metadata pair sizes the pre-payload bytes to a
+  // multiple of 4 so the f32 payload is 4-byte aligned in the file, and
+  // therefore in any page-aligned mmap of it (serve::SnapshotView reads
+  // rows in place). Callers never see it: Write strips stale copies and
+  // Read drops it after parsing, so meta round-trips unchanged.
+  std::vector<const std::pair<std::string, std::string>*> extra;
+  extra.reserve(meta.extra.size());
+  size_t prepay = 4 + 8 + (4 + meta.scenario.size()) + 4;
+  for (const auto& kv : meta.extra) {
+    if (kv.first == kPadKey) continue;
+    extra.push_back(&kv);
+    prepay += 8 + kv.first.size() + kv.second.size();
+  }
+  for (const auto& label : labels) prepay += 4 + label.size();
+  // The header (12), the pad pair's own fixed bytes (4 + 4 + len("_pad")
+  // = 12), and every length prefix are multiples of 4, so only the string
+  // bytes determine the residue.
+  const size_t pad_len = (4 - prepay % 4) % 4;
 
   std::string body;
   // Labels dominate; 16 bytes/label plus the raw float payload is a close
@@ -105,14 +163,16 @@ util::Status SnapshotIo::Write(const embed::EmbeddingTable& table,
   AppendU32(&body, static_cast<uint32_t>(table.dim()));
   AppendU64(&body, labels.size());
   TDM_RETURN_NOT_OK(AppendString(&body, meta.scenario));
-  if (meta.extra.size() > UINT32_MAX) {
+  if (extra.size() >= UINT32_MAX) {
     return util::Status::InvalidArgument("too many metadata pairs");
   }
-  AppendU32(&body, static_cast<uint32_t>(meta.extra.size()));
-  for (const auto& kv : meta.extra) {
-    TDM_RETURN_NOT_OK(AppendString(&body, kv.first));
-    TDM_RETURN_NOT_OK(AppendString(&body, kv.second));
+  AppendU32(&body, static_cast<uint32_t>(extra.size() + 1));
+  for (const auto* kv : extra) {
+    TDM_RETURN_NOT_OK(AppendString(&body, kv->first));
+    TDM_RETURN_NOT_OK(AppendString(&body, kv->second));
   }
+  TDM_RETURN_NOT_OK(AppendString(&body, kPadKey));
+  TDM_RETURN_NOT_OK(AppendString(&body, std::string(pad_len, ' ')));
   for (const auto& label : labels) {
     TDM_RETURN_NOT_OK(AppendString(&body, label));
   }
@@ -122,17 +182,35 @@ util::Status SnapshotIo::Write(const embed::EmbeddingTable& table,
                 vec->size() * sizeof(float));
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return util::Status::IOError("cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
-  const uint32_t version = kVersion;
-  const uint32_t endian = kEndianMarker;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  out.write(reinterpret_cast<const char*>(&endian), sizeof(endian));
-  out.write(body.data(), static_cast<std::streamsize>(body.size()));
-  const uint32_t crc = util::Crc32(body.data(), body.size());
-  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  if (!out) return util::Status::IOError("write failed for " + path);
+  // Write to a temp file and rename over `path`: readers — including a
+  // serving process that has the old snapshot mmap'ed (SnapshotView) —
+  // never observe a half-written or in-place-truncated file. The rename
+  // is atomic on POSIX; the old inode lives on until its last mapping
+  // drops.
+  const std::string tmp_path =
+      util::StrFormat("%s.tmp.%d", path.c_str(), ::getpid());
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::IOError("cannot open " + tmp_path);
+    out.write(kMagic, sizeof(kMagic));
+    const uint32_t version = kVersion;
+    const uint32_t endian = kEndianMarker;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&endian), sizeof(endian));
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    const uint32_t crc = util::Crc32(body.data(), body.size());
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return util::Status::IOError("write failed for " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return util::Status::IOError(
+        util::StrFormat("cannot rename %s over %s", tmp_path.c_str(),
+                        path.c_str()));
+  }
   return util::Status::OK();
 }
 
@@ -189,21 +267,8 @@ util::Result<Snapshot> SnapshotIo::Read(const std::string& path) {
   uint64_t count = 0;
   TDM_RETURN_NOT_OK(cur.ReadU32(&dim));
   TDM_RETURN_NOT_OK(cur.ReadU64(&count));
-  if (dim == 0 && count > 0) {
-    return util::Status::InvalidArgument(path + ": zero dim with vectors");
-  }
-  // A valid CRC proves the bytes are intact, not that the writer was
-  // SnapshotIo — validate declared counts against the bytes actually
-  // present before sizing any allocation from them (every entry needs at
-  // least a 4-byte label length plus its dim floats).
-  const uint64_t min_entry_bytes =
-      sizeof(uint32_t) + static_cast<uint64_t>(dim) * sizeof(float);
-  if (count > cur.Remaining() / min_entry_bytes) {
-    return util::Status::InvalidArgument(util::StrFormat(
-        "%s: declared %llu vectors cannot fit in %zu remaining bytes",
-        path.c_str(), static_cast<unsigned long long>(count),
-        cur.Remaining()));
-  }
+  TDM_RETURN_NOT_OK(
+      ValidateSnapshotGeometry(path, dim, count, cur.Remaining()));
 
   Snapshot snap;
   TDM_RETURN_NOT_OK(cur.ReadString(&snap.meta.scenario));
@@ -219,6 +284,9 @@ util::Result<Snapshot> SnapshotIo::Read(const std::string& path) {
     std::string key, value;
     TDM_RETURN_NOT_OK(cur.ReadString(&key));
     TDM_RETURN_NOT_OK(cur.ReadString(&value));
+    // The writer's internal alignment pad is not part of the caller's
+    // metadata; dropping it keeps Write → Read → Write round trips stable.
+    if (key == kPadKey) continue;
     snap.meta.extra.emplace_back(std::move(key), std::move(value));
   }
 

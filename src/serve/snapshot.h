@@ -62,11 +62,29 @@ struct Snapshot {
   embed::EmbeddingTable table;
 };
 
+/// Validates a declared (dim, vector count) geometry against the bytes
+/// actually available, in overflow-checked 64-bit arithmetic. Shared by
+/// the copying loader (SnapshotIo::Read) and the mmap view
+/// (SnapshotView::Open): both must reject hostile headers — absurd counts,
+/// dims beyond int range, payload sizes that would wrap 32-bit math —
+/// before any allocation or pointer arithmetic uses them.
+util::Status ValidateSnapshotGeometry(const std::string& path, uint32_t dim,
+                                      uint64_t count, size_t remaining);
+
 class SnapshotIo {
  public:
   static constexpr uint32_t kVersion = 1;
 
-  /// Serializes `table` + `meta`; overwrites `path`.
+  /// Reserved metadata key. Write appends a 0–3 byte "_pad" pair sized so
+  /// the f32 payload starts 4-byte aligned in the file (and therefore in
+  /// any page-aligned mmap — serve::SnapshotView reads rows in place).
+  /// Invisible to callers: Write replaces stale pads, Read drops them.
+  static constexpr char kPadKey[] = "_pad";
+
+  /// Serializes `table` + `meta`; overwrites `path` atomically (temp file
+  /// + rename), so a serving process that has the previous snapshot
+  /// mmap'ed keeps reading the old inode — in-place rewrites never tear a
+  /// live SnapshotView.
   static util::Status Write(const embed::EmbeddingTable& table,
                             const SnapshotMeta& meta, const std::string& path);
 

@@ -1,0 +1,375 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace util {
+
+namespace {
+
+/// Character-level scanner shared by the flat-record parser (the JSONL
+/// loader contract, moved here from corpus/loader.cc with its behavior and
+/// error messages intact) and the general value parser (the HTTP front
+/// end). Strings support the standard escapes; \uXXXX decodes to UTF-8
+/// with UTF-16 surrogate pairs combined and lone surrogates rejected;
+/// numbers keep their source spelling and are validated via ParseDouble.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view s) : s_(s) {}
+
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("%s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r' ||
+            s_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  size_t pos() const { return pos_; }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (s_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status CheckEnd(const char* what) {
+    SkipSpace();
+    if (pos_ != s_.size()) {
+      return Error(std::string("trailing content after ") + what);
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          TDM_RETURN_NOT_OK(ParseHex4(&cp));
+          // Non-BMP characters arrive as UTF-16 surrogate pairs (that is
+          // how json.dumps escapes an emoji); decode the pair to one code
+          // point rather than emitting invalid CESU-8, and reject lone
+          // surrogates like every other malformed input.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 2 > s_.size() || s_[pos_] != '\\' ||
+                s_[pos_ + 1] != 'u') {
+              return Error("high surrogate without a \\u low surrogate");
+            }
+            pos_ += 2;
+            uint32_t lo = 0;
+            TDM_RETURN_NOT_OK(ParseHex4(&lo));
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("high surrogate followed by a non-low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error(StrFormat("bad escape '\\%c'", esc));
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  /// Number token: keeps the source spelling, validates the character set
+  /// and the spelling via ParseDouble. Cursor must sit on the first
+  /// character of the number.
+  Status ParseNumberToken(std::string* spelling, double* value) {
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    *spelling = std::string(s_.substr(start, pos_ - start));
+    if (!ParseDouble(*spelling, value)) return Error("malformed number");
+    return Status::OK();
+  }
+
+ private:
+  void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  /// The four hex digits of a \uXXXX escape (cursor already past "\u").
+  Status ParseHex4(uint32_t* cp) {
+    if (pos_ + 4 > s_.size()) return Error("truncated \\u escape");
+    *cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = s_[pos_++];
+      *cp <<= 4;
+      if (h >= '0' && h <= '9') *cp |= static_cast<uint32_t>(h - '0');
+      else if (h >= 'a' && h <= 'f')
+        *cp |= static_cast<uint32_t>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F')
+        *cp |= static_cast<uint32_t>(h - 'A' + 10);
+      else return Error("bad \\u escape");
+    }
+    return Status::OK();
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+Status ParseScalarToString(JsonScanner* sc, std::string* out) {
+  if (sc->AtEnd()) return sc->Error("expected a value");
+  char c = sc->Peek();
+  if (c == '"') return sc->ParseString(out);
+  if (c == '{' || c == '[') {
+    return sc->Error("nested values are not supported (records must be flat)");
+  }
+  if (sc->ConsumeWord("true")) { *out = "true"; return Status::OK(); }
+  if (sc->ConsumeWord("false")) { *out = "false"; return Status::OK(); }
+  if (sc->ConsumeWord("null")) { out->clear(); return Status::OK(); }
+  double ignored = 0;
+  return sc->ParseNumberToken(out, &ignored);
+}
+
+Status ParseValue(JsonScanner* sc, JsonValue* out, size_t depth) {
+  sc->SkipSpace();
+  if (sc->AtEnd()) return sc->Error("expected a value");
+  const char c = sc->Peek();
+  if (c == '{' || c == '[') {
+    if (depth == 0) return sc->Error("nesting too deep");
+    if (sc->Consume('{')) {
+      *out = JsonValue::Object();
+      sc->SkipSpace();
+      if (sc->Consume('}')) return Status::OK();
+      for (;;) {
+        sc->SkipSpace();
+        std::string key;
+        TDM_RETURN_NOT_OK(sc->ParseString(&key));
+        sc->SkipSpace();
+        if (!sc->Consume(':')) return sc->Error("expected ':' after key");
+        JsonValue value;
+        TDM_RETURN_NOT_OK(ParseValue(sc, &value, depth - 1));
+        out->members().emplace_back(std::move(key), std::move(value));
+        sc->SkipSpace();
+        if (sc->Consume(',')) continue;
+        if (sc->Consume('}')) return Status::OK();
+        return sc->Error("expected ',' or '}'");
+      }
+    }
+    sc->Consume('[');
+    *out = JsonValue::Array();
+    sc->SkipSpace();
+    if (sc->Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue item;
+      TDM_RETURN_NOT_OK(ParseValue(sc, &item, depth - 1));
+      out->items().push_back(std::move(item));
+      sc->SkipSpace();
+      if (sc->Consume(',')) continue;
+      if (sc->Consume(']')) return Status::OK();
+      return sc->Error("expected ',' or ']'");
+    }
+  }
+  if (c == '"') {
+    std::string s;
+    TDM_RETURN_NOT_OK(sc->ParseString(&s));
+    *out = JsonValue::String(std::move(s));
+    return Status::OK();
+  }
+  if (sc->ConsumeWord("true")) { *out = JsonValue::Bool(true); return Status::OK(); }
+  if (sc->ConsumeWord("false")) { *out = JsonValue::Bool(false); return Status::OK(); }
+  if (sc->ConsumeWord("null")) { *out = JsonValue(); return Status::OK(); }
+  std::string spelling;
+  double value = 0;
+  TDM_RETURN_NOT_OK(sc->ParseNumberToken(&spelling, &value));
+  *out = JsonValue::Number(value, std::move(spelling));
+  return Status::OK();
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& kv : members_) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> JsonParse(std::string_view text, size_t max_depth) {
+  JsonScanner sc(text);
+  JsonValue value;
+  TDM_RETURN_NOT_OK(ParseValue(&sc, &value, max_depth));
+  TDM_RETURN_NOT_OK(sc.CheckEnd("value"));
+  return value;
+}
+
+Status JsonParseFlatRecord(std::string_view line, JsonFlatRecord* out) {
+  JsonScanner sc(line);
+  sc.SkipSpace();
+  if (!sc.Consume('{')) return sc.Error("expected '{'");
+  sc.SkipSpace();
+  if (sc.Consume('}')) return sc.CheckEnd("record");
+  for (;;) {
+    sc.SkipSpace();
+    std::string key;
+    TDM_RETURN_NOT_OK(sc.ParseString(&key));
+    sc.SkipSpace();
+    if (!sc.Consume(':')) return sc.Error("expected ':' after key");
+    sc.SkipSpace();
+    std::string value;
+    TDM_RETURN_NOT_OK(ParseScalarToString(&sc, &value));
+    out->emplace_back(std::move(key), std::move(value));
+    sc.SkipSpace();
+    if (sc.Consume(',')) continue;
+    if (sc.Consume('}')) return sc.CheckEnd("record");
+    return sc.Error("expected ',' or '}'");
+  }
+}
+
+void JsonAppendQuoted(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+JsonWriter& JsonWriter::Open(char c) {
+  Separate();
+  out_.push_back(c);
+  has_element_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Close(char c) {
+  if (!has_element_.empty()) has_element_.pop_back();
+  out_.push_back(c);
+  return *this;
+}
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back() != 0) out_.push_back(',');
+    has_element_.back() = 1;
+  }
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  Separate();
+  JsonAppendQuoted(k, &out_);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view s) {
+  Separate();
+  JsonAppendQuoted(s, &out_);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double d) {
+  if (!std::isfinite(d)) return Null();
+  Separate();
+  out_ += StrFormat("%.17g", d);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool b) {
+  Separate();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t i) {
+  Separate();
+  out_ += StrFormat("%lld", static_cast<long long>(i));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t u) {
+  Separate();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(u));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace util
+}  // namespace tdmatch

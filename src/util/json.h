@@ -1,0 +1,162 @@
+#ifndef TDMATCH_UTIL_JSON_H_
+#define TDMATCH_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace util {
+
+/// \brief The one hand-rolled JSON implementation of the codebase.
+///
+/// Two consumers share it: the JSONL corpus loader (flat records only —
+/// see JsonParseFlatRecord, extracted verbatim from corpus/loader.cc) and
+/// the HTTP serving front end (full values via JsonParse + responses via
+/// JsonWriter). No third-party dependency; strings support the standard
+/// escapes including UTF-16 surrogate pairs.
+
+/// \brief A parsed JSON value: null, bool, number, string, array, object.
+///
+/// Numbers keep both their source spelling (string_value()) and a parsed
+/// double (number_value()); object member order is preserved.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d, std::string spelling) {
+    JsonValue v;
+    v.type_ = Type::kNumber;
+    v.num_ = d;
+    v.str_ = std::move(spelling);
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return num_; }
+  /// String contents for strings; the source spelling for numbers.
+  const std::string& string_value() const { return str_; }
+
+  std::vector<JsonValue>& items() { return items_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<std::pair<std::string, JsonValue>>& members() {
+    return members_;
+  }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// First member named `key` of an object, or nullptr (also for
+  /// non-objects).
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON value; trailing non-space content is an error.
+/// `max_depth` bounds array/object nesting so hostile input cannot blow the
+/// stack.
+Result<JsonValue> JsonParse(std::string_view text, size_t max_depth = 64);
+
+/// One flat JSONL record: top-level scalar fields in appearance order.
+using JsonFlatRecord = std::vector<std::pair<std::string, std::string>>;
+
+/// Parses a flat JSON object the way the JSONL loaders have always read
+/// records: scalars become strings (numbers keep their source spelling,
+/// null becomes the empty string), nested arrays/objects are rejected —
+/// records must be flat like CSV rows.
+Status JsonParseFlatRecord(std::string_view line, JsonFlatRecord* out);
+
+/// Appends `s` to `out` as a quoted JSON string (standard escapes; control
+/// characters as \u00XX).
+void JsonAppendQuoted(std::string_view s, std::string* out);
+
+/// \brief Minimal streaming JSON writer — comma/key bookkeeping for the
+/// HTTP response bodies.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject().Key("status").Value("ok").Key("n").Value(3).EndObject();
+///   w.str()  // {"status":"ok","n":3}
+///
+/// Doubles are written with %.17g so they round-trip bit-exactly through
+/// strtod; non-finite values become null (JSON has no NaN/inf).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& Value(std::string_view s);
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(double d);
+  JsonWriter& Value(bool b);
+  JsonWriter& Value(int64_t i);
+  JsonWriter& Value(uint64_t u);
+  JsonWriter& Value(int i) { return Value(static_cast<int64_t>(i)); }
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& Open(char c);
+  JsonWriter& Close(char c);
+  /// Emits the separating comma unless this is a container's first element
+  /// or the value directly follows its key.
+  void Separate();
+
+  std::string out_;
+  std::vector<char> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_JSON_H_

@@ -50,9 +50,10 @@ QUALITY_METRIC_RE = re.compile(
     r"^(mrr|map@|hp@|exact_[prf]@|node_[prf]@|gold_recall|spearman"
     r"|accuracy|precision|recall|f1)")
 # Metrics that are themselves timings or machine-dependent throughput
-# (serve_qps latency percentiles, qps, speedup); never value-compared —
-# their cost is gated through the per-scenario wall-time aggregate, and
-# coverage gating still requires the rows to exist.
+# (serve_qps/serve_http latency percentiles, qps, reload_ms, speedup);
+# never value-compared — their cost is gated through the per-scenario
+# wall-time aggregate, and coverage gating still requires the rows to
+# exist.
 TIMING_METRIC_RE = re.compile(r"seconds|_ms$|^qps$|^speedup$")
 
 

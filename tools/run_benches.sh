@@ -23,6 +23,7 @@ benches=(
   fig8_scaling
   fig9_filtering
   fig10_combination
+  serve_http
   serve_qps
   table1_imdb
   table2_corona

@@ -17,10 +17,20 @@
 //                 [--threads N]
 //   tdmatch_serve convert  --in vectors.txt --out model.tds  (or reverse;
 //                 direction is sniffed from the input file's magic)
+//   tdmatch_serve serve    --snapshot model.tds [--port N] [--bind ADDR]
+//                 [--threads N] [--http-threads N] [--k N] [--nprobe N]
+//                 [--exact] [--no-mmap] [--no-reload]
+//                          # HTTP front end: POST /v1/query, GET
+//                          # /v1/healthz, GET /v1/stats, POST /v1/reload;
+//                          # SIGTERM/SIGINT drain and exit 0
 //
 // Query labels are the snapshot's embedding labels (the graph's metadata
-// doc labels). The REPL and batch mode accept the shorthands `q:<i>` and
-// `c:<i>` for query/candidate doc i of the trained scenario.
+// doc labels). The REPL, batch mode, and the HTTP API accept the
+// shorthands `q:<i>` and `c:<i>` for query/candidate doc i of the trained
+// scenario.
+
+#include <csignal>
+#include <cstring>
 
 #include <algorithm>
 #include <cstdio>
@@ -32,6 +42,8 @@
 #include "bench_common.h"
 #include "corpus/loader.h"
 #include "graph/builder.h"
+#include "serve/http/server.h"
+#include "serve/http/service.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
 #include "util/result.h"
@@ -58,6 +70,12 @@ struct ServeArgs {
   size_t nprobe = 4;
   size_t threads = 4;
   bool exact = false;
+  // serve mode
+  std::string bind = "127.0.0.1";
+  size_t port = 8080;
+  size_t http_threads = 4;
+  bool no_mmap = false;
+  bool no_reload = false;
 };
 
 int Usage(const char* prog) {
@@ -74,7 +92,10 @@ int Usage(const char* prog) {
       "  batch          --snapshot <model.tds> --queries <file.txt|.jsonl>\n"
       "                 [--field <name>] [--k N] [--nprobe N] [--exact]\n"
       "                 [--threads N]\n"
-      "  convert        --in <file> --out <file>   (text <-> snapshot)\n",
+      "  convert        --in <file> --out <file>   (text <-> snapshot)\n"
+      "  serve          --snapshot <model.tds> [--port N] [--bind ADDR]\n"
+      "                 [--threads N] [--http-threads N] [--k N]\n"
+      "                 [--nprobe N] [--exact] [--no-mmap] [--no-reload]\n",
       prog);
   return 2;
 }
@@ -310,6 +331,74 @@ int RunBatch(const ServeArgs& args) {
   return failed == 0 ? 0 : 1;
 }
 
+int RunServe(const ServeArgs& args) {
+  if (args.snapshot_path.empty()) {
+    std::fprintf(stderr, "serve: --snapshot is required\n");
+    return 2;
+  }
+  if (args.port > 65535) {
+    std::fprintf(stderr, "serve: --port must be <= 65535\n");
+    return 2;
+  }
+
+  serve::http::ServiceOptions sopts;
+  sopts.engine.threads = args.threads;
+  sopts.engine.default_k = args.k;
+  sopts.engine.build_ivf = !args.exact;
+  sopts.engine.ivf.nprobe = args.nprobe;
+  sopts.use_mmap = !args.no_mmap;
+  sopts.allow_reload = !args.no_reload;
+
+  serve::http::MatchService service(sopts);
+  util::Status st = service.LoadInitial(args.snapshot_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  serve::http::HttpServerOptions hopts;
+  hopts.bind_address = args.bind;
+  hopts.port = static_cast<uint16_t>(args.port);
+  hopts.threads = args.http_threads;
+  serve::http::HttpServer server(hopts);
+  service.Register(&server);
+
+  // Block the shutdown signals before spawning the server threads (they
+  // inherit the mask), then wait for one synchronously: the signal is the
+  // shutdown command, handled on the main thread with no async-signal-
+  // safety gymnastics.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const auto state = service.state();
+  std::fprintf(stderr,
+               "serving %s (scenario %s, %zu candidates, %s loader, %.3fs "
+               "load) on http://%s:%u — SIGTERM to stop\n",
+               args.snapshot_path.c_str(),
+               state->engine->meta().scenario.c_str(),
+               state->engine->num_candidates(),
+               state->mmap ? "mmap" : "copy", state->load_seconds,
+               args.bind.c_str(), server.port());
+  std::fflush(stderr);
+
+  int sig = 0;
+  while (sigwait(&signals, &sig) != 0) {
+  }
+  std::fprintf(stderr, "received signal %d, draining connections\n", sig);
+  server.Stop();
+  std::fprintf(stderr, "served %llu requests; clean shutdown\n",
+               static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
+
 int RunConvert(const ServeArgs& args) {
   if (args.in_path.empty() || args.out_path.empty()) {
     std::fprintf(stderr, "convert: --in and --out are required\n");
@@ -358,6 +447,22 @@ int Main(int argc, char** argv) {
     const char* v = nullptr;
     if (flag == "--exact") {
       args.exact = true;
+    } else if (flag == "--no-mmap") {
+      args.no_mmap = true;
+    } else if (flag == "--no-reload") {
+      args.no_reload = true;
+    } else if (flag == "--bind" && (v = next())) {
+      args.bind = v;
+    } else if (flag == "--port" && (v = next())) {
+      if (!ParseSize(v, &args.port)) {
+        std::fprintf(stderr, "bad --port '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--http-threads" && (v = next())) {
+      if (!ParseSize(v, &args.http_threads) || args.http_threads == 0) {
+        std::fprintf(stderr, "bad --http-threads '%s'\n", v);
+        return 2;
+      }
     } else if (flag == "--scenario" && (v = next())) {
       args.scenario = v;
     } else if (flag == "--out" && (v = next())) {
@@ -409,6 +514,7 @@ int Main(int argc, char** argv) {
   if (args.mode == "query") return RunQueryRepl(args);
   if (args.mode == "batch") return RunBatch(args);
   if (args.mode == "convert") return RunConvert(args);
+  if (args.mode == "serve") return RunServe(args);
   std::fprintf(stderr, "unknown mode '%s'\n", args.mode.c_str());
   return Usage(argv[0]);
 }

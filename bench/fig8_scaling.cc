@@ -1,9 +1,17 @@
 // Fig. 8: total time to generate random walks and train the embeddings as
 // the graph grows (STS-derived graphs of increasing size). The paper
 // observes linear scaling in the number of nodes.
+//
+// Also reports `threads_speedup` — the 8-thread vs 1-thread wall-clock
+// ratio of the walk+train stage on the largest size point. The block
+// schedule guarantees both runs produce bit-identical embeddings, so the
+// ratio isolates pure parallel efficiency; tools/check_bench.py can gate
+// on it with --min-threads-speedup.
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "embed/random_walk.h"
@@ -13,6 +21,29 @@
 
 using namespace tdmatch;  // NOLINT
 
+namespace {
+
+/// One timed walk+train pass; returns elapsed seconds.
+double WalkAndTrain(const graph::Graph& g, uint64_t seed, size_t threads,
+                    bool smoke) {
+  util::StopWatch watch;
+  embed::RandomWalkOptions walk_opts{.num_walks = smoke ? 6u : 12u,
+                                     .walk_length = smoke ? 10u : 15u,
+                                     .seed = seed,
+                                     .threads = threads};
+  embed::SentenceCorpus walks =
+      embed::RandomWalker::GenerateCorpus(g, walk_opts);
+  embed::Word2VecOptions w2v_opts;
+  w2v_opts.epochs = smoke ? 1 : 2;
+  w2v_opts.seed = seed;
+  w2v_opts.threads = threads;
+  embed::Word2Vec w2v(w2v_opts);
+  TDM_CHECK(w2v.Train(walks, g.NumNodes()).ok());
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::BenchOptions opts = bench::ParseArgsOrExit(argc, argv);
   bench::BenchReporter rep("fig8_scaling", opts);
@@ -21,6 +52,17 @@ int main(int argc, char** argv) {
              "time (s)");
 
   const bool smoke = opts.scale == bench::Scale::kSmoke;
+  // One resolved seed drives BOTH the walker and Word2Vec. (Previously
+  // only the walker substituted 1 for --seed 0 while Word2Vec silently
+  // kept its default, so the two stages ran from unrelated seeds.)
+  const uint64_t seed = opts.seed == 0 ? 1 : opts.seed;
+  const size_t threads = smoke ? 4u : 8u;
+
+  size_t largest_pairs = 0;
+  const graph::Graph* largest_graph = nullptr;
+  std::vector<graph::Graph> graphs;  // keep alive for the speedup pass
+  graphs.reserve(8);
+
   for (size_t pairs : bench::ScaledPoints(opts, {200, 400, 800, 1600, 3200})) {
     datagen::StsOptions gen = bench::ScaledStsOptions(opts);
     gen.num_pairs = pairs;
@@ -35,23 +77,7 @@ int main(int argc, char** argv) {
       rep.Print("build failed: " + g.status().ToString() + "\n");
       continue;
     }
-    util::StopWatch watch;
-    embed::RandomWalkOptions walk_opts{.num_walks = smoke ? 6u : 12u,
-                                       .walk_length = smoke ? 10u : 15u,
-                                       .seed = opts.seed == 0 ? 1 : opts.seed,
-                                       .threads = smoke ? 4u : 8u};
-    embed::SentenceCorpus walks = embed::RandomWalker::GenerateCorpus(
-        *g, walk_opts);
-    // Word2Vec training is sequential-deterministic (the threads field no
-    // longer affects it — see ROADMAP "Deterministic parallel training"),
-    // so this bench measures graph-size scaling: walk sharding + one
-    // training pass per size point.
-    embed::Word2VecOptions w2v_opts;
-    w2v_opts.epochs = smoke ? 1 : 2;
-    if (opts.seed != 0) w2v_opts.seed = opts.seed;
-    embed::Word2Vec w2v(w2v_opts);
-    TDM_CHECK(w2v.Train(walks, g->NumNodes()).ok());
-    const double seconds = watch.ElapsedSeconds();
+    const double seconds = WalkAndTrain(*g, seed, threads, smoke);
 
     const std::string param = "pairs=" + std::to_string(pairs);
     rep.Add("STS", param, "nodes", static_cast<double>(g->NumNodes()), seconds);
@@ -59,7 +85,27 @@ int main(int argc, char** argv) {
     rep.Add("STS", param, "walk_train_seconds", seconds, seconds);
     rep.Printf("%-10zu %-10zu %-10zu %-12.3f\n", pairs, g->NumNodes(),
                g->NumEdges(), seconds);
+
+    if (pairs >= largest_pairs) {
+      largest_pairs = pairs;
+      graphs.push_back(std::move(*g));
+      largest_graph = &graphs.back();
+    }
   }
+
+  if (largest_graph != nullptr) {
+    // Parallel-efficiency probe on the largest point: identical work at
+    // threads=1 and threads=8 (outputs are bit-identical by the block
+    // schedule; only the wall time may differ).
+    const double t1 = WalkAndTrain(*largest_graph, seed, 1, smoke);
+    const double t8 = WalkAndTrain(*largest_graph, seed, 8, smoke);
+    const double speedup = t8 > 0.0 ? t1 / t8 : 0.0;
+    const std::string param = "pairs=" + std::to_string(largest_pairs);
+    rep.Add("STS", param, "threads_speedup", speedup, t1 + t8);
+    rep.Printf("\nthreads_speedup (8 vs 1 threads, pairs=%zu): %.2fx\n",
+               largest_pairs, speedup);
+  }
+
   rep.Note("\nExpected shape: time grows linearly with node count.");
   return rep.Finish() ? 0 : 1;
 }

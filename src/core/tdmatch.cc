@@ -132,6 +132,7 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
   g.Finalize();
   embed::RandomWalkOptions walk_options = options_.walks;
   walk_options.seed ^= options_.seed;
+  if (options_.threads != 0) walk_options.threads = options_.threads;
   embed::SentenceCorpus walks = embed::RandomWalker::GenerateCorpus(
       g, walk_options);
   result.walk_seconds = watch.ElapsedSeconds();
@@ -139,6 +140,7 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
   watch.Reset();
   embed::Word2VecOptions w2v_options = options_.w2v;
   w2v_options.seed ^= options_.seed;
+  if (options_.threads != 0) w2v_options.threads = options_.threads;
   embed::Word2Vec w2v(w2v_options);
   TDM_RETURN_NOT_OK(w2v.Train(walks, g.NumNodes()));
   result.train_seconds = watch.ElapsedSeconds();

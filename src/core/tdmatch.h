@@ -56,6 +56,13 @@ struct TDmatchOptions {
                              .seed = 42};
   uint64_t seed = 42;
 
+  /// Master worker-thread override: when nonzero, replaces the per-stage
+  /// thread counts (walks.threads, w2v.threads) for the whole pipeline.
+  /// Never changes the result — both the walker and the block-parallel
+  /// trainer are bit-deterministic in the thread count — only the wall
+  /// time.
+  size_t threads = 0;
+
   /// Copy the trained document embeddings (both corpora's metadata-doc
   /// nodes, keyed by their graph labels `__D<corpus>:<doc>__`) into
   /// TDmatchResult::embeddings — the artifact the serving layer snapshots

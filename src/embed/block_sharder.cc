@@ -1,0 +1,67 @@
+#include "embed/block_sharder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace tdmatch {
+namespace embed {
+
+const float* SigmoidTable() {
+  static float table[kSigmoidTableSize];
+  static bool init = [] {
+    for (int i = 0; i < kSigmoidTableSize; ++i) {
+      const float x = (static_cast<float>(i) / (kSigmoidTableSize - 1) *
+                           2.0f - 1.0f) * kMaxExp;
+      table[i] = 1.0f / (1.0f + std::exp(-x));
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+BlockScheduler::BlockScheduler(size_t num_items, size_t threads)
+    : num_items_(num_items),
+      num_blocks_((num_items + kItemsPerBlock - 1) / kItemsPerBlock),
+      threads_(threads == 0 ? 1 : threads) {
+  if (threads_ > 1 && num_blocks_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads_);
+  }
+}
+
+size_t BlockScheduler::block_end(size_t block) const {
+  return std::min(num_items_, (block + 1) * kItemsPerBlock);
+}
+
+void BlockScheduler::RunEpoch(
+    const std::function<void(size_t block, size_t worker)>& compute,
+    const std::function<void(size_t group_begin, size_t group_end)>& merge) {
+  for (size_t group = 0; group < num_blocks_; group += kBlocksPerGroup) {
+    const size_t group_end = std::min(num_blocks_, group + kBlocksPerGroup);
+    if (pool_ == nullptr) {
+      // Sequential execution of the identical schedule: all computes of
+      // the group read the same group-start weights because the merges
+      // are still deferred to the end of the group.
+      for (size_t b = group; b < group_end; ++b) compute(b, 0);
+    } else {
+      std::atomic<size_t> ticket{group};
+      for (size_t t = 0; t < threads_; ++t) {
+        pool_->Submit([&, t] {
+          for (;;) {
+            const size_t b = ticket.fetch_add(1, std::memory_order_relaxed);
+            if (b >= group_end) break;
+            compute(b, t);
+          }
+        });
+      }
+      // Group barrier: no merge may run while any block still reads the
+      // shared weights, or the read state would depend on timing.
+      pool_->Wait();
+    }
+    merge(group, group_end);
+  }
+}
+
+}  // namespace embed
+}  // namespace tdmatch

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "embed/block_sharder.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -12,11 +13,28 @@ namespace embed {
 namespace {
 constexpr size_t kTableSize = 1 << 18;
 
+/// Stream salt separating Doc2Vec block streams from Word2Vec's.
+constexpr uint64_t kD2vStreamSalt = 0x64327665635f5347ULL;
+
+/// Exact sigmoid (Doc2Vec trains few enough pairs that the table lookup
+/// is not worth the grid coupling).
 inline float Sigmoid(float x) {
   if (x > 6.0f) return 1.0f;
   if (x < -6.0f) return 0.0f;
   return 1.0f / (1.0f + std::exp(-x));
 }
+
+struct WorkerScratch {
+  std::vector<int32_t> slot_docs;   // doc row -> block slot
+  std::vector<int32_t> slot_words;  // word_out row -> block slot
+  std::vector<float> grad;
+};
+
+struct BlockDelta {
+  SparseDelta docs;
+  SparseDelta words;
+};
+
 }  // namespace
 
 Doc2Vec::Doc2Vec(Doc2VecOptions options) : options_(options) {
@@ -58,45 +76,96 @@ util::Status Doc2Vec::Train(const std::vector<std::vector<int32_t>>& docs,
   const float lr0 = static_cast<float>(options_.initial_lr);
   float* const dvec = doc_vecs_.data();
   float* const wout = word_out_.data();
+  const int negative = options_.negative;
+  const uint64_t seed = options_.seed;
 
-  // Canonical-order sequential SGD; the RNG stream replicates the previous
-  // implementation's first worker so fixed-seed output is unchanged.
-  util::Rng rng(options_.seed + 77777ULL * 1);
-  std::vector<float> grad_v(static_cast<size_t>(dim));
-  float* const grad = grad_v.data();
+  // Deterministic block-parallel SGD over doc blocks (same schedule and
+  // contract as Word2Vec, see block_sharder.h). A doc's vector is only
+  // ever touched by its own block; the shared word-output matrix merges
+  // through the per-block deltas in canonical order.
+  BlockScheduler sched(num_docs_, options_.threads);
+  std::vector<WorkerScratch> scratch(sched.num_workers());
+  for (auto& ws : scratch) {
+    ws.slot_docs.assign(num_docs_, -1);
+    ws.slot_words.assign(word_vocab_size, -1);
+    ws.grad.resize(static_cast<size_t>(dim));
+  }
+  std::vector<BlockDelta> deltas(
+      std::min<size_t>(sched.num_blocks(), kBlocksPerGroup));
+  // Per-row touch counts for the weighted merge. Doc rows are block-local
+  // (count 1, full update); word-output rows are shared and averaged.
+  std::vector<uint32_t> touch_docs(num_docs_, 0);
+  std::vector<uint32_t> touch_words(word_vocab_size, 0);
+
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     const float lr = lr0 * (1.0f - static_cast<float>(epoch) /
                                        static_cast<float>(options_.epochs));
-    for (size_t di = 0; di < num_docs_; ++di) {
-      float* const v = dvec + di * static_cast<size_t>(dim);
-      for (int32_t w : docs[di]) {
-        for (int n = 0; n <= options_.negative; ++n) {
-          int32_t target;
-          float label;
-          if (n == 0) {
-            target = w;
-            label = 1.0f;
-          } else {
-            target = sampler_.Sample(rng.Next() & (kTableSize - 1));
-            if (target == w) continue;
-            label = 0.0f;
+
+    auto compute = [&](size_t block, size_t worker) {
+      WorkerScratch& ws = scratch[worker];
+      BlockDelta& bd = deltas[block % kBlocksPerGroup];
+      bd.docs.Reset(dvec, dim);
+      bd.words.Reset(wout, dim);
+      int32_t* const slot_docs = ws.slot_docs.data();
+      int32_t* const slot_words = ws.slot_words.data();
+      float* const grad = ws.grad.data();
+      util::Rng rng(BlockSeed(seed, kD2vStreamSalt,
+                              static_cast<uint64_t>(epoch), block));
+
+      const size_t d_begin = sched.block_begin(block);
+      const size_t d_end = sched.block_end(block);
+      for (size_t di = d_begin; di < d_end; ++di) {
+        float* const v = bd.docs.Row(static_cast<int32_t>(di), slot_docs);
+        for (int32_t w : docs[di]) {
+          for (int n = 0; n <= negative; ++n) {
+            int32_t target;
+            float label;
+            if (n == 0) {
+              target = w;
+              label = 1.0f;
+            } else {
+              target = sampler_.Sample(rng.Next() & (kTableSize - 1));
+              if (target == w) continue;
+              label = 0.0f;
+            }
+            float* const out = bd.words.Row(target, slot_words);
+            float dot = 0.0f;
+            for (int d = 0; d < dim; ++d) dot += v[d] * out[d];
+            const float gr = (label - Sigmoid(dot)) * lr;
+            // n == 0 always runs, so assignment replaces the zero-fill.
+            if (n == 0) {
+              for (int d = 0; d < dim; ++d) grad[d] = gr * out[d];
+            } else {
+              for (int d = 0; d < dim; ++d) grad[d] += gr * out[d];
+            }
+            for (int d = 0; d < dim; ++d) out[d] += gr * v[d];
           }
-          float* const out =
-              wout + static_cast<size_t>(target) * static_cast<size_t>(dim);
-          float dot = 0.0f;
-          for (int d = 0; d < dim; ++d) dot += v[d] * out[d];
-          const float gr = (label - Sigmoid(dot)) * lr;
-          // n == 0 always runs, so assignment replaces the zero-fill.
-          if (n == 0) {
-            for (int d = 0; d < dim; ++d) grad[d] = gr * out[d];
-          } else {
-            for (int d = 0; d < dim; ++d) grad[d] += gr * out[d];
-          }
-          for (int d = 0; d < dim; ++d) out[d] += gr * v[d];
+          for (int d = 0; d < dim; ++d) v[d] += grad[d];
         }
-        for (int d = 0; d < dim; ++d) v[d] += grad[d];
       }
-    }
+      bd.docs.Capture(slot_docs);
+      bd.words.Capture(slot_words);
+    };
+
+    auto merge = [&](size_t group_begin, size_t group_end) {
+      for (size_t b = group_begin; b < group_end; ++b) {
+        const BlockDelta& bd = deltas[b % kBlocksPerGroup];
+        for (int32_t row : bd.docs.touched()) ++touch_docs[row];
+        for (int32_t row : bd.words.touched()) ++touch_words[row];
+      }
+      for (size_t b = group_begin; b < group_end; ++b) {
+        const BlockDelta& bd = deltas[b % kBlocksPerGroup];
+        bd.docs.MergeWeighted(touch_docs.data());
+        bd.words.MergeWeighted(touch_words.data());
+      }
+      for (size_t b = group_begin; b < group_end; ++b) {
+        const BlockDelta& bd = deltas[b % kBlocksPerGroup];
+        for (int32_t row : bd.docs.touched()) touch_docs[row] = 0;
+        for (int32_t row : bd.words.touched()) touch_words[row] = 0;
+      }
+    };
+
+    sched.RunEpoch(compute, merge);
   }
   trained_ = true;
   return util::Status::OK();

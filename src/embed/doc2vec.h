@@ -17,8 +17,8 @@ struct Doc2VecOptions {
   int negative = 5;
   double initial_lr = 0.025;
   int epochs = 10;
-  /// Kept for API compatibility; training is sequential-deterministic
-  /// (same contract as Word2Vec) so this no longer affects the vectors.
+  /// Worker threads for block-parallel training (0 → 1). Changes only
+  /// the wall time, never the trained vectors (see class comment).
   size_t threads = 4;
   uint64_t seed = 42;
 };
@@ -28,9 +28,15 @@ struct Doc2VecOptions {
 /// Each document vector is trained to predict the (unordered) words of the
 /// document via negative sampling; words share an output matrix.
 ///
-/// Training visits documents in canonical order with one seed-derived RNG
-/// stream: fixed-seed output is bit-identical across runs and thread
-/// settings (and to the previous implementation at `threads = 1`).
+/// **Determinism contract:** training runs the fixed block schedule of
+/// block_sharder.h — docs are partitioned into fixed-size blocks, each
+/// block draws its negative samples only from its own seed-derived RNG
+/// stream, workers train blocks against the weights frozen at group start
+/// into sparse delta buffers, and deltas merge in canonical block order
+/// (damped by 1/sqrt of each row's per-group touch count — see
+/// block_sharder.h). Fixed-seed output is therefore bit-identical across
+/// runs and for any `threads` setting; `threads` only changes the wall
+/// time.
 class Doc2Vec {
  public:
   explicit Doc2Vec(Doc2VecOptions options = {});

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "embed/block_sharder.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -11,35 +12,28 @@ namespace embed {
 
 namespace {
 
-constexpr int kSigmoidTableSize = 1024;
-constexpr float kMaxExp = 6.0f;
-
-/// Precomputed sigmoid lookup, shared by all trainers.
-const float* SigmoidTable() {
-  static float table[kSigmoidTableSize];
-  static bool init = [] {
-    for (int i = 0; i < kSigmoidTableSize; ++i) {
-      float x = (static_cast<float>(i) / kSigmoidTableSize * 2.0f - 1.0f) *
-                kMaxExp;
-      table[i] = 1.0f / (1.0f + std::exp(-x));
-    }
-    return true;
-  }();
-  (void)init;
-  return table;
-}
-
-inline float FastSigmoid(float x) {
-  if (x >= kMaxExp) return 1.0f;
-  if (x <= -kMaxExp) return 0.0f;
-  int idx = static_cast<int>((x / kMaxExp + 1.0f) / 2.0f *
-                             (kSigmoidTableSize - 1));
-  return SigmoidTable()[idx];
-}
-
 /// Slot count of the (virtual) unigram table; the boundary sampler
 /// reproduces the classic table of this size bit-for-bit.
 constexpr size_t kUnigramTableSize = 1 << 20;
+
+/// Stream salt separating Word2Vec block streams from Doc2Vec's (see
+/// BlockSeed).
+constexpr uint64_t kW2vStreamSalt = 0x77327665635f5347ULL;
+
+/// Per-worker scratch reused across all blocks a worker computes.
+struct WorkerScratch {
+  std::vector<int32_t> slot_syn0;  // row -> block slot, -1 = untouched
+  std::vector<int32_t> slot_syn1;
+  std::vector<float> neu1;         // CBOW context average
+  std::vector<float> neu1e;        // accumulated input gradient
+  std::vector<int32_t> filtered;   // subsampling buffer
+};
+
+/// Per-block delta buffers for the two weight matrices.
+struct BlockDelta {
+  SparseDelta syn0;
+  SparseDelta syn1;
+};
 
 }  // namespace
 
@@ -74,18 +68,20 @@ util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
   const int dim = options_.dim;
 
   // Frequency counts for the negative-sampling distribution and
-  // subsampling.
+  // subsampling, plus the exact per-sentence prefix word counts the LR
+  // schedule decays on.
   std::vector<uint64_t> counts(vocab_size, 0);
-  uint64_t total_words = 0;
+  std::vector<uint64_t> word_prefix(num_sentences + 1, 0);
   for (size_t si = 0; si < num_sentences; ++si) {
     for (int32_t w : sentences[si]) {
       if (w < 0 || static_cast<size_t>(w) >= vocab_size) {
         return util::Status::OutOfRange("token id out of vocab range");
       }
       ++counts[static_cast<size_t>(w)];
-      ++total_words;
     }
+    word_prefix[si + 1] = word_prefix[si] + sentences[si].size();
   }
+  const uint64_t total_words = word_prefix[num_sentences];
   if (total_words == 0) {
     return util::Status::InvalidArgument("no training tokens");
   }
@@ -101,9 +97,7 @@ util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
   }
 
   // Per-word keep probability for frequency subsampling, hoisted out of
-  // the token loop (same double arithmetic as the classic per-token
-  // computation, so the RNG consumption pattern is unchanged). Sentinel 2
-  // means "always keep, draw nothing".
+  // the token loop. Sentinel 2 means "always keep, draw nothing".
   const double subsample = options_.subsample;
   std::vector<double> keep_prob;
   if (subsample > 0.0) {
@@ -119,147 +113,191 @@ util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
   const uint64_t total_steps =
       total_words * static_cast<uint64_t>(options_.epochs);
   const float initial_lr = static_cast<float>(options_.initial_lr);
-  const float min_lr = initial_lr * 1e-4f;
   float* const syn0 = syn0_.data();
   float* const syn1 = syn1neg_.data();
   const int negative = options_.negative;
   const int window = options_.window;
   const bool cbow = options_.cbow;
+  const uint64_t seed = options_.seed;
 
-  // Canonical-order sequential SGD (see determinism contract in the
-  // header). The RNG stream and counter flushing replicate the previous
-  // implementation's first worker exactly, so fixed-seed output is
-  // unchanged.
-  util::Rng rng(options_.seed + 0x9e3779b9ULL * 1);
-  std::vector<float> neu1(static_cast<size_t>(dim));
-  std::vector<float> neu1e_v(static_cast<size_t>(dim));
-  float* const neu1e = neu1e_v.data();
-  std::vector<int32_t> filtered;  // reusable subsampling buffer
-  uint64_t words_done = 0;
-  uint64_t local_count = 0;
+  // Deterministic block-parallel SGD (see the contract in the header and
+  // block_sharder.h): workers train fixed sentence blocks against the
+  // group-start weights into sparse delta buffers; deltas merge in
+  // canonical block order, so the result is independent of the thread
+  // count.
+  BlockScheduler sched(num_sentences, options_.threads);
+  std::vector<WorkerScratch> scratch(sched.num_workers());
+  for (auto& ws : scratch) {
+    ws.slot_syn0.assign(vocab_size, -1);
+    ws.slot_syn1.assign(vocab_size, -1);
+    ws.neu1.resize(static_cast<size_t>(dim));
+    ws.neu1e.resize(static_cast<size_t>(dim));
+  }
+  std::vector<BlockDelta> deltas(
+      std::min<size_t>(sched.num_blocks(), kBlocksPerGroup));
+  // Per-row touch counts for the weighted merge; zeroed between groups by
+  // walking the same touched lists, so steady state is O(touched).
+  std::vector<uint32_t> touch0(vocab_size, 0);
+  std::vector<uint32_t> touch1(vocab_size, 0);
 
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    for (size_t si = 0; si < num_sentences; ++si) {
-      const TokenSpan& sentence = sentences[si];
-      // Subsample frequent tokens into the reusable buffer; without
-      // subsampling the sentence span is trained on in place.
-      const int32_t* sent = sentence.data();
-      int slen = static_cast<int>(sentence.size());
-      if (subsample > 0.0) {
-        filtered.clear();
-        for (int32_t w : sentence) {
-          const double keep = keep_prob[static_cast<size_t>(w)];
-          if (keep < 1.0 && rng.Uniform() > keep) continue;
-          filtered.push_back(w);
+    const uint64_t epoch_words =
+        static_cast<uint64_t>(epoch) * total_words;
+
+    auto compute = [&](size_t block, size_t worker) {
+      WorkerScratch& ws = scratch[worker];
+      BlockDelta& bd = deltas[block % kBlocksPerGroup];
+      bd.syn0.Reset(syn0, dim);
+      bd.syn1.Reset(syn1, dim);
+      int32_t* const slot0 = ws.slot_syn0.data();
+      int32_t* const slot1 = ws.slot_syn1.data();
+      float* const neu1e = ws.neu1e.data();
+      // The block's private stream: subsampling, window reduction, and
+      // negative draws are consumed from it and nothing else.
+      util::Rng rng(BlockSeed(seed, kW2vStreamSalt,
+                              static_cast<uint64_t>(epoch), block));
+
+      const size_t s_begin = sched.block_begin(block);
+      const size_t s_end = sched.block_end(block);
+      for (size_t si = s_begin; si < s_end; ++si) {
+        const TokenSpan& sentence = sentences[si];
+        // Subsample frequent tokens into the reusable buffer; without
+        // subsampling the sentence span is trained on in place.
+        const int32_t* sent = sentence.data();
+        int slen = static_cast<int>(sentence.size());
+        if (subsample > 0.0) {
+          ws.filtered.clear();
+          for (int32_t w : sentence) {
+            const double keep = keep_prob[static_cast<size_t>(w)];
+            if (keep < 1.0 && rng.Uniform() > keep) continue;
+            ws.filtered.push_back(w);
+          }
+          sent = ws.filtered.data();
+          slen = static_cast<int>(ws.filtered.size());
         }
-        sent = filtered.data();
-        slen = static_cast<int>(filtered.size());
-      }
-      local_count += sentence.size();
-      if ((local_count & 0x3ff) == 0) {
-        words_done += local_count;
-        local_count = 0;
-      }
-      float lr = initial_lr *
-                 (1.0f - static_cast<float>(words_done) /
-                             static_cast<float>(total_steps + 1));
-      if (lr < min_lr) lr = min_lr;
+        // Exact per-sentence decay (the old code only refreshed its word
+        // counter on exact 1024-token multiples, stalling the schedule on
+        // fixed-length walk corpora).
+        const float lr =
+            DecayedLr(initial_lr, epoch_words + word_prefix[si], total_steps);
 
-      for (int pos = 0; pos < slen; ++pos) {
-        const int32_t center = sent[pos];
-        const int reduced =
-            1 + static_cast<int>(rng.UniformInt(
-                    static_cast<uint64_t>(window)));
-        const int lo = pos - reduced < 0 ? 0 : pos - reduced;
-        const int hi = pos + reduced > slen - 1 ? slen - 1 : pos + reduced;
+        for (int pos = 0; pos < slen; ++pos) {
+          const int32_t center = sent[pos];
+          const int reduced =
+              1 + static_cast<int>(rng.UniformInt(
+                      static_cast<uint64_t>(window)));
+          const int lo = pos - reduced < 0 ? 0 : pos - reduced;
+          const int hi = pos + reduced > slen - 1 ? slen - 1 : pos + reduced;
 
-        if (cbow) {
-          // Average context -> predict center.
-          int cw = 0;
-          std::fill(neu1.begin(), neu1.end(), 0.0f);
-          for (int p = lo; p <= hi; ++p) {
-            if (p == pos) continue;
-            const float* const v =
-                syn0 + static_cast<size_t>(sent[p]) *
-                           static_cast<size_t>(dim);
-            for (int d = 0; d < dim; ++d) neu1[static_cast<size_t>(d)] += v[d];
-            ++cw;
-          }
-          if (cw == 0) continue;
-          for (int d = 0; d < dim; ++d) {
-            neu1[static_cast<size_t>(d)] /= static_cast<float>(cw);
-          }
-          const float* const ctx = neu1.data();
-          for (int n = 0; n <= negative; ++n) {
-            int32_t target;
-            float label;
-            if (n == 0) {
-              target = center;
-              label = 1.0f;
-            } else {
-              target = sampler_.Sample(rng.Next() & (kUnigramTableSize - 1));
-              if (target == center) continue;
-              label = 0.0f;
+          if (cbow) {
+            // Average context -> predict center.
+            int cw = 0;
+            std::fill(ws.neu1.begin(), ws.neu1.end(), 0.0f);
+            for (int p = lo; p <= hi; ++p) {
+              if (p == pos) continue;
+              const float* const v = bd.syn0.Row(sent[p], slot0);
+              for (int d = 0; d < dim; ++d) {
+                ws.neu1[static_cast<size_t>(d)] += v[d];
+              }
+              ++cw;
             }
-            float* const out = syn1 + static_cast<size_t>(target) *
-                                          static_cast<size_t>(dim);
-            float dot = 0.0f;
-            for (int d = 0; d < dim; ++d) dot += ctx[d] * out[d];
-            const float grad = (label - FastSigmoid(dot)) * lr;
-            // n == 0 always runs (no continue path), so assigning there
-            // replaces the upfront zero-fill of the scratch gradient.
-            if (n == 0) {
-              for (int d = 0; d < dim; ++d) neu1e[d] = grad * out[d];
-            } else {
-              for (int d = 0; d < dim; ++d) neu1e[d] += grad * out[d];
+            if (cw == 0) continue;
+            for (int d = 0; d < dim; ++d) {
+              ws.neu1[static_cast<size_t>(d)] /= static_cast<float>(cw);
             }
-            for (int d = 0; d < dim; ++d) out[d] += grad * ctx[d];
-          }
-          for (int p = lo; p <= hi; ++p) {
-            if (p == pos) continue;
-            float* const v =
-                syn0 + static_cast<size_t>(sent[p]) *
-                           static_cast<size_t>(dim);
-            for (int d = 0; d < dim; ++d) v[d] += neu1e[d];
-          }
-        } else {
-          // Skip-gram: center predicts each context word.
-          float* const vin = syn0 + static_cast<size_t>(center) *
-                                        static_cast<size_t>(dim);
-          for (int p = lo; p <= hi; ++p) {
-            if (p == pos) continue;
-            const int32_t context = sent[p];
+            const float* const ctx = ws.neu1.data();
             for (int n = 0; n <= negative; ++n) {
               int32_t target;
               float label;
               if (n == 0) {
-                target = context;
+                target = center;
                 label = 1.0f;
               } else {
                 target =
                     sampler_.Sample(rng.Next() & (kUnigramTableSize - 1));
-                if (target == context) continue;
+                if (target == center) continue;
                 label = 0.0f;
               }
-              float* const out = syn1 + static_cast<size_t>(target) *
-                                            static_cast<size_t>(dim);
+              float* const out = bd.syn1.Row(target, slot1);
               float dot = 0.0f;
-              for (int d = 0; d < dim; ++d) dot += vin[d] * out[d];
+              for (int d = 0; d < dim; ++d) dot += ctx[d] * out[d];
               const float grad = (label - FastSigmoid(dot)) * lr;
+              // n == 0 always runs (no continue path), so assigning there
+              // replaces the upfront zero-fill of the scratch gradient.
               if (n == 0) {
                 for (int d = 0; d < dim; ++d) neu1e[d] = grad * out[d];
               } else {
                 for (int d = 0; d < dim; ++d) neu1e[d] += grad * out[d];
               }
-              // syn1 and syn0 are distinct allocations, so `out` never
-              // aliases `vin` and this loop vectorizes cleanly.
-              for (int d = 0; d < dim; ++d) out[d] += grad * vin[d];
+              for (int d = 0; d < dim; ++d) out[d] += grad * ctx[d];
             }
-            for (int d = 0; d < dim; ++d) vin[d] += neu1e[d];
+            for (int p = lo; p <= hi; ++p) {
+              if (p == pos) continue;
+              float* const v = bd.syn0.Row(sent[p], slot0);
+              for (int d = 0; d < dim; ++d) v[d] += neu1e[d];
+            }
+          } else {
+            // Skip-gram: center predicts each context word.
+            float* const vin = bd.syn0.Row(center, slot0);
+            for (int p = lo; p <= hi; ++p) {
+              if (p == pos) continue;
+              const int32_t context = sent[p];
+              for (int n = 0; n <= negative; ++n) {
+                int32_t target;
+                float label;
+                if (n == 0) {
+                  target = context;
+                  label = 1.0f;
+                } else {
+                  target =
+                      sampler_.Sample(rng.Next() & (kUnigramTableSize - 1));
+                  if (target == context) continue;
+                  label = 0.0f;
+                }
+                float* const out = bd.syn1.Row(target, slot1);
+                float dot = 0.0f;
+                for (int d = 0; d < dim; ++d) dot += vin[d] * out[d];
+                const float grad = (label - FastSigmoid(dot)) * lr;
+                if (n == 0) {
+                  for (int d = 0; d < dim; ++d) neu1e[d] = grad * out[d];
+                } else {
+                  for (int d = 0; d < dim; ++d) neu1e[d] += grad * out[d];
+                }
+                // syn1 and syn0 deltas live in distinct buffers, so `out`
+                // never aliases `vin` and this loop vectorizes cleanly.
+                for (int d = 0; d < dim; ++d) out[d] += grad * vin[d];
+              }
+              for (int d = 0; d < dim; ++d) vin[d] += neu1e[d];
+            }
           }
         }
       }
-    }
+      bd.syn0.Capture(slot0);
+      bd.syn1.Capture(slot1);
+    };
+
+    // Weighted group merge: each row's delta is averaged over the blocks
+    // of the group that touched it (see block_sharder.h on why a plain
+    // sum diverges on walk corpora).
+    auto merge = [&](size_t group_begin, size_t group_end) {
+      for (size_t b = group_begin; b < group_end; ++b) {
+        const BlockDelta& bd = deltas[b % kBlocksPerGroup];
+        for (int32_t row : bd.syn0.touched()) ++touch0[row];
+        for (int32_t row : bd.syn1.touched()) ++touch1[row];
+      }
+      for (size_t b = group_begin; b < group_end; ++b) {
+        const BlockDelta& bd = deltas[b % kBlocksPerGroup];
+        bd.syn0.MergeWeighted(touch0.data());
+        bd.syn1.MergeWeighted(touch1.data());
+      }
+      for (size_t b = group_begin; b < group_end; ++b) {
+        const BlockDelta& bd = deltas[b % kBlocksPerGroup];
+        for (int32_t row : bd.syn0.touched()) touch0[row] = 0;
+        for (int32_t row : bd.syn1.touched()) touch1[row] = 0;
+      }
+    };
+
+    sched.RunEpoch(compute, merge);
   }
 
   trained_ = true;

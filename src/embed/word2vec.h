@@ -25,9 +25,8 @@ struct Word2VecOptions {
   int epochs = 5;
   /// Frequency subsampling threshold (0 disables; word2vec's `-sample`).
   double subsample = 0.0;
-  /// Kept for API compatibility and future deterministic sharding; the
-  /// SGD loop itself is sequential (see class comment), so this no longer
-  /// affects the trained vectors.
+  /// Worker threads for block-parallel training (0 → 1). Changes only the
+  /// wall time, never the trained vectors (see class comment).
   size_t threads = 4;
   uint64_t seed = 42;
 };
@@ -41,14 +40,20 @@ struct Word2VecOptions {
 /// `SentenceCorpus` (the random-walk generator's native output); nested
 /// vectors are accepted through a span adapter.
 ///
-/// **Determinism contract:** training visits sentences in canonical order
-/// with a single seed-derived RNG stream, so for a fixed seed the trained
-/// vectors are bit-identical across runs, machines with the same
-/// toolchain, and any `threads` setting — and bit-identical to the
-/// previous Hogwild implementation at `threads = 1`. The racy Hogwild
-/// mode was removed because it made benchmark quality metrics
-/// nondeterministic run-to-run, which no CI regression gate can anchor
-/// to (deterministic *parallel* sharding is tracked in ROADMAP.md).
+/// **Determinism contract:** training runs the fixed block schedule of
+/// block_sharder.h — sentences are partitioned into fixed-size blocks,
+/// each block consumes subsampling / window-reduction / negative draws
+/// only from its own seed-derived RNG stream, workers train blocks
+/// against the weights frozen at group start into sparse delta buffers,
+/// and the deltas merge in canonical block order (damped by 1/sqrt of
+/// each row's per-group touch count — see block_sharder.h). Because none
+/// of that depends on the thread count, for a fixed seed the trained
+/// vectors are
+/// bit-identical across runs, across machines with the same toolchain,
+/// and for any `threads` setting; `threads` only changes the wall time.
+/// The block-ordered RNG consumption intentionally differs from the
+/// pre-parallel single-stream sequence, so goldens were recaptured when
+/// the schedule landed (tests/golden_embed_test.cc pins it).
 class Word2Vec {
  public:
   explicit Word2Vec(Word2VecOptions options = {});

@@ -57,6 +57,24 @@ TEST(TDmatchTest, DeterministicScores) {
   EXPECT_EQ(ra->scores, rb->scores);
 }
 
+TEST(TDmatchTest, ThreadsOverrideNeverChangesScores) {
+  // The master `threads` override fans out to the walker and the
+  // block-parallel trainer, both bit-deterministic in the thread count:
+  // any override must reproduce the exact same scores.
+  auto s = MiniScenario(8);
+  std::vector<std::vector<std::vector<double>>> all;
+  for (size_t threads : {1u, 2u, 8u}) {
+    TDmatchOptions o = FastOptions();
+    o.threads = threads;
+    TDmatch engine(o);
+    auto r = engine.Run(s.first, s.second);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    all.push_back(r->scores);
+  }
+  EXPECT_EQ(all[0], all[1]);
+  EXPECT_EQ(all[0], all[2]);
+}
+
 TEST(TDmatchTest, ExpansionRequiresResource) {
   auto s = MiniScenario(5);
   TDmatchOptions o = FastOptions();

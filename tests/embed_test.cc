@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "embed/block_sharder.h"
 #include "embed/doc2vec.h"
 #include "embed/embedding_table.h"
 #include "embed/pretrained_lexicon.h"
@@ -78,18 +79,24 @@ TEST(Word2VecTest, CbowAlsoLearnsClusters) {
 }
 
 TEST(Word2VecTest, DeterministicRegardlessOfThreadSetting) {
+  // Thread-invariance matrix: threads ∈ {1, 2, 8} must produce
+  // byte-identical vectors (EXPECT_EQ on the float vectors is exact).
+  auto sents = ClusteredSentences(20);
   Word2VecOptions o;
   o.dim = 16;
   o.epochs = 2;
   o.threads = 1;
-  Word2VecOptions o4 = o;
-  o4.threads = 4;
-  Word2Vec a(o), b(o4);
-  auto sents = ClusteredSentences(20);
-  ASSERT_TRUE(a.Train(sents, 10).ok());
-  ASSERT_TRUE(b.Train(sents, 10).ok());
-  for (int32_t id = 0; id < 10; ++id) {
-    EXPECT_EQ(a.VectorCopy(id), b.VectorCopy(id));
+  Word2Vec base(o);
+  ASSERT_TRUE(base.Train(sents, 10).ok());
+  for (size_t threads : {2u, 8u}) {
+    Word2VecOptions ot = o;
+    ot.threads = threads;
+    Word2Vec b(ot);
+    ASSERT_TRUE(b.Train(sents, 10).ok());
+    for (int32_t id = 0; id < 10; ++id) {
+      EXPECT_EQ(base.VectorCopy(id), b.VectorCopy(id))
+          << "id " << id << " threads " << threads;
+    }
   }
 }
 
@@ -275,19 +282,29 @@ TEST(Doc2VecTest, InferReturnsFiniteVector) {
 }
 
 TEST(Doc2VecTest, DeterministicRegardlessOfThreadSetting) {
-  std::vector<std::vector<int32_t>> docs{{0, 1, 2, 3}, {2, 3, 4, 0},
-                                         {4, 1, 0, 2}};
+  // Thread-invariance matrix over enough docs to span several blocks, so
+  // the parallel schedule (not just one block) is exercised.
+  std::vector<std::vector<int32_t>> docs;
+  for (size_t i = 0; i < 50; ++i) {
+    docs.push_back({static_cast<int32_t>(i % 5),
+                    static_cast<int32_t>((i + 1) % 5),
+                    static_cast<int32_t>((i + 2) % 7)});
+  }
   Doc2VecOptions o;
   o.dim = 12;
   o.epochs = 4;
   o.threads = 1;
-  Doc2VecOptions o8 = o;
-  o8.threads = 8;
-  Doc2Vec a(o), b(o8);
-  ASSERT_TRUE(a.Train(docs, 5).ok());
-  ASSERT_TRUE(b.Train(docs, 5).ok());
-  for (size_t d = 0; d < docs.size(); ++d) {
-    EXPECT_EQ(a.DocVector(d), b.DocVector(d)) << "doc " << d;
+  Doc2Vec base(o);
+  ASSERT_TRUE(base.Train(docs, 7).ok());
+  for (size_t threads : {2u, 8u}) {
+    Doc2VecOptions ot = o;
+    ot.threads = threads;
+    Doc2Vec b(ot);
+    ASSERT_TRUE(b.Train(docs, 7).ok());
+    for (size_t d = 0; d < docs.size(); ++d) {
+      EXPECT_EQ(base.DocVector(d), b.DocVector(d))
+          << "doc " << d << " threads " << threads;
+    }
   }
 }
 
@@ -295,6 +312,74 @@ TEST(Doc2VecTest, RejectsBadInput) {
   Doc2Vec d2v{Doc2VecOptions{}};
   EXPECT_TRUE(d2v.Train({{0}}, 0).IsInvalidArgument());
   EXPECT_TRUE(d2v.Train({{42}}, 10).IsOutOfRange());
+}
+
+// ---------------------------------------------------------------------------
+// BlockSharder: LR schedule + sigmoid table
+// ---------------------------------------------------------------------------
+
+/// Regression for the LR decay stall: the old trainer only refreshed its
+/// word counter on exact 1024-token multiples, so on a fixed-length walk
+/// corpus (e.g. 30-token walks) the LR sat at the initial rate for
+/// lcm(30, 1024) tokens. The fixed schedule decays strictly per sentence
+/// until the 1e-4 floor.
+TEST(BlockSharderTest, PerSentenceLrDecaysMonotonically) {
+  const float initial = 0.025f;
+  const uint64_t walk_length = 30;
+  const uint64_t num_sentences = 500;
+  const uint64_t total_steps = walk_length * num_sentences;
+  float prev = initial + 1.0f;
+  uint64_t words_done = 0;
+  for (uint64_t s = 0; s < num_sentences; ++s) {
+    const float lr = DecayedLr(initial, words_done, total_steps);
+    EXPECT_LE(lr, prev) << "sentence " << s;
+    EXPECT_GE(lr, initial * 1e-4f) << "sentence " << s;
+    prev = lr;
+    words_done += walk_length;
+  }
+  // The schedule actually decayed (the stalled schedule would still sit
+  // at the initial rate after 15000 tokens — under lcm(30, 1024)).
+  EXPECT_LT(prev, initial * 0.1f);
+  // First sentence trains at the undecayed initial rate.
+  EXPECT_EQ(DecayedLr(initial, 0, total_steps), initial);
+  // The floor clamps instead of going negative.
+  EXPECT_EQ(DecayedLr(initial, 10 * total_steps, total_steps),
+            initial * 1e-4f);
+}
+
+TEST(BlockSharderTest, FastSigmoidMidpointAndEndpoints) {
+  // The build/lookup grid mismatch made FastSigmoid(0) != 0.5; the table
+  // now has an odd center count with the middle center exactly at 0.
+  EXPECT_EQ(FastSigmoid(0.0f), 0.5f);
+  EXPECT_EQ(FastSigmoid(kMaxExp), 1.0f);
+  EXPECT_EQ(FastSigmoid(-kMaxExp), 0.0f);
+  EXPECT_EQ(FastSigmoid(100.0f), 1.0f);
+  EXPECT_EQ(FastSigmoid(-100.0f), 0.0f);
+  // Just inside the clamp the table continues the true sigmoid.
+  EXPECT_NEAR(FastSigmoid(5.999f), 1.0f / (1.0f + std::exp(-6.0f)), 1e-3);
+  EXPECT_NEAR(FastSigmoid(-5.999f), 1.0f / (1.0f + std::exp(6.0f)), 1e-3);
+  // Table ends are the grid-endpoint sigmoids (inclusive grid).
+  EXPECT_FLOAT_EQ(SigmoidTable()[0], 1.0f / (1.0f + std::exp(6.0f)));
+  EXPECT_FLOAT_EQ(SigmoidTable()[kSigmoidTableSize - 1],
+                  1.0f / (1.0f + std::exp(-6.0f)));
+}
+
+TEST(BlockSharderTest, FastSigmoidTracksExactSigmoidAndIsSymmetric) {
+  // Nearest-center lookup: error is bounded by half a grid cell's slope
+  // (~1.5e-3 at the steepest point) inside the clamp range, and
+  // f(x) + f(-x) == 1 up to the same grid error.
+  for (float x = -5.993f; x <= 5.993f; x += 0.0137f) {
+    const float exact = 1.0f / (1.0f + std::exp(-x));
+    EXPECT_NEAR(FastSigmoid(x), exact, 2e-3) << "x=" << x;
+    EXPECT_NEAR(FastSigmoid(x) + FastSigmoid(-x), 1.0f, 2e-3) << "x=" << x;
+  }
+  // Monotone non-decreasing over the grid.
+  float prev = -1.0f;
+  for (float x = -6.5f; x <= 6.5f; x += 0.003f) {
+    const float y = FastSigmoid(x);
+    EXPECT_GE(y, prev) << "x=" << x;
+    prev = y;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,17 +1,20 @@
-// Golden regression tests for the CSR/flat-corpus migration of the
-// embedding hot path (random walks + Word2Vec).
+// Golden regression tests for the embedding hot path (random walks +
+// Word2Vec).
 //
-// The expected values below were captured from the pre-CSR seed
-// implementation (nested-vector walks, 4 MB unigram table, Hogwild
-// trainer at threads=1). They pin down, bit for bit, that
+// The walk goldens were captured from the pre-CSR seed implementation;
+// the Word2Vec goldens pin the deterministic *block-parallel* schedule
+// (block_sharder.h): fixed sentence blocks, per-block seed-derived RNG
+// streams, sparse deltas merged in canonical block order. They lock
+// down, bit for bit, that
 //
 //  * RandomWalker produces identical walks over the flat CSR layout,
 //    for any thread count, via both the corpus and the nested API;
 //  * Word2Vec training (Skip-gram and CBOW, with subsampling active so
-//    the keep-probability table is exercised) reproduces the same
-//    trained vectors — bit-exact on the capture toolchain, within a
-//    libm-drift tolerance elsewhere (see ExpectGolden) — now
-//    independent of the `threads` setting;
+//    the keep-probability table is exercised) reproduces the captured
+//    vectors — bit-exact on the capture toolchain, within a libm-drift
+//    tolerance elsewhere (see ExpectGolden) — byte-identical for
+//    threads ∈ {1, 2, 8}, including corpora spanning multiple merge
+//    groups;
 //  * the boundary-form negative sampler emits the same id sequence as
 //    the classic materialized table it replaced.
 
@@ -132,23 +135,28 @@ Word2VecOptions GoldenW2vOptions(size_t threads) {
   return o;
 }
 
-// Captured from the seed implementation at threads=1 (hex bit patterns of
-// the trained input vectors).
+// Captured from the block-schedule implementation at threads=1 (hex bit
+// patterns of the trained input vectors). Regenerated when the
+// deterministic parallel schedule landed — the block-ordered RNG
+// consumption intentionally differs from the old single-stream sequence.
 const uint32_t kGoldenSkipgramVec0[16] = {
-    0xbcd50995u, 0xbbf6eac1u, 0x3c3892e7u, 0x3cd9a3d9u, 0x3cfbabc7u,
-    0x3c89db9fu, 0x3c609c29u, 0x3cb32b82u, 0x3c85c50cu, 0x3baa8f96u,
-    0x3c3a912cu, 0xbc55f99fu, 0x3c9a30deu, 0xbc370859u, 0x3c57e258u,
-    0x3cc1a0d2u};
+    0xbcd513ceu, 0xbbf7ddbbu, 0x3c3860abu, 0x3cd97554u, 0x3cfbd253u,
+    0x3c8a1dd0u, 0x3c60896cu, 0x3cb33795u, 0x3c85d54fu, 0x3baab629u,
+    0x3c3ad857u, 0xbc565c7cu, 0x3c9a22acu, 0xbc36e335u, 0x3c583ba4u,
+    0x3cc16e3eu};
 const uint32_t kGoldenSkipgramVec5[16] = {
-    0xbbd1aed3u, 0xbb34197cu, 0x3c05f4bfu, 0x3a849f8cu, 0xbc22e32fu,
-    0x3b927801u, 0x3b268477u, 0x3c984cc6u, 0xbccd7db9u, 0x3b6af256u,
-    0xbc91f1bfu, 0x3c651dffu, 0xbb843a40u, 0xbc8e1a98u, 0x3cf4bd8au,
-    0x3c983d96u};
-const uint32_t kGoldenCbowVec0[16] = {
-    0xbcd50693u, 0xbbf7206eu, 0x3c3871dbu, 0x3cd98b1eu, 0x3cfba730u,
-    0x3c89ee37u, 0x3c607520u, 0x3cb326b1u, 0x3c85d2eau, 0x3baad8b4u,
-    0x3c3ab27au, 0xbc561793u, 0x3c9a398cu, 0xbc36e839u, 0x3c57cdedu,
-    0x3cc1a8a2u};
+    0xbbd1ba41u, 0xbb33f1a5u, 0x3c060e74u, 0x3a852d03u, 0xbc22d65du,
+    0x3b9290d5u, 0x3b2669a6u, 0x3c986540u, 0xbccd7f51u, 0x3b6ae52fu,
+    0xbc91e638u, 0x3c65199cu, 0xbb841322u, 0xbc8e1c60u, 0x3cf4c32cu,
+    0x3c9840bdu};
+// Row 2 rather than row 0: under the golden config's aggressive
+// subsampling, row 0 happens to receive near-identical updates in both
+// CBOW and skip-gram mode, so it would not distinguish the two paths.
+const uint32_t kGoldenCbowVec2[16] = {
+    0x3cb9ea54u, 0x3ce3b426u, 0x3ca0e277u, 0x3c7cfc22u, 0x3c91bfacu,
+    0xbce91105u, 0xbaff77f6u, 0x3cf1bfd3u, 0x3b16c47eu, 0x3c4d75cau,
+    0x3c9b7347u, 0x3ca2e8fau, 0x3ccbf127u, 0xbcbfb6ddu, 0x3b852e1au,
+    0x3b5e1545u};
 
 /// The trained vectors pass through std::exp (sigmoid table), whose
 /// last-ulp results differ across libm implementations, so the goldens
@@ -167,9 +175,9 @@ void ExpectGolden(const float* v, const uint32_t (&expected)[16],
   }
 }
 
-TEST(GoldenWord2VecTest, SkipgramMatchesSeedImplementationAcrossThreadCounts) {
+TEST(GoldenWord2VecTest, SkipgramMatchesGoldenAcrossThreadCounts) {
   auto sents = ClusteredSentences(20);
-  for (size_t threads : {1u, 4u, 8u}) {
+  for (size_t threads : {1u, 2u, 8u}) {
     Word2Vec w2v(GoldenW2vOptions(threads));
     ASSERT_TRUE(w2v.Train(sents, 10).ok());
     ExpectGolden(w2v.Vector(0), kGoldenSkipgramVec0,
@@ -179,17 +187,50 @@ TEST(GoldenWord2VecTest, SkipgramMatchesSeedImplementationAcrossThreadCounts) {
   }
 }
 
-TEST(GoldenWord2VecTest, CbowMatchesSeedImplementationAcrossThreadCounts) {
+TEST(GoldenWord2VecTest, CbowMatchesGoldenAcrossThreadCounts) {
   auto sents = ClusteredSentences(20);
-  for (size_t threads : {1u, 4u, 8u}) {
+  for (size_t threads : {1u, 2u, 8u}) {
     Word2VecOptions o = GoldenW2vOptions(threads);
     o.cbow = true;
     o.window = 4;
     Word2Vec w2v(o);
     ASSERT_TRUE(w2v.Train(sents, 10).ok());
-    ExpectGolden(w2v.Vector(0), kGoldenCbowVec0,
-               "cbow vec0 threads=" + std::to_string(threads));
+    ExpectGolden(w2v.Vector(2), kGoldenCbowVec2,
+               "cbow vec2 threads=" + std::to_string(threads));
   }
+}
+
+/// Byte-identical trained vectors for threads ∈ {1, 2, 8} — the
+/// thread-invariance half of the determinism contract, on a corpus large
+/// enough to span multiple merge groups (kItemsPerBlock × kBlocksPerGroup
+/// sentences per group), so cross-group merge ordering is exercised too.
+TEST(GoldenWord2VecTest, MultiGroupCorpusIsThreadInvariant) {
+  std::vector<std::vector<int32_t>> sents;
+  for (size_t i = 0; i < 2500; ++i) {
+    sents.push_back({static_cast<int32_t>(i % 7),
+                     static_cast<int32_t>((i * 3) % 11),
+                     static_cast<int32_t>((i * 5) % 13),
+                     static_cast<int32_t>(i % 17),
+                     static_cast<int32_t>((i + 1) % 19)});
+  }
+  auto train_once = [&](size_t threads) {
+    Word2VecOptions o;
+    o.dim = 8;
+    o.epochs = 1;
+    o.threads = threads;
+    o.seed = 7;
+    Word2Vec w2v(o);
+    EXPECT_TRUE(w2v.Train(sents, 19).ok());
+    std::vector<float> all;
+    for (int32_t id = 0; id < 19; ++id) {
+      auto v = w2v.VectorCopy(id);
+      all.insert(all.end(), v.begin(), v.end());
+    }
+    return all;
+  };
+  const auto base = train_once(1);
+  EXPECT_EQ(base, train_once(2));
+  EXPECT_EQ(base, train_once(8));
 }
 
 TEST(GoldenWord2VecTest, FlatCorpusTrainsIdenticallyToNestedVectors) {
@@ -228,6 +269,7 @@ TEST(GoldenWord2VecTest, EndToEndWalkCorpusTrainingIsDeterministic) {
     return all;
   };
   const auto base = train_once(1);
+  EXPECT_EQ(base, train_once(2));
   EXPECT_EQ(base, train_once(4));
   EXPECT_EQ(base, train_once(8));
 }

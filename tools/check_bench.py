@@ -50,11 +50,12 @@ QUALITY_METRIC_RE = re.compile(
     r"^(mrr|map@|hp@|exact_[prf]@|node_[prf]@|gold_recall|spearman"
     r"|accuracy|precision|recall|f1)")
 # Metrics that are themselves timings or machine-dependent throughput
-# (serve_qps/serve_http latency percentiles, qps, reload_ms, speedup);
-# never value-compared — their cost is gated through the per-scenario
-# wall-time aggregate, and coverage gating still requires the rows to
-# exist.
-TIMING_METRIC_RE = re.compile(r"seconds|_ms$|^qps$|^speedup$")
+# (serve_qps/serve_http latency percentiles, qps, reload_ms, and
+# speedup ratios like fig8_scaling's threads_speedup); never
+# value-compared — their cost is gated through the per-scenario
+# wall-time aggregate (or --min-threads-speedup), and coverage gating
+# still requires the rows to exist.
+TIMING_METRIC_RE = re.compile(r"seconds|_ms$|^qps$|speedup$")
 
 
 def validate_row(row, where, errors):
@@ -174,6 +175,27 @@ def compare_to_baseline(rows, baseline_doc, args, errors):
                 "regenerate BENCH_baseline.json, see README)")
 
 
+def check_threads_speedup(rows, min_speedup, errors):
+    """Fails any `threads_speedup` row below `min_speedup` (absolute gate,
+    no baseline needed — the metric is a same-run 1-thread vs N-thread
+    ratio, so it is meaningful on its own). Intended for multi-core CI
+    runners; single-core machines cannot pass a gate above 1.0."""
+    checked = 0
+    for row in rows:
+        if row["metric"] != "threads_speedup":
+            continue
+        checked += 1
+        if row["value"] < min_speedup:
+            errors.append(
+                f"parallel-efficiency regression: {'/'.join(row_key(row))} "
+                f"= {row['value']:.2f}x, below --min-threads-speedup "
+                f"{min_speedup}")
+    if checked == 0:
+        errors.append(
+            "--min-threads-speedup given but no threads_speedup rows found "
+            "(fig8_scaling not run?)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("inputs", nargs="+", help="JSON Lines row files")
@@ -193,6 +215,11 @@ def main():
         "--min-wall-seconds", type=float, default=0.25,
         help="ignore wall regressions for scenarios whose baseline sum is "
              "below this (timing noise; default %(default)s)")
+    parser.add_argument(
+        "--min-threads-speedup", type=float, default=0.0,
+        help="fail if any threads_speedup row (fig8_scaling's 8-thread vs "
+             "1-thread walk+train wall ratio) is below this; 0 disables "
+             "(default %(default)s). Only meaningful on multi-core runners.")
     args = parser.parse_args()
 
     errors = []
@@ -200,6 +227,9 @@ def main():
 
     if not rows:
         errors.append("no benchmark rows found across all inputs")
+
+    if args.min_threads_speedup > 0 and rows:
+        check_threads_speedup(rows, args.min_threads_speedup, errors)
 
     if args.baseline and rows:
         try:

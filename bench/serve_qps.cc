@@ -10,8 +10,10 @@
 //                  trade-off to show (smoke: 4k vectors): single-query
 //                  latency p50/p99 for exact vs IVF, QPS vs batch size
 //                  through QueryEngine::QueryBatch, recall@5 vs nprobe,
-//                  and the headline speedup (exact wall / IVF wall at the
-//                  serving nprobe).
+//                  the headline speedup (exact wall / IVF wall at the
+//                  serving nprobe), and the PQ sweep — recall@5 /
+//                  memory_bytes / list-bytes compression for
+//                  pq_m ∈ {4, 8, 16}.
 //
 // Quality rows (recall@5) are seed-deterministic and regression-gated by
 // tools/check_bench.py; latency/qps/speedup rows are informational (their
@@ -156,6 +158,41 @@ void RunSynthetic(bench::BenchReporter& rep, const bench::BenchOptions& opts) {
   rep.Add(scenario, "index=ivf", "p99_ms", Percentile(ivf_ms, 0.99),
           ivf_wall);
   rep.Add(scenario, "index=ivf", "speedup", speedup, ivf_wall);
+  rep.Add(scenario, "index=ivf", "memory_bytes",
+          static_cast<double>(ivf.MemoryBytes()), 0.0);
+
+  // --- PQ: recall@5 vs compression ---------------------------------------
+  // Product-quantized lists trade list bytes for approximation error; the
+  // exact re-rank (pq_rerank) recovers most of the recall. Compression is
+  // the ratio of *list* bytes (flat f32 lists vs u8 codes + codebook) —
+  // the part PQ actually shrinks; centroids/offsets/ids are identical
+  // between the two layouts. recall@5 rows are seed-deterministic and
+  // regression-gated; ci-bench additionally enforces an absolute floor
+  // via check_bench --min-recall.
+  rep.Printf("%-12s %-10s %-14s %-13s %-10s\n", "pq_m", "recall@5",
+             "memory_bytes", "compression", "p50_ms");
+  for (size_t m : {4, 8, 16}) {
+    serve::IvfOptions pq_opts = ivf_opts;
+    pq_opts.pq_m = m;
+    watch.Reset();
+    serve::IvfIndex pq(matrix, pq_opts);
+    const double pq_build = watch.ElapsedSeconds();
+    watch.Reset();
+    const double recall = serve::MeasureRecallAtK(pq, exact, queries, 5);
+    const double recall_wall = watch.ElapsedSeconds();
+    const double compression = static_cast<double>(ivf.ListBytes()) /
+                               static_cast<double>(pq.ListBytes());
+    std::vector<double> pq_ms;
+    const double pq_wall = measure(pq, &pq_ms);
+    const std::string param = "pq_m=" + std::to_string(m);
+    rep.Add(scenario, param, "recall@5", recall, pq_build + recall_wall);
+    rep.Add(scenario, param, "memory_bytes",
+            static_cast<double>(pq.MemoryBytes()), 0.0);
+    rep.Add(scenario, param, "compression", compression, 0.0);
+    rep.Add(scenario, param, "p50_ms", Percentile(pq_ms, 0.5), pq_wall);
+    rep.Printf("%-12zu %-10.4f %-14zu %-13.2f %-10.3f\n", m, recall,
+               pq.MemoryBytes(), compression, Percentile(pq_ms, 0.5));
+  }
 
   // --- QPS vs batch size through the QueryEngine -------------------------
   // The engine path includes label lookup + result materialization, i.e.

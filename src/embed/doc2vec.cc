@@ -6,6 +6,7 @@
 #include "embed/block_sharder.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/simd/kernels.h"
 
 namespace tdmatch {
 namespace embed {
@@ -79,6 +80,12 @@ util::Status Doc2Vec::Train(const std::vector<std::vector<int32_t>>& docs,
   const int negative = options_.negative;
   const uint64_t seed = options_.seed;
 
+  // Inner loops call the simd::scalar:: reference kernels, not the
+  // dispatched wrappers: training is golden-locked to bit-identical
+  // embeddings and the inline scalar kernels compile to the historical
+  // loops exactly (see util/simd/kernels.h).
+  const size_t dn = static_cast<size_t>(dim);
+
   // Deterministic block-parallel SGD over doc blocks (same schedule and
   // contract as Word2Vec, see block_sharder.h). A doc's vector is only
   // ever touched by its own block; the shared word-output matrix merges
@@ -129,18 +136,17 @@ util::Status Doc2Vec::Train(const std::vector<std::vector<int32_t>>& docs,
               label = 0.0f;
             }
             float* const out = bd.words.Row(target, slot_words);
-            float dot = 0.0f;
-            for (int d = 0; d < dim; ++d) dot += v[d] * out[d];
+            const float dot = simd::scalar::Dot(v, out, dn);
             const float gr = (label - Sigmoid(dot)) * lr;
             // n == 0 always runs, so assignment replaces the zero-fill.
             if (n == 0) {
-              for (int d = 0; d < dim; ++d) grad[d] = gr * out[d];
+              simd::scalar::ScaleInto(gr, out, grad, dn);
             } else {
-              for (int d = 0; d < dim; ++d) grad[d] += gr * out[d];
+              simd::scalar::Axpy(gr, out, grad, dn);
             }
-            for (int d = 0; d < dim; ++d) out[d] += gr * v[d];
+            simd::scalar::Axpy(gr, v, out, dn);
           }
-          for (int d = 0; d < dim; ++d) v[d] += grad[d];
+          simd::scalar::Add(grad, v, dn);
         }
       }
       bd.docs.Capture(slot_docs);
@@ -205,16 +211,14 @@ std::vector<float> Doc2Vec::Infer(const std::vector<int32_t>& doc,
         const float* out = word_out_.data() +
                            static_cast<size_t>(target) *
                                static_cast<size_t>(dim);
-        float dot = 0.0f;
-        for (int d = 0; d < dim; ++d) dot += v[static_cast<size_t>(d)] * out[d];
+        // Inference pins the scalar kernels too: Infer must stay
+        // bit-stable for a fixed seed regardless of serving dispatch.
+        const float dot =
+            simd::scalar::Dot(v.data(), out, static_cast<size_t>(dim));
         const float gr = (label - Sigmoid(dot)) * lr;
-        for (int d = 0; d < dim; ++d) {
-          grad[static_cast<size_t>(d)] += gr * out[d];
-        }
+        simd::scalar::Axpy(gr, out, grad.data(), static_cast<size_t>(dim));
       }
-      for (int d = 0; d < dim; ++d) {
-        v[static_cast<size_t>(d)] += grad[static_cast<size_t>(d)];
-      }
+      simd::scalar::Add(grad.data(), v.data(), static_cast<size_t>(dim));
     }
   }
   return v;

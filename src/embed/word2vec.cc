@@ -6,6 +6,7 @@
 #include "embed/block_sharder.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/simd/kernels.h"
 
 namespace tdmatch {
 namespace embed {
@@ -120,6 +121,14 @@ util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
   const bool cbow = options_.cbow;
   const uint64_t seed = options_.seed;
 
+  // Inner loops below call simd::scalar:: kernels, NOT the dispatched
+  // simd:: wrappers: training is pinned to the sequential reference
+  // kernels (inline, so codegen matches the historical open-coded loops)
+  // because the goldens and the thread-matrix tests assert bit-identical
+  // embeddings, and AVX2 reductions reassociate. SIMD dispatch is a
+  // serving-side play; see util/simd/kernels.h.
+  const size_t dn = static_cast<size_t>(dim);
+
   // Deterministic block-parallel SGD (see the contract in the header and
   // block_sharder.h): workers train fixed sentence blocks against the
   // group-start weights into sparse delta buffers; deltas merge in
@@ -195,10 +204,8 @@ util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
             std::fill(ws.neu1.begin(), ws.neu1.end(), 0.0f);
             for (int p = lo; p <= hi; ++p) {
               if (p == pos) continue;
-              const float* const v = bd.syn0.Row(sent[p], slot0);
-              for (int d = 0; d < dim; ++d) {
-                ws.neu1[static_cast<size_t>(d)] += v[d];
-              }
+              simd::scalar::Add(bd.syn0.Row(sent[p], slot0), ws.neu1.data(),
+                                dn);
               ++cw;
             }
             if (cw == 0) continue;
@@ -219,22 +226,20 @@ util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
                 label = 0.0f;
               }
               float* const out = bd.syn1.Row(target, slot1);
-              float dot = 0.0f;
-              for (int d = 0; d < dim; ++d) dot += ctx[d] * out[d];
+              const float dot = simd::scalar::Dot(ctx, out, dn);
               const float grad = (label - FastSigmoid(dot)) * lr;
               // n == 0 always runs (no continue path), so assigning there
               // replaces the upfront zero-fill of the scratch gradient.
               if (n == 0) {
-                for (int d = 0; d < dim; ++d) neu1e[d] = grad * out[d];
+                simd::scalar::ScaleInto(grad, out, neu1e, dn);
               } else {
-                for (int d = 0; d < dim; ++d) neu1e[d] += grad * out[d];
+                simd::scalar::Axpy(grad, out, neu1e, dn);
               }
-              for (int d = 0; d < dim; ++d) out[d] += grad * ctx[d];
+              simd::scalar::Axpy(grad, ctx, out, dn);
             }
             for (int p = lo; p <= hi; ++p) {
               if (p == pos) continue;
-              float* const v = bd.syn0.Row(sent[p], slot0);
-              for (int d = 0; d < dim; ++d) v[d] += neu1e[d];
+              simd::scalar::Add(neu1e, bd.syn0.Row(sent[p], slot0), dn);
             }
           } else {
             // Skip-gram: center predicts each context word.
@@ -255,19 +260,18 @@ util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
                   label = 0.0f;
                 }
                 float* const out = bd.syn1.Row(target, slot1);
-                float dot = 0.0f;
-                for (int d = 0; d < dim; ++d) dot += vin[d] * out[d];
+                const float dot = simd::scalar::Dot(vin, out, dn);
                 const float grad = (label - FastSigmoid(dot)) * lr;
                 if (n == 0) {
-                  for (int d = 0; d < dim; ++d) neu1e[d] = grad * out[d];
+                  simd::scalar::ScaleInto(grad, out, neu1e, dn);
                 } else {
-                  for (int d = 0; d < dim; ++d) neu1e[d] += grad * out[d];
+                  simd::scalar::Axpy(grad, out, neu1e, dn);
                 }
                 // syn1 and syn0 deltas live in distinct buffers, so `out`
-                // never aliases `vin` and this loop vectorizes cleanly.
-                for (int d = 0; d < dim; ++d) out[d] += grad * vin[d];
+                // never aliases `vin` and the kernel vectorizes cleanly.
+                simd::scalar::Axpy(grad, vin, out, dn);
               }
-              for (int d = 0; d < dim; ++d) vin[d] += neu1e[d];
+              simd::scalar::Add(neu1e, vin, dn);
             }
           }
         }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/simd/kernels.h"
 
 namespace tdmatch {
 namespace serve {
@@ -71,10 +72,7 @@ VectorMatrix VectorMatrix::FromRawRows(const char* payload,
 }
 
 float VectorMatrix::Dot(const float* query, size_t i) const {
-  const float* r = row(i);
-  float dot = 0.0f;
-  for (int d = 0; d < dim_; ++d) dot += query[d] * r[d];
-  return dot;
+  return simd::Dot(query, row(i), static_cast<size_t>(dim_));
 }
 
 std::vector<match::Match> Index::SearchVec(

@@ -68,10 +68,15 @@ class Index {
  public:
   virtual ~Index() = default;
 
-  /// "exact" / "ivf".
+  /// "exact" / "ivf" / "ivf_pq".
   virtual std::string name() const = 0;
   virtual size_t size() const = 0;
   virtual int dim() const = 0;
+
+  /// Bytes of auxiliary structure the index owns on top of the shared
+  /// candidate matrix (bench/serve_qps reports it; check_bench gates its
+  /// growth). ExactIndex owns nothing beyond the matrix, hence 0.
+  virtual size_t MemoryBytes() const { return 0; }
 
   /// Top-k candidates by cosine, best first, ties broken by lower id.
   /// `query` must already be L2-normalized (see SearchVec).

@@ -3,12 +3,31 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serve/kmeans.h"
+#include "util/byte_io.h"
 #include "util/logging.h"
-#include "util/rng.h"
-#include "util/thread_pool.h"
+#include "util/simd/kernels.h"
+#include "util/string_util.h"
 
 namespace tdmatch {
 namespace serve {
+
+namespace {
+
+/// PQ codebooks always hold 256 slots per subquantizer (the u8 code space)
+/// even when fewer were trainable (n < 256): the ADC table then has a
+/// fixed 256 stride, so any byte is a safe index and the AdcScan kernel
+/// needs no bounds logic.
+constexpr size_t kPqCodes = 256;
+
+void AppendRaw(std::string* out, const void* data, size_t bytes) {
+  out->append(reinterpret_cast<const char*>(data), bytes);
+}
+
+/// Sub-format version of the serialized index section ("ivfpq" tag).
+constexpr uint32_t kIvfWireVersion = 1;
+
+}  // namespace
 
 IvfIndex::IvfIndex(std::shared_ptr<const VectorMatrix> data,
                    IvfOptions options)
@@ -20,6 +39,10 @@ IvfIndex::IvfIndex(std::shared_ptr<const VectorMatrix> data,
         std::ceil(std::sqrt(static_cast<double>(std::max<size_t>(n, 1)))));
   }
   nlist_ = std::max<size_t>(1, std::min(nlist_, std::max<size_t>(n, 1)));
+  if (options_.pq_m > 0) {
+    TDM_CHECK_EQ(static_cast<size_t>(data_->dim()) % options_.pq_m, 0u)
+        << "pq_m=" << options_.pq_m << " must divide dim=" << data_->dim();
+  }
   set_nprobe(options_.nprobe);
   Train();
 }
@@ -30,72 +53,25 @@ void IvfIndex::set_nprobe(size_t nprobe) {
 
 void IvfIndex::Train() {
   const size_t n = data_->size();
-  const int dim = data_->dim();
-  const size_t d = static_cast<size_t>(dim);
+  const size_t d = static_cast<size_t>(data_->dim());
 
-  // --- k-means init: nlist distinct member vectors as seeds --------------
-  centroids_.assign(nlist_ * d, 0.0f);
-  if (n > 0) {
-    util::Rng rng(options_.seed);
-    const std::vector<size_t> seeds = rng.SampleIndices(n, nlist_);
-    for (size_t c = 0; c < nlist_; ++c) {
-      std::copy_n(data_->row(seeds[c]), d, centroids_.data() + c * d);
-    }
-  }
+  // Coarse quantizer: spherical k-means over the normalized members.
+  KMeansOptions km;
+  km.k = nlist_;
+  km.iters = options_.kmeans_iters;
+  km.seed = options_.seed;
+  km.threads = options_.threads;
+  km.spherical = true;
+  KMeansResult coarse = TrainKMeans(
+      [this](size_t i) { return data_->row(i); }, n, d, km);
+  centroids_ = std::move(coarse.centroids);
+  const std::vector<int32_t>& assign = coarse.assign;
 
-  std::vector<int32_t> assign(n, 0);
-  if (nlist_ > 1 && n > 0) {
-    std::vector<double> sums(nlist_ * d);
-    std::vector<size_t> counts(nlist_);
-    for (size_t iter = 0; iter < options_.kmeans_iters; ++iter) {
-      // Assignment: pure map over points — deterministic for any chunking,
-      // so the pool only has to carve disjoint ranges.
-      util::ThreadPool::ParallelFor(
-          n, options_.threads,
-          [&](size_t begin, size_t end, size_t /*thread_idx*/) {
-            for (size_t i = begin; i < end; ++i) {
-              const float* v = data_->row(i);
-              float best = -2.0f;
-              int32_t best_c = 0;
-              for (size_t c = 0; c < nlist_; ++c) {
-                const float* cent = centroids_.data() + c * d;
-                float dot = 0.0f;
-                for (size_t k = 0; k < d; ++k) dot += v[k] * cent[k];
-                if (dot > best) {
-                  best = dot;
-                  best_c = static_cast<int32_t>(c);
-                }
-              }
-              assign[i] = best_c;
-            }
-          });
+  // PQ codebooks + per-candidate codes (in id order for now).
+  std::vector<uint8_t> codes;
+  if (pq_enabled()) TrainPq(&codes);
 
-      // Update: sequential accumulation in id order keeps the result
-      // bit-identical across thread counts (no fp reassociation).
-      std::fill(sums.begin(), sums.end(), 0.0);
-      std::fill(counts.begin(), counts.end(), 0);
-      for (size_t i = 0; i < n; ++i) {
-        const size_t c = static_cast<size_t>(assign[i]);
-        const float* v = data_->row(i);
-        double* s = sums.data() + c * d;
-        for (size_t k = 0; k < d; ++k) s[k] += v[k];
-        ++counts[c];
-      }
-      for (size_t c = 0; c < nlist_; ++c) {
-        if (counts[c] == 0) continue;  // empty cell keeps its seed
-        float* cent = centroids_.data() + c * d;
-        for (size_t k = 0; k < d; ++k) {
-          cent[k] = static_cast<float>(sums[c * d + k] /
-                                       static_cast<double>(counts[c]));
-        }
-        // Spherical k-means: cells rank by dot product, so centroids live
-        // on the unit sphere too.
-        NormalizeSlice(cent, dim);
-      }
-    }
-  }
-
-  // --- inverted lists, flat CSR ------------------------------------------
+  // Inverted lists, flat CSR.
   list_offsets_.assign(nlist_ + 1, 0);
   for (size_t i = 0; i < n; ++i) {
     ++list_offsets_[static_cast<size_t>(assign[i]) + 1];
@@ -104,13 +80,70 @@ void IvfIndex::Train() {
     list_offsets_[c + 1] += list_offsets_[c];
   }
   list_ids_.resize(n);
-  list_vectors_.resize(n * d);
+  const size_t m = options_.pq_m;
+  if (pq_enabled()) {
+    list_codes_.resize(n * m);
+  } else {
+    list_vectors_.resize(n * d);
+  }
   std::vector<size_t> fill = list_offsets_;
   for (size_t i = 0; i < n; ++i) {  // id order within each cell
     const size_t pos = fill[static_cast<size_t>(assign[i])]++;
     list_ids_[pos] = static_cast<int32_t>(i);
-    std::copy_n(data_->row(i), d, list_vectors_.data() + pos * d);
+    if (pq_enabled()) {
+      std::copy_n(codes.data() + i * m, m, list_codes_.data() + pos * m);
+    } else {
+      std::copy_n(data_->row(i), d, list_vectors_.data() + pos * d);
+    }
   }
+}
+
+void IvfIndex::TrainPq(std::vector<uint8_t>* codes) {
+  const size_t n = data_->size();
+  const size_t d = static_cast<size_t>(data_->dim());
+  const size_t m = options_.pq_m;
+  const size_t ds = d / m;
+
+  codebook_.assign(m * kPqCodes * ds, 0.0f);
+  codes->assign(n * m, 0);
+  if (n == 0) return;
+
+  for (size_t s = 0; s < m; ++s) {
+    KMeansOptions km;
+    // Fewer points than code slots: train what's trainable, leave the
+    // rest of the 256-slot stripe zeroed.
+    km.k = std::min<size_t>(kPqCodes, n);
+    km.iters = options_.pq_iters;
+    // Distinct seed per subquantizer so subspaces don't share an init
+    // sequence; still a pure function of the index seed.
+    km.seed = options_.seed + 0x9e3779b9u * (s + 1);
+    km.threads = options_.threads;
+    km.spherical = false;  // Euclidean: codes minimize subspace distance
+    const size_t off = s * ds;
+    KMeansResult sub = TrainKMeans(
+        [this, off](size_t i) { return data_->row(i) + off; }, n, ds, km);
+    std::copy(sub.centroids.begin(), sub.centroids.end(),
+              codebook_.begin() + s * kPqCodes * ds);
+    // The trainer's final-pass assignments ARE the encodings (assignments
+    // are taken against the returned centroids).
+    for (size_t i = 0; i < n; ++i) {
+      (*codes)[i * m + s] = static_cast<uint8_t>(sub.assign[i]);
+    }
+  }
+}
+
+size_t IvfIndex::MemoryBytes() const {
+  return centroids_.size() * sizeof(float) +
+         list_offsets_.size() * sizeof(size_t) +
+         list_ids_.size() * sizeof(int32_t) + ListBytes();
+}
+
+size_t IvfIndex::ListBytes() const {
+  if (pq_enabled()) {
+    return list_codes_.size() * sizeof(uint8_t) +
+           codebook_.size() * sizeof(float);
+  }
+  return list_vectors_.size() * sizeof(float);
 }
 
 std::vector<match::Match> IvfIndex::Search(
@@ -121,13 +154,19 @@ std::vector<match::Match> IvfIndex::Search(
   // Coarse quantizer: nearest nprobe cells by centroid dot product.
   std::vector<double> cell_scores(nlist_);
   for (size_t c = 0; c < nlist_; ++c) {
-    const float* cent = centroids_.data() + c * d;
-    float dot = 0.0f;
-    for (size_t i = 0; i < d; ++i) dot += query[i] * cent[i];
-    cell_scores[c] = dot;
+    cell_scores[c] = simd::Dot(query, centroids_.data() + c * d, d);
   }
   const std::vector<match::Match> probes =
       match::TopK::Select(cell_scores, nprobe_);
+
+  return pq_enabled() ? SearchPq(query, k, probes, allowed)
+                      : SearchFlat(query, k, probes, allowed);
+}
+
+std::vector<match::Match> IvfIndex::SearchFlat(
+    const float* query, size_t k, const std::vector<match::Match>& probes,
+    const std::vector<char>* allowed) const {
+  const size_t d = static_cast<size_t>(data_->dim());
 
   // Scan the probed lists: exact cosine on every member (the vectors are
   // full-precision, so the "re-rank" is exact by construction).
@@ -139,9 +178,7 @@ std::vector<match::Match> IvfIndex::Search(
       if (allowed != nullptr && (*allowed)[static_cast<size_t>(id)] == 0) {
         continue;
       }
-      const float* v = list_vectors_.data() + pos * d;
-      float dot = 0.0f;
-      for (size_t i = 0; i < d; ++i) dot += query[i] * v[i];
+      const float dot = simd::Dot(query, list_vectors_.data() + pos * d, d);
       gathered.push_back(match::Match{id, dot});
     }
   }
@@ -166,6 +203,213 @@ std::vector<match::Match> IvfIndex::Search(
         match::Match{gathered[static_cast<size_t>(m.index)].index, m.score});
   }
   return out;
+}
+
+std::vector<match::Match> IvfIndex::SearchPq(
+    const float* query, size_t k, const std::vector<match::Match>& probes,
+    const std::vector<char>* allowed) const {
+  const size_t d = static_cast<size_t>(data_->dim());
+  const size_t m = options_.pq_m;
+  const size_t ds = d / m;
+
+  // ADC table: the dot of each query subspace against each codebook
+  // entry. A member's approximate score is then m table lookups summed —
+  // dot(query, reconstruction(code)) by linearity.
+  std::vector<float> table(m * kPqCodes);
+  for (size_t s = 0; s < m; ++s) {
+    const float* q = query + s * ds;
+    const float* cb = codebook_.data() + s * kPqCodes * ds;
+    float* row = table.data() + s * kPqCodes;
+    for (size_t j = 0; j < kPqCodes; ++j) {
+      row[j] = simd::Dot(q, cb + j * ds, ds);
+    }
+  }
+
+  // ADC scan of the probed lists: each cell's codes are one contiguous
+  // stripe, scored in a single batched kernel call; the allowed filter
+  // applies during the gather of the scored stripe.
+  std::vector<match::Match> gathered;
+  std::vector<float> approx;
+  for (const auto& probe : probes) {
+    const size_t c = static_cast<size_t>(probe.index);
+    const size_t begin = list_offsets_[c];
+    const size_t count = list_offsets_[c + 1] - begin;
+    if (count == 0) continue;
+    approx.resize(count);
+    simd::AdcScan(list_codes_.data() + begin * m, count, m, table.data(),
+                  approx.data());
+    for (size_t j = 0; j < count; ++j) {
+      const int32_t id = list_ids_[begin + j];
+      if (allowed != nullptr && (*allowed)[static_cast<size_t>(id)] == 0) {
+        continue;
+      }
+      gathered.push_back(match::Match{id, approx[j]});
+    }
+  }
+
+  // Keep the best `pq_rerank` ADC candidates (at least k), then re-rank
+  // those exactly against the shared full-precision matrix. Both
+  // selections run over id-sorted input so TopK's position tie-break is
+  // the global id order, matching ExactIndex on ties.
+  std::sort(gathered.begin(), gathered.end(),
+            [](const match::Match& a, const match::Match& b) {
+              return a.index < b.index;
+            });
+  std::vector<double> approx_scores;
+  approx_scores.reserve(gathered.size());
+  for (const auto& g : gathered) approx_scores.push_back(g.score);
+  const size_t rerank = std::max<size_t>(options_.pq_rerank, k);
+  std::vector<match::Match> shortlist =
+      match::TopK::Select(approx_scores, rerank);
+
+  std::vector<int32_t> ids;
+  ids.reserve(shortlist.size());
+  for (const auto& s : shortlist) {
+    ids.push_back(gathered[static_cast<size_t>(s.index)].index);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<double> exact_scores;
+  exact_scores.reserve(ids.size());
+  for (const int32_t id : ids) {
+    exact_scores.push_back(
+        simd::Dot(query, data_->row(static_cast<size_t>(id)), d));
+  }
+  std::vector<match::Match> top = match::TopK::Select(exact_scores, k);
+  std::vector<match::Match> out;
+  out.reserve(top.size());
+  for (const auto& t : top) {
+    out.push_back(match::Match{ids[static_cast<size_t>(t.index)], t.score});
+  }
+  return out;
+}
+
+std::string IvfIndex::Serialize(uint32_t labels_crc) const {
+  const size_t n = data_->size();
+  const size_t d = static_cast<size_t>(data_->dim());
+  std::string out;
+  out.reserve(64 + ListBytes() + centroids_.size() * sizeof(float) +
+              list_ids_.size() * sizeof(int32_t) +
+              list_offsets_.size() * sizeof(uint64_t));
+  util::AppendU32(&out, kIvfWireVersion);
+  util::AppendU32(&out, labels_crc);
+  util::AppendU32(&out, static_cast<uint32_t>(d));
+  util::AppendU64(&out, n);
+  util::AppendU64(&out, nlist_);
+  util::AppendU32(&out, static_cast<uint32_t>(options_.pq_m));
+  AppendRaw(&out, centroids_.data(), centroids_.size() * sizeof(float));
+  for (const size_t off : list_offsets_) util::AppendU64(&out, off);
+  AppendRaw(&out, list_ids_.data(), list_ids_.size() * sizeof(int32_t));
+  if (pq_enabled()) {
+    AppendRaw(&out, codebook_.data(), codebook_.size() * sizeof(float));
+    AppendRaw(&out, list_codes_.data(), list_codes_.size());
+  } else {
+    AppendRaw(&out, list_vectors_.data(),
+              list_vectors_.size() * sizeof(float));
+  }
+  return out;
+}
+
+util::Result<std::unique_ptr<IvfIndex>> IvfIndex::Deserialize(
+    std::string_view bytes, std::shared_ptr<const VectorMatrix> data,
+    uint32_t labels_crc, const IvfOptions& options) {
+  using util::Status;
+  using util::StrFormat;
+  util::ByteCursor cur(bytes);
+
+  uint32_t version = 0, crc = 0, dim32 = 0, pq_m32 = 0;
+  uint64_t n64 = 0, nlist64 = 0;
+  TDM_RETURN_NOT_OK(cur.ReadU32(&version));
+  if (version != kIvfWireVersion) {
+    return Status::IOError(
+        StrFormat("ivf section: unsupported version %u", version));
+  }
+  TDM_RETURN_NOT_OK(cur.ReadU32(&crc));
+  if (crc != labels_crc) {
+    return Status::IOError(StrFormat(
+        "ivf section: candidate fingerprint mismatch (section %08x, "
+        "snapshot %08x) — index was built over a different candidate set",
+        crc, labels_crc));
+  }
+  TDM_RETURN_NOT_OK(cur.ReadU32(&dim32));
+  TDM_RETURN_NOT_OK(cur.ReadU64(&n64));
+  TDM_RETURN_NOT_OK(cur.ReadU64(&nlist64));
+  TDM_RETURN_NOT_OK(cur.ReadU32(&pq_m32));
+
+  const size_t d = static_cast<size_t>(data->dim());
+  const size_t n = data->size();
+  if (dim32 != d) {
+    return Status::IOError(
+        StrFormat("ivf section: dim %u != snapshot dim %zu", dim32, d));
+  }
+  if (n64 != n) {
+    return Status::IOError(StrFormat(
+        "ivf section: %llu vectors != snapshot %zu",
+        static_cast<unsigned long long>(n64), n));
+  }
+  const size_t nlist = static_cast<size_t>(nlist64);
+  if (nlist < 1 || nlist > std::max<size_t>(n, 1)) {
+    return Status::IOError(
+        StrFormat("ivf section: nlist %zu out of range for n=%zu", nlist, n));
+  }
+  const size_t m = pq_m32;
+  if (m > 0 && (m > d || d % m != 0)) {
+    return Status::IOError(
+        StrFormat("ivf section: pq_m %zu does not divide dim %zu", m, d));
+  }
+
+  auto idx = std::unique_ptr<IvfIndex>(new IvfIndex(std::move(data)));
+  idx->options_ = options;
+  idx->options_.nlist = nlist;
+  idx->options_.pq_m = m;
+  idx->nlist_ = nlist;
+  idx->set_nprobe(options.nprobe);
+
+  idx->centroids_.resize(nlist * d);
+  TDM_RETURN_NOT_OK(cur.ReadFloats(idx->centroids_.data(), nlist * d));
+
+  idx->list_offsets_.resize(nlist + 1);
+  for (size_t c = 0; c <= nlist; ++c) {
+    uint64_t off = 0;
+    TDM_RETURN_NOT_OK(cur.ReadU64(&off));
+    idx->list_offsets_[c] = static_cast<size_t>(off);
+  }
+  if (idx->list_offsets_.front() != 0 || idx->list_offsets_.back() != n) {
+    return Status::IOError("ivf section: list offsets do not span [0, n)");
+  }
+  for (size_t c = 0; c < nlist; ++c) {
+    if (idx->list_offsets_[c] > idx->list_offsets_[c + 1]) {
+      return Status::IOError(
+          StrFormat("ivf section: list offsets not monotone at cell %zu", c));
+    }
+  }
+
+  idx->list_ids_.resize(n);
+  TDM_RETURN_NOT_OK(
+      cur.ReadBytes(idx->list_ids_.data(), n * sizeof(int32_t)));
+  std::vector<char> seen(n, 0);
+  for (const int32_t id : idx->list_ids_) {
+    if (id < 0 || static_cast<size_t>(id) >= n || seen[id]) {
+      return Status::IOError(StrFormat(
+          "ivf section: candidate id %d out of range or duplicated", id));
+    }
+    seen[id] = 1;
+  }
+
+  if (m > 0) {
+    idx->codebook_.resize(m * kPqCodes * (d / m));
+    TDM_RETURN_NOT_OK(
+        cur.ReadFloats(idx->codebook_.data(), idx->codebook_.size()));
+    idx->list_codes_.resize(n * m);
+    TDM_RETURN_NOT_OK(cur.ReadBytes(idx->list_codes_.data(), n * m));
+  } else {
+    idx->list_vectors_.resize(n * d);
+    TDM_RETURN_NOT_OK(cur.ReadFloats(idx->list_vectors_.data(), n * d));
+  }
+  if (cur.Remaining() != 0) {
+    return Status::IOError(StrFormat(
+        "ivf section: %zu trailing bytes after payload", cur.Remaining()));
+  }
+  return idx;
 }
 
 }  // namespace serve

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "serve/index.h"
+#include "util/result.h"
 
 namespace tdmatch {
 namespace serve {
@@ -28,28 +30,61 @@ struct IvfOptions {
   /// trained index is identical for any thread count: assignments are a
   /// pure map and centroid updates accumulate sequentially in id order.
   size_t threads = 4;
+
+  /// --- product quantization (the memory knob; 0 = off, IVF-flat) -------
+  /// Subquantizer count m: the vector is split into m contiguous
+  /// dim/m-sized subspaces, each encoded as the id of the nearest of 256
+  /// per-subspace codebook centroids. The inverted lists then store m
+  /// bytes per member instead of dim * 4 — a dim*4/m-fold compression of
+  /// the list payload (amortizing the fixed 256 * dim * 4-byte codebook).
+  /// Must divide dim. Queries scan the probed lists with a u8 ADC
+  /// lookup-table pass and exact-re-rank the top candidates against the
+  /// full-precision matrix, so recall degrades gracefully (see pq_rerank).
+  size_t pq_m = 0;
+  /// Lloyd iterations per subquantizer codebook.
+  size_t pq_iters = 12;
+  /// How many of the best ADC-scored candidates get the exact re-rank
+  /// (clamped to >= k per query). The PQ recall/latency knob.
+  size_t pq_rerank = 64;
 };
 
-/// \brief Inverted-file ANN index (the FAISS "IVF-flat" recipe): a k-means
-/// coarse quantizer partitions the normalized candidate vectors into
-/// `nlist` cells; a query scores the `nprobe` nearest cells' members only,
-/// then exact cosine re-ranks the gathered candidates through the bounded
-/// heap of match::TopK.
+/// \brief Inverted-file ANN index (the FAISS "IVF-flat" / "IVF-PQ"
+/// recipes): a k-means coarse quantizer partitions the normalized
+/// candidate vectors into `nlist` cells; a query scores the `nprobe`
+/// nearest cells' members only.
+///
+/// Flat mode stores the member vectors copied into list order and scores
+/// every probed member with an exact cosine (the "re-rank" is exact by
+/// construction). PQ mode (pq_m > 0) stores 8-bit product-quantization
+/// codes instead — m bytes per member — scans them with an ADC
+/// lookup-table kernel (simd::AdcScan), and exact-re-ranks only the top
+/// pq_rerank ADC candidates against the shared full-precision matrix.
 ///
 /// Inverted lists are stored flat CSR-style (offsets + one contiguous id
-/// array) with the member vectors copied into list order, so a probe scans
-/// one contiguous stripe of memory. Expected work per query is
-/// O(nlist · dim) for the quantizer plus O((nprobe/nlist) · n · dim) for
-/// the scans — at nlist = √n this is O(√n · dim) against the exact scan's
-/// O(n · dim).
+/// array) with the member payload (vectors or codes) in list order, so a
+/// probe scans one contiguous stripe of memory. All dot products route
+/// through the runtime-dispatched simd kernel layer.
 class IvfIndex : public Index {
  public:
-  /// Builds the index (trains k-means, fills the inverted lists).
+  /// Builds the index (trains k-means + optional PQ codebooks, fills the
+  /// inverted lists).
   IvfIndex(std::shared_ptr<const VectorMatrix> data, IvfOptions options);
 
-  std::string name() const override { return "ivf"; }
+  std::string name() const override { return pq_enabled() ? "ivf_pq" : "ivf"; }
   size_t size() const override { return data_->size(); }
   int dim() const override { return data_->dim(); }
+
+  /// Bytes owned by the index structure itself (centroids, CSR lists,
+  /// codes/codebook or copied vectors). Excludes the full-precision
+  /// matrix, which is shared serving state (the exact index and the PQ
+  /// re-rank read it; in the mmap serving path it is built once per
+  /// snapshot for all indexes).
+  size_t MemoryBytes() const override;
+
+  /// Bytes of the per-member list payload only: n * dim * 4 for flat,
+  /// n * m codes + the 256 * dim * 4 codebook for PQ. The compression
+  /// the pq_m knob buys is flat ListBytes / PQ ListBytes.
+  size_t ListBytes() const;
 
   /// Note: `allowed` filters within the probed cells only — allowed
   /// candidates living in unprobed cells are not considered. For small
@@ -63,14 +98,46 @@ class IvfIndex : public Index {
   void set_nprobe(size_t nprobe);
   size_t nprobe() const { return nprobe_; }
   size_t nlist() const { return nlist_; }
+  bool pq_enabled() const { return options_.pq_m > 0; }
+  const IvfOptions& options() const { return options_; }
 
   /// Members of cell `list` (diagnostics / tests).
   size_t ListSize(size_t list) const {
     return list_offsets_[list + 1] - list_offsets_[list];
   }
 
+  /// Serializes the trained structure (centroids, CSR lists, PQ codebook
+  /// and codes or flat vectors) into the bounds-checked wire format that
+  /// Deserialize reads — the payload of a snapshot "ivfpq" section.
+  /// `labels_crc` fingerprints the candidate set the index was built over
+  /// (CRC-32 of the NUL-joined candidate labels); Deserialize refuses a
+  /// section whose fingerprint does not match the candidates the engine
+  /// resolved, so a stale or foreign section can never serve wrong ids.
+  std::string Serialize(uint32_t labels_crc) const;
+
+  /// Rebuilds an index from Serialize output over the same candidate
+  /// matrix. Every count, offset, and id is validated against `data`
+  /// before use (hostile sections are rejected with a descriptive error,
+  /// never a crash). `nprobe`/`pq_rerank`/`threads` come from `options`;
+  /// the trained structure comes from the bytes.
+  static util::Result<std::unique_ptr<IvfIndex>> Deserialize(
+      std::string_view bytes, std::shared_ptr<const VectorMatrix> data,
+      uint32_t labels_crc, const IvfOptions& options);
+
  private:
+  explicit IvfIndex(std::shared_ptr<const VectorMatrix> data)
+      : data_(std::move(data)) {}
+
   void Train();
+  /// Trains the per-subspace codebooks and fills `codes` (n × pq_m, in
+  /// candidate-id order) from the trainer's final assignments.
+  void TrainPq(std::vector<uint8_t>* codes);
+  std::vector<match::Match> SearchFlat(
+      const float* query, size_t k, const std::vector<match::Match>& probes,
+      const std::vector<char>* allowed) const;
+  std::vector<match::Match> SearchPq(
+      const float* query, size_t k, const std::vector<match::Match>& probes,
+      const std::vector<char>* allowed) const;
 
   std::shared_ptr<const VectorMatrix> data_;
   IvfOptions options_;
@@ -79,12 +146,18 @@ class IvfIndex : public Index {
   /// nlist × dim, L2-normalized (spherical k-means).
   std::vector<float> centroids_;
   /// CSR inverted lists: members of cell c are positions
-  /// [list_offsets_[c], list_offsets_[c+1]) of list_ids_/list_vectors_.
+  /// [list_offsets_[c], list_offsets_[c+1]) of list_ids_ and of the list
+  /// payload (list_vectors_ or list_codes_).
   std::vector<size_t> list_offsets_;
   std::vector<int32_t> list_ids_;
-  /// Member vectors copied into list order (n × dim): each probe scans a
-  /// contiguous stripe instead of hopping through the original matrix.
+  /// Flat mode: member vectors copied into list order (n × dim): each
+  /// probe scans a contiguous stripe instead of hopping through the
+  /// original matrix. Empty in PQ mode.
   std::vector<float> list_vectors_;
+  /// PQ mode: pq_m × 256 × (dim/pq_m) codebook and n × pq_m codes in
+  /// list order. Empty in flat mode.
+  std::vector<float> codebook_;
+  std::vector<uint8_t> list_codes_;
 };
 
 }  // namespace serve

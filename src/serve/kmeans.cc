@@ -1,0 +1,144 @@
+#include "serve/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "serve/index.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/simd/kernels.h"
+#include "util/thread_pool.h"
+
+namespace tdmatch {
+namespace serve {
+
+namespace {
+
+/// Assigns every point in [begin, end) to its best-scoring centroid.
+/// Points are walked in 8-wide tiles so one pass over each centroid row
+/// feeds eight dot accumulators (simd::Dot8); the sub-8 tail scores
+/// per-point. Scores: dot(x, c) minus `bias[c]` (zero for spherical,
+/// ||c||^2/2 for Euclidean); ties break to the lowest centroid id.
+void AssignRange(const KMeansRowFn& row, size_t begin, size_t end, size_t d,
+                 const std::vector<float>& centroids,
+                 const std::vector<float>& bias, size_t k,
+                 int32_t* assign) {
+  size_t i = begin;
+  for (; i + 8 <= end; i += 8) {
+    const float* rows[8];
+    for (int q = 0; q < 8; ++q) rows[q] = row(i + static_cast<size_t>(q));
+    float best[8];
+    int32_t best_c[8];
+    for (int q = 0; q < 8; ++q) {
+      best[q] = -std::numeric_limits<float>::infinity();
+      best_c[q] = 0;
+    }
+    float dots[8];
+    for (size_t c = 0; c < k; ++c) {
+      simd::Dot8(rows, centroids.data() + c * d, d, dots);
+      const float b = bias[c];
+      for (int q = 0; q < 8; ++q) {
+        const float score = dots[q] - b;
+        if (score > best[q]) {
+          best[q] = score;
+          best_c[q] = static_cast<int32_t>(c);
+        }
+      }
+    }
+    for (int q = 0; q < 8; ++q) assign[i + static_cast<size_t>(q)] = best_c[q];
+  }
+  for (; i < end; ++i) {
+    const float* v = row(i);
+    float best = -std::numeric_limits<float>::infinity();
+    int32_t best_c = 0;
+    for (size_t c = 0; c < k; ++c) {
+      const float score = simd::Dot(v, centroids.data() + c * d, d) - bias[c];
+      if (score > best) {
+        best = score;
+        best_c = static_cast<int32_t>(c);
+      }
+    }
+    assign[i] = best_c;
+  }
+}
+
+}  // namespace
+
+KMeansResult TrainKMeans(const KMeansRowFn& row, size_t n, size_t d,
+                         const KMeansOptions& options) {
+  const size_t k = options.k;
+  TDM_CHECK_GE(k, 1u);
+  TDM_CHECK_LE(k, std::max<size_t>(n, 1));
+
+  KMeansResult result;
+  result.centroids.assign(k * d, 0.0f);
+  result.assign.assign(n, 0);
+  if (n == 0) return result;
+
+  // Init: k distinct member vectors as seeds (same scheme the IVF coarse
+  // quantizer always used).
+  {
+    util::Rng rng(options.seed);
+    const std::vector<size_t> seeds = rng.SampleIndices(n, k);
+    for (size_t c = 0; c < k; ++c) {
+      std::copy_n(row(seeds[c]), d, result.centroids.data() + c * d);
+    }
+  }
+  if (k == 1) return result;  // everything assigns to the only cell
+
+  // Per-centroid score bias: 0 in spherical mode (centroids normalized,
+  // rank by dot), ||c||^2 / 2 in Euclidean mode (argmin distance ==
+  // argmax dot - half norm).
+  std::vector<float> bias(k, 0.0f);
+  auto refresh_bias = [&] {
+    if (options.spherical) return;
+    for (size_t c = 0; c < k; ++c) {
+      bias[c] =
+          0.5f * simd::SquaredNorm(result.centroids.data() + c * d, d);
+    }
+  };
+  refresh_bias();
+
+  std::vector<double> sums(k * d);
+  std::vector<size_t> counts(k);
+  // iters assignment+update rounds, plus one final assignment so
+  // `assign` matches the returned centroids (encoders need that).
+  for (size_t iter = 0; iter <= options.iters; ++iter) {
+    util::ThreadPool::ParallelFor(
+        n, options.threads,
+        [&](size_t begin, size_t end, size_t /*thread_idx*/) {
+          AssignRange(row, begin, end, d, result.centroids, bias, k,
+                      result.assign.data());
+        });
+    if (iter == options.iters) break;
+
+    // Update: sequential accumulation in id order keeps the result
+    // bit-identical across thread counts (no fp reassociation).
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(result.assign[i]);
+      const float* v = row(i);
+      double* s = sums.data() + c * d;
+      for (size_t j = 0; j < d; ++j) s[j] += v[j];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cell keeps its seed
+      float* cent = result.centroids.data() + c * d;
+      for (size_t j = 0; j < d; ++j) {
+        cent[j] = static_cast<float>(sums[c * d + j] /
+                                     static_cast<double>(counts[c]));
+      }
+      if (options.spherical) {
+        NormalizeSlice(cent, static_cast<int>(d));
+      }
+    }
+    refresh_bias();
+  }
+  return result;
+}
+
+}  // namespace serve
+}  // namespace tdmatch

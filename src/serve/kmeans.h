@@ -1,0 +1,59 @@
+#ifndef TDMATCH_SERVE_KMEANS_H_
+#define TDMATCH_SERVE_KMEANS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tdmatch {
+namespace serve {
+
+/// Build parameters of the seeded Lloyd trainer shared by the IVF coarse
+/// quantizer (spherical, over full normalized vectors) and the PQ
+/// subquantizer codebooks (Euclidean, over dim/m-sized subspaces).
+struct KMeansOptions {
+  /// Cluster count; must be in [1, n].
+  size_t k = 1;
+  /// Lloyd iterations.
+  size_t iters = 8;
+  /// Seed for the k-means++-style distinct-member init (util::Rng).
+  uint64_t seed = 42;
+  /// Threads for the assignment map (util::ThreadPool::ParallelFor).
+  size_t threads = 1;
+  /// Spherical mode: centroids are L2-normalized after every update and
+  /// points rank cells by plain dot product (the IVF coarse quantizer
+  /// over normalized vectors). Euclidean mode ranks by
+  /// dot(x, c) - ||c||^2 / 2, the argmin-distance equivalence.
+  bool spherical = false;
+};
+
+struct KMeansResult {
+  /// k * d, row-major.
+  std::vector<float> centroids;
+  /// n entries; the assignment against the *final* centroids (one extra
+  /// assignment pass after the last update, so encodings built from this
+  /// are consistent with `centroids`).
+  std::vector<int32_t> assign;
+};
+
+/// Accessor for point i's `d` floats. Rows may alias into a larger matrix
+/// (the PQ trainer passes strided sub-slices).
+using KMeansRowFn = std::function<const float*(size_t)>;
+
+/// Seeded deterministic Lloyd iterations over `n` points of `d` dims.
+///
+/// The result is identical for any thread count: assignments are a pure
+/// map over points (sharded in disjoint ranges; the 8-point × 1-centroid
+/// simd::Dot8 tile computes each lane independently, so tile placement
+/// never changes a value) and centroid updates accumulate sequentially in
+/// id order in double precision. Assignment values may differ between
+/// SIMD dispatch levels (reassociated dots can flip near-ties) — callers
+/// assert behavioral quality (recall), not structural identity, across
+/// ISAs. Ties rank to the lowest centroid id on every path.
+KMeansResult TrainKMeans(const KMeansRowFn& row, size_t n, size_t d,
+                         const KMeansOptions& options);
+
+}  // namespace serve
+}  // namespace tdmatch
+
+#endif  // TDMATCH_SERVE_KMEANS_H_

@@ -39,6 +39,13 @@ class ViewCursor {
     return util::Status::OK();
   }
 
+  /// `bytes` raw bytes as a view into the mapping.
+  util::Status ReadView(size_t bytes, std::string_view* s) {
+    TDM_RETURN_NOT_OK(Skip(bytes));
+    *s = std::string_view(data_ + pos_ - bytes, bytes);
+    return util::Status::OK();
+  }
+
   util::Status Skip(size_t bytes) {
     if (bytes > Remaining()) {
       return util::Status::IOError(util::StrFormat(
@@ -90,10 +97,11 @@ util::Result<std::shared_ptr<const SnapshotView>> SnapshotView::Open(
         "machine with different byte order",
         path.c_str(), endian, kEndianMarker));
   }
-  if (version != SnapshotIo::kVersion) {
-    return util::Status::InvalidArgument(
-        util::StrFormat("%s: snapshot version %u, this build reads %u",
-                        path.c_str(), version, SnapshotIo::kVersion));
+  if (version != SnapshotIo::kVersion &&
+      version != SnapshotIo::kVersionSections) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: snapshot version %u, this build reads %u and %u", path.c_str(),
+        version, SnapshotIo::kVersion, SnapshotIo::kVersionSections));
   }
 
   const char* body = data + kHeaderBytes;
@@ -160,7 +168,7 @@ util::Result<std::shared_ptr<const SnapshotView>> SnapshotView::Open(
 
   const uint64_t payload_bytes =
       count * static_cast<uint64_t>(dim) * sizeof(float);
-  if (payload_bytes != cur.Remaining()) {
+  if (payload_bytes > cur.Remaining()) {
     return util::Status::InvalidArgument(util::StrFormat(
         "%s: payload needs %llu bytes but %zu follow the labels",
         path.c_str(), static_cast<unsigned long long>(payload_bytes),
@@ -169,6 +177,40 @@ util::Result<std::shared_ptr<const SnapshotView>> SnapshotView::Open(
   view->payload_ = body + cur.pos();
   view->aligned_ =
       reinterpret_cast<uintptr_t>(view->payload_) % alignof(float) == 0;
+  TDM_RETURN_NOT_OK(cur.Skip(static_cast<size_t>(payload_bytes)));
+
+  if (version >= SnapshotIo::kVersionSections) {
+    uint32_t num_sections = 0;
+    TDM_RETURN_NOT_OK(cur.ReadU32(&num_sections));
+    if (num_sections >
+        cur.Remaining() / (sizeof(uint32_t) + sizeof(uint64_t))) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s: declared %u sections cannot fit in %zu remaining bytes",
+          path.c_str(), num_sections, cur.Remaining()));
+    }
+    view->sections_.reserve(num_sections);
+    for (uint32_t i = 0; i < num_sections; ++i) {
+      std::string_view tag;
+      TDM_RETURN_NOT_OK(cur.ReadStringView(&tag));
+      uint64_t len = 0;
+      TDM_RETURN_NOT_OK(cur.ReadU64(&len));
+      if (len > cur.Remaining()) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "%s: section \"%s\" declares %llu bytes with %zu left",
+            path.c_str(), std::string(tag).c_str(),
+            static_cast<unsigned long long>(len), cur.Remaining()));
+      }
+      std::string_view bytes;
+      TDM_RETURN_NOT_OK(cur.ReadView(static_cast<size_t>(len), &bytes));
+      view->sections_.emplace_back(tag, bytes);
+    }
+  }
+
+  if (cur.Remaining() != 0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: %zu trailing bytes after the vector payload", path.c_str(),
+        cur.Remaining()));
+  }
   view->file_ = std::move(file);
   return std::shared_ptr<const SnapshotView>(std::move(view));
 }

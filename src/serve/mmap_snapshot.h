@@ -71,6 +71,19 @@ class SnapshotView {
   /// useful with VectorMatrix::FromRawRows.
   const char* payload() const { return payload_; }
 
+  /// Bytes of the first version-2 section tagged `tag`, as a zero-copy
+  /// view into the mapping, or nullptr when absent (every version-1 file).
+  const std::string_view* Section(std::string_view tag) const {
+    for (const auto& s : sections_) {
+      if (s.first == tag) return &s.second;
+    }
+    return nullptr;
+  }
+  const std::vector<std::pair<std::string_view, std::string_view>>& sections()
+      const {
+    return sections_;
+  }
+
  private:
   SnapshotView() = default;
 
@@ -79,6 +92,7 @@ class SnapshotView {
   uint32_t dim_ = 0;
   std::vector<std::string_view> labels_;
   std::unordered_map<std::string_view, uint32_t> index_;
+  std::vector<std::pair<std::string_view, std::string_view>> sections_;
   const char* payload_ = nullptr;
   bool aligned_ = false;
 };

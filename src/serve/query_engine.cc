@@ -4,10 +4,28 @@
 #include <mutex>
 #include <utility>
 
+#include "util/crc32.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace tdmatch {
 namespace serve {
+
+constexpr char QueryEngine::kIvfSectionTag[];
+
+uint32_t QueryEngine::candidate_labels_crc() const {
+  uint32_t crc = 0;
+  for (const auto& label : candidate_labels_) {
+    crc = util::Crc32(label.data(), label.size(), crc);
+    crc = util::Crc32("\0", 1, crc);  // unambiguous label boundaries
+  }
+  return crc;
+}
+
+std::string QueryEngine::SerializeIvfSection() const {
+  if (ivf_ == nullptr) return {};
+  return ivf_->Serialize(candidate_labels_crc());
+}
 
 util::Result<QueryEngine> QueryEngine::Build(
     Snapshot snapshot, std::vector<std::string> candidates,
@@ -85,7 +103,33 @@ util::Status QueryEngine::FinishBuild(QueryEngineOptions options) {
   if (options.build_ivf) {
     IvfOptions ivf = options.ivf;
     ivf.threads = options.threads;
-    ivf_ = std::make_unique<IvfIndex>(matrix_, ivf);
+    // A snapshot may carry the trained index as an "ivfpq" section;
+    // adopting it skips k-means at startup. The section's candidate
+    // fingerprint and geometry are validated against what this engine
+    // actually resolved — on any mismatch we train instead (slower, never
+    // wrong).
+    if (options.use_snapshot_index) {
+      std::string_view bytes;
+      if (const std::string* s = snapshot_.Section(kIvfSectionTag)) {
+        bytes = *s;
+      } else if (view_ != nullptr) {
+        if (const std::string_view* s = view_->Section(kIvfSectionTag)) {
+          bytes = *s;
+        }
+      }
+      if (!bytes.empty()) {
+        auto loaded = IvfIndex::Deserialize(bytes, matrix_,
+                                            candidate_labels_crc(), ivf);
+        if (loaded.ok()) {
+          ivf_ = std::move(loaded).ValueOrDie();
+          ivf_from_snapshot_ = true;
+        } else {
+          TDM_LOG(Warning) << "ignoring snapshot index section: "
+                           << loaded.status().ToString();
+        }
+      }
+    }
+    if (ivf_ == nullptr) ivf_ = std::make_unique<IvfIndex>(matrix_, ivf);
   }
   if (options.threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options.threads);

@@ -31,6 +31,12 @@ struct QueryEngineOptions {
   /// Build the IVF index next to the exact one. Off ⇒ every query is an
   /// exact scan (small candidate sets where ANN overhead isn't worth it).
   bool build_ivf = true;
+  /// Adopt a pre-trained index from the snapshot's "ivfpq" section
+  /// instead of re-training k-means at build time, when one is present
+  /// and its candidate fingerprint matches (see IvfIndex::Serialize). Any
+  /// mismatch or validation failure falls back to training — a bad
+  /// section can cost startup time, never correctness.
+  bool use_snapshot_index = true;
   IvfOptions ivf;
 };
 
@@ -128,6 +134,24 @@ class QueryEngine {
   IvfIndex* ivf_index() { return ivf_.get(); }
   const QueryEngineOptions& options() const { return options_; }
 
+  /// Snapshot section tag carrying a serialized IVF/PQ index.
+  static constexpr char kIvfSectionTag[] = "ivfpq";
+
+  /// CRC-32 fingerprint of the engine's candidate labels (NUL-joined, in
+  /// candidate-id order) — ties a serialized index section to the exact
+  /// candidate set it was built over.
+  uint32_t candidate_labels_crc() const;
+
+  /// True when the IVF index was adopted from a snapshot "ivfpq" section
+  /// rather than trained at build time.
+  bool ivf_from_snapshot() const { return ivf_from_snapshot_; }
+
+  /// Serialized "ivfpq" section payload for this engine's IVF index
+  /// (stamped with candidate_labels_crc()), or an empty string when no
+  /// IVF index was built. Attach it via the sections overload of
+  /// SnapshotIo::Write so later engines skip k-means training.
+  std::string SerializeIvfSection() const;
+
  private:
   QueryEngine() = default;
 
@@ -157,6 +181,7 @@ class QueryEngine {
   std::shared_ptr<const VectorMatrix> matrix_;
   std::unique_ptr<ExactIndex> exact_;
   std::unique_ptr<IvfIndex> ivf_;
+  bool ivf_from_snapshot_ = false;
   /// Batch workers; null when options_.threads <= 1 (batches run inline).
   std::unique_ptr<util::ThreadPool> pool_;
 };

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "embed/io.h"
+#include "util/byte_io.h"
 #include "util/crc32.h"
 #include "util/string_util.h"
 
@@ -15,6 +16,14 @@ namespace serve {
 
 namespace {
 
+// Integer appends and the bounds-checked body reader live in
+// util/byte_io — the same primitives serialize the index sections
+// (serve/ivf_index.cc).
+using util::AppendLengthPrefixed;
+using util::AppendU32;
+using util::AppendU64;
+using Cursor = util::ByteCursor;
+
 constexpr char kMagic[4] = {'T', 'D', 'M', 'S'};
 constexpr uint32_t kEndianMarker = 0x01020304u;
 /// magic + version + endian marker.
@@ -22,70 +31,18 @@ constexpr size_t kHeaderBytes = 12;
 /// trailing CRC.
 constexpr size_t kFooterBytes = 4;
 
-void AppendU32(std::string* out, uint32_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void AppendU64(std::string* out, uint64_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
 util::Status AppendString(std::string* out, const std::string& s) {
-  if (s.size() > UINT32_MAX) {
-    return util::Status::InvalidArgument("snapshot string too long");
-  }
-  AppendU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-  return util::Status::OK();
+  return AppendLengthPrefixed(out, s);
 }
-
-/// Bounds-checked sequential reader over the body slice of the file
-/// buffer. Every primitive read fails loudly instead of running past the
-/// end, so truncated files surface as errors, not garbage models.
-class Cursor {
- public:
-  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
-
-  util::Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
-  util::Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
-
-  util::Status ReadString(std::string* s) {
-    uint32_t len = 0;
-    TDM_RETURN_NOT_OK(ReadU32(&len));
-    if (len > Remaining()) {
-      return util::Status::IOError(util::StrFormat(
-          "snapshot truncated: string of %u bytes with %zu bytes left",
-          len, Remaining()));
-    }
-    s->assign(data_ + pos_, len);
-    pos_ += len;
-    return util::Status::OK();
-  }
-
-  util::Status ReadFloats(float* out, size_t count) {
-    return ReadRaw(out, count * sizeof(float));
-  }
-
-  size_t Remaining() const { return size_ - pos_; }
-
- private:
-  util::Status ReadRaw(void* out, size_t bytes) {
-    if (bytes > Remaining()) {
-      return util::Status::IOError(util::StrFormat(
-          "snapshot truncated: need %zu bytes, %zu left", bytes,
-          Remaining()));
-    }
-    std::memcpy(out, data_ + pos_, bytes);
-    pos_ += bytes;
-    return util::Status::OK();
-  }
-
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
 
 }  // namespace
+
+const std::string* Snapshot::Section(const std::string& tag) const {
+  for (const auto& s : sections) {
+    if (s.first == tag) return &s.second;
+  }
+  return nullptr;
+}
 
 const std::string& SnapshotMeta::Find(const std::string& key) const {
   static const std::string kEmpty;
@@ -134,6 +91,13 @@ util::Status ValidateSnapshotGeometry(const std::string& path, uint32_t dim,
 util::Status SnapshotIo::Write(const embed::EmbeddingTable& table,
                                const SnapshotMeta& meta,
                                const std::string& path) {
+  return Write(table, meta, {}, path);
+}
+
+util::Status SnapshotIo::Write(
+    const embed::EmbeddingTable& table, const SnapshotMeta& meta,
+    const std::vector<std::pair<std::string, std::string>>& sections,
+    const std::string& path) {
   const std::vector<std::string> labels = table.Labels();
   const size_t dim = static_cast<size_t>(table.dim());
 
@@ -182,6 +146,22 @@ util::Status SnapshotIo::Write(const embed::EmbeddingTable& table,
                 vec->size() * sizeof(float));
   }
 
+  // Sections ride after the payload (so the payload-alignment pad math
+  // above is untouched) and only in version-2 files: a section-free write
+  // stays byte-identical to what version-1 builds produced.
+  if (!sections.empty()) {
+    if (sections.size() >= UINT32_MAX) {
+      return util::Status::InvalidArgument("too many snapshot sections");
+    }
+    AppendU32(&body, static_cast<uint32_t>(sections.size()));
+    for (const auto& sec : sections) {
+      TDM_RETURN_NOT_OK(AppendString(&body, sec.first));
+      AppendU64(&body, sec.second.size());
+      body.append(sec.second);
+    }
+  }
+  const uint32_t version = sections.empty() ? kVersion : kVersionSections;
+
   // Write to a temp file and rename over `path`: readers — including a
   // serving process that has the old snapshot mmap'ed (SnapshotView) —
   // never observe a half-written or in-place-truncated file. The rename
@@ -193,7 +173,6 @@ util::Status SnapshotIo::Write(const embed::EmbeddingTable& table,
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) return util::Status::IOError("cannot open " + tmp_path);
     out.write(kMagic, sizeof(kMagic));
-    const uint32_t version = kVersion;
     const uint32_t endian = kEndianMarker;
     out.write(reinterpret_cast<const char*>(&version), sizeof(version));
     out.write(reinterpret_cast<const char*>(&endian), sizeof(endian));
@@ -243,10 +222,10 @@ util::Result<Snapshot> SnapshotIo::Read(const std::string& path) {
         "machine with different byte order",
         path.c_str(), endian, kEndianMarker));
   }
-  if (version != kVersion) {
-    return util::Status::InvalidArgument(
-        util::StrFormat("%s: snapshot version %u, this build reads %u",
-                        path.c_str(), version, kVersion));
+  if (version != kVersion && version != kVersionSections) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: snapshot version %u, this build reads %u and %u", path.c_str(),
+        version, kVersion, kVersionSections));
   }
 
   const char* body = buf.data() + kHeaderBytes;
@@ -300,6 +279,34 @@ util::Result<Snapshot> SnapshotIo::Read(const std::string& path) {
     TDM_RETURN_NOT_OK(cur.ReadFloats(vec.data(), dim));
     snap.table.Put(labels[i], vec);
   }
+
+  if (version >= kVersionSections) {
+    uint32_t num_sections = 0;
+    TDM_RETURN_NOT_OK(cur.ReadU32(&num_sections));
+    // Each section needs at least its tag length prefix + byte length.
+    if (num_sections > cur.Remaining() / (sizeof(uint32_t) + sizeof(uint64_t))) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s: declared %u sections cannot fit in %zu remaining bytes",
+          path.c_str(), num_sections, cur.Remaining()));
+    }
+    snap.sections.reserve(num_sections);
+    for (uint32_t i = 0; i < num_sections; ++i) {
+      std::string tag;
+      TDM_RETURN_NOT_OK(cur.ReadString(&tag));
+      uint64_t len = 0;
+      TDM_RETURN_NOT_OK(cur.ReadU64(&len));
+      if (len > cur.Remaining()) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "%s: section \"%s\" declares %llu bytes with %zu left",
+            path.c_str(), tag.c_str(), static_cast<unsigned long long>(len),
+            cur.Remaining()));
+      }
+      std::string bytes(static_cast<size_t>(len), '\0');
+      TDM_RETURN_NOT_OK(cur.ReadBytes(bytes.data(), bytes.size()));
+      snap.sections.emplace_back(std::move(tag), std::move(bytes));
+    }
+  }
+
   if (cur.Remaining() != 0) {
     return util::Status::InvalidArgument(util::StrFormat(
         "%s: %zu trailing bytes after the vector payload", path.c_str(),

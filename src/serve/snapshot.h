@@ -26,7 +26,7 @@ namespace serve {
 /// detects foreign-endian files):
 ///
 ///   [0..4)   magic "TDMS"
-///   [4..8)   u32 format version (kVersion)
+///   [4..8)   u32 format version (kVersion or kVersionSections)
 ///   [8..12)  u32 endianness marker 0x01020304
 ///   [12..N)  body:
 ///              u32 dim, u64 vector count,
@@ -34,12 +34,22 @@ namespace serve {
 ///              u32 extra-metadata pair count, then (key, value) strings,
 ///              count label strings,
 ///              count * dim raw IEEE-754 f32 payload
+///              -- version 2 only, after the payload: --
+///              u32 section count, then per section a tag string
+///              (u32 length + bytes), u64 byte length, and the bytes
 ///   [N..N+4) u32 CRC-32 of the body
 ///
 /// Strings are u32 length + raw bytes. Readers parse from one in-memory
 /// buffer with bounds-checked cursor reads; any overrun, bad magic, version
 /// skew, foreign endianness, trailing garbage, or CRC mismatch is a
 /// descriptive error — never a partially-loaded model.
+///
+/// Sections are opaque named blobs riding after the payload — the hook for
+/// derived serving artifacts (the serialized IVF/PQ index uses tag
+/// "ivfpq"). Writers emit version 1 when no sections are attached, so a
+/// section-free file is byte-identical to what older builds wrote and
+/// older readers still load it; readers accept both versions (a version-1
+/// file is simply a snapshot with zero sections).
 struct SnapshotMeta {
   /// Name of the scenario / deployment the model was trained for.
   std::string scenario;
@@ -56,10 +66,15 @@ struct SnapshotMeta {
 };
 
 /// A loaded snapshot: metadata plus the embedding table (labels keep their
-/// written order, vectors are bit-identical to what was saved).
+/// written order, vectors are bit-identical to what was saved) plus any
+/// named sections ((tag, bytes), written order preserved).
 struct Snapshot {
   SnapshotMeta meta;
   embed::EmbeddingTable table;
+  std::vector<std::pair<std::string, std::string>> sections;
+
+  /// Bytes of the first section tagged `tag`, or nullptr.
+  const std::string* Section(const std::string& tag) const;
 };
 
 /// Validates a declared (dim, vector count) geometry against the bytes
@@ -74,6 +89,8 @@ util::Status ValidateSnapshotGeometry(const std::string& path, uint32_t dim,
 class SnapshotIo {
  public:
   static constexpr uint32_t kVersion = 1;
+  /// Written instead of kVersion when the snapshot carries sections.
+  static constexpr uint32_t kVersionSections = 2;
 
   /// Reserved metadata key. Write appends a 0–3 byte "_pad" pair sized so
   /// the f32 payload starts 4-byte aligned in the file (and therefore in
@@ -87,6 +104,14 @@ class SnapshotIo {
   /// live SnapshotView.
   static util::Status Write(const embed::EmbeddingTable& table,
                             const SnapshotMeta& meta, const std::string& path);
+
+  /// Same, attaching named sections after the payload. An empty `sections`
+  /// writes a plain version-1 file (byte-identical to the overload above);
+  /// any sections bump the file to kVersionSections.
+  static util::Status Write(
+      const embed::EmbeddingTable& table, const SnapshotMeta& meta,
+      const std::vector<std::pair<std::string, std::string>>& sections,
+      const std::string& path);
 
   /// Loads a snapshot written by Write. Rejects corrupted, truncated,
   /// foreign-endian, and version-skewed files.

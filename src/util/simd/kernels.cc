@@ -1,0 +1,117 @@
+#include "util/simd/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace tdmatch {
+namespace simd {
+
+#ifdef TDMATCH_SIMD_AVX2_COMPILED
+namespace internal {
+/// Defined in kernels_avx2.cc (compiled with -mavx2 -mfma).
+const Kernels& Avx2Kernels();
+}  // namespace internal
+#endif
+
+namespace {
+
+const Kernels kScalarKernels = {
+    "scalar",
+    scalar::Dot,
+    scalar::Axpy,
+    scalar::Scale,
+    scalar::ScaleInto,
+    scalar::Add,
+    scalar::SquaredNorm,
+    scalar::Dot8,
+    scalar::AdcScan,
+};
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("TDMATCH_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+struct DispatchState {
+  const Kernels* initial;
+  bool forced_scalar_env;
+};
+
+/// Probed once; the env override is latched at first use so dispatch is
+/// stable for the process lifetime (SetActiveIsa is the only mutation).
+DispatchState& State() {
+  static DispatchState state = [] {
+    DispatchState s;
+    s.forced_scalar_env = EnvForcesScalar();
+    s.initial = &kScalarKernels;
+#ifdef TDMATCH_SIMD_AVX2_COMPILED
+    if (!s.forced_scalar_env && CpuHasAvx2Fma()) {
+      s.initial = &internal::Avx2Kernels();
+    }
+#endif
+    return s;
+  }();
+  return state;
+}
+
+std::atomic<const Kernels*>& ActivePtr() {
+  static std::atomic<const Kernels*> ptr(State().initial);
+  return ptr;
+}
+
+}  // namespace
+
+const Kernels& Scalar() { return kScalarKernels; }
+
+const Kernels& Active() {
+  return *ActivePtr().load(std::memory_order_relaxed);
+}
+
+Isa ActiveIsa() {
+  return &Active() == &kScalarKernels ? Isa::kScalar : Isa::kAvx2;
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool BuildHasAvx2() {
+#ifdef TDMATCH_SIMD_AVX2_COMPILED
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool ForcedScalarByEnv() { return State().forced_scalar_env; }
+
+Isa SetActiveIsa(Isa isa) {
+  const Kernels* table = &kScalarKernels;
+#ifdef TDMATCH_SIMD_AVX2_COMPILED
+  if (isa == Isa::kAvx2 && CpuHasAvx2Fma()) {
+    table = &internal::Avx2Kernels();
+  }
+#else
+  (void)isa;
+#endif
+  ActivePtr().store(table, std::memory_order_relaxed);
+  return table == &kScalarKernels ? Isa::kScalar : Isa::kAvx2;
+}
+
+}  // namespace simd
+}  // namespace tdmatch

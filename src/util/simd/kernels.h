@@ -1,0 +1,178 @@
+#ifndef TDMATCH_UTIL_SIMD_KERNELS_H_
+#define TDMATCH_UTIL_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tdmatch {
+namespace simd {
+
+/// \brief Runtime-dispatched dense-float kernels — the shared hot-loop
+/// layer under serving (cosine scans, k-means assignment, ADC code scans)
+/// and training (dot/axpy).
+///
+/// Two implementations live behind one function table:
+///  * scalar  — portable sequential loops, the bit-exact reference. These
+///    are defined inline in this header (namespace simd::scalar) so
+///    callers that *pin* the scalar path — the embedding trainers, whose
+///    goldens and thread-matrix suites lock bit-identity — pay no call
+///    overhead and keep codegen identical to the pre-kernel loops.
+///  * avx2    — AVX2+FMA intrinsics (kernels_avx2.cc, compiled with
+///    -mavx2 -mfma on x86-64 when the compiler supports it), selected at
+///    runtime only when cpuid reports both features.
+///
+/// Dispatch rules:
+///  * Active() probes the CPU once (first call) and returns the best
+///    supported table.
+///  * The environment variable TDMATCH_FORCE_SCALAR (any non-empty value
+///    except "0") pins dispatch to scalar — CI runs the whole test suite
+///    under both settings to prove scalar/SIMD parity on every PR.
+///  * SetActiveIsa() overrides dispatch at runtime for tests; requests
+///    for an ISA the CPU/build cannot run are clamped to scalar.
+///
+/// Parity contract (verified by tests/simd_kernels_test.cc):
+///  * scalar is the reference; its results are bit-exact across runs and
+///    thread counts by construction (plain sequential loops).
+///  * Elementwise kernels (Axpy, Scale, ScaleInto, Add) differ from
+///    scalar by at most 1 ulp per element on the AVX2 path (FMA fuses the
+///    multiply-add rounding).
+///  * Reductions (Dot, SquaredNorm, Dot8, AdcScan) reassociate the sum
+///    into lanes, so they carry the usual O(eps * n) accumulation
+///    difference; tests bound it relative to the scalar value.
+///  * NaN propagation matches IEEE: a NaN anywhere in the inputs yields a
+///    NaN reduction on both paths. Denormals are computed, not flushed
+///    (no DAZ/FTZ is ever set by this library).
+///
+/// Because the AVX2 reductions are NOT bit-equal to scalar, anything
+/// whose output is golden-locked (Word2Vec/Doc2Vec training) calls
+/// simd::scalar::* directly and never dispatches; serving-side consumers
+/// (ExactIndex, IvfIndex, k-means) dispatch through Active() and are
+/// tested against behavioral thresholds instead of bit-identity.
+struct Kernels {
+  /// Human-readable ISA name ("scalar", "avx2").
+  const char* name;
+  /// Sequential dot product of two n-float slices.
+  float (*dot)(const float* a, const float* b, size_t n);
+  /// y += a * x (n floats).
+  void (*axpy)(float a, const float* x, float* y, size_t n);
+  /// x *= a (n floats).
+  void (*scale)(float a, float* x, size_t n);
+  /// y = a * x (n floats).
+  void (*scale_into)(float a, const float* x, float* y, size_t n);
+  /// y += x (n floats).
+  void (*add)(const float* x, float* y, size_t n);
+  /// Sum of squares of x (n floats).
+  float (*squared_norm)(const float* x, size_t n);
+  /// Batched 8-vector × 1-vector tile: out[q] = dot(rows[q], v, n) for
+  /// q in [0, 8). One pass over v serves all eight rows (k-means
+  /// assignment tiles 8 points against each centroid this way).
+  void (*dot8)(const float* const rows[8], const float* v, size_t n,
+               float out[8]);
+  /// u8 ADC lookup-table scan: for each of num_codes PQ codes (m bytes
+  /// each, contiguous), out[i] = sum over s of table[s * 256 + codes[i*m
+  /// + s]]. `table` is the per-query m × 256 inner-product table.
+  void (*adc_scan)(const uint8_t* codes, size_t num_codes, size_t m,
+                   const float* table, float* out);
+};
+
+/// The portable reference table (see simd::scalar inline functions).
+const Kernels& Scalar();
+
+/// The dispatched table: AVX2+FMA when the build carries it and the CPU
+/// reports it and TDMATCH_FORCE_SCALAR is not set; otherwise scalar.
+const Kernels& Active();
+
+enum class Isa { kScalar = 0, kAvx2 = 1 };
+
+/// The ISA Active() currently dispatches to.
+Isa ActiveIsa();
+const char* IsaName(Isa isa);
+
+/// Raw CPU probe (ignores the env override and SetActiveIsa).
+bool CpuHasAvx2Fma();
+/// True when this binary was compiled with the AVX2 kernel TU at all.
+bool BuildHasAvx2();
+/// True when TDMATCH_FORCE_SCALAR pinned dispatch at startup.
+bool ForcedScalarByEnv();
+
+/// Test hook: re-point Active() at `isa`, clamped to what the CPU and
+/// build support (returns the ISA actually installed). Not thread-safe
+/// against concurrent Active() users mid-query; call between workloads.
+Isa SetActiveIsa(Isa isa);
+
+/// Portable reference kernels, inline so bit-identity-pinned callers
+/// (the trainers) inline them exactly like the historical loops.
+namespace scalar {
+
+inline float Dot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+inline void Axpy(float a, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+inline void Scale(float a, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= a;
+}
+
+inline void ScaleInto(float a, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = a * x[i];
+}
+
+inline void Add(const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+inline float SquaredNorm(const float* x, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc;
+}
+
+/// Eight independent scalar dots — bit-identical to calling Dot eight
+/// times, so forced-scalar runs reproduce the untiled code exactly.
+inline void Dot8(const float* const rows[8], const float* v, size_t n,
+                 float out[8]) {
+  for (int q = 0; q < 8; ++q) out[q] = Dot(rows[q], v, n);
+}
+
+inline void AdcScan(const uint8_t* codes, size_t num_codes, size_t m,
+                    const float* table, float* out) {
+  for (size_t i = 0; i < num_codes; ++i) {
+    const uint8_t* code = codes + i * m;
+    float acc = 0.0f;
+    for (size_t s = 0; s < m; ++s) {
+      acc += table[s * 256 + code[s]];
+    }
+    out[i] = acc;
+  }
+}
+
+}  // namespace scalar
+
+/// Convenience wrappers routing through the dispatched table.
+inline float Dot(const float* a, const float* b, size_t n) {
+  return Active().dot(a, b, n);
+}
+inline void Axpy(float a, const float* x, float* y, size_t n) {
+  Active().axpy(a, x, y, n);
+}
+inline float SquaredNorm(const float* x, size_t n) {
+  return Active().squared_norm(x, n);
+}
+inline void Dot8(const float* const rows[8], const float* v, size_t n,
+                 float out[8]) {
+  Active().dot8(rows, v, n, out);
+}
+inline void AdcScan(const uint8_t* codes, size_t num_codes, size_t m,
+                    const float* table, float* out) {
+  Active().adc_scan(codes, num_codes, m, table, out);
+}
+
+}  // namespace simd
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_SIMD_KERNELS_H_

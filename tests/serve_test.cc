@@ -293,6 +293,155 @@ TEST(IvfIndexTest, RecallAt5IsAtLeast95Percent) {
                           << " nprobe=" << ivf.nprobe();
 }
 
+TEST(IvfPqTest, FullProbeFullRerankMatchesExact) {
+  const int dim = 12;
+  const auto vecs = ClusteredVectors(400, dim, 10, 99);
+  auto matrix = MatrixOf(vecs, dim);
+  serve::ExactIndex exact(matrix);
+  serve::IvfOptions opts;
+  opts.nlist = 16;
+  opts.seed = 5;
+  opts.pq_m = 4;
+  opts.pq_rerank = 400;  // re-rank everything ⇒ ADC error cannot matter
+  serve::IvfIndex pq(matrix, opts);
+  ASSERT_TRUE(pq.pq_enabled());
+  pq.set_nprobe(pq.nlist());
+
+  util::Rng rng(123);
+  for (int q = 0; q < 20; ++q) {
+    const auto& query = vecs[rng.UniformInt(vecs.size())];
+    const auto want = exact.SearchVec(query, 7);
+    const auto got = pq.SearchVec(query, 7);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].index, want[i].index) << "query " << q << " rank "
+                                             << i;
+      EXPECT_DOUBLE_EQ(got[i].score, want[i].score);
+    }
+  }
+}
+
+TEST(IvfPqTest, CompressedRecallClearsFloor) {
+  const int dim = 16;
+  const auto vecs = ClusteredVectors(800, dim, 24, 4242);
+  auto matrix = MatrixOf(vecs, dim);
+  serve::ExactIndex exact(matrix);
+  serve::IvfOptions flat_opts;
+  flat_opts.seed = 4242;
+  flat_opts.nprobe = 8;
+  serve::IvfIndex flat(matrix, flat_opts);
+  serve::IvfOptions pq_opts = flat_opts;
+  pq_opts.pq_m = 8;
+  serve::IvfIndex pq(matrix, pq_opts);
+
+  // The codes must actually be smaller than the f32 lists they replace
+  // (codebook included), and the exact re-rank must hold the quality bar
+  // the serving config promises.
+  EXPECT_LT(pq.ListBytes(), flat.ListBytes());
+  util::Rng rng(7);
+  std::vector<std::vector<float>> queries(60);
+  for (auto& q : queries) {
+    q = vecs[rng.UniformInt(vecs.size())];
+    for (auto& x : q) x += 0.1f * static_cast<float>(rng.Gaussian());
+  }
+  const double recall = serve::MeasureRecallAtK(pq, exact, queries, 5);
+  EXPECT_GE(recall, 0.95) << "nlist=" << pq.nlist();
+}
+
+TEST(IvfPqTest, SerializeRoundTripSearchesIdentically) {
+  const int dim = 16;
+  const auto vecs = ClusteredVectors(500, dim, 16, 321);
+  auto matrix = MatrixOf(vecs, dim);
+  for (size_t pq_m : {size_t{0}, size_t{4}}) {  // flat and PQ wire paths
+    serve::IvfOptions opts;
+    opts.seed = 11;
+    opts.nprobe = 4;
+    opts.pq_m = pq_m;
+    serve::IvfIndex trained(matrix, opts);
+    const uint32_t crc = 0xfeedbeef;
+    const std::string bytes = trained.Serialize(crc);
+
+    auto loaded = serve::IvfIndex::Deserialize(bytes, matrix, crc, opts);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    util::Rng rng(55);
+    for (int q = 0; q < 15; ++q) {
+      const auto& query = vecs[rng.UniformInt(vecs.size())];
+      const auto want = trained.SearchVec(query, 5);
+      const auto got = (*loaded)->SearchVec(query, 5);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].index, want[i].index) << "pq_m=" << pq_m;
+        EXPECT_DOUBLE_EQ(got[i].score, want[i].score);
+      }
+    }
+    // And the reloaded index re-serializes to the same bytes.
+    EXPECT_EQ((*loaded)->Serialize(crc), bytes);
+  }
+}
+
+TEST(IvfPqTest, DeserializeRejectsHostileSections) {
+  const int dim = 8;
+  const auto vecs = ClusteredVectors(100, dim, 6, 13);
+  auto matrix = MatrixOf(vecs, dim);
+  serve::IvfOptions opts;
+  opts.seed = 3;
+  serve::IvfIndex trained(matrix, opts);
+  const uint32_t crc = 42;
+  const std::string good = trained.Serialize(crc);
+  auto reject = [&](const std::string& bytes, const char* what) {
+    auto r = serve::IvfIndex::Deserialize(bytes, matrix, crc, opts);
+    EXPECT_FALSE(r.ok()) << "accepted " << what;
+  };
+
+  // Stale fingerprint: section built over a different candidate set.
+  EXPECT_FALSE(
+      serve::IvfIndex::Deserialize(good, matrix, crc + 1, opts).ok());
+  // Every truncation point must fail (no over-read, no partial adopt).
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{16}, good.size() / 2,
+                      good.size() - 1}) {
+    reject(good.substr(0, keep), "truncation");
+  }
+  reject(good + "x", "trailing garbage");
+
+  // Corrupt each fixed header field in place. Layout: u32 version,
+  // u32 labels_crc, u32 dim, u64 n, u64 nlist, u32 pq_m.
+  auto with_u32 = [&](size_t off, uint32_t v) {
+    std::string b = good;
+    std::memcpy(&b[off], &v, sizeof(v));
+    return b;
+  };
+  reject(with_u32(0, 999), "bad wire version");
+  reject(with_u32(8, static_cast<uint32_t>(dim) + 1), "wrong dim");
+  reject(with_u32(12, 101), "wrong n (low word)");
+  reject(with_u32(28, 3), "pq_m not dividing dim");
+
+  // Structural attacks on the id/offset arrays (flat layout, so offsets
+  // start after the header + centroid block).
+  const size_t centroids_off = 32;
+  const size_t offsets_off =
+      centroids_off + trained.nlist() * static_cast<size_t>(dim) * 4;
+  const size_t ids_off = offsets_off + (trained.nlist() + 1) * 8;
+  {
+    std::string b = good;  // non-monotone offsets
+    const uint64_t big = 1ull << 40;
+    std::memcpy(&b[offsets_off + 8], &big, sizeof(big));
+    reject(b, "non-monotone offsets");
+  }
+  {
+    std::string b = good;  // id out of range
+    const int32_t bad_id = 100;
+    std::memcpy(&b[ids_off], &bad_id, sizeof(bad_id));
+    reject(b, "out-of-range id");
+  }
+  {
+    std::string b = good;  // duplicated id
+    int32_t first;
+    std::memcpy(&first, &b[ids_off], sizeof(first));
+    std::memcpy(&b[ids_off + 4], &first, sizeof(first));
+    reject(b, "duplicate id");
+  }
+}
+
 TEST(IvfIndexTest, TrainingIsThreadCountInvariant) {
   const int dim = 8;
   const auto vecs = ClusteredVectors(300, dim, 12, 11);
@@ -451,6 +600,145 @@ TEST(QueryEngineTest, ExactModeAvailableWithoutIvf) {
   auto top = engine->Query("q2", 2);  // kApprox falls back to exact
   ASSERT_TRUE(top.ok());
   EXPECT_EQ((*top)[0].label, "c2");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot sections (format v2) + engine adoption of the "ivfpq" section
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotSectionsTest, SectionFreeWriteStaysByteIdenticalV1) {
+  const std::string p1 = TempPath("snap_v1.tds");
+  const std::string p2 = TempPath("snap_v1_sections_overload.tds");
+  const embed::EmbeddingTable table = AwkwardTable();
+  ASSERT_TRUE(serve::SnapshotIo::Write(table, DemoMeta(), p1).ok());
+  ASSERT_TRUE(serve::SnapshotIo::Write(table, DemoMeta(), {}, p2).ok());
+  // No sections ⇒ the old v1 format, byte for byte: pre-existing
+  // snapshots and tools notice nothing.
+  EXPECT_EQ(ReadFileBytes(p1), ReadFileBytes(p2));
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(SnapshotSectionsTest, SectionsRoundTripThroughIoAndView) {
+  const std::string path = TempPath("snap_v2.tds");
+  const std::string payload("\x01\x00\xffraw bytes\x00tail", 17);
+  const std::vector<std::pair<std::string, std::string>> sections = {
+      {"ivfpq", payload}, {"notes", "hello"}};
+  ASSERT_TRUE(
+      serve::SnapshotIo::Write(AwkwardTable(), DemoMeta(), sections, path)
+          .ok());
+
+  auto snap = serve::SnapshotIo::Read(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  ASSERT_NE(snap->Section("ivfpq"), nullptr);
+  EXPECT_EQ(*snap->Section("ivfpq"), payload);
+  ASSERT_NE(snap->Section("notes"), nullptr);
+  EXPECT_EQ(*snap->Section("notes"), "hello");
+  EXPECT_EQ(snap->Section("missing"), nullptr);
+  // The table payload itself is untouched by trailing sections.
+  EXPECT_EQ(snap->table.Labels(), AwkwardTable().Labels());
+
+  auto view = serve::SnapshotView::Open(path);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_NE((*view)->Section("ivfpq"), nullptr);
+  EXPECT_EQ(*(*view)->Section("ivfpq"), payload);
+  EXPECT_EQ((*view)->Section("missing"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotSectionsTest, CorruptedSectionFailsCrc) {
+  const std::string path = TempPath("snap_v2_corrupt.tds");
+  ASSERT_TRUE(serve::SnapshotIo::Write(AwkwardTable(), DemoMeta(),
+                                       {{"ivfpq", "payload-bytes"}}, path)
+                  .ok());
+  std::string bytes = ReadFileBytes(path);
+  // Flip a bit inside the appended section region (near the end, before
+  // the trailing CRC): sections sit inside the checksummed span.
+  bytes[bytes.size() - 8] ^= 0x10;
+  WriteFileBytes(path, bytes);
+  EXPECT_FALSE(serve::SnapshotIo::Read(path).ok());
+  EXPECT_FALSE(serve::SnapshotView::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(QueryEngineTest, AdoptsIvfSectionFromSnapshot) {
+  // Train once, persist the index as a section, rebuild from disk: the
+  // second engine must adopt (no k-means) and answer identically.
+  auto trained = serve::QueryEngine::BuildForPrefix(GeometricSnapshot(10),
+                                                    "c");
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  ASSERT_FALSE(trained->ivf_from_snapshot());
+  const std::string section = trained->SerializeIvfSection();
+  ASSERT_FALSE(section.empty());
+
+  const std::string path = TempPath("snap_adopt.tds");
+  serve::Snapshot src = GeometricSnapshot(10);
+  ASSERT_TRUE(serve::SnapshotIo::Write(
+                  src.table, src.meta,
+                  {{serve::QueryEngine::kIvfSectionTag, section}}, path)
+                  .ok());
+  auto snap = serve::SnapshotIo::Read(path);
+  ASSERT_TRUE(snap.ok());
+  auto adopted = serve::QueryEngine::BuildForPrefix(std::move(*snap), "c");
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_TRUE(adopted->ivf_from_snapshot());
+
+  for (int i = 0; i < 10; ++i) {
+    const std::string q = "q" + std::to_string(i);
+    auto want = trained->Query(q, 3);
+    auto got = adopted->Query(q, 3);
+    ASSERT_TRUE(want.ok() && got.ok());
+    ASSERT_EQ(got->size(), want->size());
+    for (size_t r = 0; r < want->size(); ++r) {
+      EXPECT_EQ((*got)[r].label, (*want)[r].label) << q;
+      EXPECT_DOUBLE_EQ((*got)[r].score, (*want)[r].score);
+    }
+  }
+
+  // The mmap path adopts too.
+  auto view = serve::SnapshotView::Open(path);
+  ASSERT_TRUE(view.ok());
+  auto from_view = serve::QueryEngine::BuildFromView(*view, "c");
+  ASSERT_TRUE(from_view.ok()) << from_view.status().ToString();
+  EXPECT_TRUE(from_view->ivf_from_snapshot());
+  std::remove(path.c_str());
+}
+
+TEST(QueryEngineTest, FallsBackToTrainingOnStaleSection) {
+  // Section built over the "c" candidates, engine built over "q": the
+  // fingerprint mismatch must be detected and the engine must train its
+  // own index instead of serving another candidate set's cells.
+  auto trained = serve::QueryEngine::BuildForPrefix(GeometricSnapshot(10),
+                                                    "c");
+  ASSERT_TRUE(trained.ok());
+  const std::string path = TempPath("snap_stale.tds");
+  serve::Snapshot src = GeometricSnapshot(10);
+  ASSERT_TRUE(serve::SnapshotIo::Write(
+                  src.table, src.meta,
+                  {{serve::QueryEngine::kIvfSectionTag,
+                    trained->SerializeIvfSection()}},
+                  path)
+                  .ok());
+  auto snap = serve::SnapshotIo::Read(path);
+  ASSERT_TRUE(snap.ok());
+  auto engine = serve::QueryEngine::BuildForPrefix(std::move(*snap), "q");
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_FALSE(engine->ivf_from_snapshot());
+  EXPECT_TRUE(engine->has_ivf());
+  auto top = engine->Query("c3", 1);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)[0].label, "q3");
+
+  // An engine told not to adopt trains even when the section matches.
+  auto snap2 = serve::SnapshotIo::Read(path);
+  ASSERT_TRUE(snap2.ok());
+  serve::QueryEngineOptions no_adopt;
+  no_adopt.use_snapshot_index = false;
+  auto opted_out = serve::QueryEngine::BuildForPrefix(std::move(*snap2), "c",
+                                                      no_adopt);
+  ASSERT_TRUE(opted_out.ok());
+  EXPECT_FALSE(opted_out->ivf_from_snapshot());
+  std::remove(path.c_str());
 }
 
 TEST(QueryEngineTest, QueryVectorValidatesDim) {

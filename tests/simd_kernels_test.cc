@@ -1,0 +1,233 @@
+// Unit tests for the runtime-dispatched SIMD kernel layer
+// (util/simd/kernels.h). The parity contract under test:
+//
+//  * scalar is the bit-exact reference (sequential loops);
+//  * AVX2 elementwise kernels (axpy/scale/scale_into/add) match scalar to
+//    <= 1 ulp per element (FMA fuses one rounding);
+//  * AVX2 reductions (dot/squared_norm/dot8/adc_scan) reassociate and are
+//    bounded relative to the scalar value;
+//  * odd lengths exercise every remainder-tail path (0..33);
+//  * all kernels accept unaligned inputs (mmap payloads are only 4-byte
+//    aligned);
+//  * NaN propagates through reductions on both paths; denormals are
+//    computed, not flushed.
+//
+// When the host CPU (or the build) has no AVX2+FMA, the dispatched table
+// is the scalar table and the parity tests degenerate to exact equality —
+// they still run, so the suite is meaningful on any machine.
+
+#include "util/simd/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace tdmatch {
+namespace simd {
+namespace {
+
+bool Avx2Active() { return ActiveIsa() == Isa::kAvx2; }
+
+/// Fills with reproducible values in [-1, 1].
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+  return v;
+}
+
+/// Relative tolerance for reassociated reductions over n elements.
+double ReductionTol(size_t n) {
+  return 1e-6 * static_cast<double>(n > 8 ? n : 8);
+}
+
+TEST(SimdDispatch, ScalarTableIsScalar) {
+  EXPECT_STREQ(Scalar().name, "scalar");
+}
+
+TEST(SimdDispatch, ActiveMatchesProbeUnlessForced) {
+  if (ForcedScalarByEnv()) {
+    EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  } else if (BuildHasAvx2() && CpuHasAvx2Fma()) {
+    EXPECT_EQ(ActiveIsa(), Isa::kAvx2);
+  } else {
+    EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  }
+}
+
+TEST(SimdDispatch, SetActiveIsaRoundTrips) {
+  const Isa original = ActiveIsa();
+  EXPECT_EQ(SetActiveIsa(Isa::kScalar), Isa::kScalar);
+  EXPECT_EQ(ActiveIsa(), Isa::kScalar);
+  EXPECT_STREQ(Active().name, "scalar");
+  const Isa granted = SetActiveIsa(Isa::kAvx2);
+  if (BuildHasAvx2() && CpuHasAvx2Fma()) {
+    EXPECT_EQ(granted, Isa::kAvx2);
+    EXPECT_STREQ(Active().name, "avx2");
+  } else {
+    EXPECT_EQ(granted, Isa::kScalar);  // clamped
+  }
+  SetActiveIsa(original);
+}
+
+class SimdParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = ActiveIsa(); }
+  void TearDown() override { SetActiveIsa(original_); }
+  Isa original_;
+};
+
+TEST_F(SimdParityTest, DotAllLengthsIncludingTails) {
+  // Offset by 1 float from a fresh allocation: deliberately not 32-byte
+  // aligned, like a row in an mmap'd snapshot payload.
+  const auto a_buf = RandomVec(64, 11);
+  const auto b_buf = RandomVec(64, 22);
+  const float* a = a_buf.data() + 1;
+  const float* b = b_buf.data() + 3;
+  for (size_t n = 0; n <= 33; ++n) {
+    const float ref = scalar::Dot(a, b, n);
+    const float got = Active().dot(a, b, n);
+    EXPECT_NEAR(got, ref, ReductionTol(n)) << "n=" << n;
+  }
+}
+
+TEST_F(SimdParityTest, DotLargeUnaligned) {
+  const auto a = RandomVec(1001, 5);
+  const auto b = RandomVec(1001, 6);
+  const float ref = scalar::Dot(a.data() + 1, b.data() + 1, 1000);
+  const float got = Active().dot(a.data() + 1, b.data() + 1, 1000);
+  EXPECT_NEAR(got, ref, ReductionTol(1000) * std::abs(ref) + 1e-4);
+}
+
+TEST_F(SimdParityTest, AxpyElementwiseOneUlp) {
+  const auto x = RandomVec(67, 7);
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 31u, 67u}) {
+    auto y_ref = RandomVec(67, 8);
+    auto y_got = y_ref;
+    scalar::Axpy(0.37f, x.data(), y_ref.data(), n);
+    Active().axpy(0.37f, x.data(), y_got.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      // FMA differs from mul+add by at most one rounding of the product.
+      EXPECT_NEAR(y_got[i], y_ref[i],
+                  2.0f * std::abs(y_ref[i]) * 1.2e-7f + 1e-12f)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdParityTest, ScaleAndScaleIntoAndAddExact) {
+  // No FMA in these kernels: lane ops perform the identical single
+  // rounding as scalar, so results are bit-exact on every path.
+  const auto x = RandomVec(41, 9);
+  for (size_t n : {0u, 1u, 8u, 15u, 41u}) {
+    auto a_ref = x, a_got = x;
+    scalar::Scale(-1.7f, a_ref.data(), n);
+    Active().scale(-1.7f, a_got.data(), n);
+    EXPECT_EQ(0, std::memcmp(a_ref.data(), a_got.data(), n * 4)) << n;
+
+    std::vector<float> b_ref(41, 0.f), b_got(41, 0.f);
+    scalar::ScaleInto(2.5f, x.data(), b_ref.data(), n);
+    Active().scale_into(2.5f, x.data(), b_got.data(), n);
+    EXPECT_EQ(0, std::memcmp(b_ref.data(), b_got.data(), n * 4)) << n;
+
+    auto c_ref = RandomVec(41, 10), c_got = c_ref;
+    scalar::Add(x.data(), c_ref.data(), n);
+    Active().add(x.data(), c_got.data(), n);
+    EXPECT_EQ(0, std::memcmp(c_ref.data(), c_got.data(), n * 4)) << n;
+  }
+}
+
+TEST_F(SimdParityTest, SquaredNormParity) {
+  const auto x = RandomVec(100, 12);
+  for (size_t n : {0u, 1u, 9u, 100u}) {
+    EXPECT_NEAR(Active().squared_norm(x.data(), n),
+                scalar::SquaredNorm(x.data(), n), ReductionTol(n))
+        << n;
+  }
+}
+
+TEST_F(SimdParityTest, Dot8MatchesEightDots) {
+  const auto v = RandomVec(53, 13);
+  std::vector<std::vector<float>> rows_store;
+  const float* rows[8];
+  for (int q = 0; q < 8; ++q) {
+    rows_store.push_back(RandomVec(53, 100 + static_cast<uint64_t>(q)));
+  }
+  for (int q = 0; q < 8; ++q) rows[q] = rows_store[static_cast<size_t>(q)].data();
+  for (size_t n : {0u, 1u, 8u, 17u, 53u}) {
+    float ref[8], got[8];
+    scalar::Dot8(rows, v.data(), n, ref);
+    Active().dot8(rows, v.data(), n, got);
+    for (int q = 0; q < 8; ++q) {
+      // The scalar tile must equal eight independent dots bit-for-bit.
+      EXPECT_EQ(ref[q], scalar::Dot(rows[q], v.data(), n)) << n << "/" << q;
+      EXPECT_NEAR(got[q], ref[q], ReductionTol(n)) << n << "/" << q;
+    }
+  }
+}
+
+TEST_F(SimdParityTest, AdcScanParity) {
+  util::Rng rng(77);
+  for (size_t m : {1u, 4u, 8u, 12u, 16u}) {
+    const size_t num_codes = 37;
+    std::vector<uint8_t> codes(num_codes * m);
+    for (auto& c : codes) c = static_cast<uint8_t>(rng.Next() & 0xff);
+    const auto table = RandomVec(m * 256, 1000 + m);
+    std::vector<float> ref(num_codes), got(num_codes);
+    scalar::AdcScan(codes.data(), num_codes, m, table.data(), ref.data());
+    Active().adc_scan(codes.data(), num_codes, m, table.data(), got.data());
+    for (size_t i = 0; i < num_codes; ++i) {
+      EXPECT_NEAR(got[i], ref[i], ReductionTol(m)) << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdParityTest, NanPropagatesThroughReductions) {
+  auto a = RandomVec(19, 14);
+  const auto b = RandomVec(19, 15);
+  a[13] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(scalar::Dot(a.data(), b.data(), 19)));
+  EXPECT_TRUE(std::isnan(Active().dot(a.data(), b.data(), 19)));
+  EXPECT_TRUE(std::isnan(scalar::SquaredNorm(a.data(), 19)));
+  EXPECT_TRUE(std::isnan(Active().squared_norm(a.data(), 19)));
+}
+
+TEST_F(SimdParityTest, DenormalsAreComputedNotFlushed) {
+  // The library must never set DAZ/FTZ: a denormal times a power of two
+  // is exact, so both paths must produce the identical (tiny) product.
+  const float denorm = std::numeric_limits<float>::denorm_min() * 64;
+  std::vector<float> a(8, denorm), b(8, 0.25f);
+  const float ref = scalar::Dot(a.data(), b.data(), 8);
+  const float got = Active().dot(a.data(), b.data(), 8);
+  EXPECT_GT(ref, 0.0f);
+  EXPECT_EQ(got, ref);
+}
+
+TEST_F(SimdParityTest, ForcedScalarDispatchIsBitExactWithReference) {
+  SetActiveIsa(Isa::kScalar);
+  const auto a = RandomVec(129, 16);
+  const auto b = RandomVec(129, 17);
+  EXPECT_EQ(Active().dot(a.data(), b.data(), 129),
+            scalar::Dot(a.data(), b.data(), 129));
+  EXPECT_EQ(&Active(), &Scalar());
+}
+
+TEST(SimdInfo, IsaNames) {
+  EXPECT_STREQ(IsaName(Isa::kScalar), "scalar");
+  EXPECT_STREQ(IsaName(Isa::kAvx2), "avx2");
+  // Log the dispatch decision so CI output records the runner's ISA.
+  ::testing::Test::RecordProperty("active_isa", IsaName(ActiveIsa()));
+  std::printf("[simd] active ISA: %s (cpu avx2+fma: %d, build avx2: %d, "
+              "TDMATCH_FORCE_SCALAR: %d)\n",
+              IsaName(ActiveIsa()), CpuHasAvx2Fma() ? 1 : 0,
+              BuildHasAvx2() ? 1 : 0, ForcedScalarByEnv() ? 1 : 0);
+  (void)Avx2Active;
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace tdmatch

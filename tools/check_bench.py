@@ -20,6 +20,10 @@ the perf/quality regression gate:
     baseline — the embedding pipeline is deterministic for a fixed seed,
     so same-machine same-seed runs reproduce quality values exactly and
     the tolerance only absorbs cross-toolchain libm differences;
+  * a memory metric (`*_bytes`) may not exceed `--max-memory-ratio`
+    (default 1.1) times the baseline value — index layouts are
+    deterministic, so growth is a real footprint regression, with a
+    small allowance for intentional layout tweaks;
   * the per-(bench, scenario) sum of `wall_seconds` may not exceed
     `--max-wall-ratio` (default 1.5) times the baseline sum, for
     scenarios whose baseline sum is at least `--min-wall-seconds`
@@ -27,6 +31,11 @@ the perf/quality regression gate:
   * every baseline row key must still be present (lost coverage fails).
 Timing-valued metrics (`*seconds*`) are never value-compared — their
 cost shows up in the wall-time aggregate instead.
+
+`--min-recall X` additionally enforces an absolute floor (no baseline
+needed): every `recall@K` row whose parameter names a PQ configuration
+(contains `pq`) must be at least X. This is the compressed-index
+quality bar — PQ may trade memory for recall only down to the floor.
 
 Usage:
   tools/check_bench.py bench-json/*.jsonl --out BENCH_pr.json \
@@ -49,6 +58,9 @@ REQUIRED_NUMBER_KEYS = ("value", "wall_seconds")
 QUALITY_METRIC_RE = re.compile(
     r"^(mrr|map@|hp@|exact_[prf]@|node_[prf]@|gold_recall|spearman"
     r"|accuracy|precision|recall|f1)")
+# Memory-footprint metrics: deterministic byte counts (index layout is a
+# pure function of n/dim/options), gated on growth vs baseline.
+MEMORY_METRIC_RE = re.compile(r"_bytes$")
 # Metrics that are themselves timings or machine-dependent throughput
 # (serve_qps/serve_http latency percentiles, qps, reload_ms, and
 # speedup ratios like fig8_scaling's threads_speedup); never
@@ -144,6 +156,16 @@ def compare_to_baseline(rows, baseline_doc, args, errors):
         metric = base["metric"]
         if TIMING_METRIC_RE.search(metric):
             continue  # timings gate via the wall aggregate below
+        if MEMORY_METRIC_RE.search(metric):
+            if base["value"] > 0 and \
+                    pr["value"] > base["value"] * args.max_memory_ratio:
+                errors.append(
+                    f"memory regression: {'/'.join(key)} grew "
+                    f"{base['value']:.0f} -> {pr['value']:.0f} bytes "
+                    f"(allowed ratio {args.max_memory_ratio}; if the index "
+                    "layout changed on purpose regenerate "
+                    "BENCH_baseline.json, see README)")
+            continue
         if not QUALITY_METRIC_RE.match(metric):
             continue  # structural metrics (nodes/edges/...) are informational
         drop = base["value"] - pr["value"]
@@ -173,6 +195,29 @@ def compare_to_baseline(rows, baseline_doc, args, errors):
                 f"(allowed ratio {args.max_wall_ratio}; if every scenario "
                 "regressed at once the runner hardware likely changed — "
                 "regenerate BENCH_baseline.json, see README)")
+
+
+def check_min_recall(rows, min_recall, errors):
+    """Fails any PQ-configuration `recall@K` row below `min_recall`
+    (absolute gate, no baseline needed — recall against the same-run
+    exact index is meaningful on its own). Only rows whose parameter
+    names a PQ setup (contains "pq") are held to the floor; plain IVF
+    rows sweep nprobe down to deliberately lossy settings."""
+    checked = 0
+    for row in rows:
+        if "pq" not in row["parameter"]:
+            continue
+        if not row["metric"].startswith("recall@"):
+            continue
+        checked += 1
+        if row["value"] < min_recall:
+            errors.append(
+                f"compressed-index quality: {'/'.join(row_key(row))} "
+                f"= {row['value']:.4f}, below --min-recall {min_recall}")
+    if checked == 0:
+        errors.append(
+            "--min-recall given but no pq recall@K rows found "
+            "(serve_qps Synthetic scenario not run?)")
 
 
 def check_threads_speedup(rows, min_speedup, errors):
@@ -208,6 +253,14 @@ def main():
         help="max allowed drop of a quality metric vs baseline "
              "(default %(default)s)")
     parser.add_argument(
+        "--max-memory-ratio", type=float, default=1.1,
+        help="max allowed growth ratio of a *_bytes metric vs baseline "
+             "(default %(default)s)")
+    parser.add_argument(
+        "--min-recall", type=float, default=0.0,
+        help="fail if any PQ recall@K row is below this absolute floor; "
+             "0 disables (default %(default)s)")
+    parser.add_argument(
         "--max-wall-ratio", type=float, default=1.5,
         help="max allowed per-scenario wall_seconds ratio vs baseline "
              "(default %(default)s)")
@@ -230,6 +283,9 @@ def main():
 
     if args.min_threads_speedup > 0 and rows:
         check_threads_speedup(rows, args.min_threads_speedup, errors)
+
+    if args.min_recall > 0 and rows:
+        check_min_recall(rows, args.min_recall, errors)
 
     if args.baseline and rows:
         try:

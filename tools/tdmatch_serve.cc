@@ -47,6 +47,7 @@
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
 #include "util/result.h"
+#include "util/simd/kernels.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -68,6 +69,7 @@ struct ServeArgs {
   uint64_t seed = 0;
   size_t k = 5;
   size_t nprobe = 4;
+  size_t pq_m = 0;
   size_t threads = 4;
   bool exact = false;
   // serve mode
@@ -85,8 +87,10 @@ int Usage(const char* prog) {
       "modes:\n"
       "  build-snapshot --scenario <IMDb|Corona|Audit|Politifact|Snopes>\n"
       "                 --out <model.tds> [--scale smoke|sweep|full]\n"
-      "                 [--seed N]\n"
+      "                 [--seed N] [--pq-m N]   (embeds a trained index\n"
+      "                 section; --pq-m turns on product quantization)\n"
       "  info           --snapshot <model.tds>\n"
+      "  isa            (print the SIMD dispatch decision and exit)\n"
       "  query          --snapshot <model.tds> [--k N] [--nprobe N]\n"
       "                 [--exact] [--threads N]\n"
       "  batch          --snapshot <model.tds> --queries <file.txt|.jsonl>\n"
@@ -183,9 +187,33 @@ int RunBuildSnapshot(const ServeArgs& args) {
   meta.Set("query_prefix", kQueryPrefix);
   meta.Set("candidate_prefix", kCandidatePrefix);
 
+  // Train the serving index once at build time and embed it as a
+  // snapshot section: serving processes adopt it (QueryEngineOptions::
+  // use_snapshot_index) instead of re-running k-means at every startup.
+  // --pq-m additionally product-quantizes the inverted lists.
   watch.Reset();
-  util::Status st = serve::SnapshotIo::Write(run->embeddings, meta,
-                                             args.out_path);
+  serve::QueryEngineOptions eopts;
+  eopts.threads = args.threads;
+  eopts.use_snapshot_index = false;  // nothing to adopt; we produce it
+  eopts.ivf.pq_m = args.pq_m;
+  serve::Snapshot snap;
+  snap.meta = meta;
+  snap.table = std::move(run->embeddings);
+  auto qe = serve::QueryEngine::BuildForPrefix(std::move(snap),
+                                               kCandidatePrefix, eopts);
+  if (!qe.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 qe.status().ToString().c_str());
+    return 1;
+  }
+  const double index_seconds = watch.ElapsedSeconds();
+  std::vector<std::pair<std::string, std::string>> sections;
+  sections.emplace_back(serve::QueryEngine::kIvfSectionTag,
+                        qe->SerializeIvfSection());
+
+  watch.Reset();
+  util::Status st = serve::SnapshotIo::Write(qe->table(), meta,
+                                             sections, args.out_path);
   if (!st.ok()) {
     std::fprintf(stderr, "snapshot write failed: %s\n",
                  st.ToString().c_str());
@@ -195,12 +223,15 @@ int RunBuildSnapshot(const ServeArgs& args) {
                       std::ios::binary | std::ios::ate);
   std::printf(
       "wrote %s: scenario=%s vectors=%zu dim=%d bytes=%lld\n"
-      "timings: generate=%.2fs train=%.2fs write=%.3fs\n",
-      args.out_path.c_str(), sc.name.c_str(), run->embeddings.size(),
-      run->embeddings.dim(),
+      "index section: %s, %zu bytes (%zu candidates)\n"
+      "timings: generate=%.2fs train=%.2fs index=%.2fs write=%.3fs\n",
+      args.out_path.c_str(), sc.name.c_str(), qe->table().size(),
+      qe->table().dim(),
       static_cast<long long>(probe ? static_cast<long long>(probe.tellg())
                                    : -1),
-      gen_seconds, train_seconds, watch.ElapsedSeconds());
+      qe->ivf_index()->name().c_str(), sections.front().second.size(),
+      qe->num_candidates(), gen_seconds, train_seconds, index_seconds,
+      watch.ElapsedSeconds());
   return 0;
 }
 
@@ -214,7 +245,20 @@ util::Result<serve::QueryEngine> LoadEngine(const ServeArgs& args) {
   opts.default_k = args.k;
   opts.build_ivf = !args.exact;
   opts.ivf.nprobe = args.nprobe;
+  opts.ivf.pq_m = args.pq_m;
   return serve::QueryEngine::BuildForPrefix(std::move(snap), prefix, opts);
+}
+
+/// `tdmatch_serve isa`: one line for CI logs — which kernel set queries
+/// will actually run on this machine, and why.
+int RunIsa() {
+  std::printf("active ISA: %s (cpu avx2+fma: %s, compiled avx2: %s, "
+              "TDMATCH_FORCE_SCALAR: %s)\n",
+              simd::IsaName(simd::ActiveIsa()),
+              simd::CpuHasAvx2Fma() ? "yes" : "no",
+              simd::BuildHasAvx2() ? "yes" : "no",
+              simd::ForcedScalarByEnv() ? "set" : "unset");
+  return 0;
 }
 
 int RunInfo(const ServeArgs& args) {
@@ -228,6 +272,10 @@ int RunInfo(const ServeArgs& args) {
               snap->table.size(), snap->table.dim());
   for (const auto& kv : snap->meta.extra) {
     std::printf("  %s: %s\n", kv.first.c_str(), kv.second.c_str());
+  }
+  for (const auto& sec : snap->sections) {
+    std::printf("  section %s: %zu bytes\n", sec.first.c_str(),
+                sec.second.size());
   }
   return 0;
 }
@@ -346,6 +394,7 @@ int RunServe(const ServeArgs& args) {
   sopts.engine.default_k = args.k;
   sopts.engine.build_ivf = !args.exact;
   sopts.engine.ivf.nprobe = args.nprobe;
+  sopts.engine.ivf.pq_m = args.pq_m;
   sopts.use_mmap = !args.no_mmap;
   sopts.allow_reload = !args.no_reload;
 
@@ -498,6 +547,11 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "bad --nprobe '%s'\n", v);
         return 2;
       }
+    } else if (flag == "--pq-m" && (v = next())) {
+      if (!ParseSize(v, &args.pq_m)) {
+        std::fprintf(stderr, "bad --pq-m '%s'\n", v);
+        return 2;
+      }
     } else if (flag == "--threads" && (v = next())) {
       if (!ParseSize(v, &args.threads) || args.threads == 0) {
         std::fprintf(stderr, "bad --threads '%s'\n", v);
@@ -511,6 +565,7 @@ int Main(int argc, char** argv) {
 
   if (args.mode == "build-snapshot") return RunBuildSnapshot(args);
   if (args.mode == "info") return RunInfo(args);
+  if (args.mode == "isa") return RunIsa();
   if (args.mode == "query") return RunQueryRepl(args);
   if (args.mode == "batch") return RunBatch(args);
   if (args.mode == "convert") return RunConvert(args);

@@ -1,0 +1,68 @@
+#include "serve/admission.h"
+
+namespace tdmatch {
+namespace serve {
+
+bool AdmissionController::TryAcquire() {
+  size_t cur = inflight_.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur >= options_.max_inflight) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // On CAS failure `cur` reloads the observed value and the capacity
+    // check re-runs — a slot freed or taken between iterations is never
+    // double-counted.
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+int AdmissionController::RetryAfterSeconds(double typical_ms) const {
+  const double backlog =
+      static_cast<double>(inflight_.load(std::memory_order_relaxed));
+  const double per_query_ms = typical_ms > 0.0 ? typical_ms : 1.0;
+  const double seconds = backlog * per_query_ms / 1000.0;
+  int s = static_cast<int>(seconds) + 1;  // round up, never 0
+  if (s < options_.min_retry_after_s) s = options_.min_retry_after_s;
+  if (s > options_.max_retry_after_s) s = options_.max_retry_after_s;
+  return s;
+}
+
+NprobeTuner::NprobeTuner(NprobeTunerOptions options) : options_(options) {
+  if (options_.min_nprobe < 1) options_.min_nprobe = 1;
+  if (options_.max_nprobe < options_.min_nprobe) {
+    options_.max_nprobe = options_.min_nprobe;
+  }
+  size_t start = options_.initial_nprobe;
+  if (start < options_.min_nprobe) start = options_.min_nprobe;
+  if (start > options_.max_nprobe) start = options_.max_nprobe;
+  nprobe_.store(start, std::memory_order_relaxed);
+  if (options_.window == 0) options_.window = 1;
+}
+
+void NprobeTuner::Observe(double p99_ms) {
+  if (!enabled()) return;
+  const uint64_t n = observed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % options_.window != 0) return;
+  const size_t cur = nprobe_.load(std::memory_order_relaxed);
+  size_t next = cur;
+  if (p99_ms > options_.budget_ms) {
+    next = cur / 2;  // multiplicative decrease
+    if (next < options_.min_nprobe) next = options_.min_nprobe;
+  } else if (p99_ms <= options_.budget_ms * 0.5 &&
+             cur < options_.max_nprobe) {
+    next = cur + 1;  // additive increase
+  }
+  if (next != cur) {
+    nprobe_.store(next, std::memory_order_relaxed);
+    adjustments_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace serve
+}  // namespace tdmatch

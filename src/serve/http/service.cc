@@ -1,7 +1,9 @@
 #include "serve/http/service.h"
 
 #include <cctype>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -107,7 +109,9 @@ double LatencyHistogram::PercentileMs(double p) const {
 
 MatchService::MatchService(ServiceOptions options)
     : options_(std::move(options)),
-      start_time_(std::chrono::steady_clock::now()) {}
+      start_time_(std::chrono::steady_clock::now()),
+      admission_(AdmissionOptions{options_.max_inflight, 1, 30}),
+      cache_(ResultCacheOptions{options_.cache_entries, 8}) {}
 
 util::Result<std::shared_ptr<const EngineState>> MatchService::BuildState(
     const std::string& path, uint64_t version) const {
@@ -116,25 +120,26 @@ util::Result<std::shared_ptr<const EngineState>> MatchService::BuildState(
   state->version = version;
   state->snapshot_path = path;
   state->mmap = options_.use_mmap;
+  ShardedEngineOptions sharded;
+  sharded.shards = options_.shards;
+  sharded.engine = options_.engine;
   if (options_.use_mmap) {
     TDM_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotView> view,
                          SnapshotView::Open(path));
     std::string prefix = view->meta().Find("candidate_prefix");
     if (prefix.empty()) prefix = "__D1:";
     TDM_ASSIGN_OR_RETURN(
-        QueryEngine engine,
-        QueryEngine::BuildFromView(std::move(view), prefix,
-                                   options_.engine));
-    state->engine = std::make_shared<QueryEngine>(std::move(engine));
+        ShardedQueryEngine engine,
+        ShardedQueryEngine::BuildFromView(std::move(view), prefix, sharded));
+    state->engine = std::make_shared<ShardedQueryEngine>(std::move(engine));
   } else {
     TDM_ASSIGN_OR_RETURN(Snapshot snap, SnapshotIo::Read(path));
     std::string prefix = snap.meta.Find("candidate_prefix");
     if (prefix.empty()) prefix = "__D1:";
     TDM_ASSIGN_OR_RETURN(
-        QueryEngine engine,
-        QueryEngine::BuildForPrefix(std::move(snap), prefix,
-                                    options_.engine));
-    state->engine = std::make_shared<QueryEngine>(std::move(engine));
+        ShardedQueryEngine engine,
+        ShardedQueryEngine::Build(std::move(snap), prefix, sharded));
+    state->engine = std::make_shared<ShardedQueryEngine>(std::move(engine));
   }
   state->load_seconds = watch.ElapsedSeconds();
   return std::shared_ptr<const EngineState>(std::move(state));
@@ -144,6 +149,16 @@ util::Status MatchService::LoadInitial(const std::string& snapshot_path) {
   std::lock_guard<std::mutex> lock(reload_mu_);
   TDM_ASSIGN_OR_RETURN(std::shared_ptr<const EngineState> state,
                        BuildState(snapshot_path, 1));
+  // The tuner's ceiling is the loaded engine's largest shard nlist —
+  // probing more cells than exist buys nothing. Created once here (before
+  // serving starts); reloads clamp at use instead of resetting the
+  // tuner's learned position.
+  NprobeTunerOptions tuning;
+  tuning.budget_ms = options_.latency_budget_ms;
+  tuning.initial_nprobe = options_.engine.ivf.nprobe;
+  tuning.max_nprobe =
+      state->engine->has_ivf() ? state->engine->max_nprobe() : 1;
+  tuner_ = std::make_unique<NprobeTuner>(tuning);
   std::atomic_store(&state_, std::move(state));
   return util::Status::OK();
 }
@@ -168,6 +183,10 @@ util::Result<std::shared_ptr<const EngineState>> MatchService::Reload(
   // engine (and its mmap) is destroyed when the last pin drops.
   std::atomic_store(&state_, fresh);
   reloads_.fetch_add(1, std::memory_order_relaxed);
+  // Cached responses are stamped with the version they answered for (Get
+  // refuses a stale stamp on its own); clearing on swap also frees the
+  // dead epoch's bodies immediately.
+  cache_.Clear();
   return fresh;
 }
 
@@ -184,13 +203,29 @@ void MatchService::Register(HttpServer* server) {
   }
 }
 
+HttpResponse MatchService::ShedResponse() {
+  // Retry-After scales with the backlog at a typical (p50) per-query
+  // cost; the header is always an integer in [1, 30] seconds.
+  const int retry_s = admission_.RetryAfterSeconds(latency_.PercentileMs(0.5));
+  util::JsonWriter w;
+  w.BeginObject()
+      .Key("error").Value(util::StrFormat(
+          "overloaded: %zu queries in flight at capacity %zu",
+          admission_.inflight(), admission_.options().max_inflight))
+      .Key("retry_after_seconds").Value(static_cast<int64_t>(retry_s))
+      .EndObject();
+  HttpResponse response = HttpResponse::Json(429, w.str());
+  response.headers.emplace_back("Retry-After", std::to_string(retry_s));
+  return response;
+}
+
 HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
   util::StopWatch watch;
   const std::shared_ptr<const EngineState> state = this->state();
   if (state == nullptr) {
     return ErrorResponse(503, "no snapshot loaded");
   }
-  const QueryEngine& engine = *state->engine;
+  const ShardedQueryEngine& engine = *state->engine;
 
   auto parsed = util::JsonParse(request.body);
   if (!parsed.ok()) {
@@ -241,6 +276,54 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
     return ErrorResponse(400, "'allowed' requires a single 'label' query");
   }
 
+  // --- debug delay (only honored with allow_debug_delay) -----------------
+  double delay_ms = 0.0;
+  if (const util::JsonValue* dv = root.Find("delay_ms");
+      dv != nullptr && options_.allow_debug_delay) {
+    if (!dv->is_number() || dv->number_value() < 0.0 ||
+        dv->number_value() > 10000.0) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(400, "'delay_ms' must be a number in [0, 10000]");
+    }
+    delay_ms = dv->number_value();
+  }
+
+  // --- per-query nprobe from the latency-budget auto-tuner ----------------
+  size_t nprobe = 0;
+  if (tuner_ != nullptr && tuner_->enabled() &&
+      mode == SearchMode::kApprox && engine.has_ivf()) {
+    nprobe = std::max<size_t>(
+        1, std::min(tuner_->nprobe(), engine.max_nprobe()));
+  }
+
+  // --- result cache (single-label queries; the hot-query shape) -----------
+  // A hit is served before admission: it costs one striped-map lookup, no
+  // engine work, so shedding it would protect nothing.
+  std::string cache_key;
+  if (cache_.enabled() && label != nullptr && label->is_string() &&
+      allowed == nullptr) {
+    cache_key = util::StrFormat(
+        "%s|k=%zu|m=%c|np=%zu",
+        ResolveLabel(label->string_value(), engine.meta()).c_str(), k,
+        mode == SearchMode::kExact ? 'e' : 'a', nprobe);
+    std::string cached;
+    if (cache_.Get(cache_key, state->version, &cached)) {
+      queries_.fetch_add(1, std::memory_order_relaxed);
+      latency_.Record(watch.ElapsedMillis());
+      return HttpResponse::Json(200, std::move(cached));
+    }
+  }
+
+  // --- admission: shed instead of queueing past the in-flight budget ------
+  AdmissionController::Ticket ticket(&admission_);
+  if (!ticket.admitted()) {
+    return ShedResponse();
+  }
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+
   util::JsonWriter w;
   w.BeginObject()
       .Key("snapshot_version").Value(state->version)
@@ -267,7 +350,7 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
       }
       names.push_back(ResolveLabel(item.string_value(), engine.meta()));
     }
-    const auto results = engine.QueryBatch(names, k, mode);
+    const auto results = engine.QueryBatch(names, k, mode, nprobe);
     queries_.fetch_add(names.size(), std::memory_order_relaxed);
     w.Key("results").BeginArray();
     for (size_t i = 0; i < results.size(); ++i) {
@@ -308,7 +391,7 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
       }
       result = engine.QueryFiltered(name, block, k);
     } else {
-      result = engine.Query(name, k, mode);
+      result = engine.Query(name, k, mode, nprobe);
     }
     queries_.fetch_add(1, std::memory_order_relaxed);
     if (!result.ok()) {
@@ -334,7 +417,7 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
       }
       q.push_back(static_cast<float>(item.number_value()));
     }
-    const auto result = engine.QueryVector(q, k, mode);
+    const auto result = engine.QueryVector(q, k, mode, nprobe);
     queries_.fetch_add(1, std::memory_order_relaxed);
     if (!result.ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
@@ -344,8 +427,14 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
   }
 
   w.EndObject();
+  std::string body = w.str();
+  if (!cache_key.empty()) cache_.Put(cache_key, state->version, body);
   latency_.Record(watch.ElapsedMillis());
-  return HttpResponse::Json(200, w.str());
+  // Feed the tuner after recording: it reacts to the p99 including this
+  // query. Cache hits and shed requests never reach here — the tuner only
+  // learns from queries the engine actually executed.
+  if (tuner_ != nullptr) tuner_->Observe(latency_.PercentileMs(0.99));
+  return HttpResponse::Json(200, std::move(body));
 }
 
 HttpResponse MatchService::HandleHealth(const HttpRequest&) {
@@ -366,12 +455,14 @@ HttpResponse MatchService::HandleStats(const HttpRequest&) {
   if (state == nullptr) {
     return ErrorResponse(503, "no snapshot loaded");
   }
-  const QueryEngine& engine = *state->engine;
+  const ShardedQueryEngine& engine = *state->engine;
   const double uptime =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time_)
           .count();
   const uint64_t queries = queries_.load(std::memory_order_relaxed);
+  const uint64_t cache_hits = cache_.hits();
+  const uint64_t cache_lookups = cache_hits + cache_.misses();
   util::JsonWriter w;
   w.BeginObject()
       .Key("snapshot_version").Value(state->version)
@@ -381,7 +472,7 @@ HttpResponse MatchService::HandleStats(const HttpRequest&) {
       .Key("load_seconds").Value(state->load_seconds)
       .Key("candidates").Value(static_cast<uint64_t>(
           engine.num_candidates()))
-      .Key("dim").Value(static_cast<int64_t>(engine.table().dim()))
+      .Key("dim").Value(static_cast<int64_t>(engine.dim()))
       .Key("index").Value(engine.has_ivf() ? "ivf+exact" : "exact")
       .Key("uptime_seconds").Value(uptime)
       .Key("queries").Value(queries)
@@ -395,6 +486,40 @@ HttpResponse MatchService::HandleStats(const HttpRequest&) {
       .Key("p50").Value(latency_.PercentileMs(0.50))
       .Key("p90").Value(latency_.PercentileMs(0.90))
       .Key("p99").Value(latency_.PercentileMs(0.99))
+      .EndObject()
+      .Key("shards").BeginObject()
+      .Key("configured").Value(static_cast<uint64_t>(engine.num_shards()))
+      .Key("active").Value(static_cast<uint64_t>(engine.active_shards()))
+      .EndObject()
+      // max_inflight: -1 encodes "unlimited" (SIZE_MAX is not a JSON-safe
+      // integer).
+      .Key("admission").BeginObject()
+      .Key("max_inflight").Value(
+          admission_.unlimited()
+              ? int64_t{-1}
+              : static_cast<int64_t>(admission_.options().max_inflight))
+      .Key("inflight").Value(static_cast<uint64_t>(admission_.inflight()))
+      .Key("admitted").Value(admission_.admitted())
+      .Key("shed").Value(admission_.shed())
+      .EndObject()
+      .Key("cache").BeginObject()
+      .Key("enabled").Value(cache_.enabled())
+      .Key("entries").Value(static_cast<uint64_t>(cache_.size()))
+      .Key("hits").Value(cache_hits)
+      .Key("misses").Value(cache_.misses())
+      .Key("evictions").Value(cache_.evictions())
+      .Key("hit_rate").Value(cache_lookups > 0
+                                 ? static_cast<double>(cache_hits) /
+                                       static_cast<double>(cache_lookups)
+                                 : 0.0)
+      .EndObject()
+      .Key("autotune").BeginObject()
+      .Key("enabled").Value(tuner_ != nullptr && tuner_->enabled())
+      .Key("budget_ms").Value(options_.latency_budget_ms)
+      .Key("nprobe").Value(static_cast<uint64_t>(
+          tuner_ != nullptr ? tuner_->nprobe() : 0))
+      .Key("adjustments").Value(tuner_ != nullptr ? tuner_->adjustments()
+                                                  : uint64_t{0})
       .EndObject()
       .EndObject();
   return HttpResponse::Json(200, w.str());

@@ -4,13 +4,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "serve/admission.h"
 #include "serve/http/http.h"
 #include "serve/http/server.h"
 #include "serve/query_engine.h"
+#include "serve/result_cache.h"
+#include "serve/sharded_engine.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -49,7 +53,7 @@ struct EngineState {
   std::string snapshot_path;
   bool mmap = false;
   double load_seconds = 0.0;
-  std::shared_ptr<QueryEngine> engine;
+  std::shared_ptr<ShardedQueryEngine> engine;
 };
 
 struct ServiceOptions {
@@ -61,6 +65,21 @@ struct ServiceOptions {
   bool allow_reload = true;
   /// Per-request cap on batch "labels" length.
   size_t max_batch = 1024;
+  /// Scatter-gather shard count for the serving engine. 1 = the classic
+  /// unsharded engine (exact-mode results are bit-identical either way).
+  size_t shards = 1;
+  /// Admission budget for /v1/query: requests past this many in flight
+  /// get 429 + Retry-After. SIZE_MAX never sheds; 0 sheds everything.
+  size_t max_inflight = std::numeric_limits<size_t>::max();
+  /// p99 latency budget (ms) the nprobe auto-tuner steers approx queries
+  /// toward; <= 0 disables tuning.
+  double latency_budget_ms = 0.0;
+  /// LRU result-cache capacity in responses; 0 disables the cache.
+  size_t cache_entries = 0;
+  /// Honor a debug "delay_ms" field on /v1/query (sleeps inside the
+  /// admission window). Only for tests/CI: it makes in-flight overlap —
+  /// and therefore 429s — deterministic under a flood.
+  bool allow_debug_delay = false;
 };
 
 /// \brief The JSON endpoints of the serving front end, bound to an
@@ -112,10 +131,16 @@ class MatchService {
   HttpResponse HandleReload(const HttpRequest& request);
 
   const ServiceOptions& options() const { return options_; }
+  const AdmissionController& admission() const { return admission_; }
+  const ResultCache& cache() const { return cache_; }
+  /// Null until LoadInitial; disabled unless latency_budget_ms > 0.
+  const NprobeTuner* tuner() const { return tuner_.get(); }
 
  private:
   util::Result<std::shared_ptr<const EngineState>> BuildState(
       const std::string& path, uint64_t version) const;
+  /// The 429 + Retry-After response for a refused query.
+  HttpResponse ShedResponse();
 
   ServiceOptions options_;
   /// Current epoch; read with std::atomic_load, published with
@@ -129,6 +154,9 @@ class MatchService {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> reloads_{0};
   LatencyHistogram latency_;
+  AdmissionController admission_;
+  ResultCache cache_;
+  std::unique_ptr<NprobeTuner> tuner_;
 };
 
 }  // namespace http

@@ -148,8 +148,15 @@ size_t IvfIndex::ListBytes() const {
 
 std::vector<match::Match> IvfIndex::Search(
     const float* query, size_t k, const std::vector<char>* allowed) const {
+  return SearchWithNprobe(query, k, nprobe_, allowed);
+}
+
+std::vector<match::Match> IvfIndex::SearchWithNprobe(
+    const float* query, size_t k, size_t nprobe,
+    const std::vector<char>* allowed) const {
   const size_t d = static_cast<size_t>(data_->dim());
   if (data_->size() == 0 || k == 0) return {};
+  nprobe = std::max<size_t>(1, std::min(nprobe, nlist_));
 
   // Coarse quantizer: nearest nprobe cells by centroid dot product.
   std::vector<double> cell_scores(nlist_);
@@ -157,7 +164,7 @@ std::vector<match::Match> IvfIndex::Search(
     cell_scores[c] = simd::Dot(query, centroids_.data() + c * d, d);
   }
   const std::vector<match::Match> probes =
-      match::TopK::Select(cell_scores, nprobe_);
+      match::TopK::Select(cell_scores, nprobe);
 
   return pq_enabled() ? SearchPq(query, k, probes, allowed)
                       : SearchFlat(query, k, probes, allowed);

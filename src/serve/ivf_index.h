@@ -93,6 +93,14 @@ class IvfIndex : public Index {
       const float* query, size_t k,
       const std::vector<char>* allowed = nullptr) const override;
 
+  /// Search with an explicit probe count (clamped to [1, nlist]) instead
+  /// of the stored nprobe. Const and thread-safe: this is the per-query
+  /// recall/latency override the serving auto-tuner drives, usable while
+  /// other threads query concurrently (unlike set_nprobe).
+  std::vector<match::Match> SearchWithNprobe(
+      const float* query, size_t k, size_t nprobe,
+      const std::vector<char>* allowed = nullptr) const;
+
   /// The recall knob; clamped to [1, nlist]. Safe between queries, not
   /// concurrently with them.
   void set_nprobe(size_t nprobe);

@@ -97,6 +97,44 @@ util::Result<QueryEngine> QueryEngine::BuildFromView(
   return engine;
 }
 
+util::Result<QueryEngine> QueryEngine::BuildOverMatrix(
+    std::shared_ptr<const VectorMatrix> matrix,
+    std::vector<std::string> candidate_labels, SnapshotMeta meta,
+    QueryEngineOptions options) {
+  if (matrix == nullptr) {
+    return util::Status::InvalidArgument("candidate matrix is null");
+  }
+  if (candidate_labels.empty()) {
+    return util::Status::InvalidArgument("candidate set is empty");
+  }
+  if (candidate_labels.size() != matrix->size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "matrix has %zu rows for %zu candidate labels", matrix->size(),
+        candidate_labels.size()));
+  }
+  QueryEngine engine;
+  engine.candidate_index_.reserve(candidate_labels.size());
+  for (size_t i = 0; i < candidate_labels.size(); ++i) {
+    const bool inserted =
+        engine.candidate_index_
+            .emplace(candidate_labels[i], static_cast<int32_t>(i))
+            .second;
+    if (!inserted) {
+      return util::Status::InvalidArgument("duplicate candidate label: " +
+                                           candidate_labels[i]);
+    }
+  }
+  engine.matrix_ = std::move(matrix);
+  engine.candidate_labels_ = std::move(candidate_labels);
+  engine.snapshot_.meta = std::move(meta);
+  engine.snapshot_.table = embed::EmbeddingTable(engine.matrix_->dim());
+  // A snapshot "ivfpq" section fingerprints the full candidate set; a
+  // matrix built over a partition can never match it.
+  options.use_snapshot_index = false;
+  TDM_RETURN_NOT_OK(engine.FinishBuild(options));
+  return engine;
+}
+
 util::Status QueryEngine::FinishBuild(QueryEngineOptions options) {
   options_ = options;
   exact_ = std::make_unique<ExactIndex>(matrix_);
@@ -171,14 +209,15 @@ std::vector<ScoredMatch> QueryEngine::ToScored(
 }
 
 util::Result<std::vector<ScoredMatch>> QueryEngine::QueryVector(
-    const std::vector<float>& vec, size_t k, SearchMode mode) const {
+    const std::vector<float>& vec, size_t k, SearchMode mode,
+    size_t nprobe) const {
   if (vec.size() != static_cast<size_t>(snapshot_.table.dim())) {
     return util::Status::InvalidArgument(
         util::StrFormat("query vector has dim %zu, snapshot dim is %d",
                         vec.size(), snapshot_.table.dim()));
   }
   if (k == 0) k = options_.default_k;
-  return ToScored(IndexFor(mode).SearchVec(vec, k));
+  return SearchNormalized(IndexFor(mode), vec.data(), k, nullptr, nprobe);
 }
 
 const float* QueryEngine::LookupVector(const std::string& label,
@@ -197,23 +236,40 @@ const float* QueryEngine::LookupVector(const std::string& label,
 
 std::vector<ScoredMatch> QueryEngine::SearchNormalized(
     const Index& index, const float* vec, size_t k,
-    const std::vector<char>* allowed) const {
+    const std::vector<char>* allowed, size_t nprobe) const {
   // One copy total (the normalization scratch) — the same cost the
   // pre-mmap code paid through Index::SearchVec.
   std::vector<float> q(vec, vec + static_cast<size_t>(matrix_->dim()));
   NormalizeSlice(q.data(), matrix_->dim());
+  if (nprobe > 0 && ivf_ != nullptr && &index == ivf_.get()) {
+    return ToScored(ivf_->SearchWithNprobe(q.data(), k, nprobe, allowed));
+  }
   return ToScored(index.Search(q.data(), k, allowed));
 }
 
 util::Result<std::vector<ScoredMatch>> QueryEngine::Query(
-    const std::string& label, size_t k, SearchMode mode) const {
+    const std::string& label, size_t k, SearchMode mode,
+    size_t nprobe) const {
   std::vector<float> scratch;
   const float* vec = LookupVector(label, &scratch);
   if (vec == nullptr) {
     return util::Status::NotFound("no embedding for label '" + label + "'");
   }
   if (k == 0) k = options_.default_k;
-  return SearchNormalized(IndexFor(mode), vec, k);
+  return SearchNormalized(IndexFor(mode), vec, k, nullptr, nprobe);
+}
+
+size_t QueryEngine::BuildMask(const std::vector<std::string>& allowed,
+                              std::vector<char>* mask) const {
+  mask->assign(candidate_labels_.size(), 0);
+  size_t block_size = 0;
+  for (const auto& a : allowed) {
+    auto it = candidate_index_.find(a);
+    if (it == candidate_index_.end()) continue;  // not a candidate: ignore
+    if ((*mask)[static_cast<size_t>(it->second)] == 0) ++block_size;
+    (*mask)[static_cast<size_t>(it->second)] = 1;
+  }
+  return block_size;
 }
 
 util::Result<std::vector<ScoredMatch>> QueryEngine::QueryFiltered(
@@ -224,15 +280,8 @@ util::Result<std::vector<ScoredMatch>> QueryEngine::QueryFiltered(
   if (vec == nullptr) {
     return util::Status::NotFound("no embedding for label '" + label + "'");
   }
-  std::vector<char> mask(candidate_labels_.size(), 0);
-  size_t block_size = 0;
-  for (const auto& a : allowed) {
-    auto it = candidate_index_.find(a);
-    if (it == candidate_index_.end()) continue;  // not a candidate: ignore
-    if (mask[static_cast<size_t>(it->second)] == 0) ++block_size;
-    mask[static_cast<size_t>(it->second)] = 1;
-  }
-  if (block_size == 0) return std::vector<ScoredMatch>{};
+  std::vector<char> mask;
+  if (BuildMask(allowed, &mask) == 0) return std::vector<ScoredMatch>{};
   if (k == 0) k = options_.default_k;
   // Always the exact index: the IVF scan only sees the nprobe probed
   // cells, so a small allowed set (the blocker regime this API exists
@@ -241,8 +290,23 @@ util::Result<std::vector<ScoredMatch>> QueryEngine::QueryFiltered(
   return SearchNormalized(*exact_, vec, k, &mask);
 }
 
+util::Result<std::vector<ScoredMatch>> QueryEngine::QueryVectorFiltered(
+    const std::vector<float>& vec, const std::vector<std::string>& allowed,
+    size_t k) const {
+  if (vec.size() != static_cast<size_t>(snapshot_.table.dim())) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("query vector has dim %zu, snapshot dim is %d",
+                        vec.size(), snapshot_.table.dim()));
+  }
+  std::vector<char> mask;
+  if (BuildMask(allowed, &mask) == 0) return std::vector<ScoredMatch>{};
+  if (k == 0) k = options_.default_k;
+  return SearchNormalized(*exact_, vec.data(), k, &mask);
+}
+
 std::vector<util::Result<std::vector<ScoredMatch>>> QueryEngine::QueryBatch(
-    const std::vector<std::string>& labels, size_t k, SearchMode mode) const {
+    const std::vector<std::string>& labels, size_t k, SearchMode mode,
+    size_t nprobe) const {
   // Pre-size with per-slot placeholders, then let the shards overwrite
   // their ranges: no locking on the result vector, and the output order
   // never depends on the thread count.
@@ -251,7 +315,9 @@ std::vector<util::Result<std::vector<ScoredMatch>>> QueryEngine::QueryBatch(
       n, util::Status::Internal("query not executed"));
   const size_t shards = std::min(options_.threads, n);
   if (pool_ == nullptr || shards <= 1) {
-    for (size_t i = 0; i < n; ++i) results[i] = Query(labels[i], k, mode);
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = Query(labels[i], k, mode, nprobe);
+    }
     return results;
   }
 
@@ -270,9 +336,9 @@ std::vector<util::Result<std::vector<ScoredMatch>>> QueryEngine::QueryBatch(
   std::condition_variable done;
   for (const auto& range : ranges) {
     pool_->Submit([this, &labels, &results, &remaining, &mu, &done, range,
-                   k, mode] {
+                   k, mode, nprobe] {
       for (size_t i = range.first; i < range.second; ++i) {
-        results[i] = Query(labels[i], k, mode);
+        results[i] = Query(labels[i], k, mode, nprobe);
       }
       std::lock_guard<std::mutex> lock(mu);
       if (--remaining == 0) done.notify_all();

@@ -90,15 +90,30 @@ class QueryEngine {
       std::shared_ptr<const SnapshotView> view, const std::string& prefix,
       QueryEngineOptions options = {});
 
+  /// Builds directly over an already-gathered (normalized) candidate
+  /// matrix and its labels — the shard-engine path: ShardedQueryEngine
+  /// partitions one snapshot's candidate set and hands each shard its
+  /// slice. The engine owns no snapshot payload (label-addressed Query
+  /// only resolves candidate labels via QueryVector at the sharded layer);
+  /// snapshot "ivfpq" sections are not consulted (they fingerprint the
+  /// full candidate set, not a partition).
+  static util::Result<QueryEngine> BuildOverMatrix(
+      std::shared_ptr<const VectorMatrix> matrix,
+      std::vector<std::string> candidate_labels, SnapshotMeta meta,
+      QueryEngineOptions options = {});
+
   /// Top-k for the embedding stored under `label` (k = 0 ⇒ default_k).
+  /// `nprobe` > 0 overrides the IVF probe count for this query only
+  /// (ignored in exact mode / without an IVF index) — the serving
+  /// latency-budget auto-tuner's hook.
   util::Result<std::vector<ScoredMatch>> Query(
       const std::string& label, size_t k = 0,
-      SearchMode mode = SearchMode::kApprox) const;
+      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0) const;
 
   /// Top-k for a caller-provided vector (must be table dim).
   util::Result<std::vector<ScoredMatch>> QueryVector(
       const std::vector<float>& vec, size_t k = 0,
-      SearchMode mode = SearchMode::kApprox) const;
+      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0) const;
 
   /// Blocking-aware filtered query: only candidates whose label appears in
   /// `allowed` can be returned (labels not in the candidate set are
@@ -111,12 +126,19 @@ class QueryEngine {
       const std::string& label, const std::vector<std::string>& allowed,
       size_t k = 0) const;
 
+  /// QueryFiltered with a caller-provided vector instead of a stored
+  /// label — what a shard scatter uses (the sharded layer resolves the
+  /// label once, every shard filters its own slice). Always exact.
+  util::Result<std::vector<ScoredMatch>> QueryVectorFiltered(
+      const std::vector<float>& vec, const std::vector<std::string>& allowed,
+      size_t k = 0) const;
+
   /// Batch lookup: result i answers labels[i]. Per-query failures (unknown
   /// label) are per-slot errors, not a batch failure. Sharded across
   /// `options().threads` workers.
   std::vector<util::Result<std::vector<ScoredMatch>>> QueryBatch(
       const std::vector<std::string>& labels, size_t k = 0,
-      SearchMode mode = SearchMode::kApprox) const;
+      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0) const;
 
   const SnapshotMeta& meta() const { return snapshot_.meta; }
   /// The loaded embedding table. Empty (dim only) for view-backed engines,
@@ -132,6 +154,7 @@ class QueryEngine {
   const ExactIndex& exact_index() const { return *exact_; }
   /// Null when build_ivf was off.
   IvfIndex* ivf_index() { return ivf_.get(); }
+  const IvfIndex* ivf_index() const { return ivf_.get(); }
   const QueryEngineOptions& options() const { return options_; }
 
   /// Snapshot section tag carrying a serialized IVF/PQ index.
@@ -158,6 +181,10 @@ class QueryEngine {
   const Index& IndexFor(SearchMode mode) const;
   std::vector<ScoredMatch> ToScored(
       const std::vector<match::Match>& matches) const;
+  /// Builds the allowed-label mask for filtered queries; returns the
+  /// number of distinct candidates allowed.
+  size_t BuildMask(const std::vector<std::string>& allowed,
+                   std::vector<char>* mask) const;
   /// Indexes candidate_index_/candidate_labels_, builds the exact/IVF
   /// indexes over matrix_ and the batch pool — the tail shared by every
   /// Build flavor.
@@ -167,10 +194,12 @@ class QueryEngine {
   /// for an unaligned mapping). Null when the label is unknown.
   const float* LookupVector(const std::string& label,
                             std::vector<float>* scratch) const;
-  /// Normalizes a copy of `vec` (table dim) and searches `index`.
+  /// Normalizes a copy of `vec` (table dim) and searches `index`. A
+  /// positive `nprobe` overrides the probe count when `index` is the IVF
+  /// index (ignored otherwise).
   std::vector<ScoredMatch> SearchNormalized(
       const Index& index, const float* vec, size_t k,
-      const std::vector<char>* allowed = nullptr) const;
+      const std::vector<char>* allowed = nullptr, size_t nprobe = 0) const;
 
   Snapshot snapshot_;
   std::shared_ptr<const SnapshotView> view_;

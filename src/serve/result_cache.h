@@ -1,0 +1,89 @@
+#ifndef TDMATCH_SERVE_RESULT_CACHE_H_
+#define TDMATCH_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tdmatch {
+namespace serve {
+
+struct ResultCacheOptions {
+  /// Total cached responses across all stripes; 0 disables the cache
+  /// entirely (Get always misses, Put is a no-op).
+  size_t capacity = 0;
+  /// Lock stripes. Keys hash to a stripe; each stripe is an independent
+  /// mutex + LRU list, so hot-query lookups from N server workers contend
+  /// 1/stripes as often as a single-lock cache.
+  size_t stripes = 8;
+};
+
+/// \brief Striped LRU cache of rendered query responses for hot queries.
+///
+/// Keyed by the full query identity (resolved label + k + mode + effective
+/// nprobe — the serving layer builds the key) and stamped with the
+/// snapshot version the response was computed from: Get refuses an entry
+/// whose stamp differs from the current epoch, and Clear() drops
+/// everything on reload, so a cached body can never outlive the snapshot
+/// it answered for. Hit/miss/eviction counters feed /v1/stats.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  bool enabled() const { return options_.capacity > 0; }
+
+  /// Copies the cached body into `*body` and returns true on a
+  /// same-version hit; bumps the entry to most-recently-used. A version
+  /// mismatch erases the stale entry and misses.
+  bool Get(const std::string& key, uint64_t version, std::string* body);
+
+  /// Inserts (or refreshes) `key` → `body` stamped with `version`,
+  /// evicting the stripe's least-recently-used entries past capacity.
+  void Put(const std::string& key, uint64_t version, std::string body);
+
+  /// Drops every entry (snapshot swap invalidation).
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Entries currently cached (sums the stripes; O(stripes)).
+  size_t size() const;
+  const ResultCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t version;
+    std::string body;
+  };
+  struct Stripe {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Stripe& StripeFor(const std::string& key);
+
+  ResultCacheOptions options_;
+  /// Per-stripe entry budget (capacity distributed evenly, min 1).
+  size_t stripe_capacity_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace serve
+}  // namespace tdmatch
+
+#endif  // TDMATCH_SERVE_RESULT_CACHE_H_

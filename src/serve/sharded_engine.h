@@ -1,0 +1,158 @@
+#ifndef TDMATCH_SERVE_SHARDED_ENGINE_H_
+#define TDMATCH_SERVE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/query_engine.h"
+#include "serve/sharder.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace tdmatch {
+namespace serve {
+
+struct ShardedEngineOptions {
+  /// Shard count N. 1 ⇒ no partitioning: the single shard is a plain
+  /// QueryEngine built through the full-featured path (snapshot "ivfpq"
+  /// section adoption included) and every call delegates to it.
+  size_t shards = 1;
+  /// Ring construction (virtual node count, seed).
+  SharderOptions sharder;
+  /// Per-shard engine build options. `engine.threads` sizes the scatter
+  /// pool (and, for shards == 1, the delegate's batch pool); shard
+  /// engines themselves are built single-threaded so a query fans out
+  /// across shards, not across nested pools.
+  QueryEngineOptions engine;
+};
+
+/// \brief Scatter-gather serving over N QueryEngine shards.
+///
+/// The snapshot candidate set is partitioned by consistent hashing on the
+/// candidate doc label (Sharder), each shard builds its own exact (and
+/// IVF) index over its slice, and a query is scattered to every shard on
+/// the shared ThreadPool, then the per-shard top-k heaps are merged by
+/// (score desc, global candidate id asc) — the same strict total order
+/// TopK::Select ranks by. Because the partition preserves global candidate
+/// order inside each shard and every global top-k member is by restriction
+/// inside its own shard's top-k, **exact-mode results are bit-identical to
+/// the unsharded engine for every shard count** (scores included; locked
+/// by tests across N ∈ {1,2,4,8}).
+///
+/// Approx mode is the documented exception: each shard trains k-means over
+/// its own slice, so the probed cells — and therefore the candidate sets —
+/// differ from the global IVF index. Results are still deterministic for a
+/// fixed (snapshot, N, options) and recall-gated by tests, just not
+/// bit-equal across shard counts.
+///
+/// Immutable after Build; all query APIs are const and safe for concurrent
+/// callers (the scatter pool serializes nothing but the task queue).
+class ShardedQueryEngine {
+ public:
+  /// Copying path: candidates are the snapshot labels with `prefix`.
+  static util::Result<ShardedQueryEngine> Build(
+      Snapshot snapshot, const std::string& prefix,
+      ShardedEngineOptions options = {});
+
+  /// mmap path: shard matrices are gathered straight from the mapped
+  /// payload; the engine shares ownership of the view.
+  static util::Result<ShardedQueryEngine> BuildFromView(
+      std::shared_ptr<const SnapshotView> view, const std::string& prefix,
+      ShardedEngineOptions options = {});
+
+  /// Top-k for the embedding stored under `label`. `nprobe` > 0 overrides
+  /// each shard's IVF probe count for this query (approx mode only).
+  util::Result<std::vector<ScoredMatch>> Query(
+      const std::string& label, size_t k = 0,
+      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0) const;
+
+  /// Top-k for a caller-provided vector.
+  util::Result<std::vector<ScoredMatch>> QueryVector(
+      const std::vector<float>& vec, size_t k = 0,
+      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0) const;
+
+  /// Blocking-aware filtered query (always exact); each shard masks its
+  /// own slice of the allowed set.
+  util::Result<std::vector<ScoredMatch>> QueryFiltered(
+      const std::string& label, const std::vector<std::string>& allowed,
+      size_t k = 0) const;
+
+  /// Batch lookup: result i answers labels[i]. Parallelism is over the
+  /// queries (shards run inline inside each worker) — never nested
+  /// blocking submits on one pool.
+  std::vector<util::Result<std::vector<ScoredMatch>>> QueryBatch(
+      const std::vector<std::string>& labels, size_t k = 0,
+      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0) const;
+
+  const SnapshotMeta& meta() const;
+  int dim() const;
+  size_t num_candidates() const;
+  bool has_ivf() const;
+  /// Configured shard count N (shards with zero candidates build no
+  /// engine; see active_shards()).
+  size_t num_shards() const { return options_.shards; }
+  /// Shards that actually own candidates.
+  size_t active_shards() const { return shards_.size(); }
+  /// Candidate count of active shard i (diagnostics / tests). The
+  /// delegate owns every candidate and no id-translation table.
+  size_t shard_size(size_t i) const {
+    return delegate() ? shards_[i].num_candidates()
+                      : shard_global_ids_[i].size();
+  }
+  /// Largest IVF nlist across shards — the ceiling for per-query nprobe
+  /// overrides. 0 without IVF.
+  size_t max_nprobe() const { return max_nprobe_; }
+  const ShardedEngineOptions& options() const { return options_; }
+  const Sharder& sharder() const { return sharder_; }
+
+ private:
+  explicit ShardedQueryEngine(ShardedEngineOptions options)
+      : options_(options),
+        sharder_(options.shards < 1 ? 1 : options.shards, options.sharder) {}
+
+  bool delegate() const { return options_.shards <= 1; }
+  /// Wraps a full-featured single engine (the shards == 1 path).
+  void AdoptDelegate(QueryEngine engine);
+  /// Partitions `labels` (global candidate order) and builds one engine
+  /// per non-empty shard; `gather` materializes the normalized matrix for
+  /// a list of global candidate ids (table rows or mapped payload rows).
+  util::Status BuildShards(
+      const std::vector<std::string>& labels,
+      const std::function<VectorMatrix(const std::vector<size_t>&)>& gather);
+  /// The raw (unnormalized) embedding stored under `label`, from the view
+  /// or the loaded table. Null when unknown.
+  const float* LookupVector(const std::string& label,
+                            std::vector<float>* scratch) const;
+  /// Fans `vec` out to every shard (on the pool when `use_pool`), merges
+  /// by (score desc, global id asc), truncates to k.
+  util::Result<std::vector<ScoredMatch>> ScatterVector(
+      const std::vector<float>& vec, size_t k, SearchMode mode,
+      size_t nprobe, const std::vector<std::string>* allowed,
+      bool use_pool) const;
+
+  ShardedEngineOptions options_;
+  Sharder sharder_;
+  SnapshotMeta meta_;
+  int dim_ = 0;
+  size_t num_candidates_ = 0;
+  size_t max_nprobe_ = 0;
+  /// Copy path keeps the loaded snapshot for label lookups; view path
+  /// keeps the mapping. Both empty in delegate mode (the single shard
+  /// owns them).
+  Snapshot snapshot_;
+  std::shared_ptr<const SnapshotView> view_;
+  /// Non-empty shards, in shard-id order.
+  std::vector<QueryEngine> shards_;
+  /// shard_global_ids_[i][local_id] = global candidate id.
+  std::vector<std::vector<int32_t>> shard_global_ids_;
+  /// Scatter workers; null when options_.engine.threads <= 1.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace tdmatch
+
+#endif  // TDMATCH_SERVE_SHARDED_ENGINE_H_

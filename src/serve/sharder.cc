@@ -1,0 +1,68 @@
+#include "serve/sharder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tdmatch {
+namespace serve {
+
+uint64_t Sharder::Hash64(std::string_view bytes, uint64_t seed) {
+  // FNV-1a 64-bit...
+  uint64_t h = 14695981039346656037ull ^ seed;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  // ...plus a splitmix64 finalizer: FNV alone keeps short suffix edits in
+  // nearby ring positions, which skews small rings.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+Sharder::Sharder(size_t num_shards, SharderOptions options)
+    : num_shards_(num_shards), options_(options) {
+  TDM_CHECK(num_shards >= 1) << "sharder needs at least one shard";
+  const size_t points = std::max<size_t>(1, options_.virtual_nodes);
+  ring_.reserve(num_shards * points);
+  char key[2 * sizeof(uint64_t)];
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t v = 0; v < points; ++v) {
+      // The ring point key is the (shard, virtual node) pair as raw
+      // little-endian-ordered bytes — no string formatting on the build
+      // path, and no way for two pairs to collide as keys.
+      uint64_t a = static_cast<uint64_t>(s);
+      uint64_t b = static_cast<uint64_t>(v);
+      for (size_t i = 0; i < sizeof(uint64_t); ++i) {
+        key[i] = static_cast<char>(a >> (8 * i));
+        key[sizeof(uint64_t) + i] = static_cast<char>(b >> (8 * i));
+      }
+      ring_.push_back(RingPoint{
+          Hash64(std::string_view(key, sizeof(key)), options_.seed),
+          static_cast<uint32_t>(s)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              return a.position != b.position ? a.position < b.position
+                                              : a.shard < b.shard;
+            });
+}
+
+size_t Sharder::ShardFor(std::string_view label) const {
+  if (num_shards_ == 1) return 0;
+  const uint64_t h = Hash64(label, options_.seed);
+  // First ring point clockwise from h (wrapping to the start).
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const RingPoint& p, uint64_t pos) { return p.position < pos; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+}  // namespace serve
+}  // namespace tdmatch

@@ -25,6 +25,7 @@ benches=(
   fig10_combination
   serve_http
   serve_qps
+  serve_shard
   table1_imdb
   table2_corona
   table3_audit

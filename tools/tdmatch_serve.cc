@@ -36,6 +36,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,12 @@ struct ServeArgs {
   size_t http_threads = 4;
   bool no_mmap = false;
   bool no_reload = false;
+  size_t shards = 1;
+  /// SIZE_MAX = no admission limit; 0 is valid and sheds every query.
+  size_t max_inflight = std::numeric_limits<size_t>::max();
+  double latency_budget_ms = 0.0;
+  size_t cache_entries = 0;
+  bool allow_delay = false;
 };
 
 int Usage(const char* prog) {
@@ -99,7 +106,15 @@ int Usage(const char* prog) {
       "  convert        --in <file> --out <file>   (text <-> snapshot)\n"
       "  serve          --snapshot <model.tds> [--port N] [--bind ADDR]\n"
       "                 [--threads N] [--http-threads N] [--k N]\n"
-      "                 [--nprobe N] [--exact] [--no-mmap] [--no-reload]\n",
+      "                 [--nprobe N] [--exact] [--no-mmap] [--no-reload]\n"
+      "                 [--shards N] [--max-inflight N]\n"
+      "                 [--latency-budget-ms X] [--cache N] [--allow-delay]\n"
+      "                 (--shards: scatter-gather shard count;\n"
+      "                  --max-inflight: shed 429 + Retry-After past N\n"
+      "                  in-flight queries (0 sheds all); --latency-budget-ms:\n"
+      "                  auto-tune nprobe to a p99 target; --cache: LRU\n"
+      "                  result-cache entries; --allow-delay: honor the\n"
+      "                  debug 'delay_ms' query field)\n",
       prog);
   return 2;
 }
@@ -397,6 +412,11 @@ int RunServe(const ServeArgs& args) {
   sopts.engine.ivf.pq_m = args.pq_m;
   sopts.use_mmap = !args.no_mmap;
   sopts.allow_reload = !args.no_reload;
+  sopts.shards = args.shards;
+  sopts.max_inflight = args.max_inflight;
+  sopts.latency_budget_ms = args.latency_budget_ms;
+  sopts.cache_entries = args.cache_entries;
+  sopts.allow_debug_delay = args.allow_delay;
 
   serve::http::MatchService service(sopts);
   util::Status st = service.LoadInitial(args.snapshot_path);
@@ -429,11 +449,12 @@ int RunServe(const ServeArgs& args) {
   }
   const auto state = service.state();
   std::fprintf(stderr,
-               "serving %s (scenario %s, %zu candidates, %s loader, %.3fs "
-               "load) on http://%s:%u — SIGTERM to stop\n",
+               "serving %s (scenario %s, %zu candidates, %zu shard(s), "
+               "%s loader, %.3fs load) on http://%s:%u — SIGTERM to stop\n",
                args.snapshot_path.c_str(),
                state->engine->meta().scenario.c_str(),
                state->engine->num_candidates(),
+               state->engine->num_shards(),
                state->mmap ? "mmap" : "copy", state->load_seconds,
                args.bind.c_str(), server.port());
   std::fflush(stderr);
@@ -557,6 +578,30 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "bad --threads '%s'\n", v);
         return 2;
       }
+    } else if (flag == "--shards" && (v = next())) {
+      if (!ParseSize(v, &args.shards) || args.shards == 0) {
+        std::fprintf(stderr, "bad --shards '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--max-inflight" && (v = next())) {
+      // 0 is deliberate: shed everything (drain mode).
+      if (!ParseSize(v, &args.max_inflight)) {
+        std::fprintf(stderr, "bad --max-inflight '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--latency-budget-ms" && (v = next())) {
+      if (!util::ParseDouble(v, &args.latency_budget_ms) ||
+          args.latency_budget_ms < 0.0) {
+        std::fprintf(stderr, "bad --latency-budget-ms '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--cache" && (v = next())) {
+      if (!ParseSize(v, &args.cache_entries)) {
+        std::fprintf(stderr, "bad --cache '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--allow-delay") {
+      args.allow_delay = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return Usage(argv[0]);

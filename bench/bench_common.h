@@ -94,6 +94,16 @@ double MapAt5(BenchReporter& reporter, const std::string& scenario,
               const kb::ExternalResource* resource = nullptr,
               const embed::PretrainedLexicon* lexicon = nullptr);
 
+/// Instrumented wall clock of a TDmatch pipeline run: the sum of its
+/// recorded phase timers ("train_epoch" entries subdivide "train" and are
+/// skipped). This is what `wall_seconds` rows should carry for pipeline
+/// work — a stopwatch around a whole sweep iteration also counts scenario
+/// setup/teardown and smears it into whichever row closes the watch.
+/// Falls back to `fallback_seconds` when the profile is empty (failed or
+/// pre-profiling runs).
+double InstrumentedWallSeconds(const core::TDmatchResult& result,
+                               double fallback_seconds);
+
 /// One point of a parameter sweep: a short label ("20", "Intersect") and
 /// the option mutation it stands for.
 struct SweepPoint {

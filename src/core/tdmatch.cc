@@ -79,6 +79,7 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
   graph::GraphBuilder builder(builder_options);
   TDM_ASSIGN_OR_RETURN(graph::Graph g, builder.Build(first, second));
   result.build_seconds = watch.ElapsedSeconds();
+  result.profile.Add("graph_build", result.build_seconds);
   result.original = StatsOf(g);
 
   // --- Expansion (Alg. 2) --------------------------------------------------
@@ -93,6 +94,7 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
     };
     g = graph::ExpandGraph(g, *resource_, options_.expansion, normalize);
     result.expand_seconds = watch.ElapsedSeconds();
+    result.profile.Add("expand", result.expand_seconds);
   }
   result.expanded = StatsOf(g);
 
@@ -117,6 +119,7 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
         break;
     }
     result.compress_seconds = watch.ElapsedSeconds();
+    result.profile.Add("compress", result.compress_seconds);
   }
   result.compressed = StatsOf(g);
 
@@ -136,6 +139,7 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
   embed::SentenceCorpus walks = embed::RandomWalker::GenerateCorpus(
       g, walk_options);
   result.walk_seconds = watch.ElapsedSeconds();
+  result.profile.Add("walks", result.walk_seconds);
 
   watch.Reset();
   embed::Word2VecOptions w2v_options = options_.w2v;
@@ -144,6 +148,10 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
   embed::Word2Vec w2v(w2v_options);
   TDM_RETURN_NOT_OK(w2v.Train(walks, g.NumNodes()));
   result.train_seconds = watch.ElapsedSeconds();
+  result.profile.Add("train", result.train_seconds);
+  for (double epoch_s : w2v.epoch_seconds()) {
+    result.profile.Add("train_epoch", epoch_s);
+  }
 
   // --- Matching (§IV-B) ------------------------------------------------------
   watch.Reset();
@@ -163,16 +171,19 @@ util::Result<TDmatchResult> TDmatch::Run(const corpus::Corpus& first,
     result.scores[q] = match::TopK::ScoreAll(qv, candidates);
   }
   result.match_seconds = watch.ElapsedSeconds();
+  result.profile.Add("match", result.match_seconds);
 
   // --- Serving export --------------------------------------------------------
   // Doc nodes that survived compression keep their trained vector under
   // their graph label; the serving layer snapshots this table and answers
   // queries from it without re-running the pipeline.
   if (options_.export_embeddings) {
+    watch.Reset();
     result.embeddings = embed::EmbeddingTable(w2v.dim());
     for (graph::NodeId id : g.MetadataDocNodes()) {
       result.embeddings.Put(g.node(id).label, w2v.VectorCopy(id));
     }
+    result.profile.Add("export", watch.ElapsedSeconds());
   }
   return result;
 }

@@ -15,6 +15,7 @@
 #include "graph/expansion.h"
 #include "kb/external_resource.h"
 #include "match/method.h"
+#include "util/obs/phase_profile.h"
 #include "util/result.h"
 
 namespace tdmatch {
@@ -97,6 +98,11 @@ struct TDmatchResult {
   double walk_seconds = 0;
   double train_seconds = 0;
   double match_seconds = 0;
+  /// The same wall-clock phases as the *_seconds fields above (plus
+  /// per-epoch "train_epoch" entries and "export" when embeddings are
+  /// exported), in pipeline order — the structured form benchmark
+  /// reporters and snapshot metadata consume.
+  util::obs::PhaseProfile profile;
 };
 
 /// \brief The paper's system: joint graph over two corpora → node

@@ -7,6 +7,7 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/simd/kernels.h"
+#include "util/timer.h"
 
 namespace tdmatch {
 namespace embed {
@@ -149,7 +150,10 @@ util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
   std::vector<uint32_t> touch0(vocab_size, 0);
   std::vector<uint32_t> touch1(vocab_size, 0);
 
+  epoch_seconds_.clear();
+  epoch_seconds_.reserve(static_cast<size_t>(options_.epochs));
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    util::StopWatch epoch_watch;
     const uint64_t epoch_words =
         static_cast<uint64_t>(epoch) * total_words;
 
@@ -302,6 +306,7 @@ util::Status Word2Vec::TrainSpans(const TokenSpan* sentences,
     };
 
     sched.RunEpoch(compute, merge);
+    epoch_seconds_.push_back(epoch_watch.ElapsedSeconds());
   }
 
   trained_ = true;

@@ -86,6 +86,11 @@ class Word2Vec {
 
   const Word2VecOptions& options() const { return options_; }
 
+  /// Wall seconds per completed training epoch (size == options().epochs
+  /// after Train). Timing-only observability — never feeds back into the
+  /// schedule, so trained vectors stay bit-identical.
+  const std::vector<double>& epoch_seconds() const { return epoch_seconds_; }
+
  private:
   util::Status TrainSpans(const TokenSpan* sentences, size_t num_sentences,
                           size_t vocab_size);
@@ -95,6 +100,7 @@ class Word2Vec {
   bool trained_ = false;
   std::vector<float> syn0_;     // input vectors, vocab_size x dim
   std::vector<float> syn1neg_;  // output vectors, vocab_size x dim
+  std::vector<double> epoch_seconds_;
   /// Boundary-form unigram^0.75 sampler (replaces the 4 MB table).
   NegativeSampler sampler_;
 };

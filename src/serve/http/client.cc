@@ -165,11 +165,12 @@ util::Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire,
 
 util::Result<HttpResponse> HttpClient::Request(
     const std::string& method, const std::string& target,
-    const std::string& body, const std::string& content_type) {
+    const std::string& body, const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   if (fd_ < 0) TDM_RETURN_NOT_OK(Reconnect());
   const std::string wire = SerializeRequest(
       method, target, util::StrFormat("%s:%u", host_.c_str(), port_), body,
-      content_type, /*keep_alive=*/true);
+      content_type, /*keep_alive=*/true, extra_headers);
 
   bool retryable = false;
   auto result = RoundTrip(wire, &retryable);

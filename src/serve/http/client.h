@@ -40,10 +40,13 @@ class HttpClient {
   HttpClient& operator=(const HttpClient&) = delete;
 
   /// One round trip. The response is fully buffered before returning.
+  /// `extra_headers` ride along verbatim (e.g. an X-Request-Id).
   util::Result<HttpResponse> Request(
       const std::string& method, const std::string& target,
       const std::string& body = "",
-      const std::string& content_type = "application/json");
+      const std::string& content_type = "application/json",
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
 
   util::Result<HttpResponse> Get(const std::string& target) {
     return Request("GET", target);

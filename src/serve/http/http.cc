@@ -273,11 +273,11 @@ std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
   return out;
 }
 
-std::string SerializeRequest(const std::string& method,
-                             const std::string& target,
-                             const std::string& host, const std::string& body,
-                             const std::string& content_type,
-                             bool keep_alive) {
+std::string SerializeRequest(
+    const std::string& method, const std::string& target,
+    const std::string& host, const std::string& body,
+    const std::string& content_type, bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string out;
   out.reserve(body.size() + 256);
   out += method + " " + target + " HTTP/1.1\r\n";
@@ -287,6 +287,9 @@ std::string SerializeRequest(const std::string& method,
   }
   out += util::StrFormat("Content-Length: %zu\r\n", body.size());
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "\r\n";
   out += body;
   return out;

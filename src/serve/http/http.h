@@ -123,12 +123,14 @@ class HttpParser {
 /// Connection header.
 std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 
-/// Serializes a request (client side).
-std::string SerializeRequest(const std::string& method,
-                             const std::string& target,
-                             const std::string& host, const std::string& body,
-                             const std::string& content_type,
-                             bool keep_alive);
+/// Serializes a request (client side). `extra_headers` are emitted
+/// verbatim after the standard ones (e.g. {"X-Request-Id", "t-..."}).
+std::string SerializeRequest(
+    const std::string& method, const std::string& target,
+    const std::string& host, const std::string& body,
+    const std::string& content_type, bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
 
 }  // namespace http
 }  // namespace serve

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "serve/mmap_snapshot.h"
 #include "serve/snapshot.h"
 #include "util/json.h"
+#include "util/simd/kernels.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -67,51 +70,155 @@ void AppendMatches(const std::vector<ScoredMatch>& matches,
   w->EndArray();
 }
 
+std::string CompilerId() {
+#if defined(__clang__)
+  return util::StrFormat("clang-%d.%d.%d", __clang_major__, __clang_minor__,
+                         __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return util::StrFormat("gcc-%d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                         __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
 }  // namespace
-
-// ---------------------------------------------------------------------------
-// LatencyHistogram
-// ---------------------------------------------------------------------------
-
-void LatencyHistogram::Record(double ms) {
-  uint64_t us = ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1000.0);
-  size_t idx = 0;
-  while (us > 1 && idx + 1 < kBuckets) {
-    us >>= 1;
-    ++idx;
-  }
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::PercentileMs(double p) const {
-  const uint64_t total = count_.load(std::memory_order_relaxed);
-  if (total == 0) return 0.0;
-  if (p < 0.0) p = 0.0;
-  if (p > 1.0) p = 1.0;
-  const uint64_t rank =
-      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
-                                p * static_cast<double>(total))));
-  uint64_t cum = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    cum += buckets_[i].load(std::memory_order_relaxed);
-    if (cum >= rank) {
-      // Upper bound of bucket i: 2^(i+1) microseconds.
-      return static_cast<double>(uint64_t{1} << (i + 1)) / 1000.0;
-    }
-  }
-  return static_cast<double>(uint64_t{1} << kBuckets) / 1000.0;
-}
 
 // ---------------------------------------------------------------------------
 // MatchService
 // ---------------------------------------------------------------------------
 
+const char* const MatchService::kStageNames[MatchService::kStages] = {
+    "parse", "cache", "admission", "scatter", "merge", "serialize"};
+
 MatchService::MatchService(ServiceOptions options)
     : options_(std::move(options)),
       start_time_(std::chrono::steady_clock::now()),
+      sampler_(options_.trace_sample),
       admission_(AdmissionOptions{options_.max_inflight, 1, 30}),
-      cache_(ResultCacheOptions{options_.cache_entries, 8}) {}
+      cache_(ResultCacheOptions{options_.cache_entries, 8}) {
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<util::obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  logger_ = options_.logger != nullptr ? options_.logger
+                                       : &util::obs::JsonLogger::Global();
+
+  // Owned instruments: the hot path bumps these directly (one relaxed
+  // atomic per event); /v1/stats and /v1/metrics read them back.
+  queries_ = registry_->GetCounter("tdmatch_queries_total",
+                                   "Queries answered (batch items count "
+                                   "individually; includes cache hits)");
+  errors_ = registry_->GetCounter("tdmatch_query_errors_total",
+                                  "Requests or batch items rejected or "
+                                  "failed");
+  reloads_ = registry_->GetCounter("tdmatch_reloads_total",
+                                   "Successful snapshot hot reloads");
+  traces_ = registry_->GetCounter("tdmatch_traces_total",
+                                  "Requests that carried a span trace");
+  slow_queries_ = registry_->GetCounter(
+      "tdmatch_slow_queries_total",
+      "Traced requests slower than --slow-query-ms");
+  latency_ = registry_->GetHistogram(
+      "tdmatch_request_latency_ms", "End-to-end /v1/query latency (ms)",
+      util::obs::Histogram::LatencyBoundsMs());
+  for (size_t i = 0; i < kStages; ++i) {
+    stage_latency_[i] = registry_->GetHistogram(
+        "tdmatch_request_stage_latency_ms",
+        "Per-stage latency of traced /v1/query requests (ms)",
+        util::obs::Histogram::LatencyBoundsMs(),
+        {{"stage", kStageNames[i]}});
+  }
+
+  // Components that keep their own counters (admission, cache, tuner,
+  // shards) publish through render-time callbacks: the registry is the
+  // single exposition surface without double-counting state.
+  using util::obs::MetricType;
+  registry_->RegisterCallback(
+      MetricType::kCounter, "tdmatch_admission_admitted_total",
+      "Queries admitted past the in-flight budget check", {},
+      [this] { return static_cast<double>(admission_.admitted()); });
+  registry_->RegisterCallback(
+      MetricType::kCounter, "tdmatch_admission_shed_total",
+      "Queries shed with 429 at the admission gate", {},
+      [this] { return static_cast<double>(admission_.shed()); });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_admission_inflight",
+      "Queries currently inside the admission window", {},
+      [this] { return static_cast<double>(admission_.inflight()); });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_admission_max_inflight",
+      "Admission budget (-1 = unlimited)", {}, [this] {
+        return admission_.unlimited()
+                   ? -1.0
+                   : static_cast<double>(admission_.options().max_inflight);
+      });
+  registry_->RegisterCallback(
+      MetricType::kCounter, "tdmatch_cache_hits_total",
+      "Result-cache hits", {},
+      [this] { return static_cast<double>(cache_.hits()); });
+  registry_->RegisterCallback(
+      MetricType::kCounter, "tdmatch_cache_misses_total",
+      "Result-cache misses", {},
+      [this] { return static_cast<double>(cache_.misses()); });
+  registry_->RegisterCallback(
+      MetricType::kCounter, "tdmatch_cache_evictions_total",
+      "Result-cache LRU evictions", {},
+      [this] { return static_cast<double>(cache_.evictions()); });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_cache_entries",
+      "Resident result-cache entries", {},
+      [this] { return static_cast<double>(cache_.size()); });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_autotune_nprobe",
+      "Current auto-tuned IVF nprobe (0 = tuner off)", {}, [this] {
+        return tuner_ != nullptr ? static_cast<double>(tuner_->nprobe())
+                                 : 0.0;
+      });
+  registry_->RegisterCallback(
+      MetricType::kCounter, "tdmatch_autotune_adjustments_total",
+      "AIMD nprobe adjustments made by the latency-budget tuner", {},
+      [this] {
+        return tuner_ != nullptr ? static_cast<double>(tuner_->adjustments())
+                                 : 0.0;
+      });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_shards_configured",
+      "Configured scatter-gather shard count", {}, [this] {
+        const auto s = state();
+        return s != nullptr ? static_cast<double>(s->engine->num_shards())
+                            : 0.0;
+      });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_shards_active",
+      "Shards that own candidates", {}, [this] {
+        const auto s = state();
+        return s != nullptr ? static_cast<double>(s->engine->active_shards())
+                            : 0.0;
+      });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_snapshot_version",
+      "Serving epoch of the loaded snapshot", {}, [this] {
+        const auto s = state();
+        return s != nullptr ? static_cast<double>(s->version) : 0.0;
+      });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_snapshot_load_seconds",
+      "Wall seconds the current snapshot took to load + index", {},
+      [this] {
+        const auto s = state();
+        return s != nullptr ? s->load_seconds : 0.0;
+      });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_uptime_seconds",
+      "Seconds since the service constructed", {}, [this] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_time_)
+            .count();
+      });
+}
 
 util::Result<std::shared_ptr<const EngineState>> MatchService::BuildState(
     const std::string& path, uint64_t version) const {
@@ -128,6 +235,9 @@ util::Result<std::shared_ptr<const EngineState>> MatchService::BuildState(
                          SnapshotView::Open(path));
     std::string prefix = view->meta().Find("candidate_prefix");
     if (prefix.empty()) prefix = "__D1:";
+    state->snapshot_format = view->sections().empty()
+                                 ? SnapshotIo::kVersion
+                                 : SnapshotIo::kVersionSections;
     TDM_ASSIGN_OR_RETURN(
         ShardedQueryEngine engine,
         ShardedQueryEngine::BuildFromView(std::move(view), prefix, sharded));
@@ -136,6 +246,9 @@ util::Result<std::shared_ptr<const EngineState>> MatchService::BuildState(
     TDM_ASSIGN_OR_RETURN(Snapshot snap, SnapshotIo::Read(path));
     std::string prefix = snap.meta.Find("candidate_prefix");
     if (prefix.empty()) prefix = "__D1:";
+    state->snapshot_format = snap.sections.empty()
+                                 ? SnapshotIo::kVersion
+                                 : SnapshotIo::kVersionSections;
     TDM_ASSIGN_OR_RETURN(
         ShardedQueryEngine engine,
         ShardedQueryEngine::Build(std::move(snap), prefix, sharded));
@@ -143,6 +256,43 @@ util::Result<std::shared_ptr<const EngineState>> MatchService::BuildState(
   }
   state->load_seconds = watch.ElapsedSeconds();
   return std::shared_ptr<const EngineState>(std::move(state));
+}
+
+void MatchService::PublishStateMetrics(const EngineState& state) {
+  // build_info: the conventional value-1 gauge whose labels carry the
+  // identity — compiler, runtime SIMD dispatch decision, snapshot format,
+  // shard count. Re-registered per epoch (the format can change across
+  // reloads); identity is otherwise process-constant.
+  registry_->ClearCallbacks("tdmatch_build_info");
+  util::obs::LabelSet info = {
+      {"compiler", CompilerId()},
+      {"simd", simd::IsaName(simd::ActiveIsa())},
+      {"forced_scalar", simd::ForcedScalarByEnv() ? "1" : "0"},
+      {"snapshot_format", std::to_string(state.snapshot_format)},
+      {"shards", std::to_string(options_.shards)},
+  };
+  registry_->RegisterCallback(util::obs::MetricType::kGauge,
+                              "tdmatch_build_info",
+                              "Build/runtime identity (always 1)", info,
+                              [] { return 1.0; });
+
+  // Offline pipeline phase timers travel inside the snapshot meta
+  // (phase_<name>_seconds, written by build-snapshot); republish them so
+  // the serving scrape covers the offline half too.
+  registry_->ClearCallbacks("tdmatch_snapshot_phase_seconds");
+  for (const auto& [key, value] : state.engine->meta().extra) {
+    if (!util::StartsWith(key, "phase_") ||
+        !util::EndsWith(key, "_seconds")) {
+      continue;
+    }
+    const std::string phase =
+        key.substr(6, key.size() - 6 - std::strlen("_seconds"));
+    const double seconds = std::strtod(value.c_str(), nullptr);
+    registry_->RegisterCallback(
+        util::obs::MetricType::kGauge, "tdmatch_snapshot_phase_seconds",
+        "Offline pipeline phase timings recorded at snapshot build",
+        {{"phase", phase}}, [seconds] { return seconds; });
+  }
 }
 
 util::Status MatchService::LoadInitial(const std::string& snapshot_path) {
@@ -159,6 +309,7 @@ util::Status MatchService::LoadInitial(const std::string& snapshot_path) {
   tuning.max_nprobe =
       state->engine->has_ivf() ? state->engine->max_nprobe() : 1;
   tuner_ = std::make_unique<NprobeTuner>(tuning);
+  PublishStateMetrics(*state);
   std::atomic_store(&state_, std::move(state));
   return util::Status::OK();
 }
@@ -181,8 +332,9 @@ util::Result<std::shared_ptr<const EngineState>> MatchService::Reload(
                        BuildState(target, current->version + 1));
   // Publish. Readers that already pinned `current` finish on it; the old
   // engine (and its mmap) is destroyed when the last pin drops.
+  PublishStateMetrics(*fresh);
   std::atomic_store(&state_, fresh);
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reloads_->Inc();
   // Cached responses are stamped with the version they answered for (Get
   // refuses a stale stamp on its own); clearing on swap also frees the
   // dead epoch's bodies immediately.
@@ -197,6 +349,8 @@ void MatchService::Register(HttpServer* server) {
                  [this](const HttpRequest& r) { return HandleHealth(r); });
   server->Handle("GET", "/v1/stats",
                  [this](const HttpRequest& r) { return HandleStats(r); });
+  server->Handle("GET", "/v1/metrics",
+                 [this](const HttpRequest& r) { return HandleMetrics(r); });
   if (options_.allow_reload) {
     server->Handle("POST", "/v1/reload",
                    [this](const HttpRequest& r) { return HandleReload(r); });
@@ -206,7 +360,8 @@ void MatchService::Register(HttpServer* server) {
 HttpResponse MatchService::ShedResponse() {
   // Retry-After scales with the backlog at a typical (p50) per-query
   // cost; the header is always an integer in [1, 30] seconds.
-  const int retry_s = admission_.RetryAfterSeconds(latency_.PercentileMs(0.5));
+  const int retry_s =
+      admission_.RetryAfterSeconds(latency_->Percentile(0.5));
   util::JsonWriter w;
   w.BeginObject()
       .Key("error").Value(util::StrFormat(
@@ -220,6 +375,72 @@ HttpResponse MatchService::ShedResponse() {
 }
 
 HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
+  // Trace decision up front: one sampler branch for the untraced fast
+  // path. slow_query_ms arms tracing on every request (slowness is only
+  // known after the fact), but emits a line solely for slow ones.
+  const bool sampled = sampler_.ShouldSample();
+  const bool traced = sampled || options_.slow_query_ms > 0.0;
+  const std::string& client_id = request.Header("x-request-id");
+  if (!traced) {
+    HttpResponse response = HandleQueryTraced(request, nullptr);
+    if (!client_id.empty()) {
+      response.headers.emplace_back("X-Request-Id", client_id);
+    }
+    return response;
+  }
+  util::obs::Trace trace(client_id.empty() ? util::obs::GenerateTraceId()
+                                           : client_id);
+  const std::shared_ptr<const EngineState> pinned = state();
+  HttpResponse response = HandleQueryTraced(request, &trace);
+  FinishRequestTrace(&trace, sampled, response.status,
+                     pinned != nullptr ? pinned->version : 0);
+  response.headers.emplace_back("X-Request-Id", trace.id());
+  return response;
+}
+
+void MatchService::FinishRequestTrace(util::obs::Trace* trace, bool sampled,
+                                      int status,
+                                      uint64_t snapshot_version) {
+  const double total_ms = trace->Finish();
+  traces_->Inc();
+  for (const auto& span : trace->spans()) {
+    for (size_t i = 0; i < kStages; ++i) {
+      if (std::strcmp(span.name, kStageNames[i]) == 0) {
+        stage_latency_[i]->Observe(span.ms);
+        break;
+      }
+    }
+  }
+  const bool slow =
+      options_.slow_query_ms > 0.0 && total_ms >= options_.slow_query_ms;
+  if (slow) slow_queries_->Inc();
+  // One JSONL line per sampled trace or slow query; armed-but-fast
+  // requests fed the histograms above and stay silent.
+  if (!sampled && !slow) return;
+  auto ev = logger_->Log(util::obs::LogLevel::kInfo, "trace");
+  if (!ev.active()) return;
+  ev.Str("trace_id", trace->id())
+      .Str("endpoint", "/v1/query")
+      .Int("status", status)
+      .Num("total_ms", total_ms)
+      .Bool("slow", slow)
+      .Bool("sampled", sampled)
+      .Uint("snapshot_version", snapshot_version);
+  util::JsonWriter& w = ev.writer();
+  w.Key("spans").BeginArray();
+  for (const auto& span : trace->spans()) {
+    w.BeginObject()
+        .Key("name").Value(span.name)
+        .Key("start_ms").Value(span.start_ms)
+        .Key("ms").Value(span.ms)
+        .Key("depth").Value(static_cast<int64_t>(span.depth))
+        .EndObject();
+  }
+  w.EndArray();
+}
+
+HttpResponse MatchService::HandleQueryTraced(const HttpRequest& request,
+                                             util::obs::Trace* trace) {
   util::StopWatch watch;
   const std::shared_ptr<const EngineState> state = this->state();
   if (state == nullptr) {
@@ -227,15 +448,17 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
   }
   const ShardedQueryEngine& engine = *state->engine;
 
+  // --- parse + validate ----------------------------------------------------
+  util::obs::Trace::Span parse_span(trace, "parse");
   auto parsed = util::JsonParse(request.body);
   if (!parsed.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Inc();
     return ErrorResponse(400, "bad request body: " +
                                   parsed.status().message());
   }
   const util::JsonValue& root = *parsed;
   if (!root.is_object()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Inc();
     return ErrorResponse(400, "request body must be a JSON object");
   }
 
@@ -245,7 +468,7 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
     const double kd = kv->number_value();
     if (!kv->is_number() || kd < 0 || kd > 1e6 ||
         kd != std::floor(kd)) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return ErrorResponse(400, "'k' must be an integer in [0, 1e6]");
     }
     k = static_cast<size_t>(kd);
@@ -254,7 +477,7 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
   if (const util::JsonValue* mv = root.Find("mode"); mv != nullptr) {
     if (!mv->is_string() || (mv->string_value() != "approx" &&
                              mv->string_value() != "exact")) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return ErrorResponse(400, "'mode' must be \"approx\" or \"exact\"");
     }
     if (mv->string_value() == "exact") mode = SearchMode::kExact;
@@ -267,12 +490,12 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
   const int selectors = (label != nullptr) + (labels != nullptr) +
                         (vector != nullptr);
   if (selectors != 1) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Inc();
     return ErrorResponse(400, "provide exactly one of 'label', 'labels', "
                               "'vector'");
   }
   if (allowed != nullptr && label == nullptr) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Inc();
     return ErrorResponse(400, "'allowed' requires a single 'label' query");
   }
 
@@ -282,7 +505,7 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
       dv != nullptr && options_.allow_debug_delay) {
     if (!dv->is_number() || dv->number_value() < 0.0 ||
         dv->number_value() > 10000.0) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return ErrorResponse(400, "'delay_ms' must be a number in [0, 10000]");
     }
     delay_ms = dv->number_value();
@@ -295,6 +518,7 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
     nprobe = std::max<size_t>(
         1, std::min(tuner_->nprobe(), engine.max_nprobe()));
   }
+  parse_span.Close();
 
   // --- result cache (single-label queries; the hot-query shape) -----------
   // A hit is served before admission: it costs one striped-map lookup, no
@@ -302,27 +526,36 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
   std::string cache_key;
   if (cache_.enabled() && label != nullptr && label->is_string() &&
       allowed == nullptr) {
+    util::obs::Trace::Span cache_span(trace, "cache");
     cache_key = util::StrFormat(
         "%s|k=%zu|m=%c|np=%zu",
         ResolveLabel(label->string_value(), engine.meta()).c_str(), k,
         mode == SearchMode::kExact ? 'e' : 'a', nprobe);
     std::string cached;
     if (cache_.Get(cache_key, state->version, &cached)) {
-      queries_.fetch_add(1, std::memory_order_relaxed);
-      latency_.Record(watch.ElapsedMillis());
+      queries_->Inc();
+      latency_->Observe(watch.ElapsedMillis());
       return HttpResponse::Json(200, std::move(cached));
     }
   }
 
   // --- admission: shed instead of queueing past the in-flight budget ------
+  util::obs::Trace::Span admission_span(trace, "admission");
   AdmissionController::Ticket ticket(&admission_);
   if (!ticket.admitted()) {
     return ShedResponse();
   }
+  admission_span.Close();
   if (delay_ms > 0.0) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(delay_ms));
   }
+
+  // Scatter/merge stage timings come from inside the engine (pool fan-out
+  // vs. global merge); only collected when this request is traced.
+  ShardedQueryEngine::QueryTiming timing;
+  ShardedQueryEngine::QueryTiming* timing_out =
+      trace != nullptr ? &timing : nullptr;
 
   util::JsonWriter w;
   w.BeginObject()
@@ -332,11 +565,11 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
   if (labels != nullptr) {
     // --- batch ------------------------------------------------------------
     if (!labels->is_array()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return ErrorResponse(400, "'labels' must be an array of strings");
     }
     if (labels->items().size() > options_.max_batch) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return ErrorResponse(
           400, util::StrFormat("batch of %zu exceeds the %zu query limit",
                                labels->items().size(), options_.max_batch));
@@ -345,20 +578,23 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
     names.reserve(labels->items().size());
     for (const auto& item : labels->items()) {
       if (!item.is_string()) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_->Inc();
         return ErrorResponse(400, "'labels' must be an array of strings");
       }
       names.push_back(ResolveLabel(item.string_value(), engine.meta()));
     }
+    util::obs::Trace::Span scatter_span(trace, "scatter");
     const auto results = engine.QueryBatch(names, k, mode, nprobe);
-    queries_.fetch_add(names.size(), std::memory_order_relaxed);
+    scatter_span.Close();
+    queries_->Inc(names.size());
+    util::obs::Trace::Span serialize_span(trace, "serialize");
     w.Key("results").BeginArray();
     for (size_t i = 0; i < results.size(); ++i) {
       w.BeginObject().Key("label").Value(names[i]);
       if (results[i].ok()) {
         AppendMatches(*results[i], &w);
       } else {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_->Inc();
         w.Key("error").Value(results[i].status().ToString());
       }
       w.EndObject();
@@ -367,7 +603,7 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
   } else if (label != nullptr) {
     // --- single, optionally blocked --------------------------------------
     if (!label->is_string()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return ErrorResponse(400, "'label' must be a string");
     }
     const std::string name =
@@ -376,34 +612,39 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
         std::vector<ScoredMatch>{};
     if (allowed != nullptr) {
       if (!allowed->is_array()) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_->Inc();
         return ErrorResponse(400, "'allowed' must be an array of strings");
       }
       std::vector<std::string> block;
       block.reserve(allowed->items().size());
       for (const auto& item : allowed->items()) {
         if (!item.is_string()) {
-          errors_.fetch_add(1, std::memory_order_relaxed);
+          errors_->Inc();
           return ErrorResponse(400,
                                "'allowed' must be an array of strings");
         }
         block.push_back(ResolveLabel(item.string_value(), engine.meta()));
       }
-      result = engine.QueryFiltered(name, block, k);
+      result = engine.QueryFiltered(name, block, k, timing_out);
     } else {
-      result = engine.Query(name, k, mode, nprobe);
+      result = engine.Query(name, k, mode, nprobe, timing_out);
     }
-    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) {
+      trace->AddSpan("scatter", timing.scatter_ms);
+      trace->AddSpan("merge", timing.merge_ms);
+    }
+    queries_->Inc();
     if (!result.ok()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return ErrorResponse(result.status());
     }
+    util::obs::Trace::Span serialize_span(trace, "serialize");
     w.Key("label").Value(name);
     AppendMatches(*result, &w);
   } else {
     // --- raw vector -------------------------------------------------------
     if (!vector->is_array() || vector->items().empty()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return ErrorResponse(400, "'vector' must be a non-empty number "
                                 "array");
     }
@@ -411,29 +652,36 @@ HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
     q.reserve(vector->items().size());
     for (const auto& item : vector->items()) {
       if (!item.is_number()) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_->Inc();
         return ErrorResponse(400, "'vector' must be a non-empty number "
                                   "array");
       }
       q.push_back(static_cast<float>(item.number_value()));
     }
-    const auto result = engine.QueryVector(q, k, mode, nprobe);
-    queries_.fetch_add(1, std::memory_order_relaxed);
+    const auto result = engine.QueryVector(q, k, mode, nprobe, timing_out);
+    if (trace != nullptr) {
+      trace->AddSpan("scatter", timing.scatter_ms);
+      trace->AddSpan("merge", timing.merge_ms);
+    }
+    queries_->Inc();
     if (!result.ok()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_->Inc();
       return ErrorResponse(result.status());
     }
+    util::obs::Trace::Span serialize_span(trace, "serialize");
     AppendMatches(*result, &w);
   }
 
+  util::obs::Trace::Span finish_span(trace, "serialize");
   w.EndObject();
   std::string body = w.str();
+  finish_span.Close();
   if (!cache_key.empty()) cache_.Put(cache_key, state->version, body);
-  latency_.Record(watch.ElapsedMillis());
+  latency_->Observe(watch.ElapsedMillis());
   // Feed the tuner after recording: it reacts to the p99 including this
   // query. Cache hits and shed requests never reach here — the tuner only
   // learns from queries the engine actually executed.
-  if (tuner_ != nullptr) tuner_->Observe(latency_.PercentileMs(0.99));
+  if (tuner_ != nullptr) tuner_->Observe(latency_->Percentile(0.99));
   return HttpResponse::Json(200, std::move(body));
 }
 
@@ -450,6 +698,14 @@ HttpResponse MatchService::HandleHealth(const HttpRequest&) {
   return HttpResponse::Json(200, w.str());
 }
 
+HttpResponse MatchService::HandleMetrics(const HttpRequest&) {
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = registry_->RenderPrometheus();
+  return response;
+}
+
 HttpResponse MatchService::HandleStats(const HttpRequest&) {
   const std::shared_ptr<const EngineState> state = this->state();
   if (state == nullptr) {
@@ -460,7 +716,7 @@ HttpResponse MatchService::HandleStats(const HttpRequest&) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time_)
           .count();
-  const uint64_t queries = queries_.load(std::memory_order_relaxed);
+  const uint64_t queries = queries_->Value();
   const uint64_t cache_hits = cache_.hits();
   const uint64_t cache_lookups = cache_hits + cache_.misses();
   util::JsonWriter w;
@@ -476,16 +732,16 @@ HttpResponse MatchService::HandleStats(const HttpRequest&) {
       .Key("index").Value(engine.has_ivf() ? "ivf+exact" : "exact")
       .Key("uptime_seconds").Value(uptime)
       .Key("queries").Value(queries)
-      .Key("errors").Value(errors_.load(std::memory_order_relaxed))
-      .Key("reloads").Value(reloads_.load(std::memory_order_relaxed))
+      .Key("errors").Value(errors_->Value())
+      .Key("reloads").Value(reloads_->Value())
       .Key("qps").Value(uptime > 0
                             ? static_cast<double>(queries) / uptime
                             : 0.0)
       .Key("latency_ms").BeginObject()
-      .Key("count").Value(latency_.count())
-      .Key("p50").Value(latency_.PercentileMs(0.50))
-      .Key("p90").Value(latency_.PercentileMs(0.90))
-      .Key("p99").Value(latency_.PercentileMs(0.99))
+      .Key("count").Value(latency_->count())
+      .Key("p50").Value(latency_->Percentile(0.50))
+      .Key("p90").Value(latency_->Percentile(0.90))
+      .Key("p99").Value(latency_->Percentile(0.99))
       .EndObject()
       .Key("shards").BeginObject()
       .Key("configured").Value(static_cast<uint64_t>(engine.num_shards()))
@@ -521,6 +777,20 @@ HttpResponse MatchService::HandleStats(const HttpRequest&) {
       .Key("adjustments").Value(tuner_ != nullptr ? tuner_->adjustments()
                                                   : uint64_t{0})
       .EndObject()
+      .Key("tracing").BeginObject()
+      .Key("sample").Value(options_.trace_sample)
+      .Key("slow_query_ms").Value(options_.slow_query_ms)
+      .Key("traced").Value(traces_->Value())
+      .Key("slow").Value(slow_queries_->Value())
+      .EndObject()
+      .Key("build").BeginObject()
+      .Key("compiler").Value(CompilerId())
+      .Key("simd").Value(simd::IsaName(simd::ActiveIsa()))
+      .Key("forced_scalar").Value(simd::ForcedScalarByEnv())
+      .Key("snapshot_format").Value(static_cast<uint64_t>(
+          state->snapshot_format))
+      .Key("shards").Value(static_cast<uint64_t>(options_.shards))
+      .EndObject()
       .EndObject();
   return HttpResponse::Json(200, w.str());
 }
@@ -544,7 +814,7 @@ HttpResponse MatchService::HandleReload(const HttpRequest& request) {
   if (!fresh.ok()) {
     // The old snapshot keeps serving; the caller learns why the new one
     // was rejected.
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    errors_->Inc();
     return ErrorResponse(fresh.status());
   }
   util::JsonWriter w;

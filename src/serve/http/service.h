@@ -1,7 +1,6 @@
 #ifndef TDMATCH_SERVE_HTTP_SERVICE_H_
 #define TDMATCH_SERVE_HTTP_SERVICE_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -15,36 +14,15 @@
 #include "serve/query_engine.h"
 #include "serve/result_cache.h"
 #include "serve/sharded_engine.h"
+#include "util/obs/jsonlog.h"
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
 #include "util/result.h"
 #include "util/status.h"
 
 namespace tdmatch {
 namespace serve {
 namespace http {
-
-/// \brief Fixed-bucket latency histogram (power-of-two microsecond
-/// buckets, lock-free atomic counters). Percentiles come back as the
-/// upper bound of the hit bucket — coarse, but constant-memory and safe
-/// to record into from every worker thread concurrently.
-class LatencyHistogram {
- public:
-  LatencyHistogram() {
-    // std::atomic's default constructor leaves the value uninitialized
-    // until C++20; zero explicitly.
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  }
-
-  void Record(double ms);
-  /// Upper bound (ms) of the bucket containing the p-quantile
-  /// (p in [0, 1]); 0 when empty.
-  double PercentileMs(double p) const;
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-
- private:
-  static constexpr size_t kBuckets = 40;  // covers <1us .. >500s
-  std::atomic<uint64_t> buckets_[kBuckets];
-  std::atomic<uint64_t> count_{0};
-};
 
 /// One immutable serving epoch: a built engine plus the identity of the
 /// snapshot it came from. Swapped wholesale on reload.
@@ -53,6 +31,9 @@ struct EngineState {
   std::string snapshot_path;
   bool mmap = false;
   double load_seconds = 0.0;
+  /// On-disk format version of the loaded snapshot (1 = plain, 2 = with
+  /// sections), surfaced in build_info.
+  uint32_t snapshot_format = 1;
   std::shared_ptr<ShardedQueryEngine> engine;
 };
 
@@ -80,6 +61,21 @@ struct ServiceOptions {
   /// admission window). Only for tests/CI: it makes in-flight overlap —
   /// and therefore 429s — deterministic under a flood.
   bool allow_debug_delay = false;
+  /// Fraction of /v1/query requests traced with per-stage spans (0 =
+  /// never, 1 = every request). Traced requests feed the per-stage
+  /// histograms and emit one JSONL "trace" line.
+  double trace_sample = 0.0;
+  /// Trace (and log) any query slower than this many milliseconds, on
+  /// top of the sample; <= 0 disables the slow-query path.
+  double slow_query_ms = 0.0;
+  /// Metrics registry to publish into. Null ⇒ the service creates a
+  /// private registry (safe for many services per process, as tests do);
+  /// a server binary passes &util::obs::Registry::Global() so /v1/metrics
+  /// is the process-wide view.
+  util::obs::Registry* registry = nullptr;
+  /// Structured logger for trace/slow-query lines. Null ⇒ the process
+  /// JsonLogger::Global().
+  util::obs::JsonLogger* logger = nullptr;
 };
 
 /// \brief The JSON endpoints of the serving front end, bound to an
@@ -92,9 +88,19 @@ struct ServiceOptions {
 ///                     mirroring QueryEngine::QueryFiltered.
 ///   GET  /v1/healthz  liveness + current snapshot version
 ///   GET  /v1/stats    counters, qps, latency percentiles, snapshot id
+///   GET  /v1/metrics  Prometheus text exposition of the same registry
 ///   POST /v1/reload   atomically swap in a new snapshot (optional
 ///                     {"snapshot": path}; defaults to re-reading the
 ///                     current path)
+///
+/// Every service counter lives in an obs::Registry (striped counters,
+/// one relaxed atomic bump on the hot path); /v1/stats and /v1/metrics
+/// are two renderings of the same data. A request that wins the trace
+/// sample (or any request when --slow-query-ms is set) carries an
+/// obs::Trace whose spans — parse, cache, admission, scatter, merge,
+/// serialize — aggregate into per-stage histograms and emit one JSONL
+/// line. Untraced requests pay one branch per would-be span; tracing is
+/// read-only on results (exact-mode bodies stay bit-identical).
 ///
 /// Hot reload is an RCU epoch swap: every request pins the current
 /// EngineState via a shared_ptr read with std::atomic_load, reload builds
@@ -128,6 +134,7 @@ class MatchService {
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleHealth(const HttpRequest& request);
   HttpResponse HandleStats(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleReload(const HttpRequest& request);
 
   const ServiceOptions& options() const { return options_; }
@@ -135,12 +142,23 @@ class MatchService {
   const ResultCache& cache() const { return cache_; }
   /// Null until LoadInitial; disabled unless latency_budget_ms > 0.
   const NprobeTuner* tuner() const { return tuner_.get(); }
+  /// The registry this service publishes into (its own unless injected).
+  util::obs::Registry* registry() const { return registry_; }
 
  private:
   util::Result<std::shared_ptr<const EngineState>> BuildState(
       const std::string& path, uint64_t version) const;
   /// The 429 + Retry-After response for a refused query.
   HttpResponse ShedResponse();
+  /// The traced body of HandleQuery (`trace` may be null).
+  HttpResponse HandleQueryTraced(const HttpRequest& request,
+                                 util::obs::Trace* trace);
+  /// Stage histograms + the JSONL trace/slow-query line.
+  void FinishRequestTrace(util::obs::Trace* trace, bool sampled, int status,
+                          uint64_t snapshot_version);
+  /// Registers/refreshes the state-dependent callback metrics
+  /// (build_info labels, snapshot phase gauges) for `state`.
+  void PublishStateMetrics(const EngineState& state);
 
   ServiceOptions options_;
   /// Current epoch; read with std::atomic_load, published with
@@ -150,10 +168,24 @@ class MatchService {
   std::mutex reload_mu_;
 
   std::chrono::steady_clock::time_point start_time_;
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> errors_{0};
-  std::atomic<uint64_t> reloads_{0};
-  LatencyHistogram latency_;
+  /// Owns the registry when none was injected.
+  std::unique_ptr<util::obs::Registry> owned_registry_;
+  util::obs::Registry* registry_ = nullptr;
+  util::obs::JsonLogger* logger_ = nullptr;
+
+  // Registry-owned instruments (resolved once; pointers are stable).
+  util::obs::Counter* queries_ = nullptr;
+  util::obs::Counter* errors_ = nullptr;
+  util::obs::Counter* reloads_ = nullptr;
+  util::obs::Counter* traces_ = nullptr;
+  util::obs::Counter* slow_queries_ = nullptr;
+  util::obs::Histogram* latency_ = nullptr;
+  /// Per-stage latency histograms, parallel to kStageNames.
+  static constexpr size_t kStages = 6;
+  static const char* const kStageNames[kStages];
+  util::obs::Histogram* stage_latency_[kStages] = {};
+
+  util::obs::TraceSampler sampler_;
   AdmissionController admission_;
   ResultCache cache_;
   std::unique_ptr<NprobeTuner> tuner_;

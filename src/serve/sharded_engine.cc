@@ -8,6 +8,7 @@
 
 #include "serve/mmap_snapshot.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace tdmatch {
 namespace serve {
@@ -187,7 +188,8 @@ const float* ShardedQueryEngine::LookupVector(
 
 util::Result<std::vector<ScoredMatch>> ShardedQueryEngine::ScatterVector(
     const std::vector<float>& vec, size_t k, SearchMode mode, size_t nprobe,
-    const std::vector<std::string>* allowed, bool use_pool) const {
+    const std::vector<std::string>* allowed, bool use_pool,
+    QueryTiming* timing) const {
   if (vec.size() != static_cast<size_t>(dim_)) {
     return util::Status::InvalidArgument(
         util::StrFormat("query vector has dim %zu, snapshot dim is %d",
@@ -202,6 +204,7 @@ util::Result<std::vector<ScoredMatch>> ShardedQueryEngine::ScatterVector(
                  ? shards_[i].QueryVectorFiltered(vec, *allowed, k)
                  : shards_[i].QueryVector(vec, k, mode, nprobe);
   };
+  util::StopWatch stage_watch;
   if (use_pool && pool_ != nullptr && s > 1) {
     // Leaf-task scatter with its own completion latch (the QueryBatch
     // pattern): shard tasks never submit further work, so concurrent
@@ -221,6 +224,7 @@ util::Result<std::vector<ScoredMatch>> ShardedQueryEngine::ScatterVector(
   } else {
     for (size_t i = 0; i < s; ++i) run_shard(i);
   }
+  const double scatter_ms = stage_watch.ElapsedMillis();
 
   // Gather: map shard-local candidate ids to global ones and re-rank the
   // union of the per-shard top-k heaps under TopK's strict total order
@@ -243,33 +247,65 @@ util::Result<std::vector<ScoredMatch>> ShardedQueryEngine::ScatterVector(
               return a.candidate < b.candidate;
             });
   if (merged.size() > k) merged.resize(k);
+  if (timing != nullptr) {
+    timing->scatter_ms = scatter_ms;
+    timing->merge_ms = stage_watch.ElapsedMillis() - scatter_ms;
+  }
   return merged;
 }
 
+namespace {
+
+/// Delegate-mode timing: the single engine call is the scatter stage and
+/// there is nothing to merge.
+template <typename Fn>
+auto TimeAsScatter(ShardedQueryEngine::QueryTiming* timing, Fn&& fn) {
+  if (timing == nullptr) return fn();
+  util::StopWatch watch;
+  auto result = fn();
+  timing->scatter_ms = watch.ElapsedMillis();
+  timing->merge_ms = 0.0;
+  return result;
+}
+
+}  // namespace
+
 util::Result<std::vector<ScoredMatch>> ShardedQueryEngine::Query(
-    const std::string& label, size_t k, SearchMode mode,
-    size_t nprobe) const {
-  if (delegate()) return shards_[0].Query(label, k, mode, nprobe);
+    const std::string& label, size_t k, SearchMode mode, size_t nprobe,
+    QueryTiming* timing) const {
+  if (delegate()) {
+    return TimeAsScatter(
+        timing, [&] { return shards_[0].Query(label, k, mode, nprobe); });
+  }
   std::vector<float> scratch;
   const float* vec = LookupVector(label, &scratch);
   if (vec == nullptr) {
     return util::Status::NotFound("no embedding for label '" + label + "'");
   }
   std::vector<float> q(vec, vec + static_cast<size_t>(dim_));
-  return ScatterVector(q, k, mode, nprobe, nullptr, /*use_pool=*/true);
+  return ScatterVector(q, k, mode, nprobe, nullptr, /*use_pool=*/true,
+                       timing);
 }
 
 util::Result<std::vector<ScoredMatch>> ShardedQueryEngine::QueryVector(
-    const std::vector<float>& vec, size_t k, SearchMode mode,
-    size_t nprobe) const {
-  if (delegate()) return shards_[0].QueryVector(vec, k, mode, nprobe);
-  return ScatterVector(vec, k, mode, nprobe, nullptr, /*use_pool=*/true);
+    const std::vector<float>& vec, size_t k, SearchMode mode, size_t nprobe,
+    QueryTiming* timing) const {
+  if (delegate()) {
+    return TimeAsScatter(
+        timing, [&] { return shards_[0].QueryVector(vec, k, mode, nprobe); });
+  }
+  return ScatterVector(vec, k, mode, nprobe, nullptr, /*use_pool=*/true,
+                       timing);
 }
 
 util::Result<std::vector<ScoredMatch>> ShardedQueryEngine::QueryFiltered(
     const std::string& label, const std::vector<std::string>& allowed,
-    size_t k) const {
-  if (delegate()) return shards_[0].QueryFiltered(label, allowed, k);
+    size_t k, QueryTiming* timing) const {
+  if (delegate()) {
+    return TimeAsScatter(timing, [&] {
+      return shards_[0].QueryFiltered(label, allowed, k);
+    });
+  }
   std::vector<float> scratch;
   const float* vec = LookupVector(label, &scratch);
   if (vec == nullptr) {
@@ -277,7 +313,7 @@ util::Result<std::vector<ScoredMatch>> ShardedQueryEngine::QueryFiltered(
   }
   std::vector<float> q(vec, vec + static_cast<size_t>(dim_));
   return ScatterVector(q, k, SearchMode::kExact, 0, &allowed,
-                       /*use_pool=*/true);
+                       /*use_pool=*/true, timing);
 }
 
 std::vector<util::Result<std::vector<ScoredMatch>>>

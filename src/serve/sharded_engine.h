@@ -63,22 +63,33 @@ class ShardedQueryEngine {
       std::shared_ptr<const SnapshotView> view, const std::string& prefix,
       ShardedEngineOptions options = {});
 
+  /// Per-call stage timings, filled when a caller passes a non-null
+  /// out-param (tracing). Purely observational — never consulted by the
+  /// merge, so results are identical with or without it. In delegate
+  /// mode the whole engine call counts as scatter and merge is 0.
+  struct QueryTiming {
+    double scatter_ms = 0.0;  // fan-out + per-shard top-k
+    double merge_ms = 0.0;    // global-id mapping + re-rank + truncate
+  };
+
   /// Top-k for the embedding stored under `label`. `nprobe` > 0 overrides
   /// each shard's IVF probe count for this query (approx mode only).
   util::Result<std::vector<ScoredMatch>> Query(
       const std::string& label, size_t k = 0,
-      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0) const;
+      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0,
+      QueryTiming* timing = nullptr) const;
 
   /// Top-k for a caller-provided vector.
   util::Result<std::vector<ScoredMatch>> QueryVector(
       const std::vector<float>& vec, size_t k = 0,
-      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0) const;
+      SearchMode mode = SearchMode::kApprox, size_t nprobe = 0,
+      QueryTiming* timing = nullptr) const;
 
   /// Blocking-aware filtered query (always exact); each shard masks its
   /// own slice of the allowed set.
   util::Result<std::vector<ScoredMatch>> QueryFiltered(
       const std::string& label, const std::vector<std::string>& allowed,
-      size_t k = 0) const;
+      size_t k = 0, QueryTiming* timing = nullptr) const;
 
   /// Batch lookup: result i answers labels[i]. Parallelism is over the
   /// queries (shards run inline inside each worker) — never nested
@@ -130,8 +141,8 @@ class ShardedQueryEngine {
   /// by (score desc, global id asc), truncates to k.
   util::Result<std::vector<ScoredMatch>> ScatterVector(
       const std::vector<float>& vec, size_t k, SearchMode mode,
-      size_t nprobe, const std::vector<std::string>* allowed,
-      bool use_pool) const;
+      size_t nprobe, const std::vector<std::string>* allowed, bool use_pool,
+      QueryTiming* timing = nullptr) const;
 
   ShardedEngineOptions options_;
   Sharder sharder_;

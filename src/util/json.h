@@ -122,8 +122,9 @@ void JsonAppendQuoted(std::string_view s, std::string* out);
 ///   w.BeginObject().Key("status").Value("ok").Key("n").Value(3).EndObject();
 ///   w.str()  // {"status":"ok","n":3}
 ///
-/// Doubles are written with %.17g so they round-trip bit-exactly through
-/// strtod; non-finite values become null (JSON has no NaN/inf).
+/// Doubles are written in their shortest round-trippable spelling (strtod
+/// reproduces the exact bits); non-finite values become null (JSON has no
+/// NaN/inf).
 class JsonWriter {
  public:
   JsonWriter& BeginObject() { return Open('{'); }
@@ -143,6 +144,10 @@ class JsonWriter {
   JsonWriter& Null();
 
   const std::string& str() const { return out_; }
+
+  /// Pre-sizes the output buffer (hot writers that know their rough line
+  /// length avoid growth reallocations).
+  void Reserve(size_t bytes) { out_.reserve(bytes); }
 
  private:
   JsonWriter& Open(char c);

@@ -1,0 +1,113 @@
+#include "util/obs/jsonlog.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+LogLevel ParseLogLevel(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+JsonLogger& JsonLogger::Global() {
+  static JsonLogger* instance = new JsonLogger();
+  return *instance;
+}
+
+void JsonLogger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+JsonLogger::Event JsonLogger::Log(LogLevel level, std::string_view event) {
+  return Event(enabled(level) ? this : nullptr, level, event);
+}
+
+JsonLogger::Event::Event(JsonLogger* logger, LogLevel level,
+                         std::string_view event)
+    : logger_(logger) {
+  if (logger_ == nullptr) return;
+  w_.Reserve(512);  // typical trace line with spans; avoids regrowth
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  w_.BeginObject()
+      .Key("ts").Value(ts)
+      .Key("level").Value(LogLevelName(level))
+      .Key("event").Value(event);
+}
+
+JsonLogger::Event::Event(Event&& other) noexcept
+    : logger_(other.logger_), w_(std::move(other.w_)) {
+  other.logger_ = nullptr;
+}
+
+JsonLogger::Event::~Event() {
+  if (logger_ == nullptr) return;
+  w_.EndObject();
+  logger_->Emit(w_.str());
+}
+
+JsonLogger::Event& JsonLogger::Event::Str(std::string_view key,
+                                          std::string_view value) {
+  if (logger_ != nullptr) w_.Key(key).Value(value);
+  return *this;
+}
+
+JsonLogger::Event& JsonLogger::Event::Num(std::string_view key,
+                                          double value) {
+  if (logger_ != nullptr) w_.Key(key).Value(value);
+  return *this;
+}
+
+JsonLogger::Event& JsonLogger::Event::Int(std::string_view key,
+                                          int64_t value) {
+  if (logger_ != nullptr) w_.Key(key).Value(value);
+  return *this;
+}
+
+JsonLogger::Event& JsonLogger::Event::Uint(std::string_view key,
+                                           uint64_t value) {
+  if (logger_ != nullptr) w_.Key(key).Value(value);
+  return *this;
+}
+
+JsonLogger::Event& JsonLogger::Event::Bool(std::string_view key,
+                                           bool value) {
+  if (logger_ != nullptr) w_.Key(key).Value(value);
+  return *this;
+}
+
+void JsonLogger::Emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(line);
+    return;
+  }
+  // One fwrite of the full line + newline: lines from concurrent threads
+  // never interleave (the mutex), and stderr is unbuffered by default.
+  std::string with_newline = line;
+  with_newline.push_back('\n');
+  std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
+}
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch

@@ -1,0 +1,97 @@
+#ifndef TDMATCH_UTIL_OBS_JSONLOG_H_
+#define TDMATCH_UTIL_OBS_JSONLOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+/// Parses "debug"/"info"/"warn"/"error" (case-sensitive); defaults to
+/// kInfo on anything else.
+LogLevel ParseLogLevel(std::string_view name);
+
+/// \brief Leveled structured logger: every event is one JSONL line
+/// (`{"ts":...,"level":"info","event":"...",...}`) written atomically to
+/// the sink (stderr by default; tests install a capture callback). This
+/// replaces the ad-hoc fprintf(stderr, ...) prints in the serving tools —
+/// machine-parseable, greppable by event name, and safe from interleaving
+/// under concurrent writers.
+///
+/// Usage:
+///   auto ev = JsonLogger::Global().Log(LogLevel::kInfo, "serve_start");
+///   if (ev.active()) ev.Str("snapshot", path).Int("port", port);
+///   // line is emitted when `ev` goes out of scope
+class JsonLogger {
+ public:
+  using Sink = std::function<void(const std::string& line)>;
+
+  JsonLogger() = default;
+  static JsonLogger& Global();
+
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(
+        min_level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+  /// Redirects emission (tests). Null restores the stderr default.
+  void set_sink(Sink sink);
+
+  /// One pending event. Below-threshold events are inert: field setters
+  /// are no-ops and nothing is emitted.
+  class Event {
+   public:
+    Event(JsonLogger* logger, LogLevel level, std::string_view event);
+    ~Event();
+    Event(Event&& other) noexcept;
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+    Event& operator=(Event&&) = delete;
+
+    bool active() const { return logger_ != nullptr; }
+    Event& Str(std::string_view key, std::string_view value);
+    Event& Num(std::string_view key, double value);
+    Event& Int(std::string_view key, int64_t value);
+    Event& Uint(std::string_view key, uint64_t value);
+    Event& Bool(std::string_view key, bool value);
+    /// Direct writer access for nested structure (arrays of spans). Only
+    /// meaningful when active(); callers must balance Begin/End.
+    util::JsonWriter& writer() { return w_; }
+
+   private:
+    JsonLogger* logger_;
+    util::JsonWriter w_;
+  };
+
+  Event Log(LogLevel level, std::string_view event);
+
+ private:
+  friend class Event;
+  void Emit(const std::string& line);
+
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::mutex mu_;
+  Sink sink_;
+};
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_OBS_JSONLOG_H_

@@ -1,0 +1,292 @@
+#include "util/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+namespace {
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': out->append("\\\\"); break;
+      case '"': out->append("\\\""); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+void AppendHelpEscaped(std::string_view s, std::string* out) {
+  // HELP text escapes only backslash and newline (quotes are legal).
+  for (char c : s) {
+    switch (c) {
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+/// %.17g — the same round-trippable spelling JsonWriter uses, so a value
+/// scraped from /v1/metrics parses back bit-exact.
+std::string FormatValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return util::StrFormat("%.17g", v);
+}
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Splices `extra` (e.g. le="...") into a serialized label block.
+std::string WithExtraLabel(const std::string& serialized,
+                           const std::string& extra) {
+  if (serialized.empty()) return "{" + extra + "}";
+  std::string out = serialized.substr(0, serialized.size() - 1);
+  out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+size_t Counter::StripeIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0 || bounds_.empty()) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(total))));
+  uint64_t cum = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i == bounds_.size()) {
+      // Overflow bucket: no finite upper bound to interpolate toward;
+      // clamp to the last finite boundary (documented underestimate).
+      return bounds_.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double frac = static_cast<double>(rank - cum) /
+                        static_cast<double>(in_bucket);
+    return lo + frac * (hi - lo);
+  }
+  return bounds_.back();
+}
+
+std::vector<double> Histogram::LatencyBoundsMs() {
+  std::vector<double> bounds;
+  bounds.reserve(40);
+  for (int i = 0; i < 40; ++i) {
+    bounds.push_back(static_cast<double>(uint64_t{1} << i) / 1000.0);
+  }
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+std::string FormatLabels(const LabelSet& labels) {
+  if (labels.empty()) return std::string();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscaped(v, &out);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Registry::Family* Registry::GetFamily(const std::string& name,
+                                      MetricType type,
+                                      const std::string& help) {
+  Family& fam = families_[name];
+  if (fam.help.empty()) {
+    fam.type = type;
+    fam.help = help;
+  }
+  return &fam;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help,
+                              const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, MetricType::kCounter, help);
+  auto& slot = fam->counters[FormatLabels(labels)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, MetricType::kGauge, help);
+  auto& slot = fam->gauges[FormatLabels(labels)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  std::vector<double> bounds,
+                                  const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, MetricType::kHistogram, help);
+  if (fam->bounds.empty()) fam->bounds = bounds;
+  auto& slot = fam->histograms[FormatLabels(labels)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+void Registry::RegisterCallback(MetricType type, const std::string& name,
+                                const std::string& help,
+                                const LabelSet& labels,
+                                std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, type, help);
+  fam->callbacks[FormatLabels(labels)] = std::move(fn);
+}
+
+void Registry::ClearCallbacks(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it != families_.end()) it->second.callbacks.clear();
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP ";
+    out += name;
+    out += " ";
+    AppendHelpEscaped(fam.help, &out);
+    out += "\n# TYPE ";
+    out += name;
+    out += " ";
+    out += TypeName(fam.type);
+    out += "\n";
+    for (const auto& [labels, counter] : fam.counters) {
+      out += name;
+      out += labels;
+      out += " ";
+      out += std::to_string(counter->Value());
+      out += "\n";
+    }
+    for (const auto& [labels, gauge] : fam.gauges) {
+      out += name;
+      out += labels;
+      out += " ";
+      out += FormatValue(gauge->Value());
+      out += "\n";
+    }
+    for (const auto& [labels, fn] : fam.callbacks) {
+      out += name;
+      out += labels;
+      out += " ";
+      out += FormatValue(fn());
+      out += "\n";
+    }
+    for (const auto& [labels, hist] : fam.histograms) {
+      uint64_t cum = 0;
+      const auto& bounds = hist->bounds();
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        cum += hist->BucketCount(i);
+        out += name;
+        out += "_bucket";
+        out += WithExtraLabel(labels, "le=\"" + FormatValue(bounds[i]) +
+                                          "\"");
+        out += " ";
+        out += std::to_string(cum);
+        out += "\n";
+      }
+      cum += hist->BucketCount(bounds.size());
+      out += name;
+      out += "_bucket";
+      out += WithExtraLabel(labels, "le=\"+Inf\"");
+      out += " ";
+      out += std::to_string(cum);
+      out += "\n";
+      out += name;
+      out += "_sum";
+      out += labels;
+      out += " ";
+      out += FormatValue(hist->sum());
+      out += "\n";
+      out += name;
+      out += "_count";
+      out += labels;
+      out += " ";
+      out += std::to_string(hist->count());
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch

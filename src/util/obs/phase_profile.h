@@ -1,0 +1,90 @@
+#ifndef TDMATCH_UTIL_OBS_PHASE_PROFILE_H_
+#define TDMATCH_UTIL_OBS_PHASE_PROFILE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+/// \brief Ordered list of named phase timings for a batch pipeline run
+/// (corpus load → graph build → walks → per-epoch train → snapshot
+/// write). Phases append in execution order and may repeat (one
+/// "train_epoch" per epoch); Seconds(name) sums every matching entry.
+/// Not thread-safe — a profile belongs to one pipeline invocation.
+class PhaseProfile {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds;
+  };
+
+  void Add(std::string name, double seconds) {
+    phases_.push_back(Phase{std::move(name), seconds});
+  }
+  /// Appends every phase of `other`, prefixing names (e.g. "train.").
+  void Merge(const PhaseProfile& other, const std::string& prefix = "") {
+    for (const Phase& p : other.phases_) {
+      phases_.push_back(Phase{prefix + p.name, p.seconds});
+    }
+  }
+
+  /// Sum over phases named exactly `name` (0 when absent).
+  double Seconds(std::string_view name) const {
+    double total = 0.0;
+    for (const Phase& p : phases_) {
+      if (p.name == name) total += p.seconds;
+    }
+    return total;
+  }
+  /// Sum over every recorded phase — the instrumented wall clock of the
+  /// whole run.
+  double Total() const {
+    double total = 0.0;
+    for (const Phase& p : phases_) total += p.seconds;
+    return total;
+  }
+
+  const std::vector<Phase>& phases() const { return phases_; }
+  bool empty() const { return phases_.empty(); }
+  void clear() { phases_.clear(); }
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+/// RAII phase timer: appends `name` with the elapsed seconds when
+/// destroyed (or at an explicit Stop(), which also returns the reading).
+class PhaseTimer {
+ public:
+  PhaseTimer(PhaseProfile* profile, std::string name)
+      : profile_(profile), name_(std::move(name)) {}
+  ~PhaseTimer() { Stop(); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  double Stop() {
+    const double s = watch_.ElapsedSeconds();
+    if (profile_ != nullptr) {
+      profile_->Add(std::move(name_), s);
+      profile_ = nullptr;
+    }
+    return s;
+  }
+
+ private:
+  PhaseProfile* profile_;
+  std::string name_;
+  util::StopWatch watch_;
+};
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_OBS_PHASE_PROFILE_H_

@@ -1,0 +1,41 @@
+#include "util/obs/trace.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+TraceSampler::TraceSampler(double fraction) {
+  if (!(fraction > 0.0)) {
+    period_ = 0;
+  } else if (fraction >= 1.0) {
+    period_ = 1;
+  } else {
+    period_ = static_cast<uint64_t>(std::llround(1.0 / fraction));
+    if (period_ == 0) period_ = 1;
+  }
+}
+
+std::string GenerateTraceId() {
+  // Seeded once per process from the wall clock; ids are unique within a
+  // process (counter) and unlikely to collide across restarts (seed).
+  static const uint64_t seed = static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  // splitmix64 finalizer over seed+n: well-spread hex without a PRNG dep.
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (n + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return util::StrFormat("t-%016llx",
+                         static_cast<unsigned long long>(x));
+}
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch

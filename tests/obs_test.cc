@@ -1,0 +1,483 @@
+// Tests for the observability layer (util/obs): metrics registry +
+// Prometheus exposition, histogram percentile math, request tracing, the
+// JSONL logger, and pipeline phase profiling.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/json.h"
+#include "util/obs/jsonlog.h"
+#include "util/obs/metrics.h"
+#include "util/obs/phase_profile.h"
+#include "util/obs/trace.h"
+#include "util/rng.h"
+
+namespace tdmatch {
+namespace {
+
+using util::obs::Counter;
+using util::obs::Gauge;
+using util::obs::Histogram;
+using util::obs::LabelSet;
+using util::obs::MetricType;
+using util::obs::PhaseProfile;
+using util::obs::PhaseTimer;
+using util::obs::Registry;
+using util::obs::Trace;
+using util::obs::TraceSampler;
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge primitives
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounterTest, ConcurrentBumpsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), uint64_t{kThreads} * kPerThread);
+
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), uint64_t{kThreads} * kPerThread + 41);
+}
+
+TEST(ObsGaugeTest, ConcurrentAddsSumExactly) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      // Small-integer increments are exact in double, so the CAS loop
+      // must account for every one of them.
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.Value(), static_cast<double>(kThreads * kPerThread));
+
+  g.Set(-3.25);
+  EXPECT_EQ(g.Value(), -3.25);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: bucket placement and percentile estimation
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogramTest, BucketPlacementAndCounts) {
+  Histogram h({1.0, 2.5, 10.0});
+  h.Observe(0.5);   // <= 1       -> bucket 0
+  h.Observe(1.0);   // == bound   -> bucket 0 (le semantics)
+  h.Observe(2.0);   // (1, 2.5]   -> bucket 1
+  h.Observe(100.0); // > 10       -> overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.5);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 0u);
+  EXPECT_EQ(h.BucketCount(3), 1u);  // overflow
+}
+
+TEST(ObsHistogramTest, BoundsAreSortedAndDeduplicated) {
+  Histogram h({10.0, 1.0, 2.5, 1.0});
+  const std::vector<double> want = {1.0, 2.5, 10.0};
+  EXPECT_EQ(h.bounds(), want);
+}
+
+TEST(ObsHistogramTest, PercentileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0});
+  // Ten observations uniformly filling (1, 2]: p50 rank 5 of 10 -> the
+  // estimator assumes uniform density, so p50 lands mid-bucket.
+  for (int i = 0; i < 10; ++i) h.Observe(1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 2.0);
+  // Empty histogram reports 0.
+  Histogram empty({1.0});
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+}
+
+TEST(ObsHistogramTest, OverflowPercentileClampsToLastBound) {
+  Histogram h({1.0, 8.0});
+  for (int i = 0; i < 4; ++i) h.Observe(1e9);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 8.0);
+}
+
+// Property test: against random data the interpolated estimate must always
+// land in the same bucket as the exact sample quantile (the estimator can
+// never leave the true quantile's bucket).
+TEST(ObsHistogramTest, PercentileStaysInExactQuantilesBucket) {
+  util::Rng rng(4242);
+  const std::vector<double> bounds = Histogram::LatencyBoundsMs();
+  for (int trial = 0; trial < 20; ++trial) {
+    Histogram h(bounds);
+    std::vector<double> data;
+    const size_t n = 50 + rng.UniformInt(500);
+    data.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Log-uniform over ~6 decades, the shape of real latency data.
+      data.push_back(std::pow(10.0, rng.Uniform(-3.0, 3.0)));
+      h.Observe(data.back());
+    }
+    std::sort(data.begin(), data.end());
+    for (const double p : {0.5, 0.9, 0.95, 0.99}) {
+      const size_t rank = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(p * static_cast<double>(n))));
+      const double exact = data[rank - 1];
+      const double est = h.Percentile(p);
+      // Bucket of the exact quantile: (lo, hi].
+      const size_t bi = static_cast<size_t>(
+          std::lower_bound(bounds.begin(), bounds.end(), exact) -
+          bounds.begin());
+      ASSERT_LT(bi, bounds.size()) << "exact quantile overflowed the grid";
+      const double lo = bi == 0 ? 0.0 : bounds[bi - 1];
+      const double hi = bounds[bi];
+      EXPECT_GE(est, lo) << "p=" << p << " trial=" << trial;
+      EXPECT_LE(est, hi) << "p=" << p << " trial=" << trial;
+    }
+  }
+}
+
+TEST(ObsHistogramTest, LatencyBoundsGridShape) {
+  const std::vector<double> bounds = Histogram::LatencyBoundsMs();
+  ASSERT_EQ(bounds.size(), 40u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.001);  // 1us
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], 2.0 * bounds[i - 1]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry + exposition format
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistryTest, ExpositionGolden) {
+  Registry reg;
+  reg.GetCounter("tdmatch_test_requests_total", "Total requests",
+                 {{"code", "200"}})
+      ->Inc(2);
+  reg.GetCounter("tdmatch_test_requests_total", "Total requests",
+                 {{"code", "500"}})
+      ->Inc();
+  reg.GetGauge("tdmatch_test_temp", "Current temperature")->Set(2.5);
+  reg.GetGauge("tdmatch_esc", "quote \" ok",
+               {{"path", "a\\b\"c\nd"}})
+      ->Set(7.0);
+  Histogram* h = reg.GetHistogram("tdmatch_test_lat_ms", "Query latency",
+                                  {1.0, 2.5, 10.0});
+  h->Observe(0.5);
+  h->Observe(2.0);
+  h->Observe(100.0);
+
+  const std::string want =
+      "# HELP tdmatch_esc quote \" ok\n"
+      "# TYPE tdmatch_esc gauge\n"
+      "tdmatch_esc{path=\"a\\\\b\\\"c\\nd\"} 7\n"
+      "# HELP tdmatch_test_lat_ms Query latency\n"
+      "# TYPE tdmatch_test_lat_ms histogram\n"
+      "tdmatch_test_lat_ms_bucket{le=\"1\"} 1\n"
+      "tdmatch_test_lat_ms_bucket{le=\"2.5\"} 2\n"
+      "tdmatch_test_lat_ms_bucket{le=\"10\"} 2\n"
+      "tdmatch_test_lat_ms_bucket{le=\"+Inf\"} 3\n"
+      "tdmatch_test_lat_ms_sum 102.5\n"
+      "tdmatch_test_lat_ms_count 3\n"
+      "# HELP tdmatch_test_requests_total Total requests\n"
+      "# TYPE tdmatch_test_requests_total counter\n"
+      "tdmatch_test_requests_total{code=\"200\"} 2\n"
+      "tdmatch_test_requests_total{code=\"500\"} 1\n"
+      "# HELP tdmatch_test_temp Current temperature\n"
+      "# TYPE tdmatch_test_temp gauge\n"
+      "tdmatch_test_temp 2.5\n";
+  EXPECT_EQ(reg.RenderPrometheus(), want);
+}
+
+TEST(ObsRegistryTest, GaugeValuesRoundTripBitExact) {
+  Registry reg;
+  const double v = 1.0 / 3.0;
+  reg.GetGauge("tdmatch_third", "h")->Set(v);
+  const std::string out = reg.RenderPrometheus();
+  const std::string needle = "\ntdmatch_third ";  // the sample, not # HELP
+  const size_t pos = out.find(needle);
+  ASSERT_NE(pos, std::string::npos) << out;
+  const double parsed =
+      std::strtod(out.c_str() + pos + needle.size(), nullptr);
+  EXPECT_EQ(parsed, v);  // %.17g -> strtod reproduces the exact bits
+}
+
+TEST(ObsRegistryTest, GetIsIdempotentPerLabelSet) {
+  Registry reg;
+  Counter* a = reg.GetCounter("c", "h", {{"k", "x"}});
+  Counter* b = reg.GetCounter("c", "h", {{"k", "x"}});
+  Counter* other = reg.GetCounter("c", "h", {{"k", "y"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST(ObsRegistryTest, CallbacksRenderAndClear) {
+  Registry reg;
+  reg.RegisterCallback(MetricType::kGauge, "tdmatch_cb", "h",
+                       {{"shard", "0"}}, [] { return 12.0; });
+  EXPECT_NE(reg.RenderPrometheus().find("tdmatch_cb{shard=\"0\"} 12"),
+            std::string::npos);
+  // Re-registering the same (name, labels) replaces the callback.
+  reg.RegisterCallback(MetricType::kGauge, "tdmatch_cb", "h",
+                       {{"shard", "0"}}, [] { return 13.0; });
+  EXPECT_NE(reg.RenderPrometheus().find("tdmatch_cb{shard=\"0\"} 13"),
+            std::string::npos);
+  reg.ClearCallbacks("tdmatch_cb");
+  EXPECT_EQ(reg.RenderPrometheus().find("tdmatch_cb{"), std::string::npos);
+}
+
+// Threads hammer get-or-create, bumps, and scrapes concurrently; the final
+// totals must still be exact. Runs under TSan in CI.
+TEST(ObsRegistryTest, ConcurrentRegistrationAndScrape) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.GetCounter("tdmatch_conc_total", "h")->Inc();
+        reg.GetHistogram("tdmatch_conc_ms", "h", {1.0, 10.0})
+            ->Observe(static_cast<double>(t));
+        if (i % 512 == 0) {
+          const std::string out = reg.RenderPrometheus();
+          EXPECT_NE(out.find("tdmatch_conc_total"), std::string::npos);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("tdmatch_conc_total", "h")->Value(),
+            uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(reg.GetHistogram("tdmatch_conc_ms", "h", {1.0, 10.0})->count(),
+            uint64_t{kThreads} * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------------
+
+// Busy-works long enough for the steady clock to tick.
+double BurnCpu() {
+  volatile double x = 1.0;
+  for (int i = 0; i < 50000; ++i) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+TEST(ObsTraceTest, SpansNestAndRecordDepth) {
+  Trace trace("t-test");
+  {
+    Trace::Span outer(&trace, "outer");
+    BurnCpu();
+    {
+      Trace::Span inner(&trace, "inner");
+      BurnCpu();
+    }
+  }
+  trace.AddSpan("external", 1.5);
+  const double total = trace.Finish();
+  EXPECT_EQ(trace.Finish(), total);  // idempotent
+
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_STREQ(trace.spans()[0].name, "outer");
+  EXPECT_EQ(trace.spans()[0].depth, 0);
+  EXPECT_STREQ(trace.spans()[1].name, "inner");
+  EXPECT_EQ(trace.spans()[1].depth, 1);
+  EXPECT_STREQ(trace.spans()[2].name, "external");
+  EXPECT_DOUBLE_EQ(trace.spans()[2].ms, 1.5);
+  // Nesting: the inner span starts after and ends within the outer one.
+  EXPECT_GE(trace.spans()[1].start_ms, trace.spans()[0].start_ms);
+  EXPECT_LE(trace.spans()[1].ms, trace.spans()[0].ms);
+  EXPECT_GT(trace.spans()[0].ms, 0.0);
+  EXPECT_GE(total, trace.spans()[0].ms);
+}
+
+TEST(ObsTraceTest, SpanClosesOnEarlyReturn) {
+  Trace trace("t-early");
+  const auto shed = [&trace]() -> bool {
+    Trace::Span span(&trace, "admission");
+    BurnCpu();
+    return true;  // early exit path: destructor must close the span
+  };
+  ASSERT_TRUE(shed());
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_GT(trace.spans()[0].ms, 0.0);
+  // And an explicit Close() is safe to repeat via the destructor.
+  {
+    Trace::Span span(&trace, "closed-twice");
+    span.Close();
+  }
+  ASSERT_EQ(trace.spans().size(), 2u);
+}
+
+TEST(ObsTraceTest, NullTraceIsANoOp) {
+  Trace::Span span(nullptr, "ignored");
+  span.Close();  // must not crash
+}
+
+TEST(ObsTraceTest, SamplerPeriods) {
+  TraceSampler never(0.0);
+  EXPECT_TRUE(never.never());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(never.ShouldSample());
+
+  TraceSampler always(1.0);
+  EXPECT_TRUE(always.always());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(always.ShouldSample());
+
+  TraceSampler quarter(0.25);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += quarter.ShouldSample() ? 1 : 0;
+  EXPECT_EQ(sampled, 25);  // deterministic every-4th
+}
+
+TEST(ObsTraceTest, GeneratedIdsAreUniqueAndWellFormed) {
+  std::set<std::string> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string id = util::obs::GenerateTraceId();
+    ASSERT_EQ(id.size(), 18u) << id;
+    ASSERT_EQ(id.substr(0, 2), "t-");
+    for (char c : id.substr(2)) {
+      ASSERT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << id;
+    }
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL logger
+// ---------------------------------------------------------------------------
+
+TEST(ObsJsonLogTest, EventsParseBackThroughUtilJson) {
+  util::obs::JsonLogger log;
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  log.Log(util::obs::LogLevel::kInfo, "serve_start")
+      .Str("snapshot", "/tmp/x \"quoted\"\n.tds")
+      .Num("load_seconds", 0.125)
+      .Int("signal", -2)
+      .Uint("requests", 18446744073709551615ull)
+      .Bool("mmap", true);
+  ASSERT_EQ(lines.size(), 1u);
+
+  auto doc = util::JsonParse(lines[0]);
+  ASSERT_TRUE(doc.ok()) << lines[0];
+  EXPECT_GT(doc->Find("ts")->number_value(), 1.7e9);  // sane epoch seconds
+  EXPECT_EQ(doc->Find("level")->string_value(), "info");
+  EXPECT_EQ(doc->Find("event")->string_value(), "serve_start");
+  EXPECT_EQ(doc->Find("snapshot")->string_value(), "/tmp/x \"quoted\"\n.tds");
+  EXPECT_EQ(doc->Find("load_seconds")->number_value(), 0.125);
+  EXPECT_EQ(doc->Find("signal")->number_value(), -2.0);
+  // uint64 max exceeds double precision; the spelling must be exact.
+  EXPECT_EQ(doc->Find("requests")->string_value(), "18446744073709551615");
+  EXPECT_TRUE(doc->Find("mmap")->bool_value());
+}
+
+TEST(ObsJsonLogTest, MinLevelSuppressesBelow) {
+  util::obs::JsonLogger log;
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  log.set_min_level(util::obs::LogLevel::kWarn);
+  log.Log(util::obs::LogLevel::kDebug, "d");
+  log.Log(util::obs::LogLevel::kInfo, "i").Str("k", "v");
+  log.Log(util::obs::LogLevel::kWarn, "w");
+  log.Log(util::obs::LogLevel::kError, "e");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\":\"w\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\":\"e\""), std::string::npos);
+}
+
+TEST(ObsJsonLogTest, ParseLogLevelNames) {
+  using util::obs::LogLevel;
+  using util::obs::ParseLogLevel;
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kInfo);  // safe default
+}
+
+TEST(ObsJsonLogTest, ConcurrentEmitsStayLineAtomic) {
+  util::obs::JsonLogger log;
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Log(util::obs::LogLevel::kInfo, "tick")
+            .Int("thread", t)
+            .Int("i", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(lines.size(), size_t{kThreads} * kPerThread);
+  for (const auto& line : lines) {
+    ASSERT_TRUE(util::JsonParse(line).ok()) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase profiling
+// ---------------------------------------------------------------------------
+
+TEST(ObsPhaseProfileTest, RepeatedPhasesSumAndMergePrefixes) {
+  PhaseProfile p;
+  p.Add("train_epoch", 1.0);
+  p.Add("train_epoch", 2.0);
+  p.Add("match", 0.5);
+  EXPECT_DOUBLE_EQ(p.Seconds("train_epoch"), 3.0);
+  EXPECT_DOUBLE_EQ(p.Seconds("match"), 0.5);
+  EXPECT_DOUBLE_EQ(p.Seconds("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(p.Total(), 3.5);
+
+  PhaseProfile outer;
+  outer.Add("load", 0.25);
+  outer.Merge(p, "run.");
+  ASSERT_EQ(outer.phases().size(), 4u);
+  EXPECT_EQ(outer.phases()[1].name, "run.train_epoch");
+  EXPECT_DOUBLE_EQ(outer.Seconds("run.match"), 0.5);
+
+  p.clear();
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(ObsPhaseProfileTest, TimerRecordsOnScopeExitAndStopIsIdempotent) {
+  PhaseProfile p;
+  {
+    PhaseTimer t(&p, "work");
+    BurnCpu();
+  }
+  ASSERT_EQ(p.phases().size(), 1u);
+  EXPECT_EQ(p.phases()[0].name, "work");
+  EXPECT_GT(p.phases()[0].seconds, 0.0);
+
+  PhaseTimer t2(&p, "stopped");
+  const double s = t2.Stop();
+  EXPECT_GE(s, 0.0);
+  t2.Stop();  // second Stop must not append again
+  EXPECT_EQ(p.phases().size(), 2u);
+
+  PhaseTimer null_timer(nullptr, "ignored");  // tolerated, records nowhere
+}
+
+}  // namespace
+}  // namespace tdmatch

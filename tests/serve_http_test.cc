@@ -6,9 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -26,6 +28,7 @@
 #include "serve/snapshot.h"
 #include "util/crc32.h"
 #include "util/json.h"
+#include "util/obs/jsonlog.h"
 #include "util/string_util.h"
 
 namespace tdmatch {
@@ -124,7 +127,7 @@ TEST(JsonTest, WriterRoundTripsDoublesBitExact) {
       .EndObject();
   auto v = util::JsonParse(w.str());
   ASSERT_TRUE(v.ok()) << w.str();
-  // %.17g → strtod must reproduce the exact bits.
+  // Shortest round-trip spelling → strtod must reproduce the exact bits.
   EXPECT_EQ(v->Find("third")->number_value(), 1.0 / 3.0);
   EXPECT_EQ(v->Find("neg")->number_value(), -0.47423878312110901);
   EXPECT_TRUE(v->Find("nan")->is_null());  // JSON has no NaN
@@ -688,7 +691,8 @@ TEST(MatchServiceTest, HttpResponsesAreBitIdenticalToInProcessResults) {
 
     auto want = engine->Query(label, 5);
     ASSERT_TRUE(want.ok());
-    // %.17g over the wire → strtod back: exact double equality.
+    // Round-trippable spelling over the wire → strtod back: exact
+    // double equality.
     EXPECT_EQ(ParseMatches(*doc), ToMatches(*want)) << label;
   }
 
@@ -831,6 +835,167 @@ TEST(MatchServiceTest, HealthStatsAndReloadEndpoints) {
 
   std::remove(path_a.c_str());
   std::remove(path_b.c_str());
+}
+
+TEST(MatchServiceTest, MetricsExpositionTracingAndRequestIds) {
+  // Snapshot carrying offline phase timers in its meta, the way
+  // build-snapshot records them.
+  serve::Snapshot snap = GeometricSnapshot(64);
+  snap.meta.Set("phase_train_seconds", "1.5");
+  snap.meta.Set("phase_walks_seconds", "0.25");
+  const std::string path = TempPath("svc_obs.tds");
+  ASSERT_TRUE(serve::SnapshotIo::Write(snap.table, snap.meta, path).ok());
+
+  ServiceOptions sopts;
+  sopts.trace_sample = 1.0;  // trace every request
+  util::obs::JsonLogger log;
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  sopts.logger = &log;
+  ServiceFixture fx(path, sopts);
+  auto client = HttpClient::Connect("127.0.0.1", fx.server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A client-supplied request id echoes back on the response.
+  auto echoed = client->Request("POST", "/v1/query", "{\"label\": \"q0\"}",
+                                "application/json",
+                                {{"X-Request-Id", "req-42"}});
+  ASSERT_TRUE(echoed.ok());
+  ASSERT_EQ(echoed->status, 200) << echoed->body;
+  EXPECT_EQ(echoed->Header("x-request-id"), "req-42");
+
+  // Without one the service generates a "t-" + 16-hex id.
+  auto generated = client->Post("/v1/query", "{\"label\": \"q1\"}");
+  ASSERT_TRUE(generated.ok());
+  const std::string id = generated->Header("x-request-id");
+  ASSERT_EQ(id.size(), 18u) << id;
+  EXPECT_EQ(id.substr(0, 2), "t-");
+
+  // Heavy exact batches: enough engine work that the recorded spans must
+  // explain the end-to-end time.
+  std::string body = "{\"mode\": \"exact\", \"k\": 5, \"labels\": [";
+  for (int i = 0; i < 64; ++i) {
+    body += i > 0 ? ", " : "";
+    body += "\"q" + std::to_string(i) + "\"";
+  }
+  body += "]}";
+  constexpr int kBatches = 8;
+  for (int i = 0; i < kBatches; ++i) {
+    auto r = client->Post("/v1/query", body);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->status, 200) << r->body;
+  }
+
+  // Every JSONL line parses back through util/json; the top-level span
+  // sum never exceeds the end-to-end time (top-level spans are disjoint)
+  // and, on the heavy batches, covers it to within 10% on the best sample.
+  size_t trace_count = 0;
+  double best_coverage = 0.0;
+  for (const auto& line : lines) {
+    auto doc = util::JsonParse(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    if (doc->Find("event")->string_value() != "trace") continue;
+    ++trace_count;
+    EXPECT_EQ(doc->Find("endpoint")->string_value(), "/v1/query");
+    EXPECT_EQ(doc->Find("status")->number_value(), 200.0);
+    ASSERT_NE(doc->Find("trace_id"), nullptr);
+    const double total = doc->Find("total_ms")->number_value();
+    ASSERT_GT(total, 0.0) << line;
+    const util::JsonValue* spans = doc->Find("spans");
+    ASSERT_NE(spans, nullptr) << line;
+    double span_sum = 0.0;
+    for (const auto& s : spans->items()) {
+      if (s.Find("depth")->number_value() == 0.0) {
+        span_sum += s.Find("ms")->number_value();
+      }
+    }
+    EXPECT_LE(span_sum, total * 1.000001) << line;
+    best_coverage = std::max(best_coverage, span_sum / total);
+  }
+  EXPECT_EQ(trace_count, size_t{2 + kBatches});
+  EXPECT_GE(best_coverage, 0.9);
+
+  // The exposition endpoint: valid text format covering the owned
+  // instruments, the component callbacks, build identity, and the
+  // republished offline phase timers.
+  auto m = client->Get("/v1/metrics");
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->status, 200);
+  EXPECT_EQ(m->Header("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  const std::string& text = m->body;
+  for (const char* needle : {
+           "# TYPE tdmatch_queries_total counter",
+           "# TYPE tdmatch_request_latency_ms histogram",
+           "tdmatch_request_latency_ms_bucket{le=\"+Inf\"}",
+           "tdmatch_request_stage_latency_ms_bucket{stage=\"scatter\",le=",
+           "tdmatch_traces_total",
+           "tdmatch_admission_admitted_total",
+           "tdmatch_admission_shed_total",
+           "tdmatch_cache_hits_total",
+           "tdmatch_autotune_nprobe",
+           "tdmatch_shards_active",
+           "tdmatch_snapshot_version",
+           "tdmatch_build_info{compiler=",
+           "tdmatch_snapshot_phase_seconds{phase=\"train\"} 1.5",
+           "tdmatch_snapshot_phase_seconds{phase=\"walks\"} 0.25",
+       }) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  // The query counter on the scrape covers all the traffic above.
+  const std::string counter_needle = "\ntdmatch_queries_total ";
+  const size_t pos = text.find(counter_needle);
+  ASSERT_NE(pos, std::string::npos);
+  const uint64_t queries = std::strtoull(
+      text.c_str() + pos + counter_needle.size(), nullptr, 10);
+  EXPECT_GE(queries, uint64_t{2 + kBatches * 64});
+
+  // /v1/stats mirrors the tracing and build identity blocks.
+  auto stats = client->Get("/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  auto sdoc = util::JsonParse(stats->body);
+  ASSERT_TRUE(sdoc.ok()) << stats->body;
+  const util::JsonValue* tracing = sdoc->Find("tracing");
+  ASSERT_NE(tracing, nullptr);
+  EXPECT_EQ(tracing->Find("sample")->number_value(), 1.0);
+  EXPECT_GE(tracing->Find("traced")->number_value(),
+            static_cast<double>(kBatches));
+  const util::JsonValue* build = sdoc->Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->Find("compiler")->string_value().empty());
+  EXPECT_FALSE(build->Find("simd")->string_value().empty());
+
+  std::remove(path.c_str());
+}
+
+TEST(MatchServiceTest, SlowQueryLogArmsWithoutSampling) {
+  const std::string path = WriteGeometricSnapshot("svc_slow.tds", 12, 0);
+  ServiceOptions sopts;
+  sopts.trace_sample = 0.0;      // never sampled...
+  sopts.slow_query_ms = 1e-6;    // ...but everything counts as slow
+  util::obs::JsonLogger log;
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  sopts.logger = &log;
+  ServiceFixture fx(path, sopts);
+  auto client = HttpClient::Connect("127.0.0.1", fx.server.port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_EQ(client->Post("/v1/query", "{\"label\": \"q0\"}")->status, 200);
+  ASSERT_EQ(lines.size(), 1u);
+  auto doc = util::JsonParse(lines[0]);
+  ASSERT_TRUE(doc.ok()) << lines[0];
+  EXPECT_EQ(doc->Find("event")->string_value(), "trace");
+  EXPECT_TRUE(doc->Find("slow")->bool_value());
+  EXPECT_FALSE(doc->Find("sampled")->bool_value());
+
+  auto stats = client->Get("/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  auto sdoc = util::JsonParse(stats->body);
+  ASSERT_TRUE(sdoc.ok());
+  EXPECT_EQ(sdoc->Find("tracing")->Find("slow")->number_value(), 1.0);
+
+  std::remove(path.c_str());
 }
 
 TEST(MatchServiceTest, ReloadRouteCanBeDisabled) {

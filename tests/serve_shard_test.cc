@@ -680,8 +680,8 @@ TEST(ShardedServiceTest, ShardedHttpResponsesMatchUnsharded) {
     ASSERT_TRUE(r1.ok() && r4.ok());
     ASSERT_EQ(r1->status, 200) << r1->body;
     ASSERT_EQ(r4->status, 200) << r4->body;
-    // The rendered bodies are byte-identical: same matches, same %.17g
-    // score spellings, same snapshot_version. This is the invariant the
+    // The rendered bodies are byte-identical: same matches, same
+    // round-trippable score spellings, same snapshot_version. This is the invariant the
     // CI sharded smoke diffs from outside the process.
     EXPECT_EQ(r1->body, r4->body) << "q" << i;
   }

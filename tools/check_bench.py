@@ -240,6 +240,27 @@ def check_min_recall(rows, min_recall, errors):
             "(serve_qps Synthetic scenario not run?)")
 
 
+def check_obs_overhead(rows, max_ratio, errors):
+    """Fails any `obs_overhead_ratio` row (serve_http's untraced-vs-traced
+    qps ratio, best-of-N each side) above `max_ratio` (absolute gate, no
+    baseline needed — the ratio is a same-run comparison). A ratio of 1.05
+    means tracing every request costs 5% of throughput."""
+    checked = 0
+    for row in rows:
+        if row["metric"] != "obs_overhead_ratio":
+            continue
+        checked += 1
+        if row["value"] > max_ratio:
+            errors.append(
+                f"observability overhead: {'/'.join(row_key(row))} "
+                f"= {row['value']:.3f}, above --max-obs-overhead {max_ratio} "
+                "(tracing/metrics cost too much throughput)")
+    if checked == 0:
+        errors.append(
+            "--max-obs-overhead given but no obs_overhead_ratio rows found "
+            "(serve_http HttpSynthetic scenario not run?)")
+
+
 def check_threads_speedup(rows, min_speedup, errors):
     """Fails any `threads_speedup` row below `min_speedup` (absolute gate,
     no baseline needed — the metric is a same-run 1-thread vs N-thread
@@ -289,6 +310,11 @@ def main():
         help="ignore wall regressions for scenarios whose baseline sum is "
              "below this (timing noise; default %(default)s)")
     parser.add_argument(
+        "--max-obs-overhead", type=float, default=0.0,
+        help="fail if any obs_overhead_ratio row (serve_http's untraced vs "
+             "fully-traced qps ratio) exceeds this; 0 disables "
+             "(default %(default)s). 1.05 allows 5%% tracing overhead.")
+    parser.add_argument(
         "--min-threads-speedup", type=float, default=0.0,
         help="fail if any threads_speedup row (fig8_scaling's 8-thread vs "
              "1-thread walk+train wall ratio) is below this; 0 disables "
@@ -303,6 +329,9 @@ def main():
 
     if args.min_threads_speedup > 0 and rows:
         check_threads_speedup(rows, args.min_threads_speedup, errors)
+
+    if args.max_obs_overhead > 0 and rows:
+        check_obs_overhead(rows, args.max_obs_overhead, errors)
 
     if args.min_recall > 0 and rows:
         check_min_recall(rows, args.min_recall, errors)

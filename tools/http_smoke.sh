@@ -77,7 +77,9 @@ post() {
 case "$mode" in
   basic)
     port=18080
-    start_server "$port"
+    # Full tracing + a result cache so the metrics scrape below covers the
+    # trace and cache counters too.
+    start_server "$port" --trace-sample 1 --cache 64
     server_pid=$last_pid
     wait_healthy "$port" 50
     post "$port" '{"label": "q:0", "k": 3}' | tee "$tmp_dir/q1.json"
@@ -89,6 +91,26 @@ case "$mode" in
       | grep -q '"snapshot_version":2'
     post "$port" '{"label": "q:0", "k": 3}' | grep -q '"snapshot_version":2'
     curl -sf "http://127.0.0.1:$port/v1/stats" | grep -q '"reloads":1'
+
+    # The same single-label query twice: the second hit must come from the
+    # result cache, so the scrape below can assert the hit counter moved.
+    post "$port" '{"label": "q:1", "k": 3}' > /dev/null
+    post "$port" '{"label": "q:1", "k": 3}' > /dev/null
+
+    # Prometheus scrape: structurally valid exposition (python checker),
+    # request/trace/reload/cache counters advanced by the traffic above.
+    curl -sf "http://127.0.0.1:$port/v1/metrics" > "$tmp_dir/metrics.txt"
+    python3 "$(dirname "$0")/check_metrics.py" "$tmp_dir/metrics.txt" \
+      --require tdmatch_request_latency_ms \
+      --require tdmatch_request_stage_latency_ms \
+      --require tdmatch_admission_admitted_total \
+      --require tdmatch_snapshot_version \
+      --require tdmatch_build_info \
+      --min tdmatch_queries_total:6 \
+      --min tdmatch_traces_total:5 \
+      --min tdmatch_reloads_total:1 \
+      --min tdmatch_cache_hits_total:1 \
+      || fail "metrics exposition check failed"
     drain "$server_pid"
     ;;
 

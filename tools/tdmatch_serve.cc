@@ -20,8 +20,10 @@
 //   tdmatch_serve serve    --snapshot model.tds [--port N] [--bind ADDR]
 //                 [--threads N] [--http-threads N] [--k N] [--nprobe N]
 //                 [--exact] [--no-mmap] [--no-reload]
+//                 [--trace-sample F] [--slow-query-ms X] [--log-level L]
 //                          # HTTP front end: POST /v1/query, GET
-//                          # /v1/healthz, GET /v1/stats, POST /v1/reload;
+//                          # /v1/healthz, GET /v1/stats, GET /v1/metrics
+//                          # (Prometheus), POST /v1/reload;
 //                          # SIGTERM/SIGINT drain and exit 0
 //
 // Query labels are the snapshot's embedding labels (the graph's metadata
@@ -47,6 +49,9 @@
 #include "serve/http/service.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
+#include "util/obs/jsonlog.h"
+#include "util/obs/metrics.h"
+#include "util/obs/phase_profile.h"
 #include "util/result.h"
 #include "util/simd/kernels.h"
 #include "util/string_util.h"
@@ -85,6 +90,12 @@ struct ServeArgs {
   double latency_budget_ms = 0.0;
   size_t cache_entries = 0;
   bool allow_delay = false;
+  /// Fraction of queries traced with per-stage spans (0 = off, 1 = all).
+  double trace_sample = 0.0;
+  /// Trace + JSONL-log any query slower than this (ms); 0 disables.
+  double slow_query_ms = 0.0;
+  /// Minimum JSONL log level: debug|info|warn|error.
+  std::string log_level = "info";
 };
 
 int Usage(const char* prog) {
@@ -109,12 +120,17 @@ int Usage(const char* prog) {
       "                 [--nprobe N] [--exact] [--no-mmap] [--no-reload]\n"
       "                 [--shards N] [--max-inflight N]\n"
       "                 [--latency-budget-ms X] [--cache N] [--allow-delay]\n"
+      "                 [--trace-sample F] [--slow-query-ms X]\n"
+      "                 [--log-level debug|info|warn|error]\n"
       "                 (--shards: scatter-gather shard count;\n"
       "                  --max-inflight: shed 429 + Retry-After past N\n"
       "                  in-flight queries (0 sheds all); --latency-budget-ms:\n"
       "                  auto-tune nprobe to a p99 target; --cache: LRU\n"
       "                  result-cache entries; --allow-delay: honor the\n"
-      "                  debug 'delay_ms' query field)\n",
+      "                  debug 'delay_ms' query field; --trace-sample:\n"
+      "                  fraction of queries traced with per-stage spans;\n"
+      "                  --slow-query-ms: JSONL-log queries slower than X;\n"
+      "                  metrics at GET /v1/metrics)\n",
       prog);
   return 2;
 }
@@ -202,6 +218,20 @@ int RunBuildSnapshot(const ServeArgs& args) {
   meta.Set("query_prefix", kQueryPrefix);
   meta.Set("candidate_prefix", kCandidatePrefix);
 
+  // Offline phase timings travel with the snapshot: the serving process
+  // republishes every `phase_<name>_seconds` key as a
+  // tdmatch_snapshot_phase_seconds{phase="<name>"} gauge, so a scrape of
+  // /v1/metrics shows what the build this snapshot came from cost.
+  meta.Set("phase_generate_seconds", util::StrFormat("%.6f", gen_seconds));
+  for (const char* phase : {"graph_build", "expand", "compress", "walks",
+                            "train", "match", "export"}) {
+    const double s = run->profile.Seconds(phase);
+    if (s > 0.0) {
+      meta.Set(util::StrFormat("phase_%s_seconds", phase),
+               util::StrFormat("%.6f", s));
+    }
+  }
+
   // Train the serving index once at build time and embed it as a
   // snapshot section: serving processes adopt it (QueryEngineOptions::
   // use_snapshot_index) instead of re-running k-means at every startup.
@@ -222,6 +252,7 @@ int RunBuildSnapshot(const ServeArgs& args) {
     return 1;
   }
   const double index_seconds = watch.ElapsedSeconds();
+  meta.Set("phase_index_seconds", util::StrFormat("%.6f", index_seconds));
   std::vector<std::pair<std::string, std::string>> sections;
   sections.emplace_back(serve::QueryEngine::kIvfSectionTag,
                         qe->SerializeIvfSection());
@@ -417,6 +448,15 @@ int RunServe(const ServeArgs& args) {
   sopts.latency_budget_ms = args.latency_budget_ms;
   sopts.cache_entries = args.cache_entries;
   sopts.allow_debug_delay = args.allow_delay;
+  sopts.trace_sample = args.trace_sample;
+  sopts.slow_query_ms = args.slow_query_ms;
+  // The server binary is the one place that publishes into the
+  // process-global registry: /v1/metrics is the whole-process view.
+  sopts.registry = &util::obs::Registry::Global();
+
+  util::obs::JsonLogger& log = util::obs::JsonLogger::Global();
+  log.set_min_level(util::obs::ParseLogLevel(args.log_level));
+  sopts.logger = &log;
 
   serve::http::MatchService service(sopts);
   util::Status st = service.LoadInitial(args.snapshot_path);
@@ -448,24 +488,25 @@ int RunServe(const ServeArgs& args) {
     return 1;
   }
   const auto state = service.state();
-  std::fprintf(stderr,
-               "serving %s (scenario %s, %zu candidates, %zu shard(s), "
-               "%s loader, %.3fs load) on http://%s:%u — SIGTERM to stop\n",
-               args.snapshot_path.c_str(),
-               state->engine->meta().scenario.c_str(),
-               state->engine->num_candidates(),
-               state->engine->num_shards(),
-               state->mmap ? "mmap" : "copy", state->load_seconds,
-               args.bind.c_str(), server.port());
-  std::fflush(stderr);
+  log.Log(util::obs::LogLevel::kInfo, "serve_start")
+      .Str("snapshot", args.snapshot_path)
+      .Str("scenario", state->engine->meta().scenario)
+      .Uint("candidates", state->engine->num_candidates())
+      .Uint("shards", state->engine->num_shards())
+      .Str("loader", state->mmap ? "mmap" : "copy")
+      .Num("load_seconds", state->load_seconds)
+      .Str("bind", args.bind)
+      .Uint("port", server.port())
+      .Num("trace_sample", args.trace_sample)
+      .Num("slow_query_ms", args.slow_query_ms);
 
   int sig = 0;
   while (sigwait(&signals, &sig) != 0) {
   }
-  std::fprintf(stderr, "received signal %d, draining connections\n", sig);
+  log.Log(util::obs::LogLevel::kInfo, "serve_drain").Int("signal", sig);
   server.Stop();
-  std::fprintf(stderr, "served %llu requests; clean shutdown\n",
-               static_cast<unsigned long long>(server.requests_served()));
+  log.Log(util::obs::LogLevel::kInfo, "serve_stop")
+      .Uint("requests_served", server.requests_served());
   return 0;
 }
 
@@ -602,6 +643,20 @@ int Main(int argc, char** argv) {
       }
     } else if (flag == "--allow-delay") {
       args.allow_delay = true;
+    } else if (flag == "--trace-sample" && (v = next())) {
+      if (!util::ParseDouble(v, &args.trace_sample) ||
+          args.trace_sample < 0.0 || args.trace_sample > 1.0) {
+        std::fprintf(stderr, "bad --trace-sample '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--slow-query-ms" && (v = next())) {
+      if (!util::ParseDouble(v, &args.slow_query_ms) ||
+          args.slow_query_ms < 0.0) {
+        std::fprintf(stderr, "bad --slow-query-ms '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--log-level" && (v = next())) {
+      args.log_level = v;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return Usage(argv[0]);

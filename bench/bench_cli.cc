@@ -47,6 +47,11 @@ std::string BenchUsage(const std::string& program) {
          "                   n (> 0); 0 keeps the built-in defaults\n"
          "  --filter <re>    only run scenarios/variants whose name matches\n"
          "                   the ECMAScript regex <re>\n"
+         "  --profile <p>    run the sampling CPU profiler for the whole\n"
+         "                   bench and write folded stacks (flamegraph.pl\n"
+         "                   input) to <p>\n"
+         "  --profile-hz <n> profiler sampling frequency, 1..1000 (default\n"
+         "                   99)\n"
          "  --help, -h       show this message and exit\n";
 }
 
@@ -143,6 +148,25 @@ util::Result<BenchOptions> ParseBenchArgs(const std::vector<std::string>& args) 
                                              "\" is invalid: " + e.what());
       }
       out.filter = value;
+    } else if (flag == "--profile") {
+      TDM_RETURN_NOT_OK(take_value());
+      if (value.empty()) {
+        return util::Status::InvalidArgument(
+            "--profile expects a non-empty path");
+      }
+      out.profile_path = value;
+    } else if (flag == "--profile-hz") {
+      TDM_RETURN_NOT_OK(take_value());
+      errno = 0;
+      char* end = nullptr;
+      const long hz = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE || hz < 1 ||
+          hz > 1000) {
+        return util::Status::InvalidArgument(
+            "--profile-hz expects an integer in 1..1000, got \"" + value +
+            "\"");
+      }
+      out.profile_hz = static_cast<int>(hz);
     } else {
       return util::Status::InvalidArgument("unknown flag: " + arg);
     }

@@ -31,6 +31,8 @@ enum class OutputFormat { kTable, kJson };
 ///   --scale <s>      smoke | sweep (default) | full
 ///   --seed <n>       override generator + pipeline seeds (n > 0)
 ///   --filter <re>    only run scenarios/variants matching the regex
+///   --profile <p>    sample the bench's CPU and write folded stacks to <p>
+///   --profile-hz <n> profiler sampling frequency (default 99)
 ///   --help           print usage and exit
 struct BenchOptions {
   OutputFormat format = OutputFormat::kTable;
@@ -43,6 +45,11 @@ struct BenchOptions {
   /// ECMAScript regex matched (unanchored) against scenario and variant
   /// names; empty matches everything.
   std::string filter;
+  /// When non-empty, the sampling CPU profiler runs for the whole bench
+  /// and its flamegraph.pl-style folded stacks are written here.
+  std::string profile_path;
+  /// Profiler sampling frequency (samples per second of CPU time).
+  int profile_hz = 99;
   /// --help was passed; ParseArgsOrExit() handles it before returning.
   bool help = false;
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "util/obs/profiler.h"
+
 namespace tdmatch {
 namespace bench {
 
@@ -76,7 +78,18 @@ std::string FormatJsonRow(const std::string& bench, const BenchRow& row) {
 }
 
 BenchReporter::BenchReporter(std::string bench_name, BenchOptions options)
-    : bench_name_(std::move(bench_name)), options_(std::move(options)) {}
+    : bench_name_(std::move(bench_name)), options_(std::move(options)) {
+  if (!options_.profile_path.empty()) {
+    const util::Status st =
+        util::obs::CpuProfiler::Global().Start(options_.profile_hz);
+    if (st.ok()) {
+      profiling_ = true;
+    } else {
+      std::fprintf(stderr, "warning: --profile disabled: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
 
 BenchReporter::~BenchReporter() { Finish(); }
 
@@ -112,6 +125,30 @@ bool BenchReporter::Finish() {
   if (finished_) return true;
   finished_ = true;
   bool ok = true;
+  if (profiling_) {
+    profiling_ = false;
+    const util::obs::CpuProfile profile =
+        util::obs::CpuProfiler::Global().Stop();
+    std::FILE* f = std::fopen(options_.profile_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open --profile file %s\n",
+                   options_.profile_path.c_str());
+      ok = false;
+    } else {
+      const std::string folded = profile.FoldedText();
+      std::fwrite(folded.data(), 1, folded.size(), f);
+      if (std::fclose(f) != 0) {
+        std::fprintf(stderr, "error: failed writing --profile file %s\n",
+                     options_.profile_path.c_str());
+        ok = false;
+      } else if (options_.table()) {
+        std::printf("profile: %llu samples @ %d Hz over %.1fs -> %s\n",
+                    static_cast<unsigned long long>(profile.samples),
+                    profile.hz, profile.seconds,
+                    options_.profile_path.c_str());
+      }
+    }
+  }
   if (!options_.out_path.empty()) {
     std::FILE* f = std::fopen(options_.out_path.c_str(), "w");
     if (f == nullptr) {

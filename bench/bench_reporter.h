@@ -63,7 +63,8 @@ class BenchReporter {
   const std::vector<BenchRow>& rows() const { return rows_; }
 
   /// Emits the collected rows (see class comment). Idempotent; returns
-  /// false when writing --out fails.
+  /// false when writing --out fails (or the --profile file cannot be
+  /// written).
   bool Finish();
 
  private:
@@ -71,6 +72,8 @@ class BenchReporter {
   BenchOptions options_;
   std::vector<BenchRow> rows_;
   bool finished_ = false;
+  /// --profile capture is running (started in the constructor).
+  bool profiling_ = false;
 };
 
 }  // namespace bench

@@ -28,6 +28,9 @@
 #include "serve/snapshot.h"
 #include "util/logging.h"
 #include "util/obs/jsonlog.h"
+#include "util/obs/profiler.h"
+#include "util/obs/slo.h"
+#include "util/obs/timeseries.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -269,6 +272,119 @@ void RunHttpSynthetic(bench::BenchReporter& rep,
     rep.Printf("%-20s off %-8.0f on %-8.0f ratio %.3f (%llu trace lines)\n",
                "obs qps", qps_off, qps_on, overhead,
                static_cast<unsigned long long>(trace_lines));
+  }
+
+  // --- profiler overhead ---------------------------------------------------
+  // Same paired-rounds design as the tracing section: the same server is
+  // driven with the sampling CPU profiler disarmed and then armed at the
+  // production default 99 Hz, and the gate takes the minimum qps ratio
+  // over rounds. check_bench gates profiler_overhead_ratio with
+  // --max-profiler-overhead (<= 5%: a 99 Hz SIGPROF + frame-pointer walk
+  // must be cheap enough to capture on a live server).
+  {
+    constexpr int kRounds = 5;
+    double qps_off = 0.0;
+    double qps_on = 0.0;
+    double overhead = 1e9;
+    uint64_t profile_samples = 0;
+    if (util::obs::CpuProfiler::Supported()) {
+      for (int round = 0; round < kRounds; ++round) {
+        const LoadResult off =
+            DriveLoad(server.port(), n, 2, 1, seconds, seed + 47 * round);
+        {
+          const util::Status st = util::obs::CpuProfiler::Global().Start(99);
+          TDM_CHECK(st.ok()) << st.ToString();
+        }
+        const LoadResult on =
+            DriveLoad(server.port(), n, 2, 1, seconds, seed + 47 * round);
+        const util::obs::CpuProfile profile =
+            util::obs::CpuProfiler::Global().Stop();
+        profile_samples += profile.samples;
+        TDM_CHECK(off.errors == 0 && on.errors == 0);
+        const double off_qps = static_cast<double>(off.queries) / seconds;
+        const double on_qps = static_cast<double>(on.queries) / seconds;
+        qps_off = std::max(qps_off, off_qps);
+        qps_on = std::max(qps_on, on_qps);
+        overhead = std::min(overhead, off_qps / std::max(on_qps, 1e-9));
+      }
+    } else {
+      // Keep the row (check_bench requires rows to persist) with a
+      // truthful no-op value on platforms without the profiler.
+      overhead = 1.0;
+    }
+    const double prof_wall = 2 * kRounds * seconds;
+    rep.Add(scenario, "profile=off", "qps", qps_off, prof_wall);
+    rep.Add(scenario, "profile=on", "qps", qps_on, 0.0);
+    rep.Add(scenario, "profile=on", "profiler_overhead_ratio", overhead, 0.0);
+    rep.Printf("%-20s off %-8.0f on %-8.0f ratio %.3f (%llu samples)\n",
+               "profiler qps", qps_off, qps_on, overhead,
+               static_cast<unsigned long long>(profile_samples));
+  }
+
+  // --- metric history + SLO cost ------------------------------------------
+  // What continuous observability costs at steady state: ring memory for
+  // the service's tdmatch_* families across sampling cadences (capacity
+  // sized for a fixed 60 s retention), the cost of one sample, of one
+  // trailing-window query, and of one SLO burn-rate evaluation. All
+  // timings; check_bench only gates that the rows persist.
+  {
+    const double kRetention = 60.0;
+    for (const double interval : {0.1, 1.0}) {
+      util::obs::TimeSeriesOptions topts;
+      topts.interval_seconds = interval;
+      topts.capacity = static_cast<size_t>(kRetention / interval);
+      topts.name_prefix = "tdmatch_";
+      util::obs::TimeSeriesStore store(service.registry(), topts);
+      const size_t samples = topts.capacity;
+      watch.Reset();
+      for (size_t i = 0; i < samples; ++i) {
+        store.SampleOnce(static_cast<double>(i) * interval);
+      }
+      const double sample_ms = watch.ElapsedMillis() /
+                               static_cast<double>(samples);
+      watch.Reset();
+      constexpr int kWindowReps = 100;
+      size_t series_seen = 0;
+      for (int i = 0; i < kWindowReps; ++i) {
+        series_seen = store.Window(kRetention,
+                                   static_cast<double>(samples) * interval)
+                          .size();
+      }
+      const double window_ms = watch.ElapsedMillis() / kWindowReps;
+      TDM_CHECK(series_seen > 0) << "history captured no series";
+      const std::string param =
+          "interval=" + std::to_string(interval).substr(0, 3) + "s";
+      rep.Add(scenario, param, "history_memory_bytes",
+              static_cast<double>(store.MemoryBytes()), 0.0);
+      rep.Add(scenario, param, "history_sample_ms", sample_ms, 0.0);
+      rep.Add(scenario, param, "history_window_ms", window_ms, 0.0);
+      rep.Printf("%-20s %zu series, %.0f KiB, sample %.4f ms, window "
+                 "%.4f ms\n",
+                 param.c_str(), series_seen,
+                 static_cast<double>(store.MemoryBytes()) / 1024.0, sample_ms,
+                 window_ms);
+    }
+
+    util::obs::SloOptions slopts;
+    slopts.latency_budget_ms = 5.0;
+    util::obs::SloTracker slo(slopts);
+    constexpr int kRecords = 200000;
+    watch.Reset();
+    for (int i = 0; i < kRecords; ++i) {
+      slo.Record(static_cast<double>(i) * 0.001, i % 97 != 0, i % 11 != 0);
+    }
+    const double record_ns =
+        watch.ElapsedMillis() * 1e6 / static_cast<double>(kRecords);
+    watch.Reset();
+    constexpr int kEvals = 1000;
+    for (int i = 0; i < kEvals; ++i) {
+      (void)slo.Evaluate(static_cast<double>(kRecords) * 0.001);
+    }
+    const double eval_ms = watch.ElapsedMillis() / kEvals;
+    rep.Add(scenario, "slo", "slo_record_ns", record_ns, 0.0);
+    rep.Add(scenario, "slo", "slo_eval_ms", eval_ms, 0.0);
+    rep.Printf("%-20s record %.0f ns, evaluate %.4f ms\n", "slo",
+               record_ns, eval_ms);
   }
 
   // --- hot reload under load ----------------------------------------------

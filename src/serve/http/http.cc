@@ -295,6 +295,37 @@ std::string SerializeRequest(
   return out;
 }
 
+std::string QueryParam(const std::string& query, std::string_view key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        std::string_view(query).substr(pos, eq - pos) == key) {
+      std::string out;
+      out.reserve(amp - eq - 1);
+      for (size_t i = eq + 1; i < amp; ++i) {
+        const char c = query[i];
+        if (c == '+') {
+          out.push_back(' ');
+        } else if (c == '%' && i + 2 < amp && std::isxdigit(static_cast<
+                       unsigned char>(query[i + 1])) &&
+                   std::isxdigit(static_cast<unsigned char>(query[i + 2]))) {
+          out.push_back(static_cast<char>(
+              std::stoi(query.substr(i + 1, 2), nullptr, 16)));
+          i += 2;
+        } else {
+          out.push_back(c);
+        }
+      }
+      return out;
+    }
+    pos = amp + 1;
+  }
+  return std::string();
+}
+
 }  // namespace http
 }  // namespace serve
 }  // namespace tdmatch

@@ -67,6 +67,11 @@ struct HttpResponse {
 /// Reason phrase for the status codes this server emits.
 const char* StatusReason(int status);
 
+/// Value of `key` in a query string ("seconds=2&format=json"): the part
+/// between `key=` and the next '&', %XX-decoded with '+' as space.
+/// Empty when the key is absent (or has an empty value).
+std::string QueryParam(const std::string& query, std::string_view key);
+
 /// \brief Incremental parser for one HTTP message read from a byte
 /// stream. Feed() consumes bytes as they arrive; Done() flips once a full
 /// message (head + Content-Length body) is buffered. Any protocol or

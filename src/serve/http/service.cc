@@ -1,5 +1,6 @@
 #include "serve/http/service.h"
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cmath>
@@ -218,6 +219,55 @@ MatchService::MatchService(ServiceOptions options)
                    std::chrono::steady_clock::now() - start_time_)
             .count();
       });
+
+  // Continuous observability: metric-history rings over this registry
+  // and the burn-rate SLO tracker. Both exist unconditionally (the
+  // endpoints always answer); the background history sampler starts at
+  // LoadInitial only when an interval is configured.
+  util::obs::TimeSeriesOptions history_opts;
+  history_opts.interval_seconds =
+      options_.history_interval_s > 0 ? options_.history_interval_s : 1.0;
+  history_opts.capacity = options_.history_points;
+  history_opts.name_prefix = "tdmatch_";
+  history_ =
+      std::make_unique<util::obs::TimeSeriesStore>(registry_, history_opts);
+  history_sampler_ =
+      std::make_unique<util::obs::TimeSeriesSampler>(history_.get());
+
+  util::obs::SloOptions slo_opts;
+  slo_opts.availability_target = options_.slo_availability_target;
+  slo_opts.latency_target = options_.slo_latency_target;
+  slo_opts.latency_budget_ms = options_.latency_budget_ms;
+  slo_opts.fast = options_.slo_fast;
+  slo_opts.slow = options_.slo_slow;
+  // Resolution fine enough that the fast-short window spans several
+  // buckets (tests shrink the window to fractions of a second).
+  slo_opts.bucket_seconds =
+      std::min(5.0, std::max(0.05, options_.slo_fast.short_seconds / 4.0));
+  slo_ = std::make_unique<util::obs::SloTracker>(slo_opts);
+
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_history_series",
+      "Metric series retained in the history rings", {},
+      [this] { return static_cast<double>(history_->series_count()); });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_history_memory_bytes",
+      "Resident bytes of the metric-history rings", {},
+      [this] { return static_cast<double>(history_->MemoryBytes()); });
+  registry_->RegisterCallback(
+      MetricType::kGauge, "tdmatch_slo_degraded",
+      "1 while any SLO fast-burn pair is firing", {},
+      [this] { return slo_->Degraded(NowSeconds()) ? 1.0 : 0.0; });
+}
+
+MatchService::~MatchService() {
+  if (history_sampler_ != nullptr) history_sampler_->Stop();
+}
+
+double MatchService::NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 util::Result<std::shared_ptr<const EngineState>> MatchService::BuildState(
@@ -311,6 +361,7 @@ util::Status MatchService::LoadInitial(const std::string& snapshot_path) {
   tuner_ = std::make_unique<NprobeTuner>(tuning);
   PublishStateMetrics(*state);
   std::atomic_store(&state_, std::move(state));
+  if (options_.history_interval_s > 0) history_sampler_->Start();
   return util::Status::OK();
 }
 
@@ -351,6 +402,15 @@ void MatchService::Register(HttpServer* server) {
                  [this](const HttpRequest& r) { return HandleStats(r); });
   server->Handle("GET", "/v1/metrics",
                  [this](const HttpRequest& r) { return HandleMetrics(r); });
+  server->Handle("GET", "/v1/metrics/history",
+                 [this](const HttpRequest& r) { return HandleHistory(r); });
+  server->Handle("GET", "/v1/slo",
+                 [this](const HttpRequest& r) { return HandleSlo(r); });
+  if (options_.allow_profile) {
+    server->Handle("GET", "/v1/debug/profile", [this](const HttpRequest& r) {
+      return HandleProfile(r);
+    });
+  }
   if (options_.allow_reload) {
     server->Handle("POST", "/v1/reload",
                    [this](const HttpRequest& r) { return HandleReload(r); });
@@ -375,6 +435,19 @@ HttpResponse MatchService::ShedResponse() {
 }
 
 HttpResponse MatchService::HandleQuery(const HttpRequest& request) {
+  // SLO accounting wraps the whole request: availability counts 5xx
+  // against the budget (4xx is the client's fault, 429 is protection
+  // working), latency counts end-to-end wall time against the configured
+  // budget. Shed and cache-hit requests count too — the user saw them.
+  util::StopWatch watch;
+  HttpResponse response = HandleQueryDispatch(request);
+  slo_->Record(NowSeconds(), response.status < 500,
+               options_.latency_budget_ms <= 0 ||
+                   watch.ElapsedMillis() <= options_.latency_budget_ms);
+  return response;
+}
+
+HttpResponse MatchService::HandleQueryDispatch(const HttpRequest& request) {
   // Trace decision up front: one sampler branch for the untraced fast
   // path. slow_query_ms arms tracing on every request (slowness is only
   // known after the fact), but emits a line solely for slow ones.
@@ -685,17 +758,188 @@ HttpResponse MatchService::HandleQueryTraced(const HttpRequest& request,
   return HttpResponse::Json(200, std::move(body));
 }
 
-HttpResponse MatchService::HandleHealth(const HttpRequest&) {
+HttpResponse MatchService::HandleHealth(const HttpRequest& request) {
   const std::shared_ptr<const EngineState> state = this->state();
   if (state == nullptr) {
     return ErrorResponse(503, "no snapshot loaded");
   }
+  // Degraded is report-first: the process is alive and serving, it is
+  // just burning error budget too fast — so the default answer stays 200
+  // (load balancers must not evict a struggling-but-working replica).
+  // `?strict=1` opts a prober into 503-on-degraded.
+  const double now = NowSeconds();
+  std::vector<std::string> burning;
+  for (const auto& objective : slo_->Evaluate(now)) {
+    if (objective.fast_burning) burning.push_back(objective.name);
+  }
+  const bool degraded = !burning.empty();
   util::JsonWriter w;
   w.BeginObject()
-      .Key("status").Value("ok")
-      .Key("snapshot_version").Value(state->version)
-      .EndObject();
+      .Key("status").Value(degraded ? "degraded" : "ok")
+      .Key("snapshot_version").Value(state->version);
+  if (degraded) {
+    w.Key("burning_objectives").BeginArray();
+    for (const auto& name : burning) w.Value(name);
+    w.EndArray();
+  }
+  w.EndObject();
+  const bool strict = QueryParam(request.query, "strict") == "1";
+  return HttpResponse::Json(degraded && strict ? 503 : 200, w.str());
+}
+
+HttpResponse MatchService::HandleHistory(const HttpRequest& request) {
+  double window_s = 300.0;
+  const std::string window = QueryParam(request.query, "window");
+  if (!window.empty()) {
+    char* end = nullptr;
+    window_s = std::strtod(window.c_str(), &end);
+    if (end == window.c_str() || window_s <= 0 || !std::isfinite(window_s)) {
+      return ErrorResponse(400, "'window' must be a positive number of "
+                                "seconds");
+    }
+  }
+  const std::string prefix = QueryParam(request.query, "series");
+  // Points are heavy (every series × every sample); opt in explicitly.
+  const bool with_points = QueryParam(request.query, "points") == "1";
+  const double now = std::chrono::duration<double>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  const auto series = history_->Window(window_s, now, prefix);
+  util::JsonWriter w;
+  w.Reserve(4096);
+  w.BeginObject()
+      .Key("now").Value(now)
+      .Key("window_seconds").Value(window_s)
+      .Key("interval_seconds").Value(history_->options().interval_seconds)
+      .Key("retention_seconds")
+      .Value(history_->options().interval_seconds *
+             static_cast<double>(history_->options().capacity))
+      .Key("samples_taken").Value(history_->samples_taken())
+      .Key("series").BeginArray();
+  for (const auto& s : series) {
+    w.BeginObject()
+        .Key("name").Value(s.name)
+        .Key("labels").Value(s.labels)
+        .Key("type").Value(s.type == util::obs::MetricType::kCounter
+                               ? "counter"
+                               : "gauge")
+        .Key("points_count").Value(static_cast<uint64_t>(s.points.size()))
+        .Key("first_ts").Value(s.points.front().ts)
+        .Key("last_ts").Value(s.points.back().ts)
+        .Key("last").Value(s.last)
+        .Key("delta").Value(s.delta)
+        .Key("rate_per_sec").Value(s.rate_per_sec);
+    if (with_points) {
+      w.Key("points").BeginArray();
+      for (const auto& p : s.points) {
+        w.BeginArray().Value(p.ts).Value(p.value).EndArray();
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
   return HttpResponse::Json(200, w.str());
+}
+
+namespace {
+
+void AppendBurn(const char* role, const util::obs::SloTracker::WindowBurn& b,
+                double threshold, util::JsonWriter* w) {
+  w->BeginObject()
+      .Key("role").Value(role)
+      .Key("window_seconds").Value(b.window_seconds)
+      .Key("good").Value(b.good)
+      .Key("bad").Value(b.bad)
+      .Key("error_rate").Value(b.error_rate)
+      .Key("burn_rate").Value(b.burn_rate)
+      .Key("threshold").Value(threshold)
+      .EndObject();
+}
+
+}  // namespace
+
+HttpResponse MatchService::HandleSlo(const HttpRequest&) {
+  const double now = NowSeconds();
+  const auto objectives = slo_->Evaluate(now);
+  const auto& slo_opts = slo_->options();
+  bool degraded = false;
+  for (const auto& o : objectives) degraded |= o.fast_burning;
+  util::JsonWriter w;
+  w.BeginObject()
+      .Key("degraded").Value(degraded)
+      .Key("latency_budget_ms").Value(slo_opts.latency_budget_ms)
+      .Key("objectives").BeginArray();
+  for (const auto& o : objectives) {
+    w.BeginObject()
+        .Key("name").Value(o.name)
+        .Key("target").Value(o.target)
+        .Key("fast_burning").Value(o.fast_burning)
+        .Key("slow_burning").Value(o.slow_burning)
+        .Key("error_budget_remaining").Value(o.budget_remaining)
+        .Key("windows").BeginArray();
+    AppendBurn("fast_short", o.fast_short, slo_opts.fast.threshold, &w);
+    AppendBurn("fast_long", o.fast_long, slo_opts.fast.threshold, &w);
+    AppendBurn("slow_short", o.slow_short, slo_opts.slow.threshold, &w);
+    AppendBurn("slow_long", o.slow_long, slo_opts.slow.threshold, &w);
+    w.EndArray().EndObject();
+  }
+  w.EndArray().EndObject();
+  return HttpResponse::Json(200, w.str());
+}
+
+HttpResponse MatchService::HandleProfile(const HttpRequest& request) {
+  if (!util::obs::CpuProfiler::Supported()) {
+    return ErrorResponse(501, "CPU profiling is not supported on this "
+                              "platform");
+  }
+  double seconds = 1.0;
+  const std::string seconds_param = QueryParam(request.query, "seconds");
+  if (!seconds_param.empty()) {
+    char* end = nullptr;
+    seconds = std::strtod(seconds_param.c_str(), &end);
+    if (end == seconds_param.c_str() || seconds <= 0 ||
+        !std::isfinite(seconds)) {
+      return ErrorResponse(400, "'seconds' must be a positive number");
+    }
+  }
+  seconds = std::min(seconds, options_.profile_max_seconds);
+  int hz = options_.profile_hz;
+  const std::string hz_param = QueryParam(request.query, "hz");
+  if (!hz_param.empty()) {
+    hz = std::atoi(hz_param.c_str());
+    if (hz < 1 || hz > 1000) {
+      return ErrorResponse(400, "'hz' must be an integer in [1, 1000]");
+    }
+  }
+  const std::string format = QueryParam(request.query, "format");
+  if (!format.empty() && format != "folded" && format != "json") {
+    return ErrorResponse(400, "'format' must be \"folded\" or \"json\"");
+  }
+  // The capture blocks this worker for the window — deliberate: the
+  // profile IS the response body, and the blocked worker is one of many.
+  auto profile =
+      util::obs::CpuProfiler::Global().ProfileFor(seconds, hz);
+  if (!profile.ok()) {
+    if (profile.status().IsAlreadyExists()) {
+      return ErrorResponse(409, "another profile capture is running");
+    }
+    return ErrorResponse(profile.status());
+  }
+  if (format == "json") {
+    size_t top_n = 20;
+    const std::string top = QueryParam(request.query, "top");
+    if (!top.empty()) {
+      const int parsed_top = std::atoi(top.c_str());
+      if (parsed_top > 0) top_n = static_cast<size_t>(parsed_top);
+    }
+    return HttpResponse::Json(200, profile->ToJson(top_n));
+  }
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = profile->FoldedText();
+  return response;
 }
 
 HttpResponse MatchService::HandleMetrics(const HttpRequest&) {

@@ -16,6 +16,9 @@
 #include "serve/sharded_engine.h"
 #include "util/obs/jsonlog.h"
 #include "util/obs/metrics.h"
+#include "util/obs/profiler.h"
+#include "util/obs/slo.h"
+#include "util/obs/timeseries.h"
 #include "util/obs/trace.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -76,6 +79,30 @@ struct ServiceOptions {
   /// Structured logger for trace/slow-query lines. Null ⇒ the process
   /// JsonLogger::Global().
   util::obs::JsonLogger* logger = nullptr;
+  /// Metric-history sampling interval (seconds). > 0 starts a background
+  /// sampler at LoadInitial that snapshots the registry into fixed rings;
+  /// <= 0 disables the sampler (the /v1/metrics/history endpoint still
+  /// exists but stays empty unless something samples manually).
+  double history_interval_s = 1.0;
+  /// Ring capacity per series — retention is points * interval.
+  size_t history_points = 600;
+  /// Expose GET /v1/debug/profile (the sampling CPU profiler). The
+  /// endpoint blocks one worker for the capture window.
+  bool allow_profile = true;
+  /// Cap on a single /v1/debug/profile capture ("seconds" param).
+  double profile_max_seconds = 30.0;
+  /// Default sampling frequency for /v1/debug/profile (overridable per
+  /// request with "hz").
+  int profile_hz = 99;
+  /// Availability SLO target (fraction of requests that are not 5xx).
+  double slo_availability_target = 0.999;
+  /// Latency SLO target: this fraction of requests must finish within
+  /// latency_budget_ms. Tracked only when latency_budget_ms > 0 (the
+  /// budget doubles as the objective threshold).
+  double slo_latency_target = 0.999;
+  /// Fast pair drives /v1/healthz "degraded"; slow pair is report-only.
+  util::obs::SloWindowPair slo_fast{60.0, 600.0, 14.4};
+  util::obs::SloWindowPair slo_slow{300.0, 3600.0, 6.0};
 };
 
 /// \brief The JSON endpoints of the serving front end, bound to an
@@ -113,6 +140,7 @@ struct ServiceOptions {
 class MatchService {
  public:
   explicit MatchService(ServiceOptions options = {});
+  ~MatchService();
 
   /// Builds the first serving state (version 1). Must succeed before
   /// Register/serving.
@@ -136,6 +164,9 @@ class MatchService {
   HttpResponse HandleStats(const HttpRequest& request);
   HttpResponse HandleMetrics(const HttpRequest& request);
   HttpResponse HandleReload(const HttpRequest& request);
+  HttpResponse HandleHistory(const HttpRequest& request);
+  HttpResponse HandleSlo(const HttpRequest& request);
+  HttpResponse HandleProfile(const HttpRequest& request);
 
   const ServiceOptions& options() const { return options_; }
   const AdmissionController& admission() const { return admission_; }
@@ -144,6 +175,11 @@ class MatchService {
   const NprobeTuner* tuner() const { return tuner_.get(); }
   /// The registry this service publishes into (its own unless injected).
   util::obs::Registry* registry() const { return registry_; }
+  /// Metric-history rings (never null). The background sampler runs only
+  /// when history_interval_s > 0; tests drive SampleOnce directly.
+  util::obs::TimeSeriesStore* history() const { return history_.get(); }
+  /// Objective tracker (never null).
+  util::obs::SloTracker* slo() const { return slo_.get(); }
 
  private:
   util::Result<std::shared_ptr<const EngineState>> BuildState(
@@ -153,6 +189,10 @@ class MatchService {
   /// The traced body of HandleQuery (`trace` may be null).
   HttpResponse HandleQueryTraced(const HttpRequest& request,
                                  util::obs::Trace* trace);
+  /// Trace-decision dispatch (the pre-SLO body of HandleQuery).
+  HttpResponse HandleQueryDispatch(const HttpRequest& request);
+  /// Seconds on the steady clock — the SLO tracker's time base.
+  static double NowSeconds();
   /// Stage histograms + the JSONL trace/slow-query line.
   void FinishRequestTrace(util::obs::Trace* trace, bool sampled, int status,
                           uint64_t snapshot_version);
@@ -189,6 +229,10 @@ class MatchService {
   AdmissionController admission_;
   ResultCache cache_;
   std::unique_ptr<NprobeTuner> tuner_;
+
+  std::unique_ptr<util::obs::TimeSeriesStore> history_;
+  std::unique_ptr<util::obs::TimeSeriesSampler> history_sampler_;
+  std::unique_ptr<util::obs::SloTracker> slo_;
 };
 
 }  // namespace http

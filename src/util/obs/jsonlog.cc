@@ -30,9 +30,49 @@ JsonLogger& JsonLogger::Global() {
   return *instance;
 }
 
+JsonLogger::~JsonLogger() { CloseFile(); }
+
 void JsonLogger::set_sink(Sink sink) {
   std::lock_guard<std::mutex> lock(mu_);
   sink_ = std::move(sink);
+}
+
+util::Status JsonLogger::OpenFile(const std::string& path,
+                                  uint64_t max_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return util::Status::IOError("cannot open log file: " + path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  file_path_ = path;
+  max_bytes_ = max_bytes;
+  const long pos = std::ftell(f);
+  file_bytes_ = pos > 0 ? static_cast<uint64_t>(pos) : 0;
+  rotations_.store(0, std::memory_order_relaxed);
+  return util::Status::OK();
+}
+
+void JsonLogger::CloseFile() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_path_.clear();
+  file_bytes_ = 0;
+}
+
+void JsonLogger::RotateLocked() {
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string rotated = file_path_ + ".1";
+  // Keep-one policy: the previous rotation (if any) is replaced.
+  std::rename(file_path_.c_str(), rotated.c_str());
+  file_ = std::fopen(file_path_.c_str(), "a");
+  file_bytes_ = 0;
+  rotations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 JsonLogger::Event JsonLogger::Log(LogLevel level, std::string_view event) {
@@ -105,6 +145,20 @@ void JsonLogger::Emit(const std::string& line) {
   // never interleave (the mutex), and stderr is unbuffered by default.
   std::string with_newline = line;
   with_newline.push_back('\n');
+  if (file_ != nullptr) {
+    if (max_bytes_ > 0 && file_bytes_ + with_newline.size() > max_bytes_) {
+      RotateLocked();
+    }
+    if (file_ != nullptr) {
+      std::fwrite(with_newline.data(), 1, with_newline.size(), file_);
+      // Flush per line: crash forensics are the whole point of a log
+      // file, a buffered tail defeats it.
+      std::fflush(file_);
+      file_bytes_ += with_newline.size();
+      return;
+    }
+    // Reopen after rotation failed — fall through to stderr.
+  }
   std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
 }
 

@@ -3,12 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
 
 #include "util/json.h"
+#include "util/status.h"
 
 namespace tdmatch {
 namespace util {
@@ -53,6 +55,19 @@ class JsonLogger {
   /// Redirects emission (tests). Null restores the stderr default.
   void set_sink(Sink sink);
 
+  /// Routes emission to `path` (append mode) with size-based rotation:
+  /// when the file would exceed `max_bytes`, it is renamed to
+  /// `path + ".1"` (replacing any previous rotation — keep-one policy)
+  /// and a fresh file is opened. `max_bytes` 0 disables rotation. An
+  /// explicit sink set via set_sink still wins over the file.
+  util::Status OpenFile(const std::string& path, uint64_t max_bytes = 0);
+  /// Closes the log file (back to stderr). No-op when none is open.
+  void CloseFile();
+  /// Rotations performed since OpenFile.
+  uint64_t rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+
   /// One pending event. Below-threshold events are inert: field setters
   /// are no-ops and nothing is emitted.
   class Event {
@@ -81,13 +96,22 @@ class JsonLogger {
 
   Event Log(LogLevel level, std::string_view event);
 
+  ~JsonLogger();
+
  private:
   friend class Event;
   void Emit(const std::string& line);
+  /// Rotate + reopen; called with mu_ held.
+  void RotateLocked();
 
   std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<uint64_t> rotations_{0};
   std::mutex mu_;
   Sink sink_;
+  std::FILE* file_ = nullptr;
+  std::string file_path_;
+  uint64_t file_bytes_ = 0;
+  uint64_t max_bytes_ = 0;
 };
 
 }  // namespace obs

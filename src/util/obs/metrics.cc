@@ -216,6 +216,30 @@ void Registry::ClearCallbacks(const std::string& name) {
   if (it != families_.end()) it->second.callbacks.clear();
 }
 
+std::vector<Registry::Sample> Registry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [labels, counter] : fam.counters) {
+      out.push_back({name, labels, MetricType::kCounter,
+                     static_cast<double>(counter->Value())});
+    }
+    for (const auto& [labels, gauge] : fam.gauges) {
+      out.push_back({name, labels, MetricType::kGauge, gauge->Value()});
+    }
+    for (const auto& [labels, fn] : fam.callbacks) {
+      out.push_back({name, labels, fam.type, fn()});
+    }
+    for (const auto& [labels, hist] : fam.histograms) {
+      out.push_back({name + "_count", labels, MetricType::kCounter,
+                     static_cast<double>(hist->count())});
+      out.push_back({name + "_sum", labels, MetricType::kGauge,
+                     hist->sum()});
+    }
+  }
+  return out;
+}
+
 std::string Registry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

@@ -159,6 +159,23 @@ class Registry {
   /// `_count`. Deterministic ordering, label values escaped.
   std::string RenderPrometheus() const;
 
+  /// One scalar child value at collection time. Histogram children
+  /// flatten to two samples: `<name>_count` (counter semantics) and
+  /// `<name>_sum` (gauge semantics) — enough to derive rates without
+  /// retaining full bucket vectors.
+  struct Sample {
+    std::string name;
+    std::string labels;  // serialized FormatLabels form, "" for none
+    MetricType type = MetricType::kCounter;
+    double value = 0.0;
+  };
+
+  /// Point-in-time scalar snapshot of every child, in the same
+  /// deterministic family/label order as the exposition. Callback
+  /// samples are evaluated here, exactly as a scrape would. This is the
+  /// time-series sampler's input.
+  std::vector<Sample> Collect() const;
+
  private:
   struct Family {
     MetricType type = MetricType::kCounter;

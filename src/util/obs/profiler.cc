@@ -1,0 +1,393 @@
+#include "util/obs/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+#if defined(__linux__) && (defined(__x86_64__) || defined(__aarch64__))
+#define TDMATCH_PROFILER_SUPPORTED 1
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <ucontext.h>
+#else
+#define TDMATCH_PROFILER_SUPPORTED 0
+#endif
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+namespace {
+
+#if TDMATCH_PROFILER_SUPPORTED
+
+/// Capture geometry. 16 rings x 1024 slots holds ~165 s of samples at
+/// 99 Hz on one busy core before drops start; drops are counted, not
+/// silent. ~6.5 MB, allocated on first Start() and kept for the process
+/// lifetime (the SIGPROF handler must never race an allocator).
+constexpr size_t kNumRings = 16;
+constexpr uint32_t kSlotsPerRing = 1024;
+constexpr int kMaxFrames = 48;
+/// Frame-pointer walk sanity bounds: the first frame pointer must sit
+/// within this many bytes above the stack pointer, and each frame must
+/// advance by no more than kMaxFrameBytes — garbage chains terminate
+/// instead of walking off the stack.
+constexpr uintptr_t kMaxStackSpanBytes = 8u << 20;
+constexpr uintptr_t kMaxFrameBytes = 64u << 10;
+
+struct Slot {
+  std::atomic<uint32_t> ready;
+  uint32_t depth;
+  uintptr_t pcs[kMaxFrames];
+};
+
+struct alignas(64) Ring {
+  std::atomic<uint32_t> next;
+  Slot* slots;  // kSlotsPerRing entries
+};
+
+/// All state the signal handler touches. Allocated once, never freed:
+/// a handler caught mid-run during Stop() must still find it valid.
+struct ProfilerState {
+  std::atomic<bool> busy{false};    // a capture session owns the rings
+  std::atomic<bool> active{false};  // handler gate (cleared first on Stop)
+  std::atomic<uint64_t> dropped{0};
+  Ring rings[kNumRings];
+  int hz = 0;
+  std::chrono::steady_clock::time_point started;
+  struct sigaction old_action;
+};
+
+std::atomic<ProfilerState*> g_state{nullptr};
+
+ProfilerState* GetOrCreateState() {
+  ProfilerState* st = g_state.load(std::memory_order_acquire);
+  if (st != nullptr) return st;
+  auto* fresh = new ProfilerState();
+  Slot* slots = new Slot[kNumRings * kSlotsPerRing]();
+  for (size_t r = 0; r < kNumRings; ++r) {
+    fresh->rings[r].next.store(0, std::memory_order_relaxed);
+    fresh->rings[r].slots = slots + r * kSlotsPerRing;
+  }
+  ProfilerState* expected = nullptr;
+  if (g_state.compare_exchange_strong(expected, fresh,
+                                      std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete[] slots;
+  delete fresh;
+  return expected;
+}
+
+/// SIGPROF handler: read the interrupted thread's pc/fp/sp from the
+/// ucontext and walk the frame-pointer chain. Everything here is
+/// async-signal-safe by construction — raw loads, relaxed atomics, no
+/// calls (memcpy is avoided: sanitizer interceptors make it unsafe in a
+/// handler).
+void SampleHandler(int /*signo*/, siginfo_t* /*info*/, void* ucv) {
+  ProfilerState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr || !st->active.load(std::memory_order_relaxed)) return;
+  auto* uc = static_cast<ucontext_t*>(ucv);
+#if defined(__x86_64__)
+  const uintptr_t pc =
+      static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  uintptr_t fp = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+  const uintptr_t sp =
+      static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RSP]);
+#else  // __aarch64__
+  const uintptr_t pc = static_cast<uintptr_t>(uc->uc_mcontext.pc);
+  uintptr_t fp = static_cast<uintptr_t>(uc->uc_mcontext.regs[29]);
+  const uintptr_t sp = static_cast<uintptr_t>(uc->uc_mcontext.sp);
+#endif
+
+  uintptr_t pcs[kMaxFrames];
+  uint32_t depth = 0;
+  pcs[depth++] = pc;
+  // Trust the initial fp only if it plausibly points into this thread's
+  // stack (leaf functions may use the frame register as scratch).
+  if (fp >= sp && fp - sp <= kMaxStackSpanBytes &&
+      (fp & (sizeof(uintptr_t) - 1)) == 0) {
+    while (depth < kMaxFrames) {
+      const uintptr_t next = reinterpret_cast<const uintptr_t*>(fp)[0];
+      const uintptr_t ret = reinterpret_cast<const uintptr_t*>(fp)[1];
+      if (ret < 4096) break;
+      pcs[depth++] = ret;
+      if (next <= fp || next - fp > kMaxFrameBytes ||
+          (next & (sizeof(uintptr_t) - 1)) != 0) {
+        break;
+      }
+      fp = next;
+    }
+  }
+
+  // Stripe by stack page so concurrent threads land on different rings.
+  Ring& ring = st->rings[(sp >> 12) % kNumRings];
+  const uint32_t idx = ring.next.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kSlotsPerRing) {
+    st->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& slot = ring.slots[idx];
+  slot.depth = depth;
+  for (uint32_t i = 0; i < depth; ++i) slot.pcs[i] = pcs[i];
+  slot.ready.store(1, std::memory_order_release);
+}
+
+/// Best-effort symbol name for a pc: demangled dynamic symbol when
+/// dladdr resolves one (executables must link -rdynamic for their own
+/// symbols to appear), else the raw address.
+std::string Symbolize(uintptr_t pc) {
+  Dl_info info;
+  std::memset(&info, 0, sizeof(info));
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        (status == 0 && demangled != nullptr) ? demangled : info.dli_sname;
+    std::free(demangled);
+    // ';' separates frames in folded output; never let a symbol smuggle
+    // one in.
+    for (char& c : name) {
+      if (c == ';' || c == '\n') c = ':';
+    }
+    return name;
+  }
+  return util::StrFormat("0x%zx", static_cast<size_t>(pc));
+}
+
+#endif  // TDMATCH_PROFILER_SUPPORTED
+
+}  // namespace
+
+std::string CpuProfile::FoldedText() const {
+  std::string out;
+  for (const auto& [stack, count] : stacks) {
+    out += stack;
+    out += " ";
+    out += std::to_string(count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string CpuProfile::ToJson(size_t top_n) const {
+  // Per-function self (leaf) and total (anywhere on stack, counted once
+  // per stack so recursion does not inflate it).
+  std::map<std::string, std::pair<uint64_t, uint64_t>> funcs;  // self,total
+  for (const auto& [stack, count] : stacks) {
+    std::set<std::string> seen;
+    size_t start = 0;
+    std::string last;
+    while (start <= stack.size()) {
+      const size_t sep = stack.find(';', start);
+      const size_t end = sep == std::string::npos ? stack.size() : sep;
+      std::string frame = stack.substr(start, end - start);
+      if (!frame.empty()) {
+        if (seen.insert(frame).second) funcs[frame].second += count;
+        last = std::move(frame);
+      }
+      if (sep == std::string::npos) break;
+      start = sep + 1;
+    }
+    if (!last.empty()) funcs[last].first += count;
+  }
+  std::vector<std::pair<std::string, std::pair<uint64_t, uint64_t>>> ranked(
+      funcs.begin(), funcs.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.first != b.second.first)
+      return a.second.first > b.second.first;
+    if (a.second.second != b.second.second)
+      return a.second.second > b.second.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+
+  util::JsonWriter w;
+  w.BeginObject()
+      .Key("hz").Value(static_cast<int64_t>(hz))
+      .Key("seconds").Value(seconds)
+      .Key("samples").Value(samples)
+      .Key("dropped").Value(dropped)
+      .Key("distinct_stacks").Value(static_cast<uint64_t>(stacks.size()));
+  w.Key("top").BeginArray();
+  const double denom = samples > 0 ? static_cast<double>(samples) : 1.0;
+  for (const auto& [name, counts] : ranked) {
+    w.BeginObject()
+        .Key("function").Value(name)
+        .Key("self").Value(counts.first)
+        .Key("total").Value(counts.second)
+        .Key("self_fraction")
+        .Value(static_cast<double>(counts.first) / denom)
+        .EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.str();
+}
+
+CpuProfiler& CpuProfiler::Global() {
+  static CpuProfiler* instance = new CpuProfiler();
+  return *instance;
+}
+
+bool CpuProfiler::Supported() { return TDMATCH_PROFILER_SUPPORTED != 0; }
+
+#if TDMATCH_PROFILER_SUPPORTED
+
+util::Status CpuProfiler::Start(int hz) {
+  hz = std::max(1, std::min(1000, hz));
+  ProfilerState* st = GetOrCreateState();
+  bool expected = false;
+  if (!st->busy.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    return util::Status::AlreadyExists("a profile capture is already running");
+  }
+  for (size_t r = 0; r < kNumRings; ++r) {
+    Ring& ring = st->rings[r];
+    const uint32_t used =
+        std::min(ring.next.load(std::memory_order_relaxed), kSlotsPerRing);
+    for (uint32_t i = 0; i < used; ++i) {
+      ring.slots[i].ready.store(0, std::memory_order_relaxed);
+    }
+    ring.next.store(0, std::memory_order_relaxed);
+  }
+  st->dropped.store(0, std::memory_order_relaxed);
+  st->hz = hz;
+  st->started = std::chrono::steady_clock::now();
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = SampleHandler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (sigaction(SIGPROF, &action, &st->old_action) != 0) {
+    st->busy.store(false, std::memory_order_release);
+    return util::Status::Internal("sigaction(SIGPROF) failed");
+  }
+  st->active.store(true, std::memory_order_release);
+
+  struct itimerval timer;
+  timer.it_interval.tv_sec = 0;
+  timer.it_interval.tv_usec = static_cast<suseconds_t>(1000000 / hz);
+  if (timer.it_interval.tv_usec == 0) timer.it_interval.tv_usec = 1000;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    st->active.store(false, std::memory_order_release);
+    sigaction(SIGPROF, &st->old_action, nullptr);
+    st->busy.store(false, std::memory_order_release);
+    return util::Status::Internal("setitimer(ITIMER_PROF) failed");
+  }
+  return util::Status::OK();
+}
+
+CpuProfile CpuProfiler::Stop() {
+  CpuProfile profile;
+  ProfilerState* st = g_state.load(std::memory_order_acquire);
+  if (st == nullptr || !st->busy.load(std::memory_order_acquire)) {
+    return profile;
+  }
+  struct itimerval off;
+  std::memset(&off, 0, sizeof(off));
+  setitimer(ITIMER_PROF, &off, nullptr);
+  st->active.store(false, std::memory_order_release);
+  // A handler may be mid-flight on another thread; give it two sampling
+  // periods to publish or bail before the rings are read.
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      std::max(2, 2000 / std::max(1, st->hz))));
+  sigaction(SIGPROF, &st->old_action, nullptr);
+
+  profile.hz = st->hz;
+  profile.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - st->started)
+                        .count();
+  profile.dropped = st->dropped.load(std::memory_order_relaxed);
+
+  // Aggregate raw pc stacks first (cheap compares), symbolize each
+  // distinct pc once after.
+  std::map<std::vector<uintptr_t>, uint64_t> raw;
+  for (size_t r = 0; r < kNumRings; ++r) {
+    Ring& ring = st->rings[r];
+    const uint32_t used =
+        std::min(ring.next.load(std::memory_order_relaxed), kSlotsPerRing);
+    for (uint32_t i = 0; i < used; ++i) {
+      Slot& slot = ring.slots[i];
+      if (slot.ready.load(std::memory_order_acquire) == 0) continue;
+      const uint32_t depth =
+          std::min(slot.depth, static_cast<uint32_t>(kMaxFrames));
+      std::vector<uintptr_t> stack(slot.pcs, slot.pcs + depth);
+      raw[std::move(stack)] += 1;
+      profile.samples += 1;
+    }
+  }
+
+  std::map<uintptr_t, std::string> symbols;
+  auto symbol_for = [&symbols](uintptr_t pc) -> const std::string& {
+    auto it = symbols.find(pc);
+    if (it == symbols.end()) {
+      it = symbols.emplace(pc, Symbolize(pc)).first;
+    }
+    return it->second;
+  };
+
+  std::map<std::string, uint64_t> folded;
+  for (const auto& [stack, count] : raw) {
+    // Captured leaf-first; folded format wants outermost-first. Frames
+    // past the leaf are return addresses — symbolize the call site
+    // (pc - 1), not the instruction after it.
+    std::string line;
+    for (size_t i = stack.size(); i-- > 0;) {
+      const uintptr_t pc = i == 0 ? stack[i] : stack[i] - 1;
+      if (!line.empty()) line += ";";
+      line += symbol_for(pc);
+    }
+    folded[line] += count;
+  }
+  profile.stacks.assign(folded.begin(), folded.end());
+  std::sort(profile.stacks.begin(), profile.stacks.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+
+  st->busy.store(false, std::memory_order_release);
+  return profile;
+}
+
+bool CpuProfiler::running() const {
+  ProfilerState* st = g_state.load(std::memory_order_acquire);
+  return st != nullptr && st->busy.load(std::memory_order_acquire);
+}
+
+#else  // !TDMATCH_PROFILER_SUPPORTED
+
+util::Status CpuProfiler::Start(int /*hz*/) {
+  return util::Status::Unimplemented(
+      "CPU profiling requires Linux x86-64 or aarch64");
+}
+
+CpuProfile CpuProfiler::Stop() { return CpuProfile(); }
+
+bool CpuProfiler::running() const { return false; }
+
+#endif  // TDMATCH_PROFILER_SUPPORTED
+
+util::Result<CpuProfile> CpuProfiler::ProfileFor(double seconds, int hz) {
+  TDM_RETURN_NOT_OK(Start(hz));
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  return Stop();
+}
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch

@@ -1,0 +1,94 @@
+#ifndef TDMATCH_UTIL_OBS_PROFILER_H_
+#define TDMATCH_UTIL_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+/// \brief One aggregated CPU profile: collapsed call stacks with sample
+/// counts, plus capture bookkeeping. Produced by CpuProfiler::Stop().
+struct CpuProfile {
+  /// Sampling frequency the capture ran at (samples per CPU-second).
+  int hz = 0;
+  /// Wall-clock seconds between Start and Stop.
+  double seconds = 0.0;
+  /// Samples captured (== sum of all stack counts).
+  uint64_t samples = 0;
+  /// Samples dropped because the ring filled (still statistically fine —
+  /// drops are uniform over time once the ring is full).
+  uint64_t dropped = 0;
+  /// Collapsed stacks: "outermost;caller;leaf" → count, sorted by count
+  /// descending. Symbol names are demangled where `dladdr` resolves them;
+  /// unresolvable frames render as the raw "0x..." address.
+  std::vector<std::pair<std::string, uint64_t>> stacks;
+
+  /// flamegraph.pl folded-stack text: one "stack count" line per entry.
+  std::string FoldedText() const;
+  /// JSON view: capture metadata + the top `top_n` functions ranked by
+  /// self (leaf) samples, each with self/total counts and fractions.
+  std::string ToJson(size_t top_n = 20) const;
+};
+
+/// \brief Sampling CPU profiler: ITIMER_PROF fires SIGPROF every
+/// 1/hz CPU-seconds; the signal handler walks the interrupted thread's
+/// frame-pointer chain (from the ucontext registers — async-signal-safe,
+/// no unwinder, no allocation) into a lock-free striped sample ring.
+/// Stop() aggregates the raw PCs into collapsed stacks symbolized via
+/// `dladdr` (link with -rdynamic so executable-local symbols resolve).
+///
+/// ITIMER_PROF counts *process CPU time*, so idle threads cost nothing
+/// and samples land where cycles burn — the right default for a serving
+/// process that is mostly parked in epoll. The timer is process-wide, so
+/// only one capture can run at a time; a second Start() returns
+/// AlreadyExists (callers map it to HTTP 409).
+///
+/// Build requirements: frame-pointer walking needs
+/// -fno-omit-frame-pointer (set on tdmatch_build_flags); symbolization
+/// quality needs -rdynamic on executables. Without them the profile
+/// degrades to leaf-only PCs / hex frames rather than breaking.
+class CpuProfiler {
+ public:
+  /// The process-wide profiler (the SIGPROF handler has one global
+  /// sample ring; there is no per-instance mode).
+  static CpuProfiler& Global();
+
+  /// True on platforms where capture is implemented (Linux
+  /// x86-64/aarch64). Elsewhere Start() returns Unimplemented.
+  static bool Supported();
+
+  /// Starts sampling at `hz` (clamped to [1, 1000]). Installs the
+  /// SIGPROF handler and arms ITIMER_PROF. AlreadyExists if a capture is
+  /// already running.
+  util::Status Start(int hz = 99);
+
+  /// Disarms the timer, drains the ring, and returns the aggregated
+  /// profile. Safe to call only after a successful Start().
+  CpuProfile Stop();
+
+  /// Convenience: Start(), busy-wait `seconds` of wall time (sleeping),
+  /// Stop(). The calling thread blocks; other threads keep running and
+  /// keep getting sampled.
+  util::Result<CpuProfile> ProfileFor(double seconds, int hz = 99);
+
+  bool running() const;
+
+  CpuProfiler(const CpuProfiler&) = delete;
+  CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+ private:
+  CpuProfiler() = default;
+};
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_OBS_PROFILER_H_

@@ -1,0 +1,119 @@
+#ifndef TDMATCH_UTIL_OBS_SLO_H_
+#define TDMATCH_UTIL_OBS_SLO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+/// One short/long window pair with a burn-rate threshold — the standard
+/// multi-window multi-burn-rate alerting recipe: the long window keeps
+/// the signal from flapping, the short window makes it reset quickly
+/// once the incident ends. The condition fires only when BOTH windows
+/// burn above the threshold.
+struct SloWindowPair {
+  double short_seconds = 60.0;
+  double long_seconds = 600.0;
+  /// Burn rate = observed error rate / budgeted error rate (1 - target).
+  /// 14.4 on a 99.9% objective means the monthly budget would be gone in
+  /// ~2 days — the classic fast-page threshold.
+  double threshold = 14.4;
+};
+
+struct SloOptions {
+  /// Availability objective: fraction of requests that must not be
+  /// server errors (5xx).
+  double availability_target = 0.999;
+  /// Latency objective: fraction of requests that must finish within
+  /// the configured budget. <= 0 budget disables the objective (the
+  /// tracker then reports availability only).
+  double latency_target = 0.999;
+  double latency_budget_ms = 0.0;
+  /// Fast pair drives the degraded health state; the slow pair is
+  /// report-only context on /v1/slo.
+  SloWindowPair fast{60.0, 600.0, 14.4};
+  SloWindowPair slow{300.0, 3600.0, 6.0};
+  /// Event-ring resolution; total retained span is
+  /// bucket_seconds * buckets and must cover the longest window.
+  double bucket_seconds = 5.0;
+  size_t buckets = 720;  // 1 h at 5 s resolution
+};
+
+/// \brief Objective-based health: every request outcome lands in a
+/// lock-free ring of per-bucket good/bad tallies (one ring per
+/// objective), and burn rates over the configured windows are computed
+/// on demand. The clock is explicit (timestamps in seconds) so tests
+/// drive trajectories with a fake clock.
+///
+/// Record() is wait-free: a bucket index computation plus two relaxed
+/// atomic adds — safe to call from every request thread at full load.
+/// A bucket is lazily re-zeroed (via an epoch CAS) the first time a new
+/// time quantum touches it, so stale tallies from one ring revolution
+/// ago never leak into a fresh window.
+class SloTracker {
+ public:
+  explicit SloTracker(SloOptions options = {});
+
+  /// One finished request at time `now` (seconds): was it good for
+  /// availability (not a 5xx) and good for latency (within budget)?
+  void Record(double now, bool available, bool within_latency);
+
+  struct WindowBurn {
+    double window_seconds = 0.0;
+    uint64_t good = 0;
+    uint64_t bad = 0;
+    double error_rate = 0.0;  // bad / (good + bad), 0 when empty
+    double burn_rate = 0.0;   // error_rate / (1 - target)
+  };
+
+  struct ObjectiveStatus {
+    std::string name;      // "availability" | "latency"
+    double target = 0.0;
+    WindowBurn fast_short, fast_long, slow_short, slow_long;
+    bool fast_burning = false;  // both fast windows above threshold
+    bool slow_burning = false;
+    /// Fraction of the error budget left over the slow-long window
+    /// (1 = untouched, 0 = exhausted, clamped at 0).
+    double budget_remaining = 1.0;
+  };
+
+  /// Burn-rate evaluation at time `now`. Latency objective present only
+  /// when a budget is configured.
+  std::vector<ObjectiveStatus> Evaluate(double now) const;
+
+  /// True when any objective's fast pair is burning — the healthz
+  /// "degraded" condition.
+  bool Degraded(double now) const;
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<uint64_t> good{0};
+    std::atomic<uint64_t> bad{0};
+  };
+  struct Ring {
+    explicit Ring(size_t n) : buckets(new Bucket[n]) {}
+    std::unique_ptr<Bucket[]> buckets;
+  };
+
+  void RecordInto(Ring* ring, int64_t epoch, bool good) const;
+  WindowBurn Burn(const Ring& ring, double window_seconds, double now,
+                  double target) const;
+
+  SloOptions options_;
+  Ring availability_;
+  Ring latency_;
+};
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_OBS_SLO_H_

@@ -1,0 +1,147 @@
+#include "util/obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+namespace {
+
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(Registry* registry,
+                                 TimeSeriesOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.interval_seconds <= 0) options_.interval_seconds = 1.0;
+}
+
+void TimeSeriesStore::SampleOnce(double now) {
+  const std::vector<Registry::Sample> samples = registry_->Collect();
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_taken_ += 1;
+  for (const auto& sample : samples) {
+    if (!options_.name_prefix.empty() &&
+        !HasPrefix(sample.name, options_.name_prefix)) {
+      continue;
+    }
+    Ring& ring = series_[sample.name + sample.labels];
+    if (ring.points.empty()) {
+      ring.type = sample.type;
+      ring.points.resize(options_.capacity);
+    }
+    ring.points[ring.head] = Point{now, sample.value};
+    ring.head = (ring.head + 1) % options_.capacity;
+    ring.size = std::min(ring.size + 1, options_.capacity);
+  }
+}
+
+std::vector<TimeSeriesStore::SeriesWindow> TimeSeriesStore::Window(
+    double window_seconds, double now, const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SeriesWindow> out;
+  const double cutoff = now - window_seconds;
+  for (const auto& [key, ring] : series_) {
+    if (!prefix.empty() && !HasPrefix(key, prefix)) continue;
+    SeriesWindow win;
+    // Oldest-first walk of the ring; retention also trims anything older
+    // than the cutoff.
+    const size_t oldest =
+        (ring.head + options_.capacity - ring.size) % options_.capacity;
+    for (size_t i = 0; i < ring.size; ++i) {
+      const Point& p = ring.points[(oldest + i) % options_.capacity];
+      if (p.ts <= cutoff || p.ts > now) continue;
+      win.points.push_back(p);
+    }
+    if (win.points.empty()) continue;
+    // The key is name + "{...}"; split back apart for the JSON view.
+    const size_t brace = key.find('{');
+    win.name = brace == std::string::npos ? key : key.substr(0, brace);
+    win.labels = brace == std::string::npos ? "" : key.substr(brace);
+    win.type = ring.type;
+    win.last = win.points.back().value;
+    win.delta = win.points.back().value - win.points.front().value;
+    if (ring.type == MetricType::kCounter && win.delta < 0) {
+      // Counter reset (process restart behind the same store): the
+      // decrease is not a negative rate, restart the delta at the last
+      // absolute value.
+      win.delta = win.points.back().value;
+    }
+    const double span = win.points.back().ts - win.points.front().ts;
+    win.rate_per_sec = span > 0 ? win.delta / span : 0.0;
+    out.push_back(std::move(win));
+  }
+  return out;
+}
+
+size_t TimeSeriesStore::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& [key, ring] : series_) {
+    bytes += key.size() + sizeof(Ring);
+    bytes += ring.points.capacity() * sizeof(Point);
+  }
+  return bytes;
+}
+
+size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+uint64_t TimeSeriesStore::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_taken_;
+}
+
+TimeSeriesSampler::TimeSeriesSampler(TimeSeriesStore* store)
+    : store_(store) {}
+
+TimeSeriesSampler::~TimeSeriesSampler() { Stop(); }
+
+void TimeSeriesSampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] {
+    const auto interval = std::chrono::duration<double>(
+        store_->options().interval_seconds);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_requested_) {
+      lock.unlock();
+      store_->SampleOnce(std::chrono::duration<double>(
+                             std::chrono::system_clock::now()
+                                 .time_since_epoch())
+                             .count());
+      lock.lock();
+      cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+    }
+  });
+}
+
+void TimeSeriesSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    thread_ = std::thread();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch

@@ -1,0 +1,124 @@
+#ifndef TDMATCH_UTIL_OBS_TIMESERIES_H_
+#define TDMATCH_UTIL_OBS_TIMESERIES_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/obs/metrics.h"
+
+namespace tdmatch {
+namespace util {
+namespace obs {
+
+struct TimeSeriesOptions {
+  /// Seconds between samples (the background sampler's cadence; manual
+  /// SampleOnce callers may use any spacing).
+  double interval_seconds = 1.0;
+  /// Ring capacity per series — retention is capacity * interval (the
+  /// defaults keep 10 minutes at 1 s resolution).
+  size_t capacity = 600;
+  /// Only families whose name starts with this prefix are retained
+  /// (empty = everything). Keeps the rings to the tdmatch_* families
+  /// instead of every scratch metric a test registers.
+  std::string name_prefix = "";
+};
+
+/// \brief Fixed-memory metric history: each Registry::Collect() sample
+/// appends one point per scalar series into a per-series ring buffer.
+/// Rates and deltas over a trailing window are computed on demand —
+/// PR 9's cumulative counters become queryable qps/shed-rate curves with
+/// zero external TSDB.
+///
+/// The clock is explicit: SampleOnce(now) takes the timestamp, so tests
+/// drive a fake clock and the background TimeSeriesSampler drives the
+/// real one. Thread-safe; sampling and window queries serialize on one
+/// mutex (both are O(series) and run at human frequencies).
+class TimeSeriesStore {
+ public:
+  TimeSeriesStore(Registry* registry, TimeSeriesOptions options = {});
+
+  struct Point {
+    double ts = 0.0;  // unix seconds (or any monotone fake-clock base)
+    double value = 0.0;
+  };
+
+  /// One series' trailing-window view. `delta`/`rate_per_sec` are
+  /// first-to-last over the returned points: for counters that is the
+  /// increase (clamped at 0 across process restarts), for gauges it is
+  /// simply last - first.
+  struct SeriesWindow {
+    std::string name;
+    std::string labels;
+    MetricType type = MetricType::kCounter;
+    std::vector<Point> points;
+    double last = 0.0;
+    double delta = 0.0;
+    double rate_per_sec = 0.0;
+  };
+
+  /// Snapshots the registry at time `now` (seconds) into the rings.
+  void SampleOnce(double now);
+
+  /// All series with at least one point in (now - window_seconds, now],
+  /// oldest point first. `prefix` further filters by series name (on top
+  /// of the construction-time prefix); empty keeps everything.
+  std::vector<SeriesWindow> Window(double window_seconds, double now,
+                                   const std::string& prefix = "") const;
+
+  /// Resident bytes of the ring storage (rings are reserved at full
+  /// capacity on series creation, so this is deterministic for a given
+  /// registry shape).
+  size_t MemoryBytes() const;
+
+  size_t series_count() const;
+  uint64_t samples_taken() const;
+  const TimeSeriesOptions& options() const { return options_; }
+
+ private:
+  struct Ring {
+    MetricType type = MetricType::kCounter;
+    std::vector<Point> points;  // reserved to capacity once
+    size_t head = 0;            // next write slot
+    size_t size = 0;
+  };
+
+  Registry* registry_;
+  TimeSeriesOptions options_;
+  mutable std::mutex mu_;
+  /// Keyed by name + serialized labels (unique per child).
+  std::map<std::string, Ring> series_;
+  uint64_t samples_taken_ = 0;
+};
+
+/// \brief Background thread that calls store->SampleOnce(unix-now) every
+/// interval. Start/Stop are idempotent; Stop joins promptly via a
+/// condition variable rather than sleeping out the interval.
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(TimeSeriesStore* store);
+  ~TimeSeriesSampler();
+
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  TimeSeriesStore* store_;
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace util
+}  // namespace tdmatch
+
+#endif  // TDMATCH_UTIL_OBS_TIMESERIES_H_

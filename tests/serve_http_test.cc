@@ -29,7 +29,21 @@
 #include "util/crc32.h"
 #include "util/json.h"
 #include "util/obs/jsonlog.h"
+#include "util/obs/profiler.h"
 #include "util/string_util.h"
+
+// The CPU profiler's SIGPROF handler is incompatible with sanitizer
+// signal interception; its endpoint test is skipped under TSan/ASan.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define TDMATCH_TEST_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define TDMATCH_TEST_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef TDMATCH_TEST_UNDER_SANITIZER
+#define TDMATCH_TEST_UNDER_SANITIZER 0
+#endif
 
 namespace tdmatch {
 namespace {
@@ -1130,6 +1144,280 @@ TEST(MatchServiceTest, ConcurrentHotReloadSoak) {
   EXPECT_EQ(ToMatches(*final_state->engine->Query("q1", 5)), want_a);
   std::remove(path_a.c_str());
   std::remove(path_b.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Continuous observability: /v1/metrics/history, /v1/slo, degraded
+// healthz, /v1/debug/profile
+// ---------------------------------------------------------------------------
+
+TEST(MatchServiceTest, HistoryEndpointTracksQueryCounter) {
+  const std::string path = WriteGeometricSnapshot("svc_hist.tds", 16, 0);
+  ServiceOptions sopts;
+  sopts.history_interval_s = 0.05;
+  ServiceFixture fx(path, sopts);
+
+  // Let the sampler land at least one pre-traffic point, then serve a
+  // known number of queries and let it sample again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  HttpRequest query;
+  query.body = "{\"label\": \"q1\", \"k\": 3}";
+  constexpr int kQueries = 30;
+  for (int i = 0; i < kQueries; ++i) {
+    EXPECT_EQ(fx.service.HandleQuery(query).status, 200);
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    HttpRequest probe;
+    probe.query = "window=60&series=tdmatch_queries";
+    auto doc = util::JsonParse(fx.service.HandleHistory(probe).body);
+    ASSERT_TRUE(doc.ok());
+    const util::JsonValue* series = doc->Find("series");
+    ASSERT_NE(series, nullptr);
+    if (!series->items().empty() &&
+        series->items()[0].Find("last")->number_value() >= kQueries) {
+      break;
+    }
+  }
+
+  HttpRequest req;
+  req.query = "window=60&series=tdmatch_queries&points=1";
+  const HttpResponse resp = fx.service.HandleHistory(req);
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  auto doc = util::JsonParse(resp.body);
+  ASSERT_TRUE(doc.ok()) << resp.body;
+  EXPECT_EQ(doc->Find("window_seconds")->number_value(), 60.0);
+  EXPECT_NEAR(doc->Find("interval_seconds")->number_value(), 0.05, 1e-9);
+  EXPECT_GT(doc->Find("samples_taken")->number_value(), 1.0);
+  const util::JsonValue* series = doc->Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_FALSE(series->items().empty()) << resp.body;
+  const util::JsonValue& s = series->items()[0];
+  EXPECT_EQ(s.Find("name")->string_value(), "tdmatch_queries_total");
+  EXPECT_EQ(s.Find("type")->string_value(), "counter");
+  EXPECT_EQ(s.Find("last")->number_value(), kQueries);
+  // The window starts at a pre-traffic zero sample, so the delta is the
+  // full query count.
+  EXPECT_EQ(s.Find("delta")->number_value(), kQueries);
+  EXPECT_GT(s.Find("rate_per_sec")->number_value(), 0.0);
+  ASSERT_NE(s.Find("points"), nullptr);
+  EXPECT_GE(s.Find("points")->items().size(), 2u);
+
+  // Malformed window parameter.
+  HttpRequest bad;
+  bad.query = "window=nope";
+  EXPECT_EQ(fx.service.HandleHistory(bad).status, 400);
+  bad.query = "window=-5";
+  EXPECT_EQ(fx.service.HandleHistory(bad).status, 400);
+  std::remove(path.c_str());
+}
+
+TEST(MatchServiceTest, SloEndpointReportsObjectivesAndWindows) {
+  const std::string path = WriteGeometricSnapshot("svc_slo.tds", 16, 0);
+  ServiceOptions sopts;
+  sopts.latency_budget_ms = 50.0;  // enables the latency objective
+  ServiceFixture fx(path, sopts);
+
+  HttpRequest query;
+  query.body = "{\"label\": \"q1\", \"k\": 3}";
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fx.service.HandleQuery(query).status, 200);
+  }
+  auto doc = util::JsonParse(fx.service.HandleSlo(HttpRequest()).body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc->Find("degraded")->bool_value());
+  const util::JsonValue* objectives = doc->Find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  ASSERT_EQ(objectives->items().size(), 2u);
+  const util::JsonValue& avail = objectives->items()[0];
+  EXPECT_EQ(avail.Find("name")->string_value(), "availability");
+  EXPECT_EQ(avail.Find("target")->number_value(), 0.999);
+  EXPECT_FALSE(avail.Find("fast_burning")->bool_value());
+  EXPECT_NEAR(avail.Find("error_budget_remaining")->number_value(), 1.0,
+              1e-9);
+  ASSERT_EQ(avail.Find("windows")->items().size(), 4u);
+  const util::JsonValue& w0 = avail.Find("windows")->items()[0];
+  EXPECT_EQ(w0.Find("role")->string_value(), "fast_short");
+  EXPECT_EQ(w0.Find("good")->number_value(), 10.0);
+  EXPECT_EQ(w0.Find("bad")->number_value(), 0.0);
+  EXPECT_EQ(objectives->items()[1].Find("name")->string_value(), "latency");
+  std::remove(path.c_str());
+}
+
+TEST(MatchServiceTest, HealthzDegradesOnFastBurnAndRecovers) {
+  const std::string path = WriteGeometricSnapshot("svc_burn.tds", 16, 0);
+  ServiceOptions sopts;
+  // Tiny windows so the trajectory runs in real time: every latency
+  // breach counts (threshold 1 on a 99.9% target fires on any miss), the
+  // short window forgets after 0.5 s and the long one after 1 s.
+  sopts.allow_debug_delay = true;
+  sopts.latency_budget_ms = 5.0;
+  sopts.slo_fast = {0.5, 1.0, 1.0};
+  sopts.slo_slow = {1.0, 2.0, 1.0};
+  sopts.history_interval_s = 0.0;  // keep the sampler out of the timing
+  ServiceFixture fx(path, sopts);
+
+  // Phase 1: healthy.
+  HttpRequest fast;
+  fast.body = "{\"label\": \"q1\", \"k\": 3}";
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(fx.service.HandleQuery(fast).status, 200);
+  }
+  auto health = fx.service.HandleHealth(HttpRequest());
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos)
+      << health.body;
+
+  // Phase 2: every query blows the 5 ms budget -> latency fast-burn.
+  HttpRequest slow;
+  slow.body = "{\"label\": \"q1\", \"k\": 3, \"delay_ms\": 15}";
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_EQ(fx.service.HandleQuery(slow).status, 200);
+  }
+  health = fx.service.HandleHealth(HttpRequest());
+  EXPECT_EQ(health.status, 200) << "degraded stays 200 by default";
+  EXPECT_NE(health.body.find("\"status\":\"degraded\""), std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("\"burning_objectives\":[\"latency\"]"),
+            std::string::npos)
+      << health.body;
+  HttpRequest strict;
+  strict.query = "strict=1";
+  EXPECT_EQ(fx.service.HandleHealth(strict).status, 503);
+
+  // Phase 3: recovery — healthy traffic until the burst ages out of both
+  // fast windows (~1 s; generous deadline for slow machines).
+  bool recovered = false;
+  for (int i = 0; i < 200 && !recovered; ++i) {
+    ASSERT_EQ(fx.service.HandleQuery(fast).status, 200);
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    recovered = fx.service.HandleHealth(HttpRequest())
+                    .body.find("\"status\":\"ok\"") != std::string::npos;
+  }
+  EXPECT_TRUE(recovered) << "healthz never flipped back to ok";
+  EXPECT_EQ(fx.service.HandleHealth(strict).status, 200);
+  std::remove(path.c_str());
+}
+
+TEST(MatchServiceTest, MetricsScrapeVersusReloadHammer) {
+  // Regression test for the gauge-callback/reload race: /v1/metrics and
+  // /v1/metrics/history evaluate registry callbacks (including the
+  // build_info labels Reload re-registers) while reloads swap them out.
+  // Under TSan this is the proof the callback swap is properly locked.
+  const std::string path_a = WriteGeometricSnapshot("svc_race_a.tds", 16, 0);
+  const std::string path_b = WriteGeometricSnapshot("svc_race_b.tds", 16, 7);
+  ServiceOptions sopts;
+  sopts.history_interval_s = 0.01;  // sampler scrapes concurrently too
+  HttpServerOptions hopts;
+  hopts.threads = 6;
+  ServiceFixture fx(path_a, sopts, hopts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([&, t] {
+      auto client = HttpClient::Connect("127.0.0.1", fx.server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      const std::string target =
+          t == 0 ? "/v1/metrics" : "/v1/metrics/history?window=60";
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = client->Get(target);
+        if (!r.ok() || r->status != 200) ++failures;
+      }
+    });
+  }
+  auto reloader = HttpClient::Connect("127.0.0.1", fx.server.port());
+  ASSERT_TRUE(reloader.ok());
+  for (int i = 1; i <= 10; ++i) {
+    const std::string& target = i % 2 == 1 ? path_b : path_a;
+    auto r = reloader->Post("/v1/reload",
+                            "{\"snapshot\": \"" + target + "\"}");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->status, 200) << r->body;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(MatchServiceTest, ProfileEndpointCapturesUnderLoad) {
+  if (!util::obs::CpuProfiler::Supported() || TDMATCH_TEST_UNDER_SANITIZER) {
+    GTEST_SKIP() << "profiler capture not supported in this build";
+  }
+  const std::string path = WriteGeometricSnapshot("svc_prof.tds", 64, 0);
+  ServiceFixture fx(path);
+
+  // Parameter validation happens before any capture.
+  HttpRequest bad;
+  bad.query = "seconds=nope";
+  EXPECT_EQ(fx.service.HandleProfile(bad).status, 400);
+  bad.query = "hz=0";
+  EXPECT_EQ(fx.service.HandleProfile(bad).status, 400);
+  bad.query = "format=xml";
+  EXPECT_EQ(fx.service.HandleProfile(bad).status, 400);
+
+  // Keep the engine busy while the capture runs.
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    HttpRequest query;
+    query.body = "{\"k\": 5, \"labels\": [\"q1\", \"q2\", \"q3\", \"q4\"]}";
+    while (!stop.load(std::memory_order_relaxed)) {
+      fx.service.HandleQuery(query);
+    }
+  });
+  HttpRequest req;
+  req.query = "seconds=0.4&hz=500&format=json&top=10";
+  const HttpResponse resp = fx.service.HandleProfile(req);
+  stop.store(true);
+  load.join();
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  auto doc = util::JsonParse(resp.body);
+  ASSERT_TRUE(doc.ok()) << resp.body;
+  EXPECT_EQ(doc->Find("hz")->number_value(), 500.0);
+  EXPECT_GT(doc->Find("samples")->number_value(), 0.0) << resp.body;
+
+  // Folded format is the default and is flamegraph.pl input.
+  std::atomic<bool> stop2{false};
+  std::thread load2([&] {
+    HttpRequest query;
+    query.body = "{\"k\": 5, \"labels\": [\"q1\", \"q2\", \"q3\", \"q4\"]}";
+    while (!stop2.load(std::memory_order_relaxed)) {
+      fx.service.HandleQuery(query);
+    }
+  });
+  HttpRequest folded_req;
+  folded_req.query = "seconds=0.4&hz=500";
+  const HttpResponse folded = fx.service.HandleProfile(folded_req);
+  stop2.store(true);
+  load2.join();
+  ASSERT_EQ(folded.status, 200);
+  EXPECT_NE(folded.content_type.find("text/plain"), std::string::npos);
+  EXPECT_FALSE(folded.body.empty());
+  // Each line is "stack count"; the busy query loop must put tdmatch
+  // frames on the profile.
+  EXPECT_NE(folded.body.find("tdmatch"), std::string::npos)
+      << folded.body.substr(0, 2000);
+  std::remove(path.c_str());
+}
+
+TEST(MatchServiceTest, ProfileRouteCanBeDisabled) {
+  const std::string path = WriteGeometricSnapshot("svc_noprof.tds", 16, 0);
+  ServiceOptions sopts;
+  sopts.allow_profile = false;
+  ServiceFixture fx(path, sopts);
+  auto client = HttpClient::Connect("127.0.0.1", fx.server.port());
+  ASSERT_TRUE(client.ok());
+  auto r = client->Get("/v1/debug/profile?seconds=0.1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 404);
+  std::remove(path.c_str());
 }
 
 }  // namespace

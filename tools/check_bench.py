@@ -261,6 +261,28 @@ def check_obs_overhead(rows, max_ratio, errors):
             "(serve_http HttpSynthetic scenario not run?)")
 
 
+def check_profiler_overhead(rows, max_ratio, errors):
+    """Fails any `profiler_overhead_ratio` row (serve_http's profiler-off
+    vs profiler-armed qps ratio, min over paired rounds) above `max_ratio`
+    (absolute gate, no baseline needed). A ratio of 1.05 means a 99 Hz
+    capture costs 5% of throughput."""
+    checked = 0
+    for row in rows:
+        if row["metric"] != "profiler_overhead_ratio":
+            continue
+        checked += 1
+        if row["value"] > max_ratio:
+            errors.append(
+                f"profiler overhead: {'/'.join(row_key(row))} "
+                f"= {row['value']:.3f}, above --max-profiler-overhead "
+                f"{max_ratio} (sampling profiler costs too much throughput "
+                "to arm on a live server)")
+    if checked == 0:
+        errors.append(
+            "--max-profiler-overhead given but no profiler_overhead_ratio "
+            "rows found (serve_http HttpSynthetic scenario not run?)")
+
+
 def check_threads_speedup(rows, min_speedup, errors):
     """Fails any `threads_speedup` row below `min_speedup` (absolute gate,
     no baseline needed — the metric is a same-run 1-thread vs N-thread
@@ -315,6 +337,12 @@ def main():
              "fully-traced qps ratio) exceeds this; 0 disables "
              "(default %(default)s). 1.05 allows 5%% tracing overhead.")
     parser.add_argument(
+        "--max-profiler-overhead", type=float, default=0.0,
+        help="fail if any profiler_overhead_ratio row (serve_http's "
+             "profiler-off vs profiler-armed qps ratio) exceeds this; 0 "
+             "disables (default %(default)s). 1.05 allows 5%% capture "
+             "overhead.")
+    parser.add_argument(
         "--min-threads-speedup", type=float, default=0.0,
         help="fail if any threads_speedup row (fig8_scaling's 8-thread vs "
              "1-thread walk+train wall ratio) is below this; 0 disables "
@@ -332,6 +360,9 @@ def main():
 
     if args.max_obs_overhead > 0 and rows:
         check_obs_overhead(rows, args.max_obs_overhead, errors)
+
+    if args.max_profiler_overhead > 0 and rows:
+        check_profiler_overhead(rows, args.max_profiler_overhead, errors)
 
     if args.min_recall > 0 and rows:
         check_min_recall(rows, args.min_recall, errors)

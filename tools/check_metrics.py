@@ -15,12 +15,23 @@ Assertions for CI (both repeatable):
   --require NAME      fail unless family NAME has at least one sample
   --min NAME:VALUE    fail unless the sum of NAME's samples is >= VALUE
 
+With --history the input is instead a GET /v1/metrics/history JSON
+document: the envelope, per-series shape, point ordering, counter
+monotonicity-after-clamp, and the delta/rate arithmetic are validated,
+plus the repeatable assertions
+  --history-require NAME        fail unless series NAME is present
+  --history-min-delta NAME:V    fail unless NAME's delta is >= V
+
 Usage: check_metrics.py scrape.txt [--require tdmatch_queries_total]
                                    [--min tdmatch_cache_hits_total:1]
+       check_metrics.py history.json --history
+                                   [--history-require tdmatch_queries_total]
+                                   [--history-min-delta tdmatch_queries_total:6]
 Exits non-zero listing every violation.
 """
 
 import argparse
+import json
 import math
 import re
 import sys
@@ -93,6 +104,101 @@ def base_family(name, families):
     return name
 
 
+def check_history(text, require, min_delta):
+    """Validates a /v1/metrics/history JSON document; returns errors."""
+    errors = []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        return [f"history: body is not JSON: {e}"]
+    for key in ("now", "window_seconds", "interval_seconds",
+                "retention_seconds", "samples_taken"):
+        if not isinstance(doc.get(key), (int, float)):
+            errors.append(f"history: missing numeric field {key!r}")
+    series_list = doc.get("series")
+    if not isinstance(series_list, list):
+        return errors + ["history: 'series' is not an array"]
+
+    by_name = defaultdict(list)
+    for i, s in enumerate(series_list):
+        where = f"series[{i}]"
+        if not isinstance(s, dict):
+            errors.append(f"history: {where} is not an object")
+            continue
+        name = s.get("name")
+        if not isinstance(name, str) or not METRIC_NAME_RE.match(name):
+            errors.append(f"history: {where} has bad name {name!r}")
+            continue
+        where = f"series {name}{s.get('labels', '')}"
+        by_name[name].append(s)
+        if s.get("type") not in ("counter", "gauge"):
+            errors.append(f"history: {where}: bad type {s.get('type')!r}")
+        for key in ("points_count", "first_ts", "last_ts", "last", "delta",
+                    "rate_per_sec"):
+            if not isinstance(s.get(key), (int, float)):
+                errors.append(f"history: {where}: missing numeric {key!r}")
+                break
+        else:
+            if s["first_ts"] > s["last_ts"]:
+                errors.append(f"history: {where}: first_ts > last_ts")
+            if s["points_count"] < 1:
+                errors.append(f"history: {where}: empty series reported")
+            if s["type"] == "counter" and s["delta"] < 0:
+                errors.append(f"history: {where}: counter delta "
+                              f"{s['delta']} is negative")
+            span = s["last_ts"] - s["first_ts"]
+            if span > 0:
+                want_rate = s["delta"] / span
+                if not math.isclose(s["rate_per_sec"], want_rate,
+                                    rel_tol=1e-6, abs_tol=1e-9):
+                    errors.append(
+                        f"history: {where}: rate_per_sec "
+                        f"{s['rate_per_sec']} != delta/span {want_rate}")
+            elif s["rate_per_sec"] != 0:
+                errors.append(f"history: {where}: nonzero rate over an "
+                              f"empty time span")
+            points = s.get("points")
+            if points is not None:
+                if (not isinstance(points, list)
+                        or len(points) != s["points_count"]):
+                    errors.append(f"history: {where}: points/points_count "
+                                  f"mismatch")
+                else:
+                    ts = [p[0] for p in points]
+                    if ts != sorted(ts):
+                        errors.append(f"history: {where}: points not in "
+                                      f"time order")
+                    if points and (points[0][0] != s["first_ts"]
+                                   or points[-1][0] != s["last_ts"]):
+                        errors.append(f"history: {where}: first/last_ts "
+                                      f"disagree with points")
+                    if points and points[-1][1] != s["last"]:
+                        errors.append(f"history: {where}: last disagrees "
+                                      f"with final point")
+
+    distinct = {(s["name"], s.get("labels", "")) for n in by_name
+                for s in by_name[n]}
+    if len(distinct) != sum(len(v) for v in by_name.values()):
+        errors.append("history: duplicate (name, labels) series")
+
+    for name in require:
+        if name not in by_name:
+            errors.append(f"history: required series {name} is absent")
+    for spec in min_delta:
+        name, _, floor_text = spec.rpartition(":")
+        try:
+            floor = float(floor_text)
+        except ValueError:
+            errors.append(f"--history-min-delta {spec!r}: not a number")
+            continue
+        total = sum(s["delta"] for s in by_name.get(name, [])
+                    if isinstance(s.get("delta"), (int, float)))
+        if name not in by_name or total < floor:
+            errors.append(f"--history-min-delta {name}: delta {total} < "
+                          f"{floor}")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("scrape", help="exposition text file ('-' for stdin)")
@@ -100,10 +206,28 @@ def main():
                     metavar="NAME", help="family that must have samples")
     ap.add_argument("--min", action="append", default=[], metavar="NAME:V",
                     help="family whose summed samples must be >= V")
+    ap.add_argument("--history", action="store_true",
+                    help="input is a /v1/metrics/history JSON document")
+    ap.add_argument("--history-require", action="append", default=[],
+                    metavar="NAME", help="series that must be present")
+    ap.add_argument("--history-min-delta", action="append", default=[],
+                    metavar="NAME:V", help="series whose delta must be >= V")
     args = ap.parse_args()
 
     text = (sys.stdin.read() if args.scrape == "-"
             else open(args.scrape, encoding="utf-8").read())
+
+    if args.history:
+        errors = check_history(text, args.history_require,
+                               args.history_min_delta)
+        if errors:
+            for e in errors:
+                print(f"check_metrics: {e}", file=sys.stderr)
+            sys.exit(1)
+        doc = json.loads(text)
+        print(f"check_metrics: history OK ({len(doc['series'])} series, "
+              f"{doc['samples_taken']:.0f} samples)")
+        return
 
     errors = []
     families = {}  # name -> type

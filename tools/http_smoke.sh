@@ -78,8 +78,10 @@ case "$mode" in
   basic)
     port=18080
     # Full tracing + a result cache so the metrics scrape below covers the
-    # trace and cache counters too.
-    start_server "$port" --trace-sample 1 --cache 64
+    # trace and cache counters too; fast history sampling and a JSONL log
+    # file so the continuous-observability endpoints have data to show.
+    start_server "$port" --trace-sample 1 --cache 64 \
+      --history-interval-ms 100 --log-file "$tmp_dir/serve.jsonl"
     server_pid=$last_pid
     wait_healthy "$port" 50
     post "$port" '{"label": "q:0", "k": 3}' | tee "$tmp_dir/q1.json"
@@ -111,6 +113,57 @@ case "$mode" in
       --min tdmatch_reloads_total:1 \
       --min tdmatch_cache_hits_total:1 \
       || fail "metrics exposition check failed"
+
+    # Metric history: a scripted burst of 8 more queries, then the
+    # windowed view must show the counter's delta (the run started with a
+    # pre-traffic sample, so the whole burst is visible) and internally
+    # consistent delta/rate arithmetic (validated by --history).
+    for i in 0 1 2 3; do
+      post "$port" '{"labels": ["q:0", "q:1"], "k": 3}' > /dev/null
+    done
+    sleep 0.5
+    curl -sf "http://127.0.0.1:$port/v1/metrics/history?window=120&series=tdmatch_queries" \
+      > "$tmp_dir/history.json"
+    python3 "$(dirname "$0")/check_metrics.py" "$tmp_dir/history.json" \
+      --history \
+      --history-require tdmatch_queries_total \
+      --history-min-delta tdmatch_queries_total:8 \
+      || fail "metrics history check failed"
+
+    # SLO burn rates: clean traffic must report healthy objectives.
+    curl -sf "http://127.0.0.1:$port/v1/slo" > "$tmp_dir/slo.json"
+    grep -q '"degraded":false' "$tmp_dir/slo.json" \
+      || fail "slo reports degraded on clean traffic"
+    grep -q '"name":"availability"' "$tmp_dir/slo.json" \
+      || fail "slo lacks the availability objective"
+    curl -sf "http://127.0.0.1:$port/v1/healthz" | grep -q '"status":"ok"' \
+      || fail "healthz lacks the ok status"
+
+    # CPU profile under live load: the folded stacks must be non-empty
+    # and name the query kernels (flamegraph.pl-ready output).
+    (
+      for ((i = 0; i < 400; i++)); do
+        post "$port" '{"labels": ["q:0", "q:1", "q:2", "q:3"], "k": 5}' \
+          > /dev/null 2>&1 || true
+      done
+    ) &
+    load_pid=$!
+    curl -sf "http://127.0.0.1:$port/v1/debug/profile?seconds=1&hz=300" \
+      > "$tmp_dir/profile.folded"
+    kill "$load_pid" 2>/dev/null || true
+    wait "$load_pid" 2>/dev/null || true
+    [ -s "$tmp_dir/profile.folded" ] \
+      || fail "profile endpoint returned empty folded output"
+    grep -qE 'QueryEngine|Ivf|Exact|simd|tdmatch' "$tmp_dir/profile.folded" \
+      || fail "profile has no query-kernel frames"
+    curl -sf "http://127.0.0.1:$port/v1/debug/profile?seconds=0.2&format=json" \
+      | grep -q '"samples"' || fail "profile json format failed"
+
+    # The --log-file sink captured the run as parseable JSONL.
+    [ -s "$tmp_dir/serve.jsonl" ] || fail "--log-file produced no output"
+    python3 -c "import json, sys; [json.loads(l) for l in open(sys.argv[1])]" \
+      "$tmp_dir/serve.jsonl" || fail "log file lines are not valid JSON"
+
     drain "$server_pid"
     ;;
 

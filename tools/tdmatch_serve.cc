@@ -96,6 +96,23 @@ struct ServeArgs {
   double slow_query_ms = 0.0;
   /// Minimum JSONL log level: debug|info|warn|error.
   std::string log_level = "info";
+  /// JSONL log file (empty = stderr) with size-based keep-one rotation.
+  std::string log_file;
+  size_t log_max_bytes = 64 * 1024 * 1024;
+  /// Metric-history sampling cadence (ms; 0 disables) and ring size.
+  double history_interval_ms = 1000.0;
+  size_t history_points = 600;
+  /// SLO availability/latency target (the latency objective activates
+  /// with --latency-budget-ms) and burn-rate window tuning: the short
+  /// fast/slow windows in seconds; long windows are 10x the short ones.
+  double slo_target = 0.999;
+  double slo_fast_window_s = 60.0;
+  double slo_slow_window_s = 300.0;
+  double slo_fast_burn = 14.4;
+  double slo_slow_burn = 6.0;
+  /// Disable GET /v1/debug/profile.
+  bool no_profile = false;
+  size_t profile_hz = 99;
 };
 
 int Usage(const char* prog) {
@@ -122,15 +139,28 @@ int Usage(const char* prog) {
       "                 [--latency-budget-ms X] [--cache N] [--allow-delay]\n"
       "                 [--trace-sample F] [--slow-query-ms X]\n"
       "                 [--log-level debug|info|warn|error]\n"
+      "                 [--log-file PATH] [--log-max-bytes N]\n"
+      "                 [--history-interval-ms N] [--history-points N]\n"
+      "                 [--slo-target F] [--slo-fast-window-s S]\n"
+      "                 [--slo-slow-window-s S] [--slo-fast-burn X]\n"
+      "                 [--slo-slow-burn X] [--no-profile]\n"
+      "                 [--profile-hz N]\n"
       "                 (--shards: scatter-gather shard count;\n"
       "                  --max-inflight: shed 429 + Retry-After past N\n"
       "                  in-flight queries (0 sheds all); --latency-budget-ms:\n"
-      "                  auto-tune nprobe to a p99 target; --cache: LRU\n"
+      "                  auto-tune nprobe to a p99 target + the latency\n"
+      "                  SLO threshold; --cache: LRU\n"
       "                  result-cache entries; --allow-delay: honor the\n"
       "                  debug 'delay_ms' query field; --trace-sample:\n"
       "                  fraction of queries traced with per-stage spans;\n"
       "                  --slow-query-ms: JSONL-log queries slower than X;\n"
-      "                  metrics at GET /v1/metrics)\n",
+      "                  --log-file: JSONL log to PATH, rotated keep-one\n"
+      "                  past --log-max-bytes; --history-interval-ms:\n"
+      "                  metric-history sampling for GET\n"
+      "                  /v1/metrics/history (0 disables); --slo-*: burn-\n"
+      "                  rate windows/thresholds for GET /v1/slo and the\n"
+      "                  degraded healthz state; metrics at GET\n"
+      "                  /v1/metrics; CPU profile at GET /v1/debug/profile)\n",
       prog);
   return 2;
 }
@@ -450,12 +480,29 @@ int RunServe(const ServeArgs& args) {
   sopts.allow_debug_delay = args.allow_delay;
   sopts.trace_sample = args.trace_sample;
   sopts.slow_query_ms = args.slow_query_ms;
+  sopts.history_interval_s = args.history_interval_ms / 1000.0;
+  sopts.history_points = args.history_points;
+  sopts.allow_profile = !args.no_profile;
+  sopts.profile_hz = static_cast<int>(args.profile_hz);
+  sopts.slo_availability_target = args.slo_target;
+  sopts.slo_latency_target = args.slo_target;
+  sopts.slo_fast = {args.slo_fast_window_s, args.slo_fast_window_s * 10.0,
+                    args.slo_fast_burn};
+  sopts.slo_slow = {args.slo_slow_window_s, args.slo_slow_window_s * 10.0,
+                    args.slo_slow_burn};
   // The server binary is the one place that publishes into the
   // process-global registry: /v1/metrics is the whole-process view.
   sopts.registry = &util::obs::Registry::Global();
 
   util::obs::JsonLogger& log = util::obs::JsonLogger::Global();
   log.set_min_level(util::obs::ParseLogLevel(args.log_level));
+  if (!args.log_file.empty()) {
+    util::Status log_st = log.OpenFile(args.log_file, args.log_max_bytes);
+    if (!log_st.ok()) {
+      std::fprintf(stderr, "%s\n", log_st.ToString().c_str());
+      return 1;
+    }
+  }
   sopts.logger = &log;
 
   serve::http::MatchService service(sopts);
@@ -657,6 +704,62 @@ int Main(int argc, char** argv) {
       }
     } else if (flag == "--log-level" && (v = next())) {
       args.log_level = v;
+    } else if (flag == "--log-file" && (v = next())) {
+      args.log_file = v;
+    } else if (flag == "--log-max-bytes" && (v = next())) {
+      if (!ParseSize(v, &args.log_max_bytes)) {
+        std::fprintf(stderr, "bad --log-max-bytes '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--history-interval-ms" && (v = next())) {
+      if (!util::ParseDouble(v, &args.history_interval_ms) ||
+          args.history_interval_ms < 0.0) {
+        std::fprintf(stderr, "bad --history-interval-ms '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--history-points" && (v = next())) {
+      if (!ParseSize(v, &args.history_points) || args.history_points == 0) {
+        std::fprintf(stderr, "bad --history-points '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--slo-target" && (v = next())) {
+      if (!util::ParseDouble(v, &args.slo_target) || args.slo_target <= 0.0 ||
+          args.slo_target >= 1.0) {
+        std::fprintf(stderr, "bad --slo-target '%s' (want 0 < F < 1)\n", v);
+        return 2;
+      }
+    } else if (flag == "--slo-fast-window-s" && (v = next())) {
+      if (!util::ParseDouble(v, &args.slo_fast_window_s) ||
+          args.slo_fast_window_s <= 0.0) {
+        std::fprintf(stderr, "bad --slo-fast-window-s '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--slo-slow-window-s" && (v = next())) {
+      if (!util::ParseDouble(v, &args.slo_slow_window_s) ||
+          args.slo_slow_window_s <= 0.0) {
+        std::fprintf(stderr, "bad --slo-slow-window-s '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--slo-fast-burn" && (v = next())) {
+      if (!util::ParseDouble(v, &args.slo_fast_burn) ||
+          args.slo_fast_burn <= 0.0) {
+        std::fprintf(stderr, "bad --slo-fast-burn '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--slo-slow-burn" && (v = next())) {
+      if (!util::ParseDouble(v, &args.slo_slow_burn) ||
+          args.slo_slow_burn <= 0.0) {
+        std::fprintf(stderr, "bad --slo-slow-burn '%s'\n", v);
+        return 2;
+      }
+    } else if (flag == "--no-profile") {
+      args.no_profile = true;
+    } else if (flag == "--profile-hz" && (v = next())) {
+      if (!ParseSize(v, &args.profile_hz) || args.profile_hz == 0 ||
+          args.profile_hz > 1000) {
+        std::fprintf(stderr, "bad --profile-hz '%s' (want 1..1000)\n", v);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
       return Usage(argv[0]);
